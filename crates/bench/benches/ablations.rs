@@ -1,0 +1,100 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! dirty-entry tracking (PS vs Naïve), WPQ sizing (atomic round vs
+//! identity-placement sub-batches), PLB capacity, and sparse-tree scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use psoram_core::{BlockAddr, OramConfig, PathOram, ProtocolVariant, RecursivePosMap};
+
+/// Ablation 1 — dirty-entry tracking: PS-ORAM vs Naïve metadata flushing.
+/// The interesting output is the *simulated* write count, but the host-time
+/// difference tracks the extra WPQ work too.
+fn ablation_dirty_tracking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_dirty_tracking");
+    for variant in [ProtocolVariant::PsOram, ProtocolVariant::NaivePsOram] {
+        group.bench_function(variant.label(), |b| {
+            let cfg = OramConfig::small_test();
+            let cap = cfg.capacity_blocks();
+            let mut oram = PathOram::new(cfg, variant, 5);
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                black_box(oram.write(BlockAddr(i % cap), vec![0; 8]).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 2 — WPQ sizing: full-path-sized WPQ (one atomic round) vs
+/// 4-entry WPQ (identity placement + sub-batches).
+fn ablation_wpq_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_wpq_size");
+    for entries in [96usize, 28, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |b, &entries| {
+            let cfg = OramConfig::small_test().with_wpq_capacity(entries, entries);
+            let cap = cfg.capacity_blocks();
+            let mut oram = PathOram::new(cfg, ProtocolVariant::PsOram, 5);
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                black_box(oram.write(BlockAddr(i % cap), vec![0; 8]).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 3 — PLB capacity: recursion depth actually walked per access.
+fn ablation_plb_capacity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_plb_capacity");
+    let cfg = OramConfig::paper_default();
+    for plb in [16usize, 128, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(plb), &plb, |b, &plb| {
+            let mut rec = RecursivePosMap::new(&cfg, 1 << 40, plb, 9);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(4097);
+                black_box(rec.access(BlockAddr(i % cfg.capacity_blocks())).total_reads())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 4 — sparse-tree scaling: host cost of a path read/write as the
+/// tree height grows (the sparse store is what makes L=23 feasible at all).
+fn ablation_tree_height(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_tree_height");
+    // Every access materializes fresh sparse-tree buckets at paper scale;
+    // keep the iteration budget small so the L=23 row stays within memory.
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    for levels in [10u32, 14, 18, 23] {
+        group.bench_with_input(BenchmarkId::from_parameter(levels), &levels, |b, &levels| {
+            let mut cfg = OramConfig::paper_default().with_levels(levels);
+            cfg.data_wpq_capacity = cfg.path_slots();
+            cfg.posmap_wpq_capacity = cfg.path_slots();
+            let cap = cfg.capacity_blocks();
+            let mut oram = PathOram::new(cfg, ProtocolVariant::PsOram, 5);
+            oram.set_payload_encryption(false);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(0x2545F491);
+                black_box(oram.read(BlockAddr(i % cap)).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_dirty_tracking,
+    ablation_wpq_size,
+    ablation_plb_capacity,
+    ablation_tree_height
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Regenerates **Figure 6**: NVM read and write traffic of each design,
+//! normalized to Baseline (single channel).
+
+use psoram_bench::{records_per_workload, run_one, FigureTable};
+use psoram_core::ProtocolVariant;
+use psoram_trace::SpecWorkload;
+
+fn main() {
+    psoram_bench::print_config_banner("Figure 6: NVM read/write traffic");
+    let n = records_per_workload();
+
+    let variants = [
+        ProtocolVariant::FullNvm,
+        ProtocolVariant::NaivePsOram,
+        ProtocolVariant::PsOram,
+        ProtocolVariant::RcrBaseline,
+        ProtocolVariant::RcrPsOram,
+    ];
+    let labels = ["FullNVM", "Naive-PS", "PS-ORAM", "Rcr-Base", "Rcr-PS"];
+    let mut reads = FigureTable::new(&labels);
+    let mut writes = FigureTable::new(&labels);
+    let mut rcr_ps_vs_base = Vec::new();
+
+    for w in SpecWorkload::all() {
+        let base = run_one(ProtocolVariant::Baseline, 1, w, n);
+        let mut read_row = Vec::new();
+        let mut write_row = Vec::new();
+        let mut rcr = [0u64; 2];
+        for (i, v) in variants.iter().enumerate() {
+            let r = run_one(*v, 1, w, n);
+            read_row.push(r.total_reads() as f64 / base.total_reads() as f64);
+            write_row.push(r.total_writes() as f64 / base.total_writes() as f64);
+            if i == 3 {
+                rcr[0] = r.total_writes();
+            }
+            if i == 4 {
+                rcr[1] = r.total_writes();
+            }
+        }
+        rcr_ps_vs_base.push(rcr[1] as f64 / rcr[0] as f64);
+        reads.add_row(w.name(), read_row);
+        writes.add_row(w.name(), write_row);
+        eprintln!("[{w} done]");
+    }
+
+    print!("{}", reads.render("Figure 6(a): reads normalized to Baseline"));
+    print!("{}", writes.render("Figure 6(b): writes normalized to Baseline"));
+
+    let gr = reads.geomeans();
+    let gw = writes.geomeans();
+    let rcr_ratio = psoram_bench::geomean(&rcr_ps_vs_base);
+    println!("\nSummary (gmean vs Baseline):");
+    println!("  reads : Rcr-Baseline +{:.2}% / Rcr-PS-ORAM +{:.2}% (paper: ~+90.28%/+90.54%)",
+        (gr[3] - 1.0) * 100.0, (gr[4] - 1.0) * 100.0);
+    println!("  reads : others ~unchanged: FullNVM {:+.2}%, Naive {:+.2}%, PS {:+.2}%",
+        (gr[0] - 1.0) * 100.0, (gr[1] - 1.0) * 100.0, (gr[2] - 1.0) * 100.0);
+    println!("  writes: FullNVM +{:.2}% (paper: +111.63%)", (gw[0] - 1.0) * 100.0);
+    println!("  writes: Naive-PS +{:.2}% (paper: high)", (gw[1] - 1.0) * 100.0);
+    println!("  writes: PS-ORAM +{:.2}% (paper: +4.84%)", (gw[2] - 1.0) * 100.0);
+    println!("  writes: Rcr-PS over Rcr-Base +{:.2}% (paper: +15.54%)", (rcr_ratio - 1.0) * 100.0);
+
+    psoram_bench::write_results_json(
+        "fig6",
+        &serde_json::json!({
+            "gmean_reads_normalized": labels.iter().zip(&gr).map(|(l, v)| (l.to_string(), v)).collect::<std::collections::BTreeMap<_, _>>(),
+            "gmean_writes_normalized": labels.iter().zip(&gw).map(|(l, v)| (l.to_string(), v)).collect::<std::collections::BTreeMap<_, _>>(),
+            "rcr_ps_writes_over_rcr_base": rcr_ratio,
+        }),
+    );
+}

@@ -1,0 +1,78 @@
+//! Regenerates **Figure 7**: performance in 1/2/4-channel memory systems
+//! for Baseline, PS-ORAM, Rcr-Baseline, Rcr-PS-ORAM.
+
+use psoram_bench::{geomean, records_per_workload, run_one};
+use psoram_core::ProtocolVariant;
+use psoram_trace::SpecWorkload;
+
+fn main() {
+    psoram_bench::print_config_banner("Figure 7: multi-channel performance");
+    let n = records_per_workload();
+    let variants = [
+        ProtocolVariant::Baseline,
+        ProtocolVariant::PsOram,
+        ProtocolVariant::RcrBaseline,
+        ProtocolVariant::RcrPsOram,
+    ];
+
+    // cycles[variant][channel_idx] = gmean exec cycles across workloads.
+    let mut cycles = vec![[0.0f64; 3]; variants.len()];
+    for (vi, v) in variants.iter().enumerate() {
+        for (ci, ch) in [1usize, 2, 4].iter().enumerate() {
+            let per_wl: Vec<f64> = SpecWorkload::all()
+                .iter()
+                .map(|w| run_one(*v, *ch, *w, n).exec_cycles as f64)
+                .collect();
+            cycles[vi][ci] = geomean(&per_wl);
+            eprintln!("[{v} {ch}ch done]");
+        }
+    }
+
+    println!("\n{:<14}{:>14}{:>14}{:>14}", "variant", "1-channel", "2-channel", "4-channel");
+    for (vi, v) in variants.iter().enumerate() {
+        println!(
+            "{:<14}{:>14.0}{:>14.0}{:>14.0}",
+            v.label(),
+            cycles[vi][0],
+            cycles[vi][1],
+            cycles[vi][2]
+        );
+    }
+
+    let speedup = |vi: usize, ci: usize| (cycles[vi][0] / cycles[vi][ci] - 1.0) * 100.0;
+    let vs_base = |vi: usize, base: usize, ci: usize| {
+        (cycles[vi][ci] / cycles[base][ci] - 1.0) * 100.0
+    };
+    println!("\nSummary:");
+    println!(
+        "  PS-ORAM speedup over its 1ch: 2ch +{:.2}% / 4ch +{:.2}% (paper: +51.26%/+53.76%)",
+        speedup(1, 1),
+        speedup(1, 2)
+    );
+    println!(
+        "  Rcr-PS-ORAM speedup over its 1ch: 2ch +{:.2}% / 4ch +{:.2}% (paper: +46.50%/+55.21%)",
+        speedup(3, 1),
+        speedup(3, 2)
+    );
+    println!(
+        "  PS-ORAM slower than Baseline: 2ch +{:.2}% / 4ch +{:.2}% (paper: +4.94%/+5.32%)",
+        vs_base(1, 0, 1),
+        vs_base(1, 0, 2)
+    );
+    println!(
+        "  Rcr-PS-ORAM slower than Rcr-Baseline: 2ch +{:.2}% / 4ch +{:.2}% (paper: +2.12%/+5.36%)",
+        vs_base(3, 2, 1),
+        vs_base(3, 2, 2)
+    );
+
+    psoram_bench::write_results_json(
+        "fig7",
+        &serde_json::json!({
+            "gmean_cycles": variants
+                .iter()
+                .enumerate()
+                .map(|(vi, v)| (v.label().to_string(), cycles[vi].to_vec()))
+                .collect::<std::collections::BTreeMap<_, _>>(),
+        }),
+    );
+}

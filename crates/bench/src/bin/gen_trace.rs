@@ -1,0 +1,58 @@
+//! Materializes a synthetic workload into a replayable JSON trace file.
+//!
+//! ```text
+//! cargo run --release -p psoram-bench --bin gen_trace -- \
+//!     --workload lbm --records 20000 --seed 7 --out lbm.trace.json
+//! ```
+//!
+//! Replay with `sim -- --trace lbm.trace.json`.
+
+use psoram_trace::{SpecWorkload, Trace, TraceGenerator};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut workload = SpecWorkload::Mcf;
+    let mut records = 20_000usize;
+    let mut seed = 7u64;
+    let mut out = String::from("trace.json");
+    let mut i = 0;
+    while i < argv.len() {
+        let val = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {}", argv[*i - 1]);
+                std::process::exit(2);
+            })
+        };
+        match argv[i].as_str() {
+            "--workload" | "-w" => {
+                let v = val(&mut i);
+                workload = SpecWorkload::all()
+                    .into_iter()
+                    .find(|w| w.name().to_lowercase().contains(&v.to_lowercase()))
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown workload {v}");
+                        std::process::exit(2);
+                    });
+            }
+            "--records" | "-n" => records = val(&mut i).parse().expect("numeric --records"),
+            "--seed" | "-s" => seed = val(&mut i).parse().expect("numeric --seed"),
+            "--out" | "-o" => out = val(&mut i),
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let spec = workload.spec();
+    let trace = Trace::capture(workload.name(), TraceGenerator::new(&spec, seed), records);
+    trace.save(&out).expect("write trace file");
+    println!(
+        "wrote {} records of {} ({} instructions) to {out}",
+        trace.len(),
+        trace.name(),
+        trace.instructions()
+    );
+}

@@ -1,0 +1,48 @@
+//! Regenerates the §5.1 context numbers: baseline ORAM overhead vs a
+//! non-ORAM NVM system (paper: 2–24x, avg ~11x at 1 channel; 1.8–21x,
+//! avg ~6.5x at 4 channels).
+
+use psoram_bench::{geomean, records_per_workload, run_one, run_reference, FigureTable};
+use psoram_core::ProtocolVariant;
+use psoram_trace::SpecWorkload;
+
+fn main() {
+    psoram_bench::print_config_banner("§5.1: ORAM overhead vs non-ORAM NVM system");
+    let n = records_per_workload();
+    let mut table = FigureTable::new(&["1-channel", "4-channel"]);
+    let mut per_channel = [Vec::new(), Vec::new()];
+
+    for w in SpecWorkload::all() {
+        let mut row = Vec::new();
+        for (ci, ch) in [1usize, 4].iter().enumerate() {
+            let oram = run_one(ProtocolVariant::Baseline, *ch, w, n);
+            let plain = run_reference(*ch, w, n);
+            let ratio = oram.exec_cycles as f64 / plain.exec_cycles as f64;
+            row.push(ratio);
+            per_channel[ci].push(ratio);
+        }
+        table.add_row(w.name(), row);
+        eprintln!("[{w} done]");
+    }
+
+    print!("{}", table.render("ORAM slowdown over non-ORAM NVM"));
+    let g1 = geomean(&per_channel[0]);
+    let g4 = geomean(&per_channel[1]);
+    let minmax = |v: &[f64]| {
+        (v.iter().cloned().fold(f64::INFINITY, f64::min),
+         v.iter().cloned().fold(0.0f64, f64::max))
+    };
+    let (lo1, hi1) = minmax(&per_channel[0]);
+    let (lo4, hi4) = minmax(&per_channel[1]);
+    println!("\nSummary:");
+    println!("  1-channel: {lo1:.1}x – {hi1:.1}x, gmean {g1:.1}x (paper: 2x–24x, avg ~11x)");
+    println!("  4-channel: {lo4:.1}x – {hi4:.1}x, gmean {g4:.1}x (paper: 1.8x–21x, avg ~6.5x)");
+
+    psoram_bench::write_results_json(
+        "oram_overhead",
+        &serde_json::json!({
+            "gmean_1ch": g1, "gmean_4ch": g4,
+            "range_1ch": [lo1, hi1], "range_4ch": [lo4, hi4],
+        }),
+    );
+}

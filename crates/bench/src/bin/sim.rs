@@ -1,0 +1,144 @@
+//! General-purpose simulation driver: pick a workload, variant, channel
+//! count and scale, get a result (optionally as JSON).
+//!
+//! ```text
+//! cargo run --release -p psoram-bench --bin sim -- \
+//!     --workload mcf --variant ps-oram --channels 2 --records 50000 \
+//!     --levels 16 --warmup 5000 --json
+//! ```
+
+use psoram_core::ProtocolVariant;
+use psoram_system::{System, SystemConfig};
+use psoram_trace::SpecWorkload;
+
+fn parse_workload(s: &str) -> Option<SpecWorkload> {
+    SpecWorkload::all()
+        .into_iter()
+        .find(|w| w.name().to_lowercase().contains(&s.to_lowercase()))
+}
+
+fn parse_variant(s: &str) -> Option<ProtocolVariant> {
+    let key = s.to_lowercase().replace(['-', '_'], "");
+    ProtocolVariant::all()
+        .into_iter()
+        .find(|v| v.label().to_lowercase().replace(['-', '(', ')'], "") == key)
+        .or(match key.as_str() {
+            "baseline" => Some(ProtocolVariant::Baseline),
+            "psoram" | "ps" => Some(ProtocolVariant::PsOram),
+            "naive" | "naivepsoram" => Some(ProtocolVariant::NaivePsOram),
+            "fullnvm" => Some(ProtocolVariant::FullNvm),
+            "fullnvmstt" | "stt" => Some(ProtocolVariant::FullNvmStt),
+            "rcrbaseline" | "rcr" => Some(ProtocolVariant::RcrBaseline),
+            "rcrpsoram" | "rcrps" => Some(ProtocolVariant::RcrPsOram),
+            _ => None,
+        })
+}
+
+struct Args {
+    workload: SpecWorkload,
+    variant: ProtocolVariant,
+    channels: usize,
+    records: usize,
+    warmup: usize,
+    levels: u32,
+    json: bool,
+    trace: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sim [--workload NAME | --trace FILE] [--variant NAME] [--channels N] \
+         [--records N] [--warmup N] [--levels L] [--json]\n\
+         workloads: {}\n\
+         variants:  {}",
+        SpecWorkload::all().map(|w| w.name()).join(", "),
+        ProtocolVariant::all().map(|v| v.label()).join(", "),
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workload: SpecWorkload::Sphinx3,
+        variant: ProtocolVariant::PsOram,
+        channels: 1,
+        records: 40_000,
+        warmup: 8_000,
+        levels: 18,
+        json: false,
+        trace: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match argv[i].as_str() {
+            "--workload" | "-w" => {
+                let v = take(&mut i);
+                args.workload = parse_workload(&v).unwrap_or_else(|| usage());
+            }
+            "--variant" | "-v" => {
+                let v = take(&mut i);
+                args.variant = parse_variant(&v).unwrap_or_else(|| usage());
+            }
+            "--channels" | "-c" => args.channels = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--records" | "-n" => args.records = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--warmup" => args.warmup = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--levels" | "-l" => args.levels = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--json" => args.json = true,
+            "--trace" | "-t" => args.trace = Some(take(&mut i)),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn main() {
+    let a = parse_args();
+    let mut cfg = SystemConfig::experiment(a.variant, a.channels);
+    cfg.oram = cfg.oram.with_levels(a.levels);
+    cfg.oram.data_wpq_capacity = cfg.oram.path_slots();
+    cfg.oram.posmap_wpq_capacity = cfg.oram.path_slots();
+    let mut sys = System::new(cfg);
+    let r = match &a.trace {
+        Some(path) => {
+            let trace = psoram_trace::Trace::load(path).unwrap_or_else(|e| {
+                eprintln!("cannot load trace {path}: {e}");
+                std::process::exit(1);
+            });
+            let n = trace.len().min(a.records);
+            let name = trace.name().to_string();
+            sys.run_trace(trace.records().iter().copied(), n, &name)
+        }
+        None => sys.run_workload_with_warmup(a.workload, a.warmup, a.records),
+    };
+
+    if a.json {
+        println!("{}", serde_json::to_string_pretty(&r).expect("serializable result"));
+        return;
+    }
+    println!("workload  : {}", r.workload);
+    println!("variant   : {} ({} channels, L={})", r.variant, a.channels, a.levels);
+    match &a.trace {
+        Some(path) => println!("records   : {} replayed from {path}", r.accesses),
+        None => println!("records   : {} measured (+{} warmup)", a.records, a.warmup),
+    }
+    println!("instrs    : {}", r.instructions);
+    println!("cycles    : {}", r.exec_cycles);
+    println!("IPC       : {:.4}", r.ipc());
+    println!("MPKI      : {:.2}", r.mpki());
+    println!("NVM reads : {} ({} on-chip)", r.nvm.reads, r.oram.onchip_nvm_reads);
+    println!("NVM writes: {} ({} on-chip)", r.nvm.writes, r.oram.onchip_nvm_writes);
+    println!(
+        "ORAM      : {} accesses, mean {:.0} cycles, {} backups, {} dirty flushes",
+        r.oram.accesses,
+        r.oram.mean_access_cycles(),
+        r.oram.backups_created,
+        r.oram.dirty_entries_flushed
+    );
+}

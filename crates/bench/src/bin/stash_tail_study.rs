@@ -1,0 +1,60 @@
+//! Stash-occupancy tail study: Path ORAM theory says the stash occupancy
+//! distribution has an exponentially decaying tail (why a 200-entry stash
+//! with 50% utilization "never" overflows). This binary measures the
+//! distribution over a long run and reports the log-linear tail.
+
+use psoram_core::{BlockAddr, OramConfig, PathOram, ProtocolVariant};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    psoram_bench::print_config_banner("stash occupancy tail study");
+    let accesses: usize = std::env::var("PSORAM_RECORDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60_000);
+
+    let mut cfg = OramConfig::paper_default().with_levels(12);
+    cfg.stash_capacity = 4096;
+    cfg.temp_posmap_capacity = 4096;
+    cfg.data_wpq_capacity = cfg.path_slots();
+    cfg.posmap_wpq_capacity = cfg.path_slots();
+    let cap = cfg.capacity_blocks();
+    let mut oram = PathOram::new(cfg, ProtocolVariant::PsOram, 17);
+    oram.set_payload_encryption(false);
+
+    let mut histogram = vec![0u64; 256];
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..accesses {
+        oram.write(BlockAddr(rng.gen_range(0..cap)), vec![0u8; 8]).unwrap();
+        let occ = oram.stash_len().min(255);
+        histogram[occ] += 1;
+    }
+
+    println!("\npost-access stash occupancy distribution ({accesses} accesses):");
+    println!("{:>10}{:>12}{:>14}{:>18}", "occupancy", "count", "P(X >= s)", "log10 P(X >= s)");
+    let total: u64 = histogram.iter().sum();
+    let mut tail = total;
+    let mut rows = Vec::new();
+    for (occ, &count) in histogram.iter().enumerate() {
+        if count == 0 && tail == 0 {
+            break;
+        }
+        let p = tail as f64 / total as f64;
+        if p > 0.0 && (count > 0 || (occ % 2 == 0 && occ < 8)) {
+            println!("{:>10}{:>12}{:>14.6}{:>18.2}", occ, count, p, p.log10());
+        }
+        rows.push(serde_json::json!({ "occupancy": occ, "count": count, "tail_p": p }));
+        tail -= count;
+    }
+    let max_occ = histogram.iter().rposition(|&c| c > 0).unwrap_or(0);
+    println!(
+        "\nmax observed: {max_occ}; high-water mark incl. mid-access transients: {}",
+        oram.stash_max_occupancy()
+    );
+    println!(
+        "The survival probability falls roughly one decade every few entries —\n\
+         the exponential tail behind Table 3's comfortable 200-entry stash."
+    );
+    psoram_bench::write_results_json("stash_tail_study", &serde_json::json!(rows));
+}

@@ -1,0 +1,29 @@
+//! Regenerates **Table 1**: energy cost constants for crash-time draining.
+
+use psoram_energy::constants;
+
+fn main() {
+    psoram_bench::print_config_banner("Table 1: energy cost estimation");
+    println!("\n| Operation                                          | Energy Cost    |");
+    println!("|----------------------------------------------------|----------------|");
+    println!(
+        "| Accessing Data from SRAM                           | {:.0}pJ/Byte      |",
+        constants::SRAM_ACCESS_PJ_PER_BYTE
+    );
+    println!(
+        "| Moving data from L1D to NVM                        | {:.3}nJ/Byte  |",
+        constants::L1_TO_NVM_NJ_PER_BYTE
+    );
+    println!(
+        "| Moving data from L2, stash, PosMap and WPQs to NVM | {:.3}nJ/Byte  |",
+        constants::L2_TO_NVM_NJ_PER_BYTE
+    );
+    psoram_bench::write_results_json(
+        "table1",
+        &serde_json::json!({
+            "sram_access_pj_per_byte": constants::SRAM_ACCESS_PJ_PER_BYTE,
+            "l1_to_nvm_nj_per_byte": constants::L1_TO_NVM_NJ_PER_BYTE,
+            "l2_to_nvm_nj_per_byte": constants::L2_TO_NVM_NJ_PER_BYTE,
+        }),
+    );
+}

@@ -1,0 +1,79 @@
+//! Regenerates **Table 2**: estimated draining energy and time for
+//! eADR-cache / eADR-ORAM vs PS-ORAM (96- and 4-entry WPQs).
+
+use psoram_energy::DrainCostModel;
+
+fn fmt_energy(j: f64) -> String {
+    if j >= 1.0 {
+        format!("{j:.3}J")
+    } else if j >= 1e-3 {
+        format!("{:.3}mJ", j * 1e3)
+    } else {
+        format!("{:.3}uJ", j * 1e6)
+    }
+}
+
+fn fmt_time(s: f64) -> String {
+    if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3}us", s * 1e6)
+    } else {
+        format!("{:.3}ns", s * 1e9)
+    }
+}
+
+fn main() {
+    psoram_bench::print_config_banner("Table 2: drain energy/time, eADR vs PS-ORAM");
+    let m96 = DrainCostModel::paper_config(96);
+    let m4 = DrainCostModel::paper_config(4);
+
+    let eadr_cache = m96.eadr_cache();
+    let eadr_oram = m96.eadr_oram();
+    let ps96 = m96.ps_oram();
+    let ps4 = m4.ps_oram();
+
+    println!("\nSystem         |  eADR-cache |   eADR-ORAM | PS-ORAM(96) | PS-ORAM(4)");
+    println!("---------------+-------------+-------------+-------------+-----------");
+    println!(
+        "Energy         | {:>11} | {:>11} | {:>11} | {:>10}",
+        fmt_energy(eadr_cache.energy_joules),
+        fmt_energy(eadr_oram.energy_joules),
+        fmt_energy(ps96.energy_joules),
+        fmt_energy(ps4.energy_joules),
+    );
+    println!(
+        "Time           | {:>11} | {:>11} | {:>11} | {:>10}",
+        fmt_time(eadr_cache.time_seconds),
+        fmt_time(eadr_oram.time_seconds),
+        fmt_time(ps96.time_seconds),
+        fmt_time(ps4.time_seconds),
+    );
+    println!(
+        "\nNormalized to PS-ORAM (96-entry): eADR-cache {:.0}x, eADR-ORAM {:.0}x",
+        m96.energy_ratio_eadr_cache(),
+        m96.energy_ratio_eadr_oram(),
+    );
+    println!(
+        "Normalized to PS-ORAM (4-entry):  eADR-cache {:.0}x, eADR-ORAM {:.0}x",
+        eadr_cache.energy_joules / ps4.energy_joules,
+        eadr_oram.energy_joules / ps4.energy_joules,
+    );
+    println!(
+        "\nPaper reference: eADR-cache 12.653mJ/26.638us; eADR-ORAM 2.286J/4.817ms;"
+    );
+    println!("PS-ORAM 76.530uJ/161.134ns (96) and 2.83uJ/6.713ns (4); ratios 165x / 29870x.");
+
+    psoram_bench::write_results_json(
+        "table2",
+        &serde_json::json!({
+            "eadr_cache": { "energy_j": eadr_cache.energy_joules, "time_s": eadr_cache.time_seconds },
+            "eadr_oram": { "energy_j": eadr_oram.energy_joules, "time_s": eadr_oram.time_seconds },
+            "ps_oram_96": { "energy_j": ps96.energy_joules, "time_s": ps96.time_seconds },
+            "ps_oram_4": { "energy_j": ps4.energy_joules, "time_s": ps4.time_seconds },
+            "ratio_energy_eadr_oram_vs_ps96": m96.energy_ratio_eadr_oram(),
+            "ratio_energy_eadr_cache_vs_ps96": m96.energy_ratio_eadr_cache(),
+            "ratio_time_eadr_oram_vs_ps96": m96.time_ratio_eadr_oram(),
+        }),
+    );
+}

@@ -1,0 +1,25 @@
+//! Regenerates **Table 4**: the 14 workloads and their measured MPKIs
+//! through the real cache hierarchy, against the paper's targets.
+
+use psoram_bench::{records_per_workload, run_reference};
+use psoram_trace::SpecWorkload;
+
+fn main() {
+    psoram_bench::print_config_banner("Table 4: workloads and MPKIs");
+    let n = records_per_workload();
+    println!("\n{:<16}{:>12}{:>12}{:>10}", "workload", "paper MPKI", "measured", "delta%");
+    let mut rows = Vec::new();
+    for w in SpecWorkload::all() {
+        let r = run_reference(1, w, n);
+        let measured = r.mpki();
+        let target = w.paper_mpki();
+        let delta = (measured - target) / target * 100.0;
+        println!("{:<16}{:>12.2}{:>12.2}{:>9.1}%", w.name(), target, measured, delta);
+        rows.push(serde_json::json!({
+            "workload": w.name(),
+            "paper_mpki": target,
+            "measured_mpki": measured,
+        }));
+    }
+    psoram_bench::write_results_json("table4", &serde_json::json!(rows));
+}

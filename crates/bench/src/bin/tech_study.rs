@@ -1,0 +1,73 @@
+//! Memory-technology sensitivity: Table 3(c) lists both PCM and STT-RAM
+//! timing for the main memory. This study re-runs the Figure-5 comparison
+//! with STT-RAM as the main memory and shows how the persistence overheads
+//! shift when the write pulse is 4x cheaper.
+
+use psoram_bench::{geomean, records_per_workload, warmup_records};
+use psoram_core::ProtocolVariant;
+use psoram_nvm::NvmConfig;
+use psoram_system::{System, SystemConfig};
+use psoram_trace::SpecWorkload;
+
+fn run(variant: ProtocolVariant, nvm: NvmConfig, w: SpecWorkload, n: usize) -> f64 {
+    let mut cfg = SystemConfig::experiment(variant, 1);
+    cfg.nvm = nvm;
+    let mut sys = System::new(cfg);
+    sys.run_workload_with_warmup(w, warmup_records(), n).exec_cycles as f64
+}
+
+fn main() {
+    psoram_bench::print_config_banner("main-memory technology sensitivity (PCM vs STT-RAM)");
+    let n = records_per_workload();
+    let variants = [
+        ProtocolVariant::Baseline,
+        ProtocolVariant::NaivePsOram,
+        ProtocolVariant::PsOram,
+    ];
+    let workloads = [SpecWorkload::Mcf, SpecWorkload::Bzip2, SpecWorkload::Sphinx3, SpecWorkload::Lbm];
+
+    println!(
+        "\n{:<16}{:>18}{:>18}{:>18}",
+        "variant", "PCM overhead", "STT-RAM overhead", "STT/PCM speedup"
+    );
+    let mut rows = Vec::new();
+    let mut base_pcm = Vec::new();
+    let mut base_stt = Vec::new();
+    for w in workloads {
+        base_pcm.push(run(ProtocolVariant::Baseline, NvmConfig::paper_pcm(1), w, n));
+        base_stt.push(run(ProtocolVariant::Baseline, NvmConfig::paper_sttram(1), w, n));
+    }
+    for v in variants {
+        let mut pcm_ratio = Vec::new();
+        let mut stt_ratio = Vec::new();
+        let mut stt_speedup = Vec::new();
+        for (i, w) in workloads.iter().enumerate() {
+            let pcm = run(v, NvmConfig::paper_pcm(1), *w, n);
+            let stt = run(v, NvmConfig::paper_sttram(1), *w, n);
+            pcm_ratio.push(pcm / base_pcm[i]);
+            stt_ratio.push(stt / base_stt[i]);
+            stt_speedup.push(pcm / stt);
+        }
+        let (gp, gs, gx) = (geomean(&pcm_ratio), geomean(&stt_ratio), geomean(&stt_speedup));
+        println!(
+            "{:<16}{:>17.2}%{:>17.2}%{:>17.2}x",
+            v.label(),
+            (gp - 1.0) * 100.0,
+            (gs - 1.0) * 100.0,
+            gx
+        );
+        rows.push(serde_json::json!({
+            "variant": v.label(),
+            "pcm_overhead": gp - 1.0,
+            "stt_overhead": gs - 1.0,
+            "stt_speedup": gx,
+        }));
+    }
+    println!(
+        "\nSTT-RAM's short write pulse shrinks the absolute cost of every design and\n\
+         compresses the *relative* persistence overheads: the cheaper writes are,\n\
+         the less Naïve's extra metadata writes hurt — and PS-ORAM stays near zero\n\
+         under both technologies."
+    );
+    psoram_bench::write_results_json("tech_study", &serde_json::json!(rows));
+}

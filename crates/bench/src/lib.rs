@@ -1,0 +1,237 @@
+//! # psoram-bench
+//!
+//! The experiment harness regenerating every table and figure of the
+//! PS-ORAM paper. Each `src/bin/*` binary reproduces one result:
+//!
+//! | Binary | Paper result |
+//! |---|---|
+//! | `table1_energy_constants` | Table 1 (drain cost constants) |
+//! | `table2_drain_cost` | Table 2 (eADR vs PS-ORAM drain energy/time) |
+//! | `table4_mpki` | Table 4 (workload MPKIs through the cache model) |
+//! | `fig5_performance` | Figure 5 (normalized execution time, a & b) |
+//! | `fig6_traffic` | Figure 6 (NVM read/write traffic) |
+//! | `fig7_multichannel` | Figure 7 (1/2/4-channel performance) |
+//! | `oram_overhead` | §5.1 ORAM vs non-ORAM overhead |
+//!
+//! Shared utilities here: run orchestration, normalized tables, geometric
+//! means, and JSON result dumps (written to `results/`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+
+use psoram_core::ProtocolVariant;
+use psoram_system::{SimResult, System, SystemConfig};
+use psoram_trace::SpecWorkload;
+
+/// Records per workload for the sweep binaries; override with the
+/// `PSORAM_RECORDS` environment variable.
+pub fn records_per_workload() -> usize {
+    std::env::var("PSORAM_RECORDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40_000)
+}
+
+/// ORAM tree height for the sweep binaries; override with `PSORAM_LEVELS`.
+///
+/// The default (18) keeps the sparse tree's host-memory footprint tractable
+/// for full sweeps; see DESIGN.md's substitution notes.
+pub fn experiment_levels() -> u32 {
+    std::env::var("PSORAM_LEVELS").ok().and_then(|v| v.parse().ok()).unwrap_or(18)
+}
+
+/// Builds the experiment system config for `variant` and `channels`.
+pub fn experiment_config(variant: ProtocolVariant, channels: usize) -> SystemConfig {
+    let mut cfg = SystemConfig::experiment(variant, channels);
+    cfg.oram = cfg.oram.with_levels(experiment_levels());
+    cfg.oram.data_wpq_capacity = cfg.oram.path_slots();
+    cfg.oram.posmap_wpq_capacity = cfg.oram.path_slots();
+    cfg
+}
+
+/// Warmup records excluded from measurement (simpoint-style); override
+/// with `PSORAM_WARMUP`.
+pub fn warmup_records() -> usize {
+    std::env::var("PSORAM_WARMUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| (records_per_workload() / 5).max(2_000))
+}
+
+/// Runs one workload under one variant and returns the result.
+pub fn run_one(variant: ProtocolVariant, channels: usize, workload: SpecWorkload, n: usize) -> SimResult {
+    let mut sys = System::new(experiment_config(variant, channels));
+    sys.run_workload_with_warmup(workload, warmup_records(), n)
+}
+
+/// Runs the non-ORAM reference system on one workload.
+pub fn run_reference(channels: usize, workload: SpecWorkload, n: usize) -> SimResult {
+    let mut cfg = SystemConfig::non_oram_reference(channels);
+    cfg.oram = cfg.oram.with_levels(experiment_levels());
+    let mut sys = System::new(cfg);
+    sys.run_workload_with_warmup(workload, warmup_records(), n)
+}
+
+/// Geometric mean of a slice of positive numbers.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or contains non-positive values.
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geomean of empty slice");
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geomean requires positive values");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// A table of per-workload values for several named series, printed in the
+/// paper's figure layout (one row per workload, one column per series, plus
+/// a geometric-mean row).
+#[derive(Debug, Default, Clone)]
+pub struct FigureTable {
+    series: Vec<String>,
+    rows: BTreeMap<String, Vec<f64>>,
+    row_order: Vec<String>,
+}
+
+impl FigureTable {
+    /// Creates a table with the given series (column) names.
+    pub fn new(series: &[&str]) -> Self {
+        FigureTable {
+            series: series.iter().map(|s| s.to_string()).collect(),
+            rows: BTreeMap::new(),
+            row_order: Vec::new(),
+        }
+    }
+
+    /// Adds one workload row; `values` must align with the series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the series count.
+    pub fn add_row(&mut self, workload: &str, values: Vec<f64>) {
+        assert_eq!(values.len(), self.series.len(), "row arity mismatch");
+        if !self.rows.contains_key(workload) {
+            self.row_order.push(workload.to_string());
+        }
+        self.rows.insert(workload.to_string(), values);
+    }
+
+    /// Per-series geometric means across rows.
+    pub fn geomeans(&self) -> Vec<f64> {
+        (0..self.series.len())
+            .map(|i| {
+                let col: Vec<f64> = self.row_order.iter().map(|w| self.rows[w][i]).collect();
+                geomean(&col)
+            })
+            .collect()
+    }
+
+    /// Renders the table with a `gmean` footer row.
+    pub fn render(&self, title: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("\n== {title} ==\n"));
+        out.push_str(&format!("{:<16}", "workload"));
+        for s in &self.series {
+            out.push_str(&format!("{s:>16}"));
+        }
+        out.push('\n');
+        for w in &self.row_order {
+            out.push_str(&format!("{w:<16}"));
+            for v in &self.rows[w] {
+                out.push_str(&format!("{v:>16.4}"));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("{:<16}", "gmean"));
+        for g in self.geomeans() {
+            out.push_str(&format!("{g:>16.4}"));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Series names.
+    pub fn series(&self) -> &[String] {
+        &self.series
+    }
+
+    /// Looks up one cell.
+    pub fn get(&self, workload: &str, series: &str) -> Option<f64> {
+        let i = self.series.iter().position(|s| s == series)?;
+        self.rows.get(workload).map(|r| r[i])
+    }
+}
+
+/// Writes a JSON value to `results/<name>.json`, creating the directory.
+///
+/// # Panics
+///
+/// Panics on I/O errors — experiment binaries want loud failures.
+pub fn write_results_json(name: &str, value: &serde_json::Value) {
+    std::fs::create_dir_all("results").expect("create results dir");
+    let path = format!("results/{name}.json");
+    let mut f = std::fs::File::create(&path).expect("create results file");
+    f.write_all(serde_json::to_string_pretty(value).expect("serialize").as_bytes())
+        .expect("write results");
+    println!("[saved {path}]");
+}
+
+/// The paper's Table 3 header, printed by each binary for context.
+pub fn print_config_banner(what: &str) {
+    println!("PS-ORAM reproduction — {what}");
+    println!(
+        "config: in-order core 3.2GHz | L1 32KB/2-way | L2 1MB/8-way | \
+         Z=4, L={} (paper: 23), stash 200, C_tPos 96 | PCM 400MHz \
+         48/60/4/3/1/2 | records/workload={}",
+        experiment_levels(),
+        records_per_workload()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        geomean(&[0.0, 1.0]);
+    }
+
+    #[test]
+    fn figure_table_render_and_gmean() {
+        let mut t = FigureTable::new(&["a", "b"]);
+        t.add_row("w1", vec![1.0, 2.0]);
+        t.add_row("w2", vec![4.0, 8.0]);
+        let g = t.geomeans();
+        assert!((g[0] - 2.0).abs() < 1e-12);
+        assert!((g[1] - 4.0).abs() < 1e-12);
+        let s = t.render("test");
+        assert!(s.contains("w1"));
+        assert!(s.contains("gmean"));
+        assert_eq!(t.get("w1", "b"), Some(2.0));
+        assert_eq!(t.get("w1", "c"), None);
+    }
+
+    #[test]
+    fn experiment_config_honours_levels() {
+        let cfg = experiment_config(ProtocolVariant::PsOram, 2);
+        assert_eq!(cfg.oram.levels, experiment_levels());
+        assert_eq!(cfg.nvm.channels, 2);
+    }
+}

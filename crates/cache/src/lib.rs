@@ -1,0 +1,32 @@
+//! # psoram-cache
+//!
+//! Set-associative write-back cache models for the PS-ORAM full-system
+//! simulator: a generic LRU [`Cache`] and the paper's two-level
+//! [`Hierarchy`] (32 KB 2-way L1 I/D, 1 MB 8-way shared L2 — Table 3).
+//!
+//! The hierarchy returns, for each CPU access, the on-chip latency plus the
+//! list of memory-side operations (line fill, dirty writeback) that the LLC
+//! miss generates; the system simulator forwards those to the ORAM
+//! controller.
+//!
+//! # Examples
+//!
+//! ```
+//! use psoram_cache::{Hierarchy, HierarchyConfig};
+//!
+//! let mut h = Hierarchy::new(HierarchyConfig::paper_default());
+//! let first = h.access(0x1000, false);
+//! assert_eq!(first.memory_ops.len(), 1); // cold miss: one line fill
+//! let second = h.access(0x1000, false);
+//! assert!(second.memory_ops.is_empty()); // now an L1 hit
+//! assert!(second.latency_cycles < first.latency_cycles);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod hierarchy;
+
+pub use cache::{Cache, CacheConfig, CacheStats, Eviction};
+pub use hierarchy::{Hierarchy, HierarchyConfig, HierarchyResult, HierarchyStats, HitLevel, MemOp};

@@ -1,0 +1,100 @@
+//! Property-based tests for the cache model.
+
+use proptest::prelude::*;
+
+use psoram_cache::{Cache, CacheConfig, Hierarchy, HierarchyConfig, MemOp};
+
+fn tiny_config() -> CacheConfig {
+    CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 64, access_cycles: 1 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// An access immediately after a fill always hits.
+    #[test]
+    fn fill_then_hit(addrs in prop::collection::vec(0u64..(1 << 16), 1..100)) {
+        let mut c = Cache::new(tiny_config());
+        for &a in &addrs {
+            if !c.access(a, false) {
+                c.fill(a, false);
+            }
+            prop_assert!(c.access(a, false), "just-filled line must hit: {a:#x}");
+        }
+    }
+
+    /// Resident lines never exceed capacity (conservation under eviction).
+    #[test]
+    fn capacity_respected(addrs in prop::collection::vec(0u64..(1 << 20), 1..200)) {
+        let cfg = tiny_config();
+        let mut c = Cache::new(cfg);
+        let mut resident = std::collections::HashSet::new();
+        for &a in &addrs {
+            let line = a / 64 * 64;
+            if !c.access(a, false) {
+                if let Some(ev) = c.fill(a, false) {
+                    resident.remove(&ev.addr);
+                }
+                resident.insert(line);
+            }
+        }
+        prop_assert!(resident.len() <= 16, "more lines than capacity: {}", resident.len());
+        // Every line we believe resident actually is.
+        for &l in &resident {
+            prop_assert!(c.contains(l), "bookkeeping mismatch at {l:#x}");
+        }
+    }
+
+    /// Dirty data is never silently dropped: every dirty line leaving the
+    /// hierarchy appears as a memory write.
+    #[test]
+    fn dirty_writeback_conservation(
+        addrs in prop::collection::vec(0u64..(1 << 14), 1..300),
+    ) {
+        let mut h = Hierarchy::new(HierarchyConfig {
+            l1d: CacheConfig { size_bytes: 256, ways: 2, line_bytes: 64, access_cycles: 1 },
+            l2: CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64, access_cycles: 10 },
+        });
+        let mut dirtied = std::collections::HashSet::new();
+        let mut written_back = std::collections::HashSet::new();
+        for &a in &addrs {
+            let line = a / 64 * 64;
+            let r = h.access(a, true);
+            dirtied.insert(line);
+            for op in &r.memory_ops {
+                if let MemOp::Write(w) = op {
+                    written_back.insert(*w);
+                    // Memory writes only ever carry lines we dirtied.
+                    prop_assert!(dirtied.contains(w), "phantom writeback {w:#x}");
+                }
+            }
+        }
+    }
+
+    /// The fill read of a miss always targets the missing line itself.
+    #[test]
+    fn miss_reads_its_own_line(addrs in prop::collection::vec(0u64..(1 << 20), 1..100)) {
+        let mut h = Hierarchy::new(HierarchyConfig::paper_default());
+        for &a in &addrs {
+            let r = h.access(a, false);
+            if let Some(MemOp::Read(line)) = r.memory_ops.first() {
+                prop_assert_eq!(*line, a / 64 * 64);
+            }
+        }
+    }
+
+    /// Hierarchy counters are consistent: hits + misses == accesses per
+    /// level, and LLC misses never exceed L1 misses.
+    #[test]
+    fn counters_consistent(ops in prop::collection::vec((0u64..(1 << 16), any::<bool>()), 1..200)) {
+        let mut h = Hierarchy::new(HierarchyConfig::paper_default());
+        for (a, w) in &ops {
+            h.access(*a, *w);
+        }
+        let s = h.stats();
+        prop_assert_eq!(s.accesses, ops.len() as u64);
+        prop_assert_eq!(s.l1d.accesses(), ops.len() as u64);
+        prop_assert!(s.llc_misses <= s.l1d.misses);
+        prop_assert!(s.l2.accesses() >= s.l1d.misses); // includes L1 writebacks
+    }
+}

@@ -1,0 +1,317 @@
+//! A fully functional recursive position map: real nested Path ORAMs
+//! storing PosMap entries (paper §4.4, following Freecursive ORAM).
+//!
+//! The timing/traffic side of recursion lives in [`crate::RecursivePosMap`]
+//! (geometry, PLB, NVM address streams); the controller's mapping truth is
+//! an overlay [`crate::PosMap`] (DESIGN.md §5a.4). This module provides the
+//! missing third leg: a *functional* chain of position-map ORAMs, where
+//! each level's blocks physically hold the leaf labels of the level below
+//! and every access performs the Freecursive top-down read-modify-write
+//! walk. Differential tests validate that the chain stores and retrieves
+//! mappings exactly like a flat table, closing the fidelity argument for
+//! the decoupled design.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// PosMap entries per 64 B block (4 B labels).
+pub const CHAIN_ENTRIES_PER_BLOCK: u64 = 16;
+
+/// A functional (untimed) Path ORAM storing fixed-arity entry blocks.
+///
+/// Blocks are identified by their index; payloads are `ENTRIES_PER_BLOCK`
+/// labels. The caller supplies each accessed block's current leaf (from the
+/// level above) and its freshly drawn new leaf, exactly like hardware.
+#[derive(Debug, Clone)]
+struct MiniOram {
+    levels: u32,
+    z: usize,
+    /// bucket index -> resident blocks `(block_idx, current_leaf, entries)`.
+    buckets: HashMap<u64, Vec<(u64, u64, Vec<u64>)>>,
+    stash: Vec<(u64, u64, Vec<u64>)>,
+    max_stash: usize,
+}
+
+impl MiniOram {
+    fn new(levels: u32, z: usize) -> Self {
+        MiniOram { levels, z, buckets: HashMap::new(), stash: Vec::new(), max_stash: 0 }
+    }
+
+    fn num_leaves(&self) -> u64 {
+        1 << self.levels
+    }
+
+    fn path(&self, leaf: u64) -> Vec<u64> {
+        (0..=self.levels).map(|d| (1u64 << d) - 1 + (leaf >> (self.levels - d))).collect()
+    }
+
+    fn common_depth(&self, a: u64, b: u64) -> u32 {
+        let diff = a ^ b;
+        if diff == 0 {
+            self.levels
+        } else {
+            self.levels - (64 - diff.leading_zeros())
+        }
+    }
+
+    /// Fetches block `idx` from the path to `leaf` (or materializes it with
+    /// `default` entries), remaps it to `new_leaf`, lets `edit` mutate its
+    /// entries, and evicts the path. This is one recursion step of a
+    /// Freecursive walk.
+    fn access(
+        &mut self,
+        idx: u64,
+        leaf: u64,
+        new_leaf: u64,
+        default: u64,
+        edit: impl FnOnce(&mut Vec<u64>) -> u64,
+    ) -> u64 {
+        // Fetch the whole path into the stash.
+        let path = self.path(leaf);
+        for b in &path {
+            if let Some(blocks) = self.buckets.get_mut(b) {
+                self.stash.append(blocks);
+            }
+        }
+        // Find or create the target block.
+        let pos = self.stash.iter().position(|(i, _, _)| *i == idx);
+        let mut block = match pos {
+            Some(p) => self.stash.swap_remove(p),
+            None => (idx, new_leaf, vec![default; CHAIN_ENTRIES_PER_BLOCK as usize]),
+        };
+        block.1 = new_leaf;
+        let result = edit(&mut block.2);
+        self.stash.push(block);
+        self.max_stash = self.max_stash.max(self.stash.len());
+
+        // Greedy deepest-first eviction onto the fetched path.
+        let mut remaining = std::mem::take(&mut self.stash);
+        remaining.sort_by_key(|(_, l, _)| std::cmp::Reverse(self.common_depth(*l, leaf)));
+        for item in remaining {
+            let max_d = self.common_depth(item.1, leaf) as usize;
+            let mut placed = false;
+            for d in (0..=max_d).rev() {
+                let bucket = self.buckets.entry(path[d]).or_default();
+                if bucket.len() < self.z {
+                    bucket.push(item.clone());
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                self.stash.push(item);
+            }
+        }
+        result
+    }
+}
+
+/// A functional recursive position map (Freecursive-style chain).
+///
+/// # Examples
+///
+/// ```
+/// use psoram_core::chain::FunctionalRecursiveMap;
+///
+/// let mut map = FunctionalRecursiveMap::new(1 << 14, 1 << 12, 9);
+/// assert!(map.num_levels() >= 1);
+/// let old = map.update(42, 1234);
+/// assert_eq!(old, 0, "entries start unassigned");
+/// assert_eq!(map.update(42, 99), 1234, "previous label returned");
+/// ```
+#[derive(Debug)]
+pub struct FunctionalRecursiveMap {
+    /// `orams[0]` stores data-block labels; `orams[k]` stores the leaves of
+    /// `orams[k-1]`'s blocks.
+    orams: Vec<MiniOram>,
+    /// On-chip top map: leaves of the outermost level's blocks.
+    top: Vec<u64>,
+    rng: StdRng,
+    accesses: u64,
+}
+
+impl FunctionalRecursiveMap {
+    /// Builds a chain covering `entries` data blocks, recursing until a
+    /// level fits within `onchip_entries`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` or `onchip_entries` is zero.
+    pub fn new(entries: u64, onchip_entries: u64, seed: u64) -> Self {
+        assert!(entries > 0 && onchip_entries > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut orams = Vec::new();
+        let mut n = entries;
+        while n > onchip_entries {
+            let blocks = n.div_ceil(CHAIN_ENTRIES_PER_BLOCK);
+            // 50% utilization: pick the smallest height whose slot count
+            // covers twice the block count.
+            let mut levels = 1u32;
+            while ((1u64 << (levels + 1)) - 1) * 4 < blocks * 2 {
+                levels += 1;
+            }
+            orams.push(MiniOram::new(levels, 4));
+            n = blocks;
+        }
+        let top_blocks = n as usize;
+        let top: Vec<u64> = (0..top_blocks)
+            .map(|_| {
+                if let Some(o) = orams.last() {
+                    rng.gen_range(0..o.num_leaves())
+                } else {
+                    0
+                }
+            })
+            .collect();
+        FunctionalRecursiveMap { orams, top, rng, accesses: 0 }
+    }
+
+    /// Number of ORAM levels in the chain (0 = everything fits on chip).
+    pub fn num_levels(&self) -> usize {
+        self.orams.len()
+    }
+
+    /// Updates the label of data block `addr` to `new_label`, returning the
+    /// previous label (0 for never-assigned) — one full Freecursive
+    /// top-down read-modify-write walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` exceeds the covered range.
+    pub fn update(&mut self, addr: u64, new_label: u64) -> u64 {
+        self.accesses += 1;
+        if self.orams.is_empty() {
+            let slot = addr as usize;
+            assert!(slot < self.top.len() * CHAIN_ENTRIES_PER_BLOCK as usize);
+            // Degenerate: the "top map" is the whole map (one label per
+            // entry, stored 16-per-row for uniformity).
+            let old = self.top[slot];
+            self.top[slot] = new_label;
+            return old;
+        }
+
+        // Walk from the outermost (smallest) level down to level 0. At
+        // level k the block index is addr / 16^(k+1).
+        let k_top = self.orams.len() - 1;
+        let top_idx = (addr / CHAIN_ENTRIES_PER_BLOCK.pow(k_top as u32 + 1)) as usize;
+        assert!(top_idx < self.top.len(), "address beyond covered range");
+
+        // The top map directly holds the leaf of the outermost block.
+        let mut child_leaf = self.top[top_idx];
+        let mut child_new_leaf = self.rng.gen_range(0..self.orams[k_top].num_leaves());
+        self.top[top_idx] = child_new_leaf;
+
+        for k in (0..=k_top).rev() {
+            let block_idx = addr / CHAIN_ENTRIES_PER_BLOCK.pow(k as u32 + 1);
+            let entry = ((addr / CHAIN_ENTRIES_PER_BLOCK.pow(k as u32))
+                % CHAIN_ENTRIES_PER_BLOCK) as usize;
+            // What we write into this block's entry: for k > 0 it is the
+            // next level's block's new leaf; for k == 0 the data label.
+            let (write_value, grandchild_new_leaf) = if k == 0 {
+                (new_label, 0)
+            } else {
+                let nl = self.rng.gen_range(0..self.orams[k - 1].num_leaves());
+                (nl, nl)
+            };
+            let old = self.orams[k].access(
+                block_idx,
+                child_leaf,
+                child_new_leaf,
+                0,
+                |entries| {
+                    let old = entries[entry];
+                    entries[entry] = write_value;
+                    old
+                },
+            );
+            if k == 0 {
+                return old;
+            }
+            // The next block's current leaf. A zero entry means the child
+            // was never written: it exists nowhere, so any fetch path is
+            // valid — draw a random one rather than hammering path 0
+            // during cold start (which needlessly floods the stash).
+            child_leaf = if old == 0 {
+                self.rng.gen_range(0..self.orams[k - 1].num_leaves())
+            } else {
+                old
+            };
+            child_new_leaf = grandchild_new_leaf;
+        }
+        unreachable!("loop returns at level 0");
+    }
+
+    /// High-water mark of any level's stash (sanity probe).
+    pub fn max_stash(&self) -> usize {
+        self.orams.iter().map(|o| o.max_stash).max().unwrap_or(0)
+    }
+
+    /// Total accesses performed.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_expected_depth() {
+        // 2^20 entries / 16 = 2^16 blocks -> still > 4096 -> 2^12 blocks.
+        let m = FunctionalRecursiveMap::new(1 << 20, 4096, 1);
+        assert_eq!(m.num_levels(), 2);
+        let m1 = FunctionalRecursiveMap::new(1 << 14, 4096, 1);
+        assert_eq!(m1.num_levels(), 1);
+        let m0 = FunctionalRecursiveMap::new(1 << 10, 4096, 1);
+        assert_eq!(m0.num_levels(), 0);
+    }
+
+    #[test]
+    fn stores_and_returns_previous_labels() {
+        let mut m = FunctionalRecursiveMap::new(1 << 14, 1 << 10, 7);
+        assert_eq!(m.update(100, 7), 0);
+        assert_eq!(m.update(100, 9), 7);
+        assert_eq!(m.update(100, 11), 9);
+        // A different address in the same block is independent.
+        assert_eq!(m.update(101, 5), 0);
+        assert_eq!(m.update(100, 1), 11);
+    }
+
+    #[test]
+    fn differential_against_flat_table() {
+        use rand::Rng;
+        let mut m = FunctionalRecursiveMap::new(1 << 16, 1 << 10, 13);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..4000 {
+            let addr = rng.gen_range(0..(1u64 << 16));
+            let label = rng.gen_range(1..1_000_000u64);
+            let expected = model.insert(addr, label).unwrap_or(0);
+            let got = m.update(addr, label);
+            assert_eq!(got, expected, "addr {addr} through the chain");
+        }
+        assert!(m.max_stash() < 200, "chain stash ran to {}", m.max_stash());
+    }
+
+    #[test]
+    fn degenerate_chain_is_a_flat_table() {
+        let mut m = FunctionalRecursiveMap::new(256, 4096, 3);
+        assert_eq!(m.num_levels(), 0);
+        assert_eq!(m.update(5, 42), 0);
+        assert_eq!(m.update(5, 43), 42);
+    }
+
+    #[test]
+    fn neighbouring_addresses_share_level0_blocks_but_not_entries() {
+        let mut m = FunctionalRecursiveMap::new(1 << 14, 1 << 10, 5);
+        for a in 0..16u64 {
+            assert_eq!(m.update(a, 100 + a), 0);
+        }
+        for a in 0..16u64 {
+            assert_eq!(m.update(a, 200 + a), 100 + a);
+        }
+    }
+}

@@ -1,0 +1,1354 @@
+//! The ORAM controller: Path ORAM access protocol, the PS-ORAM
+//! crash-consistent variants, crash injection and recovery.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use psoram_crypto::{Aes128, CryptoLatencyModel, CtrCipher};
+use psoram_nvm::{
+    AccessKind, MemTech, NvmConfig, NvmController, OnChipNvmModel, PersistenceDomain, WpqEntry,
+    CORE_CYCLES_PER_MEM_CYCLE,
+};
+
+use crate::block::Block;
+use crate::bucket::Bucket;
+use crate::crash::{CrashPoint, CrashReport};
+use crate::eviction::{order_for_small_wpq, plan_eviction, SlotWrite};
+use crate::integrity::IntegrityTree;
+use crate::posmap::{PosMap, TempPosMap};
+use crate::recursive::RecursivePosMap;
+use crate::security::AccessRecorder;
+use crate::stash::Stash;
+use crate::stats::OramStats;
+use crate::tree::OramTree;
+use crate::types::{BlockAddr, Leaf, OramConfig, OramError};
+
+/// The persistent-ORAM protocol variants evaluated in the paper (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtocolVariant {
+    /// Path ORAM on NVM without any crash-consistency support.
+    Baseline,
+    /// On-chip stash and PosMap built from PCM cells; persistent but not
+    /// atomic.
+    FullNvm,
+    /// `FullNVM` with STT-RAM on-chip buffers.
+    FullNvmStt,
+    /// PS-ORAM persisting *all* `Z·(L+1)` PosMap entries per access.
+    NaivePsOram,
+    /// The paper's contribution: backup blocks + dirty-entry-only flushes
+    /// through atomic WPQ rounds.
+    PsOram,
+    /// Recursive Path ORAM (PosMap in untrusted NVM) without stash
+    /// persistence.
+    RcrBaseline,
+    /// Recursive PS-ORAM: recursive PosMap plus PS-ORAM data persistence.
+    RcrPsOram,
+}
+
+impl ProtocolVariant {
+    /// All seven variants, in the paper's presentation order.
+    pub fn all() -> [ProtocolVariant; 7] {
+        [
+            ProtocolVariant::Baseline,
+            ProtocolVariant::FullNvm,
+            ProtocolVariant::FullNvmStt,
+            ProtocolVariant::NaivePsOram,
+            ProtocolVariant::PsOram,
+            ProtocolVariant::RcrBaseline,
+            ProtocolVariant::RcrPsOram,
+        ]
+    }
+
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtocolVariant::Baseline => "Baseline",
+            ProtocolVariant::FullNvm => "FullNVM",
+            ProtocolVariant::FullNvmStt => "FullNVM(STT)",
+            ProtocolVariant::NaivePsOram => "Naive-PS-ORAM",
+            ProtocolVariant::PsOram => "PS-ORAM",
+            ProtocolVariant::RcrBaseline => "Rcr-Baseline",
+            ProtocolVariant::RcrPsOram => "Rcr-PS-ORAM",
+        }
+    }
+
+    /// `true` for the recursive-PosMap variants.
+    pub fn is_recursive(self) -> bool {
+        matches!(self, ProtocolVariant::RcrBaseline | ProtocolVariant::RcrPsOram)
+    }
+
+    /// `true` for variants that evict through the WPQ persistence domain
+    /// (and therefore use the temporary PosMap and backup blocks).
+    pub fn uses_wpq(self) -> bool {
+        matches!(
+            self,
+            ProtocolVariant::NaivePsOram | ProtocolVariant::PsOram | ProtocolVariant::RcrPsOram
+        )
+    }
+
+    /// On-chip buffer technology for the stash/PosMap, if not SRAM.
+    pub fn onchip_tech(self) -> Option<MemTech> {
+        match self {
+            ProtocolVariant::FullNvm => Some(MemTech::Pcm),
+            ProtocolVariant::FullNvmStt => Some(MemTech::SttRam),
+            _ => None,
+        }
+    }
+
+    /// `true` when the stash itself survives a power failure.
+    pub fn stash_durable(self) -> bool {
+        self.onchip_tech().is_some()
+    }
+
+    /// Whether the design is expected to recover consistently from a crash
+    /// at *any* point (the paper's claim for the PS-ORAM family).
+    pub fn is_crash_consistent(self) -> bool {
+        self.uses_wpq()
+    }
+}
+
+impl std::fmt::Display for ProtocolVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Kind of a program-level ORAM request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Read the block's current value.
+    Read,
+    /// Overwrite the block's value.
+    Write,
+}
+
+/// Outcome of one ORAM access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// The block's value (pre-existing for reads, the new value for writes).
+    pub value: Vec<u8>,
+    /// Core cycle at which the value is available to the processor.
+    pub complete_cycle: u64,
+    /// Core cycle at which the eviction write-back fully reaches the NVM.
+    pub eviction_complete_cycle: u64,
+}
+
+/// A posmap entry queued in the PosMap WPQ.
+type PosMapFlush = (BlockAddr, Leaf);
+
+/// A crash-consistent (or deliberately not) Path ORAM controller over a
+/// simulated NVM.
+///
+/// One controller owns the full stack below the LLC: the ORAM tree in NVM,
+/// the stash, the (temporary) PosMaps, the persistence domain, and the
+/// encryption engine. The [`ProtocolVariant`] selects which of the paper's
+/// designs the controller implements.
+///
+/// # Examples
+///
+/// ```
+/// use psoram_core::{BlockAddr, OramConfig, PathOram, ProtocolVariant};
+///
+/// let mut oram = PathOram::new(OramConfig::small_test(), ProtocolVariant::PsOram, 7);
+/// oram.write(BlockAddr(3), vec![0xAB; 8]).unwrap();
+/// assert_eq!(oram.read(BlockAddr(3)).unwrap(), vec![0xAB; 8]);
+/// ```
+#[derive(Debug)]
+pub struct PathOram {
+    config: OramConfig,
+    variant: ProtocolVariant,
+    nvm: NvmController,
+    tree: OramTree,
+    stash: Stash,
+    posmap: PosMap,
+    temp: TempPosMap,
+    domain: PersistenceDomain<SlotWrite, PosMapFlush>,
+    recursion: Option<RecursivePosMap>,
+    cipher: CtrCipher,
+    crypto_lat: CryptoLatencyModel,
+    onchip: OnChipNvmModel,
+    onchip_parallelism: u64,
+    posmap_base: u64,
+    /// Base of the reserved NVM stash-snapshot region (Rcr-PS-ORAM).
+    stash_region_base: u64,
+    /// Core cycles the controller frontend (decrypt/verify/stash port)
+    /// needs per 64 B block. Provisioned for single-channel bandwidth
+    /// (8 memory cycles/block), it becomes the bottleneck as channels are
+    /// added — the paper's sub-linear channel scaling (§5.2.3).
+    frontend_cycles_per_block: u64,
+    /// Core cycle until which the frontend pipeline is busy.
+    frontend_free: u64,
+    /// Levels `0..top_cache_levels` of the tree are mirrored in a fast
+    /// volatile buffer (DRAM/on-chip), the paper's §4.5 hybrid-memory
+    /// direction: path reads skip the NVM for those buckets, while writes
+    /// stay write-through so crash consistency is untouched.
+    top_cache_levels: u32,
+    /// Optional Merkle protection over the data tree (Triad-NVM-style
+    /// substrate the paper assumes); root updates ride the eviction
+    /// commits, so they stay crash consistent.
+    integrity: Option<IntegrityTree>,
+    /// Path whose digests must be refreshed once the in-flight eviction's
+    /// writes have (partially, on a crash) reached the NVM.
+    pending_integrity_path: Option<Leaf>,
+    rng: StdRng,
+    clock: u64,
+    stats: OramStats,
+    /// Last value written by the program, per address.
+    written_ledger: HashMap<u64, Vec<u8>>,
+    /// Last value committed durably (recoverable after a crash), keyed by
+    /// freshness counter so out-of-order batch commits cannot regress it.
+    committed_ledger: HashMap<u64, (u64, Vec<u8>)>,
+    touched: HashSet<u64>,
+    crash_plan: Option<CrashPoint>,
+    crashed: bool,
+    recorder: Option<AccessRecorder>,
+    encrypt_payloads: bool,
+    iv: u64,
+    /// Monotonic per-block freshness source (see [`BlockHeader::seq`]).
+    seq_counter: u64,
+}
+
+impl PathOram {
+    /// Creates a controller with a single-channel paper-default PCM memory.
+    pub fn new(config: OramConfig, variant: ProtocolVariant, seed: u64) -> Self {
+        Self::with_nvm(config, variant, NvmConfig::paper_pcm(1), seed)
+    }
+
+    /// Creates a controller over an explicit NVM configuration (e.g. the
+    /// multi-channel systems of Figure 7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`OramConfig::validate`].
+    pub fn with_nvm(
+        config: OramConfig,
+        variant: ProtocolVariant,
+        nvm_config: NvmConfig,
+        seed: u64,
+    ) -> Self {
+        config.validate();
+        let tree = OramTree::new(&config);
+        let posmap_base = tree.region_bytes().next_multiple_of(1 << 20);
+        let entry_region = config.capacity_blocks() * 8;
+        let recursion_base = (posmap_base + entry_region).next_multiple_of(1 << 20);
+        let recursion = if variant.is_recursive() {
+            Some(RecursivePosMap::new(&config, recursion_base, 128, seed ^ 0x5EC0))
+        } else {
+            None
+        };
+        let recursion_end =
+            recursion_base + recursion.as_ref().map_or(0, RecursivePosMap::region_bytes);
+        let stash_region_base = recursion_end.next_multiple_of(1 << 20);
+        let onchip = variant
+            .onchip_tech()
+            .map(OnChipNvmModel::for_tech)
+            .unwrap_or_else(OnChipNvmModel::sram);
+        let key: [u8; 16] = {
+            let mut k = [0u8; 16];
+            k[..8].copy_from_slice(&seed.to_le_bytes());
+            k[8..].copy_from_slice(&(!seed).to_le_bytes());
+            k
+        };
+        PathOram {
+            stash: Stash::new(config.stash_capacity),
+            posmap: PosMap::new(config.num_leaves(), seed ^ 0xFACE),
+            temp: TempPosMap::new(config.temp_posmap_capacity),
+            domain: PersistenceDomain::new(config.data_wpq_capacity, config.posmap_wpq_capacity),
+            recursion,
+            cipher: CtrCipher::new(Aes128::new(&key)),
+            crypto_lat: CryptoLatencyModel::paper_default(),
+            onchip,
+            // Effective parallelism of the on-chip NVM buffer array
+            // (FullNVM designs); calibrated against Figure 5(a).
+            onchip_parallelism: 5,
+            posmap_base,
+            stash_region_base,
+            // One block per 8 memory cycles — the frontend is provisioned
+            // for a single channel's burst bandwidth, which is what makes
+            // 2->4 channel scaling saturate (Figure 7, §5.2.3).
+            frontend_cycles_per_block: 8 * CORE_CYCLES_PER_MEM_CYCLE,
+            frontend_free: 0,
+            top_cache_levels: 0,
+            integrity: None,
+            pending_integrity_path: None,
+            rng: StdRng::seed_from_u64(seed),
+            clock: 0,
+            stats: OramStats::default(),
+            written_ledger: HashMap::new(),
+            committed_ledger: HashMap::new(),
+            touched: HashSet::new(),
+            crash_plan: None,
+            crashed: false,
+            recorder: None,
+            encrypt_payloads: true,
+            iv: 0,
+            seq_counter: 0,
+            nvm: NvmController::new(nvm_config),
+            tree,
+            config,
+            variant,
+        }
+    }
+
+    /// The protocol variant this controller implements.
+    pub fn variant(&self) -> ProtocolVariant {
+        self.variant
+    }
+
+    /// The ORAM geometry.
+    pub fn config(&self) -> &OramConfig {
+        &self.config
+    }
+
+    /// Controller statistics.
+    pub fn stats(&self) -> &OramStats {
+        &self.stats
+    }
+
+    /// NVM traffic statistics.
+    pub fn nvm_stats(&self) -> psoram_nvm::NvmStats {
+        *self.nvm.stats()
+    }
+
+    /// The underlying NVM controller (timing state, wear map, ...).
+    pub fn nvm(&self) -> &NvmController {
+        &self.nvm
+    }
+
+    /// `true` if a primary copy of `addr` currently sits in the stash.
+    pub fn stash_contains(&self, addr: BlockAddr) -> bool {
+        self.stash.contains(addr)
+    }
+
+    /// Current stash occupancy (including backups).
+    pub fn stash_len(&self) -> usize {
+        self.stash.len()
+    }
+
+    /// High-water mark of stash occupancy.
+    pub fn stash_max_occupancy(&self) -> usize {
+        self.stash.max_occupancy()
+    }
+
+    /// The controller's core-cycle clock (advanced by `read`/`write`).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Enables/disables functional payload encryption (timing is charged
+    /// either way). On by default; large sweeps may disable it to trade
+    /// fidelity for speed.
+    pub fn set_payload_encryption(&mut self, on: bool) {
+        self.encrypt_payloads = on;
+    }
+
+    /// Overrides the controller-frontend throughput (core cycles per 64 B
+    /// block); used by ablation studies. See the field documentation for
+    /// the calibrated default.
+    pub fn set_frontend_cycles_per_block(&mut self, cycles: u64) {
+        self.frontend_cycles_per_block = cycles;
+    }
+
+    /// Mirrors the top `levels` of the tree in a fast volatile buffer
+    /// (hybrid DRAM+NVM, the paper's §4.5 future work): path reads skip
+    /// the NVM for those buckets; writes remain write-through, so crash
+    /// consistency is preserved and a power failure merely cools the
+    /// cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` exceeds the tree height.
+    pub fn set_top_cache_levels(&mut self, levels: u32) {
+        assert!(levels <= self.config.levels + 1, "cache cannot exceed the tree");
+        self.top_cache_levels = levels;
+    }
+
+    /// Enables Merkle integrity protection over the data tree (the
+    /// Triad-NVM/SuperMem-style substrate the paper assumes): every path
+    /// read is verified against a root held in the persistence domain, and
+    /// root updates commit together with the eviction writes.
+    pub fn enable_integrity(&mut self) {
+        let default = self.bucket_digest(&Bucket::new(self.config.bucket_slots));
+        let mut tree = IntegrityTree::new(self.config.levels, default);
+        // Fold in whatever already exists (enabling mid-run is allowed).
+        let updates: Vec<(u64, psoram_crypto::Digest)> = (0..self.tree.num_buckets())
+            .filter(|&i| !self.tree.bucket(i).is_empty())
+            .map(|i| (i, self.bucket_digest(&self.tree.bucket(i))))
+            .collect();
+        tree.update_buckets(&updates);
+        self.integrity = Some(tree);
+    }
+
+    /// `true` when integrity protection is active.
+    pub fn integrity_enabled(&self) -> bool {
+        self.integrity.is_some()
+    }
+
+    /// Canonical byte encoding of a bucket for hashing.
+    fn bucket_digest(&self, bucket: &Bucket) -> psoram_crypto::Digest {
+        let mut bytes = Vec::with_capacity(self.config.bucket_slots * 40);
+        for slot in 0..bucket.num_slots() {
+            match bucket.slot(slot) {
+                Some(b) => {
+                    bytes.push(1);
+                    bytes.extend_from_slice(&b.header.addr.0.to_le_bytes());
+                    bytes.extend_from_slice(&b.header.leaf.0.to_le_bytes());
+                    bytes.extend_from_slice(&b.header.seq.to_le_bytes());
+                    bytes.extend_from_slice(&b.header.iv2.to_le_bytes());
+                    bytes.extend_from_slice(&b.payload);
+                }
+                None => bytes.push(0),
+            }
+        }
+        psoram_crypto::Hash128::new().digest(&bytes)
+    }
+
+    /// Recomputes and installs the digests of every bucket on `leaf`'s
+    /// path from the current NVM state (post-commit refresh).
+    fn refresh_integrity_path(&mut self, leaf: Leaf) {
+        if self.integrity.is_none() {
+            return;
+        }
+        let updates: Vec<(u64, psoram_crypto::Digest)> = self
+            .tree
+            .path_indices(leaf)
+            .into_iter()
+            .map(|idx| (idx, self.bucket_digest(&self.tree.bucket(idx))))
+            .collect();
+        self.integrity.as_mut().expect("checked above").update_buckets(&updates);
+    }
+
+    /// Test/attack hook: corrupts one byte of the first real block found on
+    /// `leaf`'s path in the NVM image, bypassing the controller. Returns
+    /// `true` if something was corrupted.
+    pub fn corrupt_path_for_testing(&mut self, leaf: Leaf) -> bool {
+        for idx in self.tree.path_indices(leaf) {
+            let bucket = self.tree.bucket(idx);
+            for slot in 0..bucket.num_slots() {
+                if let Some(b) = bucket.slot(slot) {
+                    let mut evil = b.clone();
+                    evil.payload[0] ^= 0xFF;
+                    self.tree.write_slot(idx, slot, Some(evil));
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Buffer bytes required by the configured top-of-tree cache.
+    pub fn top_cache_bytes(&self) -> u64 {
+        ((1u64 << self.top_cache_levels) - 1)
+            * self.config.bucket_slots as u64
+            * self.config.block_bytes as u64
+    }
+
+    /// Starts recording the observable access pattern for security analysis.
+    pub fn enable_recording(&mut self) {
+        self.recorder = Some(AccessRecorder::new());
+    }
+
+    /// Returns the recorded access pattern, if recording was enabled.
+    pub fn recorder(&self) -> Option<&AccessRecorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Arms a crash to fire at `point` during the next access.
+    pub fn inject_crash(&mut self, point: CrashPoint) {
+        self.crash_plan = Some(point);
+    }
+
+    /// Disarms a pending crash plan that has not fired (e.g. a
+    /// [`CrashPoint::DuringEviction`] index beyond the access's batch
+    /// count).
+    pub fn disarm_crash(&mut self) {
+        self.crash_plan = None;
+    }
+
+    /// `true` while the controller is in a crashed state.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Reads block `addr` at the controller's own clock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`OramError`] from [`PathOram::access_at`].
+    pub fn read(&mut self, addr: BlockAddr) -> Result<Vec<u8>, OramError> {
+        let arrival = self.clock;
+        let out = self.access_at(Op::Read, addr, None, arrival)?;
+        self.clock = out.complete_cycle;
+        Ok(out.value)
+    }
+
+    /// Writes `data` to block `addr` at the controller's own clock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`OramError`] from [`PathOram::access_at`].
+    pub fn write(&mut self, addr: BlockAddr, data: Vec<u8>) -> Result<(), OramError> {
+        let arrival = self.clock;
+        let out = self.access_at(Op::Write, addr, Some(data), arrival)?;
+        self.clock = out.complete_cycle;
+        Ok(())
+    }
+
+    fn to_mem(cycles: u64) -> u64 {
+        cycles / CORE_CYCLES_PER_MEM_CYCLE
+    }
+
+    fn to_core(mem: u64) -> u64 {
+        mem * CORE_CYCLES_PER_MEM_CYCLE
+    }
+
+    fn onchip_batch_cycles(&self, ops: u64, per_op: u64) -> u64 {
+        (ops * per_op).div_ceil(self.onchip_parallelism)
+    }
+
+    /// Streams `n_blocks` through the controller frontend pipeline starting
+    /// no earlier than core cycle `t`; returns the frontend drain cycle.
+    fn frontend_process(&mut self, n_blocks: u64, t: u64) -> u64 {
+        let done = t.max(self.frontend_free) + n_blocks * self.frontend_cycles_per_block;
+        self.frontend_free = done;
+        done
+    }
+
+    /// Current-view posmap lookup: temporary PosMap first (PS variants),
+    /// then the main map.
+    fn lookup(&self, addr: BlockAddr) -> Leaf {
+        self.temp.get(addr).unwrap_or_else(|| self.posmap.get(addr))
+    }
+
+    fn fresh_iv(&mut self) -> u64 {
+        self.iv += 1;
+        self.iv
+    }
+
+    fn encrypt_for_tree(&mut self, block: &mut Block) {
+        let iv = self.fresh_iv();
+        block.header.iv2 = iv;
+        if self.encrypt_payloads {
+            self.cipher.apply_keystream(iv as u128, &mut block.payload);
+        }
+    }
+
+    fn decrypt_from_tree(&self, block: &mut Block) {
+        if self.encrypt_payloads {
+            self.cipher.apply_keystream(block.header.iv2 as u128, &mut block.payload);
+        }
+    }
+
+    fn maybe_crash(&mut self, point: CrashPoint) -> Result<(), OramError> {
+        if self.crash_plan == Some(point) {
+            self.crash_plan = None;
+            self.execute_crash();
+            return Err(OramError::Crashed);
+        }
+        Ok(())
+    }
+
+    /// Performs one ORAM access arriving at core cycle `arrival`.
+    ///
+    /// # Errors
+    ///
+    /// * [`OramError::Crashed`] — an injected crash fired (call
+    ///   [`PathOram::recover`]).
+    /// * [`OramError::AddressOutOfRange`] / [`OramError::PayloadSize`] —
+    ///   invalid request.
+    /// * [`OramError::StashOverflow`] / [`OramError::TempPosMapOverflow`] —
+    ///   capacity exhaustion (statistically negligible at paper sizing).
+    pub fn access_at(
+        &mut self,
+        op: Op,
+        addr: BlockAddr,
+        data: Option<Vec<u8>>,
+        arrival: u64,
+    ) -> Result<AccessOutcome, OramError> {
+        if self.crashed {
+            return Err(OramError::Crashed);
+        }
+        if addr.0 >= self.config.capacity_blocks() {
+            return Err(OramError::AddressOutOfRange {
+                addr,
+                capacity: self.config.capacity_blocks(),
+            });
+        }
+        if let Some(d) = &data {
+            if d.len() != self.config.payload_bytes {
+                return Err(OramError::PayloadSize {
+                    expected: self.config.payload_bytes,
+                    got: d.len(),
+                });
+            }
+        }
+
+        self.stats.accesses += 1;
+        match op {
+            Op::Read => self.stats.reads += 1,
+            Op::Write => self.stats.writes += 1,
+        }
+        self.touched.insert(addr.0);
+
+        let mut t = arrival;
+
+        // ── Step ① Check stash ─────────────────────────────────────────
+        t += self.onchip.read_cycles; // one content-addressable lookup
+        self.stats.onchip_nvm_reads += u64::from(self.variant.onchip_tech().is_some());
+        let stash_hit = self.stash.contains(addr);
+        if stash_hit {
+            self.stats.stash_hits += 1;
+        }
+        self.maybe_crash(CrashPoint::AfterCheckStash)?;
+
+        // ── Step ② Access PosMap (+ backup label) ──────────────────────
+        let old_leaf = self.lookup(addr);
+        let new_leaf = Leaf(self.rng.gen_range(0..self.config.num_leaves()));
+        t = self.step2_update_posmap(addr, new_leaf, t)?;
+        self.maybe_crash(CrashPoint::AfterAccessPosMap)?;
+
+        // ── Step ③ Load path ───────────────────────────────────────────
+        let (mut live_old, t_after_read) = self.step3_load_path(addr, old_leaf, t)?;
+        t = t_after_read;
+        self.maybe_crash(CrashPoint::AfterLoadPath)?;
+
+        // ── Step ④ Update stash + backup data ──────────────────────────
+        self.seq_counter += 1;
+        let seq = self.seq_counter;
+        if self.stash.get(addr).is_none() {
+            // Fresh block, never written: materialize zeros.
+            let mut block = Block::new(addr, new_leaf, vec![0u8; self.config.payload_bytes]);
+            block.header.seq = seq;
+            self.stash.insert(block)?;
+        } else {
+            let primary = self.stash.get_mut(addr).expect("primary present");
+            primary.header.leaf = new_leaf;
+            primary.header.seq = seq;
+        }
+        if let Some(d) = data {
+            self.stash.get_mut(addr).expect("primary present").payload = d;
+        }
+        let value = self.stash.get(addr).expect("primary present").payload.clone();
+        self.written_ledger.insert(addr.0, value.clone());
+        t += 2; // header update + (possible) backup copy, pipelined SRAM ops
+        let value_ready = t;
+        self.maybe_crash(CrashPoint::AfterUpdateStash)?;
+
+        // ── Step ⑤ Eviction ────────────────────────────────────────────
+        self.pending_integrity_path = Some(old_leaf);
+        let eviction_complete = self.step5_evict(old_leaf, &mut live_old, t)?;
+        // Root update rides the commit: refresh digests over what actually
+        // reached the NVM.
+        self.refresh_integrity_path(old_leaf);
+        self.pending_integrity_path = None;
+        self.maybe_crash(CrashPoint::AfterEviction)?;
+
+        if let Some(rec) = &mut self.recorder {
+            rec.record(old_leaf, self.config.path_slots());
+        }
+        if self.variant.stash_durable() {
+            // FullNVM: stash and PosMap are non-volatile, so a completed
+            // access is durable (atomicity within an access is the gap the
+            // crash tests expose).
+            self.committed_ledger.insert(addr.0, (self.seq_counter, value.clone()));
+        }
+        self.stats.total_access_cycles += value_ready - arrival;
+
+        Ok(AccessOutcome {
+            value,
+            complete_cycle: value_ready,
+            eviction_complete_cycle: eviction_complete,
+        })
+    }
+
+    /// Step ②: per-variant PosMap handling. Returns the advanced clock.
+    fn step2_update_posmap(
+        &mut self,
+        addr: BlockAddr,
+        new_leaf: Leaf,
+        mut t: u64,
+    ) -> Result<u64, OramError> {
+        match self.variant {
+            ProtocolVariant::Baseline => {
+                t += 2; // SRAM read + write
+                self.posmap.set(addr, new_leaf);
+            }
+            ProtocolVariant::FullNvm | ProtocolVariant::FullNvmStt => {
+                t += self.onchip.read_cycles + self.onchip.write_cycles;
+                self.stats.onchip_nvm_reads += 1;
+                self.stats.onchip_nvm_writes += 1;
+                // On-chip NVM PosMap: the update is durable immediately,
+                // but not atomic with the data movement (the paper's point).
+                self.posmap.persist(addr, new_leaf);
+            }
+            ProtocolVariant::NaivePsOram | ProtocolVariant::PsOram => {
+                t += 2; // SRAM read + temporary-PosMap insert
+                self.temp.insert(addr, new_leaf)?;
+            }
+            ProtocolVariant::RcrBaseline => {
+                t = self.recursive_posmap_walk(addr, t);
+                // Written back to untrusted NVM on every access: durable now.
+                self.posmap.persist(addr, new_leaf);
+                self.stats.posmap_entry_writes += 1;
+            }
+            ProtocolVariant::RcrPsOram => {
+                t = self.recursive_posmap_walk(addr, t);
+                // The new label is backed up in the temporary PosMap and
+                // reaches the posmap tree atomically at eviction commit.
+                self.temp.insert(addr, new_leaf)?;
+            }
+        }
+        Ok(t)
+    }
+
+    /// Walks the recursive PosMap trees, issuing their path reads/writes to
+    /// the NVM. Returns the advanced clock.
+    fn recursive_posmap_walk(&mut self, addr: BlockAddr, mut t: u64) -> u64 {
+        let acc = self
+            .recursion
+            .as_mut()
+            .expect("recursive variant has a recursion model")
+            .access(addr);
+        if acc.plb_hit {
+            self.stats.plb_hits += 1;
+        } else {
+            self.stats.plb_full_misses += 1;
+        }
+        for (reads, writes) in acc.reads.iter().zip(acc.writes.iter()) {
+            let fe = self.frontend_process(reads.len() as u64, t);
+            let done = self.nvm.access_batch(reads.iter().copied(), AccessKind::Read, Self::to_mem(t));
+            t = (Self::to_core(done) + self.crypto_lat.decrypt_overlapped_cycles()).max(fe);
+            self.stats.recursion_reads += reads.len() as u64;
+            let fe = self.frontend_process(writes.len() as u64, t);
+            let done =
+                self.nvm.access_batch(writes.iter().copied(), AccessKind::Write, Self::to_mem(t));
+            t = Self::to_core(done).max(fe);
+            self.stats.recursion_writes += writes.len() as u64;
+        }
+        t
+    }
+
+    /// Step ③: fetch the path, classify copies, fill the stash.
+    ///
+    /// Returns the live-copy map (slot → address whose recoverable copy
+    /// occupies it) used by the eviction's ordering logic, and the clock.
+    #[allow(clippy::type_complexity)]
+    fn step3_load_path(
+        &mut self,
+        target: BlockAddr,
+        leaf: Leaf,
+        t: u64,
+    ) -> Result<(HashMap<(u64, usize), BlockAddr>, u64), OramError> {
+        let path = self.tree.path_indices(leaf);
+        // Merkle verification of the fetched path (when enabled): the
+        // digests of the bytes coming off the bus must chain to the
+        // persisted root.
+        if let Some(int) = &self.integrity {
+            let observed: Vec<(u64, psoram_crypto::Digest)> = path
+                .iter()
+                .map(|&idx| (idx, self.bucket_digest(&self.tree.bucket(idx))))
+                .collect();
+            int.verify_path(leaf, &observed)
+                .map_err(|v| OramError::IntegrityViolation { leaf: v.leaf })?;
+        }
+        let mut read_addrs = Vec::with_capacity(self.config.path_slots());
+        for (depth, &bucket) in path.iter().enumerate() {
+            if (depth as u32) < self.top_cache_levels {
+                // Bucket mirrored in the fast volatile buffer: no NVM read.
+                continue;
+            }
+            for slot in 0..self.config.bucket_slots {
+                read_addrs.push(self.tree.slot_nvm_addr(bucket, slot));
+            }
+        }
+        let frontend_done = self.frontend_process(self.config.path_slots() as u64, t);
+        let done = self.nvm.access_batch(read_addrs, AccessKind::Read, Self::to_mem(t));
+        let mut t = (Self::to_core(done) + self.crypto_lat.decrypt_overlapped_cycles())
+            .max(frontend_done);
+
+        // Gather fetched blocks with their slot coordinates.
+        let mut live_old: HashMap<(u64, usize), BlockAddr> = HashMap::new();
+        let mut fetched: Vec<Block> = Vec::new();
+        for &bucket in &path {
+            let b = self.tree.bucket(bucket);
+            for slot in 0..b.num_slots() {
+                if let Some(block) = b.slot(slot) {
+                    let mut block = block.clone();
+                    self.decrypt_from_tree(&mut block);
+                    if block.leaf() == self.posmap.persisted_get(block.addr()) {
+                        live_old.insert((bucket, slot), block.addr());
+                    }
+                    fetched.push(block);
+                }
+            }
+        }
+
+        // Classify each fetched copy (see DESIGN.md):
+        //  * the target's on-path copy becomes the primary (and, for PS
+        //    variants, also spawns the pinned backup copy);
+        //  * other copies whose leaf matches the current lookup are live
+        //    primaries;
+        //  * stale copies that still match the *persisted* map are live
+        //    shadows — PS variants must rewrite them to keep recovery
+        //    possible; non-persistent variants drop them;
+        //  * anything else is dead and dropped.
+        let keep_shadows = self.variant.uses_wpq();
+        // Separate the target's on-path copies: multiple can coexist (e.g.
+        // a committed primary and an older backup that drew the same leaf);
+        // the newest (highest freshness counter) is the real value, exactly
+        // as a recovering controller would decide from the IV counters.
+        let target_in_stash = self.stash.contains(target);
+        let (mut target_copies, others): (Vec<Block>, Vec<Block>) = fetched
+            .into_iter()
+            .partition(|b| !target_in_stash && b.addr() == target && b.leaf() == leaf);
+        target_copies.sort_by_key(|b| std::cmp::Reverse(b.header.seq));
+        if let Some(mut primary) = target_copies.into_iter().next() {
+            if keep_shadows {
+                let backup = primary.to_backup(primary.leaf());
+                self.stats.backups_created += 1;
+                self.stash.insert(backup)?;
+            }
+            primary.is_backup = false;
+            // Header leaf and freshness counter are updated in step 4.
+            self.stash.insert(primary)?;
+            // Older duplicates are superseded by the freshly created backup
+            // and dropped.
+        }
+        for mut block in others {
+            let a = block.addr();
+            let current = self.lookup(a);
+            let stale = self.stash.contains(a) || block.leaf() != current || block.is_backup;
+            if !stale {
+                block.is_backup = false;
+                self.stash.insert(block)?;
+            } else if keep_shadows && block.leaf() == self.posmap.persisted_get(a) {
+                let shadow = block.to_backup(block.leaf());
+                self.stats.shadows_rewritten += 1;
+                self.stash.insert(shadow)?;
+            }
+            // else: dead copy, dropped.
+        }
+
+        // FullNVM: the fetched path is written into the on-chip NVM stash.
+        if self.variant.onchip_tech().is_some() {
+            let n = self.config.path_slots() as u64;
+            t += self.onchip_batch_cycles(n, self.onchip.write_cycles);
+            self.stats.onchip_nvm_writes += n;
+        } else {
+            t += self.config.path_slots() as u64; // pipelined SRAM fill
+        }
+        Ok((live_old, t))
+    }
+
+    /// Step ⑤: plan and persist the eviction. Returns the cycle at which
+    /// the write-back fully reaches the NVM.
+    fn step5_evict(
+        &mut self,
+        leaf: Leaf,
+        live_old: &mut HashMap<(u64, usize), BlockAddr>,
+        mut t: u64,
+    ) -> Result<u64, OramError> {
+        // Rcr-PS-ORAM additionally persists the stash's (dirty) real blocks
+        // to a reserved NVM stash region every access ("the dirty blocks in
+        // the stash are persisted for crash recoverability", §5.1) — a
+        // redundant recovery image on top of the shadow-block mechanism.
+        let stash_snapshot = if self.variant == ProtocolVariant::RcrPsOram {
+            self.stash.blocks().iter().filter(|b| !b.is_backup).count() as u64
+        } else {
+            0
+        };
+        // Candidates: the whole stash. Blocks fetched from this path
+        // (backups/shadows pinned here, plus primaries whose live copy the
+        // rewrite destroys) must be re-placed; the rest are opportunistic.
+        let on_path_live: HashSet<u64> = live_old.values().map(|a| a.0).collect();
+        let all = self.stash.drain_matching(|_| true);
+        let (must, opportunistic): (Vec<Block>, Vec<Block>) = if self.variant.uses_wpq() {
+            // Must-place: backups/shadows (pinned to this path) and fetched
+            // primaries still at their persisted position — their live NVM
+            // copies are on this path and about to be destroyed. The
+            // remapped target is *not* here: its old copy is protected by
+            // its backup, and its new leaf may not fit this path.
+            all.into_iter().partition(|b| {
+                b.is_backup
+                    || (on_path_live.contains(&b.addr().0)
+                        && b.leaf() == self.posmap.persisted_get(b.addr()))
+            })
+        } else {
+            // Non-persistent designs: plain Path ORAM greedy eviction.
+            (Vec::new(), all)
+        };
+        // Small persistence domains use identity placement so the
+        // write-back has no ordering constraints (see
+        // `plan_eviction_in_place`); full-sized WPQs commit the whole round
+        // atomically and can place greedily.
+        let small_wpq =
+            self.variant.uses_wpq() && self.config.data_wpq_capacity < self.config.path_slots();
+        let (plan, leftovers) = if small_wpq {
+            // Prefer greedy placement (better stash behaviour) when its
+            // write-back admits a dependency-safe ordering; fall back to
+            // identity placement only for plans with an oversize cycle.
+            let (p, l) = plan_eviction(must.clone(), opportunistic.clone(), &self.tree, leaf);
+            let orderable = p.real_blocks() <= self.config.data_wpq_capacity
+                || order_for_small_wpq(&p.writes, live_old, self.config.data_wpq_capacity)
+                    .is_ok();
+            if orderable {
+                (p, l)
+            } else {
+                self.stats.in_place_fallbacks += 1;
+                crate::eviction::plan_eviction_in_place(
+                    must,
+                    opportunistic,
+                    &self.tree,
+                    leaf,
+                    live_old,
+                )
+            }
+        } else {
+            plan_eviction(must, opportunistic, &self.tree, leaf)
+        };
+        self.stats.eviction_leftovers += leftovers.len() as u64;
+        for b in leftovers {
+            self.stash.insert(b).expect("re-inserting drained blocks cannot overflow");
+        }
+
+        // FullNVM: blocks are read back out of the on-chip NVM stash.
+        if self.variant.onchip_tech().is_some() {
+            let n = self.config.path_slots() as u64;
+            t += self.onchip_batch_cycles(n, self.onchip.read_cycles);
+            self.stats.onchip_nvm_reads += n;
+        }
+        // Encrypt the eviction candidates (pad generation pipelined).
+        t += self.crypto_lat.encrypt_cycles();
+
+        let mut t_end = if self.variant.uses_wpq() {
+            self.evict_through_wpq(plan, live_old, t)?
+        } else {
+            self.evict_direct(plan, t)?
+        };
+
+        if stash_snapshot > 0 {
+            let block_bytes = self.config.block_bytes as u64;
+            let addrs: Vec<u64> = (0..stash_snapshot)
+                .map(|i| self.stash_region_base + i * block_bytes)
+                .collect();
+            // Overlaps with the path write-back; the access pipeline only
+            // observes the later of the two completions.
+            let done = self.nvm.access_batch(addrs, AccessKind::Write, Self::to_mem(t));
+            self.stats.stash_snapshot_writes += stash_snapshot;
+            t_end = t_end.max(Self::to_core(done));
+        }
+        Ok(t_end)
+    }
+
+    /// Direct write-back for the non-WPQ designs (`Baseline`, `FullNVM`,
+    /// `Rcr-Baseline`): every slot write hits the NVM as it is issued, so a
+    /// crash mid-eviction leaves a partially rewritten path (Figure 3).
+    // The loop counters below are crash cursors (compared against the
+    // injected crash plan), not element indices.
+    #[allow(clippy::explicit_counter_loop)]
+    fn evict_direct(&mut self, plan: crate::eviction::EvictionPlan, t: u64) -> Result<u64, OramError> {
+        let crash_after = match self.crash_plan {
+            Some(CrashPoint::DuringEviction(k)) => Some(k),
+            _ => None,
+        };
+        let mut write_addrs = Vec::with_capacity(plan.writes.len());
+        let mut writes_done = 0usize;
+        for w in plan.writes {
+            if crash_after == Some(writes_done) {
+                self.crash_plan = None;
+                self.execute_crash();
+                return Err(OramError::Crashed);
+            }
+            let mut stored = w.block;
+            if let Some(b) = &mut stored {
+                self.encrypt_for_tree(b);
+            }
+            self.tree.write_slot(w.bucket, w.slot, stored);
+            write_addrs.push(self.tree.slot_nvm_addr(w.bucket, w.slot));
+            writes_done += 1;
+        }
+        let frontend_done = self.frontend_process(write_addrs.len() as u64, t);
+        let done = self.nvm.access_batch(write_addrs, AccessKind::Write, Self::to_mem(t));
+        Ok(Self::to_core(done).max(frontend_done))
+    }
+
+    /// WPQ-based atomic eviction (steps 5-A/5-B/5-C) for the PS-ORAM family.
+    #[allow(clippy::explicit_counter_loop)] // committed_batches is a crash cursor
+    fn evict_through_wpq(
+        &mut self,
+        plan: crate::eviction::EvictionPlan,
+        live_old: &HashMap<(u64, usize), BlockAddr>,
+        mut t: u64,
+    ) -> Result<u64, OramError> {
+        self.stats.eviction_rounds += 1;
+
+        // 5-A: identify the dirty metadata entries (PS-ORAM) or all path
+        // entries (Naïve).
+        let naive = self.variant == ProtocolVariant::NaivePsOram;
+
+        // Does the whole round fit in one atomic batch?
+        let real_count = plan.real_blocks();
+        let batches: Vec<Vec<SlotWrite>> = if real_count <= self.config.data_wpq_capacity {
+            let (reals, dummies): (Vec<SlotWrite>, Vec<SlotWrite>) =
+                plan.writes.iter().cloned().partition(|w| w.block.is_some());
+            let mut b = vec![reals];
+            b[0].extend(dummies);
+            b
+        } else {
+            order_for_small_wpq(&plan.writes, live_old, self.config.data_wpq_capacity)
+                .expect("plan selection guarantees an orderable write-back")
+        };
+
+        let crash_after_batches = match self.crash_plan {
+            Some(CrashPoint::DuringEviction(k)) => Some(k),
+            _ => None,
+        };
+
+        let mut committed_batches = 0usize;
+        let mut write_addrs: Vec<u64> = Vec::with_capacity(plan.writes.len());
+        let mut entry_addrs: Vec<u64> = Vec::new();
+        for batch in batches {
+            if crash_after_batches == Some(committed_batches) {
+                // Power failure while the next round is being assembled:
+                // model entries mid-push by opening a round, pushing the
+                // batch, and crashing before the end signal.
+                self.domain.begin_round();
+                for w in &batch {
+                    if let Some(b) = &w.block {
+                        let _ = self.domain.push_data(WpqEntry {
+                            addr: self.tree.slot_nvm_addr(w.bucket, w.slot),
+                            value: SlotWrite { block: Some(b.clone()), ..*w },
+                        });
+                    }
+                }
+                self.crash_plan = None;
+                self.execute_crash();
+                return Err(OramError::Crashed);
+            }
+
+            // 5-B: drainer start signal; push data and matching metadata.
+            self.domain.begin_round();
+            let mut pushed = 0u64;
+            for w in &batch {
+                let nvm_addr = self.tree.slot_nvm_addr(w.bucket, w.slot);
+                if w.block.is_some() {
+                    self.domain
+                        .push_data(WpqEntry { addr: nvm_addr, value: w.clone() })
+                        .expect("batching honours the data WPQ capacity");
+                    pushed += 1;
+                }
+                // Metadata for this batch: dirty entries (PS-ORAM) of
+                // evicted primaries; Naïve pushes an entry per slot.
+                if let Some(b) = &w.block {
+                    if !b.is_backup {
+                        let a = b.addr();
+                        if let Some(l) = self.temp.get(a) {
+                            self.domain
+                                .push_posmap(WpqEntry {
+                                    addr: self.posmap_entry_nvm_addr(a),
+                                    value: (a, l),
+                                })
+                                .expect("posmap WPQ sized with data WPQ");
+                            pushed += 1;
+                        } else if naive {
+                            self.domain
+                                .push_posmap(WpqEntry {
+                                    addr: self.posmap_entry_nvm_addr(a),
+                                    value: (a, b.leaf()),
+                                })
+                                .expect("posmap WPQ sized with data WPQ");
+                            pushed += 1;
+                        }
+                    }
+                }
+            }
+            if naive {
+                // Naïve also flushes a metadata entry per dummy slot, so the
+                // full Z·(L+1) PosMap entries reach the NVM every round.
+                for w in batch.iter().filter(|w| w.block.is_none()) {
+                    self.stats.posmap_entry_writes += 1;
+                    entry_addrs.push(self.naive_slot_entry_addr(w));
+                }
+            }
+            t += pushed; // one cycle per WPQ push
+
+            // 5-C: end signal — the atomic commit point — then flush.
+            self.domain.commit_round();
+            let (data, posmap) = self.domain.drain();
+            self.apply_committed(&data, &posmap, &mut write_addrs, &mut entry_addrs);
+            // Dummy slots of this batch are rewritten directly after the
+            // commit: they carry no recoverable data and only overwrite
+            // copies whose addresses committed in this or earlier batches.
+            for w in batch.iter().filter(|w| w.block.is_none()) {
+                self.tree.write_slot(w.bucket, w.slot, None);
+                write_addrs.push(self.tree.slot_nvm_addr(w.bucket, w.slot));
+            }
+            committed_batches += 1;
+            self.stats.eviction_batches += 1;
+        }
+
+        // Issue the full-path writes plus metadata writes to the NVM. The
+        // WPQ drains in address order (an FR-FCFS-style controller avoids
+        // the bank clustering a literal commit-order drain would cause);
+        // atomicity was already established by the end signals above.
+        write_addrs.sort_unstable();
+        entry_addrs.sort_unstable();
+        let frontend_done = self.frontend_process(write_addrs.len() as u64, t);
+        // PosMap entries are 7-8 B: they occupy the data bus for a single
+        // beat, though the cell-programming pulse is unchanged.
+        let done = self.nvm.access_batch(write_addrs, AccessKind::Write, Self::to_mem(t));
+        let mut t_end = Self::to_core(done).max(frontend_done);
+        if !entry_addrs.is_empty() {
+            let done =
+                self.nvm.access_batch_sized(entry_addrs, AccessKind::Write, Self::to_mem(t), 8);
+            t_end = t_end.max(Self::to_core(done));
+        }
+        Ok(t_end)
+    }
+
+    /// Applies one committed WPQ round to the NVM state: tree slots, main
+    /// PosMap, temp-entry retirement, and the committed-value ledger.
+    fn apply_committed(
+        &mut self,
+        data: &[WpqEntry<SlotWrite>],
+        posmap: &[WpqEntry<PosMapFlush>],
+        write_addrs: &mut Vec<u64>,
+        entry_addrs: &mut Vec<u64>,
+    ) {
+        // The full-path rewrite covers dummy slots too: the data entries
+        // carry the real blocks, and the remaining slots of the same
+        // buckets are written as encrypted dummies by the same round. For
+        // traffic/timing, the whole path's slots are pushed by the caller.
+        let mut touched_addrs: Vec<BlockAddr> = Vec::new();
+        for e in data {
+            let w = &e.value;
+            let mut stored = w.block.clone();
+            if let Some(b) = &mut stored {
+                touched_addrs.push(b.addr());
+                self.encrypt_for_tree(b);
+            }
+            self.tree.write_slot(w.bucket, w.slot, stored);
+            write_addrs.push(e.addr);
+        }
+        for e in posmap {
+            let (a, l) = e.value;
+            self.posmap.persist(a, l);
+            self.temp.remove(a);
+            self.stats.dirty_entries_flushed += 1;
+            self.stats.posmap_entry_writes += 1;
+            entry_addrs.push(e.addr);
+        }
+        // Ledger: the recoverable value of each touched address is the
+        // written copy that matches the (new) persisted PosMap.
+        for a in touched_addrs {
+            let leaf = self.posmap.persisted_get(a);
+            // Multiple matching copies can commit in one round (a primary
+            // that re-drew its old leaf plus its backup): the newest one —
+            // highest freshness counter — is what recovery restores.
+            let newest = data
+                .iter()
+                .filter_map(|e| e.value.block.as_ref())
+                .filter(|b| b.addr() == a && b.leaf() == leaf)
+                .max_by_key(|b| b.header.seq);
+            if let Some(b) = newest {
+                let stale = self
+                    .committed_ledger
+                    .get(&a.0)
+                    .is_some_and(|(seq, _)| *seq > b.header.seq);
+                if !stale {
+                    self.committed_ledger.insert(a.0, (b.header.seq, b.payload.clone()));
+                }
+            }
+        }
+    }
+
+    /// Metadata-entry address Naïve writes for a dummy slot. Dummy entries
+    /// correspond to no particular table row; spread them over the entry
+    /// region like real (block-address-indexed) entries so they exercise
+    /// banks the same way.
+    fn naive_slot_entry_addr(&self, w: &SlotWrite) -> u64 {
+        let slot_index = w.bucket * self.config.bucket_slots as u64 + w.slot as u64;
+        let spread = slot_index.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16;
+        self.posmap_base + (spread * 8) % (self.config.capacity_blocks() * 8)
+    }
+
+    fn posmap_entry_nvm_addr(&self, addr: BlockAddr) -> u64 {
+        if let Some(rec) = &self.recursion {
+            if let Some(level0) = rec.levels().first() {
+                // The entry lives in a PosMap_1 block inside the posmap tree.
+                return level0.base_addr + rec.block_index(addr, 0) * self.config.block_bytes as u64;
+            }
+        }
+        self.posmap_base + addr.0 * 8
+    }
+
+    /// Immediately executes a power failure (also used by
+    /// [`PathOram::inject_crash`] plans).
+    pub fn crash_now(&mut self) -> CrashReport {
+        self.execute_crash()
+    }
+
+    fn execute_crash(&mut self) -> CrashReport {
+        self.stats.crashes += 1;
+        let stash_durable = self.variant.stash_durable();
+        // ADR flushes committed WPQ rounds; open rounds are lost.
+        let (data, posmap) = self.domain.crash();
+        let mut write_addrs = Vec::new();
+        let mut entry_addrs = Vec::new();
+        let report = CrashReport {
+            stash_blocks_lost: if stash_durable { 0 } else { self.stash.len() },
+            temp_entries_lost: if stash_durable { 0 } else { self.temp.len() },
+            wpq_data_flushed: data.len(),
+            wpq_posmap_flushed: posmap.len(),
+            stash_durable,
+        };
+        self.apply_committed(&data, &posmap, &mut write_addrs, &mut entry_addrs);
+        if !stash_durable {
+            self.stash.wipe();
+            self.temp.wipe();
+        }
+        self.posmap.crash();
+        if let Some(rec) = &mut self.recursion {
+            rec.wipe_plb();
+        }
+        // Recovery replay for the integrity tree: fold whatever the ADR
+        // flush actually persisted into the digest state so the root
+        // matches the NVM (no false alarms, no masked tampering).
+        if let Some(leaf) = self.pending_integrity_path.take() {
+            self.refresh_integrity_path(leaf);
+        }
+        self.crashed = true;
+        report
+    }
+
+    /// Recovers the controller after a crash, per the paper's §4.3
+    /// procedure: the persisted PosMap becomes the working map and normal
+    /// operation resumes.
+    ///
+    /// Returns whether the recovered state passes the consistency check
+    /// (PS-ORAM designs always do; the baselines generally do not).
+    pub fn recover(&mut self) -> bool {
+        self.stats.recoveries += 1;
+        self.crashed = false;
+        self.check_recoverability().is_ok()
+    }
+
+    /// Verifies the crash-recovery invariant: every address with a durably
+    /// committed value has a copy in NVM (or, for durable-stash designs, in
+    /// the stash) at its *persisted* PosMap position holding exactly that
+    /// value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first inconsistency.
+    pub fn check_recoverability(&self) -> Result<(), String> {
+        for (&a, (_, expected)) in &self.committed_ledger {
+            let addr = BlockAddr(a);
+            let leaf = self.posmap.persisted_get(addr);
+            // Recovery picks, among copies on the persisted path whose
+            // header matches the persisted leaf, the newest one (highest
+            // freshness counter / IV).
+            let mut best: Option<Block> = None;
+            for idx in self.tree.path_indices(leaf) {
+                let bucket = self.tree.bucket(idx);
+                for s in 0..bucket.num_slots() {
+                    if let Some(b) = bucket.slot(s) {
+                        if b.addr() == addr
+                            && b.leaf() == leaf
+                            && best.as_ref().is_none_or(|x| b.header.seq > x.header.seq)
+                        {
+                            best = Some(b.clone());
+                        }
+                    }
+                }
+            }
+            let found = best.map(|mut copy| {
+                self.decrypt_from_tree(&mut copy);
+                copy.payload
+            });
+            let stash_copy = if self.variant.stash_durable() {
+                self.stash.get(addr).map(|b| b.payload.clone())
+            } else {
+                None
+            };
+            match (found, stash_copy) {
+                (_, Some(p)) if &p == self.written_ledger.get(&a).unwrap_or(expected) => {}
+                (Some(p), _) if &p == expected => {}
+                (Some(p), _) => {
+                    return Err(format!(
+                        "{addr}: recoverable copy at {leaf} holds {p:?}, expected {expected:?}"
+                    ));
+                }
+                (None, _) => {
+                    return Err(format!(
+                        "{addr}: no recoverable copy on persisted path {leaf}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads back every touched address and compares against the
+    /// appropriate ledger: the last *written* value if the controller never
+    /// crashed, or the last *committed* value (falling back to zeros) after
+    /// a crash+recovery.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatch.
+    pub fn verify_contents(&mut self, after_crash: bool) -> Result<(), String> {
+        let addrs: Vec<u64> = {
+            let mut v: Vec<u64> = self.touched.iter().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        for a in addrs {
+            // Snapshot the expectation *before* reading: the read itself
+            // updates the ledgers (it is a fresh access).
+            let zeros = vec![0u8; self.config.payload_bytes];
+            let expected = if after_crash {
+                self.committed_ledger.get(&a).map(|(_, v)| v).unwrap_or(&zeros).clone()
+            } else {
+                self.written_ledger.get(&a).unwrap_or(&zeros).clone()
+            };
+            let got = self.read(BlockAddr(a)).map_err(|e| e.to_string())?;
+            if got != expected {
+                return Err(format!(
+                    "a{a}: read {got:?}, expected {expected:?} (after_crash={after_crash})"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The committed-value oracle (test observability).
+    pub fn committed_value(&self, addr: BlockAddr) -> Option<&Vec<u8>> {
+        self.committed_ledger.get(&addr.0).map(|(_, v)| v)
+    }
+
+    /// The last program-written value (test observability).
+    pub fn written_value(&self, addr: BlockAddr) -> Option<&Vec<u8>> {
+        self.written_ledger.get(&addr.0)
+    }
+
+    /// Addresses touched since construction.
+    pub fn touched_addrs(&self) -> Vec<BlockAddr> {
+        let mut v: Vec<BlockAddr> = self.touched.iter().map(|&a| BlockAddr(a)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Occupied temporary-PosMap entries.
+    pub fn temp_posmap_len(&self) -> usize {
+        self.temp.len()
+    }
+
+    /// The functional ORAM tree (inspection in tests and tools).
+    pub fn tree(&self) -> &OramTree {
+        &self.tree
+    }
+}

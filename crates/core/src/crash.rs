@@ -1,0 +1,99 @@
+//! Crash injection points within an ORAM access.
+
+use serde::{Deserialize, Serialize};
+
+/// Where within the five-step ORAM access a power failure strikes.
+///
+/// These mirror the case studies of paper §3.3: crashes after the PosMap
+/// update (Case 1), after the path load (Case 2), and during/after the
+/// eviction write-back (Case 3, Figure 3).
+///
+/// # Examples
+///
+/// ```
+/// use psoram_core::CrashPoint;
+///
+/// let points = CrashPoint::step_boundaries();
+/// assert_eq!(points.len(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CrashPoint {
+    /// After step ① (stash check), before the PosMap is touched.
+    AfterCheckStash,
+    /// After step ② (PosMap access + remap) — paper Case 1.
+    AfterAccessPosMap,
+    /// After step ③ (path load into the stash) — paper Case 2.
+    AfterLoadPath,
+    /// After step ④ (stash update + backup creation).
+    AfterUpdateStash,
+    /// During step ⑤: after `k` persistence units have reached the NVM
+    /// (direct writes for non-WPQ designs; committed atomic batches for
+    /// WPQ designs) — paper Case 3 / Figure 3.
+    DuringEviction(usize),
+    /// After step ⑤ completes, before the next access.
+    AfterEviction,
+}
+
+impl CrashPoint {
+    /// The five step-boundary crash points (excluding mid-eviction).
+    pub fn step_boundaries() -> [CrashPoint; 5] {
+        [
+            CrashPoint::AfterCheckStash,
+            CrashPoint::AfterAccessPosMap,
+            CrashPoint::AfterLoadPath,
+            CrashPoint::AfterUpdateStash,
+            CrashPoint::AfterEviction,
+        ]
+    }
+}
+
+impl std::fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrashPoint::AfterCheckStash => write!(f, "after step 1 (check stash)"),
+            CrashPoint::AfterAccessPosMap => write!(f, "after step 2 (access PosMap)"),
+            CrashPoint::AfterLoadPath => write!(f, "after step 3 (load path)"),
+            CrashPoint::AfterUpdateStash => write!(f, "after step 4 (update stash)"),
+            CrashPoint::DuringEviction(k) => write!(f, "during step 5 (after {k} persist units)"),
+            CrashPoint::AfterEviction => write!(f, "after step 5 (eviction complete)"),
+        }
+    }
+}
+
+/// Report of what a crash destroyed and what the persistence domain saved.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashReport {
+    /// Blocks lost from the volatile stash.
+    pub stash_blocks_lost: usize,
+    /// Entries lost from the volatile temporary PosMap.
+    pub temp_entries_lost: usize,
+    /// Data blocks the ADR reserve flushed out of committed WPQ rounds.
+    pub wpq_data_flushed: usize,
+    /// PosMap entries the ADR reserve flushed out of committed WPQ rounds.
+    pub wpq_posmap_flushed: usize,
+    /// Whether the design's stash survives (on-chip NVM stash).
+    pub stash_durable: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_all_points() {
+        for p in CrashPoint::step_boundaries() {
+            assert!(!p.to_string().is_empty());
+        }
+        assert!(CrashPoint::DuringEviction(3).to_string().contains('3'));
+    }
+
+    #[test]
+    fn step_boundaries_are_distinct() {
+        let pts = CrashPoint::step_boundaries();
+        for (i, a) in pts.iter().enumerate() {
+            for b in &pts[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

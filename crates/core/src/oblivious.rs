@@ -1,0 +1,153 @@
+//! Oblivious (cmov-style) PosMap updates for trusted memory regions.
+//!
+//! When the PosMap lives in an SGX-EPC-like trusted region (paper §2.1,
+//! §4.4), reads/writes to it must still be *oblivious*: the paper adopts
+//! the cmov-based approach of ZeroTrace/Obfuscuro, where an update touches
+//! **every** entry of the table but conditionally moves the new value only
+//! into the right one — so the address trace is independent of which entry
+//! changed (Claim 3).
+//!
+//! This module provides a functional + timing model of that primitive, and
+//! the statistical instrumentation to confirm its access pattern carries
+//! no information.
+
+use serde::{Deserialize, Serialize};
+
+/// A trusted-region table updated obliviously with cmov sweeps.
+///
+/// # Examples
+///
+/// ```
+/// use psoram_core::oblivious::CmovTable;
+///
+/// let mut t = CmovTable::new(64, 2);
+/// let trace1 = t.update(3, 1111);
+/// let trace2 = t.update(57, 2222);
+/// // The observable traces are identical regardless of the index written.
+/// assert_eq!(trace1.touched, trace2.touched);
+/// assert_eq!(t.get(3), 1111);
+/// assert_eq!(t.get(57), 2222);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CmovTable {
+    entries: Vec<u64>,
+    /// Core cycles per entry touched during a sweep.
+    cycles_per_entry: u64,
+    sweeps: u64,
+}
+
+/// The observable effect of one oblivious update.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepTrace {
+    /// Indices touched, in order — always `0..n`, whatever was updated.
+    pub touched: Vec<usize>,
+    /// Core cycles consumed by the sweep.
+    pub cycles: u64,
+}
+
+impl CmovTable {
+    /// Creates a zero-initialized table of `n` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, cycles_per_entry: u64) -> Self {
+        assert!(n > 0, "table must be non-empty");
+        CmovTable { entries: vec![0; n], cycles_per_entry, sweeps: 0 }
+    }
+
+    /// Obliviously updates entry `index` to `value`, touching every entry.
+    ///
+    /// The returned [`SweepTrace`] is what a bus observer sees; it is
+    /// identical for every `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn update(&mut self, index: usize, value: u64) -> SweepTrace {
+        assert!(index < self.entries.len(), "index out of range");
+        self.sweeps += 1;
+        let mut touched = Vec::with_capacity(self.entries.len());
+        for i in 0..self.entries.len() {
+            // The cmov: a branchless conditional move. `mask` is all-ones
+            // only for the target entry, so the memory access pattern —
+            // read-modify-write of every entry — is data-independent.
+            let mask = ((i == index) as u64).wrapping_neg();
+            self.entries[i] = (self.entries[i] & !mask) | (value & mask);
+            touched.push(i);
+        }
+        SweepTrace { touched, cycles: self.entries.len() as u64 * self.cycles_per_entry }
+    }
+
+    /// Plain read of entry `index` (reads are oblivious in the same way on
+    /// real hardware; functional model returns directly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn get(&self, index: usize) -> u64 {
+        self.entries[index]
+    }
+
+    /// Number of oblivious sweeps performed.
+    pub fn sweeps(&self) -> u64 {
+        self.sweeps
+    }
+
+    /// Table size in entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the table has no entries (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_is_functionally_correct() {
+        let mut t = CmovTable::new(16, 1);
+        t.update(5, 42);
+        t.update(9, 77);
+        assert_eq!(t.get(5), 42);
+        assert_eq!(t.get(9), 77);
+        assert_eq!(t.get(0), 0);
+    }
+
+    #[test]
+    fn update_overwrites() {
+        let mut t = CmovTable::new(4, 1);
+        t.update(2, 1);
+        t.update(2, 2);
+        assert_eq!(t.get(2), 2);
+    }
+
+    #[test]
+    fn sweep_trace_is_index_independent() {
+        let mut t = CmovTable::new(32, 3);
+        let traces: Vec<SweepTrace> = (0..32).map(|i| t.update(i, i as u64)).collect();
+        for w in traces.windows(2) {
+            assert_eq!(w[0], w[1], "sweep traces must be indistinguishable");
+        }
+        assert_eq!(traces[0].cycles, 96);
+        assert_eq!(t.sweeps(), 32);
+    }
+
+    #[test]
+    fn sweep_touches_every_entry_once() {
+        let mut t = CmovTable::new(8, 1);
+        let trace = t.update(0, 9);
+        assert_eq!(trace.touched, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_update_panics() {
+        CmovTable::new(4, 1).update(4, 0);
+    }
+}

@@ -1,0 +1,306 @@
+//! Position maps: the main (persistable) PosMap and PS-ORAM's temporary
+//! PosMap.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{BlockAddr, Leaf, OramError};
+
+/// SplitMix64 — deterministic initial leaf assignment.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// The main position map with separate *volatile* and *persisted* views.
+///
+/// Lookups see the volatile view. [`PosMap::set`] is a volatile update (a
+/// plain SRAM write, as in the non-persistent `Baseline`); [`PosMap::persist`]
+/// is a durable update (an NVM write, as performed when the PosMap WPQ
+/// flushes, or on every update in `FullNVM`). [`PosMap::crash`] discards
+/// volatile updates, restoring exactly what had been persisted — which for a
+/// never-persisted map is the initial random mapping the paper's Case 1a
+/// describes.
+///
+/// The map is stored as overlays over a deterministic pseudo-random initial
+/// mapping, so even the paper-scale 2^25-entry PosMap costs memory only for
+/// touched entries.
+///
+/// # Examples
+///
+/// ```
+/// use psoram_core::{PosMap, BlockAddr, Leaf};
+///
+/// let mut pm = PosMap::new(64, 7);
+/// let initial = pm.get(BlockAddr(3));
+/// pm.set(BlockAddr(3), Leaf(9));          // volatile
+/// assert_eq!(pm.get(BlockAddr(3)), Leaf(9));
+/// pm.crash();                              // power failure
+/// assert_eq!(pm.get(BlockAddr(3)), initial);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PosMap {
+    num_leaves: u64,
+    seed: u64,
+    /// Volatile updates not yet persisted (lost on crash).
+    volatile: HashMap<u64, u64>,
+    /// Durable updates (survive crashes).
+    persisted: HashMap<u64, u64>,
+    persist_writes: u64,
+}
+
+impl PosMap {
+    /// Creates a PosMap over `num_leaves` leaves with a deterministic
+    /// initial mapping derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_leaves` is zero.
+    pub fn new(num_leaves: u64, seed: u64) -> Self {
+        assert!(num_leaves > 0, "PosMap needs at least one leaf");
+        PosMap { num_leaves, seed, volatile: HashMap::new(), persisted: HashMap::new(), persist_writes: 0 }
+    }
+
+    fn initial(&self, addr: BlockAddr) -> Leaf {
+        Leaf(splitmix64(self.seed ^ addr.0.wrapping_mul(0xD6E8FEB86659FD93)) % self.num_leaves)
+    }
+
+    /// Current (volatile-view) leaf for `addr`.
+    pub fn get(&self, addr: BlockAddr) -> Leaf {
+        if let Some(&l) = self.volatile.get(&addr.0) {
+            Leaf(l)
+        } else if let Some(&l) = self.persisted.get(&addr.0) {
+            Leaf(l)
+        } else {
+            self.initial(addr)
+        }
+    }
+
+    /// The leaf recovery would see after a crash right now.
+    pub fn persisted_get(&self, addr: BlockAddr) -> Leaf {
+        if let Some(&l) = self.persisted.get(&addr.0) {
+            Leaf(l)
+        } else {
+            self.initial(addr)
+        }
+    }
+
+    /// Volatile (SRAM) update — lost on crash.
+    pub fn set(&mut self, addr: BlockAddr, leaf: Leaf) {
+        self.volatile.insert(addr.0, leaf.0);
+    }
+
+    /// Durable (NVM) update — survives crashes and clears any volatile
+    /// shadow of the same entry.
+    pub fn persist(&mut self, addr: BlockAddr, leaf: Leaf) {
+        self.volatile.remove(&addr.0);
+        self.persisted.insert(addr.0, leaf.0);
+        self.persist_writes += 1;
+    }
+
+    /// Models a power failure: volatile updates are lost.
+    pub fn crash(&mut self) {
+        self.volatile.clear();
+    }
+
+    /// Number of durable updates performed (NVM metadata write traffic).
+    pub fn persist_writes(&self) -> u64 {
+        self.persist_writes
+    }
+
+    /// Number of leaves in the mapped tree.
+    pub fn num_leaves(&self) -> u64 {
+        self.num_leaves
+    }
+}
+
+/// PS-ORAM's **temporary PosMap** (`C_tPos`, 96 entries in Table 3).
+///
+/// Holds the *reassigned* path ids of accessed blocks until the blocks
+/// themselves persist, so the main PosMap's durable entry is never
+/// overwritten early (paper §4.1). Entries leave when the matching block is
+/// evicted and its round commits; everything is lost on a crash, by design —
+/// the main PosMap still points at a valid (possibly backup) copy.
+///
+/// # Examples
+///
+/// ```
+/// use psoram_core::{TempPosMap, BlockAddr, Leaf};
+///
+/// let mut t = TempPosMap::new(96);
+/// t.insert(BlockAddr(1), Leaf(5)).unwrap();
+/// assert_eq!(t.get(BlockAddr(1)), Some(Leaf(5)));
+/// assert_eq!(t.remove(BlockAddr(1)), Some(Leaf(5)));
+/// assert!(t.is_empty());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TempPosMap {
+    capacity: usize,
+    entries: HashMap<u64, u64>,
+    max_occupancy: usize,
+}
+
+impl TempPosMap {
+    /// Creates an empty temporary PosMap bounded at `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "temporary PosMap capacity must be positive");
+        TempPosMap { capacity, entries: HashMap::new(), max_occupancy: 0 }
+    }
+
+    /// Records the new (not yet persistent) leaf of `addr`.
+    ///
+    /// Re-inserting an existing address overwrites in place and never
+    /// fails; fresh insertions respect the capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OramError::TempPosMapOverflow`] when full.
+    pub fn insert(&mut self, addr: BlockAddr, leaf: Leaf) -> Result<(), OramError> {
+        if !self.entries.contains_key(&addr.0) && self.entries.len() >= self.capacity {
+            return Err(OramError::TempPosMapOverflow { capacity: self.capacity });
+        }
+        self.entries.insert(addr.0, leaf.0);
+        self.max_occupancy = self.max_occupancy.max(self.entries.len());
+        Ok(())
+    }
+
+    /// The pending leaf for `addr`, if one exists.
+    pub fn get(&self, addr: BlockAddr) -> Option<Leaf> {
+        self.entries.get(&addr.0).copied().map(Leaf)
+    }
+
+    /// Removes and returns the pending entry for `addr` (done when the
+    /// block's eviction round commits).
+    pub fn remove(&mut self, addr: BlockAddr) -> Option<Leaf> {
+        self.entries.remove(&addr.0).map(Leaf)
+    }
+
+    /// Current number of pending entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// High-water mark of occupancy.
+    pub fn max_occupancy(&self) -> usize {
+        self.max_occupancy
+    }
+
+    /// Models a power failure: all pending entries are lost.
+    pub fn wipe(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_mapping_is_deterministic_and_in_range() {
+        let a = PosMap::new(64, 1);
+        let b = PosMap::new(64, 1);
+        for i in 0..100 {
+            let l = a.get(BlockAddr(i));
+            assert_eq!(l, b.get(BlockAddr(i)));
+            assert!(l.0 < 64);
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_mappings() {
+        let a = PosMap::new(1 << 20, 1);
+        let b = PosMap::new(1 << 20, 2);
+        let same = (0..64).filter(|&i| a.get(BlockAddr(i)) == b.get(BlockAddr(i))).count();
+        assert!(same < 8, "mappings should be nearly disjoint, {same} collisions");
+    }
+
+    #[test]
+    fn volatile_updates_roll_back_on_crash() {
+        let mut pm = PosMap::new(16, 3);
+        let init = pm.get(BlockAddr(5));
+        pm.set(BlockAddr(5), Leaf(1));
+        pm.crash();
+        assert_eq!(pm.get(BlockAddr(5)), init);
+    }
+
+    #[test]
+    fn persisted_updates_survive_crash() {
+        let mut pm = PosMap::new(16, 3);
+        pm.persist(BlockAddr(5), Leaf(2));
+        pm.set(BlockAddr(5), Leaf(9)); // volatile shadow
+        assert_eq!(pm.get(BlockAddr(5)), Leaf(9));
+        pm.crash();
+        assert_eq!(pm.get(BlockAddr(5)), Leaf(2));
+        assert_eq!(pm.persist_writes(), 1);
+    }
+
+    #[test]
+    fn persist_clears_volatile_shadow() {
+        let mut pm = PosMap::new(16, 3);
+        pm.set(BlockAddr(1), Leaf(4));
+        pm.persist(BlockAddr(1), Leaf(7));
+        assert_eq!(pm.get(BlockAddr(1)), Leaf(7));
+        pm.crash();
+        assert_eq!(pm.get(BlockAddr(1)), Leaf(7));
+    }
+
+    #[test]
+    fn persisted_get_ignores_volatile() {
+        let mut pm = PosMap::new(16, 3);
+        let init = pm.persisted_get(BlockAddr(2));
+        pm.set(BlockAddr(2), Leaf(11));
+        assert_eq!(pm.persisted_get(BlockAddr(2)), init);
+    }
+
+    #[test]
+    fn initial_mapping_is_roughly_uniform() {
+        let pm = PosMap::new(8, 42);
+        let mut counts = [0usize; 8];
+        for i in 0..8000 {
+            counts[pm.get(BlockAddr(i)).0 as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "unbalanced initial mapping: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn temp_posmap_capacity_enforced_for_fresh_entries_only() {
+        let mut t = TempPosMap::new(2);
+        t.insert(BlockAddr(1), Leaf(1)).unwrap();
+        t.insert(BlockAddr(2), Leaf(2)).unwrap();
+        assert!(t.insert(BlockAddr(3), Leaf(3)).is_err());
+        // Overwriting an existing entry is always allowed.
+        t.insert(BlockAddr(1), Leaf(9)).unwrap();
+        assert_eq!(t.get(BlockAddr(1)), Some(Leaf(9)));
+    }
+
+    #[test]
+    fn temp_posmap_remove_and_wipe() {
+        let mut t = TempPosMap::new(4);
+        t.insert(BlockAddr(1), Leaf(1)).unwrap();
+        t.insert(BlockAddr(2), Leaf(2)).unwrap();
+        assert_eq!(t.remove(BlockAddr(1)), Some(Leaf(1)));
+        assert_eq!(t.remove(BlockAddr(1)), None);
+        t.wipe();
+        assert!(t.is_empty());
+        assert_eq!(t.max_occupancy(), 2);
+    }
+}

@@ -1,0 +1,184 @@
+//! Security analysis: access-pattern recording and statistical checks.
+//!
+//! The paper's §4.6 argues that PS-ORAM's modifications (backup labels,
+//! backup blocks, WPQ write-back) leak no information beyond baseline Path
+//! ORAM. This module provides the instrumentation to check that
+//! empirically: a recorder capturing what the memory bus observes, plus
+//! chi-square uniformity and shape-invariance statistics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::Leaf;
+
+/// One observable ORAM access as seen from the (untrusted) memory bus:
+/// which path was touched and how many block transfers occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObservedAccess {
+    /// The leaf label of the fetched/evicted path (visible as the set of
+    /// bucket addresses on the bus).
+    pub leaf: Leaf,
+    /// Number of block transfers on the bus for this access.
+    pub transfers: usize,
+}
+
+/// Records the externally observable access pattern of a controller.
+///
+/// # Examples
+///
+/// ```
+/// use psoram_core::{AccessRecorder, Leaf};
+///
+/// let mut rec = AccessRecorder::new();
+/// rec.record(Leaf(3), 96);
+/// assert_eq!(rec.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AccessRecorder {
+    observations: Vec<ObservedAccess>,
+}
+
+impl AccessRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observed access.
+    pub fn record(&mut self, leaf: Leaf, transfers: usize) {
+        self.observations.push(ObservedAccess { leaf, transfers });
+    }
+
+    /// The recorded observations, in order.
+    pub fn observations(&self) -> &[ObservedAccess] {
+        &self.observations
+    }
+
+    /// Number of recorded accesses.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// The sequence of observed leaves.
+    pub fn leaves(&self) -> Vec<Leaf> {
+        self.observations.iter().map(|o| o.leaf).collect()
+    }
+
+    /// Chi-square statistic of the observed leaf distribution against the
+    /// uniform distribution over `num_leaves`, bucketed into `bins` bins.
+    ///
+    /// For an oblivious ORAM the observed leaves are uniform, so the
+    /// statistic stays near `bins - 1` (its expected value under
+    /// uniformity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero or no observations were recorded.
+    pub fn leaf_chi_square(&self, num_leaves: u64, bins: usize) -> f64 {
+        assert!(bins > 0, "need at least one bin");
+        assert!(!self.observations.is_empty(), "no observations recorded");
+        let mut counts = vec![0u64; bins];
+        for o in &self.observations {
+            let bin = (o.leaf.0 as u128 * bins as u128 / num_leaves as u128) as usize;
+            counts[bin.min(bins - 1)] += 1;
+        }
+        let expected = self.observations.len() as f64 / bins as f64;
+        counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum()
+    }
+
+    /// `true` when every observed access transferred exactly the same
+    /// number of blocks — the "same length of the access sequence"
+    /// requirement of the paper's security argument.
+    pub fn constant_shape(&self) -> bool {
+        match self.observations.first() {
+            None => true,
+            Some(first) => self.observations.iter().all(|o| o.transfers == first.transfers),
+        }
+    }
+
+    /// Lag-1 serial correlation of the observed leaf sequence; near zero
+    /// for independent remapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two observations were recorded.
+    pub fn leaf_serial_correlation(&self) -> f64 {
+        assert!(self.observations.len() >= 2, "need at least two observations");
+        let xs: Vec<f64> = self.observations.iter().map(|o| o.leaf.0 as f64).collect();
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        if var == 0.0 {
+            return 1.0;
+        }
+        let cov = xs
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum::<f64>()
+            / (n - 1.0);
+        cov / var
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chi_square_near_bins_for_uniform_data() {
+        let mut rec = AccessRecorder::new();
+        // Perfectly uniform: leaves 0..64 round-robin.
+        for i in 0..6400u64 {
+            rec.record(Leaf(i % 64), 96);
+        }
+        let chi = rec.leaf_chi_square(64, 16);
+        assert!(chi < 1.0, "round-robin over bins is exactly uniform, chi={chi}");
+    }
+
+    #[test]
+    fn chi_square_large_for_skewed_data() {
+        let mut rec = AccessRecorder::new();
+        for _ in 0..1000 {
+            rec.record(Leaf(0), 96);
+        }
+        let chi = rec.leaf_chi_square(64, 16);
+        assert!(chi > 1000.0, "all-one-leaf must look wildly non-uniform, chi={chi}");
+    }
+
+    #[test]
+    fn constant_shape_detects_variation() {
+        let mut rec = AccessRecorder::new();
+        rec.record(Leaf(1), 96);
+        rec.record(Leaf(2), 96);
+        assert!(rec.constant_shape());
+        rec.record(Leaf(3), 95);
+        assert!(!rec.constant_shape());
+    }
+
+    #[test]
+    fn serial_correlation_high_for_repeats() {
+        let mut rec = AccessRecorder::new();
+        for i in 0..100u64 {
+            rec.record(Leaf(i / 50), 96); // long runs
+        }
+        assert!(rec.leaf_serial_correlation() > 0.5);
+    }
+
+    #[test]
+    fn empty_recorder_behaviour() {
+        let rec = AccessRecorder::new();
+        assert!(rec.is_empty());
+        assert!(rec.constant_shape());
+        assert_eq!(rec.leaves().len(), 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! The ORAM stash: a small on-chip buffer of in-flight blocks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::block::Block;
+use crate::types::{BlockAddr, OramError};
+
+/// The on-chip stash (`C = 200` entries in the paper's Table 3).
+///
+/// Holds blocks between a path read and their eviction. PS-ORAM backup
+/// (shadow) blocks live here too but are invisible to lookups.
+///
+/// # Examples
+///
+/// ```
+/// use psoram_core::{Stash, Block, BlockAddr, Leaf};
+///
+/// let mut s = Stash::new(10);
+/// s.insert(Block::new(BlockAddr(1), Leaf(0), vec![9; 8])).unwrap();
+/// assert!(s.get(BlockAddr(1)).is_some());
+/// assert_eq!(s.len(), 1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Stash {
+    capacity: usize,
+    blocks: Vec<Block>,
+    max_occupancy: usize,
+}
+
+impl Stash {
+    /// Creates an empty stash bounded at `capacity` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "stash capacity must be positive");
+        Stash { capacity, blocks: Vec::new(), max_occupancy: 0 }
+    }
+
+    /// Inserts a block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OramError::StashOverflow`] when at capacity — a correctly
+    /// sized stash makes this statistically negligible, but the condition is
+    /// surfaced rather than silently dropping data.
+    pub fn insert(&mut self, block: Block) -> Result<(), OramError> {
+        if self.blocks.len() >= self.capacity {
+            return Err(OramError::StashOverflow { capacity: self.capacity });
+        }
+        self.blocks.push(block);
+        self.max_occupancy = self.max_occupancy.max(self.blocks.len());
+        Ok(())
+    }
+
+    /// Looks up the *primary* (non-backup) block at `addr`.
+    pub fn get(&self, addr: BlockAddr) -> Option<&Block> {
+        self.blocks.iter().find(|b| !b.is_backup && b.addr() == addr)
+    }
+
+    /// Mutable lookup of the primary block at `addr`.
+    pub fn get_mut(&mut self, addr: BlockAddr) -> Option<&mut Block> {
+        self.blocks.iter_mut().find(|b| !b.is_backup && b.addr() == addr)
+    }
+
+    /// `true` if a primary copy of `addr` is present.
+    pub fn contains(&self, addr: BlockAddr) -> bool {
+        self.get(addr).is_some()
+    }
+
+    /// Removes and returns blocks matching `pred`.
+    pub fn drain_matching(&mut self, mut pred: impl FnMut(&Block) -> bool) -> Vec<Block> {
+        let mut kept = Vec::with_capacity(self.blocks.len());
+        let mut taken = Vec::new();
+        for b in self.blocks.drain(..) {
+            if pred(&b) {
+                taken.push(b);
+            } else {
+                kept.push(b);
+            }
+        }
+        self.blocks = kept;
+        taken
+    }
+
+    /// Removes the block at position `idx` (used by the eviction planner).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn remove_at(&mut self, idx: usize) -> Block {
+        self.blocks.swap_remove(idx)
+    }
+
+    /// All blocks, including backups.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Current occupancy including backups.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` when the stash holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// High-water mark of occupancy (the paper's stash-overflow metric).
+    pub fn max_occupancy(&self) -> usize {
+        self.max_occupancy
+    }
+
+    /// Drops every block — models the loss of volatile state at a crash.
+    pub fn wipe(&mut self) {
+        self.blocks.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Leaf;
+
+    fn blk(a: u64) -> Block {
+        Block::new(BlockAddr(a), Leaf(0), vec![a as u8; 8])
+    }
+
+    #[test]
+    fn overflow_is_an_error_not_a_drop() {
+        let mut s = Stash::new(1);
+        s.insert(blk(1)).unwrap();
+        let err = s.insert(blk(2)).unwrap_err();
+        assert_eq!(err, OramError::StashOverflow { capacity: 1 });
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn lookup_ignores_backups() {
+        let mut s = Stash::new(4);
+        let primary = blk(7);
+        let backup = primary.to_backup(Leaf(3));
+        s.insert(backup).unwrap();
+        assert!(s.get(BlockAddr(7)).is_none());
+        s.insert(primary).unwrap();
+        assert!(s.get(BlockAddr(7)).is_some());
+        assert!(!s.get(BlockAddr(7)).unwrap().is_backup);
+    }
+
+    #[test]
+    fn get_mut_allows_update() {
+        let mut s = Stash::new(4);
+        s.insert(blk(1)).unwrap();
+        s.get_mut(BlockAddr(1)).unwrap().payload = vec![0xFF; 8];
+        assert_eq!(s.get(BlockAddr(1)).unwrap().payload, vec![0xFF; 8]);
+    }
+
+    #[test]
+    fn drain_matching_partitions() {
+        let mut s = Stash::new(8);
+        for a in 0..6 {
+            s.insert(blk(a)).unwrap();
+        }
+        let even = s.drain_matching(|b| b.addr().0 % 2 == 0);
+        assert_eq!(even.len(), 3);
+        assert_eq!(s.len(), 3);
+        assert!(s.blocks().iter().all(|b| b.addr().0 % 2 == 1));
+    }
+
+    #[test]
+    fn max_occupancy_is_a_high_water_mark() {
+        let mut s = Stash::new(8);
+        for a in 0..5 {
+            s.insert(blk(a)).unwrap();
+        }
+        s.drain_matching(|_| true);
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.max_occupancy(), 5);
+    }
+
+    #[test]
+    fn wipe_models_crash() {
+        let mut s = Stash::new(4);
+        s.insert(blk(1)).unwrap();
+        s.wipe();
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! Controller-level statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by an ORAM controller.
+///
+/// NVM-side traffic lives in [`psoram_nvm::NvmStats`]; these counters cover
+/// the controller-internal quantities the paper reports on top of it
+/// (backup blocks, dirty-entry flushes, on-chip NVM buffer operations for
+/// the `FullNVM` designs, stash behaviour).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OramStats {
+    /// Total ORAM accesses served.
+    pub accesses: u64,
+    /// Read accesses.
+    pub reads: u64,
+    /// Write accesses.
+    pub writes: u64,
+    /// Accesses whose target was already in the stash.
+    pub stash_hits: u64,
+    /// Backup (shadow) blocks created (PS-ORAM step ④).
+    pub backups_created: u64,
+    /// Live shadow copies re-written during eviction to preserve
+    /// recoverability.
+    pub shadows_rewritten: u64,
+    /// Dirty PosMap entries flushed through the PosMap WPQ.
+    pub dirty_entries_flushed: u64,
+    /// PosMap entry writes issued to NVM (includes Naïve's full-path
+    /// flushes).
+    pub posmap_entry_writes: u64,
+    /// Reads from an on-chip NVM buffer (`FullNVM` stash/PosMap).
+    pub onchip_nvm_reads: u64,
+    /// Writes to an on-chip NVM buffer (`FullNVM` stash/PosMap).
+    pub onchip_nvm_writes: u64,
+    /// Atomic eviction rounds committed through the WPQs.
+    pub eviction_rounds: u64,
+    /// Eviction sub-batches (>1 per round only with small WPQs).
+    pub eviction_batches: u64,
+    /// Blocks that could not be placed on the eviction path and returned to
+    /// the stash.
+    pub eviction_leftovers: u64,
+    /// Small-WPQ evictions that had to fall back to identity placement
+    /// because the greedy plan contained an oversize dependency cycle.
+    pub in_place_fallbacks: u64,
+    /// Posmap-tree block reads performed by recursive variants.
+    pub recursion_reads: u64,
+    /// Posmap-tree block writes performed by recursive variants.
+    pub recursion_writes: u64,
+    /// Stash-snapshot blocks persisted to the NVM stash region
+    /// (Rcr-PS-ORAM's "dirty blocks in the stash are persisted").
+    pub stash_snapshot_writes: u64,
+    /// PosMap Lookaside Buffer hits (recursive variants).
+    pub plb_hits: u64,
+    /// PosMap Lookaside Buffer misses down to the on-chip root.
+    pub plb_full_misses: u64,
+    /// Crashes injected or invoked.
+    pub crashes: u64,
+    /// Recoveries performed.
+    pub recoveries: u64,
+    /// Sum of per-access latencies in core cycles.
+    pub total_access_cycles: u64,
+}
+
+impl OramStats {
+    /// Component-wise difference (`self - earlier`), for measuring an
+    /// interval that excludes warmup.
+    pub fn since(&self, earlier: &OramStats) -> OramStats {
+        OramStats {
+            accesses: self.accesses - earlier.accesses,
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            stash_hits: self.stash_hits - earlier.stash_hits,
+            backups_created: self.backups_created - earlier.backups_created,
+            shadows_rewritten: self.shadows_rewritten - earlier.shadows_rewritten,
+            dirty_entries_flushed: self.dirty_entries_flushed - earlier.dirty_entries_flushed,
+            posmap_entry_writes: self.posmap_entry_writes - earlier.posmap_entry_writes,
+            onchip_nvm_reads: self.onchip_nvm_reads - earlier.onchip_nvm_reads,
+            onchip_nvm_writes: self.onchip_nvm_writes - earlier.onchip_nvm_writes,
+            eviction_rounds: self.eviction_rounds - earlier.eviction_rounds,
+            eviction_batches: self.eviction_batches - earlier.eviction_batches,
+            eviction_leftovers: self.eviction_leftovers - earlier.eviction_leftovers,
+            in_place_fallbacks: self.in_place_fallbacks - earlier.in_place_fallbacks,
+            recursion_reads: self.recursion_reads - earlier.recursion_reads,
+            recursion_writes: self.recursion_writes - earlier.recursion_writes,
+            stash_snapshot_writes: self.stash_snapshot_writes - earlier.stash_snapshot_writes,
+            plb_hits: self.plb_hits - earlier.plb_hits,
+            plb_full_misses: self.plb_full_misses - earlier.plb_full_misses,
+            crashes: self.crashes - earlier.crashes,
+            recoveries: self.recoveries - earlier.recoveries,
+            total_access_cycles: self.total_access_cycles - earlier.total_access_cycles,
+        }
+    }
+
+    /// Mean access latency in core cycles.
+    pub fn mean_access_cycles(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.total_access_cycles as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_access_cycles_handles_zero() {
+        assert_eq!(OramStats::default().mean_access_cycles(), 0.0);
+    }
+
+    #[test]
+    fn mean_access_cycles_divides() {
+        let s = OramStats { accesses: 4, total_access_cycles: 100, ..Default::default() };
+        assert!((s.mean_access_cycles() - 25.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,308 @@
+//! The NVM-resident ORAM tree, stored sparsely.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::block::Block;
+use crate::bucket::Bucket;
+use crate::types::{Leaf, OramConfig};
+
+/// Index of a bucket in heap order: the root is `0`, the node at depth `d`,
+/// position `i` is `2^d - 1 + i`.
+pub type BucketIndex = u64;
+
+/// The external (NVM) ORAM tree.
+///
+/// The tree is stored **sparsely**: buckets that have never held a real
+/// block are implicit all-dummy buckets. This is what makes the paper's
+/// 4 GB, `L = 23` geometry simulable — only touched buckets are
+/// materialized, while path/addressing arithmetic (the part that drives all
+/// timing results) is exact.
+///
+/// # Examples
+///
+/// ```
+/// use psoram_core::{OramTree, OramConfig, Leaf};
+///
+/// let cfg = OramConfig::small_test();
+/// let tree = OramTree::new(&cfg);
+/// let path = tree.path_indices(Leaf(5));
+/// assert_eq!(path.len(), cfg.levels as usize + 1);
+/// assert_eq!(path[0], 0); // root first
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OramTree {
+    levels: u32,
+    bucket_slots: usize,
+    block_bytes: usize,
+    /// Byte offset of this tree inside the simulated NVM address space
+    /// (recursive PosMap trees live above the data tree).
+    base_addr: u64,
+    buckets: HashMap<BucketIndex, Bucket>,
+}
+
+impl OramTree {
+    /// Creates an empty (all-dummy) tree for `config` at NVM offset 0.
+    pub fn new(config: &OramConfig) -> Self {
+        Self::with_base(config.levels, config.bucket_slots, config.block_bytes, 0)
+    }
+
+    /// Creates an empty tree with explicit geometry and NVM base address.
+    pub fn with_base(levels: u32, bucket_slots: usize, block_bytes: usize, base_addr: u64) -> Self {
+        OramTree { levels, bucket_slots, block_bytes, base_addr, buckets: HashMap::new() }
+    }
+
+    /// Tree height `L`.
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Slots per bucket `Z`.
+    pub fn bucket_slots(&self) -> usize {
+        self.bucket_slots
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> u64 {
+        1u64 << self.levels
+    }
+
+    /// Total bucket count.
+    pub fn num_buckets(&self) -> u64 {
+        (1u64 << (self.levels + 1)) - 1
+    }
+
+    /// Total size of the tree region in simulated NVM bytes.
+    pub fn region_bytes(&self) -> u64 {
+        self.num_buckets() * self.bucket_slots as u64 * self.block_bytes as u64
+    }
+
+    /// NVM base address of this tree's region.
+    pub fn base_addr(&self) -> u64 {
+        self.base_addr
+    }
+
+    /// Bucket indices along the path from the root to `leaf`, root first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf` is out of range.
+    pub fn path_indices(&self, leaf: Leaf) -> Vec<BucketIndex> {
+        assert!(leaf.0 < self.num_leaves(), "leaf {leaf} out of range");
+        (0..=self.levels)
+            .map(|d| (1u64 << d) - 1 + (leaf.0 >> (self.levels - d)))
+            .collect()
+    }
+
+    /// The bucket index at depth `depth` on the path to `leaf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf` or `depth` is out of range.
+    pub fn bucket_at(&self, leaf: Leaf, depth: u32) -> BucketIndex {
+        assert!(depth <= self.levels);
+        assert!(leaf.0 < self.num_leaves());
+        (1u64 << depth) - 1 + (leaf.0 >> (self.levels - depth))
+    }
+
+    /// Depth of the deepest bucket shared by the paths to `a` and `b`.
+    pub fn common_depth(&self, a: Leaf, b: Leaf) -> u32 {
+        let diff = a.0 ^ b.0;
+        if diff == 0 {
+            self.levels
+        } else {
+            // Bit length of the XOR tells the first diverging level.
+            self.levels - (64 - diff.leading_zeros())
+        }
+    }
+
+    /// Simulated NVM byte address of `(bucket, slot)` — used by the timing
+    /// layer to spread path blocks over channels and banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn slot_nvm_addr(&self, bucket: BucketIndex, slot: usize) -> u64 {
+        assert!(slot < self.bucket_slots);
+        self.base_addr
+            + (bucket * self.bucket_slots as u64 + slot as u64) * self.block_bytes as u64
+    }
+
+    /// Immutable bucket view; unmaterialized buckets read as all-dummy.
+    pub fn bucket(&self, idx: BucketIndex) -> Bucket {
+        debug_assert!(idx < self.num_buckets());
+        self.buckets.get(&idx).cloned().unwrap_or_else(|| Bucket::new(self.bucket_slots))
+    }
+
+    /// Mutable bucket access, materializing on demand.
+    pub fn bucket_mut(&mut self, idx: BucketIndex) -> &mut Bucket {
+        debug_assert!(idx < self.num_buckets());
+        let z = self.bucket_slots;
+        self.buckets.entry(idx).or_insert_with(|| Bucket::new(z))
+    }
+
+    /// Removes (returns) every real block on the path to `leaf`, leaving the
+    /// path all-dummy. This is the physical effect of a path read followed
+    /// by the eventual full-path rewrite.
+    pub fn take_path(&mut self, leaf: Leaf) -> Vec<Block> {
+        let mut out = Vec::new();
+        for idx in self.path_indices(leaf) {
+            if let Some(bucket) = self.buckets.get_mut(&idx) {
+                out.extend(bucket.take_blocks());
+            }
+        }
+        out
+    }
+
+    /// Reads (clones) every real block on the path to `leaf` without
+    /// modifying the tree.
+    pub fn read_path(&self, leaf: Leaf) -> Vec<Block> {
+        let mut out = Vec::new();
+        for idx in self.path_indices(leaf) {
+            if let Some(bucket) = self.buckets.get(&idx) {
+                out.extend(bucket.blocks().cloned());
+            }
+        }
+        out
+    }
+
+    /// Overwrites slot `slot` of `bucket` with `block` (dummy if `None`).
+    pub fn write_slot(&mut self, bucket: BucketIndex, slot: usize, block: Option<Block>) {
+        self.bucket_mut(bucket).set_slot(slot, block);
+    }
+
+    /// Number of materialized (touched) buckets — a memory-footprint probe.
+    pub fn materialized_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Total real blocks currently stored in the tree.
+    pub fn real_blocks(&self) -> usize {
+        self.buckets.values().map(Bucket::occupancy).sum()
+    }
+
+    /// Searches the path to `leaf` for a non-backup block with address
+    /// `addr`, returning a clone.
+    pub fn find_on_path(&self, leaf: Leaf, addr: crate::types::BlockAddr) -> Option<Block> {
+        for idx in self.path_indices(leaf) {
+            if let Some(bucket) = self.buckets.get(&idx) {
+                for b in bucket.blocks() {
+                    if b.addr() == addr {
+                        return Some(b.clone());
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::BlockAddr;
+
+    fn tree() -> OramTree {
+        OramTree::new(&OramConfig::small_test()) // L = 6
+    }
+
+    #[test]
+    fn path_indices_follow_heap_layout() {
+        let t = tree();
+        // Leaf 0 is the leftmost: indices 0, 1, 3, 7, 15, 31, 63.
+        assert_eq!(t.path_indices(Leaf(0)), vec![0, 1, 3, 7, 15, 31, 63]);
+        // Leaf 63 is the rightmost.
+        assert_eq!(t.path_indices(Leaf(63)), vec![0, 2, 6, 14, 30, 62, 126]);
+    }
+
+    #[test]
+    fn paths_share_prefix_by_common_depth() {
+        let t = tree();
+        let a = Leaf(0b000000);
+        let b = Leaf(0b000001);
+        assert_eq!(t.common_depth(a, b), 5);
+        let c = Leaf(0b100000);
+        assert_eq!(t.common_depth(a, c), 0);
+        assert_eq!(t.common_depth(a, a), 6);
+    }
+
+    #[test]
+    fn bucket_at_matches_path_indices() {
+        let t = tree();
+        let leaf = Leaf(37);
+        let path = t.path_indices(leaf);
+        for (d, &idx) in path.iter().enumerate() {
+            assert_eq!(t.bucket_at(leaf, d as u32), idx);
+        }
+    }
+
+    #[test]
+    fn unmaterialized_buckets_read_all_dummy() {
+        let t = tree();
+        assert!(t.bucket(12).is_empty());
+        assert_eq!(t.materialized_buckets(), 0);
+    }
+
+    #[test]
+    fn write_then_read_path_roundtrips() {
+        let mut t = tree();
+        let leaf = Leaf(9);
+        let idx = t.bucket_at(leaf, 3);
+        t.write_slot(idx, 0, Some(Block::new(BlockAddr(42), leaf, vec![7; 8])));
+        let found = t.read_path(leaf);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].addr(), BlockAddr(42));
+        assert_eq!(t.real_blocks(), 1);
+    }
+
+    #[test]
+    fn take_path_empties_the_path_only() {
+        let mut t = tree();
+        t.write_slot(t.bucket_at(Leaf(0), 6), 0, Some(Block::new(BlockAddr(1), Leaf(0), vec![0; 8])));
+        t.write_slot(t.bucket_at(Leaf(63), 6), 0, Some(Block::new(BlockAddr(2), Leaf(63), vec![0; 8])));
+        let taken = t.take_path(Leaf(0));
+        assert_eq!(taken.len(), 1);
+        assert_eq!(taken[0].addr(), BlockAddr(1));
+        assert_eq!(t.real_blocks(), 1); // leaf-63 block untouched
+    }
+
+    #[test]
+    fn slot_nvm_addresses_are_disjoint_and_block_aligned() {
+        let t = tree();
+        let a = t.slot_nvm_addr(0, 0);
+        let b = t.slot_nvm_addr(0, 1);
+        let c = t.slot_nvm_addr(1, 0);
+        assert_eq!(b - a, 64);
+        assert_eq!(c - a, 4 * 64);
+        assert_eq!(a % 64, 0);
+    }
+
+    #[test]
+    fn region_bytes_matches_geometry() {
+        let t = tree();
+        assert_eq!(t.region_bytes(), 127 * 4 * 64);
+    }
+
+    #[test]
+    fn find_on_path_sees_blocks_at_any_depth() {
+        let mut t = tree();
+        let leaf = Leaf(20);
+        t.write_slot(t.bucket_at(leaf, 0), 2, Some(Block::new(BlockAddr(5), leaf, vec![1; 8])));
+        assert!(t.find_on_path(leaf, BlockAddr(5)).is_some());
+        assert!(t.find_on_path(leaf, BlockAddr(6)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn path_indices_rejects_bad_leaf() {
+        let _ = tree().path_indices(Leaf(64));
+    }
+
+    #[test]
+    fn base_addr_offsets_slot_addresses() {
+        let t = OramTree::with_base(3, 4, 64, 1 << 20);
+        assert_eq!(t.slot_nvm_addr(0, 0), 1 << 20);
+        assert_eq!(t.base_addr(), 1 << 20);
+    }
+}

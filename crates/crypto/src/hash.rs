@@ -1,0 +1,133 @@
+//! A 128-bit hash built from AES (Davies–Meyer + Merkle–Damgård).
+//!
+//! Secure-memory integrity engines use block-cipher-based compression
+//! functions because the AES datapath is already on chip. This is the
+//! classic Davies–Meyer construction, `H_i = E(m_i, H_{i-1}) ^ H_{i-1}`,
+//! with Merkle–Damgård length-strengthening — collision-resistant under
+//! the ideal-cipher model and exactly what the integrity tree needs.
+
+use crate::Aes128;
+
+/// Output size of [`Hash128`] in bytes.
+pub const DIGEST_BYTES: usize = 16;
+
+/// A 128-bit digest.
+pub type Digest = [u8; DIGEST_BYTES];
+
+/// AES-based 128-bit hash function.
+///
+/// # Examples
+///
+/// ```
+/// use psoram_crypto::Hash128;
+///
+/// let h = Hash128::new();
+/// let d1 = h.digest(b"bucket contents");
+/// let d2 = h.digest(b"bucket contents!");
+/// assert_ne!(d1, d2);
+/// assert_eq!(d1, h.digest(b"bucket contents"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Hash128;
+
+impl Hash128 {
+    /// Creates the hash function (stateless; the construction is keyless).
+    pub fn new() -> Self {
+        Hash128
+    }
+
+    /// Hashes `msg` to a 128-bit digest.
+    pub fn digest(&self, msg: &[u8]) -> Digest {
+        // IV: an arbitrary fixed constant (fractional bits of sqrt(2)).
+        let mut state: Digest = [
+            0x6a, 0x09, 0xe6, 0x67, 0xbb, 0x67, 0xae, 0x85, 0x3c, 0x6e, 0xf3, 0x72, 0xa5, 0x4f,
+            0xf5, 0x3a,
+        ];
+        let compress = |state: &mut Digest, block: &[u8; 16]| {
+            // Davies–Meyer: the message block is the cipher *key*.
+            let aes = Aes128::new(block);
+            let out = aes.encrypt_block(state);
+            for (s, o) in state.iter_mut().zip(out) {
+                *s ^= o;
+            }
+        };
+        let mut chunks = msg.chunks_exact(16);
+        for chunk in &mut chunks {
+            let mut block = [0u8; 16];
+            block.copy_from_slice(chunk);
+            compress(&mut state, &block);
+        }
+        // Final padded block: remainder || 0x80 || zeros.
+        let rem = chunks.remainder();
+        let mut block = [0u8; 16];
+        block[..rem.len()].copy_from_slice(rem);
+        block[rem.len()] = 0x80;
+        compress(&mut state, &block);
+        // Length-strengthening block.
+        let mut len_block = [0u8; 16];
+        len_block[8..].copy_from_slice(&(msg.len() as u64).to_be_bytes());
+        compress(&mut state, &len_block);
+        state
+    }
+
+    /// Hashes the concatenation of several parts without materializing it.
+    pub fn digest_parts(&self, parts: &[&[u8]]) -> Digest {
+        let total: Vec<u8> = parts.concat();
+        self.digest(&total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let h = Hash128::new();
+        assert_eq!(h.digest(b"abc"), h.digest(b"abc"));
+    }
+
+    #[test]
+    fn sensitive_to_every_byte() {
+        let h = Hash128::new();
+        let base = h.digest(&[0u8; 64]);
+        for i in 0..64 {
+            let mut m = [0u8; 64];
+            m[i] = 1;
+            assert_ne!(h.digest(&m), base, "flip at byte {i} undetected");
+        }
+    }
+
+    #[test]
+    fn length_extension_distinguished() {
+        let h = Hash128::new();
+        // Same prefix, different lengths of zero padding.
+        assert_ne!(h.digest(&[0u8; 16]), h.digest(&[0u8; 32]));
+        assert_ne!(h.digest(b""), h.digest(&[0u8; 1]));
+    }
+
+    #[test]
+    fn parts_equal_concatenation() {
+        let h = Hash128::new();
+        assert_eq!(h.digest_parts(&[b"ab", b"cd"]), h.digest(b"abcd"));
+    }
+
+    #[test]
+    fn boundary_lengths() {
+        let h = Hash128::new();
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 33] {
+            let m = vec![0xA5u8; len];
+            let d = h.digest(&m);
+            assert_eq!(d, h.digest(&m), "len {len}");
+        }
+    }
+
+    #[test]
+    fn empirical_collision_sanity() {
+        let h = Hash128::new();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..2000u64 {
+            assert!(seen.insert(h.digest(&i.to_le_bytes())), "collision at {i}");
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Cycle-cost model for the ORAM controller's encryption circuit.
+
+/// Latency model for AES operations inside the ORAM controller.
+///
+/// The paper assumes an overall AES-128 latency of **32 processor cycles**
+/// (Table 3, following Fletcher et al. and Zhang et al.) and overlaps
+/// encryption-pad generation with the data fetch (Osiris-style), so that on
+/// the read path only the final XOR is serialized after the data arrives.
+///
+/// # Examples
+///
+/// ```
+/// use psoram_crypto::CryptoLatencyModel;
+///
+/// let model = CryptoLatencyModel::paper_default();
+/// // Pad overlapped with fetch: only the XOR (1 cycle) is exposed.
+/// assert_eq!(model.decrypt_overlapped_cycles(), 1);
+/// assert_eq!(model.encrypt_cycles(), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CryptoLatencyModel {
+    aes_cycles: u64,
+    overlap_pad_generation: bool,
+}
+
+impl CryptoLatencyModel {
+    /// Creates a latency model with an explicit AES pipeline depth.
+    pub fn new(aes_cycles: u64, overlap_pad_generation: bool) -> Self {
+        CryptoLatencyModel { aes_cycles, overlap_pad_generation }
+    }
+
+    /// The configuration used throughout the paper's evaluation:
+    /// 32-cycle AES, pad generation overlapped with the memory fetch.
+    pub fn paper_default() -> Self {
+        CryptoLatencyModel { aes_cycles: 32, overlap_pad_generation: true }
+    }
+
+    /// Cycles charged to encrypt one block (pad generation + XOR).
+    pub fn encrypt_cycles(&self) -> u64 {
+        self.aes_cycles
+    }
+
+    /// Cycles exposed on the critical path when decrypting a block that was
+    /// just fetched from memory. With overlapped pad generation only the
+    /// final XOR (1 cycle) is visible; otherwise the full AES latency is.
+    pub fn decrypt_overlapped_cycles(&self) -> u64 {
+        if self.overlap_pad_generation {
+            1
+        } else {
+            self.aes_cycles
+        }
+    }
+
+    /// Raw AES pipeline latency in cycles.
+    pub fn aes_cycles(&self) -> u64 {
+        self.aes_cycles
+    }
+}
+
+impl Default for CryptoLatencyModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_32_cycles_overlapped() {
+        let m = CryptoLatencyModel::paper_default();
+        assert_eq!(m.aes_cycles(), 32);
+        assert_eq!(m.encrypt_cycles(), 32);
+        assert_eq!(m.decrypt_overlapped_cycles(), 1);
+    }
+
+    #[test]
+    fn non_overlapped_exposes_full_latency() {
+        let m = CryptoLatencyModel::new(32, false);
+        assert_eq!(m.decrypt_overlapped_cycles(), 32);
+    }
+
+    #[test]
+    fn default_matches_paper_default() {
+        assert_eq!(CryptoLatencyModel::default(), CryptoLatencyModel::paper_default());
+    }
+}

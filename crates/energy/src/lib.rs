@@ -1,0 +1,215 @@
+//! # psoram-energy
+//!
+//! Analytic drain energy/time model comparing eADR-based persistence with
+//! PS-ORAM's WPQ-only persistence domain — the model behind the paper's
+//! Tables 1 and 2 (§4.2.4), following the BBB (HPCA'21) cost constants.
+//!
+//! On a power failure, a design must drain every byte of its persistence
+//! domain to the NVM using residual energy:
+//!
+//! * **eADR-ORAM** extends the persistence domain over the whole cache
+//!   hierarchy *and* the ORAM controller buffers (stash + on-chip PosMap) —
+//!   193.07 MB at the paper's configuration.
+//! * **eADR-cache** covers the caches and stash only (no ORAM-protocol
+//!   persistence), which is cheaper but insufficient for consistency.
+//! * **PS-ORAM** drains only the two WPQs (96- or 4-entry).
+//!
+//! # Examples
+//!
+//! ```
+//! use psoram_energy::DrainCostModel;
+//!
+//! let model = DrainCostModel::paper_config(96);
+//! let eadr = model.eadr_oram();
+//! let ps = model.ps_oram();
+//! assert!(eadr.energy_joules / ps.energy_joules > 10_000.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+
+/// Energy/time cost constants (the paper's Table 1, after BBB).
+pub mod constants {
+    /// Accessing data in SRAM cells: ~1 pJ/Byte.
+    pub const SRAM_ACCESS_PJ_PER_BYTE: f64 = 1.0;
+    /// Moving data from L1D to NVM: 11.839 nJ/Byte.
+    pub const L1_TO_NVM_NJ_PER_BYTE: f64 = 11.839;
+    /// Moving data from L2, stash, PosMap or WPQs to NVM: 11.228 nJ/Byte.
+    pub const L2_TO_NVM_NJ_PER_BYTE: f64 = 11.228;
+    /// Effective drain bandwidth implied by the paper's Table 2 numbers
+    /// (~42.3 GB/s: 6816 B in 161.134 ns).
+    pub const DRAIN_BYTES_PER_SECOND: f64 = 42.3e9;
+}
+
+/// Energy and time to drain one persistence domain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DrainCost {
+    /// Bytes drained.
+    pub bytes: f64,
+    /// Energy in joules.
+    pub energy_joules: f64,
+    /// Time in seconds.
+    pub time_seconds: f64,
+}
+
+impl DrainCost {
+    fn from_bytes(l1_bytes: f64, rest_bytes: f64) -> Self {
+        let energy = l1_bytes * constants::L1_TO_NVM_NJ_PER_BYTE * 1e-9
+            + rest_bytes * constants::L2_TO_NVM_NJ_PER_BYTE * 1e-9;
+        let bytes = l1_bytes + rest_bytes;
+        DrainCost {
+            bytes,
+            energy_joules: energy,
+            time_seconds: bytes / constants::DRAIN_BYTES_PER_SECOND,
+        }
+    }
+
+    /// Energy in microjoules.
+    pub fn energy_uj(&self) -> f64 {
+        self.energy_joules * 1e6
+    }
+
+    /// Time in nanoseconds.
+    pub fn time_ns(&self) -> f64 {
+        self.time_seconds * 1e9
+    }
+}
+
+/// Sizes of the on-chip structures whose contents would need draining.
+///
+/// The paper's §4.2.4 configuration: 64 KB of L1 (I+D), 1 MB L2, a
+/// 200-entry/64 B stash (12.5 KB), a 192 MB on-chip PosMap, and WPQs of 96
+/// (or 4) entries — 64 B per data entry and 7 B per PosMap entry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DrainCostModel {
+    /// L1 cache bytes (drained at the L1 rate).
+    pub l1_bytes: f64,
+    /// L2 cache bytes.
+    pub l2_bytes: f64,
+    /// Stash bytes.
+    pub stash_bytes: f64,
+    /// On-chip PosMap bytes.
+    pub posmap_bytes: f64,
+    /// Data-block WPQ bytes.
+    pub wpq_data_bytes: f64,
+    /// PosMap WPQ bytes.
+    pub wpq_posmap_bytes: f64,
+}
+
+impl DrainCostModel {
+    /// The paper's configuration with `wpq_entries` per WPQ (96 or 4).
+    pub fn paper_config(wpq_entries: usize) -> Self {
+        DrainCostModel {
+            l1_bytes: 64.0 * 1024.0,
+            l2_bytes: 1024.0 * 1024.0,
+            stash_bytes: 200.0 * 64.0,
+            posmap_bytes: 192.0 * 1024.0 * 1024.0,
+            wpq_data_bytes: wpq_entries as f64 * 64.0,
+            wpq_posmap_bytes: wpq_entries as f64 * 7.0,
+        }
+    }
+
+    /// eADR-ORAM: drain the caches, the stash, and the on-chip PosMap.
+    pub fn eadr_oram(&self) -> DrainCost {
+        DrainCost::from_bytes(
+            self.l1_bytes,
+            self.l2_bytes + self.stash_bytes + self.posmap_bytes,
+        )
+    }
+
+    /// eADR-cache: drain the caches and the stash only (no ORAM-protocol
+    /// persistence — insufficient for consistency, shown for scale).
+    pub fn eadr_cache(&self) -> DrainCost {
+        DrainCost::from_bytes(self.l1_bytes, self.l2_bytes + self.stash_bytes)
+    }
+
+    /// PS-ORAM: drain only the two write pending queues.
+    pub fn ps_oram(&self) -> DrainCost {
+        DrainCost::from_bytes(0.0, self.wpq_data_bytes + self.wpq_posmap_bytes)
+    }
+
+    /// Ratio of eADR-ORAM to PS-ORAM drain energy.
+    pub fn energy_ratio_eadr_oram(&self) -> f64 {
+        self.eadr_oram().energy_joules / self.ps_oram().energy_joules
+    }
+
+    /// Ratio of eADR-cache to PS-ORAM drain energy.
+    pub fn energy_ratio_eadr_cache(&self) -> f64 {
+        self.eadr_cache().energy_joules / self.ps_oram().energy_joules
+    }
+
+    /// Ratio of eADR-ORAM to PS-ORAM drain time.
+    pub fn time_ratio_eadr_oram(&self) -> f64 {
+        self.eadr_oram().time_seconds / self.ps_oram().time_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ps_oram_96_entry_matches_paper() {
+        // Paper: 76.530 uJ and 161.134 ns for 96-entry WPQs (6816 B).
+        let m = DrainCostModel::paper_config(96);
+        let c = m.ps_oram();
+        assert!((c.bytes - 6816.0).abs() < 1e-9);
+        assert!((c.energy_uj() - 76.530).abs() < 0.05, "got {} uJ", c.energy_uj());
+        assert!((c.time_ns() - 161.134).abs() < 1.0, "got {} ns", c.time_ns());
+    }
+
+    #[test]
+    fn eadr_oram_matches_paper_within_one_percent() {
+        // Paper: 2.286 J and 4.817 ms.
+        let m = DrainCostModel::paper_config(96);
+        let c = m.eadr_oram();
+        assert!((c.energy_joules - 2.286).abs() / 2.286 < 0.01, "got {} J", c.energy_joules);
+        assert!((c.time_seconds - 4.817e-3).abs() / 4.817e-3 < 0.01, "got {} s", c.time_seconds);
+    }
+
+    #[test]
+    fn eadr_cache_matches_paper_within_one_percent() {
+        // Paper: 12.653 mJ and 26.638 us.
+        let m = DrainCostModel::paper_config(96);
+        let c = m.eadr_cache();
+        assert!(
+            (c.energy_joules - 12.653e-3).abs() / 12.653e-3 < 0.01,
+            "got {} J",
+            c.energy_joules
+        );
+        assert!(
+            (c.time_seconds - 26.638e-6).abs() / 26.638e-6 < 0.02,
+            "got {} s",
+            c.time_seconds
+        );
+    }
+
+    #[test]
+    fn ratios_have_paper_magnitudes() {
+        let m = DrainCostModel::paper_config(96);
+        // Paper: eADR-ORAM ~29870x PS-ORAM; eADR-cache ~165x.
+        let r_oram = m.energy_ratio_eadr_oram();
+        let r_cache = m.energy_ratio_eadr_cache();
+        assert!((r_oram - 29870.0).abs() / 29870.0 < 0.02, "got {r_oram}");
+        assert!((r_cache - 165.0).abs() / 165.0 < 0.05, "got {r_cache}");
+    }
+
+    #[test]
+    fn four_entry_wpq_still_micro_joules() {
+        let m = DrainCostModel::paper_config(4);
+        let c = m.ps_oram();
+        // Paper reports 2.83 uJ (we compute 3.19 uJ with 64+7 B entries —
+        // the delta is the paper's entry-size rounding; same magnitude).
+        assert!(c.energy_uj() < 4.0 && c.energy_uj() > 2.0, "got {} uJ", c.energy_uj());
+        assert!(c.time_ns() < 10.0, "got {} ns", c.time_ns());
+    }
+
+    #[test]
+    fn energy_orders_eadr_oram_over_cache_over_ps() {
+        let m = DrainCostModel::paper_config(96);
+        assert!(m.eadr_oram().energy_joules > m.eadr_cache().energy_joules);
+        assert!(m.eadr_cache().energy_joules > m.ps_oram().energy_joules);
+    }
+}

@@ -1,0 +1,408 @@
+//! The multi-channel NVM memory controller.
+
+use serde::{Deserialize, Serialize};
+
+use crate::channel::Channel;
+use crate::request::AccessKind;
+use crate::stats::NvmStats;
+use crate::timing::{MemTech, TimingParams};
+
+/// Configuration of the simulated NVM main memory.
+///
+/// # Examples
+///
+/// ```
+/// use psoram_nvm::NvmConfig;
+///
+/// let cfg = NvmConfig::paper_pcm(4);
+/// assert_eq!(cfg.channels, 4);
+/// assert_eq!(cfg.block_bytes, 64);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NvmConfig {
+    /// Device technology (PCM by default, per the paper).
+    pub tech: MemTech,
+    /// Number of independent channels (1, 2 or 4 in the paper).
+    pub channels: usize,
+    /// Banks per channel.
+    pub banks_per_channel: usize,
+    /// Transfer granularity in bytes (64 B cacheline in the paper).
+    pub block_bytes: usize,
+    /// Data-bus width in bytes transferred per memory cycle.
+    pub bus_bytes_per_cycle: usize,
+    /// Channel-interleave granularity in blocks (1 = cacheline
+    /// interleaving; 4 = 256 B DIMM-granularity interleaving). Coarser
+    /// granularity interacts with the ORAM tree's exponential bucket
+    /// layout and produces the channel imbalance the paper observes when
+    /// scaling from 2 to 4 channels (§5.2.3).
+    pub interleave_blocks: u64,
+    /// Controller write buffer entries (0 disables buffering). With a
+    /// buffer, writes are acknowledged on entry and drained to the banks
+    /// when the buffer crosses its high watermark (half full) — the
+    /// read-priority scheduling real PCM controllers use to hide the long
+    /// write pulse. Buffered writes are volatile: they are a *performance*
+    /// structure, distinct from the WPQ persistence domain.
+    pub write_buffer_entries: usize,
+}
+
+impl NvmConfig {
+    /// The paper's Table 3 PCM main memory with the given channel count:
+    /// 4 GB PCM @ 400 MHz, 64 B blocks, 8 banks per channel.
+    pub fn paper_pcm(channels: usize) -> Self {
+        NvmConfig {
+            tech: MemTech::Pcm,
+            channels,
+            banks_per_channel: 8,
+            block_bytes: 64,
+            bus_bytes_per_cycle: 8,
+            interleave_blocks: 1,
+            write_buffer_entries: 0,
+        }
+    }
+
+    /// Same organization with STT-RAM timing.
+    pub fn paper_sttram(channels: usize) -> Self {
+        NvmConfig { tech: MemTech::SttRam, ..Self::paper_pcm(channels) }
+    }
+
+    /// DRAM-timed reference memory for the non-ORAM comparison of §5.1.
+    pub fn dram_reference(channels: usize) -> Self {
+        NvmConfig { tech: MemTech::Dram, ..Self::paper_pcm(channels) }
+    }
+
+    /// Memory cycles occupied by one block transfer on the data bus.
+    pub fn burst_cycles(&self) -> u64 {
+        (self.block_bytes as u64).div_ceil(self.bus_bytes_per_cycle as u64)
+    }
+}
+
+impl Default for NvmConfig {
+    fn default() -> Self {
+        Self::paper_pcm(1)
+    }
+}
+
+/// Cycle-level multi-channel NVM controller.
+///
+/// Addresses are interleaved across channels at block granularity and across
+/// banks within a channel. All times are in **memory cycles** (400 MHz);
+/// multiply by [`crate::CORE_CYCLES_PER_MEM_CYCLE`] for core cycles.
+///
+/// # Examples
+///
+/// ```
+/// use psoram_nvm::{NvmConfig, NvmController, AccessKind};
+///
+/// let mut mem = NvmController::new(NvmConfig::paper_pcm(2));
+/// let t1 = mem.access(0x0000, AccessKind::Read, 0);
+/// let t2 = mem.access(0x0040, AccessKind::Read, 0); // next block, other channel
+/// assert_eq!(t1, t2); // perfectly parallel across channels
+/// ```
+#[derive(Debug, Clone)]
+pub struct NvmController {
+    config: NvmConfig,
+    timing: TimingParams,
+    channels: Vec<Channel>,
+    stats: NvmStats,
+    /// Buffered (acknowledged but not yet drained) writes: `(addr, bytes)`.
+    write_buffer: std::collections::VecDeque<(u64, usize)>,
+    /// Writes drained from the buffer (observability).
+    drained_writes: u64,
+}
+
+impl NvmController {
+    /// Creates an idle memory system from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.channels` is zero.
+    pub fn new(config: NvmConfig) -> Self {
+        assert!(config.channels > 0, "need at least one channel");
+        let timing = TimingParams::for_tech(config.tech);
+        let channels = (0..config.channels)
+            .map(|_| Channel::new(config.banks_per_channel))
+            .collect();
+        NvmController {
+            config,
+            timing,
+            channels,
+            stats: NvmStats::default(),
+            write_buffer: std::collections::VecDeque::new(),
+            drained_writes: 0,
+        }
+    }
+
+    /// Maps a byte address to `(channel, bank)`.
+    ///
+    /// Channels interleave at `interleave_blocks` granularity; banks within
+    /// a channel always interleave at block granularity (so single-channel
+    /// behaviour is independent of the channel-interleave setting).
+    pub fn map_address(&self, addr: u64) -> (usize, usize) {
+        let block = addr / self.config.block_bytes as u64;
+        let group = block / self.config.interleave_blocks;
+        let channel = (group % self.config.channels as u64) as usize;
+        // Within-channel block index: strip the channel bits from the
+        // interleave group, keep the offset inside the group.
+        let local = (group / self.config.channels as u64) * self.config.interleave_blocks
+            + block % self.config.interleave_blocks;
+        let bank = (local % self.config.banks_per_channel as u64) as usize;
+        (channel, bank)
+    }
+
+    /// Performs one block access arriving at memory cycle `arrival` and
+    /// returns its completion cycle.
+    pub fn access(&mut self, addr: u64, kind: AccessKind, arrival: u64) -> u64 {
+        self.access_sized(addr, kind, arrival, self.config.block_bytes)
+    }
+
+    /// Performs one access of `bytes` bytes (sub-block writes such as
+    /// PosMap entries occupy the bus for fewer cycles; cell-programming
+    /// time is unchanged).
+    pub fn access_sized(&mut self, addr: u64, kind: AccessKind, arrival: u64, bytes: usize) -> u64 {
+        // Read-priority write buffering: acknowledged writes park in the
+        // buffer; they drain to the banks when the buffer crosses its high
+        // watermark, out of the way of latency-critical reads.
+        if kind.is_write() && self.config.write_buffer_entries > 0 {
+            self.write_buffer.push_back((addr, bytes));
+            self.stats.record(kind, bytes as u64);
+            if self.write_buffer.len() >= self.config.write_buffer_entries {
+                self.drain_write_buffer(arrival, self.config.write_buffer_entries / 2);
+            }
+            return arrival + 1; // accepted immediately
+        }
+        let (ch, bank) = self.map_address(addr);
+        let burst = (bytes as u64).div_ceil(self.config.bus_bytes_per_cycle as u64).max(1);
+        let sched = self.channels[ch].access(bank, kind, arrival, &self.timing, burst);
+        self.stats.record(kind, bytes as u64);
+        sched.complete
+    }
+
+    /// Drains the write buffer down to `low_watermark` entries, scheduling
+    /// the drained writes on the banks starting at `now`.
+    pub fn drain_write_buffer(&mut self, now: u64, low_watermark: usize) -> u64 {
+        let mut done = now;
+        while self.write_buffer.len() > low_watermark {
+            let (addr, bytes) = self.write_buffer.pop_front().expect("non-empty");
+            let (ch, bank) = self.map_address(addr);
+            let burst = (bytes as u64).div_ceil(self.config.bus_bytes_per_cycle as u64).max(1);
+            let sched =
+                self.channels[ch].access(bank, AccessKind::Write, now, &self.timing, burst);
+            done = done.max(sched.complete);
+            self.drained_writes += 1;
+        }
+        done
+    }
+
+    /// Writes currently parked in the (volatile) write buffer.
+    pub fn write_buffer_len(&self) -> usize {
+        self.write_buffer.len()
+    }
+
+    /// Writes that have drained from the buffer to the banks.
+    pub fn drained_writes(&self) -> u64 {
+        self.drained_writes
+    }
+
+    /// Performs a batch of block accesses all arriving at `arrival` and
+    /// returns the cycle at which the *last* one completes.
+    ///
+    /// This is the shape of an ORAM path read/write: `Z * (L+1)` blocks
+    /// spread over the channels and banks.
+    pub fn access_batch(
+        &mut self,
+        addrs: impl IntoIterator<Item = u64>,
+        kind: AccessKind,
+        arrival: u64,
+    ) -> u64 {
+        let block = self.config.block_bytes;
+        self.access_batch_sized(addrs, kind, arrival, block)
+    }
+
+    /// [`NvmController::access_batch`] with an explicit per-access size.
+    pub fn access_batch_sized(
+        &mut self,
+        addrs: impl IntoIterator<Item = u64>,
+        kind: AccessKind,
+        arrival: u64,
+        bytes: usize,
+    ) -> u64 {
+        let mut done = arrival;
+        for addr in addrs {
+            done = done.max(self.access_sized(addr, kind, arrival, bytes));
+        }
+        done
+    }
+
+    /// Immutable access to the accumulated traffic statistics.
+    pub fn stats(&self) -> &NvmStats {
+        &self.stats
+    }
+
+    /// Resets traffic statistics (not the timing state).
+    pub fn reset_stats(&mut self) {
+        self.stats = NvmStats::default();
+    }
+
+    /// The configuration this controller was built with.
+    pub fn config(&self) -> &NvmConfig {
+        &self.config
+    }
+
+    /// The active device timing parameters.
+    pub fn timing(&self) -> &TimingParams {
+        &self.timing
+    }
+
+    /// Per-channel, per-bank lifetime write counts (wear map).
+    pub fn wear_map(&self) -> Vec<Vec<u64>> {
+        self.channels.iter().map(Channel::bank_writes).collect()
+    }
+
+    /// Total data-bus busy cycles summed over channels.
+    pub fn total_bus_busy_cycles(&self) -> u64 {
+        self.channels.iter().map(Channel::busy_cycles).sum()
+    }
+
+    /// Last cycle at which any channel had activity.
+    pub fn last_activity(&self) -> u64 {
+        self.channels.iter().map(Channel::last_activity).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_mapping_interleaves_blocks_across_channels() {
+        let mem = NvmController::new(NvmConfig::paper_pcm(4));
+        assert_eq!(mem.map_address(0x00).0, 0);
+        assert_eq!(mem.map_address(0x40).0, 1);
+        assert_eq!(mem.map_address(0x80).0, 2);
+        assert_eq!(mem.map_address(0xC0).0, 3);
+        assert_eq!(mem.map_address(0x100).0, 0);
+    }
+
+    #[test]
+    fn same_channel_blocks_rotate_banks() {
+        let mem = NvmController::new(NvmConfig::paper_pcm(1));
+        let (_, b0) = mem.map_address(0x00);
+        let (_, b1) = mem.map_address(0x40);
+        assert_ne!(b0, b1);
+    }
+
+    #[test]
+    fn more_channels_speed_up_batches() {
+        let addrs: Vec<u64> = (0..96u64).map(|i| i * 64).collect();
+        let mut one = NvmController::new(NvmConfig::paper_pcm(1));
+        let mut four = NvmController::new(NvmConfig::paper_pcm(4));
+        let t1 = one.access_batch(addrs.clone(), AccessKind::Read, 0);
+        let t4 = four.access_batch(addrs, AccessKind::Read, 0);
+        assert!(t4 < t1, "4-channel {t4} should beat 1-channel {t1}");
+        // ...but not 4x, matching the paper's sub-linear scaling discussion.
+        assert!(t4 * 2 > t1 / 2);
+    }
+
+    #[test]
+    fn stats_count_reads_and_writes_separately() {
+        let mut mem = NvmController::new(NvmConfig::default());
+        mem.access(0, AccessKind::Read, 0);
+        mem.access(64, AccessKind::Write, 0);
+        mem.access(128, AccessKind::Write, 0);
+        assert_eq!(mem.stats().reads, 1);
+        assert_eq!(mem.stats().writes, 2);
+        assert_eq!(mem.stats().write_bytes, 128);
+    }
+
+    #[test]
+    fn wear_map_shape_matches_geometry() {
+        let cfg = NvmConfig::paper_pcm(2);
+        let mut mem = NvmController::new(cfg.clone());
+        for i in 0..64u64 {
+            mem.access(i * 64, AccessKind::Write, 0);
+        }
+        let wear = mem.wear_map();
+        assert_eq!(wear.len(), cfg.channels);
+        assert!(wear.iter().all(|ch| ch.len() == cfg.banks_per_channel));
+        let total: u64 = wear.iter().flatten().sum();
+        assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn sttram_reads_faster_than_pcm() {
+        let mut pcm = NvmController::new(NvmConfig::paper_pcm(1));
+        let mut stt = NvmController::new(NvmConfig::paper_sttram(1));
+        assert!(stt.access(0, AccessKind::Read, 0) < pcm.access(0, AccessKind::Read, 0));
+    }
+
+    #[test]
+    fn reset_stats_clears_traffic_only() {
+        let mut mem = NvmController::new(NvmConfig::default());
+        let t1 = mem.access(0, AccessKind::Write, 0);
+        mem.reset_stats();
+        assert_eq!(mem.stats().writes, 0);
+        // Timing state survives: the same bank is still busy.
+        let t2 = mem.access(0, AccessKind::Write, 0);
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn burst_cycles_for_paper_config() {
+        assert_eq!(NvmConfig::paper_pcm(1).burst_cycles(), 8);
+    }
+
+    #[test]
+    fn write_buffer_acknowledges_writes_immediately() {
+        let mut cfg = NvmConfig::paper_pcm(1);
+        cfg.write_buffer_entries = 16;
+        let mut mem = NvmController::new(cfg);
+        let done = mem.access(0, AccessKind::Write, 100);
+        assert_eq!(done, 101, "buffered write acks in one cycle");
+        assert_eq!(mem.write_buffer_len(), 1);
+        assert_eq!(mem.stats().writes, 1, "traffic counted at acceptance");
+    }
+
+    #[test]
+    fn write_buffer_drains_at_high_watermark() {
+        let mut cfg = NvmConfig::paper_pcm(1);
+        cfg.write_buffer_entries = 8;
+        let mut mem = NvmController::new(cfg);
+        for i in 0..8u64 {
+            mem.access(i * 64, AccessKind::Write, 0);
+        }
+        // Hitting the watermark drains down to half.
+        assert_eq!(mem.write_buffer_len(), 4);
+        assert_eq!(mem.drained_writes(), 4);
+    }
+
+    #[test]
+    fn buffered_writes_keep_reads_fast() {
+        let run = |buffer: usize| {
+            let mut cfg = NvmConfig::paper_pcm(1);
+            cfg.write_buffer_entries = buffer;
+            let mut mem = NvmController::new(cfg);
+            // A write burst followed immediately by a dependent read.
+            for i in 0..6u64 {
+                mem.access(i * 64, AccessKind::Write, 0);
+            }
+            mem.access(0x8000, AccessKind::Read, 0)
+        };
+        let unbuffered = run(0);
+        let buffered = run(64);
+        assert!(buffered < unbuffered, "read behind writes: {buffered} !< {unbuffered}");
+    }
+
+    #[test]
+    fn explicit_drain_empties_buffer() {
+        let mut cfg = NvmConfig::paper_pcm(1);
+        cfg.write_buffer_entries = 32;
+        let mut mem = NvmController::new(cfg);
+        for i in 0..10u64 {
+            mem.access(i * 64, AccessKind::Write, 0);
+        }
+        let done = mem.drain_write_buffer(100, 0);
+        assert_eq!(mem.write_buffer_len(), 0);
+        assert!(done > 100);
+        assert_eq!(mem.drained_writes(), 10);
+    }
+}

@@ -1,0 +1,93 @@
+//! On-chip NVM buffer latency model for the `FullNVM` baselines.
+//!
+//! In the paper's `FullNVM` design, the stash and PosMap are built from NVM
+//! cells *on chip* instead of SRAM, so that their contents trivially survive
+//! a crash — at the cost of paying NVM read/write latencies on every stash
+//! or PosMap operation. `FullNVM` uses PCM-timed buffers and `FullNVM(STT)`
+//! STT-RAM-timed ones (both keep PCM main memory).
+
+use serde::{Deserialize, Serialize};
+
+use crate::timing::{MemTech, TimingParams, CORE_CYCLES_PER_MEM_CYCLE};
+
+/// Latency model of an on-chip buffer built from NVM cells.
+///
+/// Latencies are expressed in **core cycles** because the buffer sits inside
+/// the ORAM controller's clock domain. SRAM-backed buffers use a 1-cycle
+/// access as the reference.
+///
+/// # Examples
+///
+/// ```
+/// use psoram_nvm::{OnChipNvmModel, MemTech};
+///
+/// let pcm = OnChipNvmModel::for_tech(MemTech::Pcm);
+/// let stt = OnChipNvmModel::for_tech(MemTech::SttRam);
+/// assert!(pcm.write_cycles > stt.write_cycles);
+/// assert!(stt.read_cycles > OnChipNvmModel::sram().read_cycles);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OnChipNvmModel {
+    /// Core cycles per buffer read.
+    pub read_cycles: u64,
+    /// Core cycles per buffer write.
+    pub write_cycles: u64,
+}
+
+impl OnChipNvmModel {
+    /// An SRAM buffer: single-cycle access (the `Baseline`/`PS-ORAM` stash).
+    pub fn sram() -> Self {
+        OnChipNvmModel { read_cycles: 1, write_cycles: 1 }
+    }
+
+    /// An on-chip buffer with the cell timing of `tech`.
+    ///
+    /// On-chip arrays avoid the off-chip bus, so we charge the cell-level
+    /// components only: `tRCD` for reads and `tCWD + tWP` for writes,
+    /// converted from memory cycles to core cycles.
+    pub fn for_tech(tech: MemTech) -> Self {
+        let t = TimingParams::for_tech(tech);
+        OnChipNvmModel {
+            read_cycles: t.t_rcd * CORE_CYCLES_PER_MEM_CYCLE,
+            write_cycles: (t.t_cwd + t.t_wp) * CORE_CYCLES_PER_MEM_CYCLE,
+        }
+    }
+}
+
+impl Default for OnChipNvmModel {
+    fn default() -> Self {
+        Self::sram()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sram_is_single_cycle() {
+        let m = OnChipNvmModel::sram();
+        assert_eq!(m.read_cycles, 1);
+        assert_eq!(m.write_cycles, 1);
+    }
+
+    #[test]
+    fn pcm_buffer_latency_dominates_stt() {
+        let pcm = OnChipNvmModel::for_tech(MemTech::Pcm);
+        let stt = OnChipNvmModel::for_tech(MemTech::SttRam);
+        assert!(pcm.read_cycles > stt.read_cycles);
+        assert!(pcm.write_cycles > stt.write_cycles);
+    }
+
+    #[test]
+    fn pcm_values_derive_from_table3() {
+        let m = OnChipNvmModel::for_tech(MemTech::Pcm);
+        assert_eq!(m.read_cycles, 48 * 8);
+        assert_eq!(m.write_cycles, (4 + 60) * 8);
+    }
+
+    #[test]
+    fn default_is_sram() {
+        assert_eq!(OnChipNvmModel::default(), OnChipNvmModel::sram());
+    }
+}

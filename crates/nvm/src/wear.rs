@@ -1,0 +1,182 @@
+//! Start-Gap wear leveling (Qureshi et al., MICRO'09).
+//!
+//! The paper highlights that PS-ORAM is "friendly to NVM lifetime"; real
+//! PCM deployments additionally rotate the physical address space so no
+//! cell wears out early. Start-Gap keeps one spare line and moves a *gap*
+//! through the physical space, shifting every logical line by one position
+//! per full rotation — simple algebra, no remap table.
+
+use serde::{Deserialize, Serialize};
+
+/// A gap-move event: the controller must copy one line into the gap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GapMove {
+    /// Physical line whose content moves into the old gap position.
+    pub from_line: u64,
+    /// Physical line that becomes the new gap.
+    pub to_line: u64,
+}
+
+/// Start-Gap address rotation over `lines` logical lines (using `lines + 1`
+/// physical lines).
+///
+/// # Examples
+///
+/// ```
+/// use psoram_nvm::StartGap;
+///
+/// let mut sg = StartGap::new(8, 4); // move the gap every 4 writes
+/// let before = sg.map(3);
+/// for _ in 0..4 {
+///     sg.record_write();
+/// }
+/// // After a gap move some line's mapping has shifted.
+/// let moved = (0..8).any(|l| sg.map(l) != { let s = StartGap::new(8, 4); s.map(l) });
+/// assert!(moved || before == sg.map(3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StartGap {
+    lines: u64,
+    start: u64,
+    /// Physical position of the gap, in `0..=lines`.
+    gap: u64,
+    interval: u64,
+    writes_since_move: u64,
+    gap_moves: u64,
+}
+
+impl StartGap {
+    /// Creates a Start-Gap mapper over `lines` logical lines, moving the
+    /// gap after every `interval` writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` or `interval` is zero.
+    pub fn new(lines: u64, interval: u64) -> Self {
+        assert!(lines > 0, "need at least one line");
+        assert!(interval > 0, "gap move interval must be positive");
+        StartGap { lines, start: 0, gap: lines, interval, writes_since_move: 0, gap_moves: 0 }
+    }
+
+    /// Maps a logical line to its current physical line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical >= lines`.
+    pub fn map(&self, logical: u64) -> u64 {
+        assert!(logical < self.lines, "logical line out of range");
+        let pa = (logical + self.start) % self.lines;
+        if pa >= self.gap {
+            pa + 1
+        } else {
+            pa
+        }
+    }
+
+    /// Records one write; every `interval` writes the gap moves one
+    /// position and the required line copy is returned.
+    pub fn record_write(&mut self) -> Option<GapMove> {
+        self.writes_since_move += 1;
+        if self.writes_since_move < self.interval {
+            return None;
+        }
+        self.writes_since_move = 0;
+        self.gap_moves += 1;
+        let mv = if self.gap == 0 {
+            // Full rotation complete: gap wraps to the top and the start
+            // shifts by one, sliding every logical line.
+            self.start = (self.start + 1) % self.lines;
+            let mv = GapMove { from_line: self.lines, to_line: 0 };
+            self.gap = self.lines;
+            mv
+        } else {
+            let mv = GapMove { from_line: self.gap - 1, to_line: self.gap };
+            self.gap -= 1;
+            mv
+        };
+        Some(mv)
+    }
+
+    /// Number of gap moves performed (each costs one extra line write).
+    pub fn gap_moves(&self) -> u64 {
+        self.gap_moves
+    }
+
+    /// Number of logical lines managed.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn mapping_is_injective_at_all_times() {
+        let mut sg = StartGap::new(16, 1);
+        for step in 0..200 {
+            let mapped: HashSet<u64> = (0..16).map(|l| sg.map(l)).collect();
+            assert_eq!(mapped.len(), 16, "collision at step {step}");
+            assert!(mapped.iter().all(|&p| p <= 16));
+            // The gap line is never mapped.
+            assert!(!mapped.contains(&sg.gap));
+            sg.record_write();
+        }
+    }
+
+    #[test]
+    fn gap_moves_every_interval() {
+        let mut sg = StartGap::new(8, 4);
+        let mut moves = 0;
+        for _ in 0..40 {
+            if sg.record_write().is_some() {
+                moves += 1;
+            }
+        }
+        assert_eq!(moves, 10);
+        assert_eq!(sg.gap_moves(), 10);
+    }
+
+    #[test]
+    fn full_rotation_shifts_start() {
+        let lines = 4u64;
+        let mut sg = StartGap::new(lines, 1);
+        let initial: Vec<u64> = (0..lines).map(|l| sg.map(l)).collect();
+        // One full rotation = lines + 1 gap moves.
+        for _ in 0..=lines {
+            sg.record_write();
+        }
+        let after: Vec<u64> = (0..lines).map(|l| sg.map(l)).collect();
+        assert_ne!(initial, after, "a full rotation must shift the mapping");
+    }
+
+    #[test]
+    fn hot_line_wear_is_spread_over_rotations() {
+        // Hammer logical line 0 and count physical-line write distribution.
+        let lines = 8u64;
+        let mut sg = StartGap::new(lines, 8);
+        let mut wear = vec![0u64; lines as usize + 1];
+        for _ in 0..20_000 {
+            wear[sg.map(0) as usize] += 1;
+            if let Some(mv) = sg.record_write() {
+                wear[mv.to_line as usize] += 1; // the copy write
+            }
+        }
+        let touched = wear.iter().filter(|&&w| w > 0).count();
+        assert!(
+            touched >= lines as usize,
+            "hot line should rotate over (nearly) all physical lines, touched {touched}"
+        );
+        let max = *wear.iter().max().unwrap() as f64;
+        let avg = wear.iter().sum::<u64>() as f64 / wear.len() as f64;
+        assert!(max / avg < 3.0, "wear still concentrated: max {max}, avg {avg:.0}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_logical_rejected() {
+        StartGap::new(4, 1).map(4);
+    }
+}

@@ -1,0 +1,390 @@
+//! The ADR persistence domain: write pending queues with atomic batches.
+//!
+//! Intel ADR guarantees that, on a power failure, the contents of the
+//! memory controller's write pending queues (WPQs) are flushed to the NVM.
+//! PS-ORAM places *two* WPQs inside this domain — one for evicted data
+//! blocks and one for dirty PosMap entries — and a **drainer** that brackets
+//! each eviction round between a `start` and an `end` signal sent to both
+//! queues (paper §4.1–4.2, steps 5-B/5-C). Entries of a round become durable
+//! *atomically* when the `end` signal is observed; a crash before `end`
+//! discards the whole round from both queues, so data and metadata can never
+//! persist half-updated.
+
+use serde::{Deserialize, Serialize};
+
+/// An entry queued for persistence in a WPQ.
+///
+/// The queue is generic in its payload; the ORAM controller uses one
+/// instantiation for 64 B data blocks and one for PosMap entries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WpqEntry<T> {
+    /// NVM destination address of the entry.
+    pub addr: u64,
+    /// The value to persist.
+    pub value: T,
+}
+
+/// Error returned when pushing to a full WPQ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WpqFullError {
+    /// Capacity of the queue that rejected the push.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for WpqFullError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "write pending queue full (capacity {})", self.capacity)
+    }
+}
+
+impl std::error::Error for WpqFullError {}
+
+/// A bounded write pending queue with start/end-signalled atomic batches.
+///
+/// Entries pushed between [`Wpq::begin_batch`] and [`Wpq::end_batch`] become
+/// durable together. [`Wpq::crash`] models a power failure: committed
+/// entries are flushed by the ADR energy reserve and returned; the open
+/// (uncommitted) batch is lost.
+///
+/// # Examples
+///
+/// ```
+/// use psoram_nvm::{Wpq, WpqEntry};
+///
+/// let mut q: Wpq<u32> = Wpq::new(4);
+/// q.begin_batch();
+/// q.push(WpqEntry { addr: 0x40, value: 7 }).unwrap();
+/// q.end_batch();
+/// q.begin_batch();
+/// q.push(WpqEntry { addr: 0x80, value: 9 }).unwrap();
+/// // Crash before the second end signal: only the first batch survives.
+/// let survivors = q.crash();
+/// assert_eq!(survivors.len(), 1);
+/// assert_eq!(survivors[0].value, 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Wpq<T> {
+    capacity: usize,
+    committed: Vec<WpqEntry<T>>,
+    open: Vec<WpqEntry<T>>,
+    in_batch: bool,
+    stats: WpqStats,
+}
+
+/// Occupancy and throughput statistics for a WPQ.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WpqStats {
+    /// Total entries ever pushed.
+    pub entries_pushed: u64,
+    /// Batches committed via the end signal.
+    pub batches_committed: u64,
+    /// Entries drained to NVM during normal operation.
+    pub entries_drained: u64,
+    /// High-water mark of total queue occupancy.
+    pub max_occupancy: usize,
+}
+
+impl<T> Wpq<T> {
+    /// Creates an empty queue holding at most `capacity` entries
+    /// (committed + open combined).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "WPQ capacity must be positive");
+        Wpq {
+            capacity,
+            committed: Vec::new(),
+            open: Vec::new(),
+            in_batch: false,
+            stats: WpqStats::default(),
+        }
+    }
+
+    /// Starts a new atomic batch (the drainer's `start` signal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a batch is already open — the drainer protocol is strictly
+    /// bracketed.
+    pub fn begin_batch(&mut self) {
+        assert!(!self.in_batch, "WPQ batch already open");
+        self.in_batch = true;
+    }
+
+    /// Queues an entry in the open batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WpqFullError`] if the queue is at capacity; the caller must
+    /// drain (or split the eviction round) before retrying.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no batch is open.
+    pub fn push(&mut self, entry: WpqEntry<T>) -> Result<(), WpqFullError> {
+        assert!(self.in_batch, "WPQ push outside a batch");
+        if self.len() >= self.capacity {
+            return Err(WpqFullError { capacity: self.capacity });
+        }
+        self.open.push(entry);
+        self.stats.entries_pushed += 1;
+        self.stats.max_occupancy = self.stats.max_occupancy.max(self.len());
+        Ok(())
+    }
+
+    /// Commits the open batch (the drainer's `end` signal); its entries are
+    /// now inside the persistence guarantee.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no batch is open.
+    pub fn end_batch(&mut self) {
+        assert!(self.in_batch, "WPQ end signal without a start");
+        self.in_batch = false;
+        self.committed.append(&mut self.open);
+        self.stats.batches_committed += 1;
+    }
+
+    /// Drains all committed entries for writing to the NVM (normal-operation
+    /// flush, step 5-C).
+    pub fn drain_committed(&mut self) -> Vec<WpqEntry<T>> {
+        self.stats.entries_drained += self.committed.len() as u64;
+        std::mem::take(&mut self.committed)
+    }
+
+    /// Models a power failure: returns the entries the ADR energy reserve
+    /// flushes to NVM (all committed entries) and discards the open batch.
+    pub fn crash(&mut self) -> Vec<WpqEntry<T>> {
+        self.open.clear();
+        self.in_batch = false;
+        std::mem::take(&mut self.committed)
+    }
+
+    /// Entries currently queued (committed + open).
+    pub fn len(&self) -> usize {
+        self.committed.len() + self.open.len()
+    }
+
+    /// `true` when no entries are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remaining capacity before [`Wpq::push`] fails.
+    pub fn remaining(&self) -> usize {
+        self.capacity - self.len()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// `true` while a batch is open (between start and end signals).
+    pub fn in_batch(&self) -> bool {
+        self.in_batch
+    }
+
+    /// Occupancy/throughput statistics.
+    pub fn stats(&self) -> WpqStats {
+        self.stats
+    }
+}
+
+/// The PS-ORAM persistence domain: the drainer plus both WPQs.
+///
+/// The drainer issues `start`/`end` signals to the **data-block WPQ** and
+/// the **PosMap WPQ** simultaneously, which is what makes an ORAM eviction
+/// round's data and metadata persist atomically (design requirement §3.2).
+///
+/// # Examples
+///
+/// ```
+/// use psoram_nvm::{PersistenceDomain, WpqEntry};
+///
+/// let mut pd: PersistenceDomain<[u8; 8], u32> = PersistenceDomain::new(96, 96);
+/// pd.begin_round();
+/// pd.push_data(WpqEntry { addr: 0x40, value: [1; 8] }).unwrap();
+/// pd.push_posmap(WpqEntry { addr: 0x99, value: 5 }).unwrap();
+/// pd.commit_round();
+/// let (data, posmap) = pd.drain();
+/// assert_eq!(data.len(), 1);
+/// assert_eq!(posmap.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PersistenceDomain<D, P> {
+    data_wpq: Wpq<D>,
+    posmap_wpq: Wpq<P>,
+}
+
+impl<D, P> PersistenceDomain<D, P> {
+    /// Creates a persistence domain with the given WPQ capacities.
+    ///
+    /// The paper sizes both at 96 entries for the full-path configuration
+    /// and studies a 4-entry variant (§4.2.3).
+    pub fn new(data_capacity: usize, posmap_capacity: usize) -> Self {
+        PersistenceDomain {
+            data_wpq: Wpq::new(data_capacity),
+            posmap_wpq: Wpq::new(posmap_capacity),
+        }
+    }
+
+    /// Drainer `start` signal to both queues.
+    pub fn begin_round(&mut self) {
+        self.data_wpq.begin_batch();
+        self.posmap_wpq.begin_batch();
+    }
+
+    /// Queues a data block for persistence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WpqFullError`] when the data WPQ is full.
+    pub fn push_data(&mut self, entry: WpqEntry<D>) -> Result<(), WpqFullError> {
+        self.data_wpq.push(entry)
+    }
+
+    /// Queues a PosMap entry for persistence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WpqFullError`] when the PosMap WPQ is full.
+    pub fn push_posmap(&mut self, entry: WpqEntry<P>) -> Result<(), WpqFullError> {
+        self.posmap_wpq.push(entry)
+    }
+
+    /// Drainer `end` signal to both queues — the atomic commit point of an
+    /// eviction round.
+    pub fn commit_round(&mut self) {
+        self.data_wpq.end_batch();
+        self.posmap_wpq.end_batch();
+    }
+
+    /// Drains both queues for the NVM writeback (step 5-C).
+    pub fn drain(&mut self) -> (Vec<WpqEntry<D>>, Vec<WpqEntry<P>>) {
+        (self.data_wpq.drain_committed(), self.posmap_wpq.drain_committed())
+    }
+
+    /// Models a crash: both queues keep exactly their committed rounds.
+    pub fn crash(&mut self) -> (Vec<WpqEntry<D>>, Vec<WpqEntry<P>>) {
+        (self.data_wpq.crash(), self.posmap_wpq.crash())
+    }
+
+    /// The data-block WPQ.
+    pub fn data_wpq(&self) -> &Wpq<D> {
+        &self.data_wpq
+    }
+
+    /// The PosMap WPQ.
+    pub fn posmap_wpq(&self) -> &Wpq<P> {
+        &self.posmap_wpq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn committed_entries_survive_crash_uncommitted_do_not() {
+        let mut q: Wpq<u8> = Wpq::new(8);
+        q.begin_batch();
+        q.push(WpqEntry { addr: 1, value: 1 }).unwrap();
+        q.push(WpqEntry { addr: 2, value: 2 }).unwrap();
+        q.end_batch();
+        q.begin_batch();
+        q.push(WpqEntry { addr: 3, value: 3 }).unwrap();
+        let survivors = q.crash();
+        assert_eq!(survivors.iter().map(|e| e.addr).collect::<Vec<_>>(), vec![1, 2]);
+        assert!(q.is_empty());
+        assert!(!q.in_batch());
+    }
+
+    #[test]
+    fn push_respects_capacity() {
+        let mut q: Wpq<u8> = Wpq::new(2);
+        q.begin_batch();
+        q.push(WpqEntry { addr: 1, value: 1 }).unwrap();
+        q.push(WpqEntry { addr: 2, value: 2 }).unwrap();
+        let err = q.push(WpqEntry { addr: 3, value: 3 }).unwrap_err();
+        assert_eq!(err.capacity, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch already open")]
+    fn double_start_signal_panics() {
+        let mut q: Wpq<u8> = Wpq::new(2);
+        q.begin_batch();
+        q.begin_batch();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside a batch")]
+    fn push_without_start_panics() {
+        let mut q: Wpq<u8> = Wpq::new(2);
+        let _ = q.push(WpqEntry { addr: 1, value: 1 });
+    }
+
+    #[test]
+    fn drain_clears_committed_and_counts() {
+        let mut q: Wpq<u8> = Wpq::new(4);
+        q.begin_batch();
+        q.push(WpqEntry { addr: 1, value: 1 }).unwrap();
+        q.end_batch();
+        let drained = q.drain_committed();
+        assert_eq!(drained.len(), 1);
+        assert!(q.is_empty());
+        assert_eq!(q.stats().entries_drained, 1);
+        assert_eq!(q.stats().batches_committed, 1);
+    }
+
+    #[test]
+    fn max_occupancy_tracks_high_water_mark() {
+        let mut q: Wpq<u8> = Wpq::new(8);
+        q.begin_batch();
+        for i in 0..5 {
+            q.push(WpqEntry { addr: i, value: i as u8 }).unwrap();
+        }
+        q.end_batch();
+        q.drain_committed();
+        assert_eq!(q.stats().max_occupancy, 5);
+    }
+
+    #[test]
+    fn domain_crash_is_atomic_across_both_queues() {
+        let mut pd: PersistenceDomain<u8, u8> = PersistenceDomain::new(8, 8);
+        // Round 1: committed.
+        pd.begin_round();
+        pd.push_data(WpqEntry { addr: 1, value: 1 }).unwrap();
+        pd.push_posmap(WpqEntry { addr: 10, value: 10 }).unwrap();
+        pd.commit_round();
+        // Round 2: open at crash time.
+        pd.begin_round();
+        pd.push_data(WpqEntry { addr: 2, value: 2 }).unwrap();
+        pd.push_posmap(WpqEntry { addr: 20, value: 20 }).unwrap();
+        let (data, posmap) = pd.crash();
+        // Either both of a round's sides persist or neither does.
+        assert_eq!(data.len(), 1);
+        assert_eq!(posmap.len(), 1);
+        assert_eq!(data[0].addr, 1);
+        assert_eq!(posmap[0].addr, 10);
+    }
+
+    #[test]
+    fn remaining_capacity_reported() {
+        let mut q: Wpq<u8> = Wpq::new(4);
+        assert_eq!(q.remaining(), 4);
+        q.begin_batch();
+        q.push(WpqEntry { addr: 1, value: 1 }).unwrap();
+        assert_eq!(q.remaining(), 3);
+        assert_eq!(q.capacity(), 4);
+    }
+
+    #[test]
+    fn wpq_full_error_displays() {
+        let e = WpqFullError { capacity: 4 };
+        assert!(e.to_string().contains("capacity 4"));
+    }
+}

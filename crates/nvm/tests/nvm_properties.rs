@@ -1,0 +1,119 @@
+//! Property-based tests for the NVM timing model, the persistence domain,
+//! and the wear leveler.
+
+use proptest::prelude::*;
+
+use psoram_nvm::{AccessKind, NvmConfig, NvmController, StartGap, Wpq, WpqEntry};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A request can never complete before it arrives, and per-address
+    /// service times are positive.
+    #[test]
+    fn completion_after_arrival(
+        addrs in prop::collection::vec(0u64..(1 << 30), 1..64),
+        kinds in prop::collection::vec(any::<bool>(), 64),
+        channels in prop::sample::select(vec![1usize, 2, 4]),
+    ) {
+        let mut nvm = NvmController::new(NvmConfig::paper_pcm(channels));
+        let mut t = 0u64;
+        for (i, addr) in addrs.iter().enumerate() {
+            let kind = if kinds[i % kinds.len()] { AccessKind::Write } else { AccessKind::Read };
+            let done = nvm.access(addr & !63, kind, t);
+            prop_assert!(done > t, "completion {done} not after arrival {t}");
+            t = done;
+        }
+    }
+
+    /// Serving the same batch on more channels is never slower.
+    #[test]
+    fn more_channels_never_slower(
+        blocks in prop::collection::vec(0u64..(1 << 24), 4..80),
+    ) {
+        let addrs: Vec<u64> = blocks.iter().map(|b| b * 64).collect();
+        let mut one = NvmController::new(NvmConfig::paper_pcm(1));
+        let mut four = NvmController::new(NvmConfig::paper_pcm(4));
+        let t1 = one.access_batch(addrs.clone(), AccessKind::Read, 0);
+        let t4 = four.access_batch(addrs, AccessKind::Read, 0);
+        prop_assert!(t4 <= t1, "4ch {t4} slower than 1ch {t1}");
+    }
+
+    /// Address mapping is deterministic and in range.
+    #[test]
+    fn address_mapping_in_range(addr in any::<u64>(), channels in 1usize..5) {
+        let nvm = NvmController::new(NvmConfig::paper_pcm(channels));
+        let (c1, b1) = nvm.map_address(addr);
+        let (c2, b2) = nvm.map_address(addr);
+        prop_assert_eq!((c1, b1), (c2, b2));
+        prop_assert!(c1 < channels);
+        prop_assert!(b1 < 8);
+    }
+
+    /// WPQ crash semantics: exactly the committed prefix survives, in
+    /// order, regardless of the batch pattern.
+    #[test]
+    fn wpq_crash_preserves_committed_prefix(
+        batch_sizes in prop::collection::vec(0usize..6, 1..8),
+        commit_mask in prop::collection::vec(any::<bool>(), 8),
+    ) {
+        let mut q: Wpq<u64> = Wpq::new(1024);
+        let mut expected = Vec::new();
+        let mut next_val = 0u64;
+        let mut open_uncommitted = false;
+        for (i, &n) in batch_sizes.iter().enumerate() {
+            if open_uncommitted {
+                break; // an uncommitted batch must be the last activity
+            }
+            q.begin_batch();
+            let mut vals = Vec::new();
+            for _ in 0..n {
+                q.push(WpqEntry { addr: next_val, value: next_val }).unwrap();
+                vals.push(next_val);
+                next_val += 1;
+            }
+            if commit_mask[i % commit_mask.len()] {
+                q.end_batch();
+                expected.extend(vals);
+            } else {
+                open_uncommitted = true;
+            }
+        }
+        let survived: Vec<u64> = q.crash().into_iter().map(|e| e.value).collect();
+        prop_assert_eq!(survived, expected);
+    }
+
+    /// Start-Gap stays a bijection from logical lines onto physical lines
+    /// minus the gap, for any write pattern length.
+    #[test]
+    fn start_gap_bijection(lines in 2u64..64, writes in 0u64..500, interval in 1u64..16) {
+        let mut sg = StartGap::new(lines, interval);
+        for _ in 0..writes {
+            sg.record_write();
+        }
+        let mut seen = std::collections::HashSet::new();
+        for l in 0..lines {
+            let p = sg.map(l);
+            prop_assert!(p <= lines, "physical {p} beyond spare line");
+            prop_assert!(seen.insert(p), "collision at physical {p}");
+        }
+    }
+
+    /// Traffic accounting is exact: one record per access.
+    #[test]
+    fn stats_count_every_access(
+        ops in prop::collection::vec((0u64..(1 << 20), any::<bool>()), 1..100),
+    ) {
+        let mut nvm = NvmController::new(NvmConfig::paper_pcm(2));
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        for (block, is_write) in &ops {
+            let kind = if *is_write { AccessKind::Write } else { AccessKind::Read };
+            nvm.access(block * 64, kind, 0);
+            if *is_write { writes += 1 } else { reads += 1 }
+        }
+        prop_assert_eq!(nvm.stats().reads, reads);
+        prop_assert_eq!(nvm.stats().writes, writes);
+        prop_assert_eq!(nvm.stats().read_bytes, reads * 64);
+    }
+}

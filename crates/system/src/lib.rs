@@ -1,0 +1,34 @@
+//! # psoram-system
+//!
+//! The full-system PS-ORAM simulator: a trace-driven in-order core (1 IPC
+//! for non-memory work, blocking memory operations), the Table 3 cache
+//! hierarchy, an ORAM controller in one of the paper's seven protocol
+//! variants, and the cycle-level NVM main memory.
+//!
+//! This is the layer the paper's figures are produced from: feed it a
+//! workload, get back execution cycles, MPKI, and NVM traffic.
+//!
+//! # Examples
+//!
+//! ```
+//! use psoram_core::ProtocolVariant;
+//! use psoram_system::{System, SystemConfig};
+//! use psoram_trace::SpecWorkload;
+//!
+//! let cfg = SystemConfig::quick_test(ProtocolVariant::PsOram, 1);
+//! let mut sys = System::new(cfg);
+//! let result = sys.run_workload(SpecWorkload::Mcf, 2_000);
+//! assert!(result.exec_cycles > 0);
+//! assert!(result.instructions > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod result;
+mod system;
+
+pub use config::SystemConfig;
+pub use result::SimResult;
+pub use system::System;

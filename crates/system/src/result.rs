@@ -1,0 +1,103 @@
+//! Simulation results.
+
+use psoram_core::OramStats;
+use psoram_nvm::NvmStats;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one full-system simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Workload name.
+    pub workload: String,
+    /// Protocol variant label (or `"non-ORAM"`).
+    pub variant: String,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Memory accesses issued by the core.
+    pub accesses: u64,
+    /// LLC misses (ORAM accesses).
+    pub llc_misses: u64,
+    /// Total execution time in core cycles.
+    pub exec_cycles: u64,
+    /// Off-chip NVM traffic.
+    pub nvm: NvmStats,
+    /// ORAM controller statistics (zeroed for the non-ORAM reference).
+    pub oram: OramStats,
+}
+
+impl SimResult {
+    /// Measured LLC misses per kilo-instruction.
+    pub fn mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.llc_misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.exec_cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.exec_cycles as f64
+        }
+    }
+
+    /// Total read transactions as counted in Figure 6(a): NVM reads plus
+    /// on-chip NVM buffer reads (`FullNVM` designs).
+    pub fn total_reads(&self) -> u64 {
+        self.nvm.reads + self.oram.onchip_nvm_reads
+    }
+
+    /// Total write transactions as counted in Figure 6(b): NVM writes plus
+    /// on-chip NVM buffer writes.
+    pub fn total_writes(&self) -> u64 {
+        self.nvm.writes + self.oram.onchip_nvm_writes
+    }
+
+    /// Execution time normalized to a baseline run.
+    pub fn normalized_time(&self, baseline: &SimResult) -> f64 {
+        self.exec_cycles as f64 / baseline.exec_cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(cycles: u64) -> SimResult {
+        SimResult {
+            workload: "w".into(),
+            variant: "v".into(),
+            instructions: 1000,
+            accesses: 300,
+            llc_misses: 30,
+            exec_cycles: cycles,
+            nvm: NvmStats::default(),
+            oram: OramStats::default(),
+        }
+    }
+
+    #[test]
+    fn mpki_and_ipc() {
+        let r = result(2000);
+        assert!((r.mpki() - 30.0).abs() < 1e-12);
+        assert!((r.ipc() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_time_ratios() {
+        let base = result(1000);
+        let slow = result(1500);
+        assert!((slow.normalized_time(&base) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traffic_includes_onchip_buffers() {
+        let mut r = result(10);
+        r.nvm.record(psoram_nvm::AccessKind::Write, 64);
+        r.oram.onchip_nvm_writes = 5;
+        assert_eq!(r.total_writes(), 6);
+    }
+}

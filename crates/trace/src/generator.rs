@@ -1,0 +1,260 @@
+//! Synthetic workload generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::record::TraceRecord;
+
+/// Spatial pattern used for the *cold* (LLC-missing) part of a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Sequential lines (lbm-, libquantum-style streaming).
+    Stream,
+    /// Fixed stride in lines (scientific array codes).
+    Stride(u64),
+    /// Uniformly random lines over the cold footprint (mcf-, omnetpp-style
+    /// pointer chasing).
+    Chase,
+}
+
+/// A parameterized synthetic workload.
+///
+/// The generator emits a mixture of *hot* accesses (a small working set that
+/// fits in L1 and hits after warmup) and *cold* accesses (spread over a
+/// footprint far larger than the L2, which reliably miss). Choosing the
+/// miss probability `p_miss = mpki / (1000 * mem_ratio)` makes the LLC MPKI
+/// land on the target once caches are warm.
+///
+/// # Examples
+///
+/// ```
+/// use psoram_trace::{WorkloadSpec, AccessPattern, TraceGenerator};
+///
+/// let spec = WorkloadSpec::new("demo", 20.0, 0.3, 0.3, AccessPattern::Chase);
+/// let mut gen = TraceGenerator::new(&spec, 7);
+/// assert!(gen.next().is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Workload name (e.g. `429.mcf`).
+    pub name: String,
+    /// Target LLC misses per kilo-instruction (paper Table 4).
+    pub mpki: f64,
+    /// Memory accesses per retired instruction.
+    pub mem_ratio: f64,
+    /// Fraction of accesses that are stores.
+    pub write_frac: f64,
+    /// Spatial pattern of the cold accesses.
+    pub pattern: AccessPattern,
+    /// Hot working-set size in cache lines (defaults fit in L1).
+    pub hot_lines: u64,
+    /// Cold footprint in cache lines (defaults far exceed the L2).
+    pub cold_lines: u64,
+    /// Base byte address of the workload's footprint.
+    pub base_addr: u64,
+}
+
+impl WorkloadSpec {
+    /// Creates a spec with the default footprint sizes (128 hot lines,
+    /// 1 Mi cold lines = 64 MB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mem_ratio` is not in `(0, 1]`, if `write_frac` is outside
+    /// `[0, 1]`, or if the implied miss probability exceeds 1.
+    pub fn new(
+        name: impl Into<String>,
+        mpki: f64,
+        mem_ratio: f64,
+        write_frac: f64,
+        pattern: AccessPattern,
+    ) -> Self {
+        let spec = WorkloadSpec {
+            name: name.into(),
+            mpki,
+            mem_ratio,
+            write_frac,
+            pattern,
+            hot_lines: 128,
+            cold_lines: 1 << 20,
+            base_addr: 0,
+        };
+        spec.validate();
+        spec
+    }
+
+    fn validate(&self) {
+        assert!(self.mem_ratio > 0.0 && self.mem_ratio <= 1.0, "mem_ratio must be in (0,1]");
+        assert!((0.0..=1.0).contains(&self.write_frac), "write_frac must be in [0,1]");
+        let p = self.miss_probability();
+        assert!((0.0..=1.0).contains(&p), "target MPKI {} unreachable at mem_ratio {}", self.mpki, self.mem_ratio);
+        assert!(self.hot_lines > 0 && self.cold_lines > 0, "footprints must be non-empty");
+    }
+
+    /// Probability that an access goes to the cold (missing) region.
+    pub fn miss_probability(&self) -> f64 {
+        self.mpki / (1000.0 * self.mem_ratio)
+    }
+
+    /// Total footprint in bytes (hot + cold regions).
+    pub fn footprint_bytes(&self) -> u64 {
+        (self.hot_lines + self.cold_lines) * LINE_BYTES
+    }
+}
+
+const LINE_BYTES: u64 = 64;
+
+/// Deterministic, infinite trace generator for a [`WorkloadSpec`].
+///
+/// Two generators with the same spec and seed produce identical streams,
+/// which is what lets every protocol variant replay the *same* workload.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    spec: WorkloadSpec,
+    rng: StdRng,
+    /// Fractional accumulator distributing compute instructions exactly.
+    instr_accum: f64,
+    /// Next cold line for `Stream`/`Stride` patterns.
+    cold_cursor: u64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `spec` seeded with `seed`.
+    pub fn new(spec: &WorkloadSpec, seed: u64) -> Self {
+        spec.validate();
+        TraceGenerator {
+            spec: spec.clone(),
+            rng: StdRng::seed_from_u64(seed),
+            instr_accum: 0.0,
+            cold_cursor: 0,
+        }
+    }
+
+    /// The spec this generator was built from.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    fn next_cold_line(&mut self) -> u64 {
+        let lines = self.spec.cold_lines;
+        match self.spec.pattern {
+            AccessPattern::Stream => {
+                let l = self.cold_cursor;
+                self.cold_cursor = (self.cold_cursor + 1) % lines;
+                l
+            }
+            AccessPattern::Stride(s) => {
+                let l = self.cold_cursor;
+                // A stride co-prime with the footprint visits every line.
+                self.cold_cursor = (self.cold_cursor + s) % lines;
+                l
+            }
+            AccessPattern::Chase => self.rng.gen_range(0..lines),
+        }
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        // Spread compute instructions so that accesses/instruction equals
+        // mem_ratio exactly in the long run.
+        let per_access = 1.0 / self.spec.mem_ratio - 1.0;
+        self.instr_accum += per_access;
+        let instrs_before = self.instr_accum as u64;
+        self.instr_accum -= instrs_before as f64;
+
+        let cold = self.rng.gen_bool(self.spec.miss_probability().clamp(0.0, 1.0));
+        let line = if cold {
+            // Cold region sits above the hot region.
+            self.spec.hot_lines + self.next_cold_line()
+        } else {
+            self.rng.gen_range(0..self.spec.hot_lines)
+        };
+        let addr = self.spec.base_addr + line * LINE_BYTES;
+        let is_write = self.rng.gen_bool(self.spec.write_frac);
+        Some(TraceRecord { instrs_before, addr, is_write })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec::new("t", 30.0, 0.3, 0.25, AccessPattern::Chase)
+    }
+
+    #[test]
+    fn deterministic_across_same_seed() {
+        let a: Vec<_> = TraceGenerator::new(&spec(), 9).take(100).collect();
+        let b: Vec<_> = TraceGenerator::new(&spec(), 9).take(100).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Vec<_> = TraceGenerator::new(&spec(), 1).take(100).collect();
+        let b: Vec<_> = TraceGenerator::new(&spec(), 2).take(100).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mem_ratio_respected_in_the_long_run() {
+        let n = 50_000usize;
+        let total_instrs: u64 = TraceGenerator::new(&spec(), 3)
+            .take(n)
+            .map(|r| r.instrs_before + 1)
+            .sum();
+        let ratio = n as f64 / total_instrs as f64;
+        assert!((ratio - 0.3).abs() < 0.01, "got access ratio {ratio}");
+    }
+
+    #[test]
+    fn miss_probability_formula() {
+        let s = spec();
+        assert!((s.miss_probability() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_fraction_approximated() {
+        let n = 50_000usize;
+        let writes = TraceGenerator::new(&spec(), 5).take(n).filter(|r| r.is_write).count();
+        let frac = writes as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.02, "got write fraction {frac}");
+    }
+
+    #[test]
+    fn stream_pattern_emits_sequential_cold_lines() {
+        let mut s = spec();
+        s.pattern = AccessPattern::Stream;
+        s.mpki = 300.0; // make everything cold: p_miss = 1.0
+        s.mem_ratio = 0.3;
+        let addrs: Vec<u64> = TraceGenerator::new(&s, 1).take(10).map(|r| r.addr).collect();
+        for w in addrs.windows(2) {
+            assert_eq!(w[1] - w[0], 64, "stream must be sequential: {addrs:?}");
+        }
+    }
+
+    #[test]
+    fn addresses_stay_within_footprint() {
+        let s = spec();
+        for r in TraceGenerator::new(&s, 11).take(10_000) {
+            assert!(r.addr < s.footprint_bytes());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unreachable")]
+    fn unreachable_mpki_rejected() {
+        let _ = WorkloadSpec::new("bad", 500.0, 0.3, 0.0, AccessPattern::Chase);
+    }
+
+    #[test]
+    #[should_panic(expected = "mem_ratio")]
+    fn zero_mem_ratio_rejected() {
+        let _ = WorkloadSpec::new("bad", 1.0, 0.0, 0.0, AccessPattern::Chase);
+    }
+}

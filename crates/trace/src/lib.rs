@@ -1,0 +1,36 @@
+//! # psoram-trace
+//!
+//! Synthetic SPEC-CPU2006-like workload generators for the PS-ORAM
+//! evaluation, plus a serializable trace format.
+//!
+//! The paper drives its gem5+NVMain platform with simpoint samples of 14
+//! SPEC 2006 workloads (5,000,000 samples each) whose L2 MPKIs are listed in
+//! its Table 4. SPEC binaries and simpoint traces are proprietary, so this
+//! crate substitutes **synthetic address streams** with per-workload access
+//! mixes (streaming, strided, pointer-chasing, hot/cold) calibrated so the
+//! LLC miss intensity through the real `psoram-cache` hierarchy lands near
+//! the Table 4 MPKI. The paper's figures normalize each variant to a
+//! baseline *on the same trace*, so preserving the miss intensity preserves
+//! the figures' shape.
+//!
+//! # Examples
+//!
+//! ```
+//! use psoram_trace::{SpecWorkload, TraceGenerator};
+//!
+//! let spec = SpecWorkload::Mcf.spec();
+//! let mut generator = TraceGenerator::new(&spec, 42);
+//! let rec = generator.next().unwrap();
+//! assert!(rec.addr < spec.footprint_bytes());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generator;
+mod record;
+mod spec;
+
+pub use generator::{AccessPattern, TraceGenerator, WorkloadSpec};
+pub use record::{Trace, TraceRecord};
+pub use spec::SpecWorkload;

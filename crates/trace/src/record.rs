@@ -1,0 +1,176 @@
+//! Trace records and serializable traces.
+
+use serde::{Deserialize, Serialize};
+
+/// One memory access in a workload trace.
+///
+/// A trace interleaves compute and memory work: `instrs_before` non-memory
+/// instructions retire (at 1 IPC on the in-order core), then the access at
+/// `addr` issues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Non-memory instructions retired before this access.
+    pub instrs_before: u64,
+    /// Byte address of the access.
+    pub addr: u64,
+    /// `true` for a store, `false` for a load.
+    pub is_write: bool,
+}
+
+/// A materialized, replayable trace.
+///
+/// # Examples
+///
+/// ```
+/// use psoram_trace::{Trace, TraceRecord};
+///
+/// let t = Trace::from_records(
+///     "demo",
+///     vec![TraceRecord { instrs_before: 3, addr: 0x40, is_write: false }],
+/// );
+/// assert_eq!(t.instructions(), 4); // 3 compute + 1 memory instruction
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    name: String,
+    records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Wraps a record vector as a named trace.
+    pub fn from_records(name: impl Into<String>, records: Vec<TraceRecord>) -> Self {
+        Trace { name: name.into(), records }
+    }
+
+    /// Collects `n` records from a generator into a materialized trace.
+    pub fn capture(name: impl Into<String>, gen: impl Iterator<Item = TraceRecord>, n: usize) -> Self {
+        Trace { name: name.into(), records: gen.take(n).collect() }
+    }
+
+    /// The workload name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The records in replay order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Iterates over the records.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Number of memory accesses.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when the trace holds no accesses.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total retired instructions the trace represents (each memory access
+    /// counts as one instruction, matching how MPKI is computed).
+    pub fn instructions(&self) -> u64 {
+        self.records.iter().map(|r| r.instrs_before + 1).sum()
+    }
+
+    /// Saves the trace as JSON at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem and serialization errors.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let json = serde_json::to_string(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads a trace previously written by [`Trace::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; malformed content maps to
+    /// [`std::io::ErrorKind::InvalidData`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Trace> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceRecord;
+    type IntoIter = std::slice::Iter<'a, TraceRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace::from_records(
+            "t",
+            vec![
+                TraceRecord { instrs_before: 2, addr: 0, is_write: false },
+                TraceRecord { instrs_before: 5, addr: 64, is_write: true },
+            ],
+        )
+    }
+
+    #[test]
+    fn instruction_count_includes_memory_ops() {
+        assert_eq!(sample().instructions(), 2 + 1 + 5 + 1);
+    }
+
+    #[test]
+    fn len_and_iteration() {
+        let t = sample();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.iter().count(), 2);
+        assert_eq!((&t).into_iter().count(), 2);
+    }
+
+    #[test]
+    fn capture_takes_exactly_n() {
+        let gen = std::iter::repeat(TraceRecord { instrs_before: 1, addr: 0, is_write: false });
+        let t = Trace::capture("x", gen, 10);
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.name(), "x");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = sample();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = sample();
+        let path = std::env::temp_dir().join("psoram_trace_roundtrip_test.json");
+        t.save(&path).unwrap();
+        let back = Trace::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = std::env::temp_dir().join("psoram_trace_garbage_test.json");
+        std::fs::write(&path, "not json at all").unwrap();
+        let err = Trace::load(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,190 @@
+//! The 14 SPEC CPU2006 workloads of the paper's Table 4.
+
+use serde::{Deserialize, Serialize};
+
+use crate::generator::{AccessPattern, WorkloadSpec};
+
+/// The 14 SPEC CPU2006 workloads used in the paper's evaluation (Table 4).
+///
+/// Each variant maps to a [`WorkloadSpec`] whose target MPKI equals the
+/// paper's measured value and whose access pattern is chosen to match the
+/// benchmark's well-known character (streaming for lbm/libquantum,
+/// pointer-chasing for mcf/omnetpp/xalancbmk, mixed otherwise).
+///
+/// # Examples
+///
+/// ```
+/// use psoram_trace::SpecWorkload;
+///
+/// assert_eq!(SpecWorkload::all().len(), 14);
+/// let mcf = SpecWorkload::Mcf.spec();
+/// assert!((mcf.mpki - 4.66).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum SpecWorkload {
+    Bzip2,
+    Gcc,
+    Mcf,
+    Gobmk,
+    Hmmer,
+    Sjeng,
+    Libquantum,
+    H264ref,
+    Omnetpp,
+    Xalancbmk,
+    Namd,
+    Povray,
+    Lbm,
+    Sphinx3,
+}
+
+impl SpecWorkload {
+    /// All 14 workloads, in the paper's Table 4 order.
+    pub fn all() -> [SpecWorkload; 14] {
+        use SpecWorkload::*;
+        [
+            Bzip2, Gcc, Mcf, Gobmk, Hmmer, Sjeng, Libquantum, H264ref, Omnetpp, Xalancbmk, Namd,
+            Povray, Lbm, Sphinx3,
+        ]
+    }
+
+    /// The SPEC benchmark name, including its suite number.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpecWorkload::Bzip2 => "401.bzip2",
+            SpecWorkload::Gcc => "403.gcc",
+            SpecWorkload::Mcf => "429.mcf",
+            SpecWorkload::Gobmk => "445.gobmk",
+            SpecWorkload::Hmmer => "456.hmmer",
+            SpecWorkload::Sjeng => "458.sjeng",
+            SpecWorkload::Libquantum => "462.libquantum",
+            SpecWorkload::H264ref => "464.h264ref",
+            SpecWorkload::Omnetpp => "471.omnetpp",
+            SpecWorkload::Xalancbmk => "483.xalancbmk",
+            SpecWorkload::Namd => "444.namd",
+            SpecWorkload::Povray => "453.povray",
+            SpecWorkload::Lbm => "470.lbm",
+            SpecWorkload::Sphinx3 => "482.sphinx3",
+        }
+    }
+
+    /// The paper's Table 4 MPKI for this workload.
+    pub fn paper_mpki(self) -> f64 {
+        match self {
+            SpecWorkload::Bzip2 => 61.16,
+            SpecWorkload::Gcc => 1.19,
+            SpecWorkload::Mcf => 4.66,
+            SpecWorkload::Gobmk => 29.60,
+            SpecWorkload::Hmmer => 4.53,
+            SpecWorkload::Sjeng => 110.99,
+            SpecWorkload::Libquantum => 18.27,
+            SpecWorkload::H264ref => 19.74,
+            SpecWorkload::Omnetpp => 7.84,
+            SpecWorkload::Xalancbmk => 8.99,
+            SpecWorkload::Namd => 8.08,
+            SpecWorkload::Povray => 6.12,
+            SpecWorkload::Lbm => 18.38,
+            SpecWorkload::Sphinx3 => 17.51,
+        }
+    }
+
+    /// Spatial pattern matching the benchmark's published character.
+    fn pattern(self) -> AccessPattern {
+        match self {
+            SpecWorkload::Lbm | SpecWorkload::Libquantum => AccessPattern::Stream,
+            SpecWorkload::Hmmer | SpecWorkload::Namd | SpecWorkload::H264ref => {
+                AccessPattern::Stride(3)
+            }
+            _ => AccessPattern::Chase,
+        }
+    }
+
+    /// Store fraction, loosely following the benchmarks' published mixes.
+    fn write_frac(self) -> f64 {
+        match self {
+            SpecWorkload::Bzip2 | SpecWorkload::Lbm => 0.4,
+            SpecWorkload::Gcc | SpecWorkload::Povray => 0.35,
+            SpecWorkload::Libquantum => 0.2,
+            _ => 0.3,
+        }
+    }
+
+    /// Memory accesses per instruction: memory-bound benchmarks issue more
+    /// accesses per unit of compute than the compute-leaning ones. This is
+    /// what differentiates how ORAM-overhead-sensitive each workload is
+    /// (the per-workload spread of Figure 5).
+    fn mem_ratio(self) -> f64 {
+        match self {
+            SpecWorkload::Sjeng => 0.45,
+            SpecWorkload::Bzip2 | SpecWorkload::Lbm | SpecWorkload::Libquantum => 0.40,
+            SpecWorkload::Mcf | SpecWorkload::Gobmk | SpecWorkload::Sphinx3 => 0.35,
+            SpecWorkload::Omnetpp | SpecWorkload::Xalancbmk => 0.30,
+            SpecWorkload::H264ref => 0.25,
+            SpecWorkload::Hmmer | SpecWorkload::Namd => 0.20,
+            SpecWorkload::Povray => 0.18,
+            SpecWorkload::Gcc => 0.15,
+        }
+    }
+
+    /// The calibrated [`WorkloadSpec`] for this workload.
+    pub fn spec(self) -> WorkloadSpec {
+        WorkloadSpec::new(
+            self.name(),
+            self.paper_mpki(),
+            self.mem_ratio(),
+            self.write_frac(),
+            self.pattern(),
+        )
+    }
+}
+
+impl std::fmt::Display for SpecWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_14_distinct_workloads() {
+        let all = SpecWorkload::all();
+        assert_eq!(all.len(), 14);
+        let mut names: Vec<_> = all.iter().map(|w| w.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 14);
+    }
+
+    #[test]
+    fn table4_mpkis_match_paper() {
+        assert!((SpecWorkload::Bzip2.paper_mpki() - 61.16).abs() < 1e-12);
+        assert!((SpecWorkload::Sjeng.paper_mpki() - 110.99).abs() < 1e-12);
+        assert!((SpecWorkload::Gcc.paper_mpki() - 1.19).abs() < 1e-12);
+        assert!((SpecWorkload::Sphinx3.paper_mpki() - 17.51).abs() < 1e-12);
+    }
+
+    #[test]
+    fn specs_are_constructible_for_all_workloads() {
+        for w in SpecWorkload::all() {
+            let s = w.spec();
+            assert!(s.miss_probability() <= 1.0, "{w} miss probability too high");
+            assert_eq!(s.mpki, w.paper_mpki());
+        }
+    }
+
+    #[test]
+    fn streaming_workloads_use_stream_pattern() {
+        assert_eq!(SpecWorkload::Lbm.spec().pattern, AccessPattern::Stream);
+        assert_eq!(SpecWorkload::Libquantum.spec().pattern, AccessPattern::Stream);
+        assert_eq!(SpecWorkload::Mcf.spec().pattern, AccessPattern::Chase);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(SpecWorkload::Mcf.to_string(), "429.mcf");
+    }
+}

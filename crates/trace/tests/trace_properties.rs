@@ -1,0 +1,96 @@
+//! Property-based tests for the workload generators.
+
+use proptest::prelude::*;
+
+use psoram_trace::{AccessPattern, SpecWorkload, Trace, TraceGenerator, WorkloadSpec};
+
+fn arbitrary_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (1.0f64..80.0, 0.15f64..0.5, 0.0f64..1.0, 0usize..3).prop_filter_map(
+        "miss probability must be feasible",
+        |(mpki, mem_ratio, write_frac, pat)| {
+            if mpki / (1000.0 * mem_ratio) > 1.0 {
+                return None;
+            }
+            let pattern = match pat {
+                0 => AccessPattern::Stream,
+                1 => AccessPattern::Stride(3),
+                _ => AccessPattern::Chase,
+            };
+            Some(WorkloadSpec::new("prop", mpki, mem_ratio, write_frac, pattern))
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Same spec + seed => identical streams; different seeds diverge.
+    #[test]
+    fn determinism(spec in arbitrary_spec(), seed in any::<u64>()) {
+        let a: Vec<_> = TraceGenerator::new(&spec, seed).take(50).collect();
+        let b: Vec<_> = TraceGenerator::new(&spec, seed).take(50).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// All generated addresses stay inside the declared footprint.
+    #[test]
+    fn addresses_in_footprint(spec in arbitrary_spec(), seed in any::<u64>()) {
+        for rec in TraceGenerator::new(&spec, seed).take(500) {
+            prop_assert!(rec.addr < spec.footprint_bytes());
+        }
+    }
+
+    /// The long-run access/instruction ratio converges to mem_ratio.
+    #[test]
+    fn mem_ratio_converges(spec in arbitrary_spec(), seed in any::<u64>()) {
+        let n = 20_000usize;
+        let instrs: u64 = TraceGenerator::new(&spec, seed)
+            .take(n)
+            .map(|r| r.instrs_before + 1)
+            .sum();
+        let ratio = n as f64 / instrs as f64;
+        prop_assert!(
+            (ratio - spec.mem_ratio).abs() / spec.mem_ratio < 0.05,
+            "ratio {ratio} vs target {}",
+            spec.mem_ratio
+        );
+    }
+
+    /// The write fraction converges too.
+    #[test]
+    fn write_fraction_converges(spec in arbitrary_spec(), seed in any::<u64>()) {
+        let n = 20_000usize;
+        let writes = TraceGenerator::new(&spec, seed).take(n).filter(|r| r.is_write).count();
+        let frac = writes as f64 / n as f64;
+        prop_assert!((frac - spec.write_frac).abs() < 0.02);
+    }
+
+    /// Captured traces round-trip through serde.
+    #[test]
+    fn trace_serde_roundtrip(seed in any::<u64>()) {
+        let spec = SpecWorkload::Mcf.spec();
+        let t = Trace::capture("rt", TraceGenerator::new(&spec, seed), 64);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(t, back);
+    }
+}
+
+/// The cold-region fraction of accesses matches the configured miss
+/// probability (deterministic statistical check, not a proptest).
+#[test]
+fn cold_fraction_matches_miss_probability() {
+    for w in SpecWorkload::all() {
+        let spec = w.spec();
+        let n = 40_000usize;
+        let hot_limit = spec.hot_lines * 64;
+        let cold =
+            TraceGenerator::new(&spec, 9).take(n).filter(|r| r.addr >= hot_limit).count();
+        let frac = cold as f64 / n as f64;
+        let target = spec.miss_probability();
+        assert!(
+            (frac - target).abs() < 0.01 + target * 0.1,
+            "{w}: cold fraction {frac:.4} vs target {target:.4}"
+        );
+    }
+}

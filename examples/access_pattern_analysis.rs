@@ -1,0 +1,59 @@
+//! Attacker's-eye view: what does the memory bus actually see?
+//!
+//! Replays a maximally revealing logical pattern (hammering one address,
+//! then a sequential scan) and shows that the observable pattern — path
+//! leaves and transfer counts — is uniform and shape-invariant, for the
+//! baseline and for PS-ORAM alike (the paper's §4.6 claims).
+//!
+//! Run with: `cargo run --example access_pattern_analysis`
+
+use psoram::core::{BlockAddr, OramConfig, PathOram, ProtocolVariant};
+
+fn observe(variant: ProtocolVariant, pattern: &str) -> (f64, f64, bool) {
+    let config = OramConfig::small_test();
+    let leaves = config.num_leaves();
+    let mut oram = PathOram::new(config, variant, 99);
+    oram.enable_recording();
+    match pattern {
+        "hammer" => {
+            for _ in 0..2000 {
+                oram.read(BlockAddr(5)).unwrap();
+            }
+        }
+        "scan" => {
+            for i in 0..2000u64 {
+                oram.read(BlockAddr(i % 120)).unwrap();
+            }
+        }
+        _ => unreachable!(),
+    }
+    let rec = oram.recorder().unwrap();
+    (rec.leaf_chi_square(leaves, 16), rec.leaf_serial_correlation(), rec.constant_shape())
+}
+
+fn main() {
+    println!("logical pattern vs bus-observable pattern");
+    println!("(chi-square vs uniform over 16 bins; expected ~15, p=0.001 bound ~37.7)\n");
+    println!(
+        "{:<16}{:<10}{:>12}{:>12}{:>16}",
+        "variant", "pattern", "chi-square", "lag-1 corr", "constant shape"
+    );
+    for variant in [ProtocolVariant::Baseline, ProtocolVariant::PsOram] {
+        for pattern in ["hammer", "scan"] {
+            let (chi, corr, constant) = observe(variant, pattern);
+            println!(
+                "{:<16}{:<10}{:>12.1}{:>12.3}{:>16}",
+                variant.label(),
+                pattern,
+                chi,
+                corr,
+                constant
+            );
+        }
+    }
+    println!(
+        "\nBoth a single hammered address and a sequential scan are observationally \
+         uniform random paths of identical length: the attacker learns nothing, and \
+         PS-ORAM's persistence machinery does not change the picture."
+    );
+}

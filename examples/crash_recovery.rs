@@ -1,0 +1,60 @@
+//! Crash-recovery tour: reproduces the paper's §3.3 case studies.
+//!
+//! Crashes every design at every protocol step and reports which designs
+//! lose data — the `Baseline` loses blocks (Case 1a), `FullNVM` tears in
+//! its PosMap window (Case 1b), and the PS-ORAM family always recovers.
+//!
+//! Run with: `cargo run --example crash_recovery`
+
+use psoram::core::{BlockAddr, CrashPoint, OramConfig, PathOram, ProtocolVariant};
+
+fn payload(i: u64) -> Vec<u8> {
+    vec![(i * 37 % 251) as u8; 8]
+}
+
+/// Runs a workload, crashes at `point`, recovers, and counts lost blocks.
+fn crash_once(variant: ProtocolVariant, point: CrashPoint) -> (bool, usize) {
+    let mut oram = PathOram::new(OramConfig::small_test(), variant, 2024);
+    for i in 0..40u64 {
+        oram.write(BlockAddr(i), payload(i)).expect("write");
+    }
+    oram.inject_crash(point);
+    let _ = oram.read(BlockAddr(11));
+    if !oram.is_crashed() {
+        oram.crash_now();
+    }
+    let consistent = oram.recover();
+    // Count blocks whose last written value is gone after the crash.
+    let lost = (0..40u64)
+        .filter(|&i| oram.read(BlockAddr(i)).map(|v| v != payload(i)).unwrap_or(true))
+        .count();
+    (consistent, lost)
+}
+
+fn main() {
+    println!("crash point -> per-variant outcome (consistent?, blocks losing last write / 40)\n");
+    let variants = [
+        ProtocolVariant::Baseline,
+        ProtocolVariant::FullNvm,
+        ProtocolVariant::NaivePsOram,
+        ProtocolVariant::PsOram,
+    ];
+    print!("{:<34}", "crash point");
+    for v in variants {
+        print!("{:>18}", v.label());
+    }
+    println!();
+    for point in CrashPoint::step_boundaries() {
+        print!("{:<34}", point.to_string());
+        for v in variants {
+            let (ok, lost) = crash_once(v, point);
+            print!("{:>13} {:>2}/40", if ok { "consistent" } else { "BROKEN" }, lost);
+        }
+        println!();
+    }
+    println!(
+        "\nNote: PS-ORAM may 'lose' unacknowledged writes from the crashed access \
+         itself — that is the committed-durability contract. The Baseline loses \
+         long-committed blocks outright (paper Case 1a), which is the bug PS-ORAM fixes."
+    );
+}

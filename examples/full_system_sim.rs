@@ -1,0 +1,46 @@
+//! Full-system simulation: run a SPEC-like workload through the core +
+//! caches + ORAM + NVM stack under several protocol variants.
+//!
+//! Run with: `cargo run --release --example full_system_sim`
+
+use psoram::core::ProtocolVariant;
+use psoram::system::{System, SystemConfig};
+use psoram::trace::SpecWorkload;
+
+fn main() {
+    let workload = SpecWorkload::Sphinx3;
+    let records = 20_000;
+    println!(
+        "running {workload} ({records} trace records) through the full system stack\n"
+    );
+    println!(
+        "{:<16}{:>14}{:>10}{:>10}{:>12}{:>12}{:>12}",
+        "variant", "cycles", "IPC", "MPKI", "NVM reads", "NVM writes", "vs baseline"
+    );
+
+    let mut baseline_cycles = None;
+    for variant in [
+        ProtocolVariant::Baseline,
+        ProtocolVariant::FullNvm,
+        ProtocolVariant::FullNvmStt,
+        ProtocolVariant::NaivePsOram,
+        ProtocolVariant::PsOram,
+        ProtocolVariant::RcrBaseline,
+        ProtocolVariant::RcrPsOram,
+    ] {
+        let mut sys = System::new(SystemConfig::quick_test(variant, 1));
+        let r = sys.run_workload_with_warmup(workload, 4_000, records);
+        let base = *baseline_cycles.get_or_insert(r.exec_cycles as f64);
+        println!(
+            "{:<16}{:>14}{:>10.3}{:>10.2}{:>12}{:>12}{:>11.2}x",
+            r.variant,
+            r.exec_cycles,
+            r.ipc(),
+            r.mpki(),
+            r.total_reads(),
+            r.total_writes(),
+            r.exec_cycles as f64 / base,
+        );
+    }
+    println!("\n(see crates/bench binaries for the full Figure 5/6/7 sweeps)");
+}

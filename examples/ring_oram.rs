@@ -1,0 +1,51 @@
+//! Ring ORAM with PS-style crash consistency — the paper's "general ORAM
+//! protocols" claim in action.
+//!
+//! Run with: `cargo run --release --example ring_oram`
+
+use psoram::core::ring::{RingConfig, RingOram, RingVariant};
+use psoram::core::{BlockAddr, CrashPoint};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = RingConfig::small_test();
+    println!(
+        "Ring ORAM: L={}, Z={}, S={} dummies per bucket, evict-path every A={} accesses",
+        cfg.levels, cfg.real_slots, cfg.dummy_slots, cfg.evict_rate
+    );
+    let mut oram = RingOram::new(cfg, RingVariant::PsRing, 7);
+
+    for i in 0..40u64 {
+        oram.write(BlockAddr(i), vec![i as u8; 8])?;
+    }
+    println!(
+        "40 writes: {} NVM reads ({}/access — one slot per bucket, not Z!), {} evictions, {} early reshuffles",
+        oram.nvm_stats().reads,
+        oram.nvm_stats().reads / 40,
+        oram.stats().evictions,
+        oram.stats().early_reshuffles,
+    );
+
+    // Crash mid-access and recover: the read-side metadata invalidation is
+    // harmless (the bytes never left the buckets), and bucket rewrites are
+    // atomic WPQ rounds.
+    oram.inject_crash(CrashPoint::AfterLoadPath);
+    let _ = oram.read(BlockAddr(7));
+    assert!(oram.is_crashed());
+    let ok = oram.recover();
+    println!("crash mid-access -> recover(): consistency check = {ok}");
+    oram.verify_contents(true).map_err(|e| format!("inconsistent: {e}"))?;
+    println!("every committed value intact after recovery ✓");
+
+    // Committed-durability semantics: writes whose eviction round had
+    // committed survive; the few still in the volatile stash roll back
+    // cleanly (never torn, never garbage).
+    let survived = (0..40u64)
+        .filter(|&i| oram.read(BlockAddr(i)).unwrap() == vec![i as u8; 8])
+        .count();
+    println!(
+        "{survived}/40 writes were durable at crash time; the rest rolled back cleanly — \
+         PS machinery generalizes beyond Path ORAM"
+    );
+    assert!(survived >= 30, "most writes should have committed");
+    Ok(())
+}

@@ -20,7 +20,7 @@ fn ablation_dirty_tracking(c: &mut Criterion) {
             let mut i = 0u64;
             b.iter(|| {
                 i += 1;
-                black_box(oram.write(BlockAddr(i % cap), vec![0; 8]).unwrap())
+                oram.write(black_box(BlockAddr(i % cap)), vec![0; 8]).unwrap()
             });
         });
     }
@@ -39,7 +39,7 @@ fn ablation_wpq_size(c: &mut Criterion) {
             let mut i = 0u64;
             b.iter(|| {
                 i += 1;
-                black_box(oram.write(BlockAddr(i % cap), vec![0; 8]).unwrap())
+                oram.write(black_box(BlockAddr(i % cap)), vec![0; 8]).unwrap()
             });
         });
     }

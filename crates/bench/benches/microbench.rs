@@ -98,12 +98,12 @@ fn bench_wpq(c: &mut Criterion) {
         b.iter_batched(
             || PersistenceDomain::<u64, u32>::new(96, 96),
             |mut pd| {
-                pd.begin_round();
+                pd.begin_round().unwrap();
                 for i in 0..96u64 {
                     pd.push_data(WpqEntry { addr: i * 64, value: i }).unwrap();
                     pd.push_posmap(WpqEntry { addr: i * 8, value: i as u32 }).unwrap();
                 }
-                pd.commit_round();
+                pd.commit_round().unwrap();
                 black_box(pd.drain())
             },
             BatchSize::SmallInput,

@@ -1,0 +1,173 @@
+//! Fault-injection campaign runner (`psoram-faultsim` front-end).
+//!
+//! Runs the exhaustive crash-point sweep and/or the randomized
+//! multi-crash campaign against the design matrix (non-persistent
+//! baseline, PS-ORAM, PS-Ring-ORAM), prints a JSON report, and exits
+//! non-zero if any design deviates from its crash-consistency claim —
+//! including the *baseline failing to fail*, which would mean the
+//! harness lost its detection power.
+//!
+//! Usage:
+//!   crash_campaign [--smoke] [--mode exhaustive|random|both]
+//!                  [--seed N] [--out FILE] [--quiet]
+
+use psoram_faultsim::{
+    exhaustive_sweep, random_campaign, CampaignConfig, CampaignReport, SweepConfig,
+};
+
+struct Args {
+    smoke: bool,
+    mode: String,
+    seed: Option<u64>,
+    out: Option<String>,
+    quiet: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args =
+        Args { smoke: false, mode: "both".into(), seed: None, out: None, quiet: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--quiet" => args.quiet = true,
+            "--mode" => args.mode = it.next().unwrap_or_else(|| usage("--mode needs a value")),
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| usage("--seed needs a value"));
+                args.seed = Some(v.parse().unwrap_or_else(|_| usage("--seed must be an integer")));
+            }
+            "--out" => args.out = Some(it.next().unwrap_or_else(|| usage("--out needs a value"))),
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    if !matches!(args.mode.as_str(), "exhaustive" | "random" | "both") {
+        usage("--mode must be exhaustive, random, or both");
+    }
+    args
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "crash_campaign: systematic fault injection & recovery verification\n\n\
+         options:\n\
+         \x20 --smoke            reduced workload (CI gate)\n\
+         \x20 --mode MODE        exhaustive | random | both (default both)\n\
+         \x20 --seed N           override the campaign seed\n\
+         \x20 --out FILE         write the JSON report to FILE (default stdout)\n\
+         \x20 --quiet            suppress the human-readable summary"
+    );
+    std::process::exit(2);
+}
+
+fn summarize(report: &CampaignReport) {
+    eprintln!("== {} campaign (seed {}) ==", report.mode, report.seed);
+    for v in &report.variants {
+        eprintln!(
+            "  {:<22} accesses {:>5}  crashes {:>4} (step {:>4}, mid-evict {:>4}, nested {:>3})  \
+             recoveries {:>4}  violations {:>4}  [{}]",
+            v.label,
+            v.accesses,
+            v.crashes_injected,
+            v.step_boundary_crashes,
+            v.during_eviction_crashes,
+            v.nested_crashes,
+            v.recoveries,
+            v.violations_total,
+            if v.matches_expectation { "ok" } else { "UNEXPECTED" },
+        );
+    }
+}
+
+/// A campaign is sound only if it both clears the consistent designs and
+/// convicts the non-persistent baseline: a sweep in which the baseline
+/// passes has lost its teeth.
+fn verdict(report: &CampaignReport) -> Result<(), String> {
+    for v in &report.variants {
+        if v.expected_consistent && v.violations_total > 0 {
+            return Err(format!(
+                "{}: {} violation(s) in a design that claims crash consistency (first: {:?})",
+                v.label,
+                v.violations_total,
+                v.violations.first()
+            ));
+        }
+        if v.crashes_injected == 0 {
+            return Err(format!("{}: no crash ever fired — the schedule is broken", v.label));
+        }
+    }
+    // Detection power: at least one non-consistent design must violate.
+    let baseline_convicted = report
+        .variants
+        .iter()
+        .any(|v| !v.expected_consistent && v.violations_total > 0);
+    if !baseline_convicted {
+        return Err("no violation detected on any non-persistent baseline: \
+                    the oracle has no detection power"
+            .into());
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = parse_args();
+
+    // Fail fast on an unwritable report path before spending minutes on
+    // the campaigns themselves.
+    if let Some(path) = &args.out {
+        if let Err(e) = std::fs::write(path, b"[]") {
+            eprintln!("error: cannot write --out {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+
+    let mut reports = Vec::new();
+    if args.mode == "exhaustive" || args.mode == "both" {
+        let mut cfg = if args.smoke { SweepConfig::smoke() } else { SweepConfig::default() };
+        if let Some(s) = args.seed {
+            cfg.seed = s;
+        }
+        reports.push(exhaustive_sweep(&cfg));
+    }
+    if args.mode == "random" || args.mode == "both" {
+        let mut cfg =
+            if args.smoke { CampaignConfig::smoke() } else { CampaignConfig::default() };
+        if let Some(s) = args.seed {
+            cfg.seed = s;
+        }
+        reports.push(random_campaign(&cfg));
+    }
+
+    let json = serde_json::to_string_pretty(&reports).expect("report serializes");
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("error: cannot write --out {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+        None => println!("{json}"),
+    }
+
+    let mut failed = false;
+    for report in &reports {
+        if !args.quiet {
+            summarize(report);
+        }
+        if let Err(e) = verdict(report) {
+            eprintln!("FAIL ({}): {e}", report.mode);
+            failed = true;
+        } else if !args.quiet {
+            eprintln!(
+                "PASS ({}): PS designs clean, baseline data loss detected",
+                report.mode
+            );
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

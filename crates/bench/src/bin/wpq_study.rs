@@ -47,7 +47,7 @@ fn main() {
         crash_oram.inject_crash(CrashPoint::DuringEviction(1));
         let _ = crash_oram.read(BlockAddr(3));
         let recovers = if crash_oram.is_crashed() {
-            crash_oram.recover() && crash_oram.verify_contents(true).is_ok()
+            crash_oram.recover().consistent && crash_oram.verify_contents(true).is_ok()
         } else {
             true
         };

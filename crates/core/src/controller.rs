@@ -15,7 +15,7 @@ use psoram_nvm::{
 
 use crate::block::Block;
 use crate::bucket::Bucket;
-use crate::crash::{CrashPoint, CrashReport};
+use crate::crash::{CrashPoint, CrashReport, RecoveryReport};
 use crate::eviction::{order_for_small_wpq, plan_eviction, SlotWrite};
 use crate::integrity::IntegrityTree;
 use crate::posmap::{PosMap, TempPosMap};
@@ -203,7 +203,13 @@ pub struct PathOram {
     committed_ledger: HashMap<u64, (u64, Vec<u8>)>,
     touched: HashSet<u64>,
     crash_plan: Option<CrashPoint>,
+    /// Pending scheduled crashes as `(access_attempt_index, point)`,
+    /// sorted ascending; consumed as access attempts reach each index.
+    crash_schedule: std::collections::VecDeque<(u64, CrashPoint)>,
+    /// Total `access_at` entries, including attempts that crashed.
+    access_attempts: u64,
     crashed: bool,
+    last_recovery: Option<RecoveryReport>,
     recorder: Option<AccessRecorder>,
     encrypt_payloads: bool,
     iv: u64,
@@ -281,7 +287,10 @@ impl PathOram {
             committed_ledger: HashMap::new(),
             touched: HashSet::new(),
             crash_plan: None,
+            crash_schedule: std::collections::VecDeque::new(),
+            access_attempts: 0,
             crashed: false,
+            last_recovery: None,
             recorder: None,
             encrypt_payloads: true,
             iv: 0,
@@ -468,6 +477,37 @@ impl PathOram {
         self.crash_plan = None;
     }
 
+    /// Schedules a crash to fire at `point` during access attempt
+    /// `access_index` (0-based, counting every [`PathOram::access_at`]
+    /// entry including attempts that themselves crashed — see
+    /// [`PathOram::access_attempts`]).
+    ///
+    /// Unlike [`PathOram::inject_crash`], which arms only the very next
+    /// access, a schedule can hold many future crashes at once; entries
+    /// must be added in ascending index order and are consumed as the
+    /// attempt counter reaches them. An index already in the past is
+    /// silently never reached — use [`PathOram::clear_crash_schedule`] to
+    /// drop stale entries.
+    pub fn schedule_crash(&mut self, access_index: u64, point: CrashPoint) {
+        debug_assert!(
+            self.crash_schedule.back().is_none_or(|&(i, _)| i <= access_index),
+            "crash schedule must be in ascending access order"
+        );
+        self.crash_schedule.push_back((access_index, point));
+    }
+
+    /// Drops all scheduled crashes that have not fired.
+    pub fn clear_crash_schedule(&mut self) {
+        self.crash_schedule.clear();
+    }
+
+    /// Total access attempts so far (including attempts that crashed
+    /// mid-way); the index the next attempt will carry for
+    /// [`PathOram::schedule_crash`].
+    pub fn access_attempts(&self) -> u64 {
+        self.access_attempts
+    }
+
     /// `true` while the controller is in a crashed state.
     pub fn is_crashed(&self) -> bool {
         self.crashed
@@ -571,6 +611,14 @@ impl PathOram {
         if self.crashed {
             return Err(OramError::Crashed);
         }
+        // Scheduled crash plans arm when their access attempt begins.
+        if let Some(&(idx, point)) = self.crash_schedule.front() {
+            if idx == self.access_attempts {
+                self.crash_schedule.pop_front();
+                self.crash_plan = Some(point);
+            }
+        }
+        self.access_attempts += 1;
         if addr.0 >= self.config.capacity_blocks() {
             return Err(OramError::AddressOutOfRange {
                 addr,
@@ -1014,8 +1062,10 @@ impl PathOram {
             if crash_after_batches == Some(committed_batches) {
                 // Power failure while the next round is being assembled:
                 // model entries mid-push by opening a round, pushing the
-                // batch, and crashing before the end signal.
-                self.domain.begin_round();
+                // batch, and crashing before the end signal. Push errors are
+                // irrelevant here — whatever made it into the open batch is
+                // discarded by the crash anyway.
+                let _ = self.domain.begin_round();
                 for w in &batch {
                     if let Some(b) = &w.block {
                         let _ = self.domain.push_data(WpqEntry {
@@ -1030,14 +1080,26 @@ impl PathOram {
             }
 
             // 5-B: drainer start signal; push data and matching metadata.
-            self.domain.begin_round();
+            self.domain.begin_round()?;
             let mut pushed = 0u64;
             for w in &batch {
+                // A block's data and its PosMap entry must land in the same
+                // atomic round. If either queue is out of room, stall: commit
+                // and drain what is already pushed (each sub-round is still
+                // atomic, exactly like a planned small-WPQ split), then
+                // reopen before pushing this block.
+                if self.domain.data_wpq().remaining() == 0
+                    || self.domain.posmap_wpq().remaining() == 0
+                {
+                    self.stats.wpq_stalls += 1;
+                    self.domain.commit_round()?;
+                    let (data, posmap) = self.domain.drain();
+                    self.apply_committed(&data, &posmap, &mut write_addrs, &mut entry_addrs);
+                    self.domain.begin_round()?;
+                }
                 let nvm_addr = self.tree.slot_nvm_addr(w.bucket, w.slot);
                 if w.block.is_some() {
-                    self.domain
-                        .push_data(WpqEntry { addr: nvm_addr, value: w.clone() })
-                        .expect("batching honours the data WPQ capacity");
+                    self.domain.push_data(WpqEntry { addr: nvm_addr, value: w.clone() })?;
                     pushed += 1;
                 }
                 // Metadata for this batch: dirty entries (PS-ORAM) of
@@ -1046,20 +1108,16 @@ impl PathOram {
                     if !b.is_backup {
                         let a = b.addr();
                         if let Some(l) = self.temp.get(a) {
-                            self.domain
-                                .push_posmap(WpqEntry {
-                                    addr: self.posmap_entry_nvm_addr(a),
-                                    value: (a, l),
-                                })
-                                .expect("posmap WPQ sized with data WPQ");
+                            self.domain.push_posmap(WpqEntry {
+                                addr: self.posmap_entry_nvm_addr(a),
+                                value: (a, l),
+                            })?;
                             pushed += 1;
                         } else if naive {
-                            self.domain
-                                .push_posmap(WpqEntry {
-                                    addr: self.posmap_entry_nvm_addr(a),
-                                    value: (a, b.leaf()),
-                                })
-                                .expect("posmap WPQ sized with data WPQ");
+                            self.domain.push_posmap(WpqEntry {
+                                addr: self.posmap_entry_nvm_addr(a),
+                                value: (a, b.leaf()),
+                            })?;
                             pushed += 1;
                         }
                     }
@@ -1076,7 +1134,7 @@ impl PathOram {
             t += pushed; // one cycle per WPQ push
 
             // 5-C: end signal — the atomic commit point — then flush.
-            self.domain.commit_round();
+            self.domain.commit_round()?;
             let (data, posmap) = self.domain.drain();
             self.apply_committed(&data, &posmap, &mut write_addrs, &mut entry_addrs);
             // Dummy slots of this batch are rewritten directly after the
@@ -1228,12 +1286,26 @@ impl PathOram {
     /// procedure: the persisted PosMap becomes the working map and normal
     /// operation resumes.
     ///
-    /// Returns whether the recovered state passes the consistency check
-    /// (PS-ORAM designs always do; the baselines generally do not).
-    pub fn recover(&mut self) -> bool {
+    /// Returns a [`RecoveryReport`] carrying the consistency verdict and,
+    /// on failure, the violation text (PS-ORAM designs always pass; the
+    /// baselines generally do not). The report is also retained in
+    /// [`PathOram::last_recovery`] and failures are counted in
+    /// `OramStats::recovery_failures`.
+    pub fn recover(&mut self) -> RecoveryReport {
         self.stats.recoveries += 1;
         self.crashed = false;
-        self.check_recoverability().is_ok()
+        let report =
+            RecoveryReport::from_check(self.check_recoverability(), self.committed_ledger.len());
+        if !report.consistent {
+            self.stats.recovery_failures += 1;
+        }
+        self.last_recovery = Some(report.clone());
+        report
+    }
+
+    /// The report of the most recent [`PathOram::recover`] call.
+    pub fn last_recovery(&self) -> Option<&RecoveryReport> {
+        self.last_recovery.as_ref()
     }
 
     /// Verifies the crash-recovery invariant: every address with a durably

@@ -75,9 +75,48 @@ pub struct CrashReport {
     pub stash_durable: bool,
 }
 
+/// Outcome of a post-crash recovery (paper §4.3).
+///
+/// Produced by `PathOram::recover` / `RingOram::recover`; `consistent`
+/// reports whether the recovered state passed the recoverability check,
+/// and `violation` carries the first detected inconsistency verbatim so a
+/// harness can attribute the failure to an exact crash point.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Whether the recovered state passed the consistency check.
+    pub consistent: bool,
+    /// Description of the first inconsistency found, if any.
+    pub violation: Option<String>,
+    /// Durably committed addresses the check examined.
+    pub addresses_checked: usize,
+}
+
+impl RecoveryReport {
+    /// Builds a report from a recoverability-check result.
+    pub fn from_check(result: Result<(), String>, addresses_checked: usize) -> Self {
+        match result {
+            Ok(()) => {
+                RecoveryReport { consistent: true, violation: None, addresses_checked }
+            }
+            Err(v) => {
+                RecoveryReport { consistent: false, violation: Some(v), addresses_checked }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn recovery_report_from_check() {
+        let ok = RecoveryReport::from_check(Ok(()), 7);
+        assert!(ok.consistent && ok.violation.is_none() && ok.addresses_checked == 7);
+        let bad = RecoveryReport::from_check(Err("a3: lost".into()), 2);
+        assert!(!bad.consistent);
+        assert_eq!(bad.violation.as_deref(), Some("a3: lost"));
+    }
 
     #[test]
     fn display_names_all_points() {

@@ -34,7 +34,7 @@
 //! oram.inject_crash(CrashPoint::AfterLoadPath);
 //! let _ = oram.read(BlockAddr(0)); // crashes mid-access
 //! assert!(oram.is_crashed());
-//! assert!(oram.recover(), "PS-ORAM recovers consistently");
+//! assert!(oram.recover().consistent, "PS-ORAM recovers consistently");
 //! oram.verify_contents(true).unwrap();
 //! ```
 
@@ -61,7 +61,7 @@ mod types;
 pub use block::{Block, BlockHeader};
 pub use bucket::Bucket;
 pub use controller::{AccessOutcome, Op, PathOram, ProtocolVariant};
-pub use crash::{CrashPoint, CrashReport};
+pub use crash::{CrashPoint, CrashReport, RecoveryReport};
 pub use eviction::{plan_eviction, EvictionPlan, SlotWrite};
 pub use integrity::{IntegrityTree, IntegrityViolation};
 pub use posmap::{PosMap, TempPosMap};

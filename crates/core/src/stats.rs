@@ -57,6 +57,12 @@ pub struct OramStats {
     pub crashes: u64,
     /// Recoveries performed.
     pub recoveries: u64,
+    /// Recoveries that detected a consistency violation (see
+    /// `PathOram::last_recovery` for the violation text).
+    pub recovery_failures: u64,
+    /// Eviction rounds split early because a WPQ ran out of room (the
+    /// controller committed, drained and reopened the round).
+    pub wpq_stalls: u64,
     /// Sum of per-access latencies in core cycles.
     pub total_access_cycles: u64,
 }
@@ -87,6 +93,8 @@ impl OramStats {
             plb_full_misses: self.plb_full_misses - earlier.plb_full_misses,
             crashes: self.crashes - earlier.crashes,
             recoveries: self.recoveries - earlier.recoveries,
+            recovery_failures: self.recovery_failures - earlier.recovery_failures,
+            wpq_stalls: self.wpq_stalls - earlier.wpq_stalls,
             total_access_cycles: self.total_access_cycles - earlier.total_access_cycles,
         }
     }

@@ -204,6 +204,9 @@ pub enum OramError {
         /// The path whose verification failed.
         leaf: Leaf,
     },
+    /// The WPQ persistence domain rejected a drainer signal or push and
+    /// the controller could not recover by stalling.
+    Wpq(psoram_nvm::WpqError),
 }
 
 impl std::fmt::Display for OramError {
@@ -225,11 +228,18 @@ impl std::fmt::Display for OramError {
             OramError::IntegrityViolation { leaf } => {
                 write!(f, "integrity violation on path {leaf}")
             }
+            OramError::Wpq(e) => write!(f, "WPQ persistence domain: {e}"),
         }
     }
 }
 
 impl std::error::Error for OramError {}
+
+impl From<psoram_nvm::WpqError> for OramError {
+    fn from(e: psoram_nvm::WpqError) -> Self {
+        OramError::Wpq(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

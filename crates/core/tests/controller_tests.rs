@@ -89,7 +89,7 @@ fn ps_oram_recovers_from_crash_at_every_step() {
             assert_eq!(res.unwrap_err(), OramError::Crashed);
         }
         assert!(oram.is_crashed());
-        assert!(oram.recover(), "PS-ORAM must pass the recoverability check at {point}");
+        assert!(oram.recover().consistent, "PS-ORAM must pass the recoverability check at {point}");
         oram.verify_contents(true)
             .unwrap_or_else(|e| panic!("PS-ORAM inconsistent after crash {point}: {e}"));
     }
@@ -104,7 +104,7 @@ fn naive_ps_oram_recovers_too() {
         }
         oram.inject_crash(point);
         let _ = oram.read(BlockAddr(5));
-        assert!(oram.recover());
+        assert!(oram.recover().consistent);
         oram.verify_contents(true).unwrap();
     }
 }
@@ -118,7 +118,7 @@ fn ps_oram_crash_during_eviction_is_safe() {
         }
         oram.inject_crash(CrashPoint::DuringEviction(k));
         let _ = oram.read(BlockAddr(3));
-        assert!(oram.recover(), "crash after {k} committed batches must be safe");
+        assert!(oram.recover().consistent, "crash after {k} committed batches must be safe");
         oram.verify_contents(true).unwrap();
     }
 }
@@ -139,7 +139,7 @@ fn ps_oram_small_wpq_ordered_eviction_is_safe() {
             oram.disarm_crash();
             continue;
         }
-        assert!(oram.recover(), "small-WPQ crash after {k} batches must be safe");
+        assert!(oram.recover().consistent, "small-WPQ crash after {k} batches must be safe");
         oram.verify_contents(true).unwrap();
     }
 }
@@ -243,7 +243,7 @@ fn rcr_ps_oram_recovers_consistently() {
         }
         oram.inject_crash(point);
         let _ = oram.read(BlockAddr(5));
-        assert!(oram.recover(), "Rcr-PS-ORAM must recover at {point}");
+        assert!(oram.recover().consistent, "Rcr-PS-ORAM must recover at {point}");
         oram.verify_contents(true).unwrap();
     }
 }
@@ -438,7 +438,7 @@ fn top_cache_preserves_crash_consistency() {
         }
         oram.inject_crash(point);
         let _ = oram.read(BlockAddr(5));
-        assert!(oram.recover(), "write-through cache must not break recovery at {point}");
+        assert!(oram.recover().consistent, "write-through cache must not break recovery at {point}");
         oram.verify_contents(true).unwrap();
     }
 }
@@ -487,12 +487,10 @@ fn integrity_detects_tampering() {
             continue;
         }
         for i in 0..30u64 {
-            match oram.read(BlockAddr(i)) {
-                Err(psoram_core::OramError::IntegrityViolation { .. }) => {
-                    tripped = true;
-                    break;
-                }
-                _ => {}
+            if let Err(psoram_core::OramError::IntegrityViolation { .. }) = oram.read(BlockAddr(i))
+            {
+                tripped = true;
+                break;
             }
         }
         break;
@@ -523,7 +521,7 @@ fn integrity_survives_crash_and_recovery_without_false_alarms() {
         }
         oram.inject_crash(point);
         let _ = oram.read(BlockAddr(5));
-        assert!(oram.recover(), "{point}");
+        assert!(oram.recover().consistent, "{point}");
         oram.verify_contents(true)
             .unwrap_or_else(|e| panic!("false integrity alarm after {point}: {e}"));
     }
@@ -542,7 +540,7 @@ fn integrity_survives_mid_eviction_crash() {
         if !oram.is_crashed() {
             continue;
         }
-        assert!(oram.recover());
+        assert!(oram.recover().consistent);
         oram.verify_contents(true).unwrap();
     }
 }

@@ -69,7 +69,7 @@ fn crash_matrix_for_consistent_variants() {
                     oram.inject_crash(point);
                     let _ = oram.read(BlockAddr(4));
                     assert!(oram.is_crashed(), "{tag}: crash did not fire");
-                    assert!(oram.recover(), "{tag}: recoverability check failed");
+                    assert!(oram.recover().consistent, "{tag}: recoverability check failed");
                     oram.verify_contents(true)
                         .unwrap_or_else(|e| panic!("{tag}: inconsistent: {e}"));
                 }

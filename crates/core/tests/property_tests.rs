@@ -61,7 +61,7 @@ proptest! {
         oram.inject_crash(CrashPoint::step_boundaries()[step]);
         let _ = oram.read(BlockAddr(ops[0].0));
         prop_assert!(oram.is_crashed());
-        prop_assert!(oram.recover(), "recoverability check failed");
+        prop_assert!(oram.recover().consistent, "recoverability check failed");
         prop_assert!(oram.verify_contents(true).is_ok());
     }
 
@@ -86,7 +86,7 @@ proptest! {
         oram.inject_crash(CrashPoint::DuringEviction(k));
         let _ = oram.read(BlockAddr(ops[0].0));
         if oram.is_crashed() {
-            prop_assert!(oram.recover(), "ordered small-WPQ eviction must stay recoverable");
+            prop_assert!(oram.recover().consistent, "ordered small-WPQ eviction must stay recoverable");
             prop_assert!(oram.verify_contents(true).is_ok());
         } else {
             oram.disarm_crash();
@@ -200,7 +200,7 @@ proptest! {
         oram.inject_crash(points[step]);
         let _ = oram.read(BlockAddr(ops[0].0));
         if oram.is_crashed() {
-            prop_assert!(oram.recover(), "PS-Ring recoverability failed");
+            prop_assert!(oram.recover().consistent, "PS-Ring recoverability failed");
             prop_assert!(oram.verify_contents(true).is_ok());
         }
     }
@@ -221,7 +221,7 @@ proptest! {
             prop_assert!(r.is_ok(), "false alarm: {:?}", r);
         }
         oram.crash_now();
-        prop_assert!(oram.recover());
+        prop_assert!(oram.recover().consistent);
         prop_assert!(oram.verify_contents(true).is_ok());
     }
 

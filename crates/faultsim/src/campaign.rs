@@ -1,0 +1,136 @@
+//! Randomized multi-crash campaigns: seeded crash→recover→continue
+//! cycles, including power failures *during* recovery verification.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use psoram_core::CrashPoint;
+
+use crate::driver::Driver;
+use crate::report::{CampaignReport, VariantReport};
+use crate::target::DesignVariant;
+
+/// Parameters of a randomized campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignConfig {
+    /// Master seed: drives the workload RNG and the controllers. Two runs
+    /// with the same seed produce byte-identical reports.
+    pub seed: u64,
+    /// Crash→recover→continue cycles per design.
+    pub cycles: u64,
+    /// Upper bound on crash-free accesses between consecutive crashes.
+    pub max_quiet_accesses: u64,
+    /// Distinct logical addresses the workload touches.
+    pub working_set: u64,
+    /// Probability that a recovery is itself interrupted by a crash.
+    pub nested_crash_prob: f64,
+    /// Recoveries between full shadow read-backs (0 → final check only).
+    pub full_check_every: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 0xCA_50,
+            cycles: 120,
+            max_quiet_accesses: 6,
+            working_set: 24,
+            nested_crash_prob: 0.25,
+            full_check_every: 40,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// A reduced configuration for quick smoke runs.
+    pub fn smoke() -> Self {
+        CampaignConfig { cycles: 25, working_set: 12, ..Self::default() }
+    }
+}
+
+/// Crash points guaranteed to fire on the next access for every design
+/// (Ring ORAM never reaches `AfterCheckStash`), used for nested faults so
+/// an armed plan cannot leak past the recovery it targets.
+const ALWAYS_FIRING: [CrashPoint; 3] = [
+    CrashPoint::AfterAccessPosMap,
+    CrashPoint::AfterLoadPath,
+    CrashPoint::AfterUpdateStash,
+];
+
+/// Runs a randomized campaign against one design.
+pub fn campaign_variant(variant: DesignVariant, cfg: &CampaignConfig) -> VariantReport {
+    // Per-variant RNG stream, deterministic in (seed, variant).
+    let tweak = variant.label().bytes().fold(0u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ tweak);
+
+    let mut d = Driver::new(variant, cfg.seed, cfg.full_check_every);
+    let working_set = cfg.working_set.min(d.target.capacity_blocks());
+    d.prefill(working_set);
+    let steps = CrashPoint::step_boundaries();
+
+    for _cycle in 0..cfg.cycles {
+        if d.aborted {
+            break;
+        }
+        // Quiet phase: normal traffic between faults.
+        for _ in 0..rng.gen_range(0..cfg.max_quiet_accesses + 1) {
+            let attempt = d.target.access_attempts();
+            let addr = rng.gen_range(0..working_set);
+            let crashed = if rng.gen_bool(0.6) {
+                let value = d.next_payload();
+                d.do_write(addr, value)
+            } else {
+                d.do_read(addr)
+            };
+            if crashed {
+                // No plan was armed; only possible if a plan leaked, which
+                // the driver treats as an unattributed crash.
+                d.handle_crash(attempt, None, addr, None);
+            }
+        }
+
+        // Fault phase: arm a random crash point and drive accesses until
+        // it fires (a too-deep DuringEviction index may never fire).
+        let point = if rng.gen_bool(0.4) {
+            let hi = d.report.max_eviction_units.map_or(4, |m| m + 2);
+            CrashPoint::DuringEviction(rng.gen_range(0..hi))
+        } else {
+            steps[rng.gen_range(0..steps.len())]
+        };
+        d.target.inject_crash(point);
+        let mut fired = false;
+        for _ in 0..12 {
+            let attempt = d.target.access_attempts();
+            let addr = rng.gen_range(0..working_set);
+            let crashed = if rng.gen_bool(0.6) {
+                let value = d.next_payload();
+                d.do_write(addr, value)
+            } else {
+                d.do_read(addr)
+            };
+            if crashed {
+                let nested = if rng.gen_bool(cfg.nested_crash_prob) {
+                    Some(ALWAYS_FIRING[rng.gen_range(0..ALWAYS_FIRING.len())])
+                } else {
+                    None
+                };
+                d.handle_crash(attempt, Some(point), addr, nested);
+                fired = true;
+                break;
+            }
+        }
+        if !fired {
+            d.target.disarm_crash();
+        }
+    }
+    d.finish()
+}
+
+/// Runs the campaign against every design in [`DesignVariant::sweep_set`].
+pub fn random_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    let variants = DesignVariant::sweep_set()
+        .into_iter()
+        .map(|v| campaign_variant(v, cfg))
+        .collect();
+    CampaignReport { mode: "random".into(), seed: cfg.seed, variants }
+}

@@ -1,0 +1,268 @@
+//! The crash→recover→verify engine shared by sweeps and campaigns.
+
+use psoram_core::{CrashPoint, OramError};
+
+use crate::oracle::ShadowOracle;
+use crate::report::{VariantReport, ViolationKind};
+use crate::target::{DesignVariant, FaultTarget};
+
+/// How many consecutive unexpected (non-injected) controller errors the
+/// driver tolerates before abandoning a variant's run.
+const MAX_UNEXPECTED_ERRORS: u64 = 5;
+
+/// Drives one design through a fault workload, keeping the shadow oracle
+/// and the report in lockstep with every access.
+pub(crate) struct Driver {
+    pub target: Box<dyn FaultTarget>,
+    pub oracle: ShadowOracle,
+    pub report: VariantReport,
+    /// Set when the run hit too many unexpected errors to continue.
+    pub aborted: bool,
+    /// Recoveries between full shadow read-backs (0 → final check only).
+    full_check_every: u64,
+    unexpected_errors: u64,
+    payload_counter: u64,
+    payload_bytes: usize,
+}
+
+impl Driver {
+    pub fn new(variant: DesignVariant, seed: u64, full_check_every: u64) -> Self {
+        let target = variant.build(seed);
+        let payload_bytes = target.payload_bytes();
+        let model = target.commit_model();
+        Driver {
+            target,
+            oracle: ShadowOracle::new(payload_bytes, model),
+            report: VariantReport::new(variant),
+            aborted: false,
+            full_check_every,
+            unexpected_errors: 0,
+            payload_counter: 0,
+            payload_bytes,
+        }
+    }
+
+    /// A fresh, unique payload (a little-endian counter padded to the
+    /// block's payload size) — distinguishes every write in the oracle.
+    pub fn next_payload(&mut self) -> Vec<u8> {
+        self.payload_counter += 1;
+        let mut v = vec![0u8; self.payload_bytes];
+        for (dst, src) in v.iter_mut().zip(self.payload_counter.to_le_bytes()) {
+            *dst = src;
+        }
+        v
+    }
+
+    /// Writes every address in `0..working_set` once, crash-free, so the
+    /// oracle starts with a fully committed shadow.
+    pub fn prefill(&mut self, working_set: u64) {
+        for addr in 0..working_set {
+            let value = self.next_payload();
+            if self.do_write(addr, value) {
+                // No crash is armed during prefill; a crash here means the
+                // harness itself is broken.
+                unreachable!("crash fired during prefill");
+            }
+        }
+    }
+
+    /// Issues one workload write. Returns `true` when the access crashed
+    /// (the crash is still unhandled — call [`Driver::handle_crash`]).
+    pub fn do_write(&mut self, addr: u64, value: Vec<u8>) -> bool {
+        self.report.accesses += 1;
+        self.oracle.begin_write(addr, value.clone());
+        match self.target.write(addr, value) {
+            Ok(()) => {
+                self.oracle.commit_write();
+                false
+            }
+            Err(OramError::Crashed) => true,
+            Err(e) => {
+                self.oracle.drop_pending();
+                self.record_unexpected(e);
+                false
+            }
+        }
+    }
+
+    /// Issues one workload read, checking the value against the oracle.
+    /// Returns `true` when the access crashed.
+    pub fn do_read(&mut self, addr: u64) -> bool {
+        self.report.accesses += 1;
+        match self.target.read(addr) {
+            Ok(v) => {
+                if let Err(detail) = self.oracle.observe(addr, &v) {
+                    self.report.record_violation(
+                        None,
+                        None,
+                        ViolationKind::CommittedValueLost,
+                        detail,
+                    );
+                    self.oracle.resync(addr, &v);
+                }
+                false
+            }
+            Err(OramError::Crashed) => true,
+            Err(e) => {
+                self.record_unexpected(e);
+                false
+            }
+        }
+    }
+
+    /// Handles a crash that fired on the access of `addr`: recovers,
+    /// verifies, and (optionally) injects a nested crash in the middle of
+    /// the verification itself.
+    ///
+    /// `attempt_index` is the controller's access-attempt index of the
+    /// crashed access (for replay); `point` is the injected crash point
+    /// (`None` for crashes the harness did not arm itself).
+    pub fn handle_crash(
+        &mut self,
+        attempt_index: u64,
+        point: Option<CrashPoint>,
+        addr: u64,
+        nested: Option<CrashPoint>,
+    ) {
+        self.count_crash(point);
+        self.oracle.note_crash();
+        self.recover_once(attempt_index, point);
+
+        // Nested fault: the power fails again while recovery is being
+        // verified. The armed plan fires on the first verification read.
+        if let Some(np) = nested {
+            self.target.inject_crash(np);
+        }
+
+        // Adjudicate the interrupted access by reading its address back.
+        match self.read_verifying(addr, attempt_index, nested) {
+            Some(v) => {
+                if self.oracle.has_pending() {
+                    if let Err(detail) = self.oracle.resolve_pending(&v) {
+                        self.report.record_violation(
+                            Some(attempt_index),
+                            point,
+                            ViolationKind::TornWrite,
+                            detail,
+                        );
+                        self.oracle.resync(addr, &v);
+                    }
+                } else if let Err(detail) = self.oracle.observe(addr, &v) {
+                    self.report.record_violation(
+                        Some(attempt_index),
+                        point,
+                        ViolationKind::CommittedValueLost,
+                        detail,
+                    );
+                    self.oracle.resync(addr, &v);
+                }
+            }
+            None => self.oracle.drop_pending(),
+        }
+        // A nested plan that never fired must not leak into the workload.
+        self.target.disarm_crash();
+
+        if self.full_check_every > 0 && self.report.recoveries.is_multiple_of(self.full_check_every)
+        {
+            self.full_check(Some(attempt_index), point);
+        }
+    }
+
+    /// Reads back every committed address and checks it against the
+    /// shadow. Mismatches are recorded (and the shadow resynced so a
+    /// lossy baseline keeps producing fresh evidence instead of echoes).
+    pub fn full_check(&mut self, attempt_index: Option<u64>, point: Option<CrashPoint>) {
+        self.report.full_checks += 1;
+        for addr in self.oracle.addrs() {
+            if self.aborted {
+                return;
+            }
+            if let Some(v) = self.read_verifying(addr, attempt_index.unwrap_or(0), None) {
+                if let Err(detail) = self.oracle.observe(addr, &v) {
+                    self.report.record_violation(
+                        attempt_index,
+                        point,
+                        ViolationKind::CommittedValueLost,
+                        detail,
+                    );
+                    self.oracle.resync(addr, &v);
+                }
+            }
+        }
+    }
+
+    /// Finishes the run: final full read-back, then the verdict.
+    pub fn finish(mut self) -> VariantReport {
+        if !self.aborted {
+            self.full_check(None, None);
+        }
+        self.report.finalize();
+        self.report
+    }
+
+    /// A verification read (not part of the workload). Recovers inline if
+    /// a nested crash fires mid-verification.
+    fn read_verifying(
+        &mut self,
+        addr: u64,
+        attempt_index: u64,
+        nested: Option<CrashPoint>,
+    ) -> Option<Vec<u8>> {
+        loop {
+            match self.target.read(addr) {
+                Ok(v) => return Some(v),
+                Err(OramError::Crashed) => {
+                    self.report.nested_crashes += 1;
+                    self.count_crash(nested);
+                    self.oracle.note_crash();
+                    self.recover_once(attempt_index, nested);
+                }
+                Err(e) => {
+                    self.record_unexpected(e);
+                    return None;
+                }
+            }
+        }
+    }
+
+    fn recover_once(&mut self, attempt_index: u64, point: Option<CrashPoint>) {
+        let rec = self.target.recover();
+        self.report.recoveries += 1;
+        if rec.consistent {
+            self.report.recoveries_consistent += 1;
+        } else {
+            self.report.record_violation(
+                Some(attempt_index),
+                point,
+                ViolationKind::RecoveryCheck,
+                rec.violation.unwrap_or_else(|| "recoverability check failed".into()),
+            );
+        }
+    }
+
+    fn count_crash(&mut self, point: Option<CrashPoint>) {
+        self.report.crashes_injected += 1;
+        match point {
+            Some(CrashPoint::DuringEviction(k)) => {
+                self.report.during_eviction_crashes += 1;
+                self.report.max_eviction_units =
+                    Some(self.report.max_eviction_units.map_or(k, |m| m.max(k)));
+            }
+            Some(_) => self.report.step_boundary_crashes += 1,
+            None => {}
+        }
+    }
+
+    fn record_unexpected(&mut self, e: OramError) {
+        self.report.record_violation(
+            Some(self.target.access_attempts()),
+            None,
+            ViolationKind::UnexpectedError,
+            e.to_string(),
+        );
+        self.unexpected_errors += 1;
+        if self.unexpected_errors >= MAX_UNEXPECTED_ERRORS {
+            self.aborted = true;
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Structured campaign reports (JSON via serde).
+
+use psoram_core::CrashPoint;
+use serde::{Deserialize, Serialize};
+
+use crate::target::DesignVariant;
+
+/// One oracle violation, pinned to the exact crash that caused it so the
+/// run can be replayed (`variant` + `seed` + `access_index` + `point`
+/// reproduce it deterministically).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViolationRecord {
+    /// Access attempt index (as counted by the controller) at which the
+    /// offending crash fired, if the violation is tied to one crash.
+    pub access_index: Option<u64>,
+    /// The crash point that produced the violation, if tied to one crash.
+    pub crash_point: Option<CrashPoint>,
+    /// What kind of check failed.
+    pub kind: ViolationKind,
+    /// Human-readable detail (verbatim from the failing check).
+    pub detail: String,
+}
+
+/// The check a violation came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ViolationKind {
+    /// The design's own recoverability check failed after recovery.
+    RecoveryCheck,
+    /// A durably committed value read back wrong (lost or corrupted).
+    CommittedValueLost,
+    /// A crashed write surfaced as neither its old nor its new value.
+    TornWrite,
+    /// The controller returned an error the harness did not inject.
+    UnexpectedError,
+}
+
+/// Per-design outcome of a sweep or campaign.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VariantReport {
+    /// The design that was tortured.
+    pub variant: DesignVariant,
+    /// Display label of the design.
+    pub label: String,
+    /// Whether the design claims crash consistency.
+    pub expected_consistent: bool,
+    /// Logical accesses issued by the workload (including crashed ones,
+    /// excluding oracle read-backs).
+    pub accesses: u64,
+    /// Crashes that actually fired.
+    pub crashes_injected: u64,
+    /// Crashes that fired at a step boundary.
+    pub step_boundary_crashes: u64,
+    /// Crashes that fired mid-eviction (`DuringEviction(k)`).
+    pub during_eviction_crashes: u64,
+    /// Largest `DuringEviction(k)` index that fired (persist-unit count
+    /// coverage; `None` if no mid-eviction crash fired).
+    pub max_eviction_units: Option<usize>,
+    /// Recoveries attempted.
+    pub recoveries: u64,
+    /// Recoveries whose consistency check passed.
+    pub recoveries_consistent: u64,
+    /// Crashes injected while a recovery was being verified (nested).
+    pub nested_crashes: u64,
+    /// Full shadow-map read-back verifications performed.
+    pub full_checks: u64,
+    /// Total violations observed (may exceed `violations.len()` when the
+    /// per-report record cap was hit).
+    pub violations_total: u64,
+    /// Recorded violations, oldest first (capped at
+    /// [`MAX_RECORDED_VIOLATIONS`]).
+    pub violations: Vec<ViolationRecord>,
+    /// `true` when the observed violations match the design's claim:
+    /// consistent designs saw none; others are allowed any number.
+    pub matches_expectation: bool,
+}
+
+/// Cap on stored [`ViolationRecord`]s per variant; a non-persistent
+/// baseline can violate on nearly every crash, and the count alone
+/// carries the signal beyond this point.
+pub const MAX_RECORDED_VIOLATIONS: usize = 256;
+
+impl VariantReport {
+    /// Creates an empty report for `variant`.
+    pub fn new(variant: DesignVariant) -> Self {
+        VariantReport {
+            variant,
+            label: variant.label(),
+            expected_consistent: variant.expected_consistent(),
+            accesses: 0,
+            crashes_injected: 0,
+            step_boundary_crashes: 0,
+            during_eviction_crashes: 0,
+            max_eviction_units: None,
+            recoveries: 0,
+            recoveries_consistent: 0,
+            nested_crashes: 0,
+            full_checks: 0,
+            violations_total: 0,
+            violations: Vec::new(),
+            matches_expectation: true,
+        }
+    }
+
+    /// Records a violation.
+    pub fn record_violation(
+        &mut self,
+        access_index: Option<u64>,
+        crash_point: Option<CrashPoint>,
+        kind: ViolationKind,
+        detail: String,
+    ) {
+        self.violations_total += 1;
+        if self.violations.len() < MAX_RECORDED_VIOLATIONS {
+            self.violations.push(ViolationRecord { access_index, crash_point, kind, detail });
+        }
+    }
+
+    /// Finalizes `matches_expectation` from the recorded evidence.
+    pub fn finalize(&mut self) {
+        self.matches_expectation = !self.expected_consistent || self.violations_total == 0;
+    }
+}
+
+/// A whole campaign: mode, seed, and one report per design.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// `"exhaustive"` or `"random"`.
+    pub mode: String,
+    /// RNG seed (also seeds each controller), for exact replay.
+    pub seed: u64,
+    /// Per-design outcomes.
+    pub variants: Vec<VariantReport>,
+}
+
+impl CampaignReport {
+    /// `true` when every design behaved as claimed.
+    pub fn all_match_expectation(&self) -> bool {
+        self.variants.iter().all(|v| v.matches_expectation)
+    }
+
+    /// Total violations across all designs.
+    pub fn total_violations(&self) -> usize {
+        self.variants.iter().map(|v| v.violations.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expectation_requires_clean_run_only_for_consistent_designs() {
+        let mut r = VariantReport::new(crate::target::DesignVariant::Path(
+            psoram_core::ProtocolVariant::Baseline,
+        ));
+        r.record_violation(Some(3), None, ViolationKind::CommittedValueLost, "lost".into());
+        r.finalize();
+        assert!(r.matches_expectation, "baseline may lose data");
+
+        let mut r = VariantReport::new(crate::target::DesignVariant::Path(
+            psoram_core::ProtocolVariant::PsOram,
+        ));
+        r.record_violation(Some(3), None, ViolationKind::CommittedValueLost, "lost".into());
+        r.finalize();
+        assert!(!r.matches_expectation, "PS-ORAM must not lose data");
+    }
+}

@@ -31,7 +31,7 @@ impl Channel {
     }
 
     /// Number of banks on this channel.
-    #[cfg_attr(not(test), allow(dead_code))]
+    #[allow(dead_code)] // introspection accessor
     pub fn num_banks(&self) -> usize {
         self.banks.len()
     }

@@ -49,4 +49,4 @@ pub use request::AccessKind;
 pub use stats::NvmStats;
 pub use timing::{MemTech, TimingParams, CORE_CYCLES_PER_MEM_CYCLE};
 pub use wear::{GapMove, StartGap};
-pub use wpq::{PersistenceDomain, Wpq, WpqEntry};
+pub use wpq::{PersistenceDomain, Wpq, WpqEntry, WpqError, WpqStats};

@@ -24,20 +24,39 @@ pub struct WpqEntry<T> {
     pub value: T,
 }
 
-/// Error returned when pushing to a full WPQ.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct WpqFullError {
-    /// Capacity of the queue that rejected the push.
-    pub capacity: usize,
+/// Errors returned by the WPQ batch protocol.
+///
+/// The drainer protocol is strictly bracketed (`start`, pushes, `end`);
+/// violations and capacity exhaustion surface as typed errors rather than
+/// panics so a controller can stall and retry (see
+/// [`WpqStats::full_rejections`] / [`WpqStats::protocol_errors`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WpqError {
+    /// `start` signal while a batch is already open.
+    BatchAlreadyOpen,
+    /// Push or `end` signal with no batch open.
+    NoBatchOpen,
+    /// The queue is at capacity; the caller must drain (or split the
+    /// eviction round) before retrying.
+    Full {
+        /// Capacity of the queue that rejected the push.
+        capacity: usize,
+    },
 }
 
-impl std::fmt::Display for WpqFullError {
+impl std::fmt::Display for WpqError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "write pending queue full (capacity {})", self.capacity)
+        match self {
+            WpqError::BatchAlreadyOpen => write!(f, "WPQ start signal while a batch is open"),
+            WpqError::NoBatchOpen => write!(f, "WPQ push or end signal outside a batch"),
+            WpqError::Full { capacity } => {
+                write!(f, "write pending queue full (capacity {capacity})")
+            }
+        }
     }
 }
 
-impl std::error::Error for WpqFullError {}
+impl std::error::Error for WpqError {}
 
 /// A bounded write pending queue with start/end-signalled atomic batches.
 ///
@@ -52,10 +71,10 @@ impl std::error::Error for WpqFullError {}
 /// use psoram_nvm::{Wpq, WpqEntry};
 ///
 /// let mut q: Wpq<u32> = Wpq::new(4);
-/// q.begin_batch();
+/// q.begin_batch().unwrap();
 /// q.push(WpqEntry { addr: 0x40, value: 7 }).unwrap();
-/// q.end_batch();
-/// q.begin_batch();
+/// q.end_batch().unwrap();
+/// q.begin_batch().unwrap();
 /// q.push(WpqEntry { addr: 0x80, value: 9 }).unwrap();
 /// // Crash before the second end signal: only the first batch survives.
 /// let survivors = q.crash();
@@ -82,6 +101,11 @@ pub struct WpqStats {
     pub entries_drained: u64,
     /// High-water mark of total queue occupancy.
     pub max_occupancy: usize,
+    /// Pushes rejected because the queue was at capacity (each one is a
+    /// controller stall-and-retry).
+    pub full_rejections: u64,
+    /// Batch-protocol violations (double start, push/end without start).
+    pub protocol_errors: u64,
 }
 
 impl<T> Wpq<T> {
@@ -104,29 +128,34 @@ impl<T> Wpq<T> {
 
     /// Starts a new atomic batch (the drainer's `start` signal).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a batch is already open — the drainer protocol is strictly
-    /// bracketed.
-    pub fn begin_batch(&mut self) {
-        assert!(!self.in_batch, "WPQ batch already open");
+    /// Returns [`WpqError::BatchAlreadyOpen`] if a batch is already open —
+    /// the drainer protocol is strictly bracketed.
+    pub fn begin_batch(&mut self) -> Result<(), WpqError> {
+        if self.in_batch {
+            self.stats.protocol_errors += 1;
+            return Err(WpqError::BatchAlreadyOpen);
+        }
         self.in_batch = true;
+        Ok(())
     }
 
     /// Queues an entry in the open batch.
     ///
     /// # Errors
     ///
-    /// Returns [`WpqFullError`] if the queue is at capacity; the caller must
-    /// drain (or split the eviction round) before retrying.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no batch is open.
-    pub fn push(&mut self, entry: WpqEntry<T>) -> Result<(), WpqFullError> {
-        assert!(self.in_batch, "WPQ push outside a batch");
+    /// Returns [`WpqError::Full`] if the queue is at capacity (the caller
+    /// must drain or split the eviction round before retrying) and
+    /// [`WpqError::NoBatchOpen`] if no batch is open.
+    pub fn push(&mut self, entry: WpqEntry<T>) -> Result<(), WpqError> {
+        if !self.in_batch {
+            self.stats.protocol_errors += 1;
+            return Err(WpqError::NoBatchOpen);
+        }
         if self.len() >= self.capacity {
-            return Err(WpqFullError { capacity: self.capacity });
+            self.stats.full_rejections += 1;
+            return Err(WpqError::Full { capacity: self.capacity });
         }
         self.open.push(entry);
         self.stats.entries_pushed += 1;
@@ -137,14 +166,26 @@ impl<T> Wpq<T> {
     /// Commits the open batch (the drainer's `end` signal); its entries are
     /// now inside the persistence guarantee.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no batch is open.
-    pub fn end_batch(&mut self) {
-        assert!(self.in_batch, "WPQ end signal without a start");
+    /// Returns [`WpqError::NoBatchOpen`] if no batch is open.
+    pub fn end_batch(&mut self) -> Result<(), WpqError> {
+        if !self.in_batch {
+            self.stats.protocol_errors += 1;
+            return Err(WpqError::NoBatchOpen);
+        }
         self.in_batch = false;
         self.committed.append(&mut self.open);
         self.stats.batches_committed += 1;
+        Ok(())
+    }
+
+    /// Discards the open batch and closes it without committing (used to
+    /// back out of a half-assembled round, e.g. when the paired queue of a
+    /// persistence domain rejected its `start` signal).
+    pub fn abort_batch(&mut self) {
+        self.open.clear();
+        self.in_batch = false;
     }
 
     /// Drains all committed entries for writing to the NVM (normal-operation
@@ -205,10 +246,10 @@ impl<T> Wpq<T> {
 /// use psoram_nvm::{PersistenceDomain, WpqEntry};
 ///
 /// let mut pd: PersistenceDomain<[u8; 8], u32> = PersistenceDomain::new(96, 96);
-/// pd.begin_round();
+/// pd.begin_round().unwrap();
 /// pd.push_data(WpqEntry { addr: 0x40, value: [1; 8] }).unwrap();
 /// pd.push_posmap(WpqEntry { addr: 0x99, value: 5 }).unwrap();
-/// pd.commit_round();
+/// pd.commit_round().unwrap();
 /// let (data, posmap) = pd.drain();
 /// assert_eq!(data.len(), 1);
 /// assert_eq!(posmap.len(), 1);
@@ -232,17 +273,28 @@ impl<D, P> PersistenceDomain<D, P> {
     }
 
     /// Drainer `start` signal to both queues.
-    pub fn begin_round(&mut self) {
-        self.data_wpq.begin_batch();
-        self.posmap_wpq.begin_batch();
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WpqError::BatchAlreadyOpen`] if either queue already has an
+    /// open batch; both queues are left batch-closed on error so the domain
+    /// never ends up with only one side open.
+    pub fn begin_round(&mut self) -> Result<(), WpqError> {
+        self.data_wpq.begin_batch()?;
+        if let Err(e) = self.posmap_wpq.begin_batch() {
+            self.data_wpq.abort_batch();
+            return Err(e);
+        }
+        Ok(())
     }
 
     /// Queues a data block for persistence.
     ///
     /// # Errors
     ///
-    /// Returns [`WpqFullError`] when the data WPQ is full.
-    pub fn push_data(&mut self, entry: WpqEntry<D>) -> Result<(), WpqFullError> {
+    /// Returns [`WpqError::Full`] when the data WPQ is full and
+    /// [`WpqError::NoBatchOpen`] outside a round.
+    pub fn push_data(&mut self, entry: WpqEntry<D>) -> Result<(), WpqError> {
         self.data_wpq.push(entry)
     }
 
@@ -250,16 +302,33 @@ impl<D, P> PersistenceDomain<D, P> {
     ///
     /// # Errors
     ///
-    /// Returns [`WpqFullError`] when the PosMap WPQ is full.
-    pub fn push_posmap(&mut self, entry: WpqEntry<P>) -> Result<(), WpqFullError> {
+    /// Returns [`WpqError::Full`] when the PosMap WPQ is full and
+    /// [`WpqError::NoBatchOpen`] outside a round.
+    pub fn push_posmap(&mut self, entry: WpqEntry<P>) -> Result<(), WpqError> {
         self.posmap_wpq.push(entry)
     }
 
     /// Drainer `end` signal to both queues — the atomic commit point of an
     /// eviction round.
-    pub fn commit_round(&mut self) {
-        self.data_wpq.end_batch();
-        self.posmap_wpq.end_batch();
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WpqError::NoBatchOpen`] if no round is open (neither queue
+    /// commits in that case).
+    pub fn commit_round(&mut self) -> Result<(), WpqError> {
+        if !self.data_wpq.in_batch() || !self.posmap_wpq.in_batch() {
+            // Count the violation on the queue(s) that would have rejected
+            // the end signal, but commit neither: the round must be atomic.
+            if !self.data_wpq.in_batch() {
+                self.data_wpq.stats.protocol_errors += 1;
+            }
+            if !self.posmap_wpq.in_batch() {
+                self.posmap_wpq.stats.protocol_errors += 1;
+            }
+            return Err(WpqError::NoBatchOpen);
+        }
+        self.data_wpq.end_batch()?;
+        self.posmap_wpq.end_batch()
     }
 
     /// Drains both queues for the NVM writeback (step 5-C).
@@ -290,11 +359,11 @@ mod tests {
     #[test]
     fn committed_entries_survive_crash_uncommitted_do_not() {
         let mut q: Wpq<u8> = Wpq::new(8);
-        q.begin_batch();
+        q.begin_batch().unwrap();
         q.push(WpqEntry { addr: 1, value: 1 }).unwrap();
         q.push(WpqEntry { addr: 2, value: 2 }).unwrap();
-        q.end_batch();
-        q.begin_batch();
+        q.end_batch().unwrap();
+        q.begin_batch().unwrap();
         q.push(WpqEntry { addr: 3, value: 3 }).unwrap();
         let survivors = q.crash();
         assert_eq!(survivors.iter().map(|e| e.addr).collect::<Vec<_>>(), vec![1, 2]);
@@ -305,34 +374,66 @@ mod tests {
     #[test]
     fn push_respects_capacity() {
         let mut q: Wpq<u8> = Wpq::new(2);
-        q.begin_batch();
+        q.begin_batch().unwrap();
         q.push(WpqEntry { addr: 1, value: 1 }).unwrap();
         q.push(WpqEntry { addr: 2, value: 2 }).unwrap();
         let err = q.push(WpqEntry { addr: 3, value: 3 }).unwrap_err();
-        assert_eq!(err.capacity, 2);
+        assert_eq!(err, WpqError::Full { capacity: 2 });
+        assert_eq!(q.stats().full_rejections, 1);
+        // The queue survives the rejection and keeps working.
+        q.end_batch().unwrap();
+        assert_eq!(q.drain_committed().len(), 2);
     }
 
     #[test]
-    #[should_panic(expected = "batch already open")]
-    fn double_start_signal_panics() {
+    fn double_start_signal_is_a_typed_error() {
         let mut q: Wpq<u8> = Wpq::new(2);
-        q.begin_batch();
-        q.begin_batch();
+        q.begin_batch().unwrap();
+        assert_eq!(q.begin_batch().unwrap_err(), WpqError::BatchAlreadyOpen);
+        assert_eq!(q.stats().protocol_errors, 1);
+        assert!(q.in_batch(), "failed start must not close the open batch");
     }
 
     #[test]
-    #[should_panic(expected = "outside a batch")]
-    fn push_without_start_panics() {
+    fn push_and_end_without_start_are_typed_errors() {
         let mut q: Wpq<u8> = Wpq::new(2);
-        let _ = q.push(WpqEntry { addr: 1, value: 1 });
+        assert_eq!(q.push(WpqEntry { addr: 1, value: 1 }).unwrap_err(), WpqError::NoBatchOpen);
+        assert_eq!(q.end_batch().unwrap_err(), WpqError::NoBatchOpen);
+        assert_eq!(q.stats().protocol_errors, 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn abort_batch_discards_open_entries_only() {
+        let mut q: Wpq<u8> = Wpq::new(4);
+        q.begin_batch().unwrap();
+        q.push(WpqEntry { addr: 1, value: 1 }).unwrap();
+        q.end_batch().unwrap();
+        q.begin_batch().unwrap();
+        q.push(WpqEntry { addr: 2, value: 2 }).unwrap();
+        q.abort_batch();
+        assert!(!q.in_batch());
+        let committed = q.drain_committed();
+        assert_eq!(committed.iter().map(|e| e.addr).collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn domain_round_errors_keep_queues_in_lockstep() {
+        let mut pd: PersistenceDomain<u8, u8> = PersistenceDomain::new(4, 4);
+        assert_eq!(pd.commit_round().unwrap_err(), WpqError::NoBatchOpen);
+        pd.begin_round().unwrap();
+        assert_eq!(pd.begin_round().unwrap_err(), WpqError::BatchAlreadyOpen);
+        assert!(pd.data_wpq().in_batch() && pd.posmap_wpq().in_batch());
+        pd.commit_round().unwrap();
+        assert!(!pd.data_wpq().in_batch() && !pd.posmap_wpq().in_batch());
     }
 
     #[test]
     fn drain_clears_committed_and_counts() {
         let mut q: Wpq<u8> = Wpq::new(4);
-        q.begin_batch();
+        q.begin_batch().unwrap();
         q.push(WpqEntry { addr: 1, value: 1 }).unwrap();
-        q.end_batch();
+        q.end_batch().unwrap();
         let drained = q.drain_committed();
         assert_eq!(drained.len(), 1);
         assert!(q.is_empty());
@@ -343,11 +444,11 @@ mod tests {
     #[test]
     fn max_occupancy_tracks_high_water_mark() {
         let mut q: Wpq<u8> = Wpq::new(8);
-        q.begin_batch();
+        q.begin_batch().unwrap();
         for i in 0..5 {
             q.push(WpqEntry { addr: i, value: i as u8 }).unwrap();
         }
-        q.end_batch();
+        q.end_batch().unwrap();
         q.drain_committed();
         assert_eq!(q.stats().max_occupancy, 5);
     }
@@ -356,12 +457,12 @@ mod tests {
     fn domain_crash_is_atomic_across_both_queues() {
         let mut pd: PersistenceDomain<u8, u8> = PersistenceDomain::new(8, 8);
         // Round 1: committed.
-        pd.begin_round();
+        pd.begin_round().unwrap();
         pd.push_data(WpqEntry { addr: 1, value: 1 }).unwrap();
         pd.push_posmap(WpqEntry { addr: 10, value: 10 }).unwrap();
-        pd.commit_round();
+        pd.commit_round().unwrap();
         // Round 2: open at crash time.
-        pd.begin_round();
+        pd.begin_round().unwrap();
         pd.push_data(WpqEntry { addr: 2, value: 2 }).unwrap();
         pd.push_posmap(WpqEntry { addr: 20, value: 20 }).unwrap();
         let (data, posmap) = pd.crash();
@@ -376,15 +477,16 @@ mod tests {
     fn remaining_capacity_reported() {
         let mut q: Wpq<u8> = Wpq::new(4);
         assert_eq!(q.remaining(), 4);
-        q.begin_batch();
+        q.begin_batch().unwrap();
         q.push(WpqEntry { addr: 1, value: 1 }).unwrap();
         assert_eq!(q.remaining(), 3);
         assert_eq!(q.capacity(), 4);
     }
 
     #[test]
-    fn wpq_full_error_displays() {
-        let e = WpqFullError { capacity: 4 };
-        assert!(e.to_string().contains("capacity 4"));
+    fn wpq_error_displays() {
+        assert!(WpqError::Full { capacity: 4 }.to_string().contains("capacity 4"));
+        assert!(WpqError::BatchAlreadyOpen.to_string().contains("start signal"));
+        assert!(WpqError::NoBatchOpen.to_string().contains("outside a batch"));
     }
 }

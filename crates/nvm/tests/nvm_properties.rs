@@ -65,7 +65,7 @@ proptest! {
             if open_uncommitted {
                 break; // an uncommitted batch must be the last activity
             }
-            q.begin_batch();
+            q.begin_batch().unwrap();
             let mut vals = Vec::new();
             for _ in 0..n {
                 q.push(WpqEntry { addr: next_val, value: next_val }).unwrap();
@@ -73,7 +73,7 @@ proptest! {
                 next_val += 1;
             }
             if commit_mask[i % commit_mask.len()] {
-                q.end_batch();
+                q.end_batch().unwrap();
                 expected.extend(vals);
             } else {
                 open_uncommitted = true;

@@ -1,7 +1,7 @@
 //! The trace-driven full-system simulator.
 
 use psoram_cache::{Hierarchy, MemOp};
-use psoram_core::{BlockAddr, Op, PathOram};
+use psoram_core::{BlockAddr, CrashPoint, Op, OramError, PathOram};
 use psoram_nvm::{AccessKind, NvmController, CORE_CYCLES_PER_MEM_CYCLE};
 use psoram_trace::{SpecWorkload, TraceGenerator, TraceRecord, WorkloadSpec};
 
@@ -42,6 +42,8 @@ pub struct System {
     clock: u64,
     instructions: u64,
     accesses: u64,
+    crashes_recovered: u64,
+    recoveries_consistent: u64,
     mark: Option<Snapshot>,
 }
 
@@ -77,7 +79,17 @@ impl System {
         } else {
             Backend::Plain(NvmController::new(config.nvm.clone()))
         };
-        System { config, hierarchy, backend, clock: 0, instructions: 0, accesses: 0, mark: None }
+        System {
+            config,
+            hierarchy,
+            backend,
+            clock: 0,
+            instructions: 0,
+            accesses: 0,
+            crashes_recovered: 0,
+            recoveries_consistent: 0,
+            mark: None,
+        }
     }
 
     /// Marks the end of warmup: subsequent [`System::result`] calls report
@@ -125,6 +137,32 @@ impl System {
         }
     }
 
+    /// Schedules a power failure at the ORAM backend's access attempt
+    /// `access_index` (see [`PathOram::schedule_crash`]); when it fires
+    /// mid-workload the system recovers and reissues the access in place,
+    /// so fault campaigns run through the complete cache+NVM stack.
+    ///
+    /// Returns `false` when no ORAM backend is configured.
+    pub fn schedule_crash(&mut self, access_index: u64, point: CrashPoint) -> bool {
+        match &mut self.backend {
+            Backend::Oram(o) => {
+                o.schedule_crash(access_index, point);
+                true
+            }
+            Backend::Plain(_) => false,
+        }
+    }
+
+    /// Crashes that fired and were recovered during stepping.
+    pub fn crashes_recovered(&self) -> u64 {
+        self.crashes_recovered
+    }
+
+    /// How many of those recoveries passed the recoverability check.
+    pub fn recoveries_consistent(&self) -> u64 {
+        self.recoveries_consistent
+    }
+
     /// Executes one trace record (compute burst + one memory access).
     pub fn step(&mut self, rec: &TraceRecord) {
         // Compute burst at 1 IPC, plus the memory instruction itself.
@@ -154,9 +192,22 @@ impl System {
                     Op::Write => Some(vec![0xA5u8; self.config.oram.payload_bytes]),
                     Op::Read => None,
                 };
-                let out = oram
-                    .access_at(kind, block, data, self.clock)
-                    .expect("in-range access cannot fail");
+                let out = loop {
+                    match oram.access_at(kind, block, data.clone(), self.clock) {
+                        Ok(out) => break out,
+                        Err(OramError::Crashed) => {
+                            // Power failure below the cache hierarchy: the
+                            // persistence domain drains, the machine reboots,
+                            // recovery runs, and the access is reissued.
+                            let rec = oram.recover();
+                            self.crashes_recovered += 1;
+                            if rec.consistent {
+                                self.recoveries_consistent += 1;
+                            }
+                        }
+                        Err(e) => panic!("in-range access cannot fail: {e}"),
+                    }
+                };
                 // The in-order core blocks until the line fill returns;
                 // writes retire once accepted by the controller.
                 self.clock = out.complete_cycle;
@@ -332,7 +383,28 @@ mod tests {
         sys.run_workload(SpecWorkload::Mcf, 1_000);
         let oram = sys.oram_mut().unwrap();
         oram.crash_now();
-        assert!(oram.recover());
+        assert!(oram.recover().consistent);
+    }
+
+    #[test]
+    fn full_stack_crash_recover_continue() {
+        // Scheduled power failures fire beneath the cache hierarchy while a
+        // workload runs; the system recovers in place and the trace keeps
+        // going — the full-stack leg of the fault-injection harness.
+        let mut sys = quick(ProtocolVariant::PsOram);
+        sys.run_workload(SpecWorkload::Mcf, 500);
+        let base = sys.oram().unwrap().access_attempts();
+        for k in 1..=5u64 {
+            assert!(sys.schedule_crash(base + 5 * k, CrashPoint::AfterLoadPath));
+        }
+        // One long run: the deterministic generator replays its prefix into
+        // a warm cache, so only the tail produces fresh ORAM traffic.
+        sys.run_workload(SpecWorkload::Mcf, 8_000);
+        assert_eq!(sys.crashes_recovered(), 5, "every scheduled crash must fire");
+        assert_eq!(sys.recoveries_consistent(), 5, "every recovery must be consistent");
+        let oram = sys.oram_mut().unwrap();
+        assert!(!oram.is_crashed());
+        oram.verify_contents(true).unwrap();
     }
 
     #[test]

@@ -23,7 +23,7 @@ fn crash_once(variant: ProtocolVariant, point: CrashPoint) -> (bool, usize) {
     if !oram.is_crashed() {
         oram.crash_now();
     }
-    let consistent = oram.recover();
+    let consistent = oram.recover().consistent;
     // Count blocks whose last written value is gone after the crash.
     let lost = (0..40u64)
         .filter(|&i| oram.read(BlockAddr(i)).map(|v| v != payload(i)).unwrap_or(true))

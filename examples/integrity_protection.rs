@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Crash and recover: the root update rides the eviction commits, so
     // recovery replays cleanly with no false alarms.
     oram.crash_now();
-    assert!(oram.recover());
+    assert!(oram.recover().consistent);
     oram.verify_contents(true).map_err(|e| format!("false alarm: {e}"))?;
     println!("crash + recovery: all committed data verified, zero false alarms");
 

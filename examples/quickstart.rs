@@ -22,8 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("crash injected mid-access: crashed = {}", oram.is_crashed());
 
     // ...and recover: every durably committed value is intact.
-    let consistent = oram.recover();
-    println!("recovered, consistency check passed = {consistent}");
+    let report = oram.recover();
+    println!("recovered, consistency check passed = {}", report.consistent);
     oram.verify_contents(true).map_err(|e| format!("verification failed: {e}"))?;
     println!("all committed values verified after recovery ✓");
 

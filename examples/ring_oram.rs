@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     oram.inject_crash(CrashPoint::AfterLoadPath);
     let _ = oram.read(BlockAddr(7));
     assert!(oram.is_crashed());
-    let ok = oram.recover();
+    let ok = oram.recover().consistent;
     println!("crash mid-access -> recover(): consistency check = {ok}");
     oram.verify_contents(true).map_err(|e| format!("inconsistent: {e}"))?;
     println!("every committed value intact after recovery ✓");

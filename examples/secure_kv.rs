@@ -56,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("power failure!");
     kv.oram.crash_now();
-    let consistent = kv.oram.recover();
+    let consistent = kv.oram.recover().consistent;
     println!("recovered; ORAM consistency check: {consistent}");
 
     // Every record reads back as either its old or its new committed value

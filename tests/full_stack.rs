@@ -98,7 +98,7 @@ fn crash_mid_system_run_recovers() {
     sys.run_workload(SpecWorkload::Gcc, 5_000);
     let oram = sys.oram_mut().expect("oram backend");
     oram.crash_now();
-    assert!(oram.recover());
+    assert!(oram.recover().consistent);
     oram.verify_contents(true).expect("committed data must survive a system-level crash");
 }
 

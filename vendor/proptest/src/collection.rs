@@ -1,0 +1,54 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::{Strategy, TestRng};
+
+/// Length specifications accepted by [`vec`] (exact `usize` or a
+/// half-open `Range<usize>`), mirroring the real crate's `SizeRange`
+/// conversions.
+pub trait IntoSizeRange {
+    /// The equivalent half-open length range.
+    fn into_size_range(self) -> std::ops::Range<usize>;
+}
+
+impl IntoSizeRange for usize {
+    fn into_size_range(self) -> std::ops::Range<usize> {
+        self..self + 1
+    }
+}
+
+impl IntoSizeRange for std::ops::Range<usize> {
+    fn into_size_range(self) -> std::ops::Range<usize> {
+        self
+    }
+}
+
+impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+    fn into_size_range(self) -> std::ops::Range<usize> {
+        *self.start()..*self.end() + 1
+    }
+}
+
+/// Strategy for `Vec<T>` with a length drawn from `len`.
+pub struct VecStrategy<S> {
+    element: S,
+    len: std::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = if self.len.is_empty() {
+            self.len.start
+        } else {
+            rng.gen_range(self.len.clone())
+        };
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A strategy for vectors whose elements come from `element` and whose
+/// length is drawn uniformly from `len`.
+pub fn vec<S: Strategy>(element: S, len: impl IntoSizeRange) -> VecStrategy<S> {
+    VecStrategy { element, len: len.into_size_range() }
+}

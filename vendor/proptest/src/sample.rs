@@ -1,0 +1,26 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use crate::{Strategy, TestRng};
+
+/// Strategy drawing uniformly from a fixed set of options.
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.options.is_empty(), "select requires at least one option");
+        self.options[rng.gen_range(0..self.options.len())].clone()
+    }
+}
+
+/// A strategy drawing uniformly from `options`.
+///
+/// # Panics
+///
+/// `generate` panics if `options` is empty.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    Select { options }
+}

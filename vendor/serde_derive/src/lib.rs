@@ -1,0 +1,465 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls against the vendored `serde`'s
+//! JSON [`Value`] tree. Supports the shapes this workspace derives on:
+//! named-field structs (possibly generic), tuple/newtype structs, unit
+//! structs, and enums with unit, tuple, and struct variants (externally
+//! tagged, matching real `serde_json` output). `#[serde(...)]` field
+//! attributes are not supported — the workspace does not use any.
+//!
+//! The implementation deliberately avoids `syn`/`quote` (unavailable
+//! offline): it walks the raw token stream, which is sufficient for the
+//! declaration grammar above, and emits the impl as a string.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ── Parsing ────────────────────────────────────────────────────────────
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Advances past any `#[...]` attributes and a `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        if i < tokens.len() && is_punct(&tokens[i], '#') {
+            i += 2; // '#' then the bracket group
+        } else if i < tokens.len() && is_ident(&tokens[i], "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        } else {
+            return i;
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let is_struct = if is_ident(&tokens[i], "struct") {
+        true
+    } else if is_ident(&tokens[i], "enum") {
+        false
+    } else {
+        panic!("derive(Serialize/Deserialize): expected struct or enum, got {:?}", tokens[i]);
+    };
+    i += 1;
+    let name = tokens[i].to_string();
+    i += 1;
+
+    // Generic parameter names (bounds and lifetimes skipped).
+    let mut generics = Vec::new();
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        let mut depth = 1usize;
+        i += 1;
+        let mut expecting_param = true;
+        let mut skip_lifetime_ident = false;
+        while i < tokens.len() && depth > 0 {
+            match &tokens[i] {
+                t if is_punct(t, '<') => depth += 1,
+                t if is_punct(t, '>') => depth -= 1,
+                t if is_punct(t, ',') && depth == 1 => expecting_param = true,
+                t if is_punct(t, '\'') && depth == 1 => skip_lifetime_ident = true,
+                TokenTree::Ident(id) if depth == 1 && expecting_param => {
+                    if skip_lifetime_ident {
+                        skip_lifetime_ident = false;
+                    } else {
+                        generics.push(id.to_string());
+                    }
+                    expecting_param = false;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    // Scan (past any where clause) to the declaration body.
+    let kind = loop {
+        assert!(i < tokens.len(), "derive: no body found for {name}");
+        match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                break if is_struct {
+                    Kind::NamedStruct(parse_named_fields(&body))
+                } else {
+                    Kind::Enum(parse_variants(&body))
+                };
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis && is_struct => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                break Kind::TupleStruct(tuple_arity(&body));
+            }
+            t if is_punct(t, ';') && is_struct => break Kind::UnitStruct,
+            _ => i += 1,
+        }
+    };
+
+    Item { name, generics, kind }
+}
+
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(id) = &tokens[i] else {
+            panic!("derive: expected field name, got {:?}", tokens[i]);
+        };
+        fields.push(id.to_string());
+        i += 1;
+        assert!(is_punct(&tokens[i], ':'), "derive: expected `:` after field name");
+        i += 1;
+        // Skip the type up to the next top-level comma.
+        let mut depth = 0usize;
+        while i < tokens.len() {
+            match &tokens[i] {
+                t if is_punct(t, '<') => depth += 1,
+                t if is_punct(t, '>') => depth -= 1,
+                t if is_punct(t, ',') && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn tuple_arity(tokens: &[TokenTree]) -> usize {
+    let mut depth = 0usize;
+    let mut arity = 0usize;
+    let mut in_segment = false;
+    for t in tokens {
+        match t {
+            t if is_punct(t, '<') => depth += 1,
+            t if is_punct(t, '>') => depth -= 1,
+            t if is_punct(t, ',') && depth == 0 => in_segment = false,
+            _ => {
+                if !in_segment {
+                    arity += 1;
+                    in_segment = true;
+                }
+            }
+        }
+    }
+    arity
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(id) = &tokens[i] else {
+            panic!("derive: expected variant name, got {:?}", tokens[i]);
+        };
+        let name = id.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantShape::Tuple(tuple_arity(&body))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantShape::Named(parse_named_fields(&body))
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip any discriminant, up to the separating comma.
+        while i < tokens.len() && !is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+        i += 1;
+    }
+    variants
+}
+
+// ── Code generation ────────────────────────────────────────────────────
+
+fn impl_header(item: &Item, trait_path: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl {} for {}", trait_path, item.name)
+    } else {
+        let bounded: Vec<String> =
+            item.generics.iter().map(|g| format!("{g}: {trait_path}")).collect();
+        format!(
+            "impl<{}> {} for {}<{}>",
+            bounded.join(", "),
+            trait_path,
+            item.name,
+            item.generics.join(", ")
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let header = impl_header(item, "::serde::Serialize");
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let pushes: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", pushes.join(", "))
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    let tyname = &item.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{tyname}::{vname} => ::serde::Value::String(\
+                             ::std::string::String::from(\"{vname}\")),"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{tyname}::{vname}(__f0) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{vname}\"), \
+                             ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{tyname}::{vname}({}) => ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Array(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{tyname}::{vname} {{ {binds} }} => \
+                                 ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Object(::std::vec![{}]))]),",
+                                pushes.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] {header} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let header = impl_header(item, "::serde::Deserialize");
+    let tyname = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::object_field(__fields, \"{f}\", \"{tyname}\")?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "let __fields = __v.as_object().ok_or_else(|| \
+                 ::serde::DeError::custom(\"expected object for {tyname}\"))?; \
+                 ::std::result::Result::Ok({tyname} {{ {} }})",
+                inits.join(" ")
+            )
+        }
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({tyname}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __v.as_array().ok_or_else(|| \
+                 ::serde::DeError::custom(\"expected array for {tyname}\"))?; \
+                 if __items.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::DeError::custom(\"wrong tuple arity for {tyname}\")); }} \
+                 ::std::result::Result::Ok({tyname}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("::std::result::Result::Ok({tyname})"),
+        Kind::Enum(variants) => gen_deserialize_enum(tyname, variants),
+    };
+    format!(
+        "#[automatically_derived] {header} {{ \
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize_enum(tyname: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, VariantShape::Unit))
+        .map(|v| {
+            format!("\"{0}\" => ::std::result::Result::Ok({tyname}::{0}),", v.name)
+        })
+        .collect();
+    let data_variants: Vec<&Variant> =
+        variants.iter().filter(|v| !matches!(v.shape, VariantShape::Unit)).collect();
+    let data_arms: Vec<String> = data_variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.shape {
+                VariantShape::Unit => unreachable!("filtered above"),
+                VariantShape::Tuple(1) => format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({tyname}::{vname}(\
+                     ::serde::Deserialize::from_value(__inner)?)),"
+                ),
+                VariantShape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                        .collect();
+                    format!(
+                        "\"{vname}\" => {{ \
+                         let __items = __inner.as_array().ok_or_else(|| \
+                         ::serde::DeError::custom(\"expected array for {tyname}::{vname}\"))?; \
+                         if __items.len() != {n} {{ return ::std::result::Result::Err(\
+                         ::serde::DeError::custom(\"wrong arity for {tyname}::{vname}\")); }} \
+                         ::std::result::Result::Ok({tyname}::{vname}({})) }}",
+                        items.join(", ")
+                    )
+                }
+                VariantShape::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(::serde::object_field(\
+                                 __vfields, \"{f}\", \"{tyname}::{vname}\")?)?,"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "\"{vname}\" => {{ \
+                         let __vfields = __inner.as_object().ok_or_else(|| \
+                         ::serde::DeError::custom(\"expected object for {tyname}::{vname}\"))?; \
+                         ::std::result::Result::Ok({tyname}::{vname} {{ {} }}) }}",
+                        inits.join(" ")
+                    )
+                }
+            }
+        })
+        .collect();
+
+    let object_arm = if data_arms.is_empty() {
+        format!(
+            "::serde::Value::Object(_) => ::std::result::Result::Err(\
+             ::serde::DeError::custom(\"unexpected object for {tyname}\")),"
+        )
+    } else {
+        format!(
+            "::serde::Value::Object(__fields) if __fields.len() == 1 => {{ \
+             let (__tag, __inner) = &__fields[0]; \
+             match __tag.as_str() {{ {} __other => ::std::result::Result::Err(\
+             ::serde::DeError::custom(::std::format!(\
+             \"unknown variant `{{}}` for {tyname}\", __other))), }} }}",
+            data_arms.join(" ")
+        )
+    };
+
+    format!(
+        "match __v {{ \
+         ::serde::Value::String(__s) => match __s.as_str() {{ {} \
+         __other => ::std::result::Result::Err(::serde::DeError::custom(\
+         ::std::format!(\"unknown variant `{{}}` for {tyname}\", __other))), }}, \
+         {object_arm} \
+         _ => ::std::result::Result::Err(::serde::DeError::custom(\
+         \"expected string or single-key object for {tyname}\")), }}",
+        unit_arms.join(" ")
+    )
+}

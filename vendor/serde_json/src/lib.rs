@@ -1,0 +1,185 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! String front-end over the vendored `serde`'s [`Value`] tree: compact and
+//! pretty serialization, a recursive-descent parser, and a `json!` macro
+//! covering object/array literals with expression values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod parser;
+
+pub use parser::from_str_value;
+pub use serde::value::{Number, Value};
+
+/// Error type for serialization and parsing.
+pub type Error = serde::DeError;
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Serializes `value` to compact JSON text.
+///
+/// # Errors
+///
+/// Infallible for this implementation; the `Result` mirrors the real
+/// crate's signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::value::write_json(&value.to_value(), None))
+}
+
+/// Serializes `value` to pretty-printed JSON text (2-space indent).
+///
+/// # Errors
+///
+/// Infallible for this implementation; the `Result` mirrors the real
+/// crate's signature.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::value::write_json(&value.to_value(), Some(2)))
+}
+
+/// Parses JSON text into any deserializable type.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parser::from_str_value(s)?;
+    T::from_value(&value)
+}
+
+/// Builds a [`Value`] from a JSON-like literal.
+///
+/// Supports object literals (string-literal keys, expression or nested
+/// literal values), array literals, `null`, and arbitrary serializable
+/// expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        let mut __items: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json_items!(__items; $($tt)*);
+        $crate::Value::Array(__items)
+    }};
+    ({ $($tt:tt)* }) => {{
+        let mut __fields: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+            ::std::vec::Vec::new();
+        $crate::json_fields!(__fields; $($tt)*);
+        $crate::Value::Object(__fields)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Internal muncher for `json!` object bodies.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_fields {
+    ($obj:ident;) => {};
+    ($obj:ident; $key:literal : { $($nested:tt)* } , $($rest:tt)*) => {
+        $obj.extend(::std::iter::once(($key.to_string(), $crate::json!({ $($nested)* }))));
+        $crate::json_fields!($obj; $($rest)*);
+    };
+    ($obj:ident; $key:literal : { $($nested:tt)* } $(,)?) => {
+        $obj.extend(::std::iter::once(($key.to_string(), $crate::json!({ $($nested)* }))));
+    };
+    ($obj:ident; $key:literal : [ $($nested:tt)* ] , $($rest:tt)*) => {
+        $obj.extend(::std::iter::once(($key.to_string(), $crate::json!([ $($nested)* ]))));
+        $crate::json_fields!($obj; $($rest)*);
+    };
+    ($obj:ident; $key:literal : [ $($nested:tt)* ] $(,)?) => {
+        $obj.extend(::std::iter::once(($key.to_string(), $crate::json!([ $($nested)* ]))));
+    };
+    ($obj:ident; $key:literal : null , $($rest:tt)*) => {
+        $obj.extend(::std::iter::once(($key.to_string(), $crate::Value::Null)));
+        $crate::json_fields!($obj; $($rest)*);
+    };
+    ($obj:ident; $key:literal : null $(,)?) => {
+        $obj.extend(::std::iter::once(($key.to_string(), $crate::Value::Null)));
+    };
+    ($obj:ident; $key:literal : $val:expr , $($rest:tt)*) => {
+        $obj.extend(::std::iter::once(($key.to_string(), $crate::to_value(&$val))));
+        $crate::json_fields!($obj; $($rest)*);
+    };
+    ($obj:ident; $key:literal : $val:expr) => {
+        $obj.extend(::std::iter::once(($key.to_string(), $crate::to_value(&$val))));
+    };
+}
+
+/// Internal muncher for `json!` array bodies.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_items {
+    ($items:ident;) => {};
+    ($items:ident; { $($nested:tt)* } , $($rest:tt)*) => {
+        $items.extend(::std::iter::once($crate::json!({ $($nested)* })));
+        $crate::json_items!($items; $($rest)*);
+    };
+    ($items:ident; { $($nested:tt)* } $(,)?) => {
+        $items.extend(::std::iter::once($crate::json!({ $($nested)* })));
+    };
+    ($items:ident; [ $($nested:tt)* ] , $($rest:tt)*) => {
+        $items.extend(::std::iter::once($crate::json!([ $($nested)* ])));
+        $crate::json_items!($items; $($rest)*);
+    };
+    ($items:ident; [ $($nested:tt)* ] $(,)?) => {
+        $items.extend(::std::iter::once($crate::json!([ $($nested)* ])));
+    };
+    ($items:ident; null , $($rest:tt)*) => {
+        $items.extend(::std::iter::once($crate::Value::Null));
+        $crate::json_items!($items; $($rest)*);
+    };
+    ($items:ident; null $(,)?) => {
+        $items.extend(::std::iter::once($crate::Value::Null));
+    };
+    ($items:ident; $val:expr , $($rest:tt)*) => {
+        $items.extend(::std::iter::once($crate::to_value(&$val)));
+        $crate::json_items!($items; $($rest)*);
+    };
+    ($items:ident; $val:expr) => {
+        $items.extend(::std::iter::once($crate::to_value(&$val)));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_objects_and_arrays() {
+        let x = 3u64;
+        let v = json!({
+            "a": 1,
+            "nested": { "b": x, "c": [1, 2, 3] },
+            "list": [ {"k": "v"}, 2.5 ],
+            "none": null,
+            "s": "str",
+        });
+        assert_eq!(v["a"].as_u64(), Some(1));
+        assert_eq!(v["nested"]["b"].as_u64(), Some(3));
+        assert_eq!(v["nested"]["c"][2].as_u64(), Some(3));
+        assert_eq!(v["list"][0]["k"].as_str(), Some("v"));
+        assert_eq!(v["list"][1].as_f64(), Some(2.5));
+        assert_eq!(v["none"], Value::Null);
+        assert_eq!(v["s"].as_str(), Some("str"));
+    }
+
+    #[test]
+    fn to_string_and_back() {
+        let v = json!({"x": 7, "y": [true, false], "z": "q\"uote"});
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back2: Value = from_str(&pretty).unwrap();
+        assert_eq!(back2, v);
+    }
+
+    #[test]
+    fn json_of_vec_of_values() {
+        let rows = vec![json!({"a": 1}), json!({"a": 2})];
+        let v = json!(rows);
+        assert_eq!(v[1]["a"].as_u64(), Some(2));
+    }
+}

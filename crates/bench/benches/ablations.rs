@@ -20,7 +20,8 @@ fn ablation_dirty_tracking(c: &mut Criterion) {
             let mut i = 0u64;
             b.iter(|| {
                 i += 1;
-                oram.write(black_box(BlockAddr(i % cap)), vec![0; 8]).unwrap()
+                oram.write(black_box(BlockAddr(i % cap)), vec![0; 8])
+                    .unwrap()
             });
         });
     }
@@ -32,16 +33,21 @@ fn ablation_dirty_tracking(c: &mut Criterion) {
 fn ablation_wpq_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_wpq_size");
     for entries in [96usize, 28, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |b, &entries| {
-            let cfg = OramConfig::small_test().with_wpq_capacity(entries, entries);
-            let cap = cfg.capacity_blocks();
-            let mut oram = PathOram::new(cfg, ProtocolVariant::PsOram, 5);
-            let mut i = 0u64;
-            b.iter(|| {
-                i += 1;
-                oram.write(black_box(BlockAddr(i % cap)), vec![0; 8]).unwrap()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(entries),
+            &entries,
+            |b, &entries| {
+                let cfg = OramConfig::small_test().with_wpq_capacity(entries, entries);
+                let cap = cfg.capacity_blocks();
+                let mut oram = PathOram::new(cfg, ProtocolVariant::PsOram, 5);
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    oram.write(black_box(BlockAddr(i % cap)), vec![0; 8])
+                        .unwrap()
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -56,7 +62,10 @@ fn ablation_plb_capacity(c: &mut Criterion) {
             let mut i = 0u64;
             b.iter(|| {
                 i = i.wrapping_add(4097);
-                black_box(rec.access(BlockAddr(i % cfg.capacity_blocks())).total_reads())
+                black_box(
+                    rec.access(BlockAddr(i % cfg.capacity_blocks()))
+                        .total_reads(),
+                )
             });
         });
     }
@@ -73,19 +82,23 @@ fn ablation_tree_height(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(200));
     group.measurement_time(std::time::Duration::from_millis(600));
     for levels in [10u32, 14, 18, 23] {
-        group.bench_with_input(BenchmarkId::from_parameter(levels), &levels, |b, &levels| {
-            let mut cfg = OramConfig::paper_default().with_levels(levels);
-            cfg.data_wpq_capacity = cfg.path_slots();
-            cfg.posmap_wpq_capacity = cfg.path_slots();
-            let cap = cfg.capacity_blocks();
-            let mut oram = PathOram::new(cfg, ProtocolVariant::PsOram, 5);
-            oram.set_payload_encryption(false);
-            let mut i = 0u64;
-            b.iter(|| {
-                i = i.wrapping_add(0x2545F491);
-                black_box(oram.read(BlockAddr(i % cap)).unwrap())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(levels),
+            &levels,
+            |b, &levels| {
+                let mut cfg = OramConfig::paper_default().with_levels(levels);
+                cfg.data_wpq_capacity = cfg.path_slots();
+                cfg.posmap_wpq_capacity = cfg.path_slots();
+                let cap = cfg.capacity_blocks();
+                let mut oram = PathOram::new(cfg, ProtocolVariant::PsOram, 5);
+                oram.set_payload_encryption(false);
+                let mut i = 0u64;
+                b.iter(|| {
+                    i = i.wrapping_add(0x2545F491);
+                    black_box(oram.read(BlockAddr(i % cap)).unwrap())
+                });
+            },
+        );
     }
     group.finish();
 }

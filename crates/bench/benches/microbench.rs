@@ -100,8 +100,16 @@ fn bench_wpq(c: &mut Criterion) {
             |mut pd| {
                 pd.begin_round().unwrap();
                 for i in 0..96u64 {
-                    pd.push_data(WpqEntry { addr: i * 64, value: i }).unwrap();
-                    pd.push_posmap(WpqEntry { addr: i * 8, value: i as u32 }).unwrap();
+                    pd.push_data(WpqEntry {
+                        addr: i * 64,
+                        value: i,
+                    })
+                    .unwrap();
+                    pd.push_posmap(WpqEntry {
+                        addr: i * 8,
+                        value: i as u32,
+                    })
+                    .unwrap();
                 }
                 pd.commit_round().unwrap();
                 black_box(pd.drain())
@@ -111,5 +119,12 @@ fn bench_wpq(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_crypto, bench_stash, bench_posmap, bench_tree, bench_wpq);
+criterion_group!(
+    benches,
+    bench_crypto,
+    bench_stash,
+    bench_posmap,
+    bench_tree,
+    bench_wpq
+);
 criterion_main!(benches);

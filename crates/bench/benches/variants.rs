@@ -75,5 +75,11 @@ fn bench_crash_recovery(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_variants, bench_ring, bench_integrity, bench_crash_recovery);
+criterion_group!(
+    benches,
+    bench_variants,
+    bench_ring,
+    bench_integrity,
+    bench_crash_recovery
+);
 criterion_main!(benches);

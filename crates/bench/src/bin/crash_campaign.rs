@@ -11,9 +11,8 @@
 //!   crash_campaign [--smoke] [--mode exhaustive|random|both]
 //!                  [--seed N] [--out FILE] [--quiet]
 
-use psoram_faultsim::{
-    exhaustive_sweep, random_campaign, CampaignConfig, CampaignReport, SweepConfig,
-};
+use psoram_bench::SimHarness;
+use psoram_faultsim::CampaignReport;
 
 struct Args {
     smoke: bool,
@@ -24,8 +23,13 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args =
-        Args { smoke: false, mode: "both".into(), seed: None, out: None, quiet: false };
+    let mut args = Args {
+        smoke: false,
+        mode: "both".into(),
+        seed: None,
+        out: None,
+        quiet: false,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -34,7 +38,10 @@ fn parse_args() -> Args {
             "--mode" => args.mode = it.next().unwrap_or_else(|| usage("--mode needs a value")),
             "--seed" => {
                 let v = it.next().unwrap_or_else(|| usage("--seed needs a value"));
-                args.seed = Some(v.parse().unwrap_or_else(|_| usage("--seed must be an integer")));
+                args.seed = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| usage("--seed must be an integer")),
+                );
             }
             "--out" => args.out = Some(it.next().unwrap_or_else(|| usage("--out needs a value"))),
             "--help" | "-h" => usage(""),
@@ -77,7 +84,11 @@ fn summarize(report: &CampaignReport) {
             v.nested_crashes,
             v.recoveries,
             v.violations_total,
-            if v.matches_expectation { "ok" } else { "UNEXPECTED" },
+            if v.matches_expectation {
+                "ok"
+            } else {
+                "UNEXPECTED"
+            },
         );
     }
 }
@@ -96,7 +107,10 @@ fn verdict(report: &CampaignReport) -> Result<(), String> {
             ));
         }
         if v.crashes_injected == 0 {
-            return Err(format!("{}: no crash ever fired — the schedule is broken", v.label));
+            return Err(format!(
+                "{}: no crash ever fired — the schedule is broken",
+                v.label
+            ));
         }
     }
     // Detection power: at least one non-consistent design must violate.
@@ -124,22 +138,7 @@ fn main() {
         }
     }
 
-    let mut reports = Vec::new();
-    if args.mode == "exhaustive" || args.mode == "both" {
-        let mut cfg = if args.smoke { SweepConfig::smoke() } else { SweepConfig::default() };
-        if let Some(s) = args.seed {
-            cfg.seed = s;
-        }
-        reports.push(exhaustive_sweep(&cfg));
-    }
-    if args.mode == "random" || args.mode == "both" {
-        let mut cfg =
-            if args.smoke { CampaignConfig::smoke() } else { CampaignConfig::default() };
-        if let Some(s) = args.seed {
-            cfg.seed = s;
-        }
-        reports.push(random_campaign(&cfg));
-    }
+    let reports = SimHarness::new(1).crash_campaigns(&args.mode, args.smoke, args.seed);
 
     let json = serde_json::to_string_pretty(&reports).expect("report serializes");
     match &args.out {

@@ -7,58 +7,80 @@
 //!   non-recursive Baseline (as in the paper), plus the Rcr-PS-ORAM /
 //!   Rcr-Baseline ratio the text reports (~3.65%).
 
-use psoram_bench::{records_per_workload, run_one, FigureTable};
+use psoram_bench::{FigureTable, SimHarness};
 use psoram_core::ProtocolVariant;
-use psoram_trace::SpecWorkload;
 
 fn main() {
-    psoram_bench::print_config_banner("Figure 5: performance comparison");
-    let n = records_per_workload();
+    let harness = SimHarness::new(1);
+    harness.banner("Figure 5: performance comparison");
 
-    let non_recursive = [
+    let variants = [
         ProtocolVariant::FullNvm,
         ProtocolVariant::FullNvmStt,
         ProtocolVariant::NaivePsOram,
         ProtocolVariant::PsOram,
+        ProtocolVariant::RcrBaseline,
+        ProtocolVariant::RcrPsOram,
     ];
     let mut table_a = FigureTable::new(&["FullNVM", "FullNVM(STT)", "Naive-PS", "PS-ORAM"]);
     let mut table_b = FigureTable::new(&["Rcr-Baseline", "Rcr-PS-ORAM", "Rcr-PS/Rcr-Base"]);
 
-    for w in SpecWorkload::all() {
-        let base = run_one(ProtocolVariant::Baseline, 1, w, n);
-        let mut row_a = Vec::new();
-        for v in non_recursive {
-            let r = run_one(v, 1, w, n);
-            row_a.push(r.normalized_time(&base));
-        }
-        table_a.add_row(w.name(), row_a);
-
-        let rb = run_one(ProtocolVariant::RcrBaseline, 1, w, n);
-        let rp = run_one(ProtocolVariant::RcrPsOram, 1, w, n);
+    harness.sweep_vs_baseline(&variants, |w, base, runs| {
+        table_a.add_row(
+            w.name(),
+            runs[..4].iter().map(|r| r.normalized_time(base)).collect(),
+        );
+        let (rb, rp) = (&runs[4], &runs[5]);
         table_b.add_row(
             w.name(),
             vec![
-                rb.normalized_time(&base),
-                rp.normalized_time(&base),
+                rb.normalized_time(base),
+                rp.normalized_time(base),
                 rp.exec_cycles as f64 / rb.exec_cycles as f64,
             ],
         );
-        eprintln!("[{w} done]");
-    }
+    });
 
-    print!("{}", table_a.render("Figure 5(a): exec time normalized to Baseline"));
-    print!("{}", table_b.render("Figure 5(b): recursive designs, normalized to Baseline"));
+    print!(
+        "{}",
+        table_a.render("Figure 5(a): exec time normalized to Baseline")
+    );
+    print!(
+        "{}",
+        table_b.render("Figure 5(b): recursive designs, normalized to Baseline")
+    );
 
     let ga = table_a.geomeans();
     let gb = table_b.geomeans();
     println!("\nSummary (gmean overhead vs Baseline):");
-    println!("  FullNVM       +{:.2}%   (paper: +90.54%)", (ga[0] - 1.0) * 100.0);
-    println!("  FullNVM(STT)  +{:.2}%   (paper: +37.69%)", (ga[1] - 1.0) * 100.0);
-    println!("  Naive-PS-ORAM +{:.2}%   (paper: +73.92%)", (ga[2] - 1.0) * 100.0);
-    println!("  PS-ORAM       +{:.2}%   (paper: +4.29%)", (ga[3] - 1.0) * 100.0);
-    println!("  Rcr-Baseline  +{:.2}%   (paper: +68.93%)", (gb[0] - 1.0) * 100.0);
-    println!("  Rcr-PS-ORAM   +{:.2}%   (paper: +75.10%)", (gb[1] - 1.0) * 100.0);
-    println!("  Rcr-PS vs Rcr-Base +{:.2}% (paper: +3.65%)", (gb[2] - 1.0) * 100.0);
+    println!(
+        "  FullNVM       +{:.2}%   (paper: +90.54%)",
+        (ga[0] - 1.0) * 100.0
+    );
+    println!(
+        "  FullNVM(STT)  +{:.2}%   (paper: +37.69%)",
+        (ga[1] - 1.0) * 100.0
+    );
+    println!(
+        "  Naive-PS-ORAM +{:.2}%   (paper: +73.92%)",
+        (ga[2] - 1.0) * 100.0
+    );
+    println!(
+        "  PS-ORAM       +{:.2}%   (paper: +4.29%)",
+        (ga[3] - 1.0) * 100.0
+    );
+    println!(
+        "  Rcr-Baseline  +{:.2}%   (paper: +68.93%)",
+        (gb[0] - 1.0) * 100.0
+    );
+    println!(
+        "  Rcr-PS-ORAM   +{:.2}%   (paper: +75.10%)",
+        (gb[1] - 1.0) * 100.0
+    );
+    println!(
+        "  Rcr-PS vs Rcr-Base +{:.2}% (paper: +3.65%)",
+        (gb[2] - 1.0) * 100.0
+    );
 
     psoram_bench::write_results_json(
         "fig5",

@@ -1,13 +1,12 @@
 //! Regenerates **Figure 6**: NVM read and write traffic of each design,
 //! normalized to Baseline (single channel).
 
-use psoram_bench::{records_per_workload, run_one, FigureTable};
+use psoram_bench::{FigureTable, SimHarness};
 use psoram_core::ProtocolVariant;
-use psoram_trace::SpecWorkload;
 
 fn main() {
-    psoram_bench::print_config_banner("Figure 6: NVM read/write traffic");
-    let n = records_per_workload();
+    let harness = SimHarness::new(1);
+    harness.banner("Figure 6: NVM read/write traffic");
 
     let variants = [
         ProtocolVariant::FullNvm,
@@ -21,43 +20,62 @@ fn main() {
     let mut writes = FigureTable::new(&labels);
     let mut rcr_ps_vs_base = Vec::new();
 
-    for w in SpecWorkload::all() {
-        let base = run_one(ProtocolVariant::Baseline, 1, w, n);
-        let mut read_row = Vec::new();
-        let mut write_row = Vec::new();
-        let mut rcr = [0u64; 2];
-        for (i, v) in variants.iter().enumerate() {
-            let r = run_one(*v, 1, w, n);
-            read_row.push(r.total_reads() as f64 / base.total_reads() as f64);
-            write_row.push(r.total_writes() as f64 / base.total_writes() as f64);
-            if i == 3 {
-                rcr[0] = r.total_writes();
-            }
-            if i == 4 {
-                rcr[1] = r.total_writes();
-            }
-        }
-        rcr_ps_vs_base.push(rcr[1] as f64 / rcr[0] as f64);
-        reads.add_row(w.name(), read_row);
-        writes.add_row(w.name(), write_row);
-        eprintln!("[{w} done]");
-    }
+    harness.sweep_vs_baseline(&variants, |w, base, runs| {
+        reads.add_row(
+            w.name(),
+            runs.iter()
+                .map(|r| r.total_reads() as f64 / base.total_reads() as f64)
+                .collect(),
+        );
+        writes.add_row(
+            w.name(),
+            runs.iter()
+                .map(|r| r.total_writes() as f64 / base.total_writes() as f64)
+                .collect(),
+        );
+        rcr_ps_vs_base.push(runs[4].total_writes() as f64 / runs[3].total_writes() as f64);
+    });
 
-    print!("{}", reads.render("Figure 6(a): reads normalized to Baseline"));
-    print!("{}", writes.render("Figure 6(b): writes normalized to Baseline"));
+    print!(
+        "{}",
+        reads.render("Figure 6(a): reads normalized to Baseline")
+    );
+    print!(
+        "{}",
+        writes.render("Figure 6(b): writes normalized to Baseline")
+    );
 
     let gr = reads.geomeans();
     let gw = writes.geomeans();
     let rcr_ratio = psoram_bench::geomean(&rcr_ps_vs_base);
     println!("\nSummary (gmean vs Baseline):");
-    println!("  reads : Rcr-Baseline +{:.2}% / Rcr-PS-ORAM +{:.2}% (paper: ~+90.28%/+90.54%)",
-        (gr[3] - 1.0) * 100.0, (gr[4] - 1.0) * 100.0);
-    println!("  reads : others ~unchanged: FullNVM {:+.2}%, Naive {:+.2}%, PS {:+.2}%",
-        (gr[0] - 1.0) * 100.0, (gr[1] - 1.0) * 100.0, (gr[2] - 1.0) * 100.0);
-    println!("  writes: FullNVM +{:.2}% (paper: +111.63%)", (gw[0] - 1.0) * 100.0);
-    println!("  writes: Naive-PS +{:.2}% (paper: high)", (gw[1] - 1.0) * 100.0);
-    println!("  writes: PS-ORAM +{:.2}% (paper: +4.84%)", (gw[2] - 1.0) * 100.0);
-    println!("  writes: Rcr-PS over Rcr-Base +{:.2}% (paper: +15.54%)", (rcr_ratio - 1.0) * 100.0);
+    println!(
+        "  reads : Rcr-Baseline +{:.2}% / Rcr-PS-ORAM +{:.2}% (paper: ~+90.28%/+90.54%)",
+        (gr[3] - 1.0) * 100.0,
+        (gr[4] - 1.0) * 100.0
+    );
+    println!(
+        "  reads : others ~unchanged: FullNVM {:+.2}%, Naive {:+.2}%, PS {:+.2}%",
+        (gr[0] - 1.0) * 100.0,
+        (gr[1] - 1.0) * 100.0,
+        (gr[2] - 1.0) * 100.0
+    );
+    println!(
+        "  writes: FullNVM +{:.2}% (paper: +111.63%)",
+        (gw[0] - 1.0) * 100.0
+    );
+    println!(
+        "  writes: Naive-PS +{:.2}% (paper: high)",
+        (gw[1] - 1.0) * 100.0
+    );
+    println!(
+        "  writes: PS-ORAM +{:.2}% (paper: +4.84%)",
+        (gw[2] - 1.0) * 100.0
+    );
+    println!(
+        "  writes: Rcr-PS over Rcr-Base +{:.2}% (paper: +15.54%)",
+        (rcr_ratio - 1.0) * 100.0
+    );
 
     psoram_bench::write_results_json(
         "fig6",

@@ -28,7 +28,10 @@ fn main() {
         }
     }
 
-    println!("\n{:<14}{:>14}{:>14}{:>14}", "variant", "1-channel", "2-channel", "4-channel");
+    println!(
+        "\n{:<14}{:>14}{:>14}{:>14}",
+        "variant", "1-channel", "2-channel", "4-channel"
+    );
     for (vi, v) in variants.iter().enumerate() {
         println!(
             "{:<14}{:>14.0}{:>14.0}{:>14.0}",
@@ -40,9 +43,8 @@ fn main() {
     }
 
     let speedup = |vi: usize, ci: usize| (cycles[vi][0] / cycles[vi][ci] - 1.0) * 100.0;
-    let vs_base = |vi: usize, base: usize, ci: usize| {
-        (cycles[vi][ci] / cycles[base][ci] - 1.0) * 100.0
-    };
+    let vs_base =
+        |vi: usize, base: usize, ci: usize| (cycles[vi][ci] / cycles[base][ci] - 1.0) * 100.0;
     println!("\nSummary:");
     println!(
         "  PS-ORAM speedup over its 1ch: 2ch +{:.2}% / 4ch +{:.2}% (paper: +51.26%/+53.76%)",

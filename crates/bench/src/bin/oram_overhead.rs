@@ -29,8 +29,10 @@ fn main() {
     let g1 = geomean(&per_channel[0]);
     let g4 = geomean(&per_channel[1]);
     let minmax = |v: &[f64]| {
-        (v.iter().cloned().fold(f64::INFINITY, f64::min),
-         v.iter().cloned().fold(0.0f64, f64::max))
+        (
+            v.iter().cloned().fold(f64::INFINITY, f64::min),
+            v.iter().cloned().fold(0.0f64, f64::max),
+        )
     };
     let (lo1, hi1) = minmax(&per_channel[0]);
     let (lo4, hi4) = minmax(&per_channel[1]);

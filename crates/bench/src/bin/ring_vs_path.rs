@@ -1,18 +1,13 @@
 //! Extension experiment: PS-ORAM's crash-consistency machinery applied to
 //! **Ring ORAM** (the paper's "general ORAM protocols" claim), compared
 //! with Path ORAM on bandwidth and persistence overhead.
+//!
+//! All four designs are driven through the shared [`ProtocolPolicy`]
+//! surface — the same traffic loop exercises both controllers.
 
+use psoram_bench::{drive_uniform_writes, TrafficRow};
 use psoram_core::ring::{RingConfig, RingOram, RingVariant};
-use psoram_core::{BlockAddr, OramConfig, PathOram, ProtocolVariant};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-struct Row {
-    name: &'static str,
-    cycles: u64,
-    reads: u64,
-    writes: u64,
-}
+use psoram_core::{OramConfig, PathOram, ProtocolPolicy, ProtocolVariant};
 
 fn main() {
     psoram_bench::print_config_banner("Ring ORAM vs Path ORAM (extension)");
@@ -21,51 +16,34 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(8_000);
     let levels = 12u32;
-    let mut rows: Vec<Row> = Vec::new();
 
-    for (name, variant) in
-        [("Path-Baseline", ProtocolVariant::Baseline), ("PS-ORAM", ProtocolVariant::PsOram)]
-    {
+    let path = |variant| -> Box<dyn ProtocolPolicy> {
         let mut cfg = OramConfig::paper_default().with_levels(levels);
         cfg.data_wpq_capacity = cfg.path_slots();
         cfg.posmap_wpq_capacity = cfg.path_slots();
-        let cap = cfg.capacity_blocks();
         let mut oram = PathOram::new(cfg, variant, 11);
         oram.set_payload_encryption(false);
-        let mut rng = StdRng::seed_from_u64(3);
-        for _ in 0..accesses {
-            oram.write(BlockAddr(rng.gen_range(0..cap)), vec![0u8; 8]).unwrap();
-        }
-        rows.push(Row {
-            name,
-            cycles: oram.clock(),
-            reads: oram.nvm_stats().reads,
-            writes: oram.nvm_stats().writes,
-        });
-    }
-
-    for (name, variant) in
-        [("Ring-Baseline", RingVariant::Baseline), ("PS-Ring-ORAM", RingVariant::PsRing)]
-    {
-        let mut cfg = RingConfig { levels, ..RingConfig::small_test() };
+        Box::new(oram)
+    };
+    let ring = |variant| -> Box<dyn ProtocolPolicy> {
+        let mut cfg = RingConfig {
+            levels,
+            ..RingConfig::small_test()
+        };
         cfg.wpq_capacity = cfg.bucket_physical_slots() * (levels as usize + 1);
-        let cap = cfg.capacity_blocks();
-        let mut oram = RingOram::new(cfg, variant, 11);
-        let mut rng = StdRng::seed_from_u64(3);
-        let mut clock = 0u64;
-        for _ in 0..accesses {
-            let (_, done) = oram
-                .access_at(BlockAddr(rng.gen_range(0..cap)), Some(vec![0u8; 8]), clock)
-                .unwrap();
-            clock = done;
-        }
-        rows.push(Row {
-            name,
-            cycles: clock,
-            reads: oram.nvm_stats().reads,
-            writes: oram.nvm_stats().writes,
-        });
-    }
+        Box::new(RingOram::new(cfg, variant, 11))
+    };
+    let designs: [(&str, Box<dyn ProtocolPolicy>); 4] = [
+        ("Path-Baseline", path(ProtocolVariant::Baseline)),
+        ("PS-ORAM", path(ProtocolVariant::PsOram)),
+        ("Ring-Baseline", ring(RingVariant::Baseline)),
+        ("PS-Ring-ORAM", ring(RingVariant::PsRing)),
+    ];
+
+    let rows: Vec<TrafficRow> = designs
+        .into_iter()
+        .map(|(name, mut oram)| drive_uniform_writes(name, &mut *oram, accesses, 3))
+        .collect();
 
     println!(
         "\n{:<16}{:>14}{:>14}{:>14}{:>16}{:>16}",

@@ -16,7 +16,10 @@ fn main() {
         .unwrap_or(6_000);
     let levels = 14u32;
 
-    println!("\n{:>14}{:>14}{:>12}{:>16}{:>16}", "buffer size", "cycles", "vs none", "mean access", "drained writes");
+    println!(
+        "\n{:>14}{:>14}{:>12}{:>16}{:>16}",
+        "buffer size", "cycles", "vs none", "mean access", "drained writes"
+    );
     let mut base = None;
     let mut rows = Vec::new();
     for buffer in [0usize, 32, 128, 512] {
@@ -30,7 +33,8 @@ fn main() {
         oram.set_payload_encryption(false);
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..accesses {
-            oram.write(BlockAddr(rng.gen_range(0..cap)), vec![0u8; 8]).unwrap();
+            oram.write(BlockAddr(rng.gen_range(0..cap)), vec![0u8; 8])
+                .unwrap();
         }
         let cycles = oram.clock();
         let b = *base.get_or_insert(cycles as f64);

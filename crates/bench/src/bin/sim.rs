@@ -119,11 +119,17 @@ fn main() {
     };
 
     if a.json {
-        println!("{}", serde_json::to_string_pretty(&r).expect("serializable result"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&r).expect("serializable result")
+        );
         return;
     }
     println!("workload  : {}", r.workload);
-    println!("variant   : {} ({} channels, L={})", r.variant, a.channels, a.levels);
+    println!(
+        "variant   : {} ({} channels, L={})",
+        r.variant, a.channels, a.levels
+    );
     match &a.trace {
         Some(path) => println!("records   : {} replayed from {path}", r.accesses),
         None => println!("records   : {} measured (+{} warmup)", a.records, a.warmup),
@@ -132,8 +138,14 @@ fn main() {
     println!("cycles    : {}", r.exec_cycles);
     println!("IPC       : {:.4}", r.ipc());
     println!("MPKI      : {:.2}", r.mpki());
-    println!("NVM reads : {} ({} on-chip)", r.nvm.reads, r.oram.onchip_nvm_reads);
-    println!("NVM writes: {} ({} on-chip)", r.nvm.writes, r.oram.onchip_nvm_writes);
+    println!(
+        "NVM reads : {} ({} on-chip)",
+        r.nvm.reads, r.oram.onchip_nvm_reads
+    );
+    println!(
+        "NVM writes: {} ({} on-chip)",
+        r.nvm.writes, r.oram.onchip_nvm_writes
+    );
     println!(
         "ORAM      : {} accesses, mean {:.0} cycles, {} backups, {} dirty flushes",
         r.oram.accesses,

@@ -26,13 +26,17 @@ fn main() {
     let mut histogram = vec![0u64; 256];
     let mut rng = StdRng::seed_from_u64(3);
     for _ in 0..accesses {
-        oram.write(BlockAddr(rng.gen_range(0..cap)), vec![0u8; 8]).unwrap();
+        oram.write(BlockAddr(rng.gen_range(0..cap)), vec![0u8; 8])
+            .unwrap();
         let occ = oram.stash_len().min(255);
         histogram[occ] += 1;
     }
 
     println!("\npost-access stash occupancy distribution ({accesses} accesses):");
-    println!("{:>10}{:>12}{:>14}{:>18}", "occupancy", "count", "P(X >= s)", "log10 P(X >= s)");
+    println!(
+        "{:>10}{:>12}{:>14}{:>18}",
+        "occupancy", "count", "P(X >= s)", "log10 P(X >= s)"
+    );
     let total: u64 = histogram.iter().sum();
     let mut tail = total;
     let mut rows = Vec::new();

@@ -59,9 +59,7 @@ fn main() {
         eadr_cache.energy_joules / ps4.energy_joules,
         eadr_oram.energy_joules / ps4.energy_joules,
     );
-    println!(
-        "\nPaper reference: eADR-cache 12.653mJ/26.638us; eADR-ORAM 2.286J/4.817ms;"
-    );
+    println!("\nPaper reference: eADR-cache 12.653mJ/26.638us; eADR-ORAM 2.286J/4.817ms;");
     println!("PS-ORAM 76.530uJ/161.134ns (96) and 2.83uJ/6.713ns (4); ratios 165x / 29870x.");
 
     psoram_bench::write_results_json(

@@ -7,14 +7,23 @@ use psoram_trace::SpecWorkload;
 fn main() {
     psoram_bench::print_config_banner("Table 4: workloads and MPKIs");
     let n = records_per_workload();
-    println!("\n{:<16}{:>12}{:>12}{:>10}", "workload", "paper MPKI", "measured", "delta%");
+    println!(
+        "\n{:<16}{:>12}{:>12}{:>10}",
+        "workload", "paper MPKI", "measured", "delta%"
+    );
     let mut rows = Vec::new();
     for w in SpecWorkload::all() {
         let r = run_reference(1, w, n);
         let measured = r.mpki();
         let target = w.paper_mpki();
         let delta = (measured - target) / target * 100.0;
-        println!("{:<16}{:>12.2}{:>12.2}{:>9.1}%", w.name(), target, measured, delta);
+        println!(
+            "{:<16}{:>12.2}{:>12.2}{:>9.1}%",
+            w.name(),
+            target,
+            measured,
+            delta
+        );
         rows.push(serde_json::json!({
             "workload": w.name(),
             "paper_mpki": target,

@@ -13,7 +13,8 @@ fn run(variant: ProtocolVariant, nvm: NvmConfig, w: SpecWorkload, n: usize) -> f
     let mut cfg = SystemConfig::experiment(variant, 1);
     cfg.nvm = nvm;
     let mut sys = System::new(cfg);
-    sys.run_workload_with_warmup(w, warmup_records(), n).exec_cycles as f64
+    sys.run_workload_with_warmup(w, warmup_records(), n)
+        .exec_cycles as f64
 }
 
 fn main() {
@@ -24,7 +25,12 @@ fn main() {
         ProtocolVariant::NaivePsOram,
         ProtocolVariant::PsOram,
     ];
-    let workloads = [SpecWorkload::Mcf, SpecWorkload::Bzip2, SpecWorkload::Sphinx3, SpecWorkload::Lbm];
+    let workloads = [
+        SpecWorkload::Mcf,
+        SpecWorkload::Bzip2,
+        SpecWorkload::Sphinx3,
+        SpecWorkload::Lbm,
+    ];
 
     println!(
         "\n{:<16}{:>18}{:>18}{:>18}",
@@ -34,8 +40,18 @@ fn main() {
     let mut base_pcm = Vec::new();
     let mut base_stt = Vec::new();
     for w in workloads {
-        base_pcm.push(run(ProtocolVariant::Baseline, NvmConfig::paper_pcm(1), w, n));
-        base_stt.push(run(ProtocolVariant::Baseline, NvmConfig::paper_sttram(1), w, n));
+        base_pcm.push(run(
+            ProtocolVariant::Baseline,
+            NvmConfig::paper_pcm(1),
+            w,
+            n,
+        ));
+        base_stt.push(run(
+            ProtocolVariant::Baseline,
+            NvmConfig::paper_sttram(1),
+            w,
+            n,
+        ));
     }
     for v in variants {
         let mut pcm_ratio = Vec::new();
@@ -48,7 +64,11 @@ fn main() {
             stt_ratio.push(stt / base_stt[i]);
             stt_speedup.push(pcm / stt);
         }
-        let (gp, gs, gx) = (geomean(&pcm_ratio), geomean(&stt_ratio), geomean(&stt_speedup));
+        let (gp, gs, gx) = (
+            geomean(&pcm_ratio),
+            geomean(&stt_ratio),
+            geomean(&stt_speedup),
+        );
         println!(
             "{:<16}{:>17.2}%{:>17.2}%{:>17.2}x",
             v.label(),

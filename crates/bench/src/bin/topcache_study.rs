@@ -30,7 +30,8 @@ fn main() {
         oram.set_top_cache_levels(cached);
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..accesses {
-            oram.write(BlockAddr(rng.gen_range(0..cap)), vec![0u8; 8]).unwrap();
+            oram.write(BlockAddr(rng.gen_range(0..cap)), vec![0u8; 8])
+                .unwrap();
         }
         let cycles = oram.clock();
         let base = *base_cycles.get_or_insert(cycles as f64);

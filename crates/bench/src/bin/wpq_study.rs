@@ -32,7 +32,8 @@ fn main() {
         oram.set_payload_encryption(false);
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..accesses {
-            oram.write(BlockAddr(rng.gen_range(0..cap)), vec![0u8; 8]).unwrap();
+            oram.write(BlockAddr(rng.gen_range(0..cap)), vec![0u8; 8])
+                .unwrap();
         }
         let cycles = oram.clock();
         let base = *baseline_cycles.get_or_insert(cycles as f64);
@@ -52,7 +53,9 @@ fn main() {
             true
         };
 
-        let energy = psoram_energy::DrainCostModel::paper_config(entries).ps_oram().energy_uj();
+        let energy = psoram_energy::DrainCostModel::paper_config(entries)
+            .ps_oram()
+            .energy_uj();
         println!(
             "{:>10}{:>14}{:>14.3}{:>16.2}{:>18.2}{:>12}",
             entries,

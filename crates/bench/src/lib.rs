@@ -22,9 +22,14 @@
 use std::collections::BTreeMap;
 use std::io::Write as _;
 
-use psoram_core::ProtocolVariant;
+use psoram_core::{ProtocolPolicy, ProtocolVariant};
+use psoram_faultsim::{
+    exhaustive_sweep, random_campaign, CampaignConfig, CampaignReport, SweepConfig,
+};
 use psoram_system::{SimResult, System, SystemConfig};
 use psoram_trace::SpecWorkload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Records per workload for the sweep binaries; override with the
 /// `PSORAM_RECORDS` environment variable.
@@ -40,7 +45,10 @@ pub fn records_per_workload() -> usize {
 /// The default (18) keeps the sparse tree's host-memory footprint tractable
 /// for full sweeps; see DESIGN.md's substitution notes.
 pub fn experiment_levels() -> u32 {
-    std::env::var("PSORAM_LEVELS").ok().and_then(|v| v.parse().ok()).unwrap_or(18)
+    std::env::var("PSORAM_LEVELS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(18)
 }
 
 /// Builds the experiment system config for `variant` and `channels`.
@@ -62,7 +70,12 @@ pub fn warmup_records() -> usize {
 }
 
 /// Runs one workload under one variant and returns the result.
-pub fn run_one(variant: ProtocolVariant, channels: usize, workload: SpecWorkload, n: usize) -> SimResult {
+pub fn run_one(
+    variant: ProtocolVariant,
+    channels: usize,
+    workload: SpecWorkload,
+    n: usize,
+) -> SimResult {
     let mut sys = System::new(experiment_config(variant, channels));
     sys.run_workload_with_warmup(workload, warmup_records(), n)
 }
@@ -73,6 +86,153 @@ pub fn run_reference(channels: usize, workload: SpecWorkload, n: usize) -> SimRe
     cfg.oram = cfg.oram.with_levels(experiment_levels());
     let mut sys = System::new(cfg);
     sys.run_workload_with_warmup(workload, warmup_records(), n)
+}
+
+/// The shared experiment harness: one configured context (channel count,
+/// records per workload, warmup) that the figure and sweep binaries drive
+/// instead of each re-deriving its own config/build/run preamble.
+///
+/// # Examples
+///
+/// ```no_run
+/// use psoram_bench::SimHarness;
+/// use psoram_core::ProtocolVariant;
+///
+/// let h = SimHarness::new(1);
+/// h.banner("Figure 5: performance comparison");
+/// h.sweep_vs_baseline(&[ProtocolVariant::PsOram], |w, base, runs| {
+///     println!("{w}: {:.3}", runs[0].normalized_time(base));
+/// });
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimHarness {
+    channels: usize,
+    records: usize,
+}
+
+impl SimHarness {
+    /// A harness over `channels` NVM channels, sized from the
+    /// `PSORAM_RECORDS`/`PSORAM_LEVELS`/`PSORAM_WARMUP` environment.
+    pub fn new(channels: usize) -> Self {
+        SimHarness {
+            channels,
+            records: records_per_workload(),
+        }
+    }
+
+    /// Records simulated per workload.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// Prints the paper's Table 3 configuration banner.
+    pub fn banner(&self, what: &str) {
+        print_config_banner(what);
+    }
+
+    /// Runs one workload under one variant.
+    pub fn run(&self, variant: ProtocolVariant, workload: SpecWorkload) -> SimResult {
+        run_one(variant, self.channels, workload, self.records)
+    }
+
+    /// Runs the non-ORAM reference system on one workload.
+    pub fn run_reference(&self, workload: SpecWorkload) -> SimResult {
+        run_reference(self.channels, workload, self.records)
+    }
+
+    /// For every SPEC workload: runs the Baseline variant plus each of
+    /// `variants`, handing `(workload, baseline, per-variant results)` to
+    /// `row` (results align with `variants`). Progress goes to stderr.
+    pub fn sweep_vs_baseline(
+        &self,
+        variants: &[ProtocolVariant],
+        mut row: impl FnMut(SpecWorkload, &SimResult, &[SimResult]),
+    ) {
+        for w in SpecWorkload::all() {
+            let base = self.run(ProtocolVariant::Baseline, w);
+            let runs: Vec<SimResult> = variants.iter().map(|&v| self.run(v, w)).collect();
+            row(w, &base, &runs);
+            eprintln!("[{w} done]");
+        }
+    }
+
+    /// Runs the fault-injection campaigns for `mode`
+    /// (`"exhaustive"`, `"random"`, or `"both"`), at smoke or full scale,
+    /// optionally overriding the campaign seed.
+    pub fn crash_campaigns(
+        &self,
+        mode: &str,
+        smoke: bool,
+        seed: Option<u64>,
+    ) -> Vec<CampaignReport> {
+        let mut reports = Vec::new();
+        if mode == "exhaustive" || mode == "both" {
+            let mut cfg = if smoke {
+                SweepConfig::smoke()
+            } else {
+                SweepConfig::default()
+            };
+            if let Some(s) = seed {
+                cfg.seed = s;
+            }
+            reports.push(exhaustive_sweep(&cfg));
+        }
+        if mode == "random" || mode == "both" {
+            let mut cfg = if smoke {
+                CampaignConfig::smoke()
+            } else {
+                CampaignConfig::default()
+            };
+            if let Some(s) = seed {
+                cfg.seed = s;
+            }
+            reports.push(random_campaign(&cfg));
+        }
+        reports
+    }
+}
+
+/// Cycle and NVM-traffic snapshot of one design after a traffic run,
+/// as reported by the design-level comparison binaries.
+#[derive(Debug, Clone)]
+pub struct TrafficRow {
+    /// Design name.
+    pub name: String,
+    /// Core cycles consumed.
+    pub cycles: u64,
+    /// NVM block reads issued.
+    pub reads: u64,
+    /// NVM block writes issued.
+    pub writes: u64,
+}
+
+/// Drives `accesses` uniformly random block writes (from an `StdRng` seeded
+/// with `seed`) through a design via the shared [`ProtocolPolicy`] surface
+/// and snapshots its cycle and traffic counters.
+///
+/// # Panics
+///
+/// Panics if any access fails — traffic runs inject no crashes.
+pub fn drive_uniform_writes(
+    name: &str,
+    oram: &mut dyn ProtocolPolicy,
+    accesses: usize,
+    seed: u64,
+) -> TrafficRow {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cap = oram.capacity_blocks();
+    let payload = vec![0u8; oram.payload_bytes()];
+    for _ in 0..accesses {
+        oram.write(rng.gen_range(0..cap), payload.clone())
+            .expect("traffic write");
+    }
+    let stats = oram.nvm_stats();
+    TrafficRow {
+        name: name.to_string(),
+        cycles: oram.clock(),
+        reads: stats.reads,
+        writes: stats.writes,
+    }
 }
 
 /// Geometric mean of a slice of positive numbers.
@@ -180,8 +340,12 @@ pub fn write_results_json(name: &str, value: &serde_json::Value) {
     std::fs::create_dir_all("results").expect("create results dir");
     let path = format!("results/{name}.json");
     let mut f = std::fs::File::create(&path).expect("create results file");
-    f.write_all(serde_json::to_string_pretty(value).expect("serialize").as_bytes())
-        .expect("write results");
+    f.write_all(
+        serde_json::to_string_pretty(value)
+            .expect("serialize")
+            .as_bytes(),
+    )
+    .expect("write results");
     println!("[saved {path}]");
 }
 

@@ -29,7 +29,12 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// Table 3 L1 data cache: 32 KB, 2-way LRU, 2-cycle access.
     pub fn paper_l1d() -> Self {
-        CacheConfig { size_bytes: 32 * 1024, ways: 2, line_bytes: 64, access_cycles: 2 }
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            ways: 2,
+            line_bytes: 64,
+            access_cycles: 2,
+        }
     }
 
     /// Table 3 L1 instruction cache: 32 KB, 2-way LRU, 2-cycle access.
@@ -39,7 +44,12 @@ impl CacheConfig {
 
     /// Table 3 shared L2: 1 MB, 8-way LRU, 20-cycle access.
     pub fn paper_l2() -> Self {
-        CacheConfig { size_bytes: 1024 * 1024, ways: 8, line_bytes: 64, access_cycles: 20 }
+        CacheConfig {
+            size_bytes: 1024 * 1024,
+            ways: 8,
+            line_bytes: 64,
+            access_cycles: 20,
+        }
     }
 
     /// Number of sets implied by the geometry.
@@ -49,7 +59,11 @@ impl CacheConfig {
     /// Panics if the geometry does not divide evenly.
     pub fn num_sets(&self) -> usize {
         let lines = self.size_bytes / self.line_bytes;
-        assert_eq!(lines % self.ways, 0, "cache geometry does not divide evenly");
+        assert_eq!(
+            lines % self.ways,
+            0,
+            "cache geometry does not divide evenly"
+        );
         lines / self.ways
     }
 }
@@ -99,7 +113,12 @@ struct Line {
     lru: u64,
 }
 
-const INVALID_LINE: Line = Line { tag: 0, valid: false, dirty: false, lru: 0 };
+const INVALID_LINE: Line = Line {
+    tag: 0,
+    valid: false,
+    dirty: false,
+    lru: 0,
+};
 
 /// A set-associative write-back, write-allocate cache with true LRU.
 ///
@@ -130,7 +149,12 @@ impl Cache {
     /// [`CacheConfig::num_sets`]).
     pub fn new(config: CacheConfig) -> Self {
         let sets = vec![vec![INVALID_LINE; config.ways]; config.num_sets()];
-        Cache { config, sets, clock: 0, stats: CacheStats::default() }
+        Cache {
+            config,
+            sets,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     fn index_and_tag(&self, addr: u64) -> (usize, u64) {
@@ -175,13 +199,21 @@ impl Cache {
             .map(|(i, _)| i)
             .expect("cache set is never empty");
         let victim = set[victim_idx];
-        set[victim_idx] = Line { tag, valid: true, dirty: is_write, lru: clock };
+        set[victim_idx] = Line {
+            tag,
+            valid: true,
+            dirty: is_write,
+            lru: clock,
+        };
         if victim.valid {
             if victim.dirty {
                 self.stats.writebacks += 1;
             }
             let victim_addr = (victim.tag * sets_len + set_idx as u64) * line_bytes;
-            Some(Eviction { addr: victim_addr, dirty: victim.dirty })
+            Some(Eviction {
+                addr: victim_addr,
+                dirty: victim.dirty,
+            })
         } else {
             None
         }
@@ -228,7 +260,12 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets x 2 ways x 64 B = 512 B.
-        Cache::new(CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64, access_cycles: 1 })
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+            access_cycles: 1,
+        })
     }
 
     #[test]
@@ -321,6 +358,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "divide evenly")]
     fn bad_geometry_panics() {
-        let _ = Cache::new(CacheConfig { size_bytes: 500, ways: 3, line_bytes: 64, access_cycles: 1 });
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 500,
+            ways: 3,
+            line_bytes: 64,
+            access_cycles: 1,
+        });
     }
 }

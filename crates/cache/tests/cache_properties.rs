@@ -5,7 +5,12 @@ use proptest::prelude::*;
 use psoram_cache::{Cache, CacheConfig, Hierarchy, HierarchyConfig, MemOp};
 
 fn tiny_config() -> CacheConfig {
-    CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 64, access_cycles: 1 }
+    CacheConfig {
+        size_bytes: 1024,
+        ways: 2,
+        line_bytes: 64,
+        access_cycles: 1,
+    }
 }
 
 proptest! {

@@ -56,7 +56,13 @@ impl Block {
     /// Creates a block mapped to `leaf` holding `payload`.
     pub fn new(addr: BlockAddr, leaf: Leaf, payload: Vec<u8>) -> Self {
         Block {
-            header: BlockHeader { addr, leaf, iv1: 0, iv2: 0, seq: 0 },
+            header: BlockHeader {
+                addr,
+                leaf,
+                iv1: 0,
+                iv2: 0,
+                seq: 0,
+            },
             payload,
             is_backup: false,
         }

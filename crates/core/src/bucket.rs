@@ -1,8 +1,12 @@
-//! Tree buckets: `Z` block slots, dummies as empty slots.
+//! Tree buckets: Path ORAM's `Z`-slot [`Bucket`] and Ring ORAM's
+//! permuted `Z + S`-slot [`RingBucket`].
 
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
 
 use crate::block::Block;
+use crate::types::BlockAddr;
 
 /// One node of the ORAM tree, holding up to `Z` blocks.
 ///
@@ -29,7 +33,9 @@ pub struct Bucket {
 impl Bucket {
     /// Creates an all-dummy bucket with `z` slots.
     pub fn new(z: usize) -> Self {
-        Bucket { slots: vec![None; z] }
+        Bucket {
+            slots: vec![None; z],
+        }
     }
 
     /// Number of slots (`Z`).
@@ -94,6 +100,60 @@ impl Bucket {
     /// `true` if every slot is a dummy.
     pub fn is_empty(&self) -> bool {
         self.slots.iter().all(Option::is_none)
+    }
+}
+
+/// One Ring ORAM bucket: `Z + S` physical slots behind a permutation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct RingBucket {
+    /// Physical slots; `None` is an (encrypted) dummy.
+    pub(crate) slots: Vec<Option<Block>>,
+    /// Slot not yet consumed by a read since the last rewrite.
+    pub(crate) valid: Vec<bool>,
+    /// Reads since the last rewrite.
+    pub(crate) count: usize,
+}
+
+impl RingBucket {
+    pub(crate) fn new(physical: usize) -> Self {
+        RingBucket {
+            slots: vec![None; physical],
+            valid: vec![true; physical],
+            count: 0,
+        }
+    }
+
+    /// Builds a freshly permuted bucket from up to `Z` real blocks.
+    pub(crate) fn from_blocks(blocks: Vec<Block>, physical: usize, rng: &mut StdRng) -> Self {
+        let mut slots: Vec<Option<Block>> = blocks.into_iter().map(Some).collect();
+        slots.resize(physical, None);
+        slots.shuffle(rng);
+        RingBucket {
+            slots,
+            valid: vec![true; physical],
+            count: 0,
+        }
+    }
+
+    pub(crate) fn find_valid(&self, addr: BlockAddr) -> Option<usize> {
+        self.slots.iter().enumerate().find_map(|(i, s)| match s {
+            Some(b) if self.valid[i] && b.addr() == addr && !b.is_backup => Some(i),
+            _ => None,
+        })
+    }
+
+    pub(crate) fn random_valid_dummy(&self, rng: &mut StdRng) -> Option<usize> {
+        let dummies: Vec<usize> = (0..self.slots.len())
+            .filter(|&i| self.valid[i] && self.slots[i].is_none())
+            .collect();
+        dummies.choose(rng).copied()
+    }
+
+    /// All real blocks physically present — valid *or* consumed; consumed
+    /// slots still hold the bytes until the next rewrite, which is exactly
+    /// what crash recovery exploits.
+    pub(crate) fn real_blocks(&self) -> Vec<Block> {
+        self.slots.iter().flatten().cloned().collect()
     }
 }
 

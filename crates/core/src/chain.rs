@@ -36,7 +36,13 @@ struct MiniOram {
 
 impl MiniOram {
     fn new(levels: u32, z: usize) -> Self {
-        MiniOram { levels, z, buckets: HashMap::new(), stash: Vec::new(), max_stash: 0 }
+        MiniOram {
+            levels,
+            z,
+            buckets: HashMap::new(),
+            stash: Vec::new(),
+            max_stash: 0,
+        }
     }
 
     fn num_leaves(&self) -> u64 {
@@ -44,7 +50,9 @@ impl MiniOram {
     }
 
     fn path(&self, leaf: u64) -> Vec<u64> {
-        (0..=self.levels).map(|d| (1u64 << d) - 1 + (leaf >> (self.levels - d))).collect()
+        (0..=self.levels)
+            .map(|d| (1u64 << d) - 1 + (leaf >> (self.levels - d)))
+            .collect()
     }
 
     fn common_depth(&self, a: u64, b: u64) -> u32 {
@@ -79,7 +87,11 @@ impl MiniOram {
         let pos = self.stash.iter().position(|(i, _, _)| *i == idx);
         let mut block = match pos {
             Some(p) => self.stash.swap_remove(p),
-            None => (idx, new_leaf, vec![default; CHAIN_ENTRIES_PER_BLOCK as usize]),
+            None => (
+                idx,
+                new_leaf,
+                vec![default; CHAIN_ENTRIES_PER_BLOCK as usize],
+            ),
         };
         block.1 = new_leaf;
         let result = edit(&mut block.2);
@@ -165,7 +177,12 @@ impl FunctionalRecursiveMap {
                 }
             })
             .collect();
-        FunctionalRecursiveMap { orams, top, rng, accesses: 0 }
+        FunctionalRecursiveMap {
+            orams,
+            top,
+            rng,
+            accesses: 0,
+        }
     }
 
     /// Number of ORAM levels in the chain (0 = everything fits on chip).
@@ -205,8 +222,8 @@ impl FunctionalRecursiveMap {
 
         for k in (0..=k_top).rev() {
             let block_idx = addr / CHAIN_ENTRIES_PER_BLOCK.pow(k as u32 + 1);
-            let entry = ((addr / CHAIN_ENTRIES_PER_BLOCK.pow(k as u32))
-                % CHAIN_ENTRIES_PER_BLOCK) as usize;
+            let entry =
+                ((addr / CHAIN_ENTRIES_PER_BLOCK.pow(k as u32)) % CHAIN_ENTRIES_PER_BLOCK) as usize;
             // What we write into this block's entry: for k > 0 it is the
             // next level's block's new leaf; for k == 0 the data label.
             let (write_value, grandchild_new_leaf) = if k == 0 {
@@ -215,17 +232,11 @@ impl FunctionalRecursiveMap {
                 let nl = self.rng.gen_range(0..self.orams[k - 1].num_leaves());
                 (nl, nl)
             };
-            let old = self.orams[k].access(
-                block_idx,
-                child_leaf,
-                child_new_leaf,
-                0,
-                |entries| {
-                    let old = entries[entry];
-                    entries[entry] = write_value;
-                    old
-                },
-            );
+            let old = self.orams[k].access(block_idx, child_leaf, child_new_leaf, 0, |entries| {
+                let old = entries[entry];
+                entries[entry] = write_value;
+                old
+            });
             if k == 0 {
                 return old;
             }

@@ -5,19 +5,18 @@ use std::collections::{HashMap, HashSet};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use psoram_crypto::{Aes128, CryptoLatencyModel, CtrCipher};
 use psoram_nvm::{
-    AccessKind, MemTech, NvmConfig, NvmController, OnChipNvmModel, PersistenceDomain, WpqEntry,
-    CORE_CYCLES_PER_MEM_CYCLE,
+    AccessKind, NvmConfig, NvmController, OnChipNvmModel, WpqEntry, CORE_CYCLES_PER_MEM_CYCLE,
 };
 
 use crate::block::Block;
 use crate::bucket::Bucket;
 use crate::crash::{CrashPoint, CrashReport, RecoveryReport};
+use crate::engine::{to_core, to_mem, CommitLedger, PersistEngine};
 use crate::eviction::{order_for_small_wpq, plan_eviction, SlotWrite};
-use crate::integrity::IntegrityTree;
+use crate::integrity::{bucket_digest, IntegrityTree};
 use crate::posmap::{PosMap, TempPosMap};
 use crate::recursive::RecursivePosMap;
 use crate::security::AccessRecorder;
@@ -26,115 +25,8 @@ use crate::stats::OramStats;
 use crate::tree::OramTree;
 use crate::types::{BlockAddr, Leaf, OramConfig, OramError};
 
-/// The persistent-ORAM protocol variants evaluated in the paper (§5.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum ProtocolVariant {
-    /// Path ORAM on NVM without any crash-consistency support.
-    Baseline,
-    /// On-chip stash and PosMap built from PCM cells; persistent but not
-    /// atomic.
-    FullNvm,
-    /// `FullNVM` with STT-RAM on-chip buffers.
-    FullNvmStt,
-    /// PS-ORAM persisting *all* `Z·(L+1)` PosMap entries per access.
-    NaivePsOram,
-    /// The paper's contribution: backup blocks + dirty-entry-only flushes
-    /// through atomic WPQ rounds.
-    PsOram,
-    /// Recursive Path ORAM (PosMap in untrusted NVM) without stash
-    /// persistence.
-    RcrBaseline,
-    /// Recursive PS-ORAM: recursive PosMap plus PS-ORAM data persistence.
-    RcrPsOram,
-}
-
-impl ProtocolVariant {
-    /// All seven variants, in the paper's presentation order.
-    pub fn all() -> [ProtocolVariant; 7] {
-        [
-            ProtocolVariant::Baseline,
-            ProtocolVariant::FullNvm,
-            ProtocolVariant::FullNvmStt,
-            ProtocolVariant::NaivePsOram,
-            ProtocolVariant::PsOram,
-            ProtocolVariant::RcrBaseline,
-            ProtocolVariant::RcrPsOram,
-        ]
-    }
-
-    /// The label used in the paper's figures.
-    pub fn label(self) -> &'static str {
-        match self {
-            ProtocolVariant::Baseline => "Baseline",
-            ProtocolVariant::FullNvm => "FullNVM",
-            ProtocolVariant::FullNvmStt => "FullNVM(STT)",
-            ProtocolVariant::NaivePsOram => "Naive-PS-ORAM",
-            ProtocolVariant::PsOram => "PS-ORAM",
-            ProtocolVariant::RcrBaseline => "Rcr-Baseline",
-            ProtocolVariant::RcrPsOram => "Rcr-PS-ORAM",
-        }
-    }
-
-    /// `true` for the recursive-PosMap variants.
-    pub fn is_recursive(self) -> bool {
-        matches!(self, ProtocolVariant::RcrBaseline | ProtocolVariant::RcrPsOram)
-    }
-
-    /// `true` for variants that evict through the WPQ persistence domain
-    /// (and therefore use the temporary PosMap and backup blocks).
-    pub fn uses_wpq(self) -> bool {
-        matches!(
-            self,
-            ProtocolVariant::NaivePsOram | ProtocolVariant::PsOram | ProtocolVariant::RcrPsOram
-        )
-    }
-
-    /// On-chip buffer technology for the stash/PosMap, if not SRAM.
-    pub fn onchip_tech(self) -> Option<MemTech> {
-        match self {
-            ProtocolVariant::FullNvm => Some(MemTech::Pcm),
-            ProtocolVariant::FullNvmStt => Some(MemTech::SttRam),
-            _ => None,
-        }
-    }
-
-    /// `true` when the stash itself survives a power failure.
-    pub fn stash_durable(self) -> bool {
-        self.onchip_tech().is_some()
-    }
-
-    /// Whether the design is expected to recover consistently from a crash
-    /// at *any* point (the paper's claim for the PS-ORAM family).
-    pub fn is_crash_consistent(self) -> bool {
-        self.uses_wpq()
-    }
-}
-
-impl std::fmt::Display for ProtocolVariant {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.label())
-    }
-}
-
-/// Kind of a program-level ORAM request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Op {
-    /// Read the block's current value.
-    Read,
-    /// Overwrite the block's value.
-    Write,
-}
-
-/// Outcome of one ORAM access.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct AccessOutcome {
-    /// The block's value (pre-existing for reads, the new value for writes).
-    pub value: Vec<u8>,
-    /// Core cycle at which the value is available to the processor.
-    pub complete_cycle: u64,
-    /// Core cycle at which the eviction write-back fully reaches the NVM.
-    pub eviction_complete_cycle: u64,
-}
+pub use crate::engine::ProtocolVariant;
+pub use crate::types::{AccessOutcome, Op};
 
 /// A posmap entry queued in the PosMap WPQ.
 type PosMapFlush = (BlockAddr, Leaf);
@@ -165,7 +57,9 @@ pub struct PathOram {
     stash: Stash,
     posmap: PosMap,
     temp: TempPosMap,
-    domain: PersistenceDomain<SlotWrite, PosMapFlush>,
+    /// The shared persist-round engine: WPQ rounds, crash arming &
+    /// scheduling, and the crash/recovery state machine.
+    engine: PersistEngine<SlotWrite, PosMapFlush>,
     recursion: Option<RecursivePosMap>,
     cipher: CtrCipher,
     crypto_lat: CryptoLatencyModel,
@@ -196,20 +90,9 @@ pub struct PathOram {
     rng: StdRng,
     clock: u64,
     stats: OramStats,
-    /// Last value written by the program, per address.
-    written_ledger: HashMap<u64, Vec<u8>>,
-    /// Last value committed durably (recoverable after a crash), keyed by
-    /// freshness counter so out-of-order batch commits cannot regress it.
-    committed_ledger: HashMap<u64, (u64, Vec<u8>)>,
+    /// Written-vs-committed value ledgers (the recoverability oracle).
+    ledger: CommitLedger,
     touched: HashSet<u64>,
-    crash_plan: Option<CrashPoint>,
-    /// Pending scheduled crashes as `(access_attempt_index, point)`,
-    /// sorted ascending; consumed as access attempts reach each index.
-    crash_schedule: std::collections::VecDeque<(u64, CrashPoint)>,
-    /// Total `access_at` entries, including attempts that crashed.
-    access_attempts: u64,
-    crashed: bool,
-    last_recovery: Option<RecoveryReport>,
     recorder: Option<AccessRecorder>,
     encrypt_payloads: bool,
     iv: u64,
@@ -241,7 +124,12 @@ impl PathOram {
         let entry_region = config.capacity_blocks() * 8;
         let recursion_base = (posmap_base + entry_region).next_multiple_of(1 << 20);
         let recursion = if variant.is_recursive() {
-            Some(RecursivePosMap::new(&config, recursion_base, 128, seed ^ 0x5EC0))
+            Some(RecursivePosMap::new(
+                &config,
+                recursion_base,
+                128,
+                seed ^ 0x5EC0,
+            ))
         } else {
             None
         };
@@ -262,7 +150,7 @@ impl PathOram {
             stash: Stash::new(config.stash_capacity),
             posmap: PosMap::new(config.num_leaves(), seed ^ 0xFACE),
             temp: TempPosMap::new(config.temp_posmap_capacity),
-            domain: PersistenceDomain::new(config.data_wpq_capacity, config.posmap_wpq_capacity),
+            engine: PersistEngine::new(config.data_wpq_capacity, config.posmap_wpq_capacity),
             recursion,
             cipher: CtrCipher::new(Aes128::new(&key)),
             crypto_lat: CryptoLatencyModel::paper_default(),
@@ -283,14 +171,8 @@ impl PathOram {
             rng: StdRng::seed_from_u64(seed),
             clock: 0,
             stats: OramStats::default(),
-            written_ledger: HashMap::new(),
-            committed_ledger: HashMap::new(),
+            ledger: CommitLedger::new(),
             touched: HashSet::new(),
-            crash_plan: None,
-            crash_schedule: std::collections::VecDeque::new(),
-            access_attempts: 0,
-            crashed: false,
-            last_recovery: None,
             recorder: None,
             encrypt_payloads: true,
             iv: 0,
@@ -312,9 +194,21 @@ impl PathOram {
         &self.config
     }
 
-    /// Controller statistics.
-    pub fn stats(&self) -> &OramStats {
-        &self.stats
+    /// Controller statistics. The crash/recovery/stall counters live in
+    /// the shared persist engine and are merged into the snapshot here.
+    pub fn stats(&self) -> OramStats {
+        let mut s = self.stats;
+        let e = self.engine.stats();
+        s.crashes = e.crashes;
+        s.recoveries = e.recoveries;
+        s.recovery_failures = e.recovery_failures;
+        s.wpq_stalls = e.wpq_stalls;
+        s
+    }
+
+    /// Accumulated statistics of the engine's (data, PosMap) WPQs.
+    pub fn wpq_stats(&self) -> (psoram_nvm::WpqStats, psoram_nvm::WpqStats) {
+        self.engine.wpq_stats()
     }
 
     /// NVM traffic statistics.
@@ -371,7 +265,10 @@ impl PathOram {
     ///
     /// Panics if `levels` exceeds the tree height.
     pub fn set_top_cache_levels(&mut self, levels: u32) {
-        assert!(levels <= self.config.levels + 1, "cache cannot exceed the tree");
+        assert!(
+            levels <= self.config.levels + 1,
+            "cache cannot exceed the tree"
+        );
         self.top_cache_levels = levels;
     }
 
@@ -380,12 +277,12 @@ impl PathOram {
     /// read is verified against a root held in the persistence domain, and
     /// root updates commit together with the eviction writes.
     pub fn enable_integrity(&mut self) {
-        let default = self.bucket_digest(&Bucket::new(self.config.bucket_slots));
+        let default = bucket_digest(&Bucket::new(self.config.bucket_slots));
         let mut tree = IntegrityTree::new(self.config.levels, default);
         // Fold in whatever already exists (enabling mid-run is allowed).
         let updates: Vec<(u64, psoram_crypto::Digest)> = (0..self.tree.num_buckets())
             .filter(|&i| !self.tree.bucket(i).is_empty())
-            .map(|i| (i, self.bucket_digest(&self.tree.bucket(i))))
+            .map(|i| (i, bucket_digest(&self.tree.bucket(i))))
             .collect();
         tree.update_buckets(&updates);
         self.integrity = Some(tree);
@@ -394,25 +291,6 @@ impl PathOram {
     /// `true` when integrity protection is active.
     pub fn integrity_enabled(&self) -> bool {
         self.integrity.is_some()
-    }
-
-    /// Canonical byte encoding of a bucket for hashing.
-    fn bucket_digest(&self, bucket: &Bucket) -> psoram_crypto::Digest {
-        let mut bytes = Vec::with_capacity(self.config.bucket_slots * 40);
-        for slot in 0..bucket.num_slots() {
-            match bucket.slot(slot) {
-                Some(b) => {
-                    bytes.push(1);
-                    bytes.extend_from_slice(&b.header.addr.0.to_le_bytes());
-                    bytes.extend_from_slice(&b.header.leaf.0.to_le_bytes());
-                    bytes.extend_from_slice(&b.header.seq.to_le_bytes());
-                    bytes.extend_from_slice(&b.header.iv2.to_le_bytes());
-                    bytes.extend_from_slice(&b.payload);
-                }
-                None => bytes.push(0),
-            }
-        }
-        psoram_crypto::Hash128::new().digest(&bytes)
     }
 
     /// Recomputes and installs the digests of every bucket on `leaf`'s
@@ -425,27 +303,19 @@ impl PathOram {
             .tree
             .path_indices(leaf)
             .into_iter()
-            .map(|idx| (idx, self.bucket_digest(&self.tree.bucket(idx))))
+            .map(|idx| (idx, bucket_digest(&self.tree.bucket(idx))))
             .collect();
-        self.integrity.as_mut().expect("checked above").update_buckets(&updates);
+        self.integrity
+            .as_mut()
+            .expect("checked above")
+            .update_buckets(&updates);
     }
 
     /// Test/attack hook: corrupts one byte of the first real block found on
     /// `leaf`'s path in the NVM image, bypassing the controller. Returns
     /// `true` if something was corrupted.
     pub fn corrupt_path_for_testing(&mut self, leaf: Leaf) -> bool {
-        for idx in self.tree.path_indices(leaf) {
-            let bucket = self.tree.bucket(idx);
-            for slot in 0..bucket.num_slots() {
-                if let Some(b) = bucket.slot(slot) {
-                    let mut evil = b.clone();
-                    evil.payload[0] ^= 0xFF;
-                    self.tree.write_slot(idx, slot, Some(evil));
-                    return true;
-                }
-            }
-        }
-        false
+        self.tree.corrupt_first_real_block(leaf)
     }
 
     /// Buffer bytes required by the configured top-of-tree cache.
@@ -465,53 +335,7 @@ impl PathOram {
         self.recorder.as_ref()
     }
 
-    /// Arms a crash to fire at `point` during the next access.
-    pub fn inject_crash(&mut self, point: CrashPoint) {
-        self.crash_plan = Some(point);
-    }
-
-    /// Disarms a pending crash plan that has not fired (e.g. a
-    /// [`CrashPoint::DuringEviction`] index beyond the access's batch
-    /// count).
-    pub fn disarm_crash(&mut self) {
-        self.crash_plan = None;
-    }
-
-    /// Schedules a crash to fire at `point` during access attempt
-    /// `access_index` (0-based, counting every [`PathOram::access_at`]
-    /// entry including attempts that themselves crashed — see
-    /// [`PathOram::access_attempts`]).
-    ///
-    /// Unlike [`PathOram::inject_crash`], which arms only the very next
-    /// access, a schedule can hold many future crashes at once; entries
-    /// must be added in ascending index order and are consumed as the
-    /// attempt counter reaches them. An index already in the past is
-    /// silently never reached — use [`PathOram::clear_crash_schedule`] to
-    /// drop stale entries.
-    pub fn schedule_crash(&mut self, access_index: u64, point: CrashPoint) {
-        debug_assert!(
-            self.crash_schedule.back().is_none_or(|&(i, _)| i <= access_index),
-            "crash schedule must be in ascending access order"
-        );
-        self.crash_schedule.push_back((access_index, point));
-    }
-
-    /// Drops all scheduled crashes that have not fired.
-    pub fn clear_crash_schedule(&mut self) {
-        self.crash_schedule.clear();
-    }
-
-    /// Total access attempts so far (including attempts that crashed
-    /// mid-way); the index the next attempt will carry for
-    /// [`PathOram::schedule_crash`].
-    pub fn access_attempts(&self) -> u64 {
-        self.access_attempts
-    }
-
-    /// `true` while the controller is in a crashed state.
-    pub fn is_crashed(&self) -> bool {
-        self.crashed
-    }
+    crate::engine::impl_crash_controls!();
 
     /// Reads block `addr` at the controller's own clock.
     ///
@@ -535,14 +359,6 @@ impl PathOram {
         let out = self.access_at(Op::Write, addr, Some(data), arrival)?;
         self.clock = out.complete_cycle;
         Ok(())
-    }
-
-    fn to_mem(cycles: u64) -> u64 {
-        cycles / CORE_CYCLES_PER_MEM_CYCLE
-    }
-
-    fn to_core(mem: u64) -> u64 {
-        mem * CORE_CYCLES_PER_MEM_CYCLE
     }
 
     fn onchip_batch_cycles(&self, ops: u64, per_op: u64) -> u64 {
@@ -578,17 +394,9 @@ impl PathOram {
 
     fn decrypt_from_tree(&self, block: &mut Block) {
         if self.encrypt_payloads {
-            self.cipher.apply_keystream(block.header.iv2 as u128, &mut block.payload);
+            self.cipher
+                .apply_keystream(block.header.iv2 as u128, &mut block.payload);
         }
-    }
-
-    fn maybe_crash(&mut self, point: CrashPoint) -> Result<(), OramError> {
-        if self.crash_plan == Some(point) {
-            self.crash_plan = None;
-            self.execute_crash();
-            return Err(OramError::Crashed);
-        }
-        Ok(())
     }
 
     /// Performs one ORAM access arriving at core cycle `arrival`.
@@ -608,17 +416,7 @@ impl PathOram {
         data: Option<Vec<u8>>,
         arrival: u64,
     ) -> Result<AccessOutcome, OramError> {
-        if self.crashed {
-            return Err(OramError::Crashed);
-        }
-        // Scheduled crash plans arm when their access attempt begins.
-        if let Some(&(idx, point)) = self.crash_schedule.front() {
-            if idx == self.access_attempts {
-                self.crash_schedule.pop_front();
-                self.crash_plan = Some(point);
-            }
-        }
-        self.access_attempts += 1;
+        self.engine.begin_attempt()?;
         if addr.0 >= self.config.capacity_blocks() {
             return Err(OramError::AddressOutOfRange {
                 addr,
@@ -679,8 +477,13 @@ impl PathOram {
         if let Some(d) = data {
             self.stash.get_mut(addr).expect("primary present").payload = d;
         }
-        let value = self.stash.get(addr).expect("primary present").payload.clone();
-        self.written_ledger.insert(addr.0, value.clone());
+        let value = self
+            .stash
+            .get(addr)
+            .expect("primary present")
+            .payload
+            .clone();
+        self.ledger.note_written(addr.0, value.clone());
         t += 2; // header update + (possible) backup copy, pipelined SRAM ops
         let value_ready = t;
         self.maybe_crash(CrashPoint::AfterUpdateStash)?;
@@ -701,7 +504,8 @@ impl PathOram {
             // FullNVM: stash and PosMap are non-volatile, so a completed
             // access is durable (atomicity within an access is the gap the
             // crash tests expose).
-            self.committed_ledger.insert(addr.0, (self.seq_counter, value.clone()));
+            self.ledger
+                .commit_if_fresh(addr.0, self.seq_counter, value.clone());
         }
         self.stats.total_access_cycles += value_ready - arrival;
 
@@ -767,13 +571,16 @@ impl PathOram {
         }
         for (reads, writes) in acc.reads.iter().zip(acc.writes.iter()) {
             let fe = self.frontend_process(reads.len() as u64, t);
-            let done = self.nvm.access_batch(reads.iter().copied(), AccessKind::Read, Self::to_mem(t));
-            t = (Self::to_core(done) + self.crypto_lat.decrypt_overlapped_cycles()).max(fe);
+            let done = self
+                .nvm
+                .access_batch(reads.iter().copied(), AccessKind::Read, to_mem(t));
+            t = (to_core(done) + self.crypto_lat.decrypt_overlapped_cycles()).max(fe);
             self.stats.recursion_reads += reads.len() as u64;
             let fe = self.frontend_process(writes.len() as u64, t);
-            let done =
-                self.nvm.access_batch(writes.iter().copied(), AccessKind::Write, Self::to_mem(t));
-            t = Self::to_core(done).max(fe);
+            let done = self
+                .nvm
+                .access_batch(writes.iter().copied(), AccessKind::Write, to_mem(t));
+            t = to_core(done).max(fe);
             self.stats.recursion_writes += writes.len() as u64;
         }
         t
@@ -797,7 +604,7 @@ impl PathOram {
         if let Some(int) = &self.integrity {
             let observed: Vec<(u64, psoram_crypto::Digest)> = path
                 .iter()
-                .map(|&idx| (idx, self.bucket_digest(&self.tree.bucket(idx))))
+                .map(|&idx| (idx, bucket_digest(&self.tree.bucket(idx))))
                 .collect();
             int.verify_path(leaf, &observed)
                 .map_err(|v| OramError::IntegrityViolation { leaf: v.leaf })?;
@@ -813,9 +620,11 @@ impl PathOram {
             }
         }
         let frontend_done = self.frontend_process(self.config.path_slots() as u64, t);
-        let done = self.nvm.access_batch(read_addrs, AccessKind::Read, Self::to_mem(t));
-        let mut t = (Self::to_core(done) + self.crypto_lat.decrypt_overlapped_cycles())
-            .max(frontend_done);
+        let done = self
+            .nvm
+            .access_batch(read_addrs, AccessKind::Read, to_mem(t));
+        let mut t =
+            (to_core(done) + self.crypto_lat.decrypt_overlapped_cycles()).max(frontend_done);
 
         // Gather fetched blocks with their slot coordinates.
         let mut live_old: HashMap<(u64, usize), BlockAddr> = HashMap::new();
@@ -940,8 +749,7 @@ impl PathOram {
             // identity placement only for plans with an oversize cycle.
             let (p, l) = plan_eviction(must.clone(), opportunistic.clone(), &self.tree, leaf);
             let orderable = p.real_blocks() <= self.config.data_wpq_capacity
-                || order_for_small_wpq(&p.writes, live_old, self.config.data_wpq_capacity)
-                    .is_ok();
+                || order_for_small_wpq(&p.writes, live_old, self.config.data_wpq_capacity).is_ok();
             if orderable {
                 (p, l)
             } else {
@@ -959,7 +767,9 @@ impl PathOram {
         };
         self.stats.eviction_leftovers += leftovers.len() as u64;
         for b in leftovers {
-            self.stash.insert(b).expect("re-inserting drained blocks cannot overflow");
+            self.stash
+                .insert(b)
+                .expect("re-inserting drained blocks cannot overflow");
         }
 
         // FullNVM: blocks are read back out of the on-chip NVM stash.
@@ -984,9 +794,9 @@ impl PathOram {
                 .collect();
             // Overlaps with the path write-back; the access pipeline only
             // observes the later of the two completions.
-            let done = self.nvm.access_batch(addrs, AccessKind::Write, Self::to_mem(t));
+            let done = self.nvm.access_batch(addrs, AccessKind::Write, to_mem(t));
             self.stats.stash_snapshot_writes += stash_snapshot;
-            t_end = t_end.max(Self::to_core(done));
+            t_end = t_end.max(to_core(done));
         }
         Ok(t_end)
     }
@@ -997,16 +807,17 @@ impl PathOram {
     // The loop counters below are crash cursors (compared against the
     // injected crash plan), not element indices.
     #[allow(clippy::explicit_counter_loop)]
-    fn evict_direct(&mut self, plan: crate::eviction::EvictionPlan, t: u64) -> Result<u64, OramError> {
-        let crash_after = match self.crash_plan {
-            Some(CrashPoint::DuringEviction(k)) => Some(k),
-            _ => None,
-        };
+    fn evict_direct(
+        &mut self,
+        plan: crate::eviction::EvictionPlan,
+        t: u64,
+    ) -> Result<u64, OramError> {
+        let crash_after = self.engine.armed_eviction_crash();
         let mut write_addrs = Vec::with_capacity(plan.writes.len());
         let mut writes_done = 0usize;
         for w in plan.writes {
             if crash_after == Some(writes_done) {
-                self.crash_plan = None;
+                self.engine.disarm_crash();
                 self.execute_crash();
                 return Err(OramError::Crashed);
             }
@@ -1019,8 +830,10 @@ impl PathOram {
             writes_done += 1;
         }
         let frontend_done = self.frontend_process(write_addrs.len() as u64, t);
-        let done = self.nvm.access_batch(write_addrs, AccessKind::Write, Self::to_mem(t));
-        Ok(Self::to_core(done).max(frontend_done))
+        let done = self
+            .nvm
+            .access_batch(write_addrs, AccessKind::Write, to_mem(t));
+        Ok(to_core(done).max(frontend_done))
     }
 
     /// WPQ-based atomic eviction (steps 5-A/5-B/5-C) for the PS-ORAM family.
@@ -1050,10 +863,7 @@ impl PathOram {
                 .expect("plan selection guarantees an orderable write-back")
         };
 
-        let crash_after_batches = match self.crash_plan {
-            Some(CrashPoint::DuringEviction(k)) => Some(k),
-            _ => None,
-        };
+        let crash_after_batches = self.engine.armed_eviction_crash();
 
         let mut committed_batches = 0usize;
         let mut write_addrs: Vec<u64> = Vec::with_capacity(plan.writes.len());
@@ -1062,25 +872,23 @@ impl PathOram {
             if crash_after_batches == Some(committed_batches) {
                 // Power failure while the next round is being assembled:
                 // model entries mid-push by opening a round, pushing the
-                // batch, and crashing before the end signal. Push errors are
-                // irrelevant here — whatever made it into the open batch is
-                // discarded by the crash anyway.
-                let _ = self.domain.begin_round();
-                for w in &batch {
-                    if let Some(b) = &w.block {
-                        let _ = self.domain.push_data(WpqEntry {
-                            addr: self.tree.slot_nvm_addr(w.bucket, w.slot),
-                            value: SlotWrite { block: Some(b.clone()), ..*w },
-                        });
-                    }
-                }
-                self.crash_plan = None;
+                // batch, and crashing before the end signal.
+                let entries = batch
+                    .iter()
+                    .filter(|w| w.block.is_some())
+                    .map(|w| WpqEntry {
+                        addr: self.tree.slot_nvm_addr(w.bucket, w.slot),
+                        value: w.clone(),
+                    })
+                    .collect();
+                self.engine.stage_abandoned_round(entries);
+                self.engine.disarm_crash();
                 self.execute_crash();
                 return Err(OramError::Crashed);
             }
 
             // 5-B: drainer start signal; push data and matching metadata.
-            self.domain.begin_round()?;
+            self.engine.begin_round()?;
             let mut pushed = 0u64;
             for w in &batch {
                 // A block's data and its PosMap entry must land in the same
@@ -1088,18 +896,19 @@ impl PathOram {
                 // and drain what is already pushed (each sub-round is still
                 // atomic, exactly like a planned small-WPQ split), then
                 // reopen before pushing this block.
-                if self.domain.data_wpq().remaining() == 0
-                    || self.domain.posmap_wpq().remaining() == 0
-                {
-                    self.stats.wpq_stalls += 1;
-                    self.domain.commit_round()?;
-                    let (data, posmap) = self.domain.drain();
+                if self.engine.data_is_full() || self.engine.posmap_is_full() {
+                    self.engine.note_stall();
+                    self.engine.commit_round()?;
+                    let (data, posmap) = self.engine.drain();
                     self.apply_committed(&data, &posmap, &mut write_addrs, &mut entry_addrs);
-                    self.domain.begin_round()?;
+                    self.engine.begin_round()?;
                 }
                 let nvm_addr = self.tree.slot_nvm_addr(w.bucket, w.slot);
                 if w.block.is_some() {
-                    self.domain.push_data(WpqEntry { addr: nvm_addr, value: w.clone() })?;
+                    self.engine.push_data(WpqEntry {
+                        addr: nvm_addr,
+                        value: w.clone(),
+                    })?;
                     pushed += 1;
                 }
                 // Metadata for this batch: dirty entries (PS-ORAM) of
@@ -1108,13 +917,13 @@ impl PathOram {
                     if !b.is_backup {
                         let a = b.addr();
                         if let Some(l) = self.temp.get(a) {
-                            self.domain.push_posmap(WpqEntry {
+                            self.engine.push_posmap(WpqEntry {
                                 addr: self.posmap_entry_nvm_addr(a),
                                 value: (a, l),
                             })?;
                             pushed += 1;
                         } else if naive {
-                            self.domain.push_posmap(WpqEntry {
+                            self.engine.push_posmap(WpqEntry {
                                 addr: self.posmap_entry_nvm_addr(a),
                                 value: (a, b.leaf()),
                             })?;
@@ -1134,8 +943,8 @@ impl PathOram {
             t += pushed; // one cycle per WPQ push
 
             // 5-C: end signal — the atomic commit point — then flush.
-            self.domain.commit_round()?;
-            let (data, posmap) = self.domain.drain();
+            self.engine.commit_round()?;
+            let (data, posmap) = self.engine.drain();
             self.apply_committed(&data, &posmap, &mut write_addrs, &mut entry_addrs);
             // Dummy slots of this batch are rewritten directly after the
             // commit: they carry no recoverable data and only overwrite
@@ -1157,12 +966,15 @@ impl PathOram {
         let frontend_done = self.frontend_process(write_addrs.len() as u64, t);
         // PosMap entries are 7-8 B: they occupy the data bus for a single
         // beat, though the cell-programming pulse is unchanged.
-        let done = self.nvm.access_batch(write_addrs, AccessKind::Write, Self::to_mem(t));
-        let mut t_end = Self::to_core(done).max(frontend_done);
+        let done = self
+            .nvm
+            .access_batch(write_addrs, AccessKind::Write, to_mem(t));
+        let mut t_end = to_core(done).max(frontend_done);
         if !entry_addrs.is_empty() {
-            let done =
-                self.nvm.access_batch_sized(entry_addrs, AccessKind::Write, Self::to_mem(t), 8);
-            t_end = t_end.max(Self::to_core(done));
+            let done = self
+                .nvm
+                .access_batch_sized(entry_addrs, AccessKind::Write, to_mem(t), 8);
+            t_end = t_end.max(to_core(done));
         }
         Ok(t_end)
     }
@@ -1212,13 +1024,8 @@ impl PathOram {
                 .filter(|b| b.addr() == a && b.leaf() == leaf)
                 .max_by_key(|b| b.header.seq);
             if let Some(b) = newest {
-                let stale = self
-                    .committed_ledger
-                    .get(&a.0)
-                    .is_some_and(|(seq, _)| *seq > b.header.seq);
-                if !stale {
-                    self.committed_ledger.insert(a.0, (b.header.seq, b.payload.clone()));
-                }
+                self.ledger
+                    .commit_if_fresh(a.0, b.header.seq, b.payload.clone());
             }
         }
     }
@@ -1237,7 +1044,8 @@ impl PathOram {
         if let Some(rec) = &self.recursion {
             if let Some(level0) = rec.levels().first() {
                 // The entry lives in a PosMap_1 block inside the posmap tree.
-                return level0.base_addr + rec.block_index(addr, 0) * self.config.block_bytes as u64;
+                return level0.base_addr
+                    + rec.block_index(addr, 0) * self.config.block_bytes as u64;
             }
         }
         self.posmap_base + addr.0 * 8
@@ -1250,10 +1058,10 @@ impl PathOram {
     }
 
     fn execute_crash(&mut self) -> CrashReport {
-        self.stats.crashes += 1;
         let stash_durable = self.variant.stash_durable();
-        // ADR flushes committed WPQ rounds; open rounds are lost.
-        let (data, posmap) = self.domain.crash();
+        // ADR flushes committed WPQ rounds; open rounds are lost. The
+        // engine latches the crashed state and counts the crash.
+        let (data, posmap) = self.engine.crash();
         let mut write_addrs = Vec::new();
         let mut entry_addrs = Vec::new();
         let report = CrashReport {
@@ -1278,7 +1086,6 @@ impl PathOram {
         if let Some(leaf) = self.pending_integrity_path.take() {
             self.refresh_integrity_path(leaf);
         }
-        self.crashed = true;
         report
     }
 
@@ -1292,20 +1099,14 @@ impl PathOram {
     /// [`PathOram::last_recovery`] and failures are counted in
     /// `OramStats::recovery_failures`.
     pub fn recover(&mut self) -> RecoveryReport {
-        self.stats.recoveries += 1;
-        self.crashed = false;
         let report =
-            RecoveryReport::from_check(self.check_recoverability(), self.committed_ledger.len());
-        if !report.consistent {
-            self.stats.recovery_failures += 1;
-        }
-        self.last_recovery = Some(report.clone());
-        report
+            RecoveryReport::from_check(self.check_recoverability(), self.ledger.committed_len());
+        self.engine.finish_recovery(report)
     }
 
     /// The report of the most recent [`PathOram::recover`] call.
     pub fn last_recovery(&self) -> Option<&RecoveryReport> {
-        self.last_recovery.as_ref()
+        self.engine.last_recovery()
     }
 
     /// Verifies the crash-recovery invariant: every address with a durably
@@ -1317,51 +1118,43 @@ impl PathOram {
     ///
     /// Returns a human-readable description of the first inconsistency.
     pub fn check_recoverability(&self) -> Result<(), String> {
-        for (&a, (_, expected)) in &self.committed_ledger {
-            let addr = BlockAddr(a);
-            let leaf = self.posmap.persisted_get(addr);
-            // Recovery picks, among copies on the persisted path whose
-            // header matches the persisted leaf, the newest one (highest
-            // freshness counter / IV).
-            let mut best: Option<Block> = None;
-            for idx in self.tree.path_indices(leaf) {
-                let bucket = self.tree.bucket(idx);
-                for s in 0..bucket.num_slots() {
-                    if let Some(b) = bucket.slot(s) {
-                        if b.addr() == addr
-                            && b.leaf() == leaf
-                            && best.as_ref().is_none_or(|x| b.header.seq > x.header.seq)
-                        {
-                            best = Some(b.clone());
+        self.ledger.audit_committed(
+            "recoverable copy",
+            |a| {
+                let addr = BlockAddr(a);
+                let leaf = self.posmap.persisted_get(addr);
+                // Recovery picks, among copies on the persisted path whose
+                // header matches the persisted leaf, the newest one (highest
+                // freshness counter / IV).
+                let mut best: Option<Block> = None;
+                for idx in self.tree.path_indices(leaf) {
+                    let bucket = self.tree.bucket(idx);
+                    for s in 0..bucket.num_slots() {
+                        if let Some(b) = bucket.slot(s) {
+                            if b.addr() == addr
+                                && b.leaf() == leaf
+                                && best.as_ref().is_none_or(|x| b.header.seq > x.header.seq)
+                            {
+                                best = Some(b.clone());
+                            }
                         }
                     }
                 }
-            }
-            let found = best.map(|mut copy| {
-                self.decrypt_from_tree(&mut copy);
-                copy.payload
-            });
-            let stash_copy = if self.variant.stash_durable() {
-                self.stash.get(addr).map(|b| b.payload.clone())
-            } else {
-                None
-            };
-            match (found, stash_copy) {
-                (_, Some(p)) if &p == self.written_ledger.get(&a).unwrap_or(expected) => {}
-                (Some(p), _) if &p == expected => {}
-                (Some(p), _) => {
-                    return Err(format!(
-                        "{addr}: recoverable copy at {leaf} holds {p:?}, expected {expected:?}"
-                    ));
-                }
-                (None, _) => {
-                    return Err(format!(
-                        "{addr}: no recoverable copy on persisted path {leaf}"
-                    ));
-                }
-            }
-        }
-        Ok(())
+                let found = best.map(|mut copy| {
+                    self.decrypt_from_tree(&mut copy);
+                    copy.payload
+                });
+                (leaf, found)
+            },
+            // Durable-stash designs (FullNVM): a stash copy holding the
+            // last written value satisfies recoverability by itself.
+            |a, expected| {
+                self.variant.stash_durable()
+                    && self.stash.get(BlockAddr(a)).is_some_and(|b| {
+                        &b.payload == self.ledger.written_value(a).unwrap_or(expected)
+                    })
+            },
+        )
     }
 
     /// Reads back every touched address and compares against the
@@ -1381,12 +1174,9 @@ impl PathOram {
         for a in addrs {
             // Snapshot the expectation *before* reading: the read itself
             // updates the ledgers (it is a fresh access).
-            let zeros = vec![0u8; self.config.payload_bytes];
-            let expected = if after_crash {
-                self.committed_ledger.get(&a).map(|(_, v)| v).unwrap_or(&zeros).clone()
-            } else {
-                self.written_ledger.get(&a).unwrap_or(&zeros).clone()
-            };
+            let expected = self
+                .ledger
+                .expected_value(a, after_crash, self.config.payload_bytes);
             let got = self.read(BlockAddr(a)).map_err(|e| e.to_string())?;
             if got != expected {
                 return Err(format!(
@@ -1399,12 +1189,12 @@ impl PathOram {
 
     /// The committed-value oracle (test observability).
     pub fn committed_value(&self, addr: BlockAddr) -> Option<&Vec<u8>> {
-        self.committed_ledger.get(&addr.0).map(|(_, v)| v)
+        self.ledger.committed_value(addr.0)
     }
 
     /// The last program-written value (test observability).
     pub fn written_value(&self, addr: BlockAddr) -> Option<&Vec<u8>> {
-        self.written_ledger.get(&addr.0)
+        self.ledger.written_value(addr.0)
     }
 
     /// Addresses touched since construction.

@@ -95,12 +95,16 @@ impl RecoveryReport {
     /// Builds a report from a recoverability-check result.
     pub fn from_check(result: Result<(), String>, addresses_checked: usize) -> Self {
         match result {
-            Ok(()) => {
-                RecoveryReport { consistent: true, violation: None, addresses_checked }
-            }
-            Err(v) => {
-                RecoveryReport { consistent: false, violation: Some(v), addresses_checked }
-            }
+            Ok(()) => RecoveryReport {
+                consistent: true,
+                violation: None,
+                addresses_checked,
+            },
+            Err(v) => RecoveryReport {
+                consistent: false,
+                violation: Some(v),
+                addresses_checked,
+            },
         }
     }
 }

@@ -1,0 +1,146 @@
+//! Written-vs-committed value ledgers shared by the controllers'
+//! recoverability oracles.
+
+use std::collections::HashMap;
+
+use crate::types::{BlockAddr, Leaf};
+
+/// Tracks, per logical address, the last program-*written* value and the
+/// last durably *committed* value.
+///
+/// Committed entries are keyed by the block's monotonic freshness counter
+/// (`BlockHeader::seq`): WPQ rounds can commit copies out of order (a
+/// backup from an earlier round after the primary from a later one), so
+/// an update only lands if it is at least as fresh as what the ledger
+/// already holds.
+#[derive(Debug, Default)]
+pub struct CommitLedger {
+    /// Last value written by the program, per address.
+    written: HashMap<u64, Vec<u8>>,
+    /// Last durably committed value, keyed by freshness counter.
+    committed: HashMap<u64, (u64, Vec<u8>)>,
+}
+
+impl CommitLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the program-visible write of `value` to `addr`.
+    pub fn note_written(&mut self, addr: u64, value: Vec<u8>) {
+        self.written.insert(addr, value);
+    }
+
+    /// Records that a copy of `addr` with freshness `seq` committed
+    /// durably, unless a strictly fresher commit is already recorded.
+    /// Returns `true` if the entry landed.
+    pub fn commit_if_fresh(&mut self, addr: u64, seq: u64, payload: Vec<u8>) -> bool {
+        let stale = self.committed.get(&addr).is_some_and(|(s, _)| *s > seq);
+        if !stale {
+            self.committed.insert(addr, (seq, payload));
+        }
+        !stale
+    }
+
+    /// The last durably committed value of `addr`, if any.
+    pub fn committed_value(&self, addr: u64) -> Option<&Vec<u8>> {
+        self.committed.get(&addr).map(|(_, v)| v)
+    }
+
+    /// The last program-written value of `addr`, if any.
+    pub fn written_value(&self, addr: u64) -> Option<&Vec<u8>> {
+        self.written.get(&addr)
+    }
+
+    /// Number of addresses with a committed value.
+    pub fn committed_len(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// Iterates over `(addr, committed_value)` pairs.
+    pub fn committed_iter(&self) -> impl Iterator<Item = (u64, &Vec<u8>)> {
+        self.committed.iter().map(|(&a, (_, v))| (a, v))
+    }
+
+    /// The value a post-verification read-back must return for `addr`:
+    /// the committed value after a crash, the written value otherwise,
+    /// zeros (`payload_bytes` long) if the ledger holds nothing.
+    pub fn expected_value(&self, addr: u64, after_crash: bool, payload_bytes: usize) -> Vec<u8> {
+        let v = if after_crash {
+            self.committed_value(addr)
+        } else {
+            self.written_value(addr)
+        };
+        v.cloned().unwrap_or_else(|| vec![0u8; payload_bytes])
+    }
+
+    /// The shared recoverability audit: every committed address must have
+    /// a physical copy at its persisted PosMap position holding exactly
+    /// the committed value.
+    ///
+    /// `copy_at` returns the persisted leaf of an address together with
+    /// the newest matching copy's payload found there (protocol-specific
+    /// scan). `durable_override` lets durable-stash designs satisfy an
+    /// address out of the stash instead; non-durable designs pass
+    /// `|_, _| false`. `desc` names the copy in violation messages
+    /// (e.g. `"recoverable copy"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first inconsistency.
+    pub fn audit_committed(
+        &self,
+        desc: &str,
+        mut copy_at: impl FnMut(u64) -> (Leaf, Option<Vec<u8>>),
+        mut durable_override: impl FnMut(u64, &Vec<u8>) -> bool,
+    ) -> Result<(), String> {
+        for (a, expected) in self.committed_iter() {
+            if durable_override(a, expected) {
+                continue;
+            }
+            let addr = BlockAddr(a);
+            let (leaf, found) = copy_at(a);
+            match found {
+                Some(p) if &p == expected => {}
+                Some(p) => {
+                    return Err(format!(
+                        "{addr}: {desc} at {leaf} holds {p:?}, expected {expected:?}"
+                    ));
+                }
+                None => return Err(format!("{addr}: no {desc} on persisted path {leaf}")),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stale_commits_cannot_regress_the_ledger() {
+        let mut l = CommitLedger::new();
+        assert!(l.commit_if_fresh(7, 5, vec![5]));
+        assert!(
+            !l.commit_if_fresh(7, 3, vec![3]),
+            "older seq must be rejected"
+        );
+        assert_eq!(l.committed_value(7), Some(&vec![5]));
+        // Equal freshness re-commits (idempotent replay of the same copy).
+        assert!(l.commit_if_fresh(7, 5, vec![5]));
+        assert!(l.commit_if_fresh(7, 9, vec![9]));
+        assert_eq!(l.committed_value(7), Some(&vec![9]));
+        assert_eq!(l.committed_len(), 1);
+    }
+
+    #[test]
+    fn written_and_committed_are_independent() {
+        let mut l = CommitLedger::new();
+        l.note_written(1, vec![1]);
+        assert_eq!(l.written_value(1), Some(&vec![1]));
+        assert_eq!(l.committed_value(1), None);
+        assert_eq!(l.committed_iter().count(), 0);
+    }
+}

@@ -1,0 +1,362 @@
+//! The WPQ persist-round protocol and crash/recovery state machine.
+
+use std::collections::VecDeque;
+
+use psoram_nvm::{PersistenceDomain, WpqEntry, WpqError, WpqStats};
+
+use crate::crash::{CrashPoint, RecoveryReport};
+use crate::types::OramError;
+
+/// Counters the engine accumulates across the life of a controller.
+///
+/// These survive crashes and recoveries by construction: the engine is
+/// part of the controller model, not of the simulated volatile state, so
+/// a [`PersistEngine::crash`] discards the open WPQ round but never the
+/// accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Crashes executed.
+    pub crashes: u64,
+    /// Recoveries completed.
+    pub recoveries: u64,
+    /// Recoveries whose consistency check failed.
+    pub recovery_failures: u64,
+    /// Persist rounds split early because a WPQ ran out of room.
+    pub wpq_stalls: u64,
+}
+
+/// The shared persist-round engine: one audited implementation of the
+/// paper's crash-consistency protocol, generic over the persist-unit
+/// types (`D` data units, `P` PosMap units).
+///
+/// The engine owns:
+///
+/// * the paired data/PosMap WPQs ([`PersistenceDomain`]) and the
+///   begin/stage/commit round protocol with typed errors;
+/// * crash arming ([`PersistEngine::inject_crash`]) and scheduling
+///   ([`PersistEngine::schedule_crash`]) against the access-attempt
+///   counter;
+/// * the crashed-state latch and the recovery bookkeeping
+///   ([`PersistEngine::finish_recovery`], [`PersistEngine::last_recovery`]);
+/// * the crash/recovery/stall counters ([`EngineStats`]).
+///
+/// Controllers keep only protocol policy: what units to stage, when to
+/// open a round, and how to apply a drained round to their stores.
+#[derive(Debug)]
+pub struct PersistEngine<D, P> {
+    domain: PersistenceDomain<D, P>,
+    crash_plan: Option<CrashPoint>,
+    /// Pending scheduled crashes as `(access_attempt_index, point)`,
+    /// sorted ascending; consumed as access attempts reach each index.
+    crash_schedule: VecDeque<(u64, CrashPoint)>,
+    /// Total access attempts begun, including attempts that crashed.
+    access_attempts: u64,
+    crashed: bool,
+    last_recovery: Option<RecoveryReport>,
+    stats: EngineStats,
+}
+
+impl<D, P> PersistEngine<D, P> {
+    /// Creates an engine over fresh WPQs of the given capacities.
+    pub fn new(data_capacity: usize, posmap_capacity: usize) -> Self {
+        PersistEngine {
+            domain: PersistenceDomain::new(data_capacity, posmap_capacity),
+            crash_plan: None,
+            crash_schedule: VecDeque::new(),
+            access_attempts: 0,
+            crashed: false,
+            last_recovery: None,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Engine-accumulated counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Accumulated statistics of the (data, PosMap) WPQs. Like
+    /// [`EngineStats`], these survive crashes and recoveries.
+    pub fn wpq_stats(&self) -> (WpqStats, WpqStats) {
+        (
+            self.domain.data_wpq().stats(),
+            self.domain.posmap_wpq().stats(),
+        )
+    }
+
+    // ── access-attempt prologue & crash arming ──────────────────────────
+
+    /// Starts one access attempt: rejects while crashed, arms the next
+    /// scheduled crash plan if its index has arrived, and counts the
+    /// attempt.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::Crashed`] while the controller is crashed.
+    pub fn begin_attempt(&mut self) -> Result<(), OramError> {
+        if self.crashed {
+            return Err(OramError::Crashed);
+        }
+        // Scheduled crash plans arm when their access attempt begins.
+        if let Some(&(idx, point)) = self.crash_schedule.front() {
+            if idx == self.access_attempts {
+                self.crash_schedule.pop_front();
+                self.crash_plan = Some(point);
+            }
+        }
+        self.access_attempts += 1;
+        Ok(())
+    }
+
+    /// Consumes a matching armed crash plan: returns `true` (and disarms)
+    /// if `point` is exactly the armed plan, in which case the caller must
+    /// run its crash procedure.
+    pub fn take_crash(&mut self, point: CrashPoint) -> bool {
+        if self.crash_plan == Some(point) {
+            self.crash_plan = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The armed [`CrashPoint::DuringEviction`] persist-unit index, if any
+    /// (peeked, not consumed — pair with [`PersistEngine::disarm_crash`]).
+    pub fn armed_eviction_crash(&self) -> Option<usize> {
+        match self.crash_plan {
+            Some(CrashPoint::DuringEviction(k)) => Some(k),
+            _ => None,
+        }
+    }
+
+    /// Arms a crash to fire at `point` during the next access.
+    pub fn inject_crash(&mut self, point: CrashPoint) {
+        self.crash_plan = Some(point);
+    }
+
+    /// Disarms a pending crash plan that has not fired.
+    pub fn disarm_crash(&mut self) {
+        self.crash_plan = None;
+    }
+
+    /// Schedules a crash to arm when access attempt `access_index` begins
+    /// (0-based over every [`PersistEngine::begin_attempt`], including
+    /// attempts that themselves crashed). Entries must be appended in
+    /// non-decreasing index order; an index already in the past is
+    /// silently never reached.
+    pub fn schedule_crash(&mut self, access_index: u64, point: CrashPoint) {
+        debug_assert!(
+            self.crash_schedule
+                .back()
+                .is_none_or(|&(i, _)| i <= access_index),
+            "crash schedule must be in non-decreasing access order"
+        );
+        self.crash_schedule.push_back((access_index, point));
+    }
+
+    /// Drops all scheduled crashes that have not fired.
+    pub fn clear_crash_schedule(&mut self) {
+        self.crash_schedule.clear();
+    }
+
+    /// Total access attempts so far (the index the next attempt carries
+    /// for [`PersistEngine::schedule_crash`]).
+    pub fn access_attempts(&self) -> u64 {
+        self.access_attempts
+    }
+
+    /// `true` between a crash and the matching recovery.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    // ── the persist-round protocol ──────────────────────────────────────
+
+    /// Drainer *start* signal: opens an atomic round on both WPQs.
+    ///
+    /// # Errors
+    ///
+    /// [`WpqError::BatchAlreadyOpen`] if a round is already open.
+    pub fn begin_round(&mut self) -> Result<(), WpqError> {
+        self.domain.begin_round()
+    }
+
+    /// Stages one data persist unit into the open round.
+    ///
+    /// # Errors
+    ///
+    /// [`WpqError::NoBatchOpen`] / [`WpqError::Full`] from the data WPQ.
+    pub fn push_data(&mut self, entry: WpqEntry<D>) -> Result<(), WpqError> {
+        self.domain.push_data(entry)
+    }
+
+    /// Stages one PosMap persist unit into the open round.
+    ///
+    /// # Errors
+    ///
+    /// [`WpqError::NoBatchOpen`] / [`WpqError::Full`] from the PosMap WPQ.
+    pub fn push_posmap(&mut self, entry: WpqEntry<P>) -> Result<(), WpqError> {
+        self.domain.push_posmap(entry)
+    }
+
+    /// Drainer *end* signal: the atomic commit point of the open round.
+    ///
+    /// # Errors
+    ///
+    /// [`WpqError::NoBatchOpen`] if no round is open on either queue.
+    pub fn commit_round(&mut self) -> Result<(), WpqError> {
+        self.domain.commit_round()
+    }
+
+    /// Drains every committed entry from both queues, in commit order.
+    pub fn drain(&mut self) -> (Vec<WpqEntry<D>>, Vec<WpqEntry<P>>) {
+        self.domain.drain()
+    }
+
+    /// `true` when the data WPQ has no room for another unit.
+    pub fn data_is_full(&self) -> bool {
+        self.domain.data_wpq().remaining() == 0
+    }
+
+    /// `true` when the PosMap WPQ has no room for another unit.
+    pub fn posmap_is_full(&self) -> bool {
+        self.domain.posmap_wpq().remaining() == 0
+    }
+
+    /// Counts one stall: a round split early because a WPQ ran out of
+    /// room (the caller commits, drains, applies, and reopens).
+    pub fn note_stall(&mut self) {
+        self.stats.wpq_stalls += 1;
+    }
+
+    // ── crash & recovery ────────────────────────────────────────────────
+
+    /// Models a power failure while a round is being assembled: opens a
+    /// round and stages `entries`, deliberately without the end signal,
+    /// so the subsequent [`PersistEngine::crash`] discards them. Push
+    /// errors are irrelevant — whatever made it into the open batch is
+    /// lost to the crash anyway.
+    pub fn stage_abandoned_round(&mut self, entries: Vec<WpqEntry<D>>) {
+        let _ = self.domain.begin_round();
+        for e in entries {
+            let _ = self.domain.push_data(e);
+        }
+    }
+
+    /// Executes the power failure: latches the crashed state, counts it,
+    /// and returns what the ADR flush preserves — every *committed* round,
+    /// with any open round discarded.
+    pub fn crash(&mut self) -> (Vec<WpqEntry<D>>, Vec<WpqEntry<P>>) {
+        self.stats.crashes += 1;
+        self.crashed = true;
+        self.domain.crash()
+    }
+
+    /// Completes a recovery: clears the crashed state, counts the
+    /// recovery (and the failure, if the verdict is inconsistent), and
+    /// retains the report for [`PersistEngine::last_recovery`].
+    pub fn finish_recovery(&mut self, report: RecoveryReport) -> RecoveryReport {
+        self.stats.recoveries += 1;
+        self.crashed = false;
+        if !report.consistent {
+            self.stats.recovery_failures += 1;
+        }
+        self.last_recovery = Some(report.clone());
+        report
+    }
+
+    /// The report of the most recent recovery, if any.
+    pub fn last_recovery(&self) -> Option<&RecoveryReport> {
+        self.last_recovery.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(addr: u64) -> WpqEntry<u32> {
+        WpqEntry {
+            addr,
+            value: addr as u32,
+        }
+    }
+
+    #[test]
+    fn round_trip_commit_and_drain() {
+        let mut e: PersistEngine<u32, u32> = PersistEngine::new(4, 4);
+        e.begin_round().unwrap();
+        e.push_data(entry(1)).unwrap();
+        e.push_posmap(entry(2)).unwrap();
+        e.commit_round().unwrap();
+        let (d, p) = e.drain();
+        assert_eq!(d.len(), 1);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn crash_discards_open_round_but_keeps_committed() {
+        let mut e: PersistEngine<u32, u32> = PersistEngine::new(4, 4);
+        e.begin_round().unwrap();
+        e.push_data(entry(1)).unwrap();
+        e.commit_round().unwrap();
+        e.stage_abandoned_round(vec![entry(2), entry(3)]);
+        let (d, _) = e.crash();
+        assert_eq!(d.len(), 1, "only the committed round survives");
+        assert!(e.is_crashed());
+    }
+
+    #[test]
+    fn scheduled_crash_arms_at_its_attempt_index() {
+        let mut e: PersistEngine<u32, u32> = PersistEngine::new(4, 4);
+        e.schedule_crash(1, CrashPoint::AfterLoadPath);
+        e.begin_attempt().unwrap();
+        assert!(!e.take_crash(CrashPoint::AfterLoadPath), "not yet armed");
+        e.begin_attempt().unwrap();
+        assert!(e.take_crash(CrashPoint::AfterLoadPath));
+        assert!(!e.take_crash(CrashPoint::AfterLoadPath), "consumed");
+    }
+
+    #[test]
+    fn counters_survive_crash_and_recovery() {
+        // Satellite invariant: the engine-accumulated stall/full counters
+        // are controller-model state, not simulated volatile state — a
+        // crash plus recovery must not reset them.
+        let mut e: PersistEngine<u32, u32> = PersistEngine::new(1, 1);
+        e.begin_round().unwrap();
+        e.push_data(entry(1)).unwrap();
+        assert!(e.data_is_full());
+        e.note_stall();
+        assert!(e.push_data(entry(2)).is_err(), "full WPQ rejects the push");
+        e.commit_round().unwrap();
+        let before_engine = e.stats();
+        let (before_data, before_posmap) = e.wpq_stats();
+        assert_eq!(before_engine.wpq_stalls, 1);
+        assert_eq!(before_data.full_rejections, 1);
+
+        let _ = e.crash();
+        let report = e.finish_recovery(RecoveryReport::from_check(Ok(()), 0));
+        assert!(report.consistent);
+        assert!(!e.is_crashed());
+
+        let after_engine = e.stats();
+        let (after_data, after_posmap) = e.wpq_stats();
+        assert_eq!(after_engine.wpq_stalls, before_engine.wpq_stalls);
+        assert_eq!(after_data.full_rejections, before_data.full_rejections);
+        assert_eq!(after_data.entries_pushed, before_data.entries_pushed);
+        assert_eq!(after_posmap, before_posmap);
+        assert_eq!(after_engine.crashes, 1);
+        assert_eq!(after_engine.recoveries, 1);
+        assert_eq!(after_engine.recovery_failures, 0);
+    }
+
+    #[test]
+    fn failed_recovery_is_counted() {
+        let mut e: PersistEngine<u32, u32> = PersistEngine::new(2, 2);
+        let _ = e.crash();
+        let report = e.finish_recovery(RecoveryReport::from_check(Err("lost a3".into()), 1));
+        assert!(!report.consistent);
+        assert_eq!(e.stats().recovery_failures, 1);
+        assert_eq!(e.last_recovery(), Some(&report));
+    }
+}

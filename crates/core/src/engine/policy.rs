@@ -1,0 +1,331 @@
+//! The policy layer: protocol-variant metadata and the uniform
+//! [`ProtocolPolicy`] trait the controllers implement.
+//!
+//! A *policy* is everything that names and characterizes a design —
+//! which paper variant it is, whether it claims crash consistency, when
+//! its completed writes become durable — plus the object-safe operation
+//! surface the fault harness, system model, and benches drive it
+//! through. The mechanics of persist rounds and crash scheduling live
+//! one layer down in [`PersistEngine`](crate::engine::PersistEngine).
+
+use serde::{Deserialize, Serialize};
+
+use psoram_nvm::MemTech;
+
+use crate::controller::PathOram;
+use crate::crash::{CrashPoint, RecoveryReport};
+use crate::ring::RingOram;
+use crate::types::{BlockAddr, OramError};
+
+/// The persistent-ORAM protocol variants evaluated in the paper (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtocolVariant {
+    /// Path ORAM on NVM without any crash-consistency support.
+    Baseline,
+    /// On-chip stash and PosMap built from PCM cells; persistent but not
+    /// atomic.
+    FullNvm,
+    /// `FullNVM` with STT-RAM on-chip buffers.
+    FullNvmStt,
+    /// PS-ORAM persisting *all* `Z·(L+1)` PosMap entries per access.
+    NaivePsOram,
+    /// The paper's contribution: backup blocks + dirty-entry-only flushes
+    /// through atomic WPQ rounds.
+    PsOram,
+    /// Recursive Path ORAM (PosMap in untrusted NVM) without stash
+    /// persistence.
+    RcrBaseline,
+    /// Recursive PS-ORAM: recursive PosMap plus PS-ORAM data persistence.
+    RcrPsOram,
+}
+
+impl ProtocolVariant {
+    /// All seven variants, in the paper's presentation order.
+    pub fn all() -> [ProtocolVariant; 7] {
+        [
+            ProtocolVariant::Baseline,
+            ProtocolVariant::FullNvm,
+            ProtocolVariant::FullNvmStt,
+            ProtocolVariant::NaivePsOram,
+            ProtocolVariant::PsOram,
+            ProtocolVariant::RcrBaseline,
+            ProtocolVariant::RcrPsOram,
+        ]
+    }
+
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtocolVariant::Baseline => "Baseline",
+            ProtocolVariant::FullNvm => "FullNVM",
+            ProtocolVariant::FullNvmStt => "FullNVM(STT)",
+            ProtocolVariant::NaivePsOram => "Naive-PS-ORAM",
+            ProtocolVariant::PsOram => "PS-ORAM",
+            ProtocolVariant::RcrBaseline => "Rcr-Baseline",
+            ProtocolVariant::RcrPsOram => "Rcr-PS-ORAM",
+        }
+    }
+
+    /// `true` for the recursive-PosMap variants.
+    pub fn is_recursive(self) -> bool {
+        matches!(
+            self,
+            ProtocolVariant::RcrBaseline | ProtocolVariant::RcrPsOram
+        )
+    }
+
+    /// `true` for variants that evict through the WPQ persistence domain
+    /// (and therefore use the temporary PosMap and backup blocks).
+    pub fn uses_wpq(self) -> bool {
+        matches!(
+            self,
+            ProtocolVariant::NaivePsOram | ProtocolVariant::PsOram | ProtocolVariant::RcrPsOram
+        )
+    }
+
+    /// On-chip buffer technology for the stash/PosMap, if not SRAM.
+    pub fn onchip_tech(self) -> Option<MemTech> {
+        match self {
+            ProtocolVariant::FullNvm => Some(MemTech::Pcm),
+            ProtocolVariant::FullNvmStt => Some(MemTech::SttRam),
+            _ => None,
+        }
+    }
+
+    /// `true` when the stash itself survives a power failure.
+    pub fn stash_durable(self) -> bool {
+        self.onchip_tech().is_some()
+    }
+
+    /// Whether the design is expected to recover consistently from a crash
+    /// at *any* point (the paper's claim for the PS-ORAM family).
+    pub fn is_crash_consistent(self) -> bool {
+        self.uses_wpq()
+    }
+}
+
+impl std::fmt::Display for ProtocolVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Persistence flavour of the Ring ORAM controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RingVariant {
+    /// Volatile stash/PosMap; bucket rewrites hit the NVM directly.
+    Baseline,
+    /// PS-style crash consistency: temporary PosMap plus atomic WPQ rounds
+    /// for every bucket rewrite.
+    PsRing,
+}
+
+impl std::fmt::Display for RingVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RingVariant::Baseline => write!(f, "Ring-Baseline"),
+            RingVariant::PsRing => write!(f, "PS-Ring-ORAM"),
+        }
+    }
+}
+
+/// When a design's completed writes become durable.
+///
+/// Drives the differential oracle's admissible-value set after a crash:
+/// an `OnCompletion` design must preserve every completed write, while a
+/// `Deferred` design may roll an address back to an earlier completed
+/// write (but never to a value outside its history).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitModel {
+    /// Every completed access is durable before it returns (Path ORAM).
+    OnCompletion,
+    /// Writes persist lazily at eviction boundaries (Ring ORAM).
+    Deferred,
+}
+
+/// The uniform surface of an ORAM protocol variant over the shared
+/// persist engine.
+///
+/// Everything above the controllers — the fault-injection harness, the
+/// system model, the benches, and the parameterized crash tests — drives
+/// designs through this one object-safe trait, so a new protocol variant
+/// joins every sweep, campaign, and test by implementing it.
+pub trait ProtocolPolicy {
+    /// Human-readable design name (used in reports).
+    fn label(&self) -> String;
+    /// Addressable logical blocks.
+    fn capacity_blocks(&self) -> u64;
+    /// Functional payload size in bytes.
+    fn payload_bytes(&self) -> usize;
+    /// Whether the design claims crash consistency (the oracle's
+    /// expectation: `true` means any violation is a bug).
+    fn crash_consistent(&self) -> bool;
+    /// When this design's completed writes become durable.
+    fn commit_model(&self) -> CommitModel;
+    /// Writes `data` to logical block `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the controller's [`OramError`] (notably
+    /// [`OramError::Crashed`] when an armed crash fires).
+    fn write(&mut self, addr: u64, data: Vec<u8>) -> Result<(), OramError>;
+    /// Reads logical block `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the controller's [`OramError`].
+    fn read(&mut self, addr: u64) -> Result<Vec<u8>, OramError>;
+    /// Arms a crash plan; it fires when the access reaches `point`.
+    fn inject_crash(&mut self, point: CrashPoint);
+    /// Drops any armed crash plan.
+    fn disarm_crash(&mut self);
+    /// Schedules a crash to arm when access attempt `access_index` begins.
+    fn schedule_crash(&mut self, access_index: u64, point: CrashPoint);
+    /// Drops all scheduled crashes that have not fired.
+    fn clear_crash_schedule(&mut self);
+    /// Access attempts made so far (including ones that crashed).
+    fn access_attempts(&self) -> u64;
+    /// `true` between a crash and the matching [`ProtocolPolicy::recover`].
+    fn is_crashed(&self) -> bool;
+    /// Immediately executes a power failure.
+    fn crash_now(&mut self);
+    /// Runs the design's recovery procedure and consistency check.
+    fn recover(&mut self) -> RecoveryReport;
+    /// The report of the most recent recovery, if any.
+    fn last_recovery(&self) -> Option<&RecoveryReport>;
+    /// Reads back every touched address and compares it with the
+    /// appropriate ledger (committed after a crash, written otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatch.
+    fn verify_contents(&mut self, after_crash: bool) -> Result<(), String>;
+    /// The controller's core-cycle clock.
+    fn clock(&self) -> u64;
+    /// NVM traffic counters (reads/writes reaching the memory).
+    fn nvm_stats(&self) -> psoram_nvm::NvmStats;
+}
+
+impl ProtocolPolicy for PathOram {
+    fn label(&self) -> String {
+        format!("path/{}", self.variant().label())
+    }
+    fn capacity_blocks(&self) -> u64 {
+        self.config().capacity_blocks()
+    }
+    fn payload_bytes(&self) -> usize {
+        self.config().payload_bytes
+    }
+    fn crash_consistent(&self) -> bool {
+        self.variant().is_crash_consistent()
+    }
+    fn commit_model(&self) -> CommitModel {
+        // Path ORAM evicts (and the PS designs persist) within every
+        // access: a completed write is durable.
+        CommitModel::OnCompletion
+    }
+    fn write(&mut self, addr: u64, data: Vec<u8>) -> Result<(), OramError> {
+        PathOram::write(self, BlockAddr(addr), data)
+    }
+    fn read(&mut self, addr: u64) -> Result<Vec<u8>, OramError> {
+        PathOram::read(self, BlockAddr(addr))
+    }
+    fn inject_crash(&mut self, point: CrashPoint) {
+        PathOram::inject_crash(self, point);
+    }
+    fn disarm_crash(&mut self) {
+        PathOram::disarm_crash(self);
+    }
+    fn schedule_crash(&mut self, access_index: u64, point: CrashPoint) {
+        PathOram::schedule_crash(self, access_index, point);
+    }
+    fn clear_crash_schedule(&mut self) {
+        PathOram::clear_crash_schedule(self);
+    }
+    fn access_attempts(&self) -> u64 {
+        PathOram::access_attempts(self)
+    }
+    fn is_crashed(&self) -> bool {
+        PathOram::is_crashed(self)
+    }
+    fn crash_now(&mut self) {
+        let _ = PathOram::crash_now(self);
+    }
+    fn recover(&mut self) -> RecoveryReport {
+        PathOram::recover(self)
+    }
+    fn last_recovery(&self) -> Option<&RecoveryReport> {
+        PathOram::last_recovery(self)
+    }
+    fn verify_contents(&mut self, after_crash: bool) -> Result<(), String> {
+        PathOram::verify_contents(self, after_crash)
+    }
+    fn clock(&self) -> u64 {
+        PathOram::clock(self)
+    }
+    fn nvm_stats(&self) -> psoram_nvm::NvmStats {
+        PathOram::nvm_stats(self)
+    }
+}
+
+impl ProtocolPolicy for RingOram {
+    fn label(&self) -> String {
+        format!("ring/{}", self.variant())
+    }
+    fn capacity_blocks(&self) -> u64 {
+        self.config().capacity_blocks()
+    }
+    fn payload_bytes(&self) -> usize {
+        self.config().payload_bytes
+    }
+    fn crash_consistent(&self) -> bool {
+        self.variant() == RingVariant::PsRing
+    }
+    fn commit_model(&self) -> CommitModel {
+        // Ring ORAM only writes buckets back every `A` accesses: a
+        // completed write may sit volatile until the next evict-path.
+        CommitModel::Deferred
+    }
+    fn write(&mut self, addr: u64, data: Vec<u8>) -> Result<(), OramError> {
+        RingOram::write(self, BlockAddr(addr), data)
+    }
+    fn read(&mut self, addr: u64) -> Result<Vec<u8>, OramError> {
+        RingOram::read(self, BlockAddr(addr))
+    }
+    fn inject_crash(&mut self, point: CrashPoint) {
+        RingOram::inject_crash(self, point);
+    }
+    fn disarm_crash(&mut self) {
+        RingOram::disarm_crash(self);
+    }
+    fn schedule_crash(&mut self, access_index: u64, point: CrashPoint) {
+        RingOram::schedule_crash(self, access_index, point);
+    }
+    fn clear_crash_schedule(&mut self) {
+        RingOram::clear_crash_schedule(self);
+    }
+    fn access_attempts(&self) -> u64 {
+        RingOram::access_attempts(self)
+    }
+    fn is_crashed(&self) -> bool {
+        RingOram::is_crashed(self)
+    }
+    fn crash_now(&mut self) {
+        RingOram::crash_now(self);
+    }
+    fn recover(&mut self) -> RecoveryReport {
+        RingOram::recover(self)
+    }
+    fn last_recovery(&self) -> Option<&RecoveryReport> {
+        RingOram::last_recovery(self)
+    }
+    fn verify_contents(&mut self, after_crash: bool) -> Result<(), String> {
+        RingOram::verify_contents(self, after_crash)
+    }
+    fn clock(&self) -> u64 {
+        RingOram::clock(self)
+    }
+    fn nvm_stats(&self) -> psoram_nvm::NvmStats {
+        RingOram::nvm_stats(self)
+    }
+}

@@ -104,7 +104,11 @@ pub fn plan_eviction(
                     plan.evicted_primaries.push(b.addr());
                 }
             }
-            plan.writes.push(SlotWrite { bucket: *bucket, slot, block });
+            plan.writes.push(SlotWrite {
+                bucket: *bucket,
+                slot,
+                block,
+            });
         }
     }
     (plan, leftovers)
@@ -192,7 +196,11 @@ pub fn plan_eviction_in_place(
                     plan.evicted_primaries.push(b.addr());
                 }
             }
-            plan.writes.push(SlotWrite { bucket: *bucket, slot, block });
+            plan.writes.push(SlotWrite {
+                bucket: *bucket,
+                slot,
+                block,
+            });
         }
     }
     (plan, leftovers)
@@ -231,7 +239,9 @@ pub fn order_for_small_wpq(
         .filter_map(|(i, w)| w.block.as_ref().map(|b| (b.addr(), i)))
         .collect();
 
-    let real: Vec<usize> = (0..writes.len()).filter(|&i| writes[i].block.is_some()).collect();
+    let real: Vec<usize> = (0..writes.len())
+        .filter(|&i| writes[i].block.is_some())
+        .collect();
     // Edge u -> v means u must be durable no later than v's batch.
     let mut succs: HashMap<usize, Vec<usize>> = HashMap::new();
     let mut preds: HashMap<usize, usize> = real.iter().map(|&i| (i, 0)).collect();
@@ -252,8 +262,11 @@ pub fn order_for_small_wpq(
     let mut remaining: Vec<usize> = real.clone();
     let mut batches = Vec::new();
     while !remaining.is_empty() {
-        let ready: Vec<usize> =
-            remaining.iter().copied().filter(|i| preds[i] == 0).collect();
+        let ready: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|i| preds[i] == 0)
+            .collect();
         let chosen: Vec<usize> = if ready.is_empty() {
             // Cycle: find one by walking dependencies; it must commit as a
             // single atomic batch, so it has to fit the WPQ.
@@ -277,8 +290,11 @@ pub fn order_for_small_wpq(
     }
 
     // Dummy writes last, in capacity-sized batches.
-    let dummies: Vec<SlotWrite> =
-        writes.iter().filter(|w| w.block.is_none()).cloned().collect();
+    let dummies: Vec<SlotWrite> = writes
+        .iter()
+        .filter(|w| w.block.is_none())
+        .cloned()
+        .collect();
     for chunk in dummies.chunks(capacity) {
         batches.push(chunk.to_vec());
     }
@@ -327,7 +343,10 @@ mod tests {
     fn plan_covers_every_path_slot() {
         let t = tree();
         let (plan, left) = plan_eviction(vec![], vec![blk(1, 5)], &t, Leaf(5));
-        assert_eq!(plan.writes.len(), t.bucket_slots() * (t.levels() as usize + 1));
+        assert_eq!(
+            plan.writes.len(),
+            t.bucket_slots() * (t.levels() as usize + 1)
+        );
         assert!(left.is_empty());
         assert_eq!(plan.real_blocks(), 1);
     }
@@ -363,11 +382,18 @@ mod tests {
         let mut cands = Vec::new();
         for d in 0..=6u64 {
             // A leaf agreeing with 21 on the top `d` bits, differing next.
-            let leaf_d = if d == 6 { 21 } else { (21 ^ (1 << (5 - d))) & 63 };
+            let leaf_d = if d == 6 {
+                21
+            } else {
+                (21 ^ (1 << (5 - d))) & 63
+            };
             cands.push(blk(d, leaf_d));
         }
         let (plan, left) = plan_eviction(cands, vec![], &t, leaf);
-        assert!(left.is_empty(), "all path-resident blocks must be re-placed");
+        assert!(
+            left.is_empty(),
+            "all path-resident blocks must be re-placed"
+        );
         assert_eq!(plan.real_blocks(), 7);
     }
 
@@ -410,7 +436,8 @@ mod tests {
             batches
                 .iter()
                 .position(|b| {
-                    b.iter().any(|w| w.block.as_ref().is_some_and(|bl| bl.addr() == BlockAddr(a)))
+                    b.iter()
+                        .any(|w| w.block.as_ref().is_some_and(|bl| bl.addr() == BlockAddr(a)))
                 })
                 .unwrap()
         };
@@ -470,13 +497,16 @@ mod tests {
         let s2 = (t.bucket_at(leaf, 3), 2usize);
         live.insert(s1, BlockAddr(1));
         live.insert(s2, BlockAddr(2));
-        let (plan, left) =
-            plan_eviction_in_place(vec![b1, b2], vec![], &t, leaf, &live);
+        let (plan, left) = plan_eviction_in_place(vec![b1, b2], vec![], &t, leaf, &live);
         assert!(left.is_empty());
         for w in &plan.writes {
             if let Some(b) = &w.block {
                 let key = (w.bucket, w.slot);
-                assert_eq!(live.get(&key), Some(&b.addr()), "block moved off its live slot");
+                assert_eq!(
+                    live.get(&key),
+                    Some(&b.addr()),
+                    "block moved off its live slot"
+                );
             }
         }
     }
@@ -496,7 +526,10 @@ mod tests {
             .iter()
             .find(|w| (w.bucket, w.slot) == reserved)
             .unwrap();
-        assert!(at_reserved.block.is_none(), "reserved live slot must become a dummy");
+        assert!(
+            at_reserved.block.is_none(),
+            "reserved live slot must become a dummy"
+        );
         assert_eq!(plan.real_blocks(), 1);
     }
 
@@ -509,8 +542,7 @@ mod tests {
         let mut live = HashMap::new();
         live.insert((t.bucket_at(leaf, 6), 0usize), BlockAddr(1));
         live.insert((t.bucket_at(leaf, 6), 1usize), BlockAddr(2));
-        let (plan, _) =
-            plan_eviction_in_place(vec![b1, b2], vec![blk(3, 5)], &t, leaf, &live);
+        let (plan, _) = plan_eviction_in_place(vec![b1, b2], vec![blk(3, 5)], &t, leaf, &live);
         // With identity placement the small-WPQ scheduler finds everything
         // ready immediately: batches never stall on a cycle.
         let batches = order_for_small_wpq(&plan.writes, &live, 1).unwrap();
@@ -529,7 +561,9 @@ mod tests {
         let t = tree();
         let (plan, _) = plan_eviction(vec![], vec![blk(1, 5)], &t, Leaf(5));
         let batches = order_for_small_wpq(&plan.writes, &HashMap::new(), 4).unwrap();
-        let first_dummy_batch = batches.iter().position(|b| b.iter().any(|w| w.block.is_none()));
+        let first_dummy_batch = batches
+            .iter()
+            .position(|b| b.iter().any(|w| w.block.is_none()));
         let last_real_batch = batches
             .iter()
             .rposition(|b| b.iter().any(|w| w.block.is_some()))

@@ -46,11 +46,12 @@ mod bucket;
 pub mod chain;
 pub mod controller;
 mod crash;
+pub mod engine;
 pub mod eviction;
 pub mod integrity;
+pub mod oblivious;
 mod posmap;
 mod recursive;
-pub mod oblivious;
 pub mod ring;
 pub mod security;
 mod stash;
@@ -62,6 +63,7 @@ pub use block::{Block, BlockHeader};
 pub use bucket::Bucket;
 pub use controller::{AccessOutcome, Op, PathOram, ProtocolVariant};
 pub use crash::{CrashPoint, CrashReport, RecoveryReport};
+pub use engine::{CommitLedger, CommitModel, EngineStats, PersistEngine, ProtocolPolicy};
 pub use eviction::{plan_eviction, EvictionPlan, SlotWrite};
 pub use integrity::{IntegrityTree, IntegrityViolation};
 pub use posmap::{PosMap, TempPosMap};

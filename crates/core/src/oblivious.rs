@@ -53,7 +53,11 @@ impl CmovTable {
     /// Panics if `n` is zero.
     pub fn new(n: usize, cycles_per_entry: u64) -> Self {
         assert!(n > 0, "table must be non-empty");
-        CmovTable { entries: vec![0; n], cycles_per_entry, sweeps: 0 }
+        CmovTable {
+            entries: vec![0; n],
+            cycles_per_entry,
+            sweeps: 0,
+        }
     }
 
     /// Obliviously updates entry `index` to `value`, touching every entry.
@@ -76,7 +80,10 @@ impl CmovTable {
             self.entries[i] = (self.entries[i] & !mask) | (value & mask);
             touched.push(i);
         }
-        SweepTrace { touched, cycles: self.entries.len() as u64 * self.cycles_per_entry }
+        SweepTrace {
+            touched,
+            cycles: self.entries.len() as u64 * self.cycles_per_entry,
+        }
     }
 
     /// Plain read of entry `index` (reads are oblivious in the same way on

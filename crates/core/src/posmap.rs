@@ -61,7 +61,13 @@ impl PosMap {
     /// Panics if `num_leaves` is zero.
     pub fn new(num_leaves: u64, seed: u64) -> Self {
         assert!(num_leaves > 0, "PosMap needs at least one leaf");
-        PosMap { num_leaves, seed, volatile: HashMap::new(), persisted: HashMap::new(), persist_writes: 0 }
+        PosMap {
+            num_leaves,
+            seed,
+            volatile: HashMap::new(),
+            persisted: HashMap::new(),
+            persist_writes: 0,
+        }
     }
 
     fn initial(&self, addr: BlockAddr) -> Leaf {
@@ -151,7 +157,11 @@ impl TempPosMap {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "temporary PosMap capacity must be positive");
-        TempPosMap { capacity, entries: HashMap::new(), max_occupancy: 0 }
+        TempPosMap {
+            capacity,
+            entries: HashMap::new(),
+            max_occupancy: 0,
+        }
     }
 
     /// Records the new (not yet persistent) leaf of `addr`.
@@ -164,7 +174,9 @@ impl TempPosMap {
     /// Returns [`OramError::TempPosMapOverflow`] when full.
     pub fn insert(&mut self, addr: BlockAddr, leaf: Leaf) -> Result<(), OramError> {
         if !self.entries.contains_key(&addr.0) && self.entries.len() >= self.capacity {
-            return Err(OramError::TempPosMapOverflow { capacity: self.capacity });
+            return Err(OramError::TempPosMapOverflow {
+                capacity: self.capacity,
+            });
         }
         self.entries.insert(addr.0, leaf.0);
         self.max_occupancy = self.max_occupancy.max(self.entries.len());
@@ -227,8 +239,13 @@ mod tests {
     fn different_seeds_give_different_mappings() {
         let a = PosMap::new(1 << 20, 1);
         let b = PosMap::new(1 << 20, 2);
-        let same = (0..64).filter(|&i| a.get(BlockAddr(i)) == b.get(BlockAddr(i))).count();
-        assert!(same < 8, "mappings should be nearly disjoint, {same} collisions");
+        let same = (0..64)
+            .filter(|&i| a.get(BlockAddr(i)) == b.get(BlockAddr(i)))
+            .count();
+        assert!(
+            same < 8,
+            "mappings should be nearly disjoint, {same} collisions"
+        );
     }
 
     #[test]
@@ -277,7 +294,10 @@ mod tests {
             counts[pm.get(BlockAddr(i)).0 as usize] += 1;
         }
         for &c in &counts {
-            assert!((800..1200).contains(&c), "unbalanced initial mapping: {counts:?}");
+            assert!(
+                (800..1200).contains(&c),
+                "unbalanced initial mapping: {counts:?}"
+            );
         }
     }
 

@@ -84,7 +84,10 @@ struct Plb {
 
 impl Plb {
     fn new(capacity: usize) -> Self {
-        Plb { capacity, entries: Vec::new() }
+        Plb {
+            capacity,
+            entries: Vec::new(),
+        }
     }
 
     fn contains(&self, idx: u64) -> bool {
@@ -152,7 +155,11 @@ impl RecursivePosMap {
             while ((1u64 << (l + 1)) - 1) < buckets_needed {
                 l += 1;
             }
-            let level = RecLevel { levels: l, blocks, base_addr: base };
+            let level = RecLevel {
+                levels: l,
+                blocks,
+                base_addr: base,
+            };
             base += level.region_bytes(cfg.bucket_slots, cfg.block_bytes);
             levels.push(level);
             entries = blocks;
@@ -185,7 +192,10 @@ impl RecursivePosMap {
 
     /// Total NVM bytes occupied by all posmap trees.
     pub fn region_bytes(&self) -> u64 {
-        self.levels.iter().map(|l| l.region_bytes(self.z, self.block_bytes)).sum()
+        self.levels
+            .iter()
+            .map(|l| l.region_bytes(self.z, self.block_bytes))
+            .sum()
     }
 
     /// The PosMap-block index holding `addr`'s entry at recursion level `k`

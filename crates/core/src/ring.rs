@@ -24,14 +24,14 @@
 use std::collections::HashMap;
 
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use psoram_nvm::{AccessKind, NvmConfig, NvmController, PersistenceDomain, WpqEntry, CORE_CYCLES_PER_MEM_CYCLE};
+use psoram_nvm::{AccessKind, NvmConfig, NvmController, WpqEntry};
 
 use crate::block::Block;
 use crate::crash::{CrashPoint, RecoveryReport};
+use crate::engine::{to_core, to_mem, CommitLedger, PersistEngine};
 use crate::posmap::{PosMap, TempPosMap};
 use crate::types::{BlockAddr, Leaf, OramError};
 
@@ -89,7 +89,10 @@ impl RingConfig {
 
     /// A paper-comparable configuration (`L = 18`) for experiments.
     pub fn experiment() -> Self {
-        RingConfig { levels: 18, ..Self::small_test() }
+        RingConfig {
+            levels: 18,
+            ..Self::small_test()
+        }
     }
 
     /// Physical slots per bucket (`Z + S`).
@@ -120,7 +123,10 @@ impl RingConfig {
     /// WPQ smaller than one path breaks eviction atomicity).
     pub fn validate(&self) {
         assert!(self.levels >= 1 && self.levels < 40, "levels out of range");
-        assert!(self.real_slots >= 1 && self.dummy_slots >= 1, "need real and dummy slots");
+        assert!(
+            self.real_slots >= 1 && self.dummy_slots >= 1,
+            "need real and dummy slots"
+        );
         assert!(self.evict_rate >= 1, "evict rate must be positive");
         assert!(self.utilization > 0.0 && self.utilization <= 1.0);
         assert!(
@@ -136,71 +142,9 @@ impl Default for RingConfig {
     }
 }
 
-/// Persistence flavour of the Ring ORAM controller.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum RingVariant {
-    /// Volatile stash/PosMap; bucket rewrites hit the NVM directly.
-    Baseline,
-    /// PS-style crash consistency: temporary PosMap plus atomic WPQ rounds
-    /// for every bucket rewrite.
-    PsRing,
-}
+pub use crate::engine::RingVariant;
 
-impl std::fmt::Display for RingVariant {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            RingVariant::Baseline => write!(f, "Ring-Baseline"),
-            RingVariant::PsRing => write!(f, "PS-Ring-ORAM"),
-        }
-    }
-}
-
-/// One Ring ORAM bucket: `Z + S` physical slots behind a permutation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct RingBucket {
-    /// Physical slots; `None` is an (encrypted) dummy.
-    slots: Vec<Option<Block>>,
-    /// Slot not yet consumed by a read since the last rewrite.
-    valid: Vec<bool>,
-    /// Reads since the last rewrite.
-    count: usize,
-}
-
-impl RingBucket {
-    fn new(physical: usize) -> Self {
-        RingBucket { slots: vec![None; physical], valid: vec![true; physical], count: 0 }
-    }
-
-    /// Builds a freshly permuted bucket from up to `Z` real blocks.
-    fn from_blocks(blocks: Vec<Block>, physical: usize, rng: &mut StdRng) -> Self {
-        let mut slots: Vec<Option<Block>> = blocks.into_iter().map(Some).collect();
-        slots.resize(physical, None);
-        slots.shuffle(rng);
-        RingBucket { slots, valid: vec![true; physical], count: 0 }
-    }
-
-    fn find_valid(&self, addr: BlockAddr) -> Option<usize> {
-        self.slots.iter().enumerate().find_map(|(i, s)| match s {
-            Some(b) if self.valid[i] && b.addr() == addr && !b.is_backup => Some(i),
-            _ => None,
-        })
-    }
-
-    fn random_valid_dummy(&self, rng: &mut StdRng) -> Option<usize> {
-        let dummies: Vec<usize> = (0..self.slots.len())
-            .filter(|&i| self.valid[i] && self.slots[i].is_none())
-            .collect();
-        dummies.choose(rng).copied()
-    }
-
-    /// All real blocks physically present — valid *or* consumed; consumed
-    /// slots still hold the bytes until the next rewrite, which is exactly
-    /// what crash recovery exploits.
-    fn real_blocks(&self) -> Vec<Block> {
-        self.slots.iter().flatten().cloned().collect()
-    }
-
-}
+use crate::bucket::RingBucket;
 
 /// Statistics for a Ring ORAM controller.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -248,23 +192,21 @@ pub struct RingOram {
     stash: Vec<Block>,
     posmap: PosMap,
     temp: TempPosMap,
-    domain: PersistenceDomain<(u64, RingBucket), (BlockAddr, Leaf)>,
+    /// The shared persist-round engine: WPQ rounds, crash arming &
+    /// scheduling, and the crash/recovery state machine.
+    engine: PersistEngine<(u64, RingBucket), (BlockAddr, Leaf)>,
     rng: StdRng,
     clock: u64,
     access_counter: u64,
     /// Reverse-lexicographic eviction cursor.
     evict_cursor: u64,
     stats: RingStats,
-    written_ledger: HashMap<u64, Vec<u8>>,
-    committed_ledger: HashMap<u64, (u64, Vec<u8>)>,
+    /// Written-vs-committed value ledgers (the recoverability oracle).
+    ledger: CommitLedger,
     seq_counter: u64,
-    crash_plan: Option<CrashPoint>,
-    /// Pending scheduled crashes as `(access_attempt_index, point)`.
-    crash_schedule: std::collections::VecDeque<(u64, CrashPoint)>,
-    access_attempts: u64,
+    /// Bucket rewrites begun in the current access ([`CrashPoint::
+    /// DuringEviction`] indexes into this cursor).
     rewrites_this_access: usize,
-    crashed: bool,
-    last_recovery: Option<RecoveryReport>,
     touched: Vec<u64>,
 }
 
@@ -288,7 +230,7 @@ impl RingOram {
         RingOram {
             posmap: PosMap::new(config.num_leaves(), seed ^ 0x52_49_4E_47),
             temp: TempPosMap::new(config.temp_posmap_capacity),
-            domain: PersistenceDomain::new(config.wpq_capacity, config.wpq_capacity),
+            engine: PersistEngine::new(config.wpq_capacity, config.wpq_capacity),
             rng: StdRng::seed_from_u64(seed),
             nvm: NvmController::new(nvm),
             buckets: HashMap::new(),
@@ -297,15 +239,9 @@ impl RingOram {
             access_counter: 0,
             evict_cursor: 0,
             stats: RingStats::default(),
-            written_ledger: HashMap::new(),
-            committed_ledger: HashMap::new(),
+            ledger: CommitLedger::new(),
             seq_counter: 0,
-            crash_plan: None,
-            crash_schedule: std::collections::VecDeque::new(),
-            access_attempts: 0,
             rewrites_this_access: 0,
-            crashed: false,
-            last_recovery: None,
             touched: Vec::new(),
             config,
             variant,
@@ -322,9 +258,26 @@ impl RingOram {
         self.variant
     }
 
-    /// Controller statistics.
-    pub fn stats(&self) -> &RingStats {
-        &self.stats
+    /// Controller statistics. The crash/recovery/stall counters live in
+    /// the shared persist engine and are merged into the snapshot here.
+    pub fn stats(&self) -> RingStats {
+        let mut s = self.stats;
+        let e = self.engine.stats();
+        s.crashes = e.crashes;
+        s.recoveries = e.recoveries;
+        s.recovery_failures = e.recovery_failures;
+        s.wpq_stalls = e.wpq_stalls;
+        s
+    }
+
+    /// Accumulated statistics of the engine's (data, PosMap) WPQs.
+    pub fn wpq_stats(&self) -> (psoram_nvm::WpqStats, psoram_nvm::WpqStats) {
+        self.engine.wpq_stats()
+    }
+
+    /// The controller's core-cycle clock (advanced by `read`/`write`).
+    pub fn clock(&self) -> u64 {
+        self.clock
     }
 
     /// NVM traffic statistics.
@@ -337,43 +290,7 @@ impl RingOram {
         self.stash.len()
     }
 
-    /// `true` while crashed.
-    pub fn is_crashed(&self) -> bool {
-        self.crashed
-    }
-
-    /// Arms a crash for the next access.
-    pub fn inject_crash(&mut self, point: CrashPoint) {
-        self.crash_plan = Some(point);
-    }
-
-    /// Disarms any pending crash plan.
-    pub fn disarm_crash(&mut self) {
-        self.crash_plan = None;
-    }
-
-    /// Schedules a crash to arm when access attempt `access_index` begins.
-    ///
-    /// Indices count every entry into [`RingOram::access_at`], including
-    /// attempts that themselves crash. Schedule entries must be appended
-    /// in non-decreasing index order.
-    pub fn schedule_crash(&mut self, access_index: u64, point: CrashPoint) {
-        debug_assert!(
-            self.crash_schedule.back().is_none_or(|&(i, _)| i <= access_index),
-            "crash schedule must be in non-decreasing access order"
-        );
-        self.crash_schedule.push_back((access_index, point));
-    }
-
-    /// Drops all pending scheduled crashes.
-    pub fn clear_crash_schedule(&mut self) {
-        self.crash_schedule.clear();
-    }
-
-    /// Number of access attempts made so far (including crashed ones).
-    pub fn access_attempts(&self) -> u64 {
-        self.access_attempts
-    }
+    crate::engine::impl_crash_controls!();
 
     // ── geometry helpers ────────────────────────────────────────────────
 
@@ -402,24 +319,9 @@ impl RingOram {
     }
 
     fn stash_primary(&self, addr: BlockAddr) -> Option<usize> {
-        self.stash.iter().position(|b| !b.is_backup && b.addr() == addr)
-    }
-
-    fn to_mem(t: u64) -> u64 {
-        t / CORE_CYCLES_PER_MEM_CYCLE
-    }
-
-    fn to_core(m: u64) -> u64 {
-        m * CORE_CYCLES_PER_MEM_CYCLE
-    }
-
-    fn maybe_crash(&mut self, point: CrashPoint) -> Result<(), OramError> {
-        if self.crash_plan == Some(point) {
-            self.crash_plan = None;
-            self.execute_crash();
-            return Err(OramError::Crashed);
-        }
-        Ok(())
+        self.stash
+            .iter()
+            .position(|b| !b.is_backup && b.addr() == addr)
     }
 
     // ── public access API ───────────────────────────────────────────────
@@ -461,17 +363,7 @@ impl RingOram {
         data: Option<Vec<u8>>,
         arrival: u64,
     ) -> Result<(Vec<u8>, u64), OramError> {
-        if self.crashed {
-            return Err(OramError::Crashed);
-        }
-        // Scheduled crash plans arm when their access attempt begins.
-        if let Some(&(idx, point)) = self.crash_schedule.front() {
-            if idx == self.access_attempts {
-                self.crash_schedule.pop_front();
-                self.crash_plan = Some(point);
-            }
-        }
-        self.access_attempts += 1;
+        self.engine.begin_attempt()?;
         if addr.0 >= self.config.capacity_blocks() {
             return Err(OramError::AddressOutOfRange {
                 addr,
@@ -514,14 +406,21 @@ impl RingOram {
                 let bucket = self.buckets.get(&bidx);
                 match bucket {
                     Some(b) => {
-                        let hit = if in_stash || fetched.is_some() { None } else { b.find_valid(addr) };
+                        let hit = if in_stash || fetched.is_some() {
+                            None
+                        } else {
+                            b.find_valid(addr)
+                        };
                         hit.or_else(|| b.random_valid_dummy(rng))
                     }
                     None => None,
                 }
             };
             let physical = self.config.bucket_physical_slots();
-            let b = self.buckets.entry(bidx).or_insert_with(|| RingBucket::new(physical));
+            let b = self
+                .buckets
+                .entry(bidx)
+                .or_insert_with(|| RingBucket::new(physical));
             // Brand-new (all-dummy, all-valid) bucket: read slot 0.
             let slot = slot.unwrap_or_default();
             if b.valid[slot] {
@@ -535,13 +434,15 @@ impl RingOram {
             }
             read_addrs.push(self.slot_nvm_addr(bidx, slot));
         }
-        let done = self.nvm.access_batch(read_addrs, AccessKind::Read, Self::to_mem(t));
-        t = Self::to_core(done) + 1;
+        let done = self
+            .nvm
+            .access_batch(read_addrs, AccessKind::Read, to_mem(t));
+        t = to_core(done) + 1;
         // One combined metadata write per access (valid bits + counts).
         let meta = self.nvm.access_sized(
             self.slot_nvm_addr(path[0], 0),
             AccessKind::Write,
-            Self::to_mem(t),
+            to_mem(t),
             8,
         );
         let _ = meta; // metadata write retires in the background
@@ -554,8 +455,9 @@ impl RingOram {
             self.stash[idx].header.leaf = new_leaf;
             self.stash[idx].header.seq = seq;
         } else {
-            let mut block = fetched
-                .unwrap_or_else(|| Block::new(addr, new_leaf, vec![0u8; self.config.payload_bytes]));
+            let mut block = fetched.unwrap_or_else(|| {
+                Block::new(addr, new_leaf, vec![0u8; self.config.payload_bytes])
+            });
             block.header.leaf = new_leaf;
             block.header.seq = seq;
             block.is_backup = false;
@@ -567,9 +469,11 @@ impl RingOram {
         }
         let idx = self.stash_primary(addr).expect("primary present");
         let value = self.stash[idx].payload.clone();
-        self.written_ledger.insert(addr.0, value.clone());
+        self.ledger.note_written(addr.0, value.clone());
         if self.stash.len() > self.config.stash_capacity {
-            return Err(OramError::StashOverflow { capacity: self.config.stash_capacity });
+            return Err(OramError::StashOverflow {
+                capacity: self.config.stash_capacity,
+            });
         }
         self.stats.stash_max = self.stats.stash_max.max(self.stash.len());
         let value_ready = t + 2;
@@ -579,7 +483,11 @@ impl RingOram {
         let exhausted: Vec<u64> = path
             .iter()
             .copied()
-            .filter(|b| self.buckets.get(b).is_some_and(|bk| bk.count >= self.config.dummy_slots))
+            .filter(|b| {
+                self.buckets
+                    .get(b)
+                    .is_some_and(|bk| bk.count >= self.config.dummy_slots)
+            })
             .collect();
         let mut t_bg = value_ready;
         for bidx in exhausted {
@@ -621,7 +529,11 @@ impl RingOram {
     /// Rewrites one bucket in place (early reshuffle).
     fn reshuffle_bucket(&mut self, bidx: u64, t: u64) -> Result<u64, OramError> {
         let physical = self.config.bucket_physical_slots();
-        let old = self.buckets.get(&bidx).cloned().unwrap_or_else(|| RingBucket::new(physical));
+        let old = self
+            .buckets
+            .get(&bidx)
+            .cloned()
+            .unwrap_or_else(|| RingBucket::new(physical));
         // Read the real blocks still present (the permutation metadata
         // tells the controller which slots those are), rebuild, write the
         // whole bucket back.
@@ -632,11 +544,16 @@ impl RingOram {
             .filter(|(_, s)| s.is_some())
             .map(|(s, _)| self.slot_nvm_addr(bidx, s))
             .collect();
-        let done = self.nvm.access_batch(read_addrs, AccessKind::Read, Self::to_mem(t));
-        let t = Self::to_core(done);
+        let done = self
+            .nvm
+            .access_batch(read_addrs, AccessKind::Read, to_mem(t));
+        let t = to_core(done);
 
-        let keep: Vec<Block> =
-            old.real_blocks().into_iter().filter_map(|b| self.classify_for_rewrite(b)).collect();
+        let keep: Vec<Block> = old
+            .real_blocks()
+            .into_iter()
+            .filter_map(|b| self.classify_for_rewrite(b))
+            .collect();
         debug_assert!(keep.len() <= self.config.real_slots);
         let fresh = RingBucket::from_blocks(keep, physical, &mut self.rng);
         self.commit_rewrites(vec![(bidx, fresh)], Vec::new(), t)
@@ -646,7 +563,8 @@ impl RingOram {
     /// all buckets on the path rebuilt and committed atomically.
     fn evict_path(&mut self, t: u64) -> Result<u64, OramError> {
         self.stats.evictions += 1;
-        let leaf = Leaf(bit_reverse(self.evict_cursor, self.config.levels) % self.config.num_leaves());
+        let leaf =
+            Leaf(bit_reverse(self.evict_cursor, self.config.levels) % self.config.num_leaves());
         self.evict_cursor += 1;
         let path = self.path_indices(leaf);
         let physical = self.config.bucket_physical_slots();
@@ -664,8 +582,10 @@ impl RingOram {
                 }
             }
         }
-        let done = self.nvm.access_batch(read_addrs, AccessKind::Read, Self::to_mem(t));
-        let t = Self::to_core(done);
+        let done = self
+            .nvm
+            .access_batch(read_addrs, AccessKind::Read, to_mem(t));
+        let t = to_core(done);
 
         // Pool: shadows stay pinned to their bucket; primaries join the
         // stash for (re-)placement. Primaries pulled off their *persisted*
@@ -674,7 +594,11 @@ impl RingOram {
         let mut pinned: HashMap<u64, Vec<Block>> = HashMap::new();
         let mut pulled_src: HashMap<u64, usize> = HashMap::new();
         for (pos, &bidx) in path.iter().enumerate() {
-            let old = self.buckets.get(&bidx).cloned().unwrap_or_else(|| RingBucket::new(physical));
+            let old = self
+                .buckets
+                .get(&bidx)
+                .cloned()
+                .unwrap_or_else(|| RingBucket::new(physical));
             for block in old.real_blocks() {
                 match self.classify_for_rewrite(block) {
                     Some(b) if b.is_backup => pinned.entry(bidx).or_default().push(b),
@@ -726,7 +650,9 @@ impl RingOram {
                 if b.leaf() != self.posmap.persisted_get(a) {
                     continue;
                 }
-                let Some(&src_depth) = pulled_src.get(&a.0) else { continue };
+                let Some(&src_depth) = pulled_src.get(&a.0) else {
+                    continue;
+                };
                 let spot = (0..=src_depth)
                     .rev()
                     .find(|&d| per_bucket.get(&path[d]).map_or(0, Vec::len) < physical);
@@ -753,7 +679,10 @@ impl RingOram {
                     }
                 }
             }
-            rewrites.push((bidx, RingBucket::from_blocks(blocks, physical, &mut self.rng)));
+            rewrites.push((
+                bidx,
+                RingBucket::from_blocks(blocks, physical, &mut self.rng),
+            ));
         }
         self.commit_rewrites(rewrites, flushes, t)
     }
@@ -789,20 +718,20 @@ impl RingOram {
     ) -> Result<u64, OramError> {
         let physical = self.config.bucket_physical_slots();
         // Crash during the rewrite assembly?
-        if let Some(CrashPoint::DuringEviction(k)) = self.crash_plan {
+        if let Some(k) = self.engine.armed_eviction_crash() {
             if k == self.rewrites_this_access {
-                self.crash_plan = None;
+                self.engine.disarm_crash();
                 if self.variant == RingVariant::PsRing {
-                    // Round assembled but the end signal never arrives; push
-                    // errors are irrelevant because the open batch is about
-                    // to be lost to the crash anyway.
-                    let _ = self.domain.begin_round();
-                    for (bidx, bucket) in &rewrites {
-                        let _ = self.domain.push_data(WpqEntry {
+                    // Round assembled but the end signal never arrives, so
+                    // the crash discards it.
+                    let entries = rewrites
+                        .iter()
+                        .map(|(bidx, bucket)| WpqEntry {
                             addr: self.slot_nvm_addr(*bidx, 0),
                             value: (*bidx, bucket.clone()),
-                        });
-                    }
+                        })
+                        .collect();
+                    self.engine.stage_abandoned_round(entries);
                 } else {
                     // Direct writes: half the buckets land, half do not.
                     for (bidx, bucket) in rewrites.iter().take(rewrites.len() / 2) {
@@ -829,27 +758,30 @@ impl RingOram {
                 }
             }
             RingVariant::PsRing => {
-                self.domain.begin_round()?;
+                self.engine.begin_round()?;
                 for (bidx, bucket) in &rewrites {
                     // Out of room mid-round: stall — commit and apply what is
                     // already pushed (still atomic), then reopen and retry.
-                    if self.domain.data_wpq().remaining() == 0 {
-                        self.stats.wpq_stalls += 1;
+                    if self.engine.data_is_full() {
+                        self.engine.note_stall();
                         self.commit_and_apply_round()?;
-                        self.domain.begin_round()?;
+                        self.engine.begin_round()?;
                     }
-                    self.domain.push_data(WpqEntry {
+                    self.engine.push_data(WpqEntry {
                         addr: self.slot_nvm_addr(*bidx, 0),
                         value: (*bidx, bucket.clone()),
                     })?;
                 }
                 for &(a, l) in &flushes {
-                    if self.domain.posmap_wpq().remaining() == 0 {
-                        self.stats.wpq_stalls += 1;
+                    if self.engine.posmap_is_full() {
+                        self.engine.note_stall();
                         self.commit_and_apply_round()?;
-                        self.domain.begin_round()?;
+                        self.engine.begin_round()?;
                     }
-                    self.domain.push_posmap(WpqEntry { addr: a.0 * 8, value: (a, l) })?;
+                    self.engine.push_posmap(WpqEntry {
+                        addr: a.0 * 8,
+                        value: (a, l),
+                    })?;
                 }
                 self.commit_and_apply_round()?;
                 self.refresh_ledger_for(&flushes);
@@ -857,15 +789,17 @@ impl RingOram {
         }
 
         write_addrs.sort_unstable();
-        let done = self.nvm.access_batch(write_addrs, AccessKind::Write, Self::to_mem(t));
-        Ok(Self::to_core(done))
+        let done = self
+            .nvm
+            .access_batch(write_addrs, AccessKind::Write, to_mem(t));
+        Ok(to_core(done))
     }
 
     /// Sends the drainer `end` signal and applies the drained round to the
     /// bucket store and PosMap.
     fn commit_and_apply_round(&mut self) -> Result<(), OramError> {
-        self.domain.commit_round()?;
-        let (data, posmap) = self.domain.drain();
+        self.engine.commit_round()?;
+        let (data, posmap) = self.engine.drain();
         for e in data {
             let (bidx, bucket) = e.value;
             self.apply_rewrite(bidx, bucket);
@@ -885,13 +819,8 @@ impl RingOram {
         for b in bucket.real_blocks() {
             let a = b.addr();
             if b.leaf() == self.posmap.persisted_get(a) {
-                let stale = self
-                    .committed_ledger
-                    .get(&a.0)
-                    .is_some_and(|(seq, _)| *seq > b.header.seq);
-                if !stale {
-                    self.committed_ledger.insert(a.0, (b.header.seq, b.payload.clone()));
-                }
+                self.ledger
+                    .commit_if_fresh(a.0, b.header.seq, b.payload.clone());
             }
         }
         self.buckets.insert(bidx, bucket);
@@ -916,11 +845,7 @@ impl RingOram {
                 }
             }
             if let Some((seq, payload)) = best {
-                let stale =
-                    self.committed_ledger.get(&a.0).is_some_and(|(s, _)| *s > seq);
-                if !stale {
-                    self.committed_ledger.insert(a.0, (seq, payload));
-                }
+                self.ledger.commit_if_fresh(a.0, seq, payload);
             }
         }
     }
@@ -933,8 +858,9 @@ impl RingOram {
     }
 
     fn execute_crash(&mut self) {
-        self.stats.crashes += 1;
-        let (data, posmap) = self.domain.crash();
+        // ADR flushes committed WPQ rounds; open rounds are lost. The
+        // engine latches the crashed state and counts the crash.
+        let (data, posmap) = self.engine.crash();
         for e in data {
             let (bidx, bucket) = e.value;
             self.apply_rewrite(bidx, bucket);
@@ -947,7 +873,6 @@ impl RingOram {
         self.stash.clear();
         self.temp.wipe();
         self.posmap.crash();
-        self.crashed = true;
     }
 
     /// Recovers after a crash: revalidates consumed slots (the paper's
@@ -957,7 +882,6 @@ impl RingOram {
     /// [`RecoveryReport`] with the consistency verdict and, on failure,
     /// the violation text (also retained in [`RingOram::last_recovery`]).
     pub fn recover(&mut self) -> RecoveryReport {
-        self.stats.recoveries += 1;
         // Pass 1: find, per address, the newest copy matching the persisted
         // PosMap — that is the copy recovery designates as live.
         let mut best: HashMap<u64, (u64, u64, usize)> = HashMap::new();
@@ -992,19 +916,14 @@ impl RingOram {
             }
             bucket.count = 0;
         }
-        self.crashed = false;
         let report =
-            RecoveryReport::from_check(self.check_recoverability(), self.committed_ledger.len());
-        if !report.consistent {
-            self.stats.recovery_failures += 1;
-        }
-        self.last_recovery = Some(report.clone());
-        report
+            RecoveryReport::from_check(self.check_recoverability(), self.ledger.committed_len());
+        self.engine.finish_recovery(report)
     }
 
     /// The report of the most recent [`RingOram::recover`] call.
     pub fn last_recovery(&self) -> Option<&RecoveryReport> {
-        self.last_recovery.as_ref()
+        self.engine.last_recovery()
     }
 
     /// Verifies that every committed value has a physical copy at its
@@ -1014,34 +933,28 @@ impl RingOram {
     ///
     /// Returns a description of the first inconsistency.
     pub fn check_recoverability(&self) -> Result<(), String> {
-        for (&a, (_, expected)) in &self.committed_ledger {
-            let addr = BlockAddr(a);
-            let leaf = self.posmap.persisted_get(addr);
-            let mut best: Option<&Block> = None;
-            for idx in self.path_indices(leaf) {
-                if let Some(bucket) = self.buckets.get(&idx) {
-                    for b in bucket.slots.iter().flatten() {
-                        if b.addr() == addr
-                            && b.leaf() == leaf
-                            && best.is_none_or(|x| b.header.seq > x.header.seq)
-                        {
-                            best = Some(b);
+        self.ledger.audit_committed(
+            "copy",
+            |a| {
+                let addr = BlockAddr(a);
+                let leaf = self.posmap.persisted_get(addr);
+                let mut best: Option<&Block> = None;
+                for idx in self.path_indices(leaf) {
+                    if let Some(bucket) = self.buckets.get(&idx) {
+                        for b in bucket.slots.iter().flatten() {
+                            if b.addr() == addr
+                                && b.leaf() == leaf
+                                && best.is_none_or(|x| b.header.seq > x.header.seq)
+                            {
+                                best = Some(b);
+                            }
                         }
                     }
                 }
-            }
-            match best {
-                Some(b) if &b.payload == expected => {}
-                Some(b) => {
-                    return Err(format!(
-                        "{addr}: copy at {leaf} holds {:?}, expected {expected:?}",
-                        b.payload
-                    ));
-                }
-                None => return Err(format!("{addr}: no copy on persisted path {leaf}")),
-            }
-        }
-        Ok(())
+                (leaf, best.map(|b| b.payload.clone()))
+            },
+            |_, _| false,
+        )
     }
 
     /// Reads back every touched address and compares with the appropriate
@@ -1055,12 +968,9 @@ impl RingOram {
         addrs.sort_unstable();
         addrs.dedup();
         for a in addrs {
-            let zeros = vec![0u8; self.config.payload_bytes];
-            let expected = if after_crash {
-                self.committed_ledger.get(&a).map(|(_, v)| v).unwrap_or(&zeros).clone()
-            } else {
-                self.written_ledger.get(&a).unwrap_or(&zeros).clone()
-            };
+            let expected = self
+                .ledger
+                .expected_value(a, after_crash, self.config.payload_bytes);
             let got = self.read(BlockAddr(a)).map_err(|e| e.to_string())?;
             if got != expected {
                 return Err(format!("a{a}: read {got:?}, expected {expected:?}"));
@@ -1084,342 +994,10 @@ fn bit_reverse(x: u64, bits: u32) -> u64 {
 mod tests {
     use super::*;
 
-    fn payload(i: u64) -> Vec<u8> {
-        vec![(i % 251) as u8; 8]
-    }
-
     #[test]
     fn bit_reverse_basics() {
         assert_eq!(bit_reverse(0b001, 3), 0b100);
         assert_eq!(bit_reverse(0b110, 3), 0b011);
         assert_eq!(bit_reverse(0, 6), 0);
-    }
-
-    #[test]
-    fn read_your_writes_both_variants() {
-        for variant in [RingVariant::Baseline, RingVariant::PsRing] {
-            let mut oram = RingOram::new(RingConfig::small_test(), variant, 42);
-            for i in 0..40u64 {
-                oram.write(BlockAddr(i), payload(i)).unwrap();
-            }
-            for i in (0..40u64).rev() {
-                assert_eq!(oram.read(BlockAddr(i)).unwrap(), payload(i), "{variant} block {i}");
-            }
-        }
-    }
-
-    #[test]
-    fn overwrites_visible() {
-        let mut oram = RingOram::new(RingConfig::small_test(), RingVariant::PsRing, 1);
-        oram.write(BlockAddr(5), payload(1)).unwrap();
-        oram.write(BlockAddr(5), payload(2)).unwrap();
-        assert_eq!(oram.read(BlockAddr(5)).unwrap(), payload(2));
-    }
-
-    #[test]
-    fn fresh_reads_zero() {
-        let mut oram = RingOram::new(RingConfig::small_test(), RingVariant::PsRing, 1);
-        assert_eq!(oram.read(BlockAddr(9)).unwrap(), vec![0u8; 8]);
-    }
-
-    #[test]
-    fn evictions_happen_at_configured_rate() {
-        let mut oram = RingOram::new(RingConfig::small_test(), RingVariant::PsRing, 1);
-        for i in 0..30u64 {
-            oram.write(BlockAddr(i), payload(i)).unwrap();
-        }
-        assert_eq!(oram.stats().evictions, 10, "A=3 means one eviction per 3 accesses");
-    }
-
-    #[test]
-    fn ring_reads_fewer_blocks_per_access_than_path_oram() {
-        // The bandwidth argument for Ring ORAM: ~1 block/bucket per access
-        // plus amortized eviction, vs Z blocks/bucket for Path ORAM.
-        let mut ring = RingOram::new(RingConfig::small_test(), RingVariant::Baseline, 3);
-        for i in 0..120u64 {
-            ring.write(BlockAddr(i % 40), payload(i)).unwrap();
-        }
-        let ring_reads_per_access = ring.nvm_stats().reads as f64 / 120.0;
-        use crate::controller::{PathOram, ProtocolVariant};
-        use crate::types::OramConfig;
-        let mut path = PathOram::new(OramConfig::small_test(), ProtocolVariant::Baseline, 3);
-        for i in 0..120u64 {
-            path.write(BlockAddr(i % 40), payload(i)).unwrap();
-        }
-        let path_reads_per_access = path.nvm_stats().reads as f64 / 120.0;
-        assert!(
-            ring_reads_per_access < path_reads_per_access,
-            "ring {ring_reads_per_access:.1} !< path {path_reads_per_access:.1}"
-        );
-    }
-
-    #[test]
-    fn early_reshuffles_trigger_on_budget_exhaustion() {
-        let mut cfg = RingConfig::small_test();
-        cfg.dummy_slots = 2; // tiny budget, frequent reshuffles
-        cfg.wpq_capacity = (cfg.real_slots + cfg.dummy_slots) * (cfg.levels as usize + 1);
-        let mut oram = RingOram::new(cfg, RingVariant::PsRing, 5);
-        for i in 0..60u64 {
-            oram.write(BlockAddr(i % 10), payload(i)).unwrap();
-        }
-        assert!(oram.stats().early_reshuffles > 0);
-        // Still functionally correct afterwards.
-        for i in 0..10u64 {
-            let got = oram.read(BlockAddr(i)).unwrap();
-            let latest = (0..60u64).rev().find(|j| j % 10 == i).unwrap();
-            assert_eq!(got, payload(latest));
-        }
-    }
-
-    #[test]
-    fn ps_ring_recovers_at_step_boundaries() {
-        for point in [
-            CrashPoint::AfterAccessPosMap,
-            CrashPoint::AfterLoadPath,
-            CrashPoint::AfterUpdateStash,
-            CrashPoint::AfterEviction,
-        ] {
-            let mut oram = RingOram::new(RingConfig::small_test(), RingVariant::PsRing, 7);
-            for i in 0..30u64 {
-                oram.write(BlockAddr(i), payload(i)).unwrap();
-            }
-            oram.inject_crash(point);
-            let _ = oram.read(BlockAddr(3));
-            assert!(oram.is_crashed(), "{point}");
-            assert!(oram.recover().consistent, "PS-Ring must recover consistently at {point}");
-            oram.verify_contents(true)
-                .unwrap_or_else(|e| panic!("PS-Ring inconsistent after {point}: {e}"));
-        }
-    }
-
-    #[test]
-    fn ps_ring_recovers_mid_eviction() {
-        for k in [0usize, 1, 2] {
-            let mut oram = RingOram::new(RingConfig::small_test(), RingVariant::PsRing, 9);
-            for i in 0..30u64 {
-                oram.write(BlockAddr(i), payload(i)).unwrap();
-            }
-            oram.inject_crash(CrashPoint::DuringEviction(k));
-            for i in 0..6u64 {
-                if oram.read(BlockAddr(i)).is_err() {
-                    break;
-                }
-            }
-            if oram.is_crashed() {
-                assert!(oram.recover().consistent, "crash at rewrite {k} must be recoverable");
-                oram.verify_contents(true).unwrap();
-            }
-        }
-    }
-
-    #[test]
-    fn ring_baseline_can_lose_data_mid_eviction() {
-        let mut lost_somewhere = false;
-        for seed in 0..6u64 {
-            let mut oram = RingOram::new(RingConfig::small_test(), RingVariant::Baseline, seed);
-            for i in 0..30u64 {
-                oram.write(BlockAddr(i), payload(i)).unwrap();
-            }
-            oram.inject_crash(CrashPoint::DuringEviction(0));
-            for i in 0..6u64 {
-                if oram.read(BlockAddr(i)).is_err() {
-                    break;
-                }
-            }
-            if !oram.is_crashed() {
-                continue;
-            }
-            oram.recover();
-            for i in 0..30u64 {
-                if oram.read(BlockAddr(i)).unwrap() != payload(i) {
-                    lost_somewhere = true;
-                }
-            }
-        }
-        assert!(lost_somewhere, "partial direct bucket rewrites should lose data");
-    }
-
-    #[test]
-    fn stash_stays_bounded() {
-        let mut oram = RingOram::new(RingConfig::small_test(), RingVariant::PsRing, 11);
-        for i in 0..600u64 {
-            oram.write(BlockAddr(i % 50), payload(i)).unwrap();
-        }
-        assert!(oram.stats().stash_max < 120, "stash grew to {}", oram.stats().stash_max);
-    }
-
-    #[test]
-    fn invalid_marks_do_not_destroy_data() {
-        // Read the same path many times (consuming slots), crash, recover:
-        // the revalidation restores everything (paper Case 2).
-        let mut oram = RingOram::new(RingConfig::small_test(), RingVariant::PsRing, 13);
-        for i in 0..20u64 {
-            oram.write(BlockAddr(i), payload(i)).unwrap();
-        }
-        for _ in 0..10 {
-            oram.read(BlockAddr(1)).unwrap();
-        }
-        oram.crash_now();
-        assert!(oram.recover().consistent);
-        oram.verify_contents(true).unwrap();
-    }
-
-    #[test]
-    fn operations_rejected_while_crashed() {
-        let mut oram = RingOram::new(RingConfig::small_test(), RingVariant::PsRing, 17);
-        oram.write(BlockAddr(0), payload(1)).unwrap();
-        oram.crash_now();
-        assert_eq!(oram.read(BlockAddr(0)).unwrap_err(), OramError::Crashed);
-        assert_eq!(oram.write(BlockAddr(0), payload(2)).unwrap_err(), OramError::Crashed);
-        assert!(oram.recover().consistent);
-        assert!(oram.read(BlockAddr(0)).is_ok());
-    }
-
-    #[test]
-    fn scheduled_crashes_drive_repeated_recovery_cycles() {
-        // Campaign-style schedule: arm a crash a fixed number of accesses
-        // ahead, run traffic until it fires, recover, verify, repeat.
-        let mut oram = RingOram::new(RingConfig::small_test(), RingVariant::PsRing, 19);
-        for i in 0..12u64 {
-            oram.write(BlockAddr(i), payload(i)).unwrap();
-        }
-        for (cycle, point) in [
-            CrashPoint::AfterLoadPath,
-            CrashPoint::AfterUpdateStash,
-            CrashPoint::AfterAccessPosMap,
-        ]
-        .into_iter()
-        .enumerate()
-        {
-            oram.schedule_crash(oram.access_attempts() + 2, point);
-            let mut fired = false;
-            for i in 0..6u64 {
-                match oram.write(BlockAddr(i), payload(100 * (cycle as u64 + 1) + i)) {
-                    Ok(()) => {}
-                    Err(OramError::Crashed) => {
-                        fired = true;
-                        assert!(oram.recover().consistent, "cycle {cycle}: recovery at {point}");
-                        oram.verify_contents(true).unwrap();
-                        break;
-                    }
-                    Err(e) => panic!("cycle {cycle}: unexpected error {e}"),
-                }
-            }
-            assert!(fired, "cycle {cycle}: scheduled crash at {point} never fired");
-        }
-        assert_eq!(oram.stats().crashes, 3);
-        assert_eq!(oram.stats().recoveries, 3);
-        assert_eq!(oram.stats().recovery_failures, 0);
-    }
-
-    #[test]
-    fn cleared_schedule_never_fires() {
-        let mut oram = RingOram::new(RingConfig::small_test(), RingVariant::PsRing, 23);
-        oram.schedule_crash(oram.access_attempts() + 1, CrashPoint::AfterLoadPath);
-        oram.clear_crash_schedule();
-        for i in 0..10u64 {
-            oram.write(BlockAddr(i), payload(i)).unwrap();
-        }
-        assert_eq!(oram.stats().crashes, 0);
-    }
-
-    #[test]
-    fn last_recovery_report_is_retained() {
-        let mut oram = RingOram::new(RingConfig::small_test(), RingVariant::PsRing, 29);
-        assert!(oram.last_recovery().is_none());
-        for i in 0..15u64 {
-            oram.write(BlockAddr(i), payload(i)).unwrap();
-        }
-        oram.crash_now();
-        let report = oram.recover();
-        assert!(report.consistent);
-        assert!(report.addresses_checked > 0, "committed addresses should have been checked");
-        assert_eq!(oram.last_recovery(), Some(&report));
-        assert_eq!(oram.stats().recovery_failures, 0);
-    }
-
-    #[test]
-    fn baseline_recovery_verdict_is_tracked_in_stats() {
-        // The recoverability check measures *internal* self-consistency
-        // (committed ledger vs physical copies), so the baseline — whose
-        // PosMap updates are volatile and whose ledger is therefore sparse
-        // — can pass it even while losing completed writes; convicting the
-        // baseline is the job of the external differential oracle in
-        // `psoram-faultsim`. What this test pins down is the accounting:
-        // the failure counter and the retained report must track the
-        // verdict exactly, and the data loss itself must be observable.
-        let mut lost_somewhere = false;
-        for seed in 0..10u64 {
-            let mut oram = RingOram::new(RingConfig::small_test(), RingVariant::Baseline, seed);
-            for i in 0..30u64 {
-                oram.write(BlockAddr(i), payload(i)).unwrap();
-            }
-            oram.inject_crash(CrashPoint::DuringEviction(0));
-            for i in 0..6u64 {
-                if oram.read(BlockAddr(i)).is_err() {
-                    break;
-                }
-            }
-            if !oram.is_crashed() {
-                continue;
-            }
-            let report = oram.recover();
-            assert_eq!(oram.stats().recoveries, 1);
-            assert_eq!(oram.stats().recovery_failures, u64::from(!report.consistent));
-            assert_eq!(oram.last_recovery(), Some(&report));
-            for i in 0..30u64 {
-                if oram.read(BlockAddr(i)).unwrap() != payload(i) {
-                    lost_somewhere = true;
-                }
-            }
-        }
-        assert!(lost_somewhere, "partial direct bucket rewrites should lose data");
-    }
-
-    #[test]
-    fn min_wpq_capacity_eviction_is_safe() {
-        // Parity with the Path ORAM small-WPQ matrix: a WPQ sized exactly
-        // to the validate() floor (one full eviction path) must still ride
-        // out mid-rewrite crashes. At that floor a round always fits, so
-        // the stall counter must also stay at zero.
-        let mut cfg = RingConfig::small_test();
-        cfg.wpq_capacity = cfg.bucket_physical_slots() * (cfg.levels as usize + 1);
-        for k in [0usize, 1, 2, 3] {
-            let mut oram = RingOram::new(cfg.clone(), RingVariant::PsRing, 31 + k as u64);
-            for i in 0..24u64 {
-                oram.write(BlockAddr(i), payload(i)).unwrap();
-            }
-            oram.inject_crash(CrashPoint::DuringEviction(k));
-            for i in 0..9u64 {
-                if oram.write(BlockAddr(i), payload(200 + i)).is_err() {
-                    break;
-                }
-            }
-            if oram.is_crashed() {
-                assert!(oram.recover().consistent, "min-WPQ crash at rewrite {k} must be safe");
-                oram.verify_contents(true).unwrap();
-            }
-            assert_eq!(oram.stats().wpq_stalls, 0);
-        }
-    }
-
-    #[test]
-    fn config_validation_rejects_small_wpq() {
-        let mut cfg = RingConfig::small_test();
-        cfg.wpq_capacity = 8;
-        let result = std::panic::catch_unwind(|| cfg.validate());
-        assert!(result.is_err());
-    }
-
-    #[test]
-    fn deterministic_for_same_seed() {
-        let run = || {
-            let mut oram = RingOram::new(RingConfig::small_test(), RingVariant::PsRing, 21);
-            for i in 0..50u64 {
-                oram.write(BlockAddr(i % 20), payload(i)).unwrap();
-            }
-            (oram.clock, oram.nvm_stats())
-        };
-        assert_eq!(run(), run());
     }
 }

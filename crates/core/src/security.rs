@@ -102,7 +102,10 @@ impl AccessRecorder {
     pub fn constant_shape(&self) -> bool {
         match self.observations.first() {
             None => true,
-            Some(first) => self.observations.iter().all(|o| o.transfers == first.transfers),
+            Some(first) => self
+                .observations
+                .iter()
+                .all(|o| o.transfers == first.transfers),
         }
     }
 
@@ -113,7 +116,10 @@ impl AccessRecorder {
     ///
     /// Panics if fewer than two observations were recorded.
     pub fn leaf_serial_correlation(&self) -> f64 {
-        assert!(self.observations.len() >= 2, "need at least two observations");
+        assert!(
+            self.observations.len() >= 2,
+            "need at least two observations"
+        );
         let xs: Vec<f64> = self.observations.iter().map(|o| o.leaf.0 as f64).collect();
         let n = xs.len() as f64;
         let mean = xs.iter().sum::<f64>() / n;
@@ -142,7 +148,10 @@ mod tests {
             rec.record(Leaf(i % 64), 96);
         }
         let chi = rec.leaf_chi_square(64, 16);
-        assert!(chi < 1.0, "round-robin over bins is exactly uniform, chi={chi}");
+        assert!(
+            chi < 1.0,
+            "round-robin over bins is exactly uniform, chi={chi}"
+        );
     }
 
     #[test]
@@ -152,7 +161,10 @@ mod tests {
             rec.record(Leaf(0), 96);
         }
         let chi = rec.leaf_chi_square(64, 16);
-        assert!(chi > 1000.0, "all-one-leaf must look wildly non-uniform, chi={chi}");
+        assert!(
+            chi > 1000.0,
+            "all-one-leaf must look wildly non-uniform, chi={chi}"
+        );
     }
 
     #[test]

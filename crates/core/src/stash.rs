@@ -35,7 +35,11 @@ impl Stash {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "stash capacity must be positive");
-        Stash { capacity, blocks: Vec::new(), max_occupancy: 0 }
+        Stash {
+            capacity,
+            blocks: Vec::new(),
+            max_occupancy: 0,
+        }
     }
 
     /// Inserts a block.
@@ -47,7 +51,9 @@ impl Stash {
     /// surfaced rather than silently dropping data.
     pub fn insert(&mut self, block: Block) -> Result<(), OramError> {
         if self.blocks.len() >= self.capacity {
-            return Err(OramError::StashOverflow { capacity: self.capacity });
+            return Err(OramError::StashOverflow {
+                capacity: self.capacity,
+            });
         }
         self.blocks.push(block);
         self.max_occupancy = self.max_occupancy.max(self.blocks.len());
@@ -56,12 +62,16 @@ impl Stash {
 
     /// Looks up the *primary* (non-backup) block at `addr`.
     pub fn get(&self, addr: BlockAddr) -> Option<&Block> {
-        self.blocks.iter().find(|b| !b.is_backup && b.addr() == addr)
+        self.blocks
+            .iter()
+            .find(|b| !b.is_backup && b.addr() == addr)
     }
 
     /// Mutable lookup of the primary block at `addr`.
     pub fn get_mut(&mut self, addr: BlockAddr) -> Option<&mut Block> {
-        self.blocks.iter_mut().find(|b| !b.is_backup && b.addr() == addr)
+        self.blocks
+            .iter_mut()
+            .find(|b| !b.is_backup && b.addr() == addr)
     }
 
     /// `true` if a primary copy of `addr` is present.

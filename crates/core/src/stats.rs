@@ -120,7 +120,11 @@ mod tests {
 
     #[test]
     fn mean_access_cycles_divides() {
-        let s = OramStats { accesses: 4, total_access_cycles: 100, ..Default::default() };
+        let s = OramStats {
+            accesses: 4,
+            total_access_cycles: 100,
+            ..Default::default()
+        };
         assert!((s.mean_access_cycles() - 25.0).abs() < 1e-12);
     }
 }

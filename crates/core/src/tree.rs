@@ -50,7 +50,13 @@ impl OramTree {
 
     /// Creates an empty tree with explicit geometry and NVM base address.
     pub fn with_base(levels: u32, bucket_slots: usize, block_bytes: usize, base_addr: u64) -> Self {
-        OramTree { levels, bucket_slots, block_bytes, base_addr, buckets: HashMap::new() }
+        OramTree {
+            levels,
+            bucket_slots,
+            block_bytes,
+            base_addr,
+            buckets: HashMap::new(),
+        }
     }
 
     /// Tree height `L`.
@@ -125,14 +131,16 @@ impl OramTree {
     /// Panics if `slot` is out of range.
     pub fn slot_nvm_addr(&self, bucket: BucketIndex, slot: usize) -> u64 {
         assert!(slot < self.bucket_slots);
-        self.base_addr
-            + (bucket * self.bucket_slots as u64 + slot as u64) * self.block_bytes as u64
+        self.base_addr + (bucket * self.bucket_slots as u64 + slot as u64) * self.block_bytes as u64
     }
 
     /// Immutable bucket view; unmaterialized buckets read as all-dummy.
     pub fn bucket(&self, idx: BucketIndex) -> Bucket {
         debug_assert!(idx < self.num_buckets());
-        self.buckets.get(&idx).cloned().unwrap_or_else(|| Bucket::new(self.bucket_slots))
+        self.buckets
+            .get(&idx)
+            .cloned()
+            .unwrap_or_else(|| Bucket::new(self.bucket_slots))
     }
 
     /// Mutable bucket access, materializing on demand.
@@ -170,6 +178,24 @@ impl OramTree {
     /// Overwrites slot `slot` of `bucket` with `block` (dummy if `None`).
     pub fn write_slot(&mut self, bucket: BucketIndex, slot: usize, block: Option<Block>) {
         self.bucket_mut(bucket).set_slot(slot, block);
+    }
+
+    /// Test/attack hook: corrupts one byte of the first real block found on
+    /// `leaf`'s path, bypassing the controller. Returns `true` if something
+    /// was corrupted.
+    pub(crate) fn corrupt_first_real_block(&mut self, leaf: Leaf) -> bool {
+        for idx in self.path_indices(leaf) {
+            let bucket = self.bucket(idx);
+            for slot in 0..bucket.num_slots() {
+                if let Some(b) = bucket.slot(slot) {
+                    let mut evil = b.clone();
+                    evil.payload[0] ^= 0xFF;
+                    self.write_slot(idx, slot, Some(evil));
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     /// Number of materialized (touched) buckets — a memory-footprint probe.
@@ -259,8 +285,16 @@ mod tests {
     #[test]
     fn take_path_empties_the_path_only() {
         let mut t = tree();
-        t.write_slot(t.bucket_at(Leaf(0), 6), 0, Some(Block::new(BlockAddr(1), Leaf(0), vec![0; 8])));
-        t.write_slot(t.bucket_at(Leaf(63), 6), 0, Some(Block::new(BlockAddr(2), Leaf(63), vec![0; 8])));
+        t.write_slot(
+            t.bucket_at(Leaf(0), 6),
+            0,
+            Some(Block::new(BlockAddr(1), Leaf(0), vec![0; 8])),
+        );
+        t.write_slot(
+            t.bucket_at(Leaf(63), 6),
+            0,
+            Some(Block::new(BlockAddr(2), Leaf(63), vec![0; 8])),
+        );
         let taken = t.take_path(Leaf(0));
         assert_eq!(taken.len(), 1);
         assert_eq!(taken[0].addr(), BlockAddr(1));
@@ -288,7 +322,11 @@ mod tests {
     fn find_on_path_sees_blocks_at_any_depth() {
         let mut t = tree();
         let leaf = Leaf(20);
-        t.write_slot(t.bucket_at(leaf, 0), 2, Some(Block::new(BlockAddr(5), leaf, vec![1; 8])));
+        t.write_slot(
+            t.bucket_at(leaf, 0),
+            2,
+            Some(Block::new(BlockAddr(5), leaf, vec![1; 8])),
+        );
         assert!(t.find_on_path(leaf, BlockAddr(5)).is_some());
         assert!(t.find_on_path(leaf, BlockAddr(6)).is_none());
     }

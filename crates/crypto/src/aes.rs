@@ -68,7 +68,9 @@ pub struct Aes128 {
 impl std::fmt::Debug for Aes128 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Never print key material.
-        f.debug_struct("Aes128").field("round_keys", &"<redacted>").finish()
+        f.debug_struct("Aes128")
+            .field("round_keys", &"<redacted>")
+            .finish()
     }
 }
 

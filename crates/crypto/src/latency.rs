@@ -26,13 +26,19 @@ pub struct CryptoLatencyModel {
 impl CryptoLatencyModel {
     /// Creates a latency model with an explicit AES pipeline depth.
     pub fn new(aes_cycles: u64, overlap_pad_generation: bool) -> Self {
-        CryptoLatencyModel { aes_cycles, overlap_pad_generation }
+        CryptoLatencyModel {
+            aes_cycles,
+            overlap_pad_generation,
+        }
     }
 
     /// The configuration used throughout the paper's evaluation:
     /// 32-cycle AES, pad generation overlapped with the memory fetch.
     pub fn paper_default() -> Self {
-        CryptoLatencyModel { aes_cycles: 32, overlap_pad_generation: true }
+        CryptoLatencyModel {
+            aes_cycles: 32,
+            overlap_pad_generation: true,
+        }
     }
 
     /// Cycles charged to encrypt one block (pad generation + XOR).
@@ -83,6 +89,9 @@ mod tests {
 
     #[test]
     fn default_matches_paper_default() {
-        assert_eq!(CryptoLatencyModel::default(), CryptoLatencyModel::paper_default());
+        assert_eq!(
+            CryptoLatencyModel::default(),
+            CryptoLatencyModel::paper_default()
+        );
     }
 }

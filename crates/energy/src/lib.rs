@@ -156,8 +156,16 @@ mod tests {
         let m = DrainCostModel::paper_config(96);
         let c = m.ps_oram();
         assert!((c.bytes - 6816.0).abs() < 1e-9);
-        assert!((c.energy_uj() - 76.530).abs() < 0.05, "got {} uJ", c.energy_uj());
-        assert!((c.time_ns() - 161.134).abs() < 1.0, "got {} ns", c.time_ns());
+        assert!(
+            (c.energy_uj() - 76.530).abs() < 0.05,
+            "got {} uJ",
+            c.energy_uj()
+        );
+        assert!(
+            (c.time_ns() - 161.134).abs() < 1.0,
+            "got {} ns",
+            c.time_ns()
+        );
     }
 
     #[test]
@@ -165,8 +173,16 @@ mod tests {
         // Paper: 2.286 J and 4.817 ms.
         let m = DrainCostModel::paper_config(96);
         let c = m.eadr_oram();
-        assert!((c.energy_joules - 2.286).abs() / 2.286 < 0.01, "got {} J", c.energy_joules);
-        assert!((c.time_seconds - 4.817e-3).abs() / 4.817e-3 < 0.01, "got {} s", c.time_seconds);
+        assert!(
+            (c.energy_joules - 2.286).abs() / 2.286 < 0.01,
+            "got {} J",
+            c.energy_joules
+        );
+        assert!(
+            (c.time_seconds - 4.817e-3).abs() / 4.817e-3 < 0.01,
+            "got {} s",
+            c.time_seconds
+        );
     }
 
     #[test]
@@ -202,7 +218,11 @@ mod tests {
         let c = m.ps_oram();
         // Paper reports 2.83 uJ (we compute 3.19 uJ with 64+7 B entries —
         // the delta is the paper's entry-size rounding; same magnitude).
-        assert!(c.energy_uj() < 4.0 && c.energy_uj() > 2.0, "got {} uJ", c.energy_uj());
+        assert!(
+            c.energy_uj() < 4.0 && c.energy_uj() > 2.0,
+            "got {} uJ",
+            c.energy_uj()
+        );
         assert!(c.time_ns() < 10.0, "got {} ns", c.time_ns());
     }
 

@@ -44,7 +44,11 @@ impl Default for CampaignConfig {
 impl CampaignConfig {
     /// A reduced configuration for quick smoke runs.
     pub fn smoke() -> Self {
-        CampaignConfig { cycles: 25, working_set: 12, ..Self::default() }
+        CampaignConfig {
+            cycles: 25,
+            working_set: 12,
+            ..Self::default()
+        }
     }
 }
 
@@ -60,7 +64,10 @@ const ALWAYS_FIRING: [CrashPoint; 3] = [
 /// Runs a randomized campaign against one design.
 pub fn campaign_variant(variant: DesignVariant, cfg: &CampaignConfig) -> VariantReport {
     // Per-variant RNG stream, deterministic in (seed, variant).
-    let tweak = variant.label().bytes().fold(0u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
+    let tweak = variant
+        .label()
+        .bytes()
+        .fold(0u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ tweak);
 
     let mut d = Driver::new(variant, cfg.seed, cfg.full_check_every);
@@ -132,5 +139,9 @@ pub fn random_campaign(cfg: &CampaignConfig) -> CampaignReport {
         .into_iter()
         .map(|v| campaign_variant(v, cfg))
         .collect();
-    CampaignReport { mode: "random".into(), seed: cfg.seed, variants }
+    CampaignReport {
+        mode: "random".into(),
+        seed: cfg.seed,
+        variants,
+    }
 }

@@ -235,7 +235,8 @@ impl Driver {
                 Some(attempt_index),
                 point,
                 ViolationKind::RecoveryCheck,
-                rec.violation.unwrap_or_else(|| "recoverability check failed".into()),
+                rec.violation
+                    .unwrap_or_else(|| "recoverability check failed".into()),
             );
         }
     }

@@ -22,14 +22,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-/// When a design's completed writes become durable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CommitModel {
-    /// Every completed access is durable before it returns (Path ORAM).
-    OnCompletion,
-    /// Writes persist lazily at eviction boundaries (Ring ORAM).
-    Deferred,
-}
+pub use psoram_core::engine::CommitModel;
 
 /// A write that was in flight when a crash fired, not yet adjudicated.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,7 +72,10 @@ impl ShadowOracle {
     /// Panics if a previous write is still unresolved — the harness
     /// issues accesses strictly one at a time.
     pub fn begin_write(&mut self, addr: u64, value: Vec<u8>) {
-        assert!(self.pending.is_none(), "write issued while another is unresolved");
+        assert!(
+            self.pending.is_none(),
+            "write issued while another is unresolved"
+        );
         self.pending = Some(PendingWrite { addr, new: value });
     }
 
@@ -89,7 +85,10 @@ impl ShadowOracle {
     ///
     /// Panics if no write is pending.
     pub fn commit_write(&mut self) {
-        let p = self.pending.take().expect("commit_write without begin_write");
+        let p = self
+            .pending
+            .take()
+            .expect("commit_write without begin_write");
         match self.model {
             CommitModel::OnCompletion => {
                 self.committed.insert(p.addr, p.new);
@@ -132,7 +131,10 @@ impl ShadowOracle {
     ///
     /// Panics if no write is pending.
     pub fn resolve_pending(&mut self, actual: &[u8]) -> Result<(), String> {
-        let p = self.pending.take().expect("resolve_pending without a crashed write");
+        let p = self
+            .pending
+            .take()
+            .expect("resolve_pending without a crashed write");
         if actual == p.new.as_slice() {
             // The interrupted write committed just before the crash.
             self.committed.insert(p.addr, p.new);
@@ -140,9 +142,8 @@ impl ShadowOracle {
             self.ambiguous.remove(&p.addr);
             return Ok(());
         }
-        self.adjudicate(p.addr, actual).map_err(|detail| {
-            format!("{detail} (a write of {:?} was in flight)", p.new)
-        })
+        self.adjudicate(p.addr, actual)
+            .map_err(|detail| format!("{detail} (a write of {:?} was in flight)", p.new))
     }
 
     /// Drops a pending write without adjudication (used when the harness
@@ -221,7 +222,11 @@ impl ShadowOracle {
 
     /// Addresses with any tracked value, in deterministic order.
     pub fn addrs(&self) -> Vec<u64> {
-        self.committed.keys().chain(self.recent.keys()).copied().collect::<BTreeSet<_>>()
+        self.committed
+            .keys()
+            .chain(self.recent.keys())
+            .copied()
+            .collect::<BTreeSet<_>>()
             .into_iter()
             .collect()
     }
@@ -313,7 +318,10 @@ mod tests {
         o.begin_write(4, vec![5; 4]);
         o.commit_write();
         assert!(o.observe(4, &[5; 4]).is_ok());
-        assert!(o.observe(4, &[1; 4]).is_err(), "older write can't be visible now");
+        assert!(
+            o.observe(4, &[1; 4]).is_err(),
+            "older write can't be visible now"
+        );
     }
 
     #[test]

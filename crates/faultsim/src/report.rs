@@ -111,7 +111,12 @@ impl VariantReport {
     ) {
         self.violations_total += 1;
         if self.violations.len() < MAX_RECORDED_VIOLATIONS {
-            self.violations.push(ViolationRecord { access_index, crash_point, kind, detail });
+            self.violations.push(ViolationRecord {
+                access_index,
+                crash_point,
+                kind,
+                detail,
+            });
         }
     }
 
@@ -153,14 +158,24 @@ mod tests {
         let mut r = VariantReport::new(crate::target::DesignVariant::Path(
             psoram_core::ProtocolVariant::Baseline,
         ));
-        r.record_violation(Some(3), None, ViolationKind::CommittedValueLost, "lost".into());
+        r.record_violation(
+            Some(3),
+            None,
+            ViolationKind::CommittedValueLost,
+            "lost".into(),
+        );
         r.finalize();
         assert!(r.matches_expectation, "baseline may lose data");
 
         let mut r = VariantReport::new(crate::target::DesignVariant::Path(
             psoram_core::ProtocolVariant::PsOram,
         ));
-        r.record_violation(Some(3), None, ViolationKind::CommittedValueLost, "lost".into());
+        r.record_violation(
+            Some(3),
+            None,
+            ViolationKind::CommittedValueLost,
+            "lost".into(),
+        );
         r.finalize();
         assert!(!r.matches_expectation, "PS-ORAM must not lose data");
     }

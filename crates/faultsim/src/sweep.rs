@@ -30,14 +30,23 @@ pub struct SweepConfig {
 
 impl Default for SweepConfig {
     fn default() -> Self {
-        SweepConfig { seed: 0xFA01, accesses: 1000, working_set: 32, full_check_every: 50 }
+        SweepConfig {
+            seed: 0xFA01,
+            accesses: 1000,
+            working_set: 32,
+            full_check_every: 50,
+        }
     }
 }
 
 impl SweepConfig {
     /// A reduced configuration for quick smoke runs.
     pub fn smoke() -> Self {
-        SweepConfig { accesses: 120, working_set: 16, ..Self::default() }
+        SweepConfig {
+            accesses: 120,
+            working_set: 16,
+            ..Self::default()
+        }
     }
 }
 
@@ -99,5 +108,9 @@ pub fn exhaustive_sweep(cfg: &SweepConfig) -> CampaignReport {
         .into_iter()
         .map(|v| sweep_variant(v, cfg))
         .collect();
-    CampaignReport { mode: "exhaustive".into(), seed: cfg.seed, variants }
+    CampaignReport {
+        mode: "exhaustive".into(),
+        seed: cfg.seed,
+        variants,
+    }
 }

@@ -1,150 +1,23 @@
 //! A uniform fault-injection surface over the ORAM controllers.
 //!
 //! The harness drives Path ORAM ([`PathOram`]) and Ring ORAM
-//! ([`RingOram`]) through one trait so sweeps and campaigns are written
-//! once. [`DesignVariant`] names a concrete (protocol, controller) pair
-//! and acts as the factory.
+//! ([`RingOram`]) through the shared persist engine's
+//! [`ProtocolPolicy`](psoram_core::ProtocolPolicy) trait — re-exported
+//! here as [`FaultTarget`] — so sweeps and campaigns are written once.
+//! [`DesignVariant`] names a concrete (protocol, controller) pair and
+//! acts as the factory.
 
 use psoram_core::ring::{RingConfig, RingOram, RingVariant};
-use psoram_core::{
-    BlockAddr, CrashPoint, OramConfig, OramError, PathOram, ProtocolVariant, RecoveryReport,
-};
+use psoram_core::{OramConfig, PathOram, ProtocolVariant};
 use serde::{Deserialize, Serialize};
-
-use crate::oracle::CommitModel;
 
 /// The controller operations the fault harness needs.
 ///
-/// Both ORAM controllers implement this; the harness is generic over it
-/// (via `Box<dyn FaultTarget>`), so new designs join the sweep by
-/// implementing one small trait.
-pub trait FaultTarget {
-    /// Human-readable design name (used in reports).
-    fn label(&self) -> String;
-    /// Addressable logical blocks.
-    fn capacity_blocks(&self) -> u64;
-    /// Functional payload size in bytes.
-    fn payload_bytes(&self) -> usize;
-    /// Whether the design claims crash consistency (the oracle's
-    /// expectation: `true` means any violation is a bug).
-    fn crash_consistent(&self) -> bool;
-    /// When this design's completed writes become durable (drives the
-    /// oracle's admissible-value set after a crash).
-    fn commit_model(&self) -> CommitModel;
-    /// Writes `data` to logical block `addr`.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the controller's [`OramError`] (notably
-    /// [`OramError::Crashed`] when an armed crash fires).
-    fn write(&mut self, addr: u64, data: Vec<u8>) -> Result<(), OramError>;
-    /// Reads logical block `addr`.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the controller's [`OramError`].
-    fn read(&mut self, addr: u64) -> Result<Vec<u8>, OramError>;
-    /// Arms a crash plan; it fires when the access reaches `point`.
-    fn inject_crash(&mut self, point: CrashPoint);
-    /// Drops any armed crash plan.
-    fn disarm_crash(&mut self);
-    /// Schedules a crash to arm when access attempt `access_index` begins.
-    fn schedule_crash(&mut self, access_index: u64, point: CrashPoint);
-    /// Access attempts made so far (including ones that crashed).
-    fn access_attempts(&self) -> u64;
-    /// `true` between a crash and the matching [`FaultTarget::recover`].
-    fn is_crashed(&self) -> bool;
-    /// Runs the design's recovery procedure and consistency check.
-    fn recover(&mut self) -> RecoveryReport;
-}
-
-impl FaultTarget for PathOram {
-    fn label(&self) -> String {
-        format!("path/{}", self.variant().label())
-    }
-    fn capacity_blocks(&self) -> u64 {
-        self.config().capacity_blocks()
-    }
-    fn payload_bytes(&self) -> usize {
-        self.config().payload_bytes
-    }
-    fn crash_consistent(&self) -> bool {
-        self.variant().is_crash_consistent()
-    }
-    fn commit_model(&self) -> CommitModel {
-        // Path ORAM evicts (and the PS designs persist) within every
-        // access: a completed write is durable.
-        CommitModel::OnCompletion
-    }
-    fn write(&mut self, addr: u64, data: Vec<u8>) -> Result<(), OramError> {
-        PathOram::write(self, BlockAddr(addr), data)
-    }
-    fn read(&mut self, addr: u64) -> Result<Vec<u8>, OramError> {
-        PathOram::read(self, BlockAddr(addr))
-    }
-    fn inject_crash(&mut self, point: CrashPoint) {
-        PathOram::inject_crash(self, point);
-    }
-    fn disarm_crash(&mut self) {
-        PathOram::disarm_crash(self);
-    }
-    fn schedule_crash(&mut self, access_index: u64, point: CrashPoint) {
-        PathOram::schedule_crash(self, access_index, point);
-    }
-    fn access_attempts(&self) -> u64 {
-        PathOram::access_attempts(self)
-    }
-    fn is_crashed(&self) -> bool {
-        PathOram::is_crashed(self)
-    }
-    fn recover(&mut self) -> RecoveryReport {
-        PathOram::recover(self)
-    }
-}
-
-impl FaultTarget for RingOram {
-    fn label(&self) -> String {
-        format!("ring/{}", self.variant())
-    }
-    fn capacity_blocks(&self) -> u64 {
-        self.config().capacity_blocks()
-    }
-    fn payload_bytes(&self) -> usize {
-        self.config().payload_bytes
-    }
-    fn crash_consistent(&self) -> bool {
-        self.variant() == RingVariant::PsRing
-    }
-    fn commit_model(&self) -> CommitModel {
-        // Ring ORAM only writes buckets back every `A` accesses: a
-        // completed write may sit volatile until the next evict-path.
-        CommitModel::Deferred
-    }
-    fn write(&mut self, addr: u64, data: Vec<u8>) -> Result<(), OramError> {
-        RingOram::write(self, BlockAddr(addr), data)
-    }
-    fn read(&mut self, addr: u64) -> Result<Vec<u8>, OramError> {
-        RingOram::read(self, BlockAddr(addr))
-    }
-    fn inject_crash(&mut self, point: CrashPoint) {
-        RingOram::inject_crash(self, point);
-    }
-    fn disarm_crash(&mut self) {
-        RingOram::disarm_crash(self);
-    }
-    fn schedule_crash(&mut self, access_index: u64, point: CrashPoint) {
-        RingOram::schedule_crash(self, access_index, point);
-    }
-    fn access_attempts(&self) -> u64 {
-        RingOram::access_attempts(self)
-    }
-    fn is_crashed(&self) -> bool {
-        RingOram::is_crashed(self)
-    }
-    fn recover(&mut self) -> RecoveryReport {
-        RingOram::recover(self)
-    }
-}
+/// This is the engine-level [`ProtocolPolicy`](psoram_core::ProtocolPolicy)
+/// trait: both ORAM controllers implement it in `psoram-core`, and the
+/// harness is generic over it (via `Box<dyn FaultTarget>`), so new designs
+/// join the sweep by implementing one small trait next to the engine.
+pub use psoram_core::engine::ProtocolPolicy as FaultTarget;
 
 /// A concrete design the harness can build and torture.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

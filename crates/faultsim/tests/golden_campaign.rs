@@ -1,0 +1,44 @@
+//! Differential golden test for the persist-round engine.
+//!
+//! Runs the seed-42 randomized campaign — Path and Ring designs through
+//! the shared engine — and asserts the serialized `CampaignReport` is
+//! byte-identical to a checked-in golden. Any accidental behavior change
+//! in the persist-round protocol, crash scheduling, or recovery path
+//! shows up here as a diff before it shows up anywhere subtler.
+//!
+//! To re-bless after an *intentional* behavior change:
+//!
+//! ```text
+//! PSORAM_BLESS=1 cargo test -p psoram-faultsim --test golden_campaign
+//! ```
+
+use psoram_faultsim::{random_campaign, CampaignConfig};
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/goldens/campaign_seed42.json"
+);
+
+#[test]
+fn seed_42_campaign_matches_golden() {
+    let cfg = CampaignConfig {
+        seed: 42,
+        ..CampaignConfig::smoke()
+    };
+    let report = random_campaign(&cfg);
+    let mut json = serde_json::to_string_pretty(&report).expect("report serializes");
+    json.push('\n');
+
+    if std::env::var_os("PSORAM_BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, &json).expect("write golden");
+        return;
+    }
+
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden missing — run with PSORAM_BLESS=1 to create it");
+    assert_eq!(
+        json, golden,
+        "seed-42 campaign report diverged from the checked-in golden; \
+         if the change is intentional, re-bless with PSORAM_BLESS=1"
+    );
+}

@@ -13,7 +13,12 @@ use psoram_faultsim::{
 fn sweep_cfg() -> SweepConfig {
     // Small enough for a debug-build test, large enough to cycle through
     // all step boundaries and eviction indices many times.
-    SweepConfig { seed: 7, accesses: 200, working_set: 24, full_check_every: 25 }
+    SweepConfig {
+        seed: 7,
+        accesses: 200,
+        working_set: 24,
+        full_check_every: 25,
+    }
 }
 
 #[test]
@@ -21,13 +26,24 @@ fn sweep_ps_oram_survives_every_crash_point() {
     // The full acceptance-grade sweep: ≥1000 accesses, every step
     // boundary and every reachable DuringEviction(k) index, zero
     // violations end to end.
-    let r = sweep_variant(DesignVariant::Path(ProtocolVariant::PsOram), &SweepConfig::default());
+    let r = sweep_variant(
+        DesignVariant::Path(ProtocolVariant::PsOram),
+        &SweepConfig::default(),
+    );
     assert!(r.accesses >= 1000);
     assert_eq!(r.violations_total, 0, "violations: {:?}", r.violations);
     assert!(r.matches_expectation);
     // The sweep actually exercised both crash families.
-    assert!(r.step_boundary_crashes >= 200, "only {} step crashes", r.step_boundary_crashes);
-    assert!(r.during_eviction_crashes >= 100, "only {} mid-eviction", r.during_eviction_crashes);
+    assert!(
+        r.step_boundary_crashes >= 200,
+        "only {} step crashes",
+        r.step_boundary_crashes
+    );
+    assert!(
+        r.during_eviction_crashes >= 100,
+        "only {} mid-eviction",
+        r.during_eviction_crashes
+    );
     assert!(r.max_eviction_units.is_some());
     assert_eq!(r.recoveries, r.crashes_injected);
     assert_eq!(r.recoveries_consistent, r.recoveries);
@@ -37,7 +53,10 @@ fn sweep_ps_oram_survives_every_crash_point() {
 fn sweep_ps_ring_survives_every_crash_point() {
     let r = sweep_variant(DesignVariant::Ring(RingVariant::PsRing), &sweep_cfg());
     assert_eq!(r.violations_total, 0, "violations: {:?}", r.violations);
-    assert!(r.during_eviction_crashes > 0, "ring sweep never crashed mid-rewrite");
+    assert!(
+        r.during_eviction_crashes > 0,
+        "ring sweep never crashed mid-rewrite"
+    );
     assert!(r.matches_expectation);
 }
 
@@ -51,7 +70,10 @@ fn sweep_detects_baseline_data_loss() {
     // Baseline makes no consistency claim, so the run still "matches".
     assert!(r.matches_expectation);
     // Violations are pinned for replay.
-    assert!(r.violations.iter().any(|v| v.crash_point.is_some() && v.access_index.is_some()));
+    assert!(r
+        .violations
+        .iter()
+        .any(|v| v.crash_point.is_some() && v.access_index.is_some()));
 }
 
 #[test]
@@ -60,18 +82,28 @@ fn full_exhaustive_sweep_matches_expectations() {
     assert_eq!(report.mode, "exhaustive");
     assert_eq!(report.variants.len(), 3);
     assert!(report.all_match_expectation());
-    assert!(report.total_violations() > 0, "baseline should contribute violations");
+    assert!(
+        report.total_violations() > 0,
+        "baseline should contribute violations"
+    );
 }
 
 #[test]
 fn random_campaign_is_deterministic_under_fixed_seed() {
-    let cfg = CampaignConfig { seed: 99, cycles: 20, ..CampaignConfig::smoke() };
+    let cfg = CampaignConfig {
+        seed: 99,
+        cycles: 20,
+        ..CampaignConfig::smoke()
+    };
     let a = random_campaign(&cfg);
     let b = random_campaign(&cfg);
     assert_eq!(a, b, "same seed must reproduce the identical report");
 
     let other = random_campaign(&CampaignConfig { seed: 100, ..cfg });
-    assert_ne!(a, other, "different seeds should explore different schedules");
+    assert_ne!(
+        a, other,
+        "different seeds should explore different schedules"
+    );
 }
 
 #[test]
@@ -84,7 +116,10 @@ fn campaign_ps_oram_survives_nested_crashes() {
     };
     let r = campaign_variant(DesignVariant::Path(ProtocolVariant::PsOram), &cfg);
     assert_eq!(r.violations_total, 0, "violations: {:?}", r.violations);
-    assert!(r.nested_crashes > 0, "campaign never crashed during a recovery");
+    assert!(
+        r.nested_crashes > 0,
+        "campaign never crashed during a recovery"
+    );
     assert!(r.recoveries > r.nested_crashes);
 }
 
@@ -95,7 +130,10 @@ fn campaign_ps_ring_seed_42_regression() {
     // buckets full), and the committed rewrite destroyed the only durable
     // copy while the block retreated to the volatile stash. The fix pins a
     // backup copy on the persisted path inside the same atomic round.
-    let cfg = CampaignConfig { seed: 42, ..CampaignConfig::default() };
+    let cfg = CampaignConfig {
+        seed: 42,
+        ..CampaignConfig::default()
+    };
     let r = campaign_variant(DesignVariant::Ring(RingVariant::PsRing), &cfg);
     assert_eq!(r.violations_total, 0, "violations: {:?}", r.violations);
     assert!(r.matches_expectation);
@@ -103,7 +141,11 @@ fn campaign_ps_ring_seed_42_regression() {
 
 #[test]
 fn campaign_report_round_trips_through_json() {
-    let cfg = CampaignConfig { seed: 3, cycles: 8, ..CampaignConfig::smoke() };
+    let cfg = CampaignConfig {
+        seed: 3,
+        cycles: 8,
+        ..CampaignConfig::smoke()
+    };
     let report = random_campaign(&cfg);
     let json = serde_json::to_string_pretty(&report).unwrap();
     let back: CampaignReport = serde_json::from_str(&json).unwrap();

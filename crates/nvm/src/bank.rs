@@ -61,11 +61,19 @@ impl Bank {
         let (complete, burst_start, occupancy) = match kind {
             AccessKind::Read => {
                 let complete = issue + timing.read_latency(burst_cycles);
-                (complete, complete - burst_cycles, timing.read_bank_occupancy(burst_cycles))
+                (
+                    complete,
+                    complete - burst_cycles,
+                    timing.read_bank_occupancy(burst_cycles),
+                )
             }
             AccessKind::Write => {
                 let complete = issue + timing.write_accept_latency(burst_cycles);
-                (complete, issue + timing.t_cwd, timing.write_bank_occupancy(burst_cycles))
+                (
+                    complete,
+                    issue + timing.t_cwd,
+                    timing.write_bank_occupancy(burst_cycles),
+                )
             }
         };
         let burst_end = burst_start + burst_cycles;
@@ -75,7 +83,12 @@ impl Bank {
             self.read_ok_at = burst_end + timing.t_wtr;
             self.writes += 1;
         }
-        BankSchedule { issue, complete, burst_start, burst_end }
+        BankSchedule {
+            issue,
+            complete,
+            burst_start,
+            burst_end,
+        }
     }
 
     /// Earliest cycle at which this bank can accept another command.

@@ -62,12 +62,18 @@ impl NvmConfig {
 
     /// Same organization with STT-RAM timing.
     pub fn paper_sttram(channels: usize) -> Self {
-        NvmConfig { tech: MemTech::SttRam, ..Self::paper_pcm(channels) }
+        NvmConfig {
+            tech: MemTech::SttRam,
+            ..Self::paper_pcm(channels)
+        }
     }
 
     /// DRAM-timed reference memory for the non-ORAM comparison of §5.1.
     pub fn dram_reference(channels: usize) -> Self {
-        NvmConfig { tech: MemTech::Dram, ..Self::paper_pcm(channels) }
+        NvmConfig {
+            tech: MemTech::Dram,
+            ..Self::paper_pcm(channels)
+        }
     }
 
     /// Memory cycles occupied by one block transfer on the data bus.
@@ -171,7 +177,9 @@ impl NvmController {
             return arrival + 1; // accepted immediately
         }
         let (ch, bank) = self.map_address(addr);
-        let burst = (bytes as u64).div_ceil(self.config.bus_bytes_per_cycle as u64).max(1);
+        let burst = (bytes as u64)
+            .div_ceil(self.config.bus_bytes_per_cycle as u64)
+            .max(1);
         let sched = self.channels[ch].access(bank, kind, arrival, &self.timing, burst);
         self.stats.record(kind, bytes as u64);
         sched.complete
@@ -184,9 +192,10 @@ impl NvmController {
         while self.write_buffer.len() > low_watermark {
             let (addr, bytes) = self.write_buffer.pop_front().expect("non-empty");
             let (ch, bank) = self.map_address(addr);
-            let burst = (bytes as u64).div_ceil(self.config.bus_bytes_per_cycle as u64).max(1);
-            let sched =
-                self.channels[ch].access(bank, AccessKind::Write, now, &self.timing, burst);
+            let burst = (bytes as u64)
+                .div_ceil(self.config.bus_bytes_per_cycle as u64)
+                .max(1);
+            let sched = self.channels[ch].access(bank, AccessKind::Write, now, &self.timing, burst);
             done = done.max(sched.complete);
             self.drained_writes += 1;
         }
@@ -265,7 +274,11 @@ impl NvmController {
 
     /// Last cycle at which any channel had activity.
     pub fn last_activity(&self) -> u64 {
-        self.channels.iter().map(Channel::last_activity).max().unwrap_or(0)
+        self.channels
+            .iter()
+            .map(Channel::last_activity)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -389,7 +402,10 @@ mod tests {
         };
         let unbuffered = run(0);
         let buffered = run(64);
-        assert!(buffered < unbuffered, "read behind writes: {buffered} !< {unbuffered}");
+        assert!(
+            buffered < unbuffered,
+            "read behind writes: {buffered} !< {unbuffered}"
+        );
     }
 
     #[test]

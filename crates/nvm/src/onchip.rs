@@ -37,7 +37,10 @@ pub struct OnChipNvmModel {
 impl OnChipNvmModel {
     /// An SRAM buffer: single-cycle access (the `Baseline`/`PS-ORAM` stash).
     pub fn sram() -> Self {
-        OnChipNvmModel { read_cycles: 1, write_cycles: 1 }
+        OnChipNvmModel {
+            read_cycles: 1,
+            write_cycles: 1,
+        }
     }
 
     /// An on-chip buffer with the cell timing of `tech`.

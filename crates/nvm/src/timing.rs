@@ -75,9 +75,30 @@ impl TimingParams {
     /// cell-programming pulse beyond the burst).
     pub fn for_tech(tech: MemTech) -> Self {
         match tech {
-            MemTech::Pcm => TimingParams { t_rcd: 48, t_wp: 60, t_cwd: 4, t_wtr: 3, t_rp: 1, t_ccd: 2 },
-            MemTech::SttRam => TimingParams { t_rcd: 14, t_wp: 14, t_cwd: 10, t_wtr: 5, t_rp: 1, t_ccd: 2 },
-            MemTech::Dram => TimingParams { t_rcd: 11, t_wp: 0, t_cwd: 4, t_wtr: 3, t_rp: 11, t_ccd: 2 },
+            MemTech::Pcm => TimingParams {
+                t_rcd: 48,
+                t_wp: 60,
+                t_cwd: 4,
+                t_wtr: 3,
+                t_rp: 1,
+                t_ccd: 2,
+            },
+            MemTech::SttRam => TimingParams {
+                t_rcd: 14,
+                t_wp: 14,
+                t_cwd: 10,
+                t_wtr: 5,
+                t_rp: 1,
+                t_ccd: 2,
+            },
+            MemTech::Dram => TimingParams {
+                t_rcd: 11,
+                t_wp: 0,
+                t_cwd: 4,
+                t_wtr: 3,
+                t_rp: 11,
+                t_ccd: 2,
+            },
         }
     }
 
@@ -112,13 +133,19 @@ mod tests {
     #[test]
     fn paper_pcm_timing_values() {
         let t = TimingParams::for_tech(MemTech::Pcm);
-        assert_eq!((t.t_rcd, t.t_wp, t.t_cwd, t.t_wtr, t.t_rp, t.t_ccd), (48, 60, 4, 3, 1, 2));
+        assert_eq!(
+            (t.t_rcd, t.t_wp, t.t_cwd, t.t_wtr, t.t_rp, t.t_ccd),
+            (48, 60, 4, 3, 1, 2)
+        );
     }
 
     #[test]
     fn paper_sttram_timing_values() {
         let t = TimingParams::for_tech(MemTech::SttRam);
-        assert_eq!((t.t_rcd, t.t_wp, t.t_cwd, t.t_wtr, t.t_rp, t.t_ccd), (14, 14, 10, 5, 1, 2));
+        assert_eq!(
+            (t.t_rcd, t.t_wp, t.t_cwd, t.t_wtr, t.t_rp, t.t_ccd),
+            (14, 14, 10, 5, 1, 2)
+        );
     }
 
     #[test]

@@ -55,7 +55,14 @@ impl StartGap {
     pub fn new(lines: u64, interval: u64) -> Self {
         assert!(lines > 0, "need at least one line");
         assert!(interval > 0, "gap move interval must be positive");
-        StartGap { lines, start: 0, gap: lines, interval, writes_since_move: 0, gap_moves: 0 }
+        StartGap {
+            lines,
+            start: 0,
+            gap: lines,
+            interval,
+            writes_since_move: 0,
+            gap_moves: 0,
+        }
     }
 
     /// Maps a logical line to its current physical line.
@@ -86,11 +93,17 @@ impl StartGap {
             // Full rotation complete: gap wraps to the top and the start
             // shifts by one, sliding every logical line.
             self.start = (self.start + 1) % self.lines;
-            let mv = GapMove { from_line: self.lines, to_line: 0 };
+            let mv = GapMove {
+                from_line: self.lines,
+                to_line: 0,
+            };
             self.gap = self.lines;
             mv
         } else {
-            let mv = GapMove { from_line: self.gap - 1, to_line: self.gap };
+            let mv = GapMove {
+                from_line: self.gap - 1,
+                to_line: self.gap,
+            };
             self.gap -= 1;
             mv
         };
@@ -171,7 +184,10 @@ mod tests {
         );
         let max = *wear.iter().max().unwrap() as f64;
         let avg = wear.iter().sum::<u64>() as f64 / wear.len() as f64;
-        assert!(max / avg < 3.0, "wear still concentrated: max {max}, avg {avg:.0}");
+        assert!(
+            max / avg < 3.0,
+            "wear still concentrated: max {max}, avg {avg:.0}"
+        );
     }
 
     #[test]

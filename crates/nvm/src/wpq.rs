@@ -155,7 +155,9 @@ impl<T> Wpq<T> {
         }
         if self.len() >= self.capacity {
             self.stats.full_rejections += 1;
-            return Err(WpqError::Full { capacity: self.capacity });
+            return Err(WpqError::Full {
+                capacity: self.capacity,
+            });
         }
         self.open.push(entry);
         self.stats.entries_pushed += 1;
@@ -333,7 +335,10 @@ impl<D, P> PersistenceDomain<D, P> {
 
     /// Drains both queues for the NVM writeback (step 5-C).
     pub fn drain(&mut self) -> (Vec<WpqEntry<D>>, Vec<WpqEntry<P>>) {
-        (self.data_wpq.drain_committed(), self.posmap_wpq.drain_committed())
+        (
+            self.data_wpq.drain_committed(),
+            self.posmap_wpq.drain_committed(),
+        )
     }
 
     /// Models a crash: both queues keep exactly their committed rounds.
@@ -366,7 +371,10 @@ mod tests {
         q.begin_batch().unwrap();
         q.push(WpqEntry { addr: 3, value: 3 }).unwrap();
         let survivors = q.crash();
-        assert_eq!(survivors.iter().map(|e| e.addr).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(
+            survivors.iter().map(|e| e.addr).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
         assert!(q.is_empty());
         assert!(!q.in_batch());
     }
@@ -397,7 +405,10 @@ mod tests {
     #[test]
     fn push_and_end_without_start_are_typed_errors() {
         let mut q: Wpq<u8> = Wpq::new(2);
-        assert_eq!(q.push(WpqEntry { addr: 1, value: 1 }).unwrap_err(), WpqError::NoBatchOpen);
+        assert_eq!(
+            q.push(WpqEntry { addr: 1, value: 1 }).unwrap_err(),
+            WpqError::NoBatchOpen
+        );
         assert_eq!(q.end_batch().unwrap_err(), WpqError::NoBatchOpen);
         assert_eq!(q.stats().protocol_errors, 2);
         assert!(q.is_empty());
@@ -414,7 +425,10 @@ mod tests {
         q.abort_batch();
         assert!(!q.in_batch());
         let committed = q.drain_committed();
-        assert_eq!(committed.iter().map(|e| e.addr).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(
+            committed.iter().map(|e| e.addr).collect::<Vec<_>>(),
+            vec![1]
+        );
     }
 
     #[test]
@@ -446,7 +460,11 @@ mod tests {
         let mut q: Wpq<u8> = Wpq::new(8);
         q.begin_batch().unwrap();
         for i in 0..5 {
-            q.push(WpqEntry { addr: i, value: i as u8 }).unwrap();
+            q.push(WpqEntry {
+                addr: i,
+                value: i as u8,
+            })
+            .unwrap();
         }
         q.end_batch().unwrap();
         q.drain_committed();
@@ -459,12 +477,20 @@ mod tests {
         // Round 1: committed.
         pd.begin_round().unwrap();
         pd.push_data(WpqEntry { addr: 1, value: 1 }).unwrap();
-        pd.push_posmap(WpqEntry { addr: 10, value: 10 }).unwrap();
+        pd.push_posmap(WpqEntry {
+            addr: 10,
+            value: 10,
+        })
+        .unwrap();
         pd.commit_round().unwrap();
         // Round 2: open at crash time.
         pd.begin_round().unwrap();
         pd.push_data(WpqEntry { addr: 2, value: 2 }).unwrap();
-        pd.push_posmap(WpqEntry { addr: 20, value: 20 }).unwrap();
+        pd.push_posmap(WpqEntry {
+            addr: 20,
+            value: 20,
+        })
+        .unwrap();
         let (data, posmap) = pd.crash();
         // Either both of a round's sides persist or neither does.
         assert_eq!(data.len(), 1);
@@ -485,8 +511,14 @@ mod tests {
 
     #[test]
     fn wpq_error_displays() {
-        assert!(WpqError::Full { capacity: 4 }.to_string().contains("capacity 4"));
-        assert!(WpqError::BatchAlreadyOpen.to_string().contains("start signal"));
-        assert!(WpqError::NoBatchOpen.to_string().contains("outside a batch"));
+        assert!(WpqError::Full { capacity: 4 }
+            .to_string()
+            .contains("capacity 4"));
+        assert!(WpqError::BatchAlreadyOpen
+            .to_string()
+            .contains("start signal"));
+        assert!(WpqError::NoBatchOpen
+            .to_string()
+            .contains("outside a batch"));
     }
 }

@@ -97,7 +97,7 @@ impl System {
     /// window).
     pub fn mark_measurement_start(&mut self) {
         let (nvm, oram) = match &self.backend {
-            Backend::Oram(o) => (o.nvm_stats(), *o.stats()),
+            Backend::Oram(o) => (o.nvm_stats(), o.stats()),
             Backend::Plain(n) => (*n.stats(), Default::default()),
         };
         self.mark = Some(Snapshot {
@@ -280,9 +280,7 @@ impl System {
     pub fn result(&self, workload: &str) -> SimResult {
         let h = self.hierarchy.stats();
         let (variant, nvm, oram) = match &self.backend {
-            Backend::Oram(o) => {
-                (o.variant().label().to_string(), o.nvm_stats(), *o.stats())
-            }
+            Backend::Oram(o) => (o.variant().label().to_string(), o.nvm_stats(), o.stats()),
             Backend::Plain(nvm) => ("non-ORAM".to_string(), *nvm.stats(), Default::default()),
         };
         match &self.mark {
@@ -374,7 +372,10 @@ mod tests {
         let ps = cycles(ProtocolVariant::PsOram);
         let full = cycles(ProtocolVariant::FullNvm);
         assert!(ps / base < 1.25, "PS-ORAM overhead {:.3}", ps / base);
-        assert!(full / base > ps / base, "FullNVM should cost more than PS-ORAM");
+        assert!(
+            full / base > ps / base,
+            "FullNVM should cost more than PS-ORAM"
+        );
     }
 
     #[test]
@@ -400,8 +401,16 @@ mod tests {
         // One long run: the deterministic generator replays its prefix into
         // a warm cache, so only the tail produces fresh ORAM traffic.
         sys.run_workload(SpecWorkload::Mcf, 8_000);
-        assert_eq!(sys.crashes_recovered(), 5, "every scheduled crash must fire");
-        assert_eq!(sys.recoveries_consistent(), 5, "every recovery must be consistent");
+        assert_eq!(
+            sys.crashes_recovered(),
+            5,
+            "every scheduled crash must fire"
+        );
+        assert_eq!(
+            sys.recoveries_consistent(),
+            5,
+            "every recovery must be consistent"
+        );
         let oram = sys.oram_mut().unwrap();
         assert!(!oram.is_crashed());
         oram.verify_contents(true).unwrap();

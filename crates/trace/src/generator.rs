@@ -85,11 +85,25 @@ impl WorkloadSpec {
     }
 
     fn validate(&self) {
-        assert!(self.mem_ratio > 0.0 && self.mem_ratio <= 1.0, "mem_ratio must be in (0,1]");
-        assert!((0.0..=1.0).contains(&self.write_frac), "write_frac must be in [0,1]");
+        assert!(
+            self.mem_ratio > 0.0 && self.mem_ratio <= 1.0,
+            "mem_ratio must be in (0,1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.write_frac),
+            "write_frac must be in [0,1]"
+        );
         let p = self.miss_probability();
-        assert!((0.0..=1.0).contains(&p), "target MPKI {} unreachable at mem_ratio {}", self.mpki, self.mem_ratio);
-        assert!(self.hot_lines > 0 && self.cold_lines > 0, "footprints must be non-empty");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "target MPKI {} unreachable at mem_ratio {}",
+            self.mpki,
+            self.mem_ratio
+        );
+        assert!(
+            self.hot_lines > 0 && self.cold_lines > 0,
+            "footprints must be non-empty"
+        );
     }
 
     /// Probability that an access goes to the cold (missing) region.
@@ -166,7 +180,9 @@ impl Iterator for TraceGenerator {
         let instrs_before = self.instr_accum as u64;
         self.instr_accum -= instrs_before as f64;
 
-        let cold = self.rng.gen_bool(self.spec.miss_probability().clamp(0.0, 1.0));
+        let cold = self
+            .rng
+            .gen_bool(self.spec.miss_probability().clamp(0.0, 1.0));
         let line = if cold {
             // Cold region sits above the hot region.
             self.spec.hot_lines + self.next_cold_line()
@@ -175,7 +191,11 @@ impl Iterator for TraceGenerator {
         };
         let addr = self.spec.base_addr + line * LINE_BYTES;
         let is_write = self.rng.gen_bool(self.spec.write_frac);
-        Some(TraceRecord { instrs_before, addr, is_write })
+        Some(TraceRecord {
+            instrs_before,
+            addr,
+            is_write,
+        })
     }
 }
 
@@ -221,7 +241,10 @@ mod tests {
     #[test]
     fn write_fraction_approximated() {
         let n = 50_000usize;
-        let writes = TraceGenerator::new(&spec(), 5).take(n).filter(|r| r.is_write).count();
+        let writes = TraceGenerator::new(&spec(), 5)
+            .take(n)
+            .filter(|r| r.is_write)
+            .count();
         let frac = writes as f64 / n as f64;
         assert!((frac - 0.25).abs() < 0.02, "got write fraction {frac}");
     }
@@ -232,7 +255,10 @@ mod tests {
         s.pattern = AccessPattern::Stream;
         s.mpki = 300.0; // make everything cold: p_miss = 1.0
         s.mem_ratio = 0.3;
-        let addrs: Vec<u64> = TraceGenerator::new(&s, 1).take(10).map(|r| r.addr).collect();
+        let addrs: Vec<u64> = TraceGenerator::new(&s, 1)
+            .take(10)
+            .map(|r| r.addr)
+            .collect();
         for w in addrs.windows(2) {
             assert_eq!(w[1] - w[0], 64, "stream must be sequential: {addrs:?}");
         }

@@ -39,12 +39,22 @@ pub struct Trace {
 impl Trace {
     /// Wraps a record vector as a named trace.
     pub fn from_records(name: impl Into<String>, records: Vec<TraceRecord>) -> Self {
-        Trace { name: name.into(), records }
+        Trace {
+            name: name.into(),
+            records,
+        }
     }
 
     /// Collects `n` records from a generator into a materialized trace.
-    pub fn capture(name: impl Into<String>, gen: impl Iterator<Item = TraceRecord>, n: usize) -> Self {
-        Trace { name: name.into(), records: gen.take(n).collect() }
+    pub fn capture(
+        name: impl Into<String>,
+        gen: impl Iterator<Item = TraceRecord>,
+        n: usize,
+    ) -> Self {
+        Trace {
+            name: name.into(),
+            records: gen.take(n).collect(),
+        }
     }
 
     /// The workload name.
@@ -119,8 +129,16 @@ mod tests {
         Trace::from_records(
             "t",
             vec![
-                TraceRecord { instrs_before: 2, addr: 0, is_write: false },
-                TraceRecord { instrs_before: 5, addr: 64, is_write: true },
+                TraceRecord {
+                    instrs_before: 2,
+                    addr: 0,
+                    is_write: false,
+                },
+                TraceRecord {
+                    instrs_before: 5,
+                    addr: 64,
+                    is_write: true,
+                },
             ],
         )
     }
@@ -141,7 +159,11 @@ mod tests {
 
     #[test]
     fn capture_takes_exactly_n() {
-        let gen = std::iter::repeat(TraceRecord { instrs_before: 1, addr: 0, is_write: false });
+        let gen = std::iter::repeat(TraceRecord {
+            instrs_before: 1,
+            addr: 0,
+            is_write: false,
+        });
         let t = Trace::capture("x", gen, 10);
         assert_eq!(t.len(), 10);
         assert_eq!(t.name(), "x");

@@ -179,7 +179,10 @@ mod tests {
     #[test]
     fn streaming_workloads_use_stream_pattern() {
         assert_eq!(SpecWorkload::Lbm.spec().pattern, AccessPattern::Stream);
-        assert_eq!(SpecWorkload::Libquantum.spec().pattern, AccessPattern::Stream);
+        assert_eq!(
+            SpecWorkload::Libquantum.spec().pattern,
+            AccessPattern::Stream
+        );
         assert_eq!(SpecWorkload::Mcf.spec().pattern, AccessPattern::Chase);
     }
 

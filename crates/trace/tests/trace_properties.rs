@@ -16,7 +16,9 @@ fn arbitrary_spec() -> impl Strategy<Value = WorkloadSpec> {
                 1 => AccessPattern::Stride(3),
                 _ => AccessPattern::Chase,
             };
-            Some(WorkloadSpec::new("prop", mpki, mem_ratio, write_frac, pattern))
+            Some(WorkloadSpec::new(
+                "prop", mpki, mem_ratio, write_frac, pattern,
+            ))
         },
     )
 }
@@ -84,8 +86,10 @@ fn cold_fraction_matches_miss_probability() {
         let spec = w.spec();
         let n = 40_000usize;
         let hot_limit = spec.hot_lines * 64;
-        let cold =
-            TraceGenerator::new(&spec, 9).take(n).filter(|r| r.addr >= hot_limit).count();
+        let cold = TraceGenerator::new(&spec, 9)
+            .take(n)
+            .filter(|r| r.addr >= hot_limit)
+            .count();
         let frac = cold as f64 / n as f64;
         let target = spec.miss_probability();
         assert!(

@@ -28,7 +28,11 @@ fn observe(variant: ProtocolVariant, pattern: &str) -> (f64, f64, bool) {
         _ => unreachable!(),
     }
     let rec = oram.recorder().unwrap();
-    (rec.leaf_chi_square(leaves, 16), rec.leaf_serial_correlation(), rec.constant_shape())
+    (
+        rec.leaf_chi_square(leaves, 16),
+        rec.leaf_serial_correlation(),
+        rec.constant_shape(),
+    )
 }
 
 fn main() {

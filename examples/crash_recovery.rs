@@ -26,7 +26,11 @@ fn crash_once(variant: ProtocolVariant, point: CrashPoint) -> (bool, usize) {
     let consistent = oram.recover().consistent;
     // Count blocks whose last written value is gone after the crash.
     let lost = (0..40u64)
-        .filter(|&i| oram.read(BlockAddr(i)).map(|v| v != payload(i)).unwrap_or(true))
+        .filter(|&i| {
+            oram.read(BlockAddr(i))
+                .map(|v| v != payload(i))
+                .unwrap_or(true)
+        })
         .count();
     (consistent, lost)
 }
@@ -48,7 +52,11 @@ fn main() {
         print!("{:<34}", point.to_string());
         for v in variants {
             let (ok, lost) = crash_once(v, point);
-            print!("{:>13} {:>2}/40", if ok { "consistent" } else { "BROKEN" }, lost);
+            print!(
+                "{:>13} {:>2}/40",
+                if ok { "consistent" } else { "BROKEN" },
+                lost
+            );
         }
         println!();
     }

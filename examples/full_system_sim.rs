@@ -10,9 +10,7 @@ use psoram::trace::SpecWorkload;
 fn main() {
     let workload = SpecWorkload::Sphinx3;
     let records = 20_000;
-    println!(
-        "running {workload} ({records} trace records) through the full system stack\n"
-    );
+    println!("running {workload} ({records} trace records) through the full system stack\n");
     println!(
         "{:<16}{:>14}{:>10}{:>10}{:>12}{:>12}{:>12}",
         "variant", "cycles", "IPC", "MPKI", "NVM reads", "NVM writes", "vs baseline"

@@ -24,7 +24,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // recovery replays cleanly with no false alarms.
     oram.crash_now();
     assert!(oram.recover().consistent);
-    oram.verify_contents(true).map_err(|e| format!("false alarm: {e}"))?;
+    oram.verify_contents(true)
+        .map_err(|e| format!("false alarm: {e}"))?;
     println!("crash + recovery: all committed data verified, zero false alarms");
 
     // Now play the adversary: flip bytes directly in the NVM image.
@@ -50,6 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Err(e) => return Err(e.to_string().into()),
         }
     }
-    assert!(detected, "the corrupted path is eventually accessed and caught");
+    assert!(
+        detected,
+        "the corrupted path is eventually accessed and caught"
+    );
     Ok(())
 }

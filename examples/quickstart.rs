@@ -23,8 +23,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ...and recover: every durably committed value is intact.
     let report = oram.recover();
-    println!("recovered, consistency check passed = {}", report.consistent);
-    oram.verify_contents(true).map_err(|e| format!("verification failed: {e}"))?;
+    println!(
+        "recovered, consistency check passed = {}",
+        report.consistent
+    );
+    oram.verify_contents(true)
+        .map_err(|e| format!("verification failed: {e}"))?;
     println!("all committed values verified after recovery ✓");
 
     // The obfuscation means the memory bus saw uniformly random paths:

@@ -33,7 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(oram.is_crashed());
     let ok = oram.recover().consistent;
     println!("crash mid-access -> recover(): consistency check = {ok}");
-    oram.verify_contents(true).map_err(|e| format!("inconsistent: {e}"))?;
+    oram.verify_contents(true)
+        .map_err(|e| format!("inconsistent: {e}"))?;
     println!("every committed value intact after recovery ✓");
 
     // Committed-durability semantics: writes whose eviction round had

@@ -21,7 +21,10 @@ impl ObliviousKv {
     fn new(seed: u64) -> Self {
         let config = OramConfig::small_test().with_levels(10);
         let capacity = config.capacity_blocks();
-        ObliviousKv { oram: PathOram::new(config, ProtocolVariant::PsOram, seed), capacity }
+        ObliviousKv {
+            oram: PathOram::new(config, ProtocolVariant::PsOram, seed),
+            capacity,
+        }
     }
 
     fn slot(&self, key: u32) -> BlockAddr {
@@ -31,12 +34,15 @@ impl ObliviousKv {
     }
 
     fn put(&mut self, key: u32, value: u64) -> Result<(), OramError> {
-        self.oram.write(self.slot(key), value.to_le_bytes().to_vec())
+        self.oram
+            .write(self.slot(key), value.to_le_bytes().to_vec())
     }
 
     fn get(&mut self, key: u32) -> Result<u64, OramError> {
         let bytes = self.oram.read(self.slot(key))?;
-        Ok(u64::from_le_bytes(bytes.try_into().expect("8-byte records")))
+        Ok(u64::from_le_bytes(
+            bytes.try_into().expect("8-byte records"),
+        ))
     }
 }
 

@@ -21,7 +21,11 @@ fn render_tree(oram: &PathOram, path_leaf: Option<Leaf>) {
             let idx = nodes - 1 + i;
             let occ = tree.bucket(idx).occupancy();
             let mark = if on_path.contains(&idx) { '*' } else { ' ' };
-            row.push_str(&format!("{:^width$}", format!("[{occ}{mark}]"), width = width));
+            row.push_str(&format!(
+                "{:^width$}",
+                format!("[{occ}{mark}]"),
+                width = width
+            ));
         }
         println!("  L{d}: {row}");
     }
@@ -54,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("the access performed the five PS-ORAM steps:");
     println!("  1. stash check (miss)");
     println!("  2. PosMap lookup; new leaf parked in the *temporary* PosMap");
-    println!("  3. full path read — {} block transfers", oram.config().path_slots());
+    println!(
+        "  3. full path read — {} block transfers",
+        oram.config().path_slots()
+    );
     println!(
         "  4. stash update + backup block creation ({} backups so far)",
         oram.stats().backups_created

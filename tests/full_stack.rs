@@ -24,7 +24,10 @@ fn figure5_shape_ps_oram_cheap_naive_and_fullnvm_expensive() {
 
     let t = |r: &psoram::system::SimResult| r.exec_cycles as f64 / base.exec_cycles as f64;
     assert!(t(&ps) < 1.15, "PS-ORAM overhead too large: {:.3}", t(&ps));
-    assert!(t(&naive) > t(&ps) + 0.10, "Naive must clearly exceed PS-ORAM");
+    assert!(
+        t(&naive) > t(&ps) + 0.10,
+        "Naive must clearly exceed PS-ORAM"
+    );
     assert!(t(&full) > t(&stt), "PCM buffers slower than STT buffers");
     assert!(t(&stt) > t(&ps), "FullNVM(STT) slower than PS-ORAM");
 }
@@ -35,9 +38,15 @@ fn figure5b_shape_recursive_costs_and_ps_delta_small() {
     let base = run(ProtocolVariant::Baseline, 1, w);
     let rb = run(ProtocolVariant::RcrBaseline, 1, w);
     let rp = run(ProtocolVariant::RcrPsOram, 1, w);
-    assert!(rb.exec_cycles > base.exec_cycles, "recursion must cost time");
+    assert!(
+        rb.exec_cycles > base.exec_cycles,
+        "recursion must cost time"
+    );
     let delta = rp.exec_cycles as f64 / rb.exec_cycles as f64;
-    assert!(delta > 0.99 && delta < 1.2, "Rcr-PS over Rcr-Base out of band: {delta:.3}");
+    assert!(
+        delta > 0.99 && delta < 1.2,
+        "Rcr-PS over Rcr-Base out of band: {delta:.3}"
+    );
 }
 
 #[test]
@@ -59,9 +68,21 @@ fn figure6_shape_traffic() {
     // Writes: PS-ORAM adds only a few percent; Naive and FullNVM roughly
     // double.
     let wr = |r: &psoram::system::SimResult| r.total_writes() as f64 / base.total_writes() as f64;
-    assert!(wr(&ps) < 1.10, "PS-ORAM write overhead too big: {:.3}", wr(&ps));
-    assert!(wr(&naive) > 1.5, "Naive writes should roughly double: {:.3}", wr(&naive));
-    assert!(wr(&full) > 1.5, "FullNVM writes should roughly double: {:.3}", wr(&full));
+    assert!(
+        wr(&ps) < 1.10,
+        "PS-ORAM write overhead too big: {:.3}",
+        wr(&ps)
+    );
+    assert!(
+        wr(&naive) > 1.5,
+        "Naive writes should roughly double: {:.3}",
+        wr(&naive)
+    );
+    assert!(
+        wr(&full) > 1.5,
+        "FullNVM writes should roughly double: {:.3}",
+        wr(&full)
+    );
 }
 
 #[test]
@@ -99,7 +120,8 @@ fn crash_mid_system_run_recovers() {
     let oram = sys.oram_mut().expect("oram backend");
     oram.crash_now();
     assert!(oram.recover().consistent);
-    oram.verify_contents(true).expect("committed data must survive a system-level crash");
+    oram.verify_contents(true)
+        .expect("committed data must survive a system-level crash");
 }
 
 #[test]

@@ -29,7 +29,10 @@ fn security_claims_hold_across_variants() {
             oram.read(BlockAddr(addr)).unwrap();
         }
         let rec = oram.recorder().unwrap().clone();
-        (rec.leaf_chi_square(cfg.num_leaves(), 16), rec.constant_shape())
+        (
+            rec.leaf_chi_square(cfg.num_leaves(), 16),
+            rec.constant_shape(),
+        )
     };
     for variant in [
         ProtocolVariant::Baseline,
@@ -38,7 +41,10 @@ fn security_claims_hold_across_variants() {
     ] {
         let (chi, constant) = observe(variant);
         assert!(constant, "{variant}: transfer counts must be constant");
-        assert!(chi < 45.0, "{variant}: leaf distribution skewed, chi={chi:.1}");
+        assert!(
+            chi < 45.0,
+            "{variant}: leaf distribution skewed, chi={chi:.1}"
+        );
     }
 }
 

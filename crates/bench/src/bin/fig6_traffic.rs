@@ -5,6 +5,7 @@ use psoram_bench::{FigureTable, SimHarness};
 use psoram_core::ProtocolVariant;
 
 fn main() {
+    psoram_bench::init_jobs_from_cli();
     let harness = SimHarness::new(1);
     harness.banner("Figure 6: NVM read/write traffic");
 

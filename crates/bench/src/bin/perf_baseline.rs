@@ -1,0 +1,224 @@
+//! Tracked performance baseline (`BENCH_03.json`).
+//!
+//! Measures the functional speed of the simulator itself — distinct from
+//! the *simulated* cycle counts the figure binaries report (see DESIGN.md
+//! §"Performance model vs. functional speed"):
+//!
+//! * AES-128 blocks/sec: byte-wise reference cipher vs the T-table fast
+//!   path (the batched-CTR kernel underneath every bucket re-encryption).
+//! * CTR keystream throughput through `keystream_into`.
+//! * Single-thread ORAM accesses/sec for Path ORAM and Ring ORAM under
+//!   their PS variants (payload encryption on — the real hot path).
+//! * Randomized crash-campaign wall-clock at `--jobs 1` vs `--jobs N`,
+//!   asserting the two reports are byte-identical.
+//!
+//! Usage:
+//!   perf_baseline [--smoke] [--out FILE] [--jobs N]
+//!
+//! `--smoke` shrinks every measurement for CI; the JSON shape is
+//! unchanged. Default output file is `BENCH_03.json` in the working
+//! directory.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use psoram_bench::drive_uniform_writes;
+use psoram_core::ring::{RingConfig, RingOram, RingVariant};
+use psoram_core::{OramConfig, PathOram, ProtocolPolicy, ProtocolVariant};
+use psoram_crypto::{Aes128, CtrCipher, ReferenceAes128};
+use psoram_faultsim::{random_campaign, CampaignConfig};
+
+struct Args {
+    smoke: bool,
+    out: String,
+    jobs: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        out: "BENCH_03.json".into(),
+        jobs: psoram_faultsim::default_jobs(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => args.out = it.next().unwrap_or_else(|| usage("--out needs a value")),
+            "--jobs" => {
+                let v = it.next().unwrap_or_else(|| usage("--jobs needs a value"));
+                args.jobs = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--jobs must be a positive integer"));
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    args
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "perf_baseline: functional-speed baseline for the simulator\n\n\
+         options:\n\
+         \x20 --smoke     reduced iteration counts (CI gate)\n\
+         \x20 --out FILE  output JSON path (default BENCH_03.json)\n\
+         \x20 --jobs N    parallel job count for the campaign comparison\n\
+         \x20             (default: all cores)"
+    );
+    std::process::exit(2);
+}
+
+/// Encrypts `blocks` independent counter blocks through `f` and returns
+/// blocks/sec, taking the best of three passes (max throughput ≈ least
+/// scheduler interference). Counter-mode shape — successive blocks carry
+/// no data dependency, exactly like the CTR keystream kernel this
+/// baseline exists to track.
+fn time_blocks(blocks: u64, mut f: impl FnMut(&[u8; 16]) -> [u8; 16]) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let mut acc = [0u8; 16];
+        let t = Instant::now();
+        for i in 0..blocks {
+            let mut counter = [0x5Au8; 16];
+            counter[..8].copy_from_slice(&i.to_be_bytes());
+            let out = f(&counter);
+            for (a, o) in acc.iter_mut().zip(out) {
+                *a ^= o; // fold so no encryption can be elided
+            }
+        }
+        let secs = t.elapsed().as_secs_f64();
+        black_box(acc);
+        best = best.max(blocks as f64 / secs.max(1e-9));
+    }
+    best
+}
+
+fn main() {
+    let args = parse_args();
+    let (aes_blocks, ctr_bytes, oram_accesses) = if args.smoke {
+        (50_000u64, 1usize << 20, 400usize)
+    } else {
+        (2_000_000u64, 64usize << 20, 8_000usize)
+    };
+
+    eprintln!("[aes: {aes_blocks} blocks, reference vs T-table]");
+    let reference = ReferenceAes128::new(&[0x11; 16]);
+    let ttable = Aes128::new(&[0x11; 16]);
+    let ref_bps = time_blocks(aes_blocks, |b| reference.encrypt_block(b));
+    let tt_bps = time_blocks(aes_blocks, |b| ttable.encrypt_block(b));
+
+    eprintln!("[ctr: {ctr_bytes} keystream bytes]");
+    let ctr = CtrCipher::new(Aes128::new(&[0x22; 16]));
+    let mut buf = vec![0u8; 64 * 1024];
+    let t = Instant::now();
+    let mut produced = 0usize;
+    let mut iv = 0u128;
+    while produced < ctr_bytes {
+        ctr.keystream_into(iv, &mut buf);
+        iv = iv.wrapping_add((buf.len() / 16) as u128);
+        produced += buf.len();
+        black_box(&buf);
+    }
+    let ctr_bytes_per_sec = produced as f64 / t.elapsed().as_secs_f64().max(1e-9);
+
+    eprintln!("[oram: {oram_accesses} accesses, Path + Ring, single thread]");
+    let levels = 12u32;
+    let mut path_cfg = OramConfig::paper_default().with_levels(levels);
+    path_cfg.data_wpq_capacity = path_cfg.path_slots();
+    path_cfg.posmap_wpq_capacity = path_cfg.path_slots();
+    let mut path: Box<dyn ProtocolPolicy> =
+        Box::new(PathOram::new(path_cfg, ProtocolVariant::PsOram, 11));
+    let t = Instant::now();
+    drive_uniform_writes("Path", &mut *path, oram_accesses, 3);
+    let path_aps = oram_accesses as f64 / t.elapsed().as_secs_f64().max(1e-9);
+
+    let mut ring_cfg = RingConfig {
+        levels,
+        ..RingConfig::small_test()
+    };
+    ring_cfg.wpq_capacity = ring_cfg.bucket_physical_slots() * (levels as usize + 1);
+    let mut ring: Box<dyn ProtocolPolicy> =
+        Box::new(RingOram::new(ring_cfg, RingVariant::PsRing, 11));
+    let t = Instant::now();
+    drive_uniform_writes("Ring", &mut *ring, oram_accesses, 3);
+    let ring_aps = oram_accesses as f64 / t.elapsed().as_secs_f64().max(1e-9);
+
+    eprintln!(
+        "[campaign: random smoke sweep, --jobs 1 vs --jobs {}]",
+        args.jobs
+    );
+    let cfg = CampaignConfig::smoke();
+    std::env::set_var(psoram_faultsim::par::JOBS_ENV, "1");
+    let t = Instant::now();
+    let serial_report = random_campaign(&cfg);
+    let serial_secs = t.elapsed().as_secs_f64();
+    std::env::set_var(psoram_faultsim::par::JOBS_ENV, args.jobs.to_string());
+    let t = Instant::now();
+    let parallel_report = random_campaign(&cfg);
+    let parallel_secs = t.elapsed().as_secs_f64();
+    std::env::remove_var(psoram_faultsim::par::JOBS_ENV);
+    let identical = serde_json::to_string(&serial_report).expect("serialize")
+        == serde_json::to_string(&parallel_report).expect("serialize");
+    assert!(
+        identical,
+        "campaign report differs between --jobs 1 and --jobs {}: \
+         the deterministic runner is broken",
+        args.jobs
+    );
+
+    let report = serde_json::json!({
+        "bench": "perf_baseline",
+        "smoke": args.smoke,
+        "cores": psoram_faultsim::default_jobs(),
+        "aes": {
+            "blocks": aes_blocks,
+            "reference_blocks_per_sec": ref_bps,
+            "ttable_blocks_per_sec": tt_bps,
+            "ttable_speedup": tt_bps / ref_bps,
+        },
+        "ctr_keystream": {
+            "bytes": produced,
+            "bytes_per_sec": ctr_bytes_per_sec,
+        },
+        "oram_single_thread": {
+            "accesses": oram_accesses,
+            "levels": levels,
+            "path_ps_accesses_per_sec": path_aps,
+            "ring_ps_accesses_per_sec": ring_aps,
+        },
+        "campaign_wall_clock": {
+            "mode": "random-smoke",
+            "jobs_serial": 1,
+            "jobs_parallel": args.jobs,
+            "serial_secs": serial_secs,
+            "parallel_secs": parallel_secs,
+            "speedup": serial_secs / parallel_secs.max(1e-9),
+            "reports_identical": identical,
+        },
+    });
+    let json = serde_json::to_string_pretty(&report).expect("serialize");
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {}: {e}", args.out);
+        std::process::exit(2);
+    });
+    println!("{json}");
+    eprintln!("[saved {}]", args.out);
+    eprintln!(
+        "AES T-table speedup: {:.2}x | CTR: {:.1} MiB/s | Path: {:.0} acc/s | \
+         Ring: {:.0} acc/s | campaign {:.2}s -> {:.2}s at {} job(s)",
+        tt_bps / ref_bps,
+        ctr_bytes_per_sec / (1024.0 * 1024.0),
+        path_aps,
+        ring_aps,
+        serial_secs,
+        parallel_secs,
+        args.jobs
+    );
+}

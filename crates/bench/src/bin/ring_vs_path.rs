@@ -10,6 +10,7 @@ use psoram_core::ring::{RingConfig, RingOram, RingVariant};
 use psoram_core::{OramConfig, PathOram, ProtocolPolicy, ProtocolVariant};
 
 fn main() {
+    psoram_bench::init_jobs_from_cli();
     psoram_bench::print_config_banner("Ring ORAM vs Path ORAM (extension)");
     let accesses: usize = std::env::var("PSORAM_RECORDS")
         .ok()
@@ -33,17 +34,18 @@ fn main() {
         cfg.wpq_capacity = cfg.bucket_physical_slots() * (levels as usize + 1);
         Box::new(RingOram::new(cfg, variant, 11))
     };
-    let designs: [(&str, Box<dyn ProtocolPolicy>); 4] = [
-        ("Path-Baseline", path(ProtocolVariant::Baseline)),
-        ("PS-ORAM", path(ProtocolVariant::PsOram)),
-        ("Ring-Baseline", ring(RingVariant::Baseline)),
-        ("PS-Ring-ORAM", ring(RingVariant::PsRing)),
-    ];
-
-    let rows: Vec<TrafficRow> = designs
-        .into_iter()
-        .map(|(name, mut oram)| drive_uniform_writes(name, &mut *oram, accesses, 3))
-        .collect();
+    // The four designs share no state, so each worker constructs its own
+    // controller and drives it to completion; `par_map` returns rows in
+    // input order, keeping the table identical at any `--jobs` count.
+    let rows: Vec<TrafficRow> = psoram_faultsim::par_map(0, (0..4usize).collect(), |i| {
+        let (name, mut oram): (&str, Box<dyn ProtocolPolicy>) = match i {
+            0 => ("Path-Baseline", path(ProtocolVariant::Baseline)),
+            1 => ("PS-ORAM", path(ProtocolVariant::PsOram)),
+            2 => ("Ring-Baseline", ring(RingVariant::Baseline)),
+            _ => ("PS-Ring-ORAM", ring(RingVariant::PsRing)),
+        };
+        drive_uniform_writes(name, &mut *oram, accesses, 3)
+    });
 
     println!(
         "\n{:<16}{:>14}{:>14}{:>14}{:>16}{:>16}",

@@ -31,6 +31,39 @@ use psoram_trace::SpecWorkload;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Applies a `--jobs N` command-line flag by exporting `PSORAM_JOBS`, then
+/// returns the resolved worker count (honouring an already-set env var, and
+/// defaulting to all cores).
+///
+/// The figure binaries accept `--jobs` uniformly through this helper; other
+/// arguments are left for the binary's own parser. `--jobs 1` restores the
+/// legacy serial behavior. The output of every binary is byte-identical at
+/// any job count — parallelism only changes wall-clock (see DESIGN.md).
+///
+/// # Panics
+///
+/// Exits the process (status 2) on a malformed `--jobs` value.
+pub fn init_jobs_from_cli() -> usize {
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let value = if a == "--jobs" {
+            it.next()
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            Some(v.to_string())
+        } else {
+            continue;
+        };
+        match value.and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n >= 1 => std::env::set_var(psoram_faultsim::par::JOBS_ENV, n.to_string()),
+            _ => {
+                eprintln!("error: --jobs needs a positive integer");
+                std::process::exit(2);
+            }
+        }
+    }
+    psoram_faultsim::resolve_jobs(0)
+}
+
 /// Records per workload for the sweep binaries; override with the
 /// `PSORAM_RECORDS` environment variable.
 pub fn records_per_workload() -> usize {
@@ -143,16 +176,24 @@ impl SimHarness {
     /// For every SPEC workload: runs the Baseline variant plus each of
     /// `variants`, handing `(workload, baseline, per-variant results)` to
     /// `row` (results align with `variants`). Progress goes to stderr.
+    ///
+    /// Workloads are independent simulations, so they fan out across the
+    /// worker pool (`--jobs` / `PSORAM_JOBS`); `row` is still invoked in
+    /// `SpecWorkload::all()` order after collection, so every table the
+    /// figure binaries print is byte-identical at any job count.
     pub fn sweep_vs_baseline(
         &self,
         variants: &[ProtocolVariant],
         mut row: impl FnMut(SpecWorkload, &SimResult, &[SimResult]),
     ) {
-        for w in SpecWorkload::all() {
+        let results = psoram_faultsim::par_map(0, SpecWorkload::all().to_vec(), |w| {
             let base = self.run(ProtocolVariant::Baseline, w);
             let runs: Vec<SimResult> = variants.iter().map(|&v| self.run(v, w)).collect();
-            row(w, &base, &runs);
             eprintln!("[{w} done]");
+            (w, base, runs)
+        });
+        for (w, base, runs) in results {
+            row(w, &base, &runs);
         }
     }
 

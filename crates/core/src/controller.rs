@@ -14,7 +14,7 @@ use psoram_nvm::{
 use crate::block::Block;
 use crate::bucket::Bucket;
 use crate::crash::{CrashPoint, CrashReport, RecoveryReport};
-use crate::engine::{to_core, to_mem, CommitLedger, PersistEngine};
+use crate::engine::{to_core, to_mem, AccessScratch, CommitLedger, PersistEngine};
 use crate::eviction::{order_for_small_wpq, plan_eviction, SlotWrite};
 use crate::integrity::{bucket_digest, IntegrityTree};
 use crate::posmap::{PosMap, TempPosMap};
@@ -98,6 +98,9 @@ pub struct PathOram {
     iv: u64,
     /// Monotonic per-block freshness source (see [`BlockHeader::seq`]).
     seq_counter: u64,
+    /// Reused per-access buffers (path addresses, fetched blocks): the
+    /// steady-state access loop performs no heap allocation for these.
+    scratch: AccessScratch,
 }
 
 impl PathOram {
@@ -177,6 +180,7 @@ impl PathOram {
             encrypt_payloads: true,
             iv: 0,
             seq_counter: 0,
+            scratch: AccessScratch::default(),
             nvm: NvmController::new(nvm_config),
             tree,
             config,
@@ -609,7 +613,8 @@ impl PathOram {
             int.verify_path(leaf, &observed)
                 .map_err(|v| OramError::IntegrityViolation { leaf: v.leaf })?;
         }
-        let mut read_addrs = Vec::with_capacity(self.config.path_slots());
+        let mut read_addrs = std::mem::take(&mut self.scratch.read_addrs);
+        read_addrs.clear();
         for (depth, &bucket) in path.iter().enumerate() {
             if (depth as u32) < self.top_cache_levels {
                 // Bucket mirrored in the fast volatile buffer: no NVM read.
@@ -622,13 +627,15 @@ impl PathOram {
         let frontend_done = self.frontend_process(self.config.path_slots() as u64, t);
         let done = self
             .nvm
-            .access_batch(read_addrs, AccessKind::Read, to_mem(t));
+            .access_batch(read_addrs.iter().copied(), AccessKind::Read, to_mem(t));
+        self.scratch.read_addrs = read_addrs;
         let mut t =
             (to_core(done) + self.crypto_lat.decrypt_overlapped_cycles()).max(frontend_done);
 
         // Gather fetched blocks with their slot coordinates.
         let mut live_old: HashMap<(u64, usize), BlockAddr> = HashMap::new();
-        let mut fetched: Vec<Block> = Vec::new();
+        let mut fetched = std::mem::take(&mut self.scratch.fetched);
+        fetched.clear();
         for &bucket in &path {
             let b = self.tree.bucket(bucket);
             for slot in 0..b.num_slots() {
@@ -658,11 +665,17 @@ impl PathOram {
         // the newest (highest freshness counter) is the real value, exactly
         // as a recovering controller would decide from the IV counters.
         let target_in_stash = self.stash.contains(target);
-        let (mut target_copies, others): (Vec<Block>, Vec<Block>) = fetched
-            .into_iter()
-            .partition(|b| !target_in_stash && b.addr() == target && b.leaf() == leaf);
-        target_copies.sort_by_key(|b| std::cmp::Reverse(b.header.seq));
-        if let Some(mut primary) = target_copies.into_iter().next() {
+        let is_target_copy = |b: &Block| !target_in_stash && b.addr() == target && b.leaf() == leaf;
+        // The newest on-path copy of the target (highest freshness counter,
+        // earliest on ties — the stable sort's pick) becomes the primary.
+        let mut newest: Option<usize> = None;
+        for (i, b) in fetched.iter().enumerate() {
+            if is_target_copy(b) && newest.is_none_or(|j| fetched[j].header.seq < b.header.seq) {
+                newest = Some(i);
+            }
+        }
+        if let Some(i) = newest {
+            let mut primary = fetched.remove(i);
             if keep_shadows {
                 let backup = primary.to_backup(primary.leaf());
                 self.stats.backups_created += 1;
@@ -672,9 +685,13 @@ impl PathOram {
             // Header leaf and freshness counter are updated in step 4.
             self.stash.insert(primary)?;
             // Older duplicates are superseded by the freshly created backup
-            // and dropped.
+            // and dropped below.
         }
-        for mut block in others {
+        for mut block in fetched.drain(..) {
+            if is_target_copy(&block) {
+                // A superseded duplicate of the target: dropped.
+                continue;
+            }
             let a = block.addr();
             let current = self.lookup(a);
             let stale = self.stash.contains(a) || block.leaf() != current || block.is_backup;
@@ -688,6 +705,7 @@ impl PathOram {
             }
             // else: dead copy, dropped.
         }
+        self.scratch.fetched = fetched;
 
         // FullNVM: the fetched path is written into the on-chip NVM stash.
         if self.variant.onchip_tech().is_some() {
@@ -789,12 +807,17 @@ impl PathOram {
 
         if stash_snapshot > 0 {
             let block_bytes = self.config.block_bytes as u64;
-            let addrs: Vec<u64> = (0..stash_snapshot)
-                .map(|i| self.stash_region_base + i * block_bytes)
-                .collect();
+            // The path-read buffer is idle during eviction; reuse it for
+            // the snapshot region's addresses.
+            let mut addrs = std::mem::take(&mut self.scratch.read_addrs);
+            addrs.clear();
+            addrs.extend((0..stash_snapshot).map(|i| self.stash_region_base + i * block_bytes));
             // Overlaps with the path write-back; the access pipeline only
             // observes the later of the two completions.
-            let done = self.nvm.access_batch(addrs, AccessKind::Write, to_mem(t));
+            let done = self
+                .nvm
+                .access_batch(addrs.iter().copied(), AccessKind::Write, to_mem(t));
+            self.scratch.read_addrs = addrs;
             self.stats.stash_snapshot_writes += stash_snapshot;
             t_end = t_end.max(to_core(done));
         }
@@ -813,12 +836,14 @@ impl PathOram {
         t: u64,
     ) -> Result<u64, OramError> {
         let crash_after = self.engine.armed_eviction_crash();
-        let mut write_addrs = Vec::with_capacity(plan.writes.len());
+        let mut write_addrs = std::mem::take(&mut self.scratch.write_addrs);
+        write_addrs.clear();
         let mut writes_done = 0usize;
         for w in plan.writes {
             if crash_after == Some(writes_done) {
                 self.engine.disarm_crash();
                 self.execute_crash();
+                self.scratch.write_addrs = write_addrs;
                 return Err(OramError::Crashed);
             }
             let mut stored = w.block;
@@ -832,7 +857,8 @@ impl PathOram {
         let frontend_done = self.frontend_process(write_addrs.len() as u64, t);
         let done = self
             .nvm
-            .access_batch(write_addrs, AccessKind::Write, to_mem(t));
+            .access_batch(write_addrs.iter().copied(), AccessKind::Write, to_mem(t));
+        self.scratch.write_addrs = write_addrs;
         Ok(to_core(done).max(frontend_done))
     }
 
@@ -866,8 +892,10 @@ impl PathOram {
         let crash_after_batches = self.engine.armed_eviction_crash();
 
         let mut committed_batches = 0usize;
-        let mut write_addrs: Vec<u64> = Vec::with_capacity(plan.writes.len());
-        let mut entry_addrs: Vec<u64> = Vec::new();
+        let mut write_addrs = std::mem::take(&mut self.scratch.write_addrs);
+        write_addrs.clear();
+        let mut entry_addrs = std::mem::take(&mut self.scratch.entry_addrs);
+        entry_addrs.clear();
         for batch in batches {
             if crash_after_batches == Some(committed_batches) {
                 // Power failure while the next round is being assembled:
@@ -884,6 +912,8 @@ impl PathOram {
                 self.engine.stage_abandoned_round(entries);
                 self.engine.disarm_crash();
                 self.execute_crash();
+                self.scratch.write_addrs = write_addrs;
+                self.scratch.entry_addrs = entry_addrs;
                 return Err(OramError::Crashed);
             }
 
@@ -968,14 +998,19 @@ impl PathOram {
         // beat, though the cell-programming pulse is unchanged.
         let done = self
             .nvm
-            .access_batch(write_addrs, AccessKind::Write, to_mem(t));
+            .access_batch(write_addrs.iter().copied(), AccessKind::Write, to_mem(t));
         let mut t_end = to_core(done).max(frontend_done);
         if !entry_addrs.is_empty() {
-            let done = self
-                .nvm
-                .access_batch_sized(entry_addrs, AccessKind::Write, to_mem(t), 8);
+            let done = self.nvm.access_batch_sized(
+                entry_addrs.iter().copied(),
+                AccessKind::Write,
+                to_mem(t),
+                8,
+            );
             t_end = t_end.max(to_core(done));
         }
+        self.scratch.write_addrs = write_addrs;
+        self.scratch.entry_addrs = entry_addrs;
         Ok(t_end)
     }
 
@@ -992,7 +1027,8 @@ impl PathOram {
         // carry the real blocks, and the remaining slots of the same
         // buckets are written as encrypted dummies by the same round. For
         // traffic/timing, the whole path's slots are pushed by the caller.
-        let mut touched_addrs: Vec<BlockAddr> = Vec::new();
+        let mut touched_addrs = std::mem::take(&mut self.scratch.touched_addrs);
+        touched_addrs.clear();
         for e in data {
             let w = &e.value;
             let mut stored = w.block.clone();
@@ -1013,7 +1049,7 @@ impl PathOram {
         }
         // Ledger: the recoverable value of each touched address is the
         // written copy that matches the (new) persisted PosMap.
-        for a in touched_addrs {
+        for &a in &touched_addrs {
             let leaf = self.posmap.persisted_get(a);
             // Multiple matching copies can commit in one round (a primary
             // that re-drew its old leaf plus its backup): the newest one —
@@ -1028,6 +1064,7 @@ impl PathOram {
                     .commit_if_fresh(a.0, b.header.seq, b.payload.clone());
             }
         }
+        self.scratch.touched_addrs = touched_addrs;
     }
 
     /// Metadata-entry address Naïve writes for a dummy slot. Dummy entries

@@ -30,10 +30,12 @@
 mod ledger;
 mod persist;
 mod policy;
+mod scratch;
 
 pub use ledger::CommitLedger;
 pub use persist::{EngineStats, PersistEngine};
 pub use policy::{CommitModel, ProtocolPolicy, ProtocolVariant, RingVariant};
+pub(crate) use scratch::AccessScratch;
 
 use psoram_nvm::CORE_CYCLES_PER_MEM_CYCLE;
 

@@ -31,7 +31,7 @@ use psoram_nvm::{AccessKind, NvmConfig, NvmController, WpqEntry};
 
 use crate::block::Block;
 use crate::crash::{CrashPoint, RecoveryReport};
-use crate::engine::{to_core, to_mem, CommitLedger, PersistEngine};
+use crate::engine::{to_core, to_mem, AccessScratch, CommitLedger, PersistEngine};
 use crate::posmap::{PosMap, TempPosMap};
 use crate::types::{BlockAddr, Leaf, OramError};
 
@@ -208,6 +208,9 @@ pub struct RingOram {
     /// DuringEviction`] indexes into this cursor).
     rewrites_this_access: usize,
     touched: Vec<u64>,
+    /// Reused per-access buffers (path/bucket addresses): the steady-state
+    /// access loop performs no heap allocation for these.
+    scratch: AccessScratch,
 }
 
 impl RingOram {
@@ -243,6 +246,7 @@ impl RingOram {
             seq_counter: 0,
             rewrites_this_access: 0,
             touched: Vec::new(),
+            scratch: AccessScratch::default(),
             config,
             variant,
         }
@@ -398,7 +402,8 @@ impl RingOram {
         // Step ③: read exactly one slot per bucket along the path.
         let in_stash = self.stash_primary(addr).is_some();
         let path = self.path_indices(old_leaf);
-        let mut read_addrs = Vec::with_capacity(path.len());
+        let mut read_addrs = std::mem::take(&mut self.scratch.read_addrs);
+        read_addrs.clear();
         let mut fetched: Option<Block> = None;
         for &bidx in &path {
             let slot = {
@@ -436,7 +441,8 @@ impl RingOram {
         }
         let done = self
             .nvm
-            .access_batch(read_addrs, AccessKind::Read, to_mem(t));
+            .access_batch(read_addrs.iter().copied(), AccessKind::Read, to_mem(t));
+        self.scratch.read_addrs = read_addrs;
         t = to_core(done) + 1;
         // One combined metadata write per access (valid bits + counts).
         let meta = self.nvm.access_sized(
@@ -537,16 +543,19 @@ impl RingOram {
         // Read the real blocks still present (the permutation metadata
         // tells the controller which slots those are), rebuild, write the
         // whole bucket back.
-        let read_addrs: Vec<u64> = old
-            .slots
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.is_some())
-            .map(|(s, _)| self.slot_nvm_addr(bidx, s))
-            .collect();
+        let mut read_addrs = std::mem::take(&mut self.scratch.read_addrs);
+        read_addrs.clear();
+        read_addrs.extend(
+            old.slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.is_some())
+                .map(|(s, _)| self.slot_nvm_addr(bidx, s)),
+        );
         let done = self
             .nvm
-            .access_batch(read_addrs, AccessKind::Read, to_mem(t));
+            .access_batch(read_addrs.iter().copied(), AccessKind::Read, to_mem(t));
+        self.scratch.read_addrs = read_addrs;
         let t = to_core(done);
 
         let keep: Vec<Block> = old
@@ -572,7 +581,8 @@ impl RingOram {
 
         // Fetch the real blocks present on the path (slot positions are
         // known from the per-bucket permutation metadata).
-        let mut read_addrs = Vec::new();
+        let mut read_addrs = std::mem::take(&mut self.scratch.read_addrs);
+        read_addrs.clear();
         for &bidx in &path {
             if let Some(bucket) = self.buckets.get(&bidx) {
                 for (s, slot) in bucket.slots.iter().enumerate() {
@@ -584,7 +594,8 @@ impl RingOram {
         }
         let done = self
             .nvm
-            .access_batch(read_addrs, AccessKind::Read, to_mem(t));
+            .access_batch(read_addrs.iter().copied(), AccessKind::Read, to_mem(t));
+        self.scratch.read_addrs = read_addrs;
         let t = to_core(done);
 
         // Pool: shadows stay pinned to their bucket; primaries join the
@@ -744,7 +755,8 @@ impl RingOram {
         }
         self.rewrites_this_access += 1;
 
-        let mut write_addrs = Vec::with_capacity(rewrites.len() * physical);
+        let mut write_addrs = std::mem::take(&mut self.scratch.write_addrs);
+        write_addrs.clear();
         for (bidx, _) in &rewrites {
             for s in 0..physical {
                 write_addrs.push(self.slot_nvm_addr(*bidx, s));
@@ -791,7 +803,8 @@ impl RingOram {
         write_addrs.sort_unstable();
         let done = self
             .nvm
-            .access_batch(write_addrs, AccessKind::Write, to_mem(t));
+            .access_batch(write_addrs.iter().copied(), AccessKind::Write, to_mem(t));
+        self.scratch.write_addrs = write_addrs;
         Ok(to_core(done))
     }
 

@@ -1,5 +1,7 @@
 //! The ORAM stash: a small on-chip buffer of in-flight blocks.
 
+use std::collections::BTreeMap;
+
 use serde::{Deserialize, Serialize};
 
 use crate::block::Block;
@@ -9,6 +11,14 @@ use crate::types::{BlockAddr, OramError};
 ///
 /// Holds blocks between a path read and their eviction. PS-ORAM backup
 /// (shadow) blocks live here too but are invisible to lookups.
+///
+/// Lookups go through a primary-address index (`addr → slot`) instead of a
+/// linear scan: with every access doing several `get`/`contains` probes over
+/// an up-to-`C`-entry stash, the scans were a measurable slice of the hot
+/// path. The `blocks` vector stays the source of truth — eviction iterates
+/// it in insertion order exactly as before — and the index always points at
+/// the *first* primary copy of an address, matching the old first-match scan
+/// semantics.
 ///
 /// # Examples
 ///
@@ -25,6 +35,9 @@ pub struct Stash {
     capacity: usize,
     blocks: Vec<Block>,
     max_occupancy: usize,
+    /// Primary-block index: logical address → position in `blocks` of the
+    /// first non-backup copy. Backups are never indexed.
+    index: BTreeMap<u64, usize>,
 }
 
 impl Stash {
@@ -39,6 +52,17 @@ impl Stash {
             capacity,
             blocks: Vec::new(),
             max_occupancy: 0,
+            index: BTreeMap::new(),
+        }
+    }
+
+    /// Rebuilds the primary index from `blocks` (first primary copy wins).
+    fn rebuild_index(&mut self) {
+        self.index.clear();
+        for (i, b) in self.blocks.iter().enumerate() {
+            if !b.is_backup {
+                self.index.entry(b.addr().0).or_insert(i);
+            }
         }
     }
 
@@ -55,6 +79,13 @@ impl Stash {
                 capacity: self.capacity,
             });
         }
+        if !block.is_backup {
+            // An earlier primary copy keeps winning lookups, as it did with
+            // the linear first-match scan.
+            self.index
+                .entry(block.addr().0)
+                .or_insert(self.blocks.len());
+        }
         self.blocks.push(block);
         self.max_occupancy = self.max_occupancy.max(self.blocks.len());
         Ok(())
@@ -62,21 +93,20 @@ impl Stash {
 
     /// Looks up the *primary* (non-backup) block at `addr`.
     pub fn get(&self, addr: BlockAddr) -> Option<&Block> {
-        self.blocks
-            .iter()
-            .find(|b| !b.is_backup && b.addr() == addr)
+        self.index.get(&addr.0).map(|&i| &self.blocks[i])
     }
 
     /// Mutable lookup of the primary block at `addr`.
     pub fn get_mut(&mut self, addr: BlockAddr) -> Option<&mut Block> {
-        self.blocks
-            .iter_mut()
-            .find(|b| !b.is_backup && b.addr() == addr)
+        match self.index.get(&addr.0) {
+            Some(&i) => Some(&mut self.blocks[i]),
+            None => None,
+        }
     }
 
     /// `true` if a primary copy of `addr` is present.
     pub fn contains(&self, addr: BlockAddr) -> bool {
-        self.get(addr).is_some()
+        self.index.contains_key(&addr.0)
     }
 
     /// Removes and returns blocks matching `pred`.
@@ -91,6 +121,7 @@ impl Stash {
             }
         }
         self.blocks = kept;
+        self.rebuild_index();
         taken
     }
 
@@ -100,7 +131,12 @@ impl Stash {
     ///
     /// Panics if `idx` is out of range.
     pub fn remove_at(&mut self, idx: usize) -> Block {
-        self.blocks.swap_remove(idx)
+        let b = self.blocks.swap_remove(idx);
+        // swap_remove relocates the former tail into `idx`; cheapest safe
+        // fix for both affected addresses is a rebuild (the stash is small
+        // and eviction removals are batched, not per-lookup).
+        self.rebuild_index();
+        b
     }
 
     /// All blocks, including backups.
@@ -131,6 +167,7 @@ impl Stash {
     /// Drops every block — models the loss of volatile state at a crash.
     pub fn wipe(&mut self) {
         self.blocks.clear();
+        self.index.clear();
     }
 }
 
@@ -201,5 +238,114 @@ mod tests {
         s.insert(blk(1)).unwrap();
         s.wipe();
         assert!(s.is_empty());
+    }
+
+    /// An unindexed reimplementation of the original linear-scan stash,
+    /// used as the behavioral oracle for the indexed one.
+    struct NaiveStash {
+        capacity: usize,
+        blocks: Vec<Block>,
+    }
+
+    impl NaiveStash {
+        fn get(&self, addr: BlockAddr) -> Option<&Block> {
+            self.blocks
+                .iter()
+                .find(|b| !b.is_backup && b.addr() == addr)
+        }
+    }
+
+    /// The indexed stash must match the old linear-scan behavior on a long
+    /// randomized insert/lookup/remove/drain sequence, including duplicate
+    /// primaries and backups.
+    #[test]
+    fn index_matches_linear_scan_on_randomized_sequence() {
+        let mut indexed = Stash::new(64);
+        let mut naive = NaiveStash {
+            capacity: 64,
+            blocks: Vec::new(),
+        };
+
+        // Small deterministic PRNG so the test needs no dev-dependency.
+        let mut state = 0x1234_5678_9ABC_DEFFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+
+        for step in 0..4000u64 {
+            match next() % 10 {
+                // Insert a primary (duplicates allowed and expected).
+                0..=3 => {
+                    let a = next() % 24;
+                    let b = Block::new(BlockAddr(a), Leaf(a % 8), vec![step as u8; 8]);
+                    let want = naive.blocks.len() < naive.capacity;
+                    if want {
+                        naive.blocks.push(b.clone());
+                    }
+                    assert_eq!(indexed.insert(b).is_ok(), want, "step {step}");
+                }
+                // Insert a backup of a random address.
+                4 => {
+                    let a = next() % 24;
+                    let b = Block::new(BlockAddr(a), Leaf(a % 8), vec![step as u8; 8])
+                        .to_backup(Leaf((a + 1) % 8));
+                    if naive.blocks.len() < naive.capacity {
+                        naive.blocks.push(b.clone());
+                        indexed.insert(b).unwrap();
+                    }
+                }
+                // Point removal at a random slot.
+                5 => {
+                    if !naive.blocks.is_empty() {
+                        let idx = (next() as usize) % naive.blocks.len();
+                        let a = naive.blocks.swap_remove(idx);
+                        let b = indexed.remove_at(idx);
+                        assert_eq!(a, b, "step {step}");
+                    }
+                }
+                // Drain by a random predicate.
+                6 => {
+                    let bit = next().is_multiple_of(2);
+                    let pred = |b: &Block| b.addr().0.is_multiple_of(2) == bit;
+                    let mut kept = Vec::new();
+                    let mut taken = Vec::new();
+                    for b in naive.blocks.drain(..) {
+                        if pred(&b) {
+                            taken.push(b);
+                        } else {
+                            kept.push(b);
+                        }
+                    }
+                    naive.blocks = kept;
+                    assert_eq!(indexed.drain_matching(pred), taken, "step {step}");
+                }
+                // Lookups: primary get + contains must agree exactly.
+                _ => {
+                    let a = BlockAddr(next() % 24);
+                    assert_eq!(indexed.get(a), naive.get(a), "step {step} addr {a:?}");
+                    assert_eq!(indexed.contains(a), naive.get(a).is_some(), "step {step}");
+                }
+            }
+            // Eviction iterates `blocks()` directly: order must be identical.
+            assert_eq!(indexed.blocks(), &naive.blocks[..], "step {step}");
+        }
+    }
+
+    /// Mutating through `get_mut` must keep index and storage consistent.
+    #[test]
+    fn get_mut_after_churn_targets_first_primary() {
+        let mut s = Stash::new(16);
+        s.insert(blk(3)).unwrap();
+        s.insert(blk(4)).unwrap();
+        s.insert(blk(3)).unwrap(); // duplicate primary: first one wins
+        s.get_mut(BlockAddr(3)).unwrap().payload = vec![0xAB; 8];
+        assert_eq!(s.blocks()[0].payload, vec![0xAB; 8]);
+        assert_eq!(s.blocks()[2].payload, vec![3; 8]);
+        // Remove the first copy; the duplicate becomes visible again.
+        s.remove_at(0);
+        assert_eq!(s.get(BlockAddr(3)).unwrap().payload, vec![3; 8]);
     }
 }

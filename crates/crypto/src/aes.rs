@@ -1,13 +1,19 @@
-//! AES-128 block cipher (FIPS-197), implemented from scratch.
+//! AES-128 block cipher (FIPS-197), T-table fast path.
 //!
-//! The implementation favours clarity over raw speed: the S-box is a static
-//! table, MixColumns uses explicit GF(2^8) doubling, and the round structure
-//! follows the specification directly. Throughput is more than sufficient for
-//! the functional side of the ORAM simulator (the *timing* side charges a
-//! fixed 32-cycle latency regardless; see [`crate::CryptoLatencyModel`]).
+//! The encryption round is implemented with the classic four precomputed
+//! 32-bit lookup tables (`Te0..Te3`), each entry combining SubBytes,
+//! ShiftRows, and MixColumns for one state byte; a round is then sixteen
+//! table loads, sixteen XORs, and the round key. The tables are generated at
+//! compile time from the S-box, and equivalence with the specification is
+//! enforced against the byte-wise [`crate::ReferenceAes128`] cipher by
+//! known-answer vectors plus proptest over random keys and blocks.
+//!
+//! Functional throughput is independent of the *timing* model, which charges
+//! a fixed 32-cycle latency per AES operation regardless of how fast the
+//! simulator computes it (see [`crate::CryptoLatencyModel`]).
 
 /// The AES S-box (forward substitution table), from FIPS-197 Figure 7.
-const SBOX: [u8; 256] = [
+pub(crate) const SBOX: [u8; 256] = [
     0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
     0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
     0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
@@ -29,13 +35,65 @@ const SBOX: [u8; 256] = [
 /// Round constants for the key schedule.
 const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
 
-/// Multiply a GF(2^8) element by 2 (the `xtime` operation of FIPS-197).
-#[inline]
-fn xtime(b: u8) -> u8 {
+/// GF(2^8) doubling, usable in const table generation.
+const fn mul2(b: u8) -> u8 {
     (b << 1) ^ (((b >> 7) & 1) * 0x1b)
 }
 
-/// An AES-128 block cipher with a pre-expanded key schedule.
+/// The four encryption T-tables. With big-endian state words (row 0 in the
+/// most significant byte), `TE[0][x]` holds the MixColumns column
+/// `(2·S(x), S(x), S(x), 3·S(x))`; `TE[1..3]` are byte rotations of it, so a
+/// full round column is `TE[0][..] ^ TE[1][..] ^ TE[2][..] ^ TE[3][..] ^ rk`.
+static TE: [[u32; 256]; 4] = {
+    let mut t = [[0u32; 256]; 4];
+    let mut i = 0;
+    while i < 256 {
+        let s = SBOX[i] as u32;
+        let s2 = mul2(SBOX[i]) as u32;
+        let s3 = s2 ^ s;
+        let w = (s2 << 24) | (s << 16) | (s << 8) | s3;
+        t[0][i] = w;
+        t[1][i] = w.rotate_right(8);
+        t[2][i] = w.rotate_right(16);
+        t[3][i] = w.rotate_right(24);
+        i += 1;
+    }
+    t
+};
+
+/// Expands `key` into the 11 round keys of the FIPS-197 key schedule.
+///
+/// Shared by the T-table cipher, the byte-wise reference cipher, and the
+/// inverse cipher so all three provably run the same schedule.
+pub(crate) fn expand_key(key: &[u8; 16]) -> [[u8; 16]; 11] {
+    let mut w = [[0u8; 4]; 44];
+    for (i, chunk) in key.chunks_exact(4).enumerate() {
+        w[i].copy_from_slice(chunk);
+    }
+    for i in 4..44 {
+        let mut temp = w[i - 1];
+        if i % 4 == 0 {
+            temp.rotate_left(1);
+            for b in &mut temp {
+                *b = SBOX[*b as usize];
+            }
+            temp[0] ^= RCON[i / 4 - 1];
+        }
+        for j in 0..4 {
+            w[i][j] = w[i - 4][j] ^ temp[j];
+        }
+    }
+    let mut round_keys = [[0u8; 16]; 11];
+    for r in 0..11 {
+        for c in 0..4 {
+            round_keys[r][c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
+        }
+    }
+    round_keys
+}
+
+/// An AES-128 block cipher with a pre-expanded key schedule (T-table fast
+/// path).
 ///
 /// The cipher only exposes block *encryption*: ORAM uses AES exclusively in
 /// counter mode, where decryption is the same keystream XOR.
@@ -61,8 +119,12 @@ fn xtime(b: u8) -> u8 {
 /// ```
 #[derive(Clone)]
 pub struct Aes128 {
-    /// 11 round keys of 16 bytes each.
+    /// 11 round keys of 16 bytes each (byte form, for the inverse cipher
+    /// and CMAC subkey derivation).
     round_keys: [[u8; 16]; 11],
+    /// The same schedule as 44 big-endian words, consumed by the T-table
+    /// round loop.
+    ek: [u32; 44],
 }
 
 impl std::fmt::Debug for Aes128 {
@@ -77,30 +139,14 @@ impl std::fmt::Debug for Aes128 {
 impl Aes128 {
     /// Expands `key` into the full round-key schedule and returns the cipher.
     pub fn new(key: &[u8; 16]) -> Self {
-        let mut w = [[0u8; 4]; 44];
-        for (i, chunk) in key.chunks_exact(4).enumerate() {
-            w[i].copy_from_slice(chunk);
+        let round_keys = expand_key(key);
+        let mut ek = [0u32; 44];
+        for (i, word) in ek.iter_mut().enumerate() {
+            let rk = &round_keys[i / 4];
+            let c = (i % 4) * 4;
+            *word = u32::from_be_bytes([rk[c], rk[c + 1], rk[c + 2], rk[c + 3]]);
         }
-        for i in 4..44 {
-            let mut temp = w[i - 1];
-            if i % 4 == 0 {
-                temp.rotate_left(1);
-                for b in &mut temp {
-                    *b = SBOX[*b as usize];
-                }
-                temp[0] ^= RCON[i / 4 - 1];
-            }
-            for j in 0..4 {
-                w[i][j] = w[i - 4][j] ^ temp[j];
-            }
-        }
-        let mut round_keys = [[0u8; 16]; 11];
-        for r in 0..11 {
-            for c in 0..4 {
-                round_keys[r][c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
-            }
-        }
-        Aes128 { round_keys }
+        Aes128 { round_keys, ek }
     }
 
     /// Internal view of the expanded key schedule (for the inverse cipher).
@@ -110,76 +156,64 @@ impl Aes128 {
 
     /// Encrypts one 16-byte block and returns the ciphertext block.
     pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
-        let mut state = *block;
-        add_round_key(&mut state, &self.round_keys[0]);
-        for round in 1..10 {
-            sub_bytes(&mut state);
-            shift_rows(&mut state);
-            mix_columns(&mut state);
-            add_round_key(&mut state, &self.round_keys[round]);
+        let ek = &self.ek;
+        let mut s0 = u32::from_be_bytes([block[0], block[1], block[2], block[3]]) ^ ek[0];
+        let mut s1 = u32::from_be_bytes([block[4], block[5], block[6], block[7]]) ^ ek[1];
+        let mut s2 = u32::from_be_bytes([block[8], block[9], block[10], block[11]]) ^ ek[2];
+        let mut s3 = u32::from_be_bytes([block[12], block[13], block[14], block[15]]) ^ ek[3];
+
+        // Rounds 1..=9: SubBytes + ShiftRows + MixColumns folded into the
+        // T-tables; the ShiftRows byte selection is the (s_j, s_{j+1},
+        // s_{j+2}, s_{j+3}) column rotation below.
+        for r in 1..10 {
+            let k = &ek[4 * r..4 * r + 4];
+            let t0 = round_word(s0, s1, s2, s3) ^ k[0];
+            let t1 = round_word(s1, s2, s3, s0) ^ k[1];
+            let t2 = round_word(s2, s3, s0, s1) ^ k[2];
+            let t3 = round_word(s3, s0, s1, s2) ^ k[3];
+            s0 = t0;
+            s1 = t1;
+            s2 = t2;
+            s3 = t3;
         }
-        sub_bytes(&mut state);
-        shift_rows(&mut state);
-        add_round_key(&mut state, &self.round_keys[10]);
-        state
+
+        // Final round: SubBytes + ShiftRows only (no MixColumns).
+        let o0 = final_word(s0, s1, s2, s3) ^ ek[40];
+        let o1 = final_word(s1, s2, s3, s0) ^ ek[41];
+        let o2 = final_word(s2, s3, s0, s1) ^ ek[42];
+        let o3 = final_word(s3, s0, s1, s2) ^ ek[43];
+
+        let mut out = [0u8; 16];
+        out[0..4].copy_from_slice(&o0.to_be_bytes());
+        out[4..8].copy_from_slice(&o1.to_be_bytes());
+        out[8..12].copy_from_slice(&o2.to_be_bytes());
+        out[12..16].copy_from_slice(&o3.to_be_bytes());
+        out
     }
 }
 
-#[inline]
-fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
-    for (s, k) in state.iter_mut().zip(rk) {
-        *s ^= k;
-    }
+/// One output column of a main round, before the round key.
+#[inline(always)]
+fn round_word(a: u32, b: u32, c: u32, d: u32) -> u32 {
+    TE[0][(a >> 24) as usize]
+        ^ TE[1][((b >> 16) & 0xff) as usize]
+        ^ TE[2][((c >> 8) & 0xff) as usize]
+        ^ TE[3][(d & 0xff) as usize]
 }
 
-#[inline]
-fn sub_bytes(state: &mut [u8; 16]) {
-    for b in state.iter_mut() {
-        *b = SBOX[*b as usize];
-    }
-}
-
-/// FIPS-197 state is column-major: byte `state[r + 4c]` is row `r`, col `c`.
-/// Our flat layout stores the state exactly as the input byte stream, i.e.
-/// `state[4c + r]`; ShiftRows therefore rotates the bytes with stride 4.
-#[inline]
-fn shift_rows(state: &mut [u8; 16]) {
-    // Row 1: rotate left by 1.
-    let t = state[1];
-    state[1] = state[5];
-    state[5] = state[9];
-    state[9] = state[13];
-    state[13] = t;
-    // Row 2: rotate left by 2.
-    state.swap(2, 10);
-    state.swap(6, 14);
-    // Row 3: rotate left by 3 (== right by 1).
-    let t = state[15];
-    state[15] = state[11];
-    state[11] = state[7];
-    state[7] = state[3];
-    state[3] = t;
-}
-
-#[inline]
-fn mix_columns(state: &mut [u8; 16]) {
-    for c in 0..4 {
-        let col = &mut state[c * 4..c * 4 + 4];
-        let a0 = col[0];
-        let a1 = col[1];
-        let a2 = col[2];
-        let a3 = col[3];
-        let all = a0 ^ a1 ^ a2 ^ a3;
-        col[0] = a0 ^ all ^ xtime(a0 ^ a1);
-        col[1] = a1 ^ all ^ xtime(a1 ^ a2);
-        col[2] = a2 ^ all ^ xtime(a2 ^ a3);
-        col[3] = a3 ^ all ^ xtime(a3 ^ a0);
-    }
+/// One output column of the final round (S-box only), before the round key.
+#[inline(always)]
+fn final_word(a: u32, b: u32, c: u32, d: u32) -> u32 {
+    (u32::from(SBOX[(a >> 24) as usize]) << 24)
+        | (u32::from(SBOX[((b >> 16) & 0xff) as usize]) << 16)
+        | (u32::from(SBOX[((c >> 8) & 0xff) as usize]) << 8)
+        | u32::from(SBOX[(d & 0xff) as usize])
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ReferenceAes128;
 
     /// FIPS-197 Appendix B: full example vector.
     #[test]
@@ -246,6 +280,29 @@ mod tests {
     }
 
     #[test]
+    fn word_schedule_mirrors_byte_schedule() {
+        let aes = Aes128::new(&[0x3Cu8; 16]);
+        for (i, &word) in aes.ek.iter().enumerate() {
+            let rk = &aes.round_keys[i / 4];
+            let c = (i % 4) * 4;
+            assert_eq!(word.to_be_bytes(), [rk[c], rk[c + 1], rk[c + 2], rk[c + 3]]);
+        }
+    }
+
+    #[test]
+    fn matches_reference_cipher_on_structured_inputs() {
+        for seed in 0u8..32 {
+            let key: [u8; 16] = core::array::from_fn(|i| (i as u8).wrapping_mul(seed ^ 0x5f));
+            let pt: [u8; 16] = core::array::from_fn(|i| (i as u8).wrapping_add(seed));
+            assert_eq!(
+                Aes128::new(&key).encrypt_block(&pt),
+                ReferenceAes128::new(&key).encrypt_block(&pt),
+                "mismatch at seed {seed}"
+            );
+        }
+    }
+
+    #[test]
     fn different_keys_give_different_ciphertexts() {
         let pt = [0u8; 16];
         let c1 = Aes128::new(&[0u8; 16]).encrypt_block(&pt);
@@ -262,9 +319,11 @@ mod tests {
     }
 
     #[test]
-    fn xtime_matches_gf256_doubling() {
-        assert_eq!(xtime(0x57), 0xae);
-        assert_eq!(xtime(0xae), 0x47);
-        assert_eq!(xtime(0x80), 0x1b);
+    fn te_tables_are_rotations_of_te0() {
+        for (i, &t0) in TE[0].iter().enumerate() {
+            assert_eq!(TE[1][i], t0.rotate_right(8));
+            assert_eq!(TE[2][i], t0.rotate_right(16));
+            assert_eq!(TE[3][i], t0.rotate_right(24));
+        }
     }
 }

@@ -50,14 +50,30 @@ impl CtrCipher {
         }
     }
 
+    /// Fills `out` with keystream bytes for `iv`, overwriting its contents.
+    ///
+    /// This is the batched, allocation-free variant of [`Self::keystream`]:
+    /// the caller brings a reusable scratch buffer (any length; the final
+    /// partial block is truncated) and XORs the pad into data itself, which
+    /// is how the controller re-encrypts a whole path's buckets without a
+    /// heap allocation per access.
+    pub fn keystream_into(&self, iv: u128, out: &mut [u8]) {
+        for (i, chunk) in out.chunks_mut(16).enumerate() {
+            let counter = iv.wrapping_add(i as u128).to_be_bytes();
+            let pad = self.aes.encrypt_block(&counter);
+            chunk.copy_from_slice(&pad[..chunk.len()]);
+        }
+    }
+
     /// Generates `len` keystream bytes for `iv` without touching user data.
     ///
     /// Used by the timing model to emulate Osiris-style pad pre-generation,
     /// where the encryption pad is computed while the data block is still in
-    /// flight from memory.
+    /// flight from memory. Allocates; hot paths should hand a scratch buffer
+    /// to [`Self::keystream_into`] instead.
     pub fn keystream(&self, iv: u128, len: usize) -> Vec<u8> {
         let mut buf = vec![0u8; len];
-        self.apply_keystream(iv, &mut buf);
+        self.keystream_into(iv, &mut buf);
         buf
     }
 }
@@ -98,6 +114,32 @@ mod tests {
         let mut buf = vec![0u8; 48];
         c.apply_keystream(99, &mut buf);
         assert_eq!(ks, buf);
+    }
+
+    #[test]
+    fn keystream_into_matches_keystream() {
+        let c = cipher();
+        for len in [0usize, 1, 15, 16, 17, 48, 200] {
+            let ks = c.keystream(0x1234_5678, len);
+            let mut buf = vec![0xEEu8; len];
+            c.keystream_into(0x1234_5678, &mut buf);
+            assert_eq!(ks, buf, "len {len}");
+        }
+    }
+
+    #[test]
+    fn keystream_into_then_xor_equals_apply_keystream() {
+        let c = cipher();
+        let plain: Vec<u8> = (0..77).map(|i| (i * 13) as u8).collect();
+
+        let mut direct = plain.clone();
+        c.apply_keystream(0xFEED, &mut direct);
+
+        let mut pad = vec![0u8; plain.len()];
+        c.keystream_into(0xFEED, &mut pad);
+        let via_pad: Vec<u8> = plain.iter().zip(&pad).map(|(p, k)| p ^ k).collect();
+
+        assert_eq!(direct, via_pad);
     }
 
     #[test]

@@ -12,11 +12,19 @@
 //!
 //! This crate provides:
 //!
-//! * [`Aes128`] — a table-free, constant-structure AES-128 implementation
-//!   verified against the FIPS-197 and NIST SP 800-38A vectors.
-//! * [`CtrCipher`] — AES-CTR keystream encryption of arbitrary-length buffers.
+//! * [`Aes128`] — the T-table (u32 lookup-table) AES-128 fast path that sits
+//!   on the simulator's hottest loop, verified against the FIPS-197 and NIST
+//!   SP 800-38A vectors.
+//! * [`ReferenceAes128`] — the original byte-wise, specification-faithful
+//!   cipher, kept as the equivalence oracle for the fast path (proptest over
+//!   random keys/blocks in `tests/equivalence.rs`).
+//! * [`CtrCipher`] — AES-CTR keystream encryption of arbitrary-length
+//!   buffers, including the allocation-free batched
+//!   [`CtrCipher::keystream_into`].
 //! * [`CryptoLatencyModel`] — the cycle-cost model the timing simulator
-//!   charges for header/content (de|en)cryption.
+//!   charges for header/content (de|en)cryption. Functional throughput and
+//!   modeled latency are deliberately decoupled: the timing side charges 32
+//!   cycles per AES operation no matter how fast the host computes it.
 //!
 //! # Examples
 //!
@@ -43,9 +51,11 @@ mod ctr;
 mod hash;
 mod inverse;
 mod latency;
+mod reference;
 
 pub use aes::Aes128;
 pub use cmac::Cmac;
 pub use ctr::CtrCipher;
 pub use hash::{Digest, Hash128, DIGEST_BYTES};
 pub use latency::CryptoLatencyModel;
+pub use reference::ReferenceAes128;

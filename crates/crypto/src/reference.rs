@@ -1,0 +1,176 @@
+//! Byte-wise reference AES-128 (FIPS-197), retained as the equivalence
+//! oracle for the T-table fast path in [`crate::Aes128`].
+//!
+//! This is the original from-scratch implementation: the S-box is a static
+//! table, MixColumns uses explicit GF(2^8) doubling, and the round structure
+//! follows the specification directly. It favours clarity over raw speed and
+//! is what the property tests and known-answer vectors check the optimized
+//! cipher against.
+
+use crate::aes::{expand_key, SBOX};
+
+/// Multiply a GF(2^8) element by 2 (the `xtime` operation of FIPS-197).
+#[inline]
+pub(crate) fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (((b >> 7) & 1) * 0x1b)
+}
+
+/// Specification-faithful AES-128, one spec step per function.
+///
+/// Bit-for-bit interchangeable with [`crate::Aes128`] — the equivalence is
+/// enforced by proptest over random keys/blocks plus the FIPS-197 and NIST
+/// vectors — but roughly an order of magnitude slower, so nothing on the
+/// simulator's hot path should use it.
+///
+/// # Examples
+///
+/// ```
+/// use psoram_crypto::{Aes128, ReferenceAes128};
+///
+/// let key = [0x2b; 16];
+/// let block = [0x5a; 16];
+/// let fast = Aes128::new(&key).encrypt_block(&block);
+/// let slow = ReferenceAes128::new(&key).encrypt_block(&block);
+/// assert_eq!(fast, slow);
+/// ```
+#[derive(Clone)]
+pub struct ReferenceAes128 {
+    /// 11 round keys of 16 bytes each.
+    round_keys: [[u8; 16]; 11],
+}
+
+impl std::fmt::Debug for ReferenceAes128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.debug_struct("ReferenceAes128")
+            .field("round_keys", &"<redacted>")
+            .finish()
+    }
+}
+
+impl ReferenceAes128 {
+    /// Expands `key` into the full round-key schedule and returns the cipher.
+    pub fn new(key: &[u8; 16]) -> Self {
+        ReferenceAes128 {
+            round_keys: expand_key(key),
+        }
+    }
+
+    /// Encrypts one 16-byte block and returns the ciphertext block.
+    pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut state = *block;
+        add_round_key(&mut state, &self.round_keys[0]);
+        for round in 1..10 {
+            sub_bytes(&mut state);
+            shift_rows(&mut state);
+            mix_columns(&mut state);
+            add_round_key(&mut state, &self.round_keys[round]);
+        }
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        add_round_key(&mut state, &self.round_keys[10]);
+        state
+    }
+}
+
+#[inline]
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(rk) {
+        *s ^= k;
+    }
+}
+
+#[inline]
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+/// FIPS-197 state is column-major: byte `state[r + 4c]` is row `r`, col `c`.
+/// Our flat layout stores the state exactly as the input byte stream, i.e.
+/// `state[4c + r]`; ShiftRows therefore rotates the bytes with stride 4.
+#[inline]
+fn shift_rows(state: &mut [u8; 16]) {
+    // Row 1: rotate left by 1.
+    let t = state[1];
+    state[1] = state[5];
+    state[5] = state[9];
+    state[9] = state[13];
+    state[13] = t;
+    // Row 2: rotate left by 2.
+    state.swap(2, 10);
+    state.swap(6, 14);
+    // Row 3: rotate left by 3 (== right by 1).
+    let t = state[15];
+    state[15] = state[11];
+    state[11] = state[7];
+    state[7] = state[3];
+    state[3] = t;
+}
+
+#[inline]
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = &mut state[c * 4..c * 4 + 4];
+        let a0 = col[0];
+        let a1 = col[1];
+        let a2 = col[2];
+        let a3 = col[3];
+        let all = a0 ^ a1 ^ a2 ^ a3;
+        col[0] = a0 ^ all ^ xtime(a0 ^ a1);
+        col[1] = a1 ^ all ^ xtime(a1 ^ a2);
+        col[2] = a2 ^ all ^ xtime(a2 ^ a3);
+        col[3] = a3 ^ all ^ xtime(a3 ^ a0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FIPS-197 Appendix B: full example vector.
+    #[test]
+    fn fips197_appendix_b() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let pt = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expected = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        assert_eq!(ReferenceAes128::new(&key).encrypt_block(&pt), expected);
+    }
+
+    /// FIPS-197 Appendix C.1: AES-128 known-answer test.
+    #[test]
+    fn fips197_appendix_c1() {
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let pt: [u8; 16] = core::array::from_fn(|i| (i * 0x11) as u8);
+        let expected = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        assert_eq!(ReferenceAes128::new(&key).encrypt_block(&pt), expected);
+    }
+
+    #[test]
+    fn debug_redacts_key_material() {
+        let aes = ReferenceAes128::new(&[7u8; 16]);
+        let dbg = format!("{aes:?}");
+        assert!(dbg.contains("redacted"));
+        assert!(!dbg.contains("[7"));
+    }
+
+    #[test]
+    fn xtime_matches_gf256_doubling() {
+        assert_eq!(xtime(0x57), 0xae);
+        assert_eq!(xtime(0xae), 0x47);
+        assert_eq!(xtime(0x80), 0x1b);
+    }
+}

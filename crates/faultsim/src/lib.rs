@@ -20,6 +20,10 @@
 //! * **Structured reports** ([`CampaignReport`]): JSON (serde) records of
 //!   crashes, recoveries, and each violation pinned to the exact crash
 //!   point and access index, so any failure replays deterministically.
+//! * **Deterministic parallel runner** ([`par_map`]): per-design runs fan
+//!   out across cores (each derives its RNG stream from the seed and the
+//!   design alone) and results come back in input order, so every report
+//!   is byte-identical to the serial runner at any `PSORAM_JOBS` setting.
 //!
 //! The expectation is differential by design: PS-ORAM designs must come
 //! out violation-free, while the non-persistent baseline must *fail* the
@@ -44,12 +48,14 @@
 mod campaign;
 mod driver;
 mod oracle;
+pub mod par;
 mod report;
 mod sweep;
 mod target;
 
 pub use campaign::{campaign_variant, random_campaign, CampaignConfig};
 pub use oracle::{CommitModel, PendingWrite, ShadowOracle};
+pub use par::{default_jobs, par_map, resolve_jobs};
 pub use report::{
     CampaignReport, VariantReport, ViolationKind, ViolationRecord, MAX_RECORDED_VIOLATIONS,
 };

@@ -103,11 +103,12 @@ pub fn sweep_variant(variant: DesignVariant, cfg: &SweepConfig) -> VariantReport
 }
 
 /// Sweeps every design in [`DesignVariant::sweep_set`].
+///
+/// Designs run in parallel (see [`crate::par_map`]); each sweep is
+/// deterministic in `(variant, cfg)` alone and results are collected in
+/// sweep-set order, so the report is identical at any job count.
 pub fn exhaustive_sweep(cfg: &SweepConfig) -> CampaignReport {
-    let variants = DesignVariant::sweep_set()
-        .into_iter()
-        .map(|v| sweep_variant(v, cfg))
-        .collect();
+    let variants = crate::par_map(0, DesignVariant::sweep_set(), |v| sweep_variant(v, cfg));
     CampaignReport {
         mode: "exhaustive".into(),
         seed: cfg.seed,

@@ -1,0 +1,52 @@
+//! Byte-identity of the parallel runner across job counts.
+//!
+//! The contract the figure binaries and the golden campaign rely on: the
+//! number of worker threads is a pure throughput knob. Every report must be
+//! byte-identical at `jobs = 1` (the legacy serial path) and any `jobs > 1`.
+
+use proptest::prelude::*;
+use psoram_faultsim::{exhaustive_sweep, par_map, random_campaign, CampaignConfig, SweepConfig};
+
+/// Full campaign + sweep reports, serialized, across PSORAM_JOBS ∈ {1, 2, 8}.
+///
+/// This test owns the `PSORAM_JOBS` mutation for the whole process (the
+/// other tests in this binary pass explicit job counts and never read the
+/// environment), so running it alongside them is safe.
+#[test]
+fn campaign_and_sweep_reports_identical_across_job_counts() {
+    let ccfg = CampaignConfig {
+        seed: 42,
+        ..CampaignConfig::smoke()
+    };
+    let scfg = SweepConfig::smoke();
+
+    let mut outputs: Vec<(String, String)> = Vec::new();
+    for jobs in ["1", "2", "8"] {
+        std::env::set_var(psoram_faultsim::par::JOBS_ENV, jobs);
+        let campaign = serde_json::to_string_pretty(&random_campaign(&ccfg)).unwrap();
+        let sweep = serde_json::to_string_pretty(&exhaustive_sweep(&scfg)).unwrap();
+        outputs.push((campaign, sweep));
+    }
+    std::env::remove_var(psoram_faultsim::par::JOBS_ENV);
+
+    assert_eq!(outputs[0], outputs[1], "jobs=2 diverged from jobs=1");
+    assert_eq!(outputs[0], outputs[2], "jobs=8 diverged from jobs=1");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Ordering property: for arbitrary inputs, `par_map` returns the same
+    /// output vector at jobs ∈ {1, 2, 8}.
+    #[test]
+    fn par_map_output_independent_of_job_count(
+        items in prop::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let f = |x: u64| x.rotate_left(13) ^ 0xA5A5_5A5A_0F0F_F0F0;
+        let at_1 = par_map(1, items.clone(), f);
+        let at_2 = par_map(2, items.clone(), f);
+        let at_8 = par_map(8, items.clone(), f);
+        prop_assert_eq!(&at_1, &at_2);
+        prop_assert_eq!(&at_1, &at_8);
+    }
+}

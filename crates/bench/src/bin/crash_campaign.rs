@@ -10,6 +10,7 @@
 //! Usage:
 //!   crash_campaign [--smoke] [--mode exhaustive|random|both]
 //!                  [--seed N] [--out FILE] [--quiet] [--jobs N]
+//!                  [--trace-out FILE] [--metrics-out FILE]
 //!
 //! `--jobs` fans the per-design campaigns out across worker threads; the
 //! report is byte-identical at any job count (each design variant derives
@@ -23,6 +24,8 @@ struct Args {
     mode: String,
     seed: Option<u64>,
     out: Option<String>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
     quiet: bool,
 }
 
@@ -32,6 +35,8 @@ fn parse_args() -> Args {
         mode: "both".into(),
         seed: None,
         out: None,
+        trace_out: None,
+        metrics_out: None,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -48,6 +53,18 @@ fn parse_args() -> Args {
                 );
             }
             "--out" => args.out = Some(it.next().unwrap_or_else(|| usage("--out needs a value"))),
+            "--trace-out" => {
+                args.trace_out = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--trace-out needs a value")),
+                );
+            }
+            "--metrics-out" => {
+                args.metrics_out = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--metrics-out needs a value")),
+                );
+            }
             "--jobs" => {
                 let v = it.next().unwrap_or_else(|| usage("--jobs needs a value"));
                 let n: usize = v
@@ -79,6 +96,10 @@ fn usage(err: &str) -> ! {
          \x20 --mode MODE        exhaustive | random | both (default both)\n\
          \x20 --seed N           override the campaign seed\n\
          \x20 --out FILE         write the JSON report to FILE (default stdout)\n\
+         \x20 --trace-out FILE   write a chrome://tracing timeline of the random\n\
+         \x20                    campaign (one track per design)\n\
+         \x20 --metrics-out FILE write a flat metrics snapshot (per-design counters\n\
+         \x20                    incl. per-crash-point timing attribution)\n\
          \x20 --jobs N           worker threads (default: all cores; 1 = serial);\n\
          \x20                    the report is byte-identical at any job count\n\
          \x20 --quiet            suppress the human-readable summary"
@@ -147,14 +168,42 @@ fn main() {
 
     // Fail fast on an unwritable report path before spending minutes on
     // the campaigns themselves.
-    if let Some(path) = &args.out {
+    for path in [&args.out, &args.trace_out, &args.metrics_out]
+        .into_iter()
+        .flatten()
+    {
         if let Err(e) = std::fs::write(path, b"[]") {
-            eprintln!("error: cannot write --out {path}: {e}");
+            eprintln!("error: cannot write to {path}: {e}");
             std::process::exit(2);
         }
     }
 
-    let reports = SimHarness::new(1).crash_campaigns(&args.mode, args.smoke, args.seed);
+    let harness = SimHarness::new(1);
+    let (reports, tracks) = if args.trace_out.is_some() {
+        harness.crash_campaigns_traced(&args.mode, args.smoke, args.seed)
+    } else {
+        (
+            harness.crash_campaigns(&args.mode, args.smoke, args.seed),
+            Vec::new(),
+        )
+    };
+
+    if let Some(path) = &args.trace_out {
+        psoram_bench::write_obsv_file(path, &psoram_obsv::chrome_trace_json(&tracks));
+    }
+    if let Some(path) = &args.metrics_out {
+        use psoram_obsv::MetricsSource as _;
+        let mut reg = psoram_obsv::MetricsRegistry::new();
+        for report in &reports {
+            for v in &report.variants {
+                v.publish(&format!("{}.{}", report.mode, v.label), &mut reg);
+            }
+        }
+        for (label, events) in &tracks {
+            reg.ingest_events(&format!("trace.{label}"), events);
+        }
+        psoram_bench::write_obsv_file(path, &reg.to_json_string());
+    }
 
     let json = serde_json::to_string_pretty(&reports).expect("report serializes");
     match &args.out {

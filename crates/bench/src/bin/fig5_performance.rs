@@ -9,9 +9,11 @@
 
 use psoram_bench::{FigureTable, SimHarness};
 use psoram_core::ProtocolVariant;
+use psoram_trace::SpecWorkload;
 
 fn main() {
     psoram_bench::init_jobs_from_cli();
+    let obsv = psoram_bench::obsv_cli_from_args();
     let harness = SimHarness::new(1);
     harness.banner("Figure 5: performance comparison");
 
@@ -25,8 +27,14 @@ fn main() {
     ];
     let mut table_a = FigureTable::new(&["FullNVM", "FullNVM(STT)", "Naive-PS", "PS-ORAM"]);
     let mut table_b = FigureTable::new(&["Rcr-Baseline", "Rcr-PS-ORAM", "Rcr-PS/Rcr-Base"]);
+    let mut reg = psoram_obsv::MetricsRegistry::new();
 
     harness.sweep_vs_baseline(&variants, |w, base, runs| {
+        use psoram_obsv::MetricsSource as _;
+        base.publish(&format!("{}.Baseline", w.name()), &mut reg);
+        for (v, r) in variants.iter().zip(runs) {
+            r.publish(&format!("{}.{}", w.name(), v.label()), &mut reg);
+        }
         table_a.add_row(
             w.name(),
             runs[..4].iter().map(|r| r.normalized_time(base)).collect(),
@@ -41,6 +49,21 @@ fn main() {
             ],
         );
     });
+
+    if let Some(path) = &obsv.metrics_out {
+        psoram_bench::write_obsv_file(path, &reg.to_json_string());
+    }
+    if let Some(path) = &obsv.trace_out {
+        // A small deterministic side run (the measured sweep stays
+        // untraced, so recording cannot perturb the reported numbers).
+        let trace = psoram_bench::capture_system_trace(
+            ProtocolVariant::PsOram,
+            SpecWorkload::Mcf,
+            1,
+            2_000,
+        );
+        psoram_bench::write_obsv_file(path, &trace);
+    }
 
     print!(
         "{}",

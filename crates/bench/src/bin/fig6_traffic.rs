@@ -3,9 +3,11 @@
 
 use psoram_bench::{FigureTable, SimHarness};
 use psoram_core::ProtocolVariant;
+use psoram_trace::SpecWorkload;
 
 fn main() {
     psoram_bench::init_jobs_from_cli();
+    let obsv = psoram_bench::obsv_cli_from_args();
     let harness = SimHarness::new(1);
     harness.banner("Figure 6: NVM read/write traffic");
 
@@ -20,8 +22,14 @@ fn main() {
     let mut reads = FigureTable::new(&labels);
     let mut writes = FigureTable::new(&labels);
     let mut rcr_ps_vs_base = Vec::new();
+    let mut reg = psoram_obsv::MetricsRegistry::new();
 
     harness.sweep_vs_baseline(&variants, |w, base, runs| {
+        use psoram_obsv::MetricsSource as _;
+        base.publish(&format!("{}.Baseline", w.name()), &mut reg);
+        for (v, r) in variants.iter().zip(runs) {
+            r.publish(&format!("{}.{}", w.name(), v.label()), &mut reg);
+        }
         reads.add_row(
             w.name(),
             runs.iter()
@@ -36,6 +44,21 @@ fn main() {
         );
         rcr_ps_vs_base.push(runs[4].total_writes() as f64 / runs[3].total_writes() as f64);
     });
+
+    if let Some(path) = &obsv.metrics_out {
+        psoram_bench::write_obsv_file(path, &reg.to_json_string());
+    }
+    if let Some(path) = &obsv.trace_out {
+        // A small deterministic side run (the measured sweep stays
+        // untraced, so recording cannot perturb the reported numbers).
+        let trace = psoram_bench::capture_system_trace(
+            ProtocolVariant::PsOram,
+            SpecWorkload::Mcf,
+            1,
+            2_000,
+        );
+        psoram_bench::write_obsv_file(path, &trace);
+    }
 
     print!(
         "{}",

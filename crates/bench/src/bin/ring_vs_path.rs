@@ -11,6 +11,7 @@ use psoram_core::{OramConfig, PathOram, ProtocolPolicy, ProtocolVariant};
 
 fn main() {
     psoram_bench::init_jobs_from_cli();
+    let obsv = psoram_bench::obsv_cli_from_args();
     psoram_bench::print_config_banner("Ring ORAM vs Path ORAM (extension)");
     let accesses: usize = std::env::var("PSORAM_RECORDS")
         .ok()
@@ -37,15 +38,48 @@ fn main() {
     // The four designs share no state, so each worker constructs its own
     // controller and drives it to completion; `par_map` returns rows in
     // input order, keeping the table identical at any `--jobs` count.
-    let rows: Vec<TrafficRow> = psoram_faultsim::par_map(0, (0..4usize).collect(), |i| {
+    // Each design records into its own buffer, so traces merge in input
+    // order too.
+    let tracing = obsv.trace_out.is_some() || obsv.metrics_out.is_some();
+    let results: Vec<(
+        TrafficRow,
+        (String, Vec<psoram_obsv::Event>),
+        psoram_obsv::MetricsRegistry,
+    )> = psoram_faultsim::par_map(0, (0..4usize).collect(), |i| {
         let (name, mut oram): (&str, Box<dyn ProtocolPolicy>) = match i {
             0 => ("Path-Baseline", path(ProtocolVariant::Baseline)),
             1 => ("PS-ORAM", path(ProtocolVariant::PsOram)),
             2 => ("Ring-Baseline", ring(RingVariant::Baseline)),
             _ => ("PS-Ring-ORAM", ring(RingVariant::PsRing)),
         };
-        drive_uniform_writes(name, &mut *oram, accesses, 3)
+        let rec = std::sync::Arc::new(psoram_obsv::RingBufferRecorder::new(
+            psoram_obsv::DEFAULT_RING_CAPACITY,
+        ));
+        if tracing {
+            oram.attach_recorder(rec.clone());
+        }
+        let row = drive_uniform_writes(name, &mut *oram, accesses, 3);
+        let mut reg = psoram_obsv::MetricsRegistry::new();
+        if tracing {
+            oram.publish_metrics(name, &mut reg);
+        }
+        (row, (name.to_string(), rec.events()), reg)
     });
+    let rows: Vec<TrafficRow> = results.iter().map(|(r, _, _)| r.clone()).collect();
+
+    if let Some(path_out) = &obsv.trace_out {
+        let tracks: Vec<(String, Vec<psoram_obsv::Event>)> =
+            results.iter().map(|(_, t, _)| t.clone()).collect();
+        psoram_bench::write_obsv_file(path_out, &psoram_obsv::chrome_trace_json(&tracks));
+    }
+    if let Some(path_out) = &obsv.metrics_out {
+        let mut merged = psoram_obsv::MetricsRegistry::new();
+        for (_, (label, events), reg) in &results {
+            merged.merge(reg);
+            merged.ingest_events(&format!("trace.{label}"), events);
+        }
+        psoram_bench::write_obsv_file(path_out, &merged.to_json_string());
+    }
 
     println!(
         "\n{:<16}{:>14}{:>14}{:>14}{:>16}{:>16}",

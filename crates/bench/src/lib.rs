@@ -24,8 +24,10 @@ use std::io::Write as _;
 
 use psoram_core::{ProtocolPolicy, ProtocolVariant};
 use psoram_faultsim::{
-    exhaustive_sweep, random_campaign, CampaignConfig, CampaignReport, SweepConfig,
+    exhaustive_sweep, random_campaign, random_campaign_traced, CampaignConfig, CampaignReport,
+    SweepConfig,
 };
+use psoram_obsv::Event;
 use psoram_system::{SimResult, System, SystemConfig};
 use psoram_trace::SpecWorkload;
 use rand::rngs::StdRng;
@@ -62,6 +64,84 @@ pub fn init_jobs_from_cli() -> usize {
         }
     }
     psoram_faultsim::resolve_jobs(0)
+}
+
+/// Observability output paths shared by the experiment binaries:
+/// `--trace-out FILE` (chrome://tracing JSON timeline) and
+/// `--metrics-out FILE` (flat counters/gauges/histograms snapshot).
+#[derive(Debug, Clone, Default)]
+pub struct ObsvCli {
+    /// Destination for the chrome://tracing JSON, if requested.
+    pub trace_out: Option<String>,
+    /// Destination for the metrics snapshot JSON, if requested.
+    pub metrics_out: Option<String>,
+}
+
+/// Scans argv for `--trace-out`/`--metrics-out` (tolerating all other
+/// arguments, like [`init_jobs_from_cli`]) and returns the paths.
+///
+/// # Panics
+///
+/// Exits the process (status 2) when a flag is given without a value.
+pub fn obsv_cli_from_args() -> ObsvCli {
+    let mut cli = ObsvCli::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        for (flag, slot) in [
+            ("--trace-out", &mut cli.trace_out),
+            ("--metrics-out", &mut cli.metrics_out),
+        ] {
+            if a == flag {
+                match it.next() {
+                    Some(v) => *slot = Some(v),
+                    None => {
+                        eprintln!("error: {flag} needs a file path");
+                        std::process::exit(2);
+                    }
+                }
+            } else if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+                *slot = Some(v.to_string());
+            }
+        }
+    }
+    cli
+}
+
+/// Writes an observability artifact (chrome trace or metrics snapshot),
+/// announcing the path like [`write_results_json`].
+///
+/// # Panics
+///
+/// Panics on I/O errors — experiment binaries want loud failures.
+pub fn write_obsv_file(path: &str, contents: &str) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output dir");
+        }
+    }
+    std::fs::write(path, contents).expect("write observability output");
+    println!("[saved {path}]");
+}
+
+/// Captures a chrome-trace timeline from one deterministic full-system
+/// side run: `records` trace records of `workload` under `variant` with a
+/// ring-buffer recorder attached to the whole stack. Used by the figure
+/// binaries' `--trace-out`, so the (long) measured sweep itself stays
+/// untraced.
+pub fn capture_system_trace(
+    variant: ProtocolVariant,
+    workload: SpecWorkload,
+    channels: usize,
+    records: usize,
+) -> String {
+    let rec = std::sync::Arc::new(psoram_obsv::RingBufferRecorder::new(
+        psoram_obsv::DEFAULT_RING_CAPACITY,
+    ));
+    let mut sys = System::new(experiment_config(variant, channels));
+    sys.set_recorder(rec.clone());
+    sys.run_workload(workload, records);
+    let label = format!("{}/{}", workload.name(), variant.label());
+    psoram_obsv::chrome_trace_json(&[(label, rec.events())])
 }
 
 /// Records per workload for the sweep binaries; override with the
@@ -230,6 +310,46 @@ impl SimHarness {
             reports.push(random_campaign(&cfg));
         }
         reports
+    }
+
+    /// [`SimHarness::crash_campaigns`] with tracing: the random campaign
+    /// runs with a per-design ring-buffer recorder and the event tracks
+    /// come back alongside the reports (one per design, in sweep order).
+    /// The exhaustive sweep is returned untraced. Recorders only observe,
+    /// so the reports are byte-identical to [`SimHarness::crash_campaigns`].
+    pub fn crash_campaigns_traced(
+        &self,
+        mode: &str,
+        smoke: bool,
+        seed: Option<u64>,
+    ) -> (Vec<CampaignReport>, Vec<(String, Vec<Event>)>) {
+        let mut reports = Vec::new();
+        let mut tracks = Vec::new();
+        if mode == "exhaustive" || mode == "both" {
+            let mut cfg = if smoke {
+                SweepConfig::smoke()
+            } else {
+                SweepConfig::default()
+            };
+            if let Some(s) = seed {
+                cfg.seed = s;
+            }
+            reports.push(exhaustive_sweep(&cfg));
+        }
+        if mode == "random" || mode == "both" {
+            let mut cfg = if smoke {
+                CampaignConfig::smoke()
+            } else {
+                CampaignConfig::default()
+            };
+            if let Some(s) = seed {
+                cfg.seed = s;
+            }
+            let (report, t) = random_campaign_traced(&cfg);
+            reports.push(report);
+            tracks = t;
+        }
+        (reports, tracks)
     }
 }
 

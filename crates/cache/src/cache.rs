@@ -95,6 +95,16 @@ impl CacheStats {
     }
 }
 
+impl psoram_obsv::MetricsSource for CacheStats {
+    fn publish(&self, prefix: &str, reg: &mut psoram_obsv::MetricsRegistry) {
+        use psoram_obsv::MetricsRegistry as R;
+        reg.set_counter(&R::key(prefix, "hits"), self.hits);
+        reg.set_counter(&R::key(prefix, "misses"), self.misses);
+        reg.set_counter(&R::key(prefix, "writebacks"), self.writebacks);
+        reg.set_gauge(&R::key(prefix, "miss_ratio"), self.miss_ratio());
+    }
+}
+
 /// Result of inserting a line: the victim, if a dirty line was displaced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Eviction {

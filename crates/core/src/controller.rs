@@ -10,6 +10,7 @@ use psoram_crypto::{Aes128, CryptoLatencyModel, CtrCipher};
 use psoram_nvm::{
     AccessKind, NvmConfig, NvmController, OnChipNvmModel, WpqEntry, CORE_CYCLES_PER_MEM_CYCLE,
 };
+use psoram_obsv::{Event, Phase, Tap};
 
 use crate::block::Block;
 use crate::bucket::Bucket;
@@ -94,6 +95,9 @@ pub struct PathOram {
     ledger: CommitLedger,
     touched: HashSet<u64>,
     recorder: Option<AccessRecorder>,
+    /// Observability tap (distinct from the security `recorder` above):
+    /// phase/round/WPQ/NVM events, shared with the engine and the NVM.
+    obsv: Tap,
     encrypt_payloads: bool,
     iv: u64,
     /// Monotonic per-block freshness source (see [`BlockHeader::seq`]).
@@ -177,6 +181,7 @@ impl PathOram {
             ledger: CommitLedger::new(),
             touched: HashSet::new(),
             recorder: None,
+            obsv: Tap::detached(),
             encrypt_payloads: true,
             iv: 0,
             seq_counter: 0,
@@ -243,6 +248,23 @@ impl PathOram {
     /// The controller's core-cycle clock (advanced by `read`/`write`).
     pub fn clock(&self) -> u64 {
         self.clock
+    }
+
+    /// Wires an observability tap through the whole controller stack:
+    /// access/phase events here, round and WPQ events in the persist
+    /// engine, and bank-level events in the NVM controller. The tap only
+    /// observes — simulated timing and state are unchanged (enforced by
+    /// the paired-run identity tests).
+    pub fn set_obsv_tap(&mut self, tap: Tap) {
+        self.engine.set_tap(tap.clone());
+        self.nvm.set_tap(tap.clone());
+        self.obsv = tap;
+    }
+
+    /// Convenience: builds a [`Tap`] over `recorder` and wires it in via
+    /// [`PathOram::set_obsv_tap`].
+    pub fn attach_obsv_recorder(&mut self, recorder: std::sync::Arc<dyn psoram_obsv::Recorder>) {
+        self.set_obsv_tap(Tap::attached(recorder));
     }
 
     /// Enables/disables functional payload encryption (timing is charged
@@ -443,6 +465,13 @@ impl PathOram {
         }
         self.touched.insert(addr.0);
 
+        let access_index = self.stats.accesses - 1;
+        self.obsv.set_now(arrival);
+        self.obsv.emit(|| Event::AccessStart {
+            index: access_index,
+            cycle: arrival,
+        });
+
         let mut t = arrival;
 
         // ── Step ① Check stash ─────────────────────────────────────────
@@ -452,17 +481,37 @@ impl PathOram {
         if stash_hit {
             self.stats.stash_hits += 1;
         }
+        self.obsv.set_now(t);
+        self.obsv.emit(|| Event::Phase {
+            phase: Phase::CheckStash,
+            start: arrival,
+            end: t,
+        });
         self.maybe_crash(CrashPoint::AfterCheckStash)?;
 
         // ── Step ② Access PosMap (+ backup label) ──────────────────────
         let old_leaf = self.lookup(addr);
         let new_leaf = Leaf(self.rng.gen_range(0..self.config.num_leaves()));
+        let t_before_posmap = t;
         t = self.step2_update_posmap(addr, new_leaf, t)?;
+        self.obsv.set_now(t);
+        self.obsv.emit(|| Event::Phase {
+            phase: Phase::PosMap,
+            start: t_before_posmap,
+            end: t,
+        });
         self.maybe_crash(CrashPoint::AfterAccessPosMap)?;
 
         // ── Step ③ Load path ───────────────────────────────────────────
+        let t_before_path = t;
         let (mut live_old, t_after_read) = self.step3_load_path(addr, old_leaf, t)?;
         t = t_after_read;
+        self.obsv.set_now(t);
+        self.obsv.emit(|| Event::Phase {
+            phase: Phase::LoadPath,
+            start: t_before_path,
+            end: t,
+        });
         self.maybe_crash(CrashPoint::AfterLoadPath)?;
 
         // ── Step ④ Update stash + backup data ──────────────────────────
@@ -490,11 +539,26 @@ impl PathOram {
         self.ledger.note_written(addr.0, value.clone());
         t += 2; // header update + (possible) backup copy, pipelined SRAM ops
         let value_ready = t;
+        self.obsv.set_now(t);
+        self.obsv.emit(|| Event::Phase {
+            phase: Phase::UpdateStash,
+            start: t_after_read,
+            end: t,
+        });
+        self.obsv.emit(|| Event::AccessEnd {
+            index: access_index,
+            cycle: value_ready,
+        });
         self.maybe_crash(CrashPoint::AfterUpdateStash)?;
 
         // ── Step ⑤ Eviction ────────────────────────────────────────────
         self.pending_integrity_path = Some(old_leaf);
         let eviction_complete = self.step5_evict(old_leaf, &mut live_old, t)?;
+        self.obsv.emit(|| Event::Phase {
+            phase: Phase::Eviction,
+            start: value_ready,
+            end: eviction_complete,
+        });
         // Root update rides the commit: refresh digests over what actually
         // reached the NVM.
         self.refresh_integrity_path(old_leaf);
@@ -971,6 +1035,7 @@ impl PathOram {
                 }
             }
             t += pushed; // one cycle per WPQ push
+            self.obsv.set_now(t);
 
             // 5-C: end signal — the atomic commit point — then flush.
             self.engine.commit_round()?;

@@ -3,6 +3,8 @@
 use std::collections::VecDeque;
 
 use psoram_nvm::{PersistenceDomain, WpqEntry, WpqError, WpqStats};
+use psoram_obsv::{Event, Tap};
+use serde::{Deserialize, Serialize};
 
 use crate::crash::{CrashPoint, RecoveryReport};
 use crate::types::OramError;
@@ -13,7 +15,7 @@ use crate::types::OramError;
 /// part of the controller model, not of the simulated volatile state, so
 /// a [`PersistEngine::crash`] discards the open WPQ round but never the
 /// accounting.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineStats {
     /// Crashes executed.
     pub crashes: u64,
@@ -23,6 +25,16 @@ pub struct EngineStats {
     pub recovery_failures: u64,
     /// Persist rounds split early because a WPQ ran out of room.
     pub wpq_stalls: u64,
+}
+
+impl psoram_obsv::MetricsSource for EngineStats {
+    fn publish(&self, prefix: &str, reg: &mut psoram_obsv::MetricsRegistry) {
+        use psoram_obsv::MetricsRegistry as R;
+        reg.set_counter(&R::key(prefix, "crashes"), self.crashes);
+        reg.set_counter(&R::key(prefix, "recoveries"), self.recoveries);
+        reg.set_counter(&R::key(prefix, "recovery_failures"), self.recovery_failures);
+        reg.set_counter(&R::key(prefix, "wpq_stalls"), self.wpq_stalls);
+    }
 }
 
 /// The shared persist-round engine: one audited implementation of the
@@ -54,6 +66,7 @@ pub struct PersistEngine<D, P> {
     crashed: bool,
     last_recovery: Option<RecoveryReport>,
     stats: EngineStats,
+    tap: Tap,
 }
 
 impl<D, P> PersistEngine<D, P> {
@@ -67,7 +80,16 @@ impl<D, P> PersistEngine<D, P> {
             crashed: false,
             last_recovery: None,
             stats: EngineStats::default(),
+            tap: Tap::detached(),
         }
+    }
+
+    /// Wires an observability tap into the engine and both WPQs. Round
+    /// begin/commit markers and per-queue push/reject/drain events are
+    /// stamped with the tap's published clock.
+    pub fn set_tap(&mut self, tap: Tap) {
+        self.domain.set_tap(tap.clone());
+        self.tap = tap;
     }
 
     /// Engine-accumulated counters.
@@ -178,7 +200,11 @@ impl<D, P> PersistEngine<D, P> {
     ///
     /// [`WpqError::BatchAlreadyOpen`] if a round is already open.
     pub fn begin_round(&mut self) -> Result<(), WpqError> {
-        self.domain.begin_round()
+        self.domain.begin_round()?;
+        self.tap.emit(|| Event::RoundBegin {
+            cycle: self.tap.now(),
+        });
+        Ok(())
     }
 
     /// Stages one data persist unit into the open round.
@@ -205,7 +231,17 @@ impl<D, P> PersistEngine<D, P> {
     ///
     /// [`WpqError::NoBatchOpen`] if no round is open on either queue.
     pub fn commit_round(&mut self) -> Result<(), WpqError> {
-        self.domain.commit_round()
+        let (data_units, posmap_units) = (
+            self.domain.data_wpq().open_len() as u64,
+            self.domain.posmap_wpq().open_len() as u64,
+        );
+        self.domain.commit_round()?;
+        self.tap.emit(|| Event::RoundCommit {
+            cycle: self.tap.now(),
+            data_units,
+            posmap_units,
+        });
+        Ok(())
     }
 
     /// Drains every committed entry from both queues, in commit order.
@@ -227,6 +263,9 @@ impl<D, P> PersistEngine<D, P> {
     /// room (the caller commits, drains, applies, and reopens).
     pub fn note_stall(&mut self) {
         self.stats.wpq_stalls += 1;
+        self.tap.emit(|| Event::WpqStall {
+            cycle: self.tap.now(),
+        });
     }
 
     // ── crash & recovery ────────────────────────────────────────────────
@@ -249,6 +288,9 @@ impl<D, P> PersistEngine<D, P> {
     pub fn crash(&mut self) -> (Vec<WpqEntry<D>>, Vec<WpqEntry<P>>) {
         self.stats.crashes += 1;
         self.crashed = true;
+        self.tap.emit(|| Event::Crash {
+            cycle: self.tap.now(),
+        });
         self.domain.crash()
     }
 
@@ -261,6 +303,10 @@ impl<D, P> PersistEngine<D, P> {
         if !report.consistent {
             self.stats.recovery_failures += 1;
         }
+        self.tap.emit(|| Event::Recovery {
+            consistent: report.consistent,
+            cycle: self.tap.now(),
+        });
         self.last_recovery = Some(report.clone());
         report
     }

@@ -204,6 +204,18 @@ pub trait ProtocolPolicy {
     fn clock(&self) -> u64;
     /// NVM traffic counters (reads/writes reaching the memory).
     fn nvm_stats(&self) -> psoram_nvm::NvmStats;
+    /// Attaches an observability recorder behind a fresh shared tap.
+    ///
+    /// The default implementation ignores the recorder, so policies that
+    /// do not model tracing stay valid.
+    fn attach_recorder(&mut self, recorder: std::sync::Arc<dyn psoram_obsv::Recorder>) {
+        let _ = recorder;
+    }
+    /// Publishes the design's counters into a metrics registry under
+    /// `prefix`. The default implementation publishes nothing.
+    fn publish_metrics(&self, prefix: &str, reg: &mut psoram_obsv::MetricsRegistry) {
+        let _ = (prefix, reg);
+    }
 }
 
 impl ProtocolPolicy for PathOram {
@@ -266,6 +278,17 @@ impl ProtocolPolicy for PathOram {
     fn nvm_stats(&self) -> psoram_nvm::NvmStats {
         PathOram::nvm_stats(self)
     }
+    fn attach_recorder(&mut self, recorder: std::sync::Arc<dyn psoram_obsv::Recorder>) {
+        PathOram::attach_obsv_recorder(self, recorder);
+    }
+    fn publish_metrics(&self, prefix: &str, reg: &mut psoram_obsv::MetricsRegistry) {
+        use psoram_obsv::{MetricsRegistry as R, MetricsSource};
+        self.stats().publish(&R::key(prefix, "oram"), reg);
+        self.nvm_stats().publish(&R::key(prefix, "nvm"), reg);
+        let (data, posmap) = self.wpq_stats();
+        data.publish(&R::key(prefix, "wpq.data"), reg);
+        posmap.publish(&R::key(prefix, "wpq.posmap"), reg);
+    }
 }
 
 impl ProtocolPolicy for RingOram {
@@ -327,5 +350,16 @@ impl ProtocolPolicy for RingOram {
     }
     fn nvm_stats(&self) -> psoram_nvm::NvmStats {
         RingOram::nvm_stats(self)
+    }
+    fn attach_recorder(&mut self, recorder: std::sync::Arc<dyn psoram_obsv::Recorder>) {
+        RingOram::attach_obsv_recorder(self, recorder);
+    }
+    fn publish_metrics(&self, prefix: &str, reg: &mut psoram_obsv::MetricsRegistry) {
+        use psoram_obsv::{MetricsRegistry as R, MetricsSource};
+        self.stats().publish(&R::key(prefix, "oram"), reg);
+        self.nvm_stats().publish(&R::key(prefix, "nvm"), reg);
+        let (data, posmap) = self.wpq_stats();
+        data.publish(&R::key(prefix, "wpq.data"), reg);
+        posmap.publish(&R::key(prefix, "wpq.posmap"), reg);
     }
 }

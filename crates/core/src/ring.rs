@@ -28,6 +28,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use psoram_nvm::{AccessKind, NvmConfig, NvmController, WpqEntry};
+use psoram_obsv::{Event, Phase, Tap};
 
 use crate::block::Block;
 use crate::crash::{CrashPoint, RecoveryReport};
@@ -171,6 +172,28 @@ pub struct RingStats {
     pub total_access_cycles: u64,
 }
 
+impl psoram_obsv::MetricsSource for RingStats {
+    fn publish(&self, prefix: &str, reg: &mut psoram_obsv::MetricsRegistry) {
+        use psoram_obsv::MetricsRegistry as R;
+        reg.set_counter(&R::key(prefix, "accesses"), self.accesses);
+        reg.set_counter(&R::key(prefix, "evictions"), self.evictions);
+        reg.set_counter(&R::key(prefix, "early_reshuffles"), self.early_reshuffles);
+        reg.set_counter(
+            &R::key(prefix, "dirty_entries_flushed"),
+            self.dirty_entries_flushed,
+        );
+        reg.set_counter(&R::key(prefix, "stash_max"), self.stash_max as u64);
+        reg.set_counter(&R::key(prefix, "crashes"), self.crashes);
+        reg.set_counter(&R::key(prefix, "recoveries"), self.recoveries);
+        reg.set_counter(&R::key(prefix, "recovery_failures"), self.recovery_failures);
+        reg.set_counter(&R::key(prefix, "wpq_stalls"), self.wpq_stalls);
+        reg.set_counter(
+            &R::key(prefix, "total_access_cycles"),
+            self.total_access_cycles,
+        );
+    }
+}
+
 /// A Ring ORAM controller over simulated NVM, optionally crash-consistent.
 ///
 /// # Examples
@@ -211,6 +234,8 @@ pub struct RingOram {
     /// Reused per-access buffers (path/bucket addresses): the steady-state
     /// access loop performs no heap allocation for these.
     scratch: AccessScratch,
+    /// Observability tap (detached by default; see [`RingOram::set_obsv_tap`]).
+    obsv: Tap,
 }
 
 impl RingOram {
@@ -247,6 +272,7 @@ impl RingOram {
             rewrites_this_access: 0,
             touched: Vec::new(),
             scratch: AccessScratch::default(),
+            obsv: Tap::detached(),
             config,
             variant,
         }
@@ -282,6 +308,19 @@ impl RingOram {
     /// The controller's core-cycle clock (advanced by `read`/`write`).
     pub fn clock(&self) -> u64 {
         self.clock
+    }
+
+    /// Installs an observability tap and cascades it into the persist
+    /// engine (WPQ rounds) and the NVM controller (bank timing).
+    pub fn set_obsv_tap(&mut self, tap: Tap) {
+        self.engine.set_tap(tap.clone());
+        self.nvm.set_tap(tap.clone());
+        self.obsv = tap;
+    }
+
+    /// Convenience: attaches `recorder` behind a fresh shared tap.
+    pub fn attach_obsv_recorder(&mut self, recorder: std::sync::Arc<dyn psoram_obsv::Recorder>) {
+        self.set_obsv_tap(Tap::attached(recorder));
     }
 
     /// NVM traffic statistics.
@@ -386,6 +425,12 @@ impl RingOram {
         self.access_counter += 1;
         self.rewrites_this_access = 0;
         self.touched.push(addr.0);
+        let access_index = self.stats.accesses - 1;
+        self.obsv.set_now(arrival);
+        self.obsv.emit(|| Event::AccessStart {
+            index: access_index,
+            cycle: arrival,
+        });
 
         let mut t = arrival + 1; // stash lookup
 
@@ -397,9 +442,16 @@ impl RingOram {
             RingVariant::PsRing => self.temp.insert(addr, new_leaf)?,
         }
         t += 2;
+        self.obsv.set_now(t);
+        self.obsv.emit(|| Event::Phase {
+            phase: Phase::PosMap,
+            start: arrival,
+            end: t,
+        });
         self.maybe_crash(CrashPoint::AfterAccessPosMap)?;
 
         // Step ③: read exactly one slot per bucket along the path.
+        let t_before_path = t;
         let in_stash = self.stash_primary(addr).is_some();
         let path = self.path_indices(old_leaf);
         let mut read_addrs = std::mem::take(&mut self.scratch.read_addrs);
@@ -452,6 +504,12 @@ impl RingOram {
             8,
         );
         let _ = meta; // metadata write retires in the background
+        self.obsv.set_now(t);
+        self.obsv.emit(|| Event::Phase {
+            phase: Phase::LoadPath,
+            start: t_before_path,
+            end: t,
+        });
         self.maybe_crash(CrashPoint::AfterLoadPath)?;
 
         // Step ④: stash update.
@@ -483,6 +541,16 @@ impl RingOram {
         }
         self.stats.stash_max = self.stats.stash_max.max(self.stash.len());
         let value_ready = t + 2;
+        self.obsv.set_now(value_ready);
+        self.obsv.emit(|| Event::Phase {
+            phase: Phase::UpdateStash,
+            start: t,
+            end: value_ready,
+        });
+        self.obsv.emit(|| Event::AccessEnd {
+            index: access_index,
+            cycle: value_ready,
+        });
         self.maybe_crash(CrashPoint::AfterUpdateStash)?;
 
         // Step ⑤: early reshuffles, then the periodic evict-path.
@@ -504,6 +572,12 @@ impl RingOram {
             t_bg = self.evict_path(t_bg)?;
         }
         let _background_done = t_bg;
+        self.obsv.set_now(t_bg);
+        self.obsv.emit(|| Event::Phase {
+            phase: Phase::Eviction,
+            start: value_ready,
+            end: t_bg,
+        });
         self.maybe_crash(CrashPoint::AfterEviction)?;
 
         self.stats.total_access_cycles += value_ready - arrival;
@@ -754,6 +828,7 @@ impl RingOram {
             }
         }
         self.rewrites_this_access += 1;
+        self.obsv.set_now(t);
 
         let mut write_addrs = std::mem::take(&mut self.scratch.write_addrs);
         write_addrs.clear();

@@ -67,6 +67,58 @@ pub struct OramStats {
     pub total_access_cycles: u64,
 }
 
+impl psoram_obsv::MetricsSource for OramStats {
+    fn publish(&self, prefix: &str, reg: &mut psoram_obsv::MetricsRegistry) {
+        use psoram_obsv::MetricsRegistry as R;
+        reg.set_counter(&R::key(prefix, "accesses"), self.accesses);
+        reg.set_counter(&R::key(prefix, "reads"), self.reads);
+        reg.set_counter(&R::key(prefix, "writes"), self.writes);
+        reg.set_counter(&R::key(prefix, "stash_hits"), self.stash_hits);
+        reg.set_counter(&R::key(prefix, "backups_created"), self.backups_created);
+        reg.set_counter(&R::key(prefix, "shadows_rewritten"), self.shadows_rewritten);
+        reg.set_counter(
+            &R::key(prefix, "dirty_entries_flushed"),
+            self.dirty_entries_flushed,
+        );
+        reg.set_counter(
+            &R::key(prefix, "posmap_entry_writes"),
+            self.posmap_entry_writes,
+        );
+        reg.set_counter(&R::key(prefix, "onchip_nvm_reads"), self.onchip_nvm_reads);
+        reg.set_counter(&R::key(prefix, "onchip_nvm_writes"), self.onchip_nvm_writes);
+        reg.set_counter(&R::key(prefix, "eviction_rounds"), self.eviction_rounds);
+        reg.set_counter(&R::key(prefix, "eviction_batches"), self.eviction_batches);
+        reg.set_counter(
+            &R::key(prefix, "eviction_leftovers"),
+            self.eviction_leftovers,
+        );
+        reg.set_counter(
+            &R::key(prefix, "in_place_fallbacks"),
+            self.in_place_fallbacks,
+        );
+        reg.set_counter(&R::key(prefix, "recursion_reads"), self.recursion_reads);
+        reg.set_counter(&R::key(prefix, "recursion_writes"), self.recursion_writes);
+        reg.set_counter(
+            &R::key(prefix, "stash_snapshot_writes"),
+            self.stash_snapshot_writes,
+        );
+        reg.set_counter(&R::key(prefix, "plb_hits"), self.plb_hits);
+        reg.set_counter(&R::key(prefix, "plb_full_misses"), self.plb_full_misses);
+        reg.set_counter(&R::key(prefix, "crashes"), self.crashes);
+        reg.set_counter(&R::key(prefix, "recoveries"), self.recoveries);
+        reg.set_counter(&R::key(prefix, "recovery_failures"), self.recovery_failures);
+        reg.set_counter(&R::key(prefix, "wpq_stalls"), self.wpq_stalls);
+        reg.set_counter(
+            &R::key(prefix, "total_access_cycles"),
+            self.total_access_cycles,
+        );
+        reg.set_gauge(
+            &R::key(prefix, "mean_access_cycles"),
+            self.mean_access_cycles(),
+        );
+    }
+}
+
 impl OramStats {
     /// Component-wise difference (`self - earlier`), for measuring an
     /// interval that excludes warmup.

@@ -63,6 +63,17 @@ const ALWAYS_FIRING: [CrashPoint; 3] = [
 
 /// Runs a randomized campaign against one design.
 pub fn campaign_variant(variant: DesignVariant, cfg: &CampaignConfig) -> VariantReport {
+    campaign_variant_traced(variant, cfg, None)
+}
+
+/// [`campaign_variant`] with an optional observability recorder attached
+/// to the design's controller stack. The recorder only observes: a traced
+/// run produces a byte-identical report to an untraced one.
+pub fn campaign_variant_traced(
+    variant: DesignVariant,
+    cfg: &CampaignConfig,
+    recorder: Option<std::sync::Arc<dyn psoram_obsv::Recorder>>,
+) -> VariantReport {
     // Per-variant RNG stream, deterministic in (seed, variant).
     let tweak = variant
         .label()
@@ -71,6 +82,9 @@ pub fn campaign_variant(variant: DesignVariant, cfg: &CampaignConfig) -> Variant
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ tweak);
 
     let mut d = Driver::new(variant, cfg.seed, cfg.full_check_every);
+    if let Some(rec) = recorder {
+        d.target.attach_recorder(rec);
+    }
     let working_set = cfg.working_set.min(d.target.capacity_blocks());
     d.prefill(working_set);
     let steps = CrashPoint::step_boundaries();
@@ -146,4 +160,36 @@ pub fn random_campaign(cfg: &CampaignConfig) -> CampaignReport {
         seed: cfg.seed,
         variants,
     }
+}
+
+/// [`random_campaign`] with a [`psoram_obsv::RingBufferRecorder`] attached
+/// to every design, returning one event track per design (labelled with
+/// the design's name, in sweep-set order) alongside the report.
+///
+/// Each design records into its own buffer inside the parallel runner, so
+/// the tracks — like the report — are byte-identical at any job count.
+pub fn random_campaign_traced(
+    cfg: &CampaignConfig,
+) -> (CampaignReport, Vec<(String, Vec<psoram_obsv::Event>)>) {
+    let results = crate::par_map(0, DesignVariant::sweep_set(), |v| {
+        let rec = std::sync::Arc::new(psoram_obsv::RingBufferRecorder::new(
+            psoram_obsv::DEFAULT_RING_CAPACITY,
+        ));
+        let report = campaign_variant_traced(v, cfg, Some(rec.clone()));
+        (report, (v.label(), rec.events()))
+    });
+    let mut variants = Vec::with_capacity(results.len());
+    let mut tracks = Vec::with_capacity(results.len());
+    for (report, track) in results {
+        variants.push(report);
+        tracks.push(track);
+    }
+    (
+        CampaignReport {
+            mode: "random".into(),
+            seed: cfg.seed,
+            variants,
+        },
+        tracks,
+    )
 }

@@ -10,6 +10,21 @@ use crate::target::{DesignVariant, FaultTarget};
 /// driver tolerates before abandoning a variant's run.
 const MAX_UNEXPECTED_ERRORS: u64 = 5;
 
+/// Stable attribution key for a crash point: the step-boundary name,
+/// `"DuringEviction"` for every mid-eviction index, or `"Unattributed"`
+/// for crashes the harness did not arm.
+fn crash_point_key(point: Option<CrashPoint>) -> &'static str {
+    match point {
+        Some(CrashPoint::AfterCheckStash) => "AfterCheckStash",
+        Some(CrashPoint::AfterAccessPosMap) => "AfterAccessPosMap",
+        Some(CrashPoint::AfterLoadPath) => "AfterLoadPath",
+        Some(CrashPoint::AfterUpdateStash) => "AfterUpdateStash",
+        Some(CrashPoint::DuringEviction(_)) => "DuringEviction",
+        Some(CrashPoint::AfterEviction) => "AfterEviction",
+        None => "Unattributed",
+    }
+}
+
 /// Drives one design through a fault workload, keeping the shadow oracle
 /// and the report in lockstep with every access.
 pub(crate) struct Driver {
@@ -124,6 +139,7 @@ impl Driver {
         addr: u64,
         nested: Option<CrashPoint>,
     ) {
+        let clock_before = self.target.clock();
         self.count_crash(point);
         self.oracle.note_crash();
         self.recover_once(attempt_index, point);
@@ -161,6 +177,12 @@ impl Driver {
         }
         // A nested plan that never fired must not leak into the workload.
         self.target.disarm_crash();
+
+        // Timing attribution: the simulated cycles this crash cost, from
+        // recovery through adjudication (including nested recoveries, but
+        // excluding the periodic amortized full check below).
+        self.report
+            .record_crash_cost(crash_point_key(point), self.target.clock() - clock_before);
 
         if self.full_check_every > 0 && self.report.recoveries.is_multiple_of(self.full_check_every)
         {

@@ -53,11 +53,15 @@ mod report;
 mod sweep;
 mod target;
 
-pub use campaign::{campaign_variant, random_campaign, CampaignConfig};
+pub use campaign::{
+    campaign_variant, campaign_variant_traced, random_campaign, random_campaign_traced,
+    CampaignConfig,
+};
 pub use oracle::{CommitModel, PendingWrite, ShadowOracle};
 pub use par::{default_jobs, par_map, resolve_jobs};
 pub use report::{
-    CampaignReport, VariantReport, ViolationKind, ViolationRecord, MAX_RECORDED_VIOLATIONS,
+    CampaignReport, CrashPointCost, VariantReport, ViolationKind, ViolationRecord,
+    MAX_RECORDED_VIOLATIONS,
 };
 pub use sweep::{exhaustive_sweep, sweep_variant, SweepConfig};
 pub use target::{DesignVariant, FaultTarget};

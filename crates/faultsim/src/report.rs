@@ -34,6 +34,20 @@ pub enum ViolationKind {
     UnexpectedError,
 }
 
+/// Simulated-cycle cost of recovering from crashes at one crash point,
+/// aggregated over a run (the per-crash-point timing attribution).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashPointCost {
+    /// Crash-point key: a step-boundary name (`"AfterLoadPath"`, …),
+    /// `"DuringEviction"` for all mid-eviction indices, or
+    /// `"Unattributed"` for crashes the harness did not arm.
+    pub point: String,
+    /// Recoveries attributed to this point.
+    pub fires: u64,
+    /// Total simulated core cycles those recoveries consumed.
+    pub cycles: u64,
+}
+
 /// Per-design outcome of a sweep or campaign.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct VariantReport {
@@ -69,6 +83,8 @@ pub struct VariantReport {
     /// Recorded violations, oldest first (capped at
     /// [`MAX_RECORDED_VIOLATIONS`]).
     pub violations: Vec<ViolationRecord>,
+    /// Recovery-time attribution per crash point, sorted by key.
+    pub crash_point_costs: Vec<CrashPointCost>,
     /// `true` when the observed violations match the design's claim:
     /// consistent designs saw none; others are allowed any number.
     pub matches_expectation: bool,
@@ -97,7 +113,23 @@ impl VariantReport {
             full_checks: 0,
             violations_total: 0,
             violations: Vec::new(),
+            crash_point_costs: Vec::new(),
             matches_expectation: true,
+        }
+    }
+
+    /// Attributes one recovery's simulated-cycle cost to a crash point.
+    pub fn record_crash_cost(&mut self, point: &str, cycles: u64) {
+        match self.crash_point_costs.iter_mut().find(|c| c.point == point) {
+            Some(c) => {
+                c.fires += 1;
+                c.cycles += cycles;
+            }
+            None => self.crash_point_costs.push(CrashPointCost {
+                point: point.to_string(),
+                fires: 1,
+                cycles,
+            }),
         }
     }
 
@@ -120,9 +152,40 @@ impl VariantReport {
         }
     }
 
-    /// Finalizes `matches_expectation` from the recorded evidence.
+    /// Finalizes `matches_expectation` from the recorded evidence and
+    /// puts the cost attribution in deterministic (key-sorted) order.
     pub fn finalize(&mut self) {
+        self.crash_point_costs.sort_by(|a, b| a.point.cmp(&b.point));
         self.matches_expectation = !self.expected_consistent || self.violations_total == 0;
+    }
+}
+
+impl psoram_obsv::MetricsSource for VariantReport {
+    fn publish(&self, prefix: &str, reg: &mut psoram_obsv::MetricsRegistry) {
+        use psoram_obsv::MetricsRegistry as R;
+        reg.set_counter(&R::key(prefix, "accesses"), self.accesses);
+        reg.set_counter(&R::key(prefix, "crashes_injected"), self.crashes_injected);
+        reg.set_counter(
+            &R::key(prefix, "step_boundary_crashes"),
+            self.step_boundary_crashes,
+        );
+        reg.set_counter(
+            &R::key(prefix, "during_eviction_crashes"),
+            self.during_eviction_crashes,
+        );
+        reg.set_counter(&R::key(prefix, "recoveries"), self.recoveries);
+        reg.set_counter(
+            &R::key(prefix, "recoveries_consistent"),
+            self.recoveries_consistent,
+        );
+        reg.set_counter(&R::key(prefix, "nested_crashes"), self.nested_crashes);
+        reg.set_counter(&R::key(prefix, "full_checks"), self.full_checks);
+        reg.set_counter(&R::key(prefix, "violations_total"), self.violations_total);
+        for c in &self.crash_point_costs {
+            let base = R::key(prefix, &format!("crash_cost.{}", c.point));
+            reg.set_counter(&R::key(&base, "fires"), c.fires);
+            reg.set_counter(&R::key(&base, "cycles"), c.cycles);
+        }
     }
 }
 

@@ -1,5 +1,6 @@
 //! The multi-channel NVM memory controller.
 
+use psoram_obsv::{Event, Tap};
 use serde::{Deserialize, Serialize};
 
 use crate::channel::Channel;
@@ -114,6 +115,8 @@ pub struct NvmController {
     write_buffer: std::collections::VecDeque<(u64, usize)>,
     /// Writes drained from the buffer (observability).
     drained_writes: u64,
+    /// Observability tap (bank-level `NvmAccess` events, memory cycles).
+    tap: Tap,
 }
 
 impl NvmController {
@@ -135,7 +138,15 @@ impl NvmController {
             stats: NvmStats::default(),
             write_buffer: std::collections::VecDeque::new(),
             drained_writes: 0,
+            tap: Tap::detached(),
         }
+    }
+
+    /// Wires an observability tap into the controller. Every scheduled
+    /// bank access emits an [`Event::NvmAccess`] stamped in memory
+    /// cycles; timing and statistics are unaffected.
+    pub fn set_tap(&mut self, tap: Tap) {
+        self.tap = tap;
     }
 
     /// Maps a byte address to `(channel, bank)`.
@@ -182,6 +193,13 @@ impl NvmController {
             .max(1);
         let sched = self.channels[ch].access(bank, kind, arrival, &self.timing, burst);
         self.stats.record(kind, bytes as u64);
+        self.tap.emit(|| Event::NvmAccess {
+            kind: obsv_kind(kind),
+            channel: ch as u32,
+            bank: bank as u32,
+            arrival,
+            complete: sched.complete,
+        });
         sched.complete
     }
 
@@ -196,6 +214,13 @@ impl NvmController {
                 .div_ceil(self.config.bus_bytes_per_cycle as u64)
                 .max(1);
             let sched = self.channels[ch].access(bank, AccessKind::Write, now, &self.timing, burst);
+            self.tap.emit(|| Event::NvmAccess {
+                kind: psoram_obsv::AccessKind::Write,
+                channel: ch as u32,
+                bank: bank as u32,
+                arrival: now,
+                complete: sched.complete,
+            });
             done = done.max(sched.complete);
             self.drained_writes += 1;
         }
@@ -279,6 +304,14 @@ impl NvmController {
             .map(Channel::last_activity)
             .max()
             .unwrap_or(0)
+    }
+}
+
+/// Maps the controller's request kind onto the observability vocabulary.
+fn obsv_kind(kind: AccessKind) -> psoram_obsv::AccessKind {
+    match kind {
+        AccessKind::Read => psoram_obsv::AccessKind::Read,
+        AccessKind::Write => psoram_obsv::AccessKind::Write,
     }
 }
 

@@ -1,5 +1,6 @@
 //! Traffic statistics for the simulated memory system.
 
+use psoram_obsv::{MetricsRegistry, MetricsSource};
 use serde::{Deserialize, Serialize};
 
 use crate::request::AccessKind;
@@ -52,6 +53,18 @@ impl NvmStats {
             read_bytes: self.read_bytes - earlier.read_bytes,
             write_bytes: self.write_bytes - earlier.write_bytes,
         }
+    }
+}
+
+impl MetricsSource for NvmStats {
+    fn publish(&self, prefix: &str, reg: &mut MetricsRegistry) {
+        reg.set_counter(&MetricsRegistry::key(prefix, "reads"), self.reads);
+        reg.set_counter(&MetricsRegistry::key(prefix, "writes"), self.writes);
+        reg.set_counter(&MetricsRegistry::key(prefix, "read_bytes"), self.read_bytes);
+        reg.set_counter(
+            &MetricsRegistry::key(prefix, "write_bytes"),
+            self.write_bytes,
+        );
     }
 }
 

@@ -10,6 +10,7 @@
 //! discards the whole round from both queues, so data and metadata can never
 //! persist half-updated.
 
+use psoram_obsv::{Event, QueueKind, Tap};
 use serde::{Deserialize, Serialize};
 
 /// An entry queued for persistence in a WPQ.
@@ -88,6 +89,8 @@ pub struct Wpq<T> {
     open: Vec<WpqEntry<T>>,
     in_batch: bool,
     stats: WpqStats,
+    tap: Tap,
+    kind: QueueKind,
 }
 
 /// Occupancy and throughput statistics for a WPQ.
@@ -108,6 +111,18 @@ pub struct WpqStats {
     pub protocol_errors: u64,
 }
 
+impl psoram_obsv::MetricsSource for WpqStats {
+    fn publish(&self, prefix: &str, reg: &mut psoram_obsv::MetricsRegistry) {
+        use psoram_obsv::MetricsRegistry as R;
+        reg.set_counter(&R::key(prefix, "entries_pushed"), self.entries_pushed);
+        reg.set_counter(&R::key(prefix, "batches_committed"), self.batches_committed);
+        reg.set_counter(&R::key(prefix, "entries_drained"), self.entries_drained);
+        reg.set_counter(&R::key(prefix, "max_occupancy"), self.max_occupancy as u64);
+        reg.set_counter(&R::key(prefix, "full_rejections"), self.full_rejections);
+        reg.set_counter(&R::key(prefix, "protocol_errors"), self.protocol_errors);
+    }
+}
+
 impl<T> Wpq<T> {
     /// Creates an empty queue holding at most `capacity` entries
     /// (committed + open combined).
@@ -123,7 +138,17 @@ impl<T> Wpq<T> {
             open: Vec::new(),
             in_batch: false,
             stats: WpqStats::default(),
+            tap: Tap::detached(),
+            kind: QueueKind::Data,
         }
+    }
+
+    /// Wires an observability tap into this queue, tagging its events
+    /// with `kind`. Purely observational: the queue behaves identically
+    /// with or without a tap.
+    pub fn set_tap(&mut self, tap: Tap, kind: QueueKind) {
+        self.tap = tap;
+        self.kind = kind;
     }
 
     /// Starts a new atomic batch (the drainer's `start` signal).
@@ -155,6 +180,11 @@ impl<T> Wpq<T> {
         }
         if self.len() >= self.capacity {
             self.stats.full_rejections += 1;
+            self.tap.emit(|| Event::WpqReject {
+                queue: self.kind,
+                capacity: self.capacity as u64,
+                cycle: self.tap.now(),
+            });
             return Err(WpqError::Full {
                 capacity: self.capacity,
             });
@@ -162,6 +192,12 @@ impl<T> Wpq<T> {
         self.open.push(entry);
         self.stats.entries_pushed += 1;
         self.stats.max_occupancy = self.stats.max_occupancy.max(self.len());
+        self.tap.emit(|| Event::WpqPush {
+            queue: self.kind,
+            occupancy: self.len() as u64,
+            capacity: self.capacity as u64,
+            cycle: self.tap.now(),
+        });
         Ok(())
     }
 
@@ -194,6 +230,11 @@ impl<T> Wpq<T> {
     /// flush, step 5-C).
     pub fn drain_committed(&mut self) -> Vec<WpqEntry<T>> {
         self.stats.entries_drained += self.committed.len() as u64;
+        self.tap.emit(|| Event::WpqDrain {
+            queue: self.kind,
+            drained: self.committed.len() as u64,
+            cycle: self.tap.now(),
+        });
         std::mem::take(&mut self.committed)
     }
 
@@ -208,6 +249,11 @@ impl<T> Wpq<T> {
     /// Entries currently queued (committed + open).
     pub fn len(&self) -> usize {
         self.committed.len() + self.open.len()
+    }
+
+    /// Entries in the currently open (uncommitted) batch.
+    pub fn open_len(&self) -> usize {
+        self.open.len()
     }
 
     /// `true` when no entries are queued.
@@ -344,6 +390,13 @@ impl<D, P> PersistenceDomain<D, P> {
     /// Models a crash: both queues keep exactly their committed rounds.
     pub fn crash(&mut self) -> (Vec<WpqEntry<D>>, Vec<WpqEntry<P>>) {
         (self.data_wpq.crash(), self.posmap_wpq.crash())
+    }
+
+    /// Wires an observability tap into both queues (data and PosMap
+    /// events are tagged with their [`QueueKind`]).
+    pub fn set_tap(&mut self, tap: Tap) {
+        self.data_wpq.set_tap(tap.clone(), QueueKind::Data);
+        self.posmap_wpq.set_tap(tap, QueueKind::PosMap);
     }
 
     /// The data-block WPQ.

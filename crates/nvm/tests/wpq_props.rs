@@ -1,0 +1,260 @@
+//! Property tests for the WPQ batch protocol: random operation sequences
+//! over randomized capacities, checked against a scalar oracle that models
+//! only counts — occupancy, committed entries, open entries, and the four
+//! `WpqStats` accounting counters the controllers stall/split rounds on.
+
+use proptest::prelude::*;
+
+use psoram_nvm::{PersistenceDomain, Wpq, WpqEntry, WpqError, WpqStats};
+
+/// One operation of the drainer protocol.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Begin,
+    Push,
+    End,
+    Drain,
+    Abort,
+    Crash,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Weighted toward pushes so capacities actually fill up.
+    (0u8..10).prop_map(|k| match k {
+        0 => Op::Begin,
+        1..=5 => Op::Push,
+        6 => Op::End,
+        7 => Op::Drain,
+        8 => Op::Abort,
+        _ => Op::Crash,
+    })
+}
+
+/// The scalar oracle: what the queue's counters must be after each op,
+/// derived from first principles of the bracketed batch protocol.
+#[derive(Debug, Default, Clone, Copy)]
+struct Oracle {
+    committed: usize,
+    open: usize,
+    in_batch: bool,
+    stats: WpqStats,
+}
+
+impl Oracle {
+    fn len(&self) -> usize {
+        self.committed + self.open
+    }
+
+    /// Applies `op` to the oracle, returning the typed error (if any)
+    /// the real queue must produce.
+    fn apply(&mut self, op: Op, capacity: usize) -> Option<WpqError> {
+        match op {
+            Op::Begin => {
+                if self.in_batch {
+                    self.stats.protocol_errors += 1;
+                    Some(WpqError::BatchAlreadyOpen)
+                } else {
+                    self.in_batch = true;
+                    None
+                }
+            }
+            Op::Push => {
+                if !self.in_batch {
+                    self.stats.protocol_errors += 1;
+                    Some(WpqError::NoBatchOpen)
+                } else if self.len() >= capacity {
+                    self.stats.full_rejections += 1;
+                    Some(WpqError::Full { capacity })
+                } else {
+                    self.open += 1;
+                    self.stats.entries_pushed += 1;
+                    self.stats.max_occupancy = self.stats.max_occupancy.max(self.len());
+                    None
+                }
+            }
+            Op::End => {
+                if !self.in_batch {
+                    self.stats.protocol_errors += 1;
+                    Some(WpqError::NoBatchOpen)
+                } else {
+                    self.in_batch = false;
+                    self.committed += self.open;
+                    self.open = 0;
+                    self.stats.batches_committed += 1;
+                    None
+                }
+            }
+            Op::Drain => {
+                self.stats.entries_drained += self.committed as u64;
+                self.committed = 0;
+                None
+            }
+            Op::Abort => {
+                self.open = 0;
+                self.in_batch = false;
+                None
+            }
+            Op::Crash => {
+                self.open = 0;
+                self.in_batch = false;
+                self.committed = 0;
+                None
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under any operation sequence and any capacity, the queue's typed
+    /// errors, occupancy, and every `WpqStats` counter match the scalar
+    /// oracle exactly.
+    #[test]
+    fn wpq_accounting_matches_scalar_oracle(
+        capacity in 1usize..24,
+        ops in prop::collection::vec(op_strategy(), 1..120),
+    ) {
+        let mut q: Wpq<u64> = Wpq::new(capacity);
+        let mut oracle = Oracle::default();
+        for (i, &op) in ops.iter().enumerate() {
+            let entry = WpqEntry { addr: i as u64, value: i as u64 };
+            let got = match op {
+                Op::Begin => q.begin_batch().err(),
+                Op::Push => q.push(entry).err(),
+                Op::End => q.end_batch().err(),
+                Op::Drain => {
+                    let drained = q.drain_committed();
+                    prop_assert_eq!(drained.len(), oracle.committed, "drain length at op {}", i);
+                    None
+                }
+                Op::Abort => {
+                    q.abort_batch();
+                    None
+                }
+                Op::Crash => {
+                    let survivors = q.crash();
+                    prop_assert_eq!(survivors.len(), oracle.committed, "crash survivors at op {}", i);
+                    None
+                }
+            };
+            let expected = oracle.apply(op, capacity);
+            prop_assert_eq!(got, expected, "typed error mismatch at op {} ({:?})", i, op);
+            prop_assert_eq!(q.len(), oracle.len(), "occupancy at op {}", i);
+            prop_assert_eq!(q.open_len(), oracle.open, "open entries at op {}", i);
+            prop_assert_eq!(q.in_batch(), oracle.in_batch, "bracket state at op {}", i);
+            prop_assert!(q.len() <= capacity, "occupancy above capacity at op {}", i);
+            prop_assert_eq!(q.stats(), oracle.stats, "stats diverged at op {}", i);
+        }
+    }
+
+    /// Filling a queue past a random capacity produces exactly
+    /// `pushes - capacity` full rejections and caps `max_occupancy` at the
+    /// capacity; a stall-drain-retry then accepts the rejected entries.
+    #[test]
+    fn overfill_stall_and_retry(
+        capacity in 1usize..16,
+        extra in 1usize..16,
+    ) {
+        let mut q: Wpq<u32> = Wpq::new(capacity);
+        q.begin_batch().unwrap();
+        let mut rejected = 0u64;
+        for i in 0..capacity + extra {
+            match q.push(WpqEntry { addr: i as u64, value: i as u32 }) {
+                Ok(()) => {}
+                Err(WpqError::Full { capacity: c }) => {
+                    prop_assert_eq!(c, capacity);
+                    rejected += 1;
+                }
+                Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+            }
+        }
+        prop_assert_eq!(rejected, extra as u64);
+        prop_assert_eq!(q.stats().full_rejections, extra as u64);
+        prop_assert_eq!(q.stats().max_occupancy, capacity);
+
+        // The controller's stall path: commit, drain, reopen, retry —
+        // draining again whenever the retried entries themselves fill up.
+        q.end_batch().unwrap();
+        prop_assert_eq!(q.drain_committed().len(), capacity);
+        q.begin_batch().unwrap();
+        let mut batches = 1u64;
+        for i in 0..extra {
+            if let Err(WpqError::Full { .. }) = q.push(WpqEntry { addr: i as u64, value: i as u32 })
+            {
+                q.end_batch().unwrap();
+                q.drain_committed();
+                q.begin_batch().unwrap();
+                batches += 1;
+                q.push(WpqEntry { addr: i as u64, value: i as u32 }).unwrap();
+            }
+        }
+        q.end_batch().unwrap();
+        prop_assert_eq!(q.stats().entries_pushed, (capacity + extra) as u64);
+        prop_assert_eq!(q.stats().batches_committed, 1 + batches);
+    }
+
+    /// The persistence domain keeps both queues' brackets in lockstep
+    /// under random round/push/commit/crash interleavings, and a crash
+    /// never exposes a half-committed round on either side.
+    #[test]
+    fn domain_lockstep_under_random_protocol(
+        data_cap in 1usize..12,
+        posmap_cap in 1usize..12,
+        ops in prop::collection::vec((0u8..5, any::<bool>()), 1..80),
+    ) {
+        let mut pd: PersistenceDomain<u64, u64> = PersistenceDomain::new(data_cap, posmap_cap);
+        let mut committed = (0usize, 0usize);
+        let mut open = (0usize, 0usize);
+        let mut in_round = false;
+        for &(k, side) in &ops {
+            match k {
+                0 => {
+                    let r = pd.begin_round();
+                    prop_assert_eq!(r.is_err(), in_round);
+                    in_round = true;
+                }
+                1 => {
+                    let e = WpqEntry { addr: 0, value: 0 };
+                    let (res, cap, count, opens) = if side {
+                        (pd.push_data(e), data_cap, committed.0, &mut open.0)
+                    } else {
+                        (pd.push_posmap(e), posmap_cap, committed.1, &mut open.1)
+                    };
+                    if in_round && count + *opens < cap {
+                        prop_assert!(res.is_ok());
+                        *opens += 1;
+                    } else {
+                        prop_assert!(res.is_err());
+                    }
+                }
+                2 => {
+                    let r = pd.commit_round();
+                    prop_assert_eq!(r.is_ok(), in_round);
+                    if in_round {
+                        committed.0 += open.0;
+                        committed.1 += open.1;
+                        open = (0, 0);
+                        in_round = false;
+                    }
+                }
+                3 => {
+                    let (d, p) = pd.drain();
+                    prop_assert_eq!((d.len(), p.len()), committed);
+                    committed = (0, 0);
+                }
+                _ => {
+                    let (d, p) = pd.crash();
+                    prop_assert_eq!((d.len(), p.len()), committed,
+                        "crash must flush exactly the committed rounds");
+                    committed = (0, 0);
+                    open = (0, 0);
+                    in_round = false;
+                }
+            }
+            // Lockstep invariant: the two queues always agree on bracket state.
+            prop_assert_eq!(pd.data_wpq().in_batch(), pd.posmap_wpq().in_batch());
+            prop_assert_eq!(pd.data_wpq().in_batch(), in_round);
+        }
+    }
+}

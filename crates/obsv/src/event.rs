@@ -1,0 +1,279 @@
+//! The typed event vocabulary shared by every simulator layer.
+
+use std::fmt;
+
+/// One of the five pipeline phases of an ORAM access (§2 of the paper;
+/// steps ① – ⑤ in the controller). Ring ORAM reuses the same vocabulary
+/// minus [`Phase::CheckStash`], which it never reaches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Step ①: probe the on-chip stash for the requested block.
+    CheckStash,
+    /// Step ②: position-map lookup and remap.
+    PosMap,
+    /// Step ③: read the tree path (or one slot per bucket for Ring).
+    LoadPath,
+    /// Step ④: insert/update the block in the stash.
+    UpdateStash,
+    /// Step ⑤: eviction / path write-back (through the WPQ when the
+    /// design is persistent).
+    Eviction,
+}
+
+impl Phase {
+    /// Stable lowercase label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::CheckStash => "check_stash",
+            Phase::PosMap => "posmap",
+            Phase::LoadPath => "load_path",
+            Phase::UpdateStash => "update_stash",
+            Phase::Eviction => "eviction",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Which of the two WPQ queues inside the persistence domain an event
+/// refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QueueKind {
+    /// The data-block write-pending queue.
+    Data,
+    /// The position-map flush queue.
+    PosMap,
+}
+
+impl QueueKind {
+    /// Stable lowercase label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueueKind::Data => "data",
+            QueueKind::PosMap => "posmap",
+        }
+    }
+}
+
+/// Direction of an NVM channel access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccessKind {
+    /// Array read.
+    Read,
+    /// Array write.
+    Write,
+}
+
+impl AccessKind {
+    /// Stable lowercase label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+        }
+    }
+}
+
+/// Where in the hierarchy a cache access resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CacheLevel {
+    /// Hit in the L1 data cache.
+    L1,
+    /// Miss in L1, hit in the unified L2.
+    L2,
+    /// Missed the whole hierarchy; goes to (ORAM-protected) memory.
+    Memory,
+}
+
+impl CacheLevel {
+    /// Stable label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheLevel::L1 => "l1",
+            CacheLevel::L2 => "l2",
+            CacheLevel::Memory => "memory",
+        }
+    }
+}
+
+/// A single typed observation, stamped with **simulated** cycles.
+///
+/// Component ownership of the cycle domain:
+///
+/// * ORAM controller events (`Access*`, `Phase`, `Round*`, `Wpq*`,
+///   `Crash`, `Recovery`) carry *core* cycles from the controller clock.
+/// * [`Event::NvmAccess`] carries *memory* cycles straight from the bank
+///   scheduler (`arrival` → `complete`).
+/// * [`Event::CacheAccess`] carries the driving system's core clock.
+///
+/// Stamps are monotone per component but the domains are not mutually
+/// ordered; the chrome exporter places each component on its own track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// An ORAM access entered the pipeline.
+    AccessStart {
+        /// Zero-based access index (the controller's attempt counter).
+        index: u64,
+        /// Core-cycle arrival time.
+        cycle: u64,
+    },
+    /// The access's value became available (end of step ④; eviction may
+    /// still be in flight behind the ADR boundary).
+    AccessEnd {
+        /// Matches the `index` of the corresponding `AccessStart`.
+        index: u64,
+        /// Core cycle at which the value was ready.
+        cycle: u64,
+    },
+    /// One pipeline phase of the current access, as a closed interval.
+    Phase {
+        /// Which step of the access pipeline.
+        phase: Phase,
+        /// Core cycle at which the phase began.
+        start: u64,
+        /// Core cycle at which the phase completed (`end >= start`).
+        end: u64,
+    },
+    /// The persist engine opened an eviction round (drainer *start*
+    /// signal, §4.2).
+    RoundBegin {
+        /// Core cycle when the round opened.
+        cycle: u64,
+    },
+    /// The persist engine committed a round (drainer *end* signal);
+    /// everything pushed since `RoundBegin` is now ADR-durable.
+    RoundCommit {
+        /// Core cycle when the round committed.
+        cycle: u64,
+        /// Data-queue entries committed by this round.
+        data_units: u64,
+        /// PosMap-queue entries committed by this round.
+        posmap_units: u64,
+    },
+    /// An entry was accepted into a WPQ batch.
+    WpqPush {
+        /// Which queue accepted the entry.
+        queue: QueueKind,
+        /// Total occupancy (committed + open) *after* the push.
+        occupancy: u64,
+        /// Queue capacity, for depth-invariant checks.
+        capacity: u64,
+        /// Core cycle of the push.
+        cycle: u64,
+    },
+    /// A push was rejected because the queue was full.
+    WpqReject {
+        /// Which queue rejected the entry.
+        queue: QueueKind,
+        /// Queue capacity at the time of rejection.
+        capacity: u64,
+        /// Core cycle of the rejection.
+        cycle: u64,
+    },
+    /// Committed entries were drained from a WPQ to the NVM array.
+    WpqDrain {
+        /// Which queue drained.
+        queue: QueueKind,
+        /// Number of entries drained.
+        drained: u64,
+        /// Core cycle of the drain.
+        cycle: u64,
+    },
+    /// The controller stalled an eviction waiting for WPQ space.
+    WpqStall {
+        /// Core cycle when the stall was charged.
+        cycle: u64,
+    },
+    /// One scheduled access on an NVM bank, in **memory** cycles.
+    NvmAccess {
+        /// Read or write.
+        kind: AccessKind,
+        /// Channel index.
+        channel: u32,
+        /// Bank index within the channel.
+        bank: u32,
+        /// Memory cycle the request arrived at the controller.
+        arrival: u64,
+        /// Memory cycle the bank completed it (`complete >= arrival`).
+        complete: u64,
+    },
+    /// One access into the cache hierarchy and where it resolved.
+    CacheAccess {
+        /// The level that satisfied the access.
+        level: CacheLevel,
+        /// Whether the access was a store.
+        write: bool,
+        /// Core cycle of the access (the driving system's clock).
+        cycle: u64,
+    },
+    /// A (simulated) power failure struck.
+    Crash {
+        /// Core cycle of the crash.
+        cycle: u64,
+    },
+    /// A recovery pass (§4.3) finished.
+    Recovery {
+        /// Whether the recovered state passed its consistency check.
+        consistent: bool,
+        /// Core cycle at which recovery completed.
+        cycle: u64,
+    },
+}
+
+impl Event {
+    /// The primary cycle stamp of the event (interval events report
+    /// their start).
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            Event::AccessStart { cycle, .. }
+            | Event::AccessEnd { cycle, .. }
+            | Event::RoundBegin { cycle }
+            | Event::RoundCommit { cycle, .. }
+            | Event::WpqPush { cycle, .. }
+            | Event::WpqReject { cycle, .. }
+            | Event::WpqDrain { cycle, .. }
+            | Event::WpqStall { cycle }
+            | Event::CacheAccess { cycle, .. }
+            | Event::Crash { cycle }
+            | Event::Recovery { cycle, .. } => cycle,
+            Event::Phase { start, .. } => start,
+            Event::NvmAccess { arrival, .. } => arrival,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Phase::CheckStash.label(), "check_stash");
+        assert_eq!(Phase::Eviction.to_string(), "eviction");
+        assert_eq!(QueueKind::PosMap.label(), "posmap");
+        assert_eq!(AccessKind::Write.label(), "write");
+        assert_eq!(CacheLevel::Memory.label(), "memory");
+    }
+
+    #[test]
+    fn cycle_picks_interval_start() {
+        let e = Event::Phase {
+            phase: Phase::LoadPath,
+            start: 7,
+            end: 19,
+        };
+        assert_eq!(e.cycle(), 7);
+        let n = Event::NvmAccess {
+            kind: AccessKind::Read,
+            channel: 0,
+            bank: 3,
+            arrival: 40,
+            complete: 90,
+        };
+        assert_eq!(n.cycle(), 40);
+    }
+}

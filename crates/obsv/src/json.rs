@@ -1,0 +1,64 @@
+//! Minimal hand-rolled JSON emission helpers.
+//!
+//! This crate is dependency-free, so both exporters build their JSON by
+//! hand. Output is deterministic: map keys come from `BTreeMap`s or
+//! fixed emission order, and floats are rendered with a stable format.
+
+use std::fmt::Write as _;
+
+/// Appends `s` as a JSON string literal (with quotes) to `out`.
+pub fn push_str_literal(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders an `f64` deterministically.
+///
+/// Finite values use Rust's shortest round-trip formatting, with a
+/// trailing `.0` forced onto integral values so the output is
+/// unambiguously a float; non-finite values (invalid JSON otherwise)
+/// are rendered as `null`.
+pub fn format_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut out = String::new();
+        push_str_literal(&mut out, "a\"b\\c\n\t\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+    }
+
+    #[test]
+    fn floats_are_stable() {
+        assert_eq!(format_f64(1.0), "1.0");
+        assert_eq!(format_f64(0.25), "0.25");
+        assert_eq!(format_f64(f64::NAN), "null");
+        assert_eq!(format_f64(f64::INFINITY), "null");
+    }
+}

@@ -1,0 +1,60 @@
+//! # psoram-obsv — unified event tracing & metrics for the PS-ORAM simulator
+//!
+//! The simulator's statistics used to live in seven ad-hoc structs
+//! (`OramStats`, `RingStats`, `EngineStats`, `NvmStats`, `WpqStats`,
+//! `CacheStats`, `HierarchyStats`) with no timeline view and no
+//! cross-layer correlation. This crate supplies the missing layer:
+//!
+//! * **[`Event`]** — one typed enum covering every interesting moment in
+//!   the pipeline: ORAM access phases, persist-engine rounds, WPQ
+//!   enqueue/drain/stall, NVM bank occupancy, cache hits/misses, and
+//!   crash/recovery markers, each stamped with *simulated* cycles.
+//! * **[`Recorder`]** — the sink trait. [`NoopRecorder`] is the
+//!   zero-overhead default; [`RingBufferRecorder`] keeps a bounded,
+//!   drop-oldest in-memory ring of events for export.
+//! * **[`Tap`]** — the cheap handle components hold. A tap with no
+//!   recorder attached never constructs an event (the closure passed to
+//!   [`Tap::emit`] is not even called), so observability can never
+//!   perturb the simulated numbers.
+//! * **[`MetricsRegistry`]** — deterministic counters, gauges, and
+//!   power-of-two [`Histogram`]s, unifying the per-crate `*Stats`
+//!   structs behind one flat snapshot via the [`MetricsSource`] trait.
+//! * **Exporters** — [`chrome_trace_json`] renders recorded events as a
+//!   chrome://tracing (`about:tracing` / Perfetto) JSON document;
+//!   [`MetricsRegistry::to_json_string`] renders the flat snapshot.
+//!
+//! The crate is deliberately **dependency-free** (not even serde): it
+//! sits underneath `psoram-nvm`, `psoram-cache`, `psoram-core`, and
+//! `psoram-system`, and must never create a dependency cycle. Both
+//! exporters hand-roll their JSON with deterministic ordering so golden
+//! snapshot tests can byte-compare the output.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use psoram_obsv::{Event, Phase, RingBufferRecorder, Tap};
+//!
+//! let rec = Arc::new(RingBufferRecorder::new(1024));
+//! let tap = Tap::attached(rec.clone());
+//! tap.set_now(100);
+//! tap.emit(|| Event::AccessStart { index: 0, cycle: tap.now() });
+//! tap.emit(|| Event::Phase { phase: Phase::LoadPath, start: 100, end: 180 });
+//! assert_eq!(rec.events().len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chrome;
+mod event;
+mod json;
+mod metrics;
+mod recorder;
+mod tap;
+
+pub use chrome::chrome_trace_json;
+pub use event::{AccessKind, CacheLevel, Event, Phase, QueueKind};
+pub use metrics::{Histogram, MetricsRegistry, MetricsSource};
+pub use recorder::{NoopRecorder, Recorder, RingBufferRecorder, DEFAULT_RING_CAPACITY};
+pub use tap::Tap;

@@ -1,0 +1,416 @@
+//! Counters, gauges, and power-of-two histograms with a flat, ordered
+//! JSON snapshot.
+
+use std::collections::BTreeMap;
+
+use crate::event::Event;
+use crate::json::{format_f64, push_str_literal};
+
+/// A base-2 exponential histogram of `u64` samples.
+///
+/// Bucket 0 holds only zero; bucket `k >= 1` holds `(2^(k-1), 2^k]`
+/// (with `v = 1` also in bucket 1, so bucket 1 is `[1, 2]`). Alongside
+/// the histogram tracks count, sum, min, and max exactly, so means stay
+/// precise even though the distribution is compressed.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Histogram {
+    buckets: BTreeMap<u32, u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Index of the bucket `v` falls into.
+    fn bucket_of(v: u64) -> u32 {
+        if v == 0 {
+            0
+        } else {
+            64 - (v - 1).leading_zeros().min(63)
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, v: u64) {
+        *self.buckets.entry(Self::bucket_of(v)).or_insert(0) += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Occupied buckets as `(bucket_index, count)`, ascending.
+    pub fn buckets(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.buckets.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Folds `other`'s samples into this histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (k, v) in &other.buckets {
+            *self.buckets.entry(*k).or_insert(0) += v;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"count\":");
+        out.push_str(&self.count.to_string());
+        out.push_str(",\"sum\":");
+        out.push_str(&self.sum.to_string());
+        out.push_str(",\"min\":");
+        out.push_str(&self.min.to_string());
+        out.push_str(",\"max\":");
+        out.push_str(&self.max.to_string());
+        out.push_str(",\"mean\":");
+        out.push_str(&format_f64(self.mean()));
+        out.push_str(",\"buckets\":{");
+        for (i, (k, v)) in self.buckets.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str_literal(out, &k.to_string());
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("}}");
+    }
+}
+
+/// Anything that can publish its statistics into a [`MetricsRegistry`].
+///
+/// Each simulator crate implements this for its `*Stats` structs,
+/// unifying the seven ad-hoc stats types behind one flat snapshot.
+/// Implementations should namespace every key under `prefix` (the
+/// registry's [`MetricsRegistry::key`] helper joins with `.`).
+pub trait MetricsSource {
+    /// Writes this source's metrics under `prefix` into `reg`.
+    fn publish(&self, prefix: &str, reg: &mut MetricsRegistry);
+}
+
+/// A deterministic bag of named counters, gauges, and histograms.
+///
+/// All three namespaces are `BTreeMap`s, so the JSON snapshot is fully
+/// ordered and byte-stable: two runs that record the same values render
+/// the same document, which is what the golden tests compare.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Joins a prefix and a name with `.`, skipping empty prefixes.
+    pub fn key(prefix: &str, name: &str) -> String {
+        if prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{prefix}.{name}")
+        }
+    }
+
+    /// Sets counter `name` to `value` (last write wins).
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_string(), value);
+    }
+
+    /// Adds `delta` to counter `name` (creating it at 0).
+    pub fn add_counter(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records `sample` into histogram `name` (creating it empty).
+    pub fn observe(&mut self, name: &str, sample: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(sample);
+    }
+
+    /// Reads back a counter, if set.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Reads back a gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Reads back a histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Publishes `source` under `prefix` (convenience for
+    /// [`MetricsSource::publish`]).
+    pub fn publish(&mut self, prefix: &str, source: &dyn MetricsSource) {
+        source.publish(prefix, self);
+    }
+
+    /// Derives standard histograms/counters from a recorded event
+    /// stream, under `prefix`:
+    ///
+    /// * `wpq.occupancy` — queue depth after each accepted push
+    /// * `nvm.latency` — per-access bank latency in memory cycles
+    /// * `phase.<name>` — per-phase duration in core cycles
+    /// * `round.units` — persist units per committed round
+    /// * counters for pushes, rejects, stalls, drains, crashes, and
+    ///   recoveries
+    pub fn ingest_events(&mut self, prefix: &str, events: &[Event]) {
+        for e in events {
+            match *e {
+                Event::WpqPush { occupancy, .. } => {
+                    self.observe(&Self::key(prefix, "wpq.occupancy"), occupancy);
+                    self.add_counter(&Self::key(prefix, "wpq.pushes"), 1);
+                }
+                Event::WpqReject { .. } => {
+                    self.add_counter(&Self::key(prefix, "wpq.rejects"), 1);
+                }
+                Event::WpqStall { .. } => {
+                    self.add_counter(&Self::key(prefix, "wpq.stalls"), 1);
+                }
+                Event::WpqDrain { drained, .. } => {
+                    self.add_counter(&Self::key(prefix, "wpq.drained"), drained);
+                }
+                Event::NvmAccess {
+                    arrival, complete, ..
+                } => {
+                    self.observe(
+                        &Self::key(prefix, "nvm.latency"),
+                        complete.saturating_sub(arrival),
+                    );
+                }
+                Event::Phase { phase, start, end } => {
+                    self.observe(
+                        &Self::key(prefix, &format!("phase.{}", phase.label())),
+                        end.saturating_sub(start),
+                    );
+                }
+                Event::RoundCommit {
+                    data_units,
+                    posmap_units,
+                    ..
+                } => {
+                    self.observe(
+                        &Self::key(prefix, "round.units"),
+                        data_units + posmap_units,
+                    );
+                }
+                Event::Crash { .. } => {
+                    self.add_counter(&Self::key(prefix, "crashes"), 1);
+                }
+                Event::Recovery { .. } => {
+                    self.add_counter(&Self::key(prefix, "recoveries"), 1);
+                }
+                Event::AccessStart { .. }
+                | Event::AccessEnd { .. }
+                | Event::RoundBegin { .. }
+                | Event::CacheAccess { .. } => {}
+            }
+        }
+    }
+
+    /// Folds another registry into this one: counters add, gauges take
+    /// `other`'s value (last write wins), histograms merge sample-wise.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Renders the whole registry as a deterministic, pretty-printed
+    /// JSON document (trailing newline included).
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            push_str_literal(&mut out, k);
+            out.push_str(": ");
+            out.push_str(&v.to_string());
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            push_str_literal(&mut out, k);
+            out.push_str(": ");
+            out.push_str(&format_f64(*v));
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"histograms\": {");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            push_str_literal(&mut out, k);
+            out.push_str(": ");
+            h.write_json(&mut out);
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::QueueKind;
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 2);
+        assert_eq!(Histogram::bucket_of(5), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_tracks_exact_moments() {
+        let mut h = Histogram::new();
+        for v in [3u64, 9, 0, 12] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 24);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 12);
+        assert!((h.mean() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_ordered() {
+        let mut a = MetricsRegistry::new();
+        a.set_counter("z.last", 2);
+        a.set_counter("a.first", 1);
+        a.set_gauge("mid", 0.5);
+        a.observe("lat", 7);
+
+        let mut b = MetricsRegistry::new();
+        b.observe("lat", 7);
+        b.set_gauge("mid", 0.5);
+        b.set_counter("a.first", 1);
+        b.set_counter("z.last", 2);
+
+        let ja = a.to_json_string();
+        assert_eq!(ja, b.to_json_string(), "insertion order must not matter");
+        let a_pos = ja.find("a.first").unwrap();
+        let z_pos = ja.find("z.last").unwrap();
+        assert!(a_pos < z_pos, "keys must come out sorted");
+    }
+
+    #[test]
+    fn ingest_derives_wpq_depth_histogram() {
+        let mut reg = MetricsRegistry::new();
+        let events = vec![
+            Event::WpqPush {
+                queue: QueueKind::Data,
+                occupancy: 1,
+                capacity: 4,
+                cycle: 10,
+            },
+            Event::WpqPush {
+                queue: QueueKind::Data,
+                occupancy: 2,
+                capacity: 4,
+                cycle: 11,
+            },
+            Event::WpqReject {
+                queue: QueueKind::Data,
+                capacity: 4,
+                cycle: 12,
+            },
+            Event::WpqStall { cycle: 12 },
+        ];
+        reg.ingest_events("t", &events);
+        assert_eq!(reg.counter("t.wpq.pushes"), Some(2));
+        assert_eq!(reg.counter("t.wpq.rejects"), Some(1));
+        assert_eq!(reg.counter("t.wpq.stalls"), Some(1));
+        assert_eq!(reg.histogram("t.wpq.occupancy").unwrap().max(), 2);
+    }
+
+    #[test]
+    fn key_joins_with_dot() {
+        assert_eq!(MetricsRegistry::key("", "x"), "x");
+        assert_eq!(MetricsRegistry::key("a.b", "x"), "a.b.x");
+    }
+}

@@ -25,6 +25,20 @@ pub struct SimResult {
     pub oram: OramStats,
 }
 
+impl psoram_obsv::MetricsSource for SimResult {
+    fn publish(&self, prefix: &str, reg: &mut psoram_obsv::MetricsRegistry) {
+        use psoram_obsv::MetricsRegistry as R;
+        reg.set_counter(&R::key(prefix, "instructions"), self.instructions);
+        reg.set_counter(&R::key(prefix, "accesses"), self.accesses);
+        reg.set_counter(&R::key(prefix, "llc_misses"), self.llc_misses);
+        reg.set_counter(&R::key(prefix, "exec_cycles"), self.exec_cycles);
+        reg.set_gauge(&R::key(prefix, "mpki"), self.mpki());
+        reg.set_gauge(&R::key(prefix, "ipc"), self.ipc());
+        self.nvm.publish(&R::key(prefix, "nvm"), reg);
+        self.oram.publish(&R::key(prefix, "oram"), reg);
+    }
+}
+
 impl SimResult {
     /// Measured LLC misses per kilo-instruction.
     pub fn mpki(&self) -> f64 {

@@ -3,6 +3,7 @@
 use psoram_cache::{Hierarchy, MemOp};
 use psoram_core::{BlockAddr, CrashPoint, Op, OramError, PathOram};
 use psoram_nvm::{AccessKind, NvmController, CORE_CYCLES_PER_MEM_CYCLE};
+use psoram_obsv::Tap;
 use psoram_trace::{SpecWorkload, TraceGenerator, TraceRecord, WorkloadSpec};
 
 use crate::config::SystemConfig;
@@ -12,7 +13,7 @@ use crate::result::SimResult;
 #[derive(Debug)]
 enum Backend {
     Oram(Box<PathOram>),
-    Plain(NvmController),
+    Plain(Box<NvmController>),
 }
 
 /// A complete simulated system: in-order core, cache hierarchy, and the
@@ -45,6 +46,8 @@ pub struct System {
     crashes_recovered: u64,
     recoveries_consistent: u64,
     mark: Option<Snapshot>,
+    /// Observability tap (detached by default; see [`System::set_recorder`]).
+    obsv: Tap,
 }
 
 /// Counter snapshot taken at the end of warmup, so results measure only
@@ -77,7 +80,7 @@ impl System {
             }
             Backend::Oram(Box::new(oram))
         } else {
-            Backend::Plain(NvmController::new(config.nvm.clone()))
+            Backend::Plain(Box::new(NvmController::new(config.nvm.clone())))
         };
         System {
             config,
@@ -89,7 +92,22 @@ impl System {
             crashes_recovered: 0,
             recoveries_consistent: 0,
             mark: None,
+            obsv: Tap::detached(),
         }
+    }
+
+    /// Attaches an observability recorder to the whole stack: the cache
+    /// hierarchy, the ORAM controller (or plain NVM controller), and the
+    /// persist engine all share one tap, so their events carry the same
+    /// simulated-cycle clock.
+    pub fn set_recorder(&mut self, recorder: std::sync::Arc<dyn psoram_obsv::Recorder>) {
+        let tap = Tap::attached(recorder);
+        self.hierarchy.set_tap(tap.clone());
+        match &mut self.backend {
+            Backend::Oram(o) => o.set_obsv_tap(tap.clone()),
+            Backend::Plain(n) => n.set_tap(tap.clone()),
+        }
+        self.obsv = tap;
     }
 
     /// Marks the end of warmup: subsequent [`System::result`] calls report
@@ -170,6 +188,7 @@ impl System {
         self.instructions += rec.instrs_before + 1;
         self.accesses += 1;
 
+        self.obsv.set_now(self.clock);
         let r = self.hierarchy.access(rec.addr, rec.is_write);
         self.clock += r.latency_cycles;
         for op in &r.memory_ops {

@@ -10,14 +10,22 @@
 //! Usage:
 //!   crash_campaign [--smoke] [--mode exhaustive|random|both]
 //!                  [--seed N] [--out FILE] [--quiet] [--jobs N]
+//!                  [--device-faults] [--aggressive-faults]
 //!                  [--trace-out FILE] [--metrics-out FILE]
 //!
 //! `--jobs` fans the per-design campaigns out across worker threads; the
 //! report is byte-identical at any job count (each design variant derives
 //! its RNG from the campaign seed, never from execution order).
+//!
+//! `--device-faults` appends the device-fault campaign: the random
+//! campaign re-run with a seeded device fault plan (torn flushes,
+//! lost/duplicated WPQ signals, persisted bit flips, read failures)
+//! armed underneath every Path and Ring design. Hardened designs must
+//! repair, roll back with typed errors, or fail safe — never diverge
+//! silently — while the unhardened baselines must keep failing.
 
 use psoram_bench::SimHarness;
-use psoram_faultsim::CampaignReport;
+use psoram_faultsim::{CampaignReport, DeviceCampaignReport};
 
 struct Args {
     smoke: bool,
@@ -27,6 +35,8 @@ struct Args {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     quiet: bool,
+    device_faults: bool,
+    aggressive_faults: bool,
 }
 
 fn parse_args() -> Args {
@@ -38,12 +48,16 @@ fn parse_args() -> Args {
         trace_out: None,
         metrics_out: None,
         quiet: false,
+        device_faults: false,
+        aggressive_faults: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => args.smoke = true,
             "--quiet" => args.quiet = true,
+            "--device-faults" => args.device_faults = true,
+            "--aggressive-faults" => args.aggressive_faults = true,
             "--mode" => args.mode = it.next().unwrap_or_else(|| usage("--mode needs a value")),
             "--seed" => {
                 let v = it.next().unwrap_or_else(|| usage("--seed needs a value"));
@@ -82,6 +96,9 @@ fn parse_args() -> Args {
     if !matches!(args.mode.as_str(), "exhaustive" | "random" | "both") {
         usage("--mode must be exhaustive, random, or both");
     }
+    if args.aggressive_faults && !args.device_faults {
+        usage("--aggressive-faults requires --device-faults");
+    }
     args
 }
 
@@ -102,6 +119,10 @@ fn usage(err: &str) -> ! {
          \x20                    incl. per-crash-point timing attribution)\n\
          \x20 --jobs N           worker threads (default: all cores; 1 = serial);\n\
          \x20                    the report is byte-identical at any job count\n\
+         \x20 --device-faults    append the device-fault campaign (seeded torn\n\
+         \x20                    flushes, signal loss, bit flips, read failures)\n\
+         \x20 --aggressive-faults use the aggressive fault mix (implies more\n\
+         \x20                    fail-safe rebuilds; requires --device-faults)\n\
          \x20 --quiet            suppress the human-readable summary"
     );
     std::process::exit(2);
@@ -163,6 +184,75 @@ fn verdict(report: &CampaignReport) -> Result<(), String> {
     Ok(())
 }
 
+fn summarize_device(report: &DeviceCampaignReport) {
+    eprintln!(
+        "== device-fault campaign (seed {}, {} mix) ==",
+        report.seed,
+        if report.aggressive {
+            "aggressive"
+        } else {
+            "default"
+        }
+    );
+    for v in &report.variants {
+        eprintln!(
+            "  {:<22} crashes {:>4}  injected {:>5} (torn {:>3}, signal {:>3}, flips {:>4})  \
+             repairs {:>4}  rollbacks {:>3}  failsafes {:>3}  rebuilds {:>2}  violations {:>4}  [{}]",
+            v.report.label,
+            v.report.crashes_injected,
+            v.device.injected.total_injected(),
+            v.device.injected.torn_flushes,
+            v.device.injected.signal_losses + v.device.injected.duplicated_signals,
+            v.device.injected.bit_flips,
+            v.device.repairs,
+            v.device.rollbacks,
+            v.device.detected_failsafes,
+            v.device.failsafe_rebuilds,
+            v.report.violations_total,
+            if v.report.matches_expectation {
+                "ok"
+            } else {
+                "UNEXPECTED"
+            },
+        );
+    }
+}
+
+/// The device campaign is sound only if the injector actually fired, no
+/// hardened design diverged silently, and the unhardened baselines kept
+/// failing (detection power).
+fn device_verdict(report: &DeviceCampaignReport) -> Result<(), String> {
+    for v in &report.variants {
+        if v.device.hardened && !v.report.matches_expectation {
+            return Err(format!(
+                "{}: {} silent violation(s) under device faults (first: {:?})",
+                v.report.label,
+                v.report.violations_total,
+                v.report.violations.first()
+            ));
+        }
+        if v.report.crashes_injected == 0 {
+            return Err(format!(
+                "{}: no crash ever fired — the schedule is broken",
+                v.report.label
+            ));
+        }
+    }
+    if report.total_injected() == 0 {
+        return Err("the device fault plan injected nothing — the injector is broken".into());
+    }
+    let baseline_convicted = report
+        .variants
+        .iter()
+        .any(|v| !v.device.hardened && v.report.violations_total > 0);
+    if !baseline_convicted {
+        return Err("no violation detected on any unhardened design under \
+                    device faults: the oracle has no detection power"
+            .into());
+    }
+    Ok(())
+}
+
 fn main() {
     let args = parse_args();
 
@@ -205,7 +295,22 @@ fn main() {
         psoram_bench::write_obsv_file(path, &reg.to_json_string());
     }
 
-    let json = serde_json::to_string_pretty(&reports).expect("report serializes");
+    let device_report = args
+        .device_faults
+        .then(|| harness.device_campaigns(args.smoke, args.seed, args.aggressive_faults));
+
+    // With --device-faults the output array gains the device report as its
+    // final element; without the flag the output is byte-identical to the
+    // previous behavior (the golden artifacts never set the flag).
+    let json = match &device_report {
+        Some(dev) => {
+            let mut vals: Vec<serde_json::Value> =
+                reports.iter().map(serde_json::to_value).collect();
+            vals.push(serde_json::to_value(dev));
+            serde_json::to_string_pretty(&vals).expect("report serializes")
+        }
+        None => serde_json::to_string_pretty(&reports).expect("report serializes"),
+    };
     match &args.out {
         Some(path) => {
             if let Err(e) = std::fs::write(path, &json) {
@@ -228,6 +333,20 @@ fn main() {
             eprintln!(
                 "PASS ({}): PS designs clean, baseline data loss detected",
                 report.mode
+            );
+        }
+    }
+    if let Some(dev) = &device_report {
+        if !args.quiet {
+            summarize_device(dev);
+        }
+        if let Err(e) = device_verdict(dev) {
+            eprintln!("FAIL (device): {e}");
+            failed = true;
+        } else if !args.quiet {
+            eprintln!(
+                "PASS (device): hardened designs repaired, rolled back with typed \
+                 errors, or failed safe; unhardened data loss detected"
             );
         }
     }

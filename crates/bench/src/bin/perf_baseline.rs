@@ -1,4 +1,4 @@
-//! Tracked performance baseline (`BENCH_03.json`).
+//! Tracked performance baseline (`BENCH_04.json`).
 //!
 //! Measures the functional speed of the simulator itself — distinct from
 //! the *simulated* cycle counts the figure binaries report (see DESIGN.md
@@ -11,12 +11,15 @@
 //!   their PS variants (payload encryption on — the real hot path).
 //! * Randomized crash-campaign wall-clock at `--jobs 1` vs `--jobs N`,
 //!   asserting the two reports are byte-identical.
+//! * Recovery latency over repeated crash→recover cycles, clean vs with
+//!   the device fault plan armed (recovery then authenticates, repairs,
+//!   and rolls back — the integrity tax on the recovery path).
 //!
 //! Usage:
 //!   perf_baseline [--smoke] [--out FILE] [--jobs N]
 //!
 //! `--smoke` shrinks every measurement for CI; the JSON shape is
-//! unchanged. Default output file is `BENCH_03.json` in the working
+//! unchanged. Default output file is `BENCH_04.json` in the working
 //! directory.
 
 use std::hint::black_box;
@@ -27,6 +30,7 @@ use psoram_core::ring::{RingConfig, RingOram, RingVariant};
 use psoram_core::{OramConfig, PathOram, ProtocolPolicy, ProtocolVariant};
 use psoram_crypto::{Aes128, CtrCipher, ReferenceAes128};
 use psoram_faultsim::{random_campaign, CampaignConfig};
+use psoram_nvm::FaultConfig;
 
 struct Args {
     smoke: bool,
@@ -37,7 +41,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         smoke: false,
-        out: "BENCH_03.json".into(),
+        out: "BENCH_04.json".into(),
         jobs: psoram_faultsim::default_jobs(),
     };
     let mut it = std::env::args().skip(1);
@@ -68,7 +72,7 @@ fn usage(err: &str) -> ! {
         "perf_baseline: functional-speed baseline for the simulator\n\n\
          options:\n\
          \x20 --smoke     reduced iteration counts (CI gate)\n\
-         \x20 --out FILE  output JSON path (default BENCH_03.json)\n\
+         \x20 --out FILE  output JSON path (default BENCH_04.json)\n\
          \x20 --jobs N    parallel job count for the campaign comparison\n\
          \x20             (default: all cores)"
     );
@@ -98,6 +102,102 @@ fn time_blocks(blocks: u64, mut f: impl FnMut(&[u8; 16]) -> [u8; 16]) -> f64 {
         best = best.max(blocks as f64 / secs.max(1e-9));
     }
     best
+}
+
+/// Wall-clock recovery latency over `crashes` crash→recover cycles on a
+/// PS-ORAM Path instance, with `accesses` of uniform write traffic
+/// between crashes.
+///
+/// With `device` set, the campaign fault mix is armed first, so each
+/// recovery also authenticates every unit it reads back and performs
+/// whatever repairs/rollbacks the injected damage demands — the delta
+/// against the clean run is the integrity tax on the recovery path.
+/// A poisoned instance (unrepairable damage) is rebuilt and the run
+/// continues until `crashes` recoveries have been timed.
+struct RecoveryLatency {
+    mean_us: f64,
+    max_us: f64,
+    repairs: u64,
+    rollbacks: u64,
+    incidents: u64,
+    rebuilds: u64,
+}
+
+fn time_recovery(device: bool, crashes: usize, accesses: usize) -> RecoveryLatency {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let levels = 10u32;
+    let mut cfg = OramConfig::paper_default().with_levels(levels);
+    cfg.data_wpq_capacity = cfg.path_slots();
+    cfg.posmap_wpq_capacity = cfg.path_slots();
+    let build = |epoch: u64| -> Box<dyn ProtocolPolicy> {
+        let mut oram: Box<dyn ProtocolPolicy> = Box::new(PathOram::new(
+            cfg.clone(),
+            ProtocolVariant::PsOram,
+            17 ^ epoch,
+        ));
+        if device {
+            // Crash-drain damage only (torn rounds, lost/duplicated
+            // signals, bit flips): read faults during the traffic phase
+            // would poison and rebuild the instance, shrinking the
+            // committed set and making the clean/device means
+            // incomparable.
+            let mix = FaultConfig {
+                transient_read: 0.0,
+                stuck_read: 0.0,
+                ..FaultConfig::campaign_default()
+            };
+            oram.enable_device_faults(0xBE9C ^ epoch, mix);
+        }
+        oram
+    };
+    let mut oram = build(0);
+    let mut rng = StdRng::seed_from_u64(23);
+    let cap = oram.capacity_blocks();
+    let payload = vec![0u8; oram.payload_bytes()];
+
+    let mut out = RecoveryLatency {
+        mean_us: 0.0,
+        max_us: 0.0,
+        repairs: 0,
+        rollbacks: 0,
+        incidents: 0,
+        rebuilds: 0,
+    };
+    let mut total_secs = 0.0f64;
+    let mut measured = 0usize;
+    while measured < crashes {
+        for _ in 0..accesses {
+            // Under an armed plan a write can fail typed (stuck read,
+            // poison); the bench tolerates it and lets the rebuild below
+            // handle a poisoned instance.
+            if oram.write(rng.gen_range(0..cap), payload.clone()).is_err() {
+                break;
+            }
+        }
+        if oram.poisoned().is_some() {
+            out.rebuilds += 1;
+            oram = build(out.rebuilds);
+            continue;
+        }
+        oram.crash_now();
+        let t = Instant::now();
+        let rec = oram.recover();
+        let secs = t.elapsed().as_secs_f64();
+        total_secs += secs;
+        out.max_us = out.max_us.max(secs * 1e6);
+        measured += 1;
+        out.repairs += rec.repairs;
+        out.rollbacks += rec.rolled_back.len() as u64;
+        out.incidents += rec.incidents.len() as u64;
+        if rec.poisoned {
+            out.rebuilds += 1;
+            oram = build(out.rebuilds);
+        }
+    }
+    out.mean_us = total_secs / crashes as f64 * 1e6;
+    out
 }
 
 fn main() {
@@ -150,6 +250,11 @@ fn main() {
     drive_uniform_writes("Ring", &mut *ring, oram_accesses, 3);
     let ring_aps = oram_accesses as f64 / t.elapsed().as_secs_f64().max(1e-9);
 
+    let (rec_crashes, rec_accesses) = if args.smoke { (8, 60) } else { (40, 200) };
+    eprintln!("[recovery: {rec_crashes} crash->recover cycles, clean vs device faults]");
+    let rec_clean = time_recovery(false, rec_crashes, rec_accesses);
+    let rec_device = time_recovery(true, rec_crashes, rec_accesses);
+
     eprintln!(
         "[campaign: random smoke sweep, --jobs 1 vs --jobs {}]",
         args.jobs
@@ -193,6 +298,23 @@ fn main() {
             "path_ps_accesses_per_sec": path_aps,
             "ring_ps_accesses_per_sec": ring_aps,
         },
+        "recovery_latency": {
+            "crashes": rec_crashes,
+            "accesses_between_crashes": rec_accesses,
+            "clean": {
+                "mean_us": rec_clean.mean_us,
+                "max_us": rec_clean.max_us,
+            },
+            "device_faults": {
+                "mean_us": rec_device.mean_us,
+                "max_us": rec_device.max_us,
+                "repairs": rec_device.repairs,
+                "rollbacks": rec_device.rollbacks,
+                "incidents": rec_device.incidents,
+                "rebuilds": rec_device.rebuilds,
+                "slowdown_vs_clean": rec_device.mean_us / rec_clean.mean_us.max(1e-9),
+            },
+        },
         "campaign_wall_clock": {
             "mode": "random-smoke",
             "jobs_serial": 1,
@@ -220,5 +342,15 @@ fn main() {
         serial_secs,
         parallel_secs,
         args.jobs
+    );
+    eprintln!(
+        "recovery: clean {:.0} us -> device-faults {:.0} us mean \
+         ({} repairs, {} rollbacks, {} rebuilds over {} crashes)",
+        rec_clean.mean_us,
+        rec_device.mean_us,
+        rec_device.repairs,
+        rec_device.rollbacks,
+        rec_device.rebuilds,
+        rec_crashes
     );
 }

@@ -24,8 +24,8 @@ use std::io::Write as _;
 
 use psoram_core::{ProtocolPolicy, ProtocolVariant};
 use psoram_faultsim::{
-    exhaustive_sweep, random_campaign, random_campaign_traced, CampaignConfig, CampaignReport,
-    SweepConfig,
+    device_campaign, exhaustive_sweep, random_campaign, random_campaign_traced, CampaignConfig,
+    CampaignReport, DeviceCampaignConfig, DeviceCampaignReport, SweepConfig,
 };
 use psoram_obsv::Event;
 use psoram_system::{SimResult, System, SystemConfig};
@@ -310,6 +310,28 @@ impl SimHarness {
             reports.push(random_campaign(&cfg));
         }
         reports
+    }
+
+    /// Runs the device-fault campaign: the randomized crash campaign with
+    /// a seeded device fault plan (torn flushes, lost/duplicated WPQ
+    /// signals, persisted bit flips, read failures) armed underneath every
+    /// Path and Ring design. Deterministic in `seed` at any job count.
+    pub fn device_campaigns(
+        &self,
+        smoke: bool,
+        seed: Option<u64>,
+        aggressive: bool,
+    ) -> DeviceCampaignReport {
+        let mut cfg = if smoke {
+            DeviceCampaignConfig::smoke()
+        } else {
+            DeviceCampaignConfig::default()
+        };
+        if let Some(s) = seed {
+            cfg.seed = s;
+        }
+        cfg.aggressive = aggressive;
+        device_campaign(&cfg)
     }
 
     /// [`SimHarness::crash_campaigns`] with tracing: the random campaign

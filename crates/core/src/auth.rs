@@ -1,0 +1,238 @@
+//! AES-CMAC authentication tags over NVM-resident controller state.
+//!
+//! With a device fault plan installed, recovery can no longer trust what
+//! it reads back from media: torn programming and bit rot return
+//! plausible-looking garbage. [`AuthTags`] maintains per-unit CMAC tags
+//! (RFC 4493, over the dependency-free `psoram-crypto` AES) for the
+//! three NVM-resident structures the tentpole threat model names:
+//!
+//! * **tree slots** — one tag per `(bucket, slot)` over the stored
+//!   block's canonical bytes (or a dummy marker for empty slots);
+//! * **persisted PosMap entries** — one tag per address over the
+//!   `(addr, leaf)` pair;
+//! * **the temporary PosMap** — one rolling seal over the sorted entry
+//!   list (WPQ batch frames carry their own tags inside `psoram-nvm`).
+//!
+//! Tags live on-chip (they model a dedicated SRAM/eDRAM tag store, like
+//! Anubis' shadow metadata region) and are therefore *trusted*: a
+//! mismatch between a tag and the bytes read back from NVM is definitive
+//! evidence of media damage, which recovery then classifies and repairs.
+
+use std::collections::HashMap;
+
+use psoram_crypto::{Aes128, Cmac};
+
+use crate::block::Block;
+use crate::tree::BucketIndex;
+
+/// Canonical byte serialization of a tree slot's content.
+///
+/// Dummy slots get a distinct single-byte encoding so "slot emptied" and
+/// "slot never tagged" stay distinguishable from any real block bytes.
+fn slot_bytes(content: Option<&Block>) -> Vec<u8> {
+    match content {
+        None => vec![0xD5],
+        Some(b) => {
+            let mut out = Vec::with_capacity(42 + b.payload.len());
+            out.push(0xB1);
+            out.extend_from_slice(&b.header.addr.0.to_le_bytes());
+            out.extend_from_slice(&b.header.leaf.0.to_le_bytes());
+            out.extend_from_slice(&b.header.iv1.to_le_bytes());
+            out.extend_from_slice(&b.header.iv2.to_le_bytes());
+            out.extend_from_slice(&b.header.seq.to_le_bytes());
+            out.push(b.is_backup as u8);
+            out.extend_from_slice(&(b.payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(&b.payload);
+            out
+        }
+    }
+}
+
+/// Canonical byte serialization of a sorted temp-PosMap entry list.
+fn temp_bytes(entries: &[(u64, u64)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + entries.len() * 16);
+    out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    for (a, l) in entries {
+        out.extend_from_slice(&a.to_le_bytes());
+        out.extend_from_slice(&l.to_le_bytes());
+    }
+    out
+}
+
+/// The on-chip tag store: per-unit CMAC tags over NVM-resident state.
+#[derive(Debug, Clone)]
+pub(crate) struct AuthTags {
+    cmac: Cmac,
+    slots: HashMap<(BucketIndex, usize), [u8; 16]>,
+    posmap: HashMap<u64, [u8; 16]>,
+    temp_seal: Option<[u8; 16]>,
+}
+
+impl AuthTags {
+    /// Creates an empty tag store keyed with `key`.
+    pub fn new(key: &[u8; 16]) -> Self {
+        AuthTags {
+            cmac: Cmac::new(Aes128::new(key)),
+            slots: HashMap::new(),
+            posmap: HashMap::new(),
+            temp_seal: None,
+        }
+    }
+
+    /// Records (or refreshes) the tag of `(bucket, slot)` over `content`.
+    pub fn record_slot(&mut self, bucket: BucketIndex, slot: usize, content: Option<&Block>) {
+        let tag = self.cmac.tag(&slot_bytes(content));
+        self.slots.insert((bucket, slot), tag);
+    }
+
+    /// Verifies `(bucket, slot)` against `content`. Untagged slots verify
+    /// clean — tags only cover units the controller has written since
+    /// hardening was enabled.
+    pub fn verify_slot(&self, bucket: BucketIndex, slot: usize, content: Option<&Block>) -> bool {
+        match self.slots.get(&(bucket, slot)) {
+            Some(tag) => self.cmac.verify(&slot_bytes(content), tag),
+            None => true,
+        }
+    }
+
+    /// All tagged slots in deterministic (sorted) order.
+    pub fn tagged_slots_sorted(&self) -> Vec<(BucketIndex, usize)> {
+        let mut v: Vec<(BucketIndex, usize)> = self.slots.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Records (or refreshes) the tag of the persisted PosMap entry.
+    pub fn record_posmap(&mut self, addr: u64, leaf: u64) {
+        let mut msg = [0u8; 17];
+        msg[0] = 0x9A;
+        msg[1..9].copy_from_slice(&addr.to_le_bytes());
+        msg[9..17].copy_from_slice(&leaf.to_le_bytes());
+        let tag = self.cmac.tag(&msg);
+        self.posmap.insert(addr, tag);
+    }
+
+    /// Verifies the persisted PosMap entry of `addr`. Untagged entries
+    /// verify clean.
+    pub fn verify_posmap(&self, addr: u64, leaf: u64) -> bool {
+        match self.posmap.get(&addr) {
+            Some(tag) => {
+                let mut msg = [0u8; 17];
+                msg[0] = 0x9A;
+                msg[1..9].copy_from_slice(&addr.to_le_bytes());
+                msg[9..17].copy_from_slice(&leaf.to_le_bytes());
+                self.cmac.verify(&msg, tag)
+            }
+            None => true,
+        }
+    }
+
+    /// All tagged PosMap addresses in deterministic (sorted) order.
+    pub fn tagged_posmap_sorted(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.posmap.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Reseals the temporary PosMap over its sorted entry list.
+    pub fn seal_temp(&mut self, entries: &[(u64, u64)]) {
+        self.temp_seal = Some(self.cmac.tag(&temp_bytes(entries)));
+    }
+
+    /// Verifies the temporary PosMap seal. No seal → clean.
+    pub fn verify_temp(&self, entries: &[(u64, u64)]) -> bool {
+        match &self.temp_seal {
+            Some(tag) => self.cmac.verify(&temp_bytes(entries), tag),
+            None => true,
+        }
+    }
+
+    /// Clears the temporary PosMap seal (after a wipe).
+    pub fn clear_temp_seal(&mut self) {
+        self.temp_seal = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{BlockAddr, Leaf};
+
+    fn tags() -> AuthTags {
+        AuthTags::new(&[7u8; 16])
+    }
+
+    fn blk(a: u64, payload: u8) -> Block {
+        Block::new(BlockAddr(a), Leaf(3), vec![payload; 8])
+    }
+
+    #[test]
+    fn slot_tags_detect_any_field_mutation() {
+        let mut t = tags();
+        let b = blk(5, 1);
+        t.record_slot(9, 2, Some(&b));
+        assert!(t.verify_slot(9, 2, Some(&b)));
+
+        let mut evil = b.clone();
+        evil.payload[3] ^= 0x40;
+        assert!(!t.verify_slot(9, 2, Some(&evil)), "payload flip undetected");
+
+        let mut evil = b.clone();
+        evil.header.seq += 1;
+        assert!(!t.verify_slot(9, 2, Some(&evil)), "seq bump undetected");
+
+        let mut evil = b.clone();
+        evil.header.leaf = Leaf(4);
+        assert!(!t.verify_slot(9, 2, Some(&evil)), "leaf change undetected");
+
+        let mut evil = b;
+        evil.is_backup = true;
+        assert!(!t.verify_slot(9, 2, Some(&evil)), "backup flip undetected");
+    }
+
+    #[test]
+    fn dummy_and_untagged_slots() {
+        let mut t = tags();
+        // Untagged: anything verifies.
+        assert!(t.verify_slot(1, 0, Some(&blk(1, 1))));
+        assert!(t.verify_slot(1, 0, None));
+        // Tagged dummy: a materialized block is damage.
+        t.record_slot(1, 0, None);
+        assert!(t.verify_slot(1, 0, None));
+        assert!(!t.verify_slot(1, 0, Some(&blk(1, 1))));
+        // Tagged real block wiped to dummy is damage too.
+        t.record_slot(2, 1, Some(&blk(2, 2)));
+        assert!(!t.verify_slot(2, 1, None));
+    }
+
+    #[test]
+    fn posmap_tags_detect_leaf_swaps() {
+        let mut t = tags();
+        t.record_posmap(4, 11);
+        assert!(t.verify_posmap(4, 11));
+        assert!(!t.verify_posmap(4, 12));
+        assert!(t.verify_posmap(5, 0), "untagged address verifies clean");
+        assert_eq!(t.tagged_posmap_sorted(), vec![4]);
+    }
+
+    #[test]
+    fn temp_seal_covers_the_whole_entry_list() {
+        let mut t = tags();
+        assert!(t.verify_temp(&[(1, 2)]), "unsealed verifies clean");
+        t.seal_temp(&[(1, 2), (3, 4)]);
+        assert!(t.verify_temp(&[(1, 2), (3, 4)]));
+        assert!(!t.verify_temp(&[(1, 2)]));
+        assert!(!t.verify_temp(&[(1, 2), (3, 5)]));
+        t.clear_temp_seal();
+        assert!(t.verify_temp(&[]));
+    }
+
+    #[test]
+    fn tagged_slots_sorted_is_deterministic() {
+        let mut t = tags();
+        t.record_slot(9, 1, None);
+        t.record_slot(2, 3, None);
+        t.record_slot(2, 0, None);
+        assert_eq!(t.tagged_slots_sorted(), vec![(2, 0), (2, 3), (9, 1)]);
+    }
+}

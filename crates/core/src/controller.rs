@@ -6,16 +6,18 @@ use std::collections::{HashMap, HashSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use psoram_crypto::{Aes128, CryptoLatencyModel, CtrCipher};
+use psoram_crypto::{Aes128, CryptoLatencyModel, CtrCipher, Hash128};
 use psoram_nvm::{
-    AccessKind, NvmConfig, NvmController, OnChipNvmModel, WpqEntry, CORE_CYCLES_PER_MEM_CYCLE,
+    AccessKind, FaultClass, FaultConfig, FaultStats, NvmConfig, NvmController, OnChipNvmModel,
+    ReadFault, WpqEntry, CORE_CYCLES_PER_MEM_CYCLE,
 };
 use psoram_obsv::{Event, Phase, Tap};
 
+use crate::auth::AuthTags;
 use crate::block::Block;
 use crate::bucket::Bucket;
-use crate::crash::{CrashPoint, CrashReport, RecoveryReport};
-use crate::engine::{to_core, to_mem, AccessScratch, CommitLedger, PersistEngine};
+use crate::crash::{CrashPoint, CrashReport, RecoveryError, RecoveryReport};
+use crate::engine::{to_core, to_mem, AccessScratch, CommitLedger, PersistEngine, RoundDamage};
 use crate::eviction::{order_for_small_wpq, plan_eviction, SlotWrite};
 use crate::integrity::{bucket_digest, IntegrityTree};
 use crate::posmap::{PosMap, TempPosMap};
@@ -102,6 +104,14 @@ pub struct PathOram {
     iv: u64,
     /// Monotonic per-block freshness source (see [`BlockHeader::seq`]).
     seq_counter: u64,
+    /// On-chip CMAC tag store over NVM-resident state. Present only when
+    /// device faults are enabled on a hardened (WPQ) design.
+    auth: Option<AuthTags>,
+    /// Persist units of the most recently applied round — the tree slots
+    /// whose media programming an untimely power failure interrupts.
+    last_round_slots: Vec<(u64, usize)>,
+    /// PosMap entries of the most recently applied round (same role).
+    last_round_posmap: Vec<BlockAddr>,
     /// Reused per-access buffers (path addresses, fetched blocks): the
     /// steady-state access loop performs no heap allocation for these.
     scratch: AccessScratch,
@@ -185,6 +195,9 @@ impl PathOram {
             encrypt_payloads: true,
             iv: 0,
             seq_counter: 0,
+            auth: None,
+            last_round_slots: Vec::new(),
+            last_round_posmap: Vec::new(),
             scratch: AccessScratch::default(),
             nvm: NvmController::new(nvm_config),
             tree,
@@ -331,10 +344,9 @@ impl PathOram {
             .into_iter()
             .map(|idx| (idx, bucket_digest(&self.tree.bucket(idx))))
             .collect();
-        self.integrity
-            .as_mut()
-            .expect("checked above")
-            .update_buckets(&updates);
+        if let Some(integrity) = self.integrity.as_mut() {
+            integrity.update_buckets(&updates);
+        }
     }
 
     /// Test/attack hook: corrupts one byte of the first real block found on
@@ -359,6 +371,88 @@ impl PathOram {
     /// Returns the recorded access pattern, if recording was enabled.
     pub fn recorder(&self) -> Option<&AccessRecorder> {
         self.recorder.as_ref()
+    }
+
+    /// Makes the WPQ/NVM backend adversarial: installs a seeded
+    /// [`FaultPlan`](psoram_nvm::FaultPlan) that injects torn flushes,
+    /// lost/duplicated drainer signals, bit rot, and transient read errors.
+    ///
+    /// Hardened (WPQ) designs additionally arm the integrity layer: CMAC
+    /// tags over every tree slot and persisted PosMap entry, sealed WPQ
+    /// batch frames, and a rolling seal over the temporary PosMap —
+    /// recovery then detects, classifies, and repairs the damage.
+    /// Non-WPQ baselines get the same faults with no defenses, so the
+    /// differential campaigns keep their detection power.
+    pub fn enable_device_faults(&mut self, seed: u64, cfg: FaultConfig) {
+        self.engine.install_fault_plan(seed, cfg);
+        if !self.variant.uses_wpq() {
+            return;
+        }
+        let mut key = [0u8; 16];
+        key[..8].copy_from_slice(&seed.to_le_bytes());
+        key[8..].copy_from_slice(&seed.rotate_left(17).to_le_bytes());
+        key[0] ^= 0xA7;
+        let mut auth = AuthTags::new(&key);
+        // Retro-tag whatever already sits on media: everything written
+        // before hardening is trusted as-is and covered from here on.
+        for idx in self.tree.materialized_indices() {
+            let bucket = self.tree.bucket(idx);
+            for slot in 0..bucket.num_slots() {
+                auth.record_slot(idx, slot, bucket.slot(slot));
+            }
+        }
+        for (a, l) in self.posmap.persisted_sorted() {
+            auth.record_posmap(a, l);
+        }
+        auth.seal_temp(&self.temp.entries_sorted());
+        self.engine.seal_frames(&key);
+        self.auth = Some(auth);
+    }
+
+    /// Ground-truth injection counters of the installed fault plan, if any.
+    pub fn device_fault_stats(&self) -> Option<FaultStats> {
+        self.engine.fault_stats()
+    }
+
+    /// The latched fail-safe class, if the controller is poisoned.
+    pub fn poisoned(&self) -> Option<FaultClass> {
+        self.engine.poisoned()
+    }
+
+    /// A deterministic digest over the controller's recoverable state:
+    /// the materialized tree, the persisted PosMap, and the committed
+    /// ledger. Two controllers in byte-identical recoverable state hash
+    /// equal — the double-recover idempotency regression tests rely on it.
+    pub fn state_digest(&self) -> u128 {
+        let mut bytes = Vec::new();
+        for idx in self.tree.materialized_indices() {
+            let bucket = self.tree.bucket(idx);
+            bytes.extend_from_slice(&idx.to_le_bytes());
+            for slot in 0..bucket.num_slots() {
+                match bucket.slot(slot) {
+                    None => bytes.push(0),
+                    Some(b) => {
+                        bytes.push(1);
+                        bytes.extend_from_slice(&b.header.addr.0.to_le_bytes());
+                        bytes.extend_from_slice(&b.header.leaf.0.to_le_bytes());
+                        bytes.extend_from_slice(&b.header.seq.to_le_bytes());
+                        bytes.push(b.is_backup as u8);
+                        bytes.extend_from_slice(&b.payload);
+                    }
+                }
+            }
+        }
+        for (a, l) in self.posmap.persisted_sorted() {
+            bytes.extend_from_slice(&a.to_le_bytes());
+            bytes.extend_from_slice(&l.to_le_bytes());
+        }
+        let mut committed: Vec<(u64, &Vec<u8>)> = self.ledger.committed_iter().collect();
+        committed.sort_unstable_by_key(|&(a, _)| a);
+        for (a, v) in committed {
+            bytes.extend_from_slice(&a.to_le_bytes());
+            bytes.extend_from_slice(v);
+        }
+        u128::from_le_bytes(Hash128::new().digest(&bytes))
     }
 
     crate::engine::impl_crash_controls!();
@@ -523,17 +617,26 @@ impl PathOram {
             block.header.seq = seq;
             self.stash.insert(block)?;
         } else {
-            let primary = self.stash.get_mut(addr).expect("primary present");
+            let primary = self.stash.get_mut(addr).ok_or(OramError::Invariant {
+                context: "stash primary present after path load",
+            })?;
             primary.header.leaf = new_leaf;
             primary.header.seq = seq;
         }
         if let Some(d) = data {
-            self.stash.get_mut(addr).expect("primary present").payload = d;
+            self.stash
+                .get_mut(addr)
+                .ok_or(OramError::Invariant {
+                    context: "stash primary present after update",
+                })?
+                .payload = d;
         }
         let value = self
             .stash
             .get(addr)
-            .expect("primary present")
+            .ok_or(OramError::Invariant {
+                context: "stash primary present after update",
+            })?
             .payload
             .clone();
         self.ledger.note_written(addr.0, value.clone());
@@ -609,28 +712,38 @@ impl PathOram {
                 self.temp.insert(addr, new_leaf)?;
             }
             ProtocolVariant::RcrBaseline => {
-                t = self.recursive_posmap_walk(addr, t);
+                t = self.recursive_posmap_walk(addr, t)?;
                 // Written back to untrusted NVM on every access: durable now.
                 self.posmap.persist(addr, new_leaf);
                 self.stats.posmap_entry_writes += 1;
+                if self.engine.device_mode() {
+                    // This entry is the media programming a crash interrupts.
+                    self.last_round_posmap.clear();
+                    self.last_round_posmap.push(addr);
+                }
             }
             ProtocolVariant::RcrPsOram => {
-                t = self.recursive_posmap_walk(addr, t);
+                t = self.recursive_posmap_walk(addr, t)?;
                 // The new label is backed up in the temporary PosMap and
                 // reaches the posmap tree atomically at eviction commit.
                 self.temp.insert(addr, new_leaf)?;
             }
+        }
+        if let Some(auth) = &mut self.auth {
+            auth.seal_temp(&self.temp.entries_sorted());
         }
         Ok(t)
     }
 
     /// Walks the recursive PosMap trees, issuing their path reads/writes to
     /// the NVM. Returns the advanced clock.
-    fn recursive_posmap_walk(&mut self, addr: BlockAddr, mut t: u64) -> u64 {
+    fn recursive_posmap_walk(&mut self, addr: BlockAddr, mut t: u64) -> Result<u64, OramError> {
         let acc = self
             .recursion
             .as_mut()
-            .expect("recursive variant has a recursion model")
+            .ok_or(OramError::Invariant {
+                context: "recursive variant carries a recursion model",
+            })?
             .access(addr);
         if acc.plb_hit {
             self.stats.plb_hits += 1;
@@ -651,7 +764,7 @@ impl PathOram {
             t = to_core(done).max(fe);
             self.stats.recursion_writes += writes.len() as u64;
         }
-        t
+        Ok(t)
     }
 
     /// Step ③: fetch the path, classify copies, fill the stash.
@@ -665,6 +778,30 @@ impl PathOram {
         leaf: Leaf,
         t: u64,
     ) -> Result<(HashMap<(u64, usize), BlockAddr>, u64), OramError> {
+        // Transient media read errors (device-fault mode): bounded retry
+        // with exponential backoff re-issues the path load; a stuck line
+        // exhausts the retries and latches the fail-safe poisoned state.
+        let mut t = t;
+        match self.engine.read_fault() {
+            ReadFault::None => {}
+            ReadFault::Transient { attempts } => {
+                for k in 0..attempts {
+                    t += 400 << k;
+                }
+                self.obsv.set_now(t);
+                self.obsv.emit(|| Event::FaultDetected {
+                    kind: psoram_obsv::DeviceFaultKind::TransientRead,
+                    units: u64::from(attempts),
+                    cycle: t,
+                });
+            }
+            ReadFault::Stuck => {
+                self.engine.poison(FaultClass::TransientRead);
+                return Err(OramError::Poisoned {
+                    class: FaultClass::TransientRead,
+                });
+            }
+        }
         let path = self.tree.path_indices(leaf);
         // Merkle verification of the fetched path (when enabled): the
         // digests of the bytes coming off the bus must chain to the
@@ -849,9 +986,9 @@ impl PathOram {
         };
         self.stats.eviction_leftovers += leftovers.len() as u64;
         for b in leftovers {
-            self.stash
-                .insert(b)
-                .expect("re-inserting drained blocks cannot overflow");
+            // Re-inserting drained blocks cannot overflow a correctly
+            // sized stash; if it ever does, surface the typed error.
+            self.stash.insert(b)?;
         }
 
         // FullNVM: blocks are read back out of the on-chip NVM stash.
@@ -900,6 +1037,11 @@ impl PathOram {
         t: u64,
     ) -> Result<u64, OramError> {
         let crash_after = self.engine.armed_eviction_crash();
+        let device = self.engine.device_mode();
+        if device {
+            // The path rewrite is the round a power failure interrupts.
+            self.last_round_slots.clear();
+        }
         let mut write_addrs = std::mem::take(&mut self.scratch.write_addrs);
         write_addrs.clear();
         let mut writes_done = 0usize;
@@ -913,6 +1055,9 @@ impl PathOram {
             let mut stored = w.block;
             if let Some(b) = &mut stored {
                 self.encrypt_for_tree(b);
+            }
+            if device && stored.is_some() {
+                self.last_round_slots.push((w.bucket, w.slot));
             }
             self.tree.write_slot(w.bucket, w.slot, stored);
             write_addrs.push(self.tree.slot_nvm_addr(w.bucket, w.slot));
@@ -936,6 +1081,19 @@ impl PathOram {
     ) -> Result<u64, OramError> {
         self.stats.eviction_rounds += 1;
 
+        // Hardened designs authenticate the temporary PosMap before
+        // trusting it for dirty-entry selection: a seal mismatch means the
+        // metadata the round is about to persist is corrupt, and
+        // persisting it would silently poison the recovery path.
+        if let Some(auth) = &self.auth {
+            if !auth.verify_temp(&self.temp.entries_sorted()) {
+                self.engine.poison(FaultClass::MediaCorruption);
+                return Err(OramError::Poisoned {
+                    class: FaultClass::MediaCorruption,
+                });
+            }
+        }
+
         // 5-A: identify the dirty metadata entries (PS-ORAM) or all path
         // entries (Naïve).
         let naive = self.variant == ProtocolVariant::NaivePsOram;
@@ -949,8 +1107,11 @@ impl PathOram {
             b[0].extend(dummies);
             b
         } else {
-            order_for_small_wpq(&plan.writes, live_old, self.config.data_wpq_capacity)
-                .expect("plan selection guarantees an orderable write-back")
+            order_for_small_wpq(&plan.writes, live_old, self.config.data_wpq_capacity).map_err(
+                |_| OramError::Invariant {
+                    context: "plan selection guarantees an orderable write-back",
+                },
+            )?
         };
 
         let crash_after_batches = self.engine.armed_eviction_crash();
@@ -1045,6 +1206,9 @@ impl PathOram {
             // commit: they carry no recoverable data and only overwrite
             // copies whose addresses committed in this or earlier batches.
             for w in batch.iter().filter(|w| w.block.is_none()) {
+                if let Some(auth) = &mut self.auth {
+                    auth.record_slot(w.bucket, w.slot, None);
+                }
                 self.tree.write_slot(w.bucket, w.slot, None);
                 write_addrs.push(self.tree.slot_nvm_addr(w.bucket, w.slot));
             }
@@ -1094,12 +1258,25 @@ impl PathOram {
         // traffic/timing, the whole path's slots are pushed by the caller.
         let mut touched_addrs = std::mem::take(&mut self.scratch.touched_addrs);
         touched_addrs.clear();
+        let device = self.engine.device_mode() && !(data.is_empty() && posmap.is_empty());
+        if device {
+            // This round becomes the one whose media programming a crash
+            // would interrupt.
+            self.last_round_slots.clear();
+            self.last_round_posmap.clear();
+        }
         for e in data {
             let w = &e.value;
             let mut stored = w.block.clone();
             if let Some(b) = &mut stored {
                 touched_addrs.push(b.addr());
                 self.encrypt_for_tree(b);
+            }
+            if let Some(auth) = &mut self.auth {
+                auth.record_slot(w.bucket, w.slot, stored.as_ref());
+            }
+            if device {
+                self.last_round_slots.push((w.bucket, w.slot));
             }
             self.tree.write_slot(w.bucket, w.slot, stored);
             write_addrs.push(e.addr);
@@ -1108,9 +1285,20 @@ impl PathOram {
             let (a, l) = e.value;
             self.posmap.persist(a, l);
             self.temp.remove(a);
+            if let Some(auth) = &mut self.auth {
+                auth.record_posmap(a.0, l.0);
+            }
+            if device {
+                self.last_round_posmap.push(a);
+            }
             self.stats.dirty_entries_flushed += 1;
             self.stats.posmap_entry_writes += 1;
             entry_addrs.push(e.addr);
+        }
+        if !posmap.is_empty() {
+            if let Some(auth) = &mut self.auth {
+                auth.seal_temp(&self.temp.entries_sorted());
+            }
         }
         // Ledger: the recoverable value of each touched address is the
         // written copy that matches the (new) persisted PosMap.
@@ -1188,7 +1376,42 @@ impl PathOram {
         if let Some(leaf) = self.pending_integrity_path.take() {
             self.refresh_integrity_path(leaf);
         }
+        // Device faults: the power failure interrupts the media programming
+        // of the last applied round (including anything the ADR flush just
+        // applied above) — torn flushes, lost signals, and bit rot land on
+        // those units now, behind the controller's back.
+        if self.engine.device_mode() {
+            let damage = self
+                .engine
+                .draw_crash_damage(self.last_round_slots.len(), self.last_round_posmap.len());
+            self.apply_device_damage(&damage);
+        }
         report
+    }
+
+    /// Applies drawn device damage to the NVM image: flips a payload (or
+    /// header) bit of each damaged tree slot and corrupts each damaged
+    /// persisted PosMap entry. Tags are deliberately *not* refreshed —
+    /// this is the adversary writing behind the controller's back.
+    fn apply_device_damage(&mut self, damage: &RoundDamage) {
+        for &i in &damage.data_units {
+            let (bucket, slot) = self.last_round_slots[i];
+            if let Some(mut blk) = self.tree.bucket(bucket).slot(slot).cloned() {
+                let e = self.engine.device_entropy();
+                if blk.payload.is_empty() {
+                    blk.header.iv1 ^= 1 | e;
+                } else {
+                    let idx = e as usize % blk.payload.len();
+                    blk.payload[idx] ^= 1 << ((e >> 32) & 7);
+                }
+                self.tree.write_slot(bucket, slot, Some(blk));
+            }
+        }
+        for &i in &damage.posmap_units {
+            let addr = self.last_round_posmap[i];
+            let e = self.engine.device_entropy();
+            self.posmap.corrupt_persisted(addr, e);
+        }
     }
 
     /// Recovers the controller after a crash, per the paper's §4.3
@@ -1200,10 +1423,175 @@ impl PathOram {
     /// baselines generally do not). The report is also retained in
     /// [`PathOram::last_recovery`] and failures are counted in
     /// `OramStats::recovery_failures`.
+    ///
+    /// With device faults enabled on a hardened design, recovery runs the
+    /// full detect → classify → repair → fail-safe pipeline first: a CMAC
+    /// scan wipes slots and PosMap entries that fail authentication, each
+    /// damaged committed address is restored from its newest surviving
+    /// authenticated copy, and addresses with no surviving copy are rolled
+    /// back with a typed [`RecoveryError`] instead of serving corrupt
+    /// data.
+    ///
+    /// Idempotent: calling `recover` on a controller that is not crashed
+    /// repeats the last verdict without touching state or counters.
     pub fn recover(&mut self) -> RecoveryReport {
-        let report =
+        if !self.engine.is_crashed() {
+            return self.last_recovery().cloned().unwrap_or_else(|| {
+                RecoveryReport::from_check(Ok(()), self.ledger.committed_len())
+            });
+        }
+        let incidents = self.engine.take_incidents();
+        let mut errors: Vec<RecoveryError> = Vec::new();
+        let mut repairs = 0u64;
+        let mut rolled_back: Vec<u64> = Vec::new();
+
+        if let Some(mut auth) = self.auth.take() {
+            // Phase 1 — detect: authenticate every tagged tree slot; a
+            // mismatch is definitive media damage, and the slot is wiped
+            // (any committed value it held is restored in phase 3).
+            for (bucket, slot) in auth.tagged_slots_sorted() {
+                let content = self.tree.bucket(bucket).slot(slot).cloned();
+                if !auth.verify_slot(bucket, slot, content.as_ref()) {
+                    self.tree.write_slot(bucket, slot, None);
+                    auth.record_slot(bucket, slot, None);
+                }
+            }
+            // Phase 2 — persisted PosMap entries: repair a corrupt leaf
+            // label from the newest authenticated block copy of the
+            // address (the redundant copy names the true leaf).
+            for a in auth.tagged_posmap_sorted() {
+                let addr = BlockAddr(a);
+                let leaf = self.posmap.persisted_get(addr);
+                if auth.verify_posmap(a, leaf.0) {
+                    continue;
+                }
+                match self.newest_valid_copy(addr, &auth) {
+                    Some(copy) => {
+                        self.posmap.persist(addr, copy.leaf());
+                        auth.record_posmap(a, copy.leaf().0);
+                        repairs += 1;
+                    }
+                    None => {
+                        // Accept the damaged label (re-tag it so the scan
+                        // converges) and forget the committed value: typed
+                        // data loss, never silent corruption.
+                        auth.record_posmap(a, leaf.0);
+                        self.ledger.rollback(a, None);
+                        rolled_back.push(a);
+                        errors.push(RecoveryError::UnrecoverableAddress {
+                            addr: a,
+                            detail: "posmap entry corrupt; no surviving authenticated copy"
+                                .to_string(),
+                        });
+                    }
+                }
+            }
+            // Phase 3 — repair-from-redundant-copy: every committed
+            // address the audit can no longer find is re-pointed at its
+            // newest surviving authenticated copy; addresses with none
+            // are rolled back with a typed error.
+            for (a, detail) in self.audit_failures() {
+                let addr = BlockAddr(a);
+                match self.newest_valid_copy(addr, &auth) {
+                    Some(copy) => {
+                        let mut plain = copy.clone();
+                        self.decrypt_from_tree(&mut plain);
+                        let intact = self.ledger.committed_value(a) == Some(&plain.payload);
+                        self.posmap.persist(addr, copy.leaf());
+                        auth.record_posmap(a, copy.leaf().0);
+                        self.ledger
+                            .rollback(a, Some((copy.header.seq, plain.payload)));
+                        if intact {
+                            repairs += 1;
+                        } else {
+                            // The survivor is an older version: detected
+                            // rollback, reported as typed loss.
+                            rolled_back.push(a);
+                            errors.push(RecoveryError::UnrecoverableAddress { addr: a, detail });
+                        }
+                    }
+                    None => {
+                        self.ledger.rollback(a, None);
+                        rolled_back.push(a);
+                        errors.push(RecoveryError::UnrecoverableAddress { addr: a, detail });
+                    }
+                }
+            }
+            // The temporary PosMap did not survive the power failure.
+            auth.clear_temp_seal();
+            self.auth = Some(auth);
+        }
+        if let Some(class) = self.engine.poisoned() {
+            errors.push(RecoveryError::Poisoned { class });
+        }
+        let mut report =
             RecoveryReport::from_check(self.check_recoverability(), self.ledger.committed_len());
+        rolled_back.sort_unstable();
+        rolled_back.dedup();
+        report.repairs = repairs;
+        report.rolled_back = rolled_back;
+        report.incidents = incidents;
+        report.errors = errors;
+        report.poisoned = self.engine.poisoned().is_some();
         self.engine.finish_recovery(report)
+    }
+
+    /// The committed addresses the recoverability audit can no longer
+    /// locate, with the audit's verbatim complaint (sorted by address).
+    fn audit_failures(&self) -> Vec<(u64, String)> {
+        self.ledger.audit_committed_collect(
+            "recoverable copy",
+            |a| {
+                let addr = BlockAddr(a);
+                let leaf = self.posmap.persisted_get(addr);
+                let mut best: Option<Block> = None;
+                for idx in self.tree.path_indices(leaf) {
+                    let bucket = self.tree.bucket(idx);
+                    for s in 0..bucket.num_slots() {
+                        if let Some(b) = bucket.slot(s) {
+                            if b.addr() == addr
+                                && b.leaf() == leaf
+                                && best.as_ref().is_none_or(|x| b.header.seq > x.header.seq)
+                            {
+                                best = Some(b.clone());
+                            }
+                        }
+                    }
+                }
+                let found = best.map(|mut copy| {
+                    self.decrypt_from_tree(&mut copy);
+                    copy.payload
+                });
+                (leaf, found)
+            },
+            |a, expected| {
+                self.variant.stash_durable()
+                    && self.stash.get(BlockAddr(a)).is_some_and(|b| {
+                        &b.payload == self.ledger.written_value(a).unwrap_or(expected)
+                    })
+            },
+        )
+    }
+
+    /// The newest (highest freshness counter) block copy of `addr`
+    /// anywhere on media that passes slot authentication. Deterministic:
+    /// buckets are scanned in sorted order.
+    fn newest_valid_copy(&self, addr: BlockAddr, auth: &AuthTags) -> Option<Block> {
+        let mut best: Option<Block> = None;
+        for idx in self.tree.materialized_indices() {
+            let bucket = self.tree.bucket(idx);
+            for s in 0..bucket.num_slots() {
+                if let Some(b) = bucket.slot(s) {
+                    if b.addr() == addr
+                        && auth.verify_slot(idx, s, Some(b))
+                        && best.as_ref().is_none_or(|x| b.header.seq > x.header.seq)
+                    {
+                        best = Some(b.clone());
+                    }
+                }
+            }
+        }
+        best
     }
 
     /// The report of the most recent [`PathOram::recover`] call.

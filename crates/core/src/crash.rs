@@ -75,13 +75,80 @@ pub struct CrashReport {
     pub stash_durable: bool,
 }
 
+/// Typed failure raised by the hardened recovery path when damage cannot
+/// be silently absorbed.
+///
+/// This is the `RecoveryError` half of the detect → classify → repair →
+/// fail-safe taxonomy; the classification half is
+/// [`psoram_nvm::FaultClass`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryError {
+    /// A committed address has no surviving authenticated copy: recovery
+    /// rolled it back (or forgot it) instead of serving corrupt data.
+    UnrecoverableAddress {
+        /// The logical block address that was rolled back.
+        addr: u64,
+        /// What the audit saw, verbatim.
+        detail: String,
+    },
+    /// A WPQ batch frame failed CMAC verification.
+    FrameVerification {
+        /// The classified fault.
+        class: psoram_nvm::FaultClass,
+    },
+    /// Bounded retry with backoff was exhausted (stuck read).
+    RetryExhausted {
+        /// The classified fault.
+        class: psoram_nvm::FaultClass,
+    },
+    /// Recovery latched the controller into fail-safe poisoned state.
+    Poisoned {
+        /// The classified fault.
+        class: psoram_nvm::FaultClass,
+    },
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::UnrecoverableAddress { addr, detail } => {
+                write!(f, "a{addr} unrecoverable: {detail}")
+            }
+            RecoveryError::FrameVerification { class } => {
+                write!(f, "WPQ batch frame failed authentication ({class})")
+            }
+            RecoveryError::RetryExhausted { class } => {
+                write!(f, "bounded retry exhausted ({class})")
+            }
+            RecoveryError::Poisoned { class } => {
+                write!(f, "fail-safe poisoned ({class})")
+            }
+        }
+    }
+}
+
+/// One detected device fault, classified and counted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryIncident {
+    /// The fault class recovery assigned to the damage.
+    pub class: psoram_nvm::FaultClass,
+    /// Persist units (tree slots / PosMap entries) affected.
+    pub units: u64,
+}
+
 /// Outcome of a post-crash recovery (paper §4.3).
 ///
 /// Produced by `PathOram::recover` / `RingOram::recover`; `consistent`
 /// reports whether the recovered state passed the recoverability check,
 /// and `violation` carries the first detected inconsistency verbatim so a
 /// harness can attribute the failure to an exact crash point.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The device-fault fields (`repairs`, `rolled_back`, `incidents`,
+/// `errors`, `poisoned`) stay at their defaults — and are skipped during
+/// serialization — unless a fault plan is installed, keeping pre-existing
+/// golden artifacts byte-identical. The skip-at-default behaviour is why
+/// `Serialize`/`Deserialize` are hand-written rather than derived.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
     /// Whether the recovered state passed the consistency check.
     pub consistent: bool,
@@ -89,6 +156,86 @@ pub struct RecoveryReport {
     pub violation: Option<String>,
     /// Durably committed addresses the check examined.
     pub addresses_checked: usize,
+    /// Damaged persist units whose committed value survived via a
+    /// redundant authenticated copy.
+    pub repairs: u64,
+    /// Addresses recovery rolled back (or forgot) because no
+    /// authenticated copy survived — detected, typed data loss.
+    pub rolled_back: Vec<u64>,
+    /// Detected device faults, classified and counted.
+    pub incidents: Vec<RecoveryIncident>,
+    /// Typed recovery errors raised while handling the damage.
+    pub errors: Vec<RecoveryError>,
+    /// Whether recovery latched the controller into fail-safe state.
+    pub poisoned: bool,
+}
+
+impl Serialize for RecoveryReport {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("consistent".to_string(), self.consistent.to_value()),
+            ("violation".to_string(), self.violation.to_value()),
+            (
+                "addresses_checked".to_string(),
+                self.addresses_checked.to_value(),
+            ),
+        ];
+        if self.repairs != 0 {
+            fields.push(("repairs".to_string(), self.repairs.to_value()));
+        }
+        if !self.rolled_back.is_empty() {
+            fields.push(("rolled_back".to_string(), self.rolled_back.to_value()));
+        }
+        if !self.incidents.is_empty() {
+            fields.push(("incidents".to_string(), self.incidents.to_value()));
+        }
+        if !self.errors.is_empty() {
+            fields.push(("errors".to_string(), self.errors.to_value()));
+        }
+        if self.poisoned {
+            fields.push(("poisoned".to_string(), self.poisoned.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for RecoveryReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| serde::DeError::custom("expected object for RecoveryReport"))?;
+        fn optional<T: Deserialize + Default>(
+            v: &serde::Value,
+            key: &str,
+        ) -> Result<T, serde::DeError> {
+            match v.get(key) {
+                Some(inner) => T::from_value(inner),
+                None => Ok(T::default()),
+            }
+        }
+        Ok(RecoveryReport {
+            consistent: Deserialize::from_value(serde::object_field(
+                fields,
+                "consistent",
+                "RecoveryReport",
+            )?)?,
+            violation: Deserialize::from_value(serde::object_field(
+                fields,
+                "violation",
+                "RecoveryReport",
+            )?)?,
+            addresses_checked: Deserialize::from_value(serde::object_field(
+                fields,
+                "addresses_checked",
+                "RecoveryReport",
+            )?)?,
+            repairs: optional(v, "repairs")?,
+            rolled_back: optional(v, "rolled_back")?,
+            incidents: optional(v, "incidents")?,
+            errors: optional(v, "errors")?,
+            poisoned: optional(v, "poisoned")?,
+        })
+    }
 }
 
 impl RecoveryReport {
@@ -99,13 +246,20 @@ impl RecoveryReport {
                 consistent: true,
                 violation: None,
                 addresses_checked,
+                ..RecoveryReport::default()
             },
             Err(v) => RecoveryReport {
                 consistent: false,
                 violation: Some(v),
                 addresses_checked,
+                ..RecoveryReport::default()
             },
         }
+    }
+
+    /// `true` when recovery detected any device-level damage.
+    pub fn saw_device_faults(&self) -> bool {
+        !self.incidents.is_empty() || !self.rolled_back.is_empty() || self.poisoned
     }
 }
 
@@ -120,6 +274,61 @@ mod tests {
         let bad = RecoveryReport::from_check(Err("a3: lost".into()), 2);
         assert!(!bad.consistent);
         assert_eq!(bad.violation.as_deref(), Some("a3: lost"));
+    }
+
+    #[test]
+    fn device_fault_fields_are_invisible_when_defaulted() {
+        // Golden-compatibility contract: a report with no device faults
+        // serializes exactly as it did before the fields existed.
+        let r = RecoveryReport::from_check(Ok(()), 3);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(!json.contains("repairs"));
+        assert!(!json.contains("rolled_back"));
+        assert!(!json.contains("incidents"));
+        assert!(!json.contains("errors"));
+        assert!(!json.contains("poisoned"));
+        let back: RecoveryReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn device_fault_fields_round_trip_when_set() {
+        let mut r = RecoveryReport::from_check(Ok(()), 1);
+        r.repairs = 2;
+        r.rolled_back = vec![7];
+        r.incidents = vec![RecoveryIncident {
+            class: psoram_nvm::FaultClass::TornFlush,
+            units: 3,
+        }];
+        r.errors = vec![RecoveryError::UnrecoverableAddress {
+            addr: 7,
+            detail: "gone".into(),
+        }];
+        assert!(r.saw_device_faults());
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RecoveryReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        assert!(back.errors[0].to_string().contains("a7"));
+    }
+
+    #[test]
+    fn recovery_error_display() {
+        use psoram_nvm::FaultClass;
+        assert!(RecoveryError::FrameVerification {
+            class: FaultClass::TornFlush
+        }
+        .to_string()
+        .contains("torn_flush"));
+        assert!(RecoveryError::RetryExhausted {
+            class: FaultClass::TransientRead
+        }
+        .to_string()
+        .contains("retry"));
+        assert!(RecoveryError::Poisoned {
+            class: FaultClass::MediaCorruption
+        }
+        .to_string()
+        .contains("poisoned"));
     }
 
     #[test]

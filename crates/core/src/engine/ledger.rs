@@ -63,6 +63,16 @@ impl CommitLedger {
         self.committed.iter().map(|(&a, (_, v))| (a, v))
     }
 
+    /// `(addr, committed_value)` pairs in ascending address order. The
+    /// audits walk this instead of the raw map so that, with several
+    /// simultaneous inconsistencies (a device-fault situation), the
+    /// *reported* one is deterministic.
+    fn committed_sorted(&self) -> Vec<(u64, &Vec<u8>)> {
+        let mut v: Vec<(u64, &Vec<u8>)> = self.committed_iter().collect();
+        v.sort_unstable_by_key(|(a, _)| *a);
+        v
+    }
+
     /// The value a post-verification read-back must return for `addr`:
     /// the committed value after a crash, the written value otherwise,
     /// zeros (`payload_bytes` long) if the ledger holds nothing.
@@ -95,7 +105,7 @@ impl CommitLedger {
         mut copy_at: impl FnMut(u64) -> (Leaf, Option<Vec<u8>>),
         mut durable_override: impl FnMut(u64, &Vec<u8>) -> bool,
     ) -> Result<(), String> {
-        for (a, expected) in self.committed_iter() {
+        for (a, expected) in self.committed_sorted() {
             if durable_override(a, expected) {
                 continue;
             }
@@ -112,6 +122,50 @@ impl CommitLedger {
             }
         }
         Ok(())
+    }
+
+    /// Like [`CommitLedger::audit_committed`], but collects *every*
+    /// failing address instead of stopping at the first, so hardened
+    /// recovery can repair or roll back all of them in one pass.
+    pub fn audit_committed_collect(
+        &self,
+        desc: &str,
+        mut copy_at: impl FnMut(u64) -> (Leaf, Option<Vec<u8>>),
+        mut durable_override: impl FnMut(u64, &Vec<u8>) -> bool,
+    ) -> Vec<(u64, String)> {
+        let mut failures = Vec::new();
+        for (a, expected) in self.committed_sorted() {
+            if durable_override(a, expected) {
+                continue;
+            }
+            let addr = BlockAddr(a);
+            let (leaf, found) = copy_at(a);
+            match found {
+                Some(p) if &p == expected => {}
+                Some(p) => failures.push((
+                    a,
+                    format!("{addr}: {desc} at {leaf} holds {p:?}, expected {expected:?}"),
+                )),
+                None => failures.push((a, format!("{addr}: no {desc} on persisted path {leaf}"))),
+            }
+        }
+        failures.sort_by_key(|(a, _)| *a);
+        failures
+    }
+
+    /// Rolls the committed record of `addr` back to `survivor` — the
+    /// newest copy recovery could still authenticate — or forgets the
+    /// address entirely when no copy survived. Detected, typed data
+    /// regression; never called outside device-fault recovery.
+    pub fn rollback(&mut self, addr: u64, survivor: Option<(u64, Vec<u8>)>) {
+        match survivor {
+            Some((seq, payload)) => {
+                self.committed.insert(addr, (seq, payload));
+            }
+            None => {
+                self.committed.remove(&addr);
+            }
+        }
     }
 }
 
@@ -133,6 +187,33 @@ mod tests {
         assert!(l.commit_if_fresh(7, 9, vec![9]));
         assert_eq!(l.committed_value(7), Some(&vec![9]));
         assert_eq!(l.committed_len(), 1);
+    }
+
+    #[test]
+    fn audit_collect_reports_every_failure_sorted() {
+        let mut l = CommitLedger::new();
+        l.commit_if_fresh(5, 0, vec![5]);
+        l.commit_if_fresh(2, 0, vec![2]);
+        l.commit_if_fresh(9, 0, vec![9]);
+        let failures = l.audit_committed_collect(
+            "copy",
+            |a| (Leaf(0), if a == 2 { Some(vec![2]) } else { None }),
+            |_, _| false,
+        );
+        assert_eq!(
+            failures.iter().map(|(a, _)| *a).collect::<Vec<_>>(),
+            vec![5, 9]
+        );
+    }
+
+    #[test]
+    fn rollback_regresses_or_forgets() {
+        let mut l = CommitLedger::new();
+        l.commit_if_fresh(1, 8, vec![8]);
+        l.rollback(1, Some((3, vec![3])));
+        assert_eq!(l.committed_value(1), Some(&vec![3]));
+        l.rollback(1, None);
+        assert_eq!(l.committed_value(1), None);
     }
 
     #[test]

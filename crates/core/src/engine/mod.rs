@@ -33,7 +33,7 @@ mod policy;
 mod scratch;
 
 pub use ledger::CommitLedger;
-pub use persist::{EngineStats, PersistEngine};
+pub use persist::{EngineStats, PersistEngine, RoundDamage};
 pub use policy::{CommitModel, ProtocolPolicy, ProtocolVariant, RingVariant};
 pub(crate) use scratch::AccessScratch;
 

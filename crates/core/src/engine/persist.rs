@@ -2,12 +2,45 @@
 
 use std::collections::VecDeque;
 
-use psoram_nvm::{PersistenceDomain, WpqEntry, WpqError, WpqStats};
-use psoram_obsv::{Event, Tap};
+use psoram_nvm::{
+    FaultClass, FaultConfig, FaultPlan, FaultStats, PersistenceDomain, ReadFault, RoundFate,
+    WpqEntry, WpqError, WpqStats,
+};
+use psoram_obsv::{DeviceFaultKind, Event, Tap};
 use serde::{Deserialize, Serialize};
 
-use crate::crash::{CrashPoint, RecoveryReport};
+use crate::crash::{CrashPoint, RecoveryIncident, RecoveryReport};
 use crate::types::OramError;
+
+/// Maps the NVM-layer fault class onto the dependency-free observability
+/// vocabulary.
+pub(crate) fn fault_kind(class: FaultClass) -> DeviceFaultKind {
+    match class {
+        FaultClass::TornFlush => DeviceFaultKind::TornFlush,
+        FaultClass::SignalLoss => DeviceFaultKind::SignalLoss,
+        FaultClass::DuplicatedSignal => DeviceFaultKind::DuplicatedSignal,
+        FaultClass::MediaCorruption => DeviceFaultKind::MediaCorruption,
+        FaultClass::TransientRead => DeviceFaultKind::TransientRead,
+    }
+}
+
+/// What a crash's device faults destroyed in the round whose media
+/// programming the power failure interrupted. Indexes refer to the
+/// controller's record of the last applied round's persist units.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundDamage {
+    /// Damaged data units (tree-slot writes), by last-round index.
+    pub data_units: Vec<usize>,
+    /// Damaged PosMap units (persisted map entries), by last-round index.
+    pub posmap_units: Vec<usize>,
+}
+
+impl RoundDamage {
+    /// `true` when no unit was damaged.
+    pub fn is_empty(&self) -> bool {
+        self.data_units.is_empty() && self.posmap_units.is_empty()
+    }
+}
 
 /// Counters the engine accumulates across the life of a controller.
 ///
@@ -67,6 +100,13 @@ pub struct PersistEngine<D, P> {
     last_recovery: Option<RecoveryReport>,
     stats: EngineStats,
     tap: Tap,
+    /// Seeded device-fault adversary, when the backend is made injectable.
+    device: Option<FaultPlan>,
+    /// Fail-safe latch: damage that could neither be repaired nor retried
+    /// past. Latched until the instance is rebuilt.
+    poisoned: Option<FaultClass>,
+    /// Incidents drawn at the last crash, consumed by the next recovery.
+    pending_incidents: Vec<RecoveryIncident>,
 }
 
 impl<D, P> PersistEngine<D, P> {
@@ -81,6 +121,9 @@ impl<D, P> PersistEngine<D, P> {
             last_recovery: None,
             stats: EngineStats::default(),
             tap: Tap::detached(),
+            device: None,
+            poisoned: None,
+            pending_incidents: Vec::new(),
         }
     }
 
@@ -116,6 +159,9 @@ impl<D, P> PersistEngine<D, P> {
     ///
     /// [`OramError::Crashed`] while the controller is crashed.
     pub fn begin_attempt(&mut self) -> Result<(), OramError> {
+        if let Some(class) = self.poisoned {
+            return Err(OramError::Poisoned { class });
+        }
         if self.crashed {
             return Err(OramError::Crashed);
         }
@@ -303,6 +349,22 @@ impl<D, P> PersistEngine<D, P> {
         if !report.consistent {
             self.stats.recovery_failures += 1;
         }
+        for inc in &report.incidents {
+            let (kind, units) = (fault_kind(inc.class), inc.units);
+            self.tap.emit(|| Event::FaultDetected {
+                kind,
+                units,
+                cycle: self.tap.now(),
+            });
+        }
+        if report.repairs > 0 || !report.rolled_back.is_empty() {
+            let (repaired, rolled_back) = (report.repairs, report.rolled_back.len() as u64);
+            self.tap.emit(|| Event::FaultRepaired {
+                repaired,
+                rolled_back,
+                cycle: self.tap.now(),
+            });
+        }
         self.tap.emit(|| Event::Recovery {
             consistent: report.consistent,
             cycle: self.tap.now(),
@@ -314,6 +376,132 @@ impl<D, P> PersistEngine<D, P> {
     /// The report of the most recent recovery, if any.
     pub fn last_recovery(&self) -> Option<&RecoveryReport> {
         self.last_recovery.as_ref()
+    }
+
+    // ── device-fault injection (tentpole) ───────────────────────────────
+
+    /// Installs a seeded [`FaultPlan`] over the WPQ/NVM backend, making
+    /// the persistence domain adversarial. The plan owns its own RNG
+    /// stream: installing a fully disabled plan leaves the controller
+    /// bit-identical to an uninstrumented one.
+    pub fn install_fault_plan(&mut self, seed: u64, cfg: FaultConfig) {
+        self.device = Some(FaultPlan::new(seed, cfg));
+    }
+
+    /// Seals both WPQ batch frames with per-queue CMAC keys derived from
+    /// `key`, so every committed round carries an authentication tag.
+    pub fn seal_frames(&mut self, key: &[u8; 16]) {
+        self.domain.seal_frames(key);
+    }
+
+    /// `true` when a device fault plan is installed.
+    pub fn device_mode(&self) -> bool {
+        self.device.is_some()
+    }
+
+    /// Ground-truth injection counters of the installed plan, if any.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.device.as_ref().map(FaultPlan::stats)
+    }
+
+    /// Entropy from the plan's stream, for choosing which byte of a
+    /// damaged unit to flip. Returns 0 with no plan installed.
+    pub fn device_entropy(&mut self) -> u64 {
+        self.device.as_mut().map_or(0, FaultPlan::entropy)
+    }
+
+    /// Draws the outcome of one media path load. Always
+    /// [`ReadFault::None`] with no plan installed.
+    pub fn read_fault(&mut self) -> ReadFault {
+        self.device
+            .as_mut()
+            .map_or(ReadFault::None, |p| p.read_fault())
+    }
+
+    /// Draws what the crash's device faults destroy in the round whose
+    /// media programming was interrupted (`data_len`/`posmap_len` persist
+    /// units), records the classified incidents for the next recovery,
+    /// and returns the damaged unit indexes for the controller to apply.
+    ///
+    /// Draw order is fixed (data fate, posmap fate, then per-unit flips)
+    /// so the schedule is deterministic in the plan's seed alone.
+    pub fn draw_crash_damage(&mut self, data_len: usize, posmap_len: usize) -> RoundDamage {
+        let Some(plan) = self.device.as_mut() else {
+            return RoundDamage::default();
+        };
+        let mut damage = RoundDamage::default();
+        let data_fate = plan.round_fate(data_len);
+        let posmap_fate = plan.round_fate(posmap_len);
+        for (fate, len, units) in [
+            (data_fate, data_len, &mut damage.data_units),
+            (posmap_fate, posmap_len, &mut damage.posmap_units),
+        ] {
+            match fate {
+                RoundFate::Intact => {}
+                RoundFate::Lost => units.extend(0..len),
+                RoundFate::Torn { kept } => units.extend(kept..len),
+                // A duplicated end signal replays idempotent slot writes:
+                // no media damage, but the incident is accounted.
+                RoundFate::Duplicated => {}
+            }
+        }
+        // Bit rot strikes units that survived the fate draw.
+        let mut flips = 0u64;
+        for (len, units) in [
+            (data_len, &mut damage.data_units),
+            (posmap_len, &mut damage.posmap_units),
+        ] {
+            for i in 0..len {
+                if plan.unit_corrupted() && !units.contains(&i) {
+                    units.push(i);
+                    flips += 1;
+                }
+            }
+            units.sort_unstable();
+        }
+        for (fate, len) in [(data_fate, data_len), (posmap_fate, posmap_len)] {
+            let class = match fate {
+                RoundFate::Intact => None,
+                RoundFate::Lost => Some(FaultClass::SignalLoss),
+                RoundFate::Torn { .. } => Some(FaultClass::TornFlush),
+                RoundFate::Duplicated => Some(FaultClass::DuplicatedSignal),
+            };
+            if let Some(class) = class {
+                self.pending_incidents.push(RecoveryIncident {
+                    class,
+                    units: len as u64,
+                });
+            }
+        }
+        if flips > 0 {
+            self.pending_incidents.push(RecoveryIncident {
+                class: FaultClass::MediaCorruption,
+                units: flips,
+            });
+        }
+        damage
+    }
+
+    /// Takes the incidents drawn since the last recovery (ground truth of
+    /// what the crash damaged, for the recovery report).
+    pub fn take_incidents(&mut self) -> Vec<RecoveryIncident> {
+        std::mem::take(&mut self.pending_incidents)
+    }
+
+    /// Latches the fail-safe poisoned state: every subsequent access
+    /// fails with [`OramError::Poisoned`] until the instance is rebuilt.
+    pub fn poison(&mut self, class: FaultClass) {
+        self.poisoned = Some(class);
+        let kind = fault_kind(class);
+        self.tap.emit(|| Event::Poisoned {
+            kind,
+            cycle: self.tap.now(),
+        });
+    }
+
+    /// The latched fail-safe class, if the controller is poisoned.
+    pub fn poisoned(&self) -> Option<FaultClass> {
+        self.poisoned
     }
 }
 
@@ -394,6 +582,66 @@ mod tests {
         assert_eq!(after_engine.crashes, 1);
         assert_eq!(after_engine.recoveries, 1);
         assert_eq!(after_engine.recovery_failures, 0);
+    }
+
+    #[test]
+    fn no_plan_means_no_damage_and_no_read_faults() {
+        let mut e: PersistEngine<u32, u32> = PersistEngine::new(4, 4);
+        assert!(!e.device_mode());
+        assert!(e.draw_crash_damage(8, 8).is_empty());
+        assert_eq!(e.read_fault(), ReadFault::None);
+        assert!(e.take_incidents().is_empty());
+        assert!(e.fault_stats().is_none());
+    }
+
+    #[test]
+    fn device_damage_is_deterministic_in_the_seed() {
+        let mk = || {
+            let mut e: PersistEngine<u32, u32> = PersistEngine::new(4, 4);
+            e.install_fault_plan(99, FaultConfig::aggressive());
+            let mut all = Vec::new();
+            for _ in 0..50 {
+                all.push(e.draw_crash_damage(6, 3));
+            }
+            (all, e.take_incidents(), e.fault_stats())
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn aggressive_plan_damages_something_and_classifies_it() {
+        let mut e: PersistEngine<u32, u32> = PersistEngine::new(4, 4);
+        e.install_fault_plan(7, FaultConfig::aggressive());
+        let mut damaged = 0usize;
+        for _ in 0..100 {
+            let d = e.draw_crash_damage(6, 3);
+            for u in d.data_units.iter().chain(&d.posmap_units) {
+                assert!(*u < 6);
+                damaged += 1;
+            }
+        }
+        assert!(damaged > 0, "aggressive mix never damaged a unit");
+        let incidents = e.take_incidents();
+        assert!(!incidents.is_empty());
+        assert!(e.take_incidents().is_empty(), "incidents are consumed");
+        assert!(e.fault_stats().unwrap().total_injected() > 0);
+    }
+
+    #[test]
+    fn poisoned_engine_rejects_every_attempt() {
+        let mut e: PersistEngine<u32, u32> = PersistEngine::new(4, 4);
+        e.begin_attempt().unwrap();
+        e.poison(FaultClass::TransientRead);
+        assert_eq!(e.poisoned(), Some(FaultClass::TransientRead));
+        assert_eq!(
+            e.begin_attempt(),
+            Err(OramError::Poisoned {
+                class: FaultClass::TransientRead
+            })
+        );
+        // Poison dominates even the crashed state.
+        let _ = e.crash();
+        assert!(matches!(e.begin_attempt(), Err(OramError::Poisoned { .. })));
     }
 
     #[test]

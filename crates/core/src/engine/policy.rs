@@ -216,6 +216,29 @@ pub trait ProtocolPolicy {
     fn publish_metrics(&self, prefix: &str, reg: &mut psoram_obsv::MetricsRegistry) {
         let _ = (prefix, reg);
     }
+    /// Makes the design's NVM backend adversarial with a seeded device
+    /// fault plan (and arms integrity hardening where the design supports
+    /// it). The default implementation ignores the plan, so policies
+    /// without a device model stay valid.
+    fn enable_device_faults(&mut self, seed: u64, cfg: psoram_nvm::FaultConfig) {
+        let _ = (seed, cfg);
+    }
+    /// Ground-truth injection counters of the installed fault plan, if
+    /// any. `None` when no plan is installed (or supported).
+    fn device_fault_stats(&self) -> Option<psoram_nvm::FaultStats> {
+        None
+    }
+    /// The latched fail-safe class, if the design poisoned itself on
+    /// unrepairable damage.
+    fn poisoned(&self) -> Option<psoram_nvm::FaultClass> {
+        None
+    }
+    /// A deterministic digest over the design's recoverable state, for
+    /// idempotency regression checks. `0` when the design does not model
+    /// one.
+    fn state_digest(&self) -> u128 {
+        0
+    }
 }
 
 impl ProtocolPolicy for PathOram {
@@ -289,6 +312,18 @@ impl ProtocolPolicy for PathOram {
         data.publish(&R::key(prefix, "wpq.data"), reg);
         posmap.publish(&R::key(prefix, "wpq.posmap"), reg);
     }
+    fn enable_device_faults(&mut self, seed: u64, cfg: psoram_nvm::FaultConfig) {
+        PathOram::enable_device_faults(self, seed, cfg);
+    }
+    fn device_fault_stats(&self) -> Option<psoram_nvm::FaultStats> {
+        PathOram::device_fault_stats(self)
+    }
+    fn poisoned(&self) -> Option<psoram_nvm::FaultClass> {
+        PathOram::poisoned(self)
+    }
+    fn state_digest(&self) -> u128 {
+        PathOram::state_digest(self)
+    }
 }
 
 impl ProtocolPolicy for RingOram {
@@ -361,5 +396,17 @@ impl ProtocolPolicy for RingOram {
         let (data, posmap) = self.wpq_stats();
         data.publish(&R::key(prefix, "wpq.data"), reg);
         posmap.publish(&R::key(prefix, "wpq.posmap"), reg);
+    }
+    fn enable_device_faults(&mut self, seed: u64, cfg: psoram_nvm::FaultConfig) {
+        RingOram::enable_device_faults(self, seed, cfg);
+    }
+    fn device_fault_stats(&self) -> Option<psoram_nvm::FaultStats> {
+        RingOram::device_fault_stats(self)
+    }
+    fn poisoned(&self) -> Option<psoram_nvm::FaultClass> {
+        RingOram::poisoned(self)
+    }
+    fn state_digest(&self) -> u128 {
+        RingOram::state_digest(self)
     }
 }

@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod auth;
 mod block;
 mod bucket;
 pub mod chain;
@@ -62,7 +63,7 @@ mod types;
 pub use block::{Block, BlockHeader};
 pub use bucket::Bucket;
 pub use controller::{AccessOutcome, Op, PathOram, ProtocolVariant};
-pub use crash::{CrashPoint, CrashReport, RecoveryReport};
+pub use crash::{CrashPoint, CrashReport, RecoveryError, RecoveryIncident, RecoveryReport};
 pub use engine::{CommitLedger, CommitModel, EngineStats, PersistEngine, ProtocolPolicy};
 pub use eviction::{plan_eviction, EvictionPlan, SlotWrite};
 pub use integrity::{IntegrityTree, IntegrityViolation};

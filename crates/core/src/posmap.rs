@@ -117,9 +117,39 @@ impl PosMap {
         self.persist_writes
     }
 
+    /// All explicitly persisted `(addr, leaf)` entries, sorted — for
+    /// deterministic retro-tagging and state digests. Initial-mapping
+    /// entries (pure functions of the seed) are not stored and not listed.
+    pub fn persisted_sorted(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.persisted.iter().map(|(&a, &l)| (a, l)).collect();
+        v.sort_unstable();
+        v
+    }
+
     /// Number of leaves in the mapped tree.
     pub fn num_leaves(&self) -> u64 {
         self.num_leaves
+    }
+
+    /// Device-fault hook: corrupts the *persisted* entry of `addr` by
+    /// XORing `entropy` into the stored leaf (mod leaf range), modelling
+    /// bit rot in the durable PosMap region. Returns the damaged leaf.
+    ///
+    /// Only meaningful for entries that have been [`PosMap::persist`]ed;
+    /// initial-mapping entries are pure functions of the seed (no stored
+    /// media to damage), in which case an explicit wrong entry is stored.
+    pub fn corrupt_persisted(&mut self, addr: BlockAddr, entropy: u64) -> Leaf {
+        let current = self.persisted_get(addr).0;
+        // Guarantee the stored value actually changes.
+        let flip = (entropy % self.num_leaves.max(2)).max(1);
+        let bad = (current ^ flip) % self.num_leaves;
+        let bad = if bad == current {
+            (current + 1) % self.num_leaves
+        } else {
+            bad
+        };
+        self.persisted.insert(addr.0, bad);
+        Leaf(bad)
     }
 }
 
@@ -218,6 +248,15 @@ impl TempPosMap {
     pub fn wipe(&mut self) {
         self.entries.clear();
     }
+
+    /// The pending entries in deterministic (address-sorted) order —
+    /// the canonical byte layout the temp-PosMap authentication seal
+    /// covers.
+    pub fn entries_sorted(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.entries.iter().map(|(&a, &l)| (a, l)).collect();
+        v.sort_unstable();
+        v
+    }
 }
 
 #[cfg(test)]
@@ -310,6 +349,31 @@ mod tests {
         // Overwriting an existing entry is always allowed.
         t.insert(BlockAddr(1), Leaf(9)).unwrap();
         assert_eq!(t.get(BlockAddr(1)), Some(Leaf(9)));
+    }
+
+    #[test]
+    fn corrupt_persisted_always_changes_the_recovered_leaf() {
+        let mut pm = PosMap::new(16, 3);
+        pm.persist(BlockAddr(5), Leaf(2));
+        for entropy in 0..64 {
+            let before = pm.persisted_get(BlockAddr(5));
+            let bad = pm.corrupt_persisted(BlockAddr(5), entropy);
+            assert_ne!(bad, before, "corruption must change the stored leaf");
+            assert!(bad.0 < 16);
+            assert_eq!(pm.persisted_get(BlockAddr(5)), bad);
+        }
+        // Never-persisted entries get an explicit wrong overlay too.
+        let init = pm.persisted_get(BlockAddr(9));
+        assert_ne!(pm.corrupt_persisted(BlockAddr(9), 0), init);
+    }
+
+    #[test]
+    fn temp_entries_sorted_is_deterministic() {
+        let mut t = TempPosMap::new(8);
+        t.insert(BlockAddr(9), Leaf(1)).unwrap();
+        t.insert(BlockAddr(2), Leaf(5)).unwrap();
+        t.insert(BlockAddr(4), Leaf(3)).unwrap();
+        assert_eq!(t.entries_sorted(), vec![(2, 5), (4, 3), (9, 1)]);
     }
 
     #[test]

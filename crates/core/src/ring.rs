@@ -27,12 +27,16 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use psoram_nvm::{AccessKind, NvmConfig, NvmController, WpqEntry};
+use psoram_crypto::Hash128;
+use psoram_nvm::{
+    AccessKind, FaultClass, FaultConfig, FaultStats, NvmConfig, NvmController, ReadFault, WpqEntry,
+};
 use psoram_obsv::{Event, Phase, Tap};
 
+use crate::auth::AuthTags;
 use crate::block::Block;
-use crate::crash::{CrashPoint, RecoveryReport};
-use crate::engine::{to_core, to_mem, AccessScratch, CommitLedger, PersistEngine};
+use crate::crash::{CrashPoint, RecoveryError, RecoveryReport};
+use crate::engine::{to_core, to_mem, AccessScratch, CommitLedger, PersistEngine, RoundDamage};
 use crate::posmap::{PosMap, TempPosMap};
 use crate::types::{BlockAddr, Leaf, OramError};
 
@@ -231,6 +235,14 @@ pub struct RingOram {
     /// DuringEviction`] indexes into this cursor).
     rewrites_this_access: usize,
     touched: Vec<u64>,
+    /// On-chip CMAC tag store ([`RingOram::enable_device_faults`], PS-Ring
+    /// only).
+    auth: Option<AuthTags>,
+    /// `(bucket, slot)` units of the last applied persist round — the
+    /// units device-fault damage lands on at a crash.
+    last_round_slots: Vec<(u64, usize)>,
+    /// Persisted-PosMap addresses of the last applied round.
+    last_round_posmap: Vec<BlockAddr>,
     /// Reused per-access buffers (path/bucket addresses): the steady-state
     /// access loop performs no heap allocation for these.
     scratch: AccessScratch,
@@ -271,6 +283,9 @@ impl RingOram {
             seq_counter: 0,
             rewrites_this_access: 0,
             touched: Vec::new(),
+            auth: None,
+            last_round_slots: Vec::new(),
+            last_round_posmap: Vec::new(),
             scratch: AccessScratch::default(),
             obsv: Tap::detached(),
             config,
@@ -331,6 +346,97 @@ impl RingOram {
     /// Current stash occupancy.
     pub fn stash_len(&self) -> usize {
         self.stash.len()
+    }
+
+    /// Installs a seeded device-level fault plan on the NVM backend.
+    ///
+    /// Mirrors [`crate::PathOram::enable_device_faults`]: the hardened
+    /// (WPQ) PS-Ring variant additionally arms the integrity layer — CMAC
+    /// tags over every physical bucket slot and persisted PosMap entry,
+    /// sealed WPQ batch frames, and a rolling seal over the temporary
+    /// PosMap. The Baseline variant gets the same faults with no
+    /// defenses, preserving the differential campaigns' detection power.
+    pub fn enable_device_faults(&mut self, seed: u64, cfg: FaultConfig) {
+        self.engine.install_fault_plan(seed, cfg);
+        if self.variant != RingVariant::PsRing {
+            return;
+        }
+        let mut key = [0u8; 16];
+        key[..8].copy_from_slice(&seed.to_le_bytes());
+        key[8..].copy_from_slice(&seed.rotate_left(17).to_le_bytes());
+        key[0] ^= 0xA7;
+        let mut auth = AuthTags::new(&key);
+        // Retro-tag whatever already sits on media: everything written
+        // before hardening is trusted as-is and covered from here on.
+        // Tags deliberately cover slot *content* only — the valid bits
+        // and counts are read-path metadata that mutates outside persist
+        // rounds.
+        let mut indices: Vec<u64> = self.buckets.keys().copied().collect();
+        indices.sort_unstable();
+        for bidx in indices {
+            let bucket = &self.buckets[&bidx];
+            for (s, slot) in bucket.slots.iter().enumerate() {
+                auth.record_slot(bidx, s, slot.as_ref());
+            }
+        }
+        for (a, l) in self.posmap.persisted_sorted() {
+            auth.record_posmap(a, l);
+        }
+        auth.seal_temp(&self.temp.entries_sorted());
+        self.engine.seal_frames(&key);
+        self.auth = Some(auth);
+    }
+
+    /// Ground-truth injection counters of the installed fault plan, if any.
+    pub fn device_fault_stats(&self) -> Option<FaultStats> {
+        self.engine.fault_stats()
+    }
+
+    /// The latched fail-safe class, if the controller is poisoned.
+    pub fn poisoned(&self) -> Option<FaultClass> {
+        self.engine.poisoned()
+    }
+
+    /// A deterministic digest over the controller's recoverable state:
+    /// the materialized buckets (content, valid bits, counts), the
+    /// persisted PosMap, and the committed ledger. The double-recover
+    /// idempotency regression tests rely on it.
+    pub fn state_digest(&self) -> u128 {
+        let mut bytes = Vec::new();
+        let mut indices: Vec<u64> = self.buckets.keys().copied().collect();
+        indices.sort_unstable();
+        for bidx in indices {
+            let bucket = &self.buckets[&bidx];
+            bytes.extend_from_slice(&bidx.to_le_bytes());
+            for slot in &bucket.slots {
+                match slot {
+                    None => bytes.push(0),
+                    Some(b) => {
+                        bytes.push(1);
+                        bytes.extend_from_slice(&b.header.addr.0.to_le_bytes());
+                        bytes.extend_from_slice(&b.header.leaf.0.to_le_bytes());
+                        bytes.extend_from_slice(&b.header.seq.to_le_bytes());
+                        bytes.push(b.is_backup as u8);
+                        bytes.extend_from_slice(&b.payload);
+                    }
+                }
+            }
+            for &v in &bucket.valid {
+                bytes.push(v as u8);
+            }
+            bytes.extend_from_slice(&(bucket.count as u64).to_le_bytes());
+        }
+        for (a, l) in self.posmap.persisted_sorted() {
+            bytes.extend_from_slice(&a.to_le_bytes());
+            bytes.extend_from_slice(&l.to_le_bytes());
+        }
+        let mut committed: Vec<(u64, &Vec<u8>)> = self.ledger.committed_iter().collect();
+        committed.sort_unstable_by_key(|&(a, _)| a);
+        for (a, v) in committed {
+            bytes.extend_from_slice(&a.to_le_bytes());
+            bytes.extend_from_slice(v);
+        }
+        u128::from_le_bytes(Hash128::new().digest(&bytes))
     }
 
     crate::engine::impl_crash_controls!();
@@ -441,6 +547,9 @@ impl RingOram {
             RingVariant::Baseline => self.posmap.set(addr, new_leaf),
             RingVariant::PsRing => self.temp.insert(addr, new_leaf)?,
         }
+        if let Some(auth) = &mut self.auth {
+            auth.seal_temp(&self.temp.entries_sorted());
+        }
         t += 2;
         self.obsv.set_now(t);
         self.obsv.emit(|| Event::Phase {
@@ -451,6 +560,29 @@ impl RingOram {
         self.maybe_crash(CrashPoint::AfterAccessPosMap)?;
 
         // Step ③: read exactly one slot per bucket along the path.
+        // Transient media read errors (device-fault mode): bounded retry
+        // with exponential backoff re-issues the path read; a stuck line
+        // exhausts the retries and latches the fail-safe poisoned state.
+        match self.engine.read_fault() {
+            ReadFault::None => {}
+            ReadFault::Transient { attempts } => {
+                for k in 0..attempts {
+                    t += 400 << k;
+                }
+                self.obsv.set_now(t);
+                self.obsv.emit(|| Event::FaultDetected {
+                    kind: psoram_obsv::DeviceFaultKind::TransientRead,
+                    units: u64::from(attempts),
+                    cycle: t,
+                });
+            }
+            ReadFault::Stuck => {
+                self.engine.poison(FaultClass::TransientRead);
+                return Err(OramError::Poisoned {
+                    class: FaultClass::TransientRead,
+                });
+            }
+        }
         let t_before_path = t;
         let in_stash = self.stash_primary(addr).is_some();
         let path = self.path_indices(old_leaf);
@@ -528,10 +660,14 @@ impl RingOram {
             self.stash.push(block);
         }
         if let Some(d) = data {
-            let idx = self.stash_primary(addr).expect("primary present");
+            let idx = self.stash_primary(addr).ok_or(OramError::Invariant {
+                context: "stash primary present after update",
+            })?;
             self.stash[idx].payload = d;
         }
-        let idx = self.stash_primary(addr).expect("primary present");
+        let idx = self.stash_primary(addr).ok_or(OramError::Invariant {
+            context: "stash primary present after update",
+        })?;
         let value = self.stash[idx].payload.clone();
         self.ledger.note_written(addr.0, value.clone());
         if self.stash.len() > self.config.stash_capacity {
@@ -840,11 +976,31 @@ impl RingOram {
 
         match self.variant {
             RingVariant::Baseline => {
+                let device = self.engine.device_mode();
+                if device {
+                    self.last_round_slots.clear();
+                }
                 for (bidx, bucket) in rewrites {
+                    if device {
+                        for s in 0..physical {
+                            self.last_round_slots.push((bidx, s));
+                        }
+                    }
                     self.apply_rewrite(bidx, bucket);
                 }
             }
             RingVariant::PsRing => {
+                // The temporary PosMap feeds this round's flushes; a seal
+                // mismatch means its backing store rotted and nothing the
+                // round would persist can be trusted. Fail safe.
+                if let Some(auth) = &self.auth {
+                    if !auth.verify_temp(&self.temp.entries_sorted()) {
+                        self.engine.poison(FaultClass::MediaCorruption);
+                        return Err(OramError::Poisoned {
+                            class: FaultClass::MediaCorruption,
+                        });
+                    }
+                }
                 self.engine.begin_round()?;
                 for (bidx, bucket) in &rewrites {
                     // Out of room mid-round: stall — commit and apply what is
@@ -888,15 +1044,41 @@ impl RingOram {
     fn commit_and_apply_round(&mut self) -> Result<(), OramError> {
         self.engine.commit_round()?;
         let (data, posmap) = self.engine.drain();
+        let device = self.engine.device_mode() && !(data.is_empty() && posmap.is_empty());
+        if device {
+            // This round becomes the one whose media programming a crash
+            // would interrupt.
+            self.last_round_slots.clear();
+            self.last_round_posmap.clear();
+        }
+        let physical = self.config.bucket_physical_slots();
         for e in data {
             let (bidx, bucket) = e.value;
+            if device {
+                for s in 0..physical {
+                    self.last_round_slots.push((bidx, s));
+                }
+            }
             self.apply_rewrite(bidx, bucket);
         }
+        let mut flushed = false;
         for e in posmap {
             let (a, l) = e.value;
             self.posmap.persist(a, l);
             self.temp.remove(a);
+            if let Some(auth) = &mut self.auth {
+                auth.record_posmap(a.0, l.0);
+            }
+            if device {
+                self.last_round_posmap.push(a);
+            }
             self.stats.dirty_entries_flushed += 1;
+            flushed = true;
+        }
+        if flushed {
+            if let Some(auth) = &mut self.auth {
+                auth.seal_temp(&self.temp.entries_sorted());
+            }
         }
         Ok(())
     }
@@ -909,6 +1091,11 @@ impl RingOram {
             if b.leaf() == self.posmap.persisted_get(a) {
                 self.ledger
                     .commit_if_fresh(a.0, b.header.seq, b.payload.clone());
+            }
+        }
+        if let Some(auth) = &mut self.auth {
+            for (s, slot) in bucket.slots.iter().enumerate() {
+                auth.record_slot(bidx, s, slot.as_ref());
             }
         }
         self.buckets.insert(bidx, bucket);
@@ -949,18 +1136,82 @@ impl RingOram {
         // ADR flushes committed WPQ rounds; open rounds are lost. The
         // engine latches the crashed state and counts the crash.
         let (data, posmap) = self.engine.crash();
+        let device = self.engine.device_mode() && !(data.is_empty() && posmap.is_empty());
+        if device {
+            self.last_round_slots.clear();
+            self.last_round_posmap.clear();
+        }
+        let physical = self.config.bucket_physical_slots();
         for e in data {
             let (bidx, bucket) = e.value;
+            if device {
+                for s in 0..physical {
+                    self.last_round_slots.push((bidx, s));
+                }
+            }
             self.apply_rewrite(bidx, bucket);
         }
         let flushes: Vec<(BlockAddr, Leaf)> = posmap.iter().map(|e| e.value).collect();
         for &(a, l) in &flushes {
             self.posmap.persist(a, l);
+            if let Some(auth) = &mut self.auth {
+                auth.record_posmap(a.0, l.0);
+            }
+            if device {
+                self.last_round_posmap.push(a);
+            }
         }
         self.refresh_ledger_for(&flushes);
         self.stash.clear();
         self.temp.wipe();
         self.posmap.crash();
+        // Device faults: the power failure interrupts the media programming
+        // of the last applied round (including anything the ADR flush just
+        // applied above) — torn flushes, lost signals, and bit rot land on
+        // those units now, behind the controller's back.
+        if self.engine.device_mode() {
+            let damage = self
+                .engine
+                .draw_crash_damage(self.last_round_slots.len(), self.last_round_posmap.len());
+            self.apply_device_damage(&damage);
+        }
+    }
+
+    /// Applies drawn device damage to the NVM image: flips a payload (or
+    /// header) bit of each damaged bucket slot and corrupts each damaged
+    /// persisted PosMap entry. Tags are deliberately *not* refreshed —
+    /// this is the adversary writing behind the controller's back.
+    fn apply_device_damage(&mut self, damage: &RoundDamage) {
+        for &i in &damage.data_units {
+            let (bidx, slot) = self.last_round_slots[i];
+            let has_block = self
+                .buckets
+                .get(&bidx)
+                .is_some_and(|b| b.slots[slot].is_some());
+            if !has_block {
+                // Torn programming of a dummy slot has no observable
+                // content to corrupt.
+                continue;
+            }
+            let e = self.engine.device_entropy();
+            if let Some(blk) = self
+                .buckets
+                .get_mut(&bidx)
+                .and_then(|b| b.slots[slot].as_mut())
+            {
+                if blk.payload.is_empty() {
+                    blk.header.iv1 ^= 1 | e;
+                } else {
+                    let idx = e as usize % blk.payload.len();
+                    blk.payload[idx] ^= 1 << ((e >> 32) & 7);
+                }
+            }
+        }
+        for &i in &damage.posmap_units {
+            let addr = self.last_round_posmap[i];
+            let e = self.engine.device_entropy();
+            self.posmap.corrupt_persisted(addr, e);
+        }
     }
 
     /// Recovers after a crash: revalidates consumed slots (the paper's
@@ -969,7 +1220,74 @@ impl RingOram {
     /// status, and compacts superseded duplicates. Returns a
     /// [`RecoveryReport`] with the consistency verdict and, on failure,
     /// the violation text (also retained in [`RingOram::last_recovery`]).
+    ///
+    /// With device faults enabled on PS-Ring, recovery runs the full
+    /// detect → classify → repair → fail-safe pipeline first: a CMAC scan
+    /// wipes slots and PosMap entries that fail authentication, each
+    /// damaged committed address is restored from its newest surviving
+    /// authenticated copy, and addresses with no surviving copy are
+    /// rolled back with a typed [`RecoveryError`] instead of serving
+    /// corrupt data.
+    ///
+    /// Idempotent: calling `recover` on a controller that is not crashed
+    /// repeats the last verdict without touching state or counters.
     pub fn recover(&mut self) -> RecoveryReport {
+        if !self.engine.is_crashed() {
+            return self.last_recovery().cloned().unwrap_or_else(|| {
+                RecoveryReport::from_check(Ok(()), self.ledger.committed_len())
+            });
+        }
+        let incidents = self.engine.take_incidents();
+        let mut errors: Vec<RecoveryError> = Vec::new();
+        let mut repairs = 0u64;
+        let mut rolled_back: Vec<u64> = Vec::new();
+        let mut auth = self.auth.take();
+
+        if let Some(auth) = auth.as_mut() {
+            // Device phase 1 — detect: authenticate every tagged slot; a
+            // mismatch is definitive media damage and the slot is wiped
+            // (any committed value it held is restored in phase 3).
+            for (bidx, slot) in auth.tagged_slots_sorted() {
+                let content = self.buckets.get(&bidx).and_then(|b| b.slots[slot].clone());
+                if !auth.verify_slot(bidx, slot, content.as_ref()) {
+                    if let Some(bucket) = self.buckets.get_mut(&bidx) {
+                        bucket.slots[slot] = None;
+                    }
+                    auth.record_slot(bidx, slot, None);
+                }
+            }
+            // Device phase 2 — persisted PosMap entries: repair a corrupt
+            // leaf label from the newest authenticated copy of the
+            // address (the redundant copy names the true leaf).
+            for a in auth.tagged_posmap_sorted() {
+                let addr = BlockAddr(a);
+                let leaf = self.posmap.persisted_get(addr);
+                if auth.verify_posmap(a, leaf.0) {
+                    continue;
+                }
+                match self.newest_valid_copy(addr, auth) {
+                    Some((_, _, copy)) => {
+                        self.posmap.persist(addr, copy.leaf());
+                        auth.record_posmap(a, copy.leaf().0);
+                        repairs += 1;
+                    }
+                    None => {
+                        // Accept the damaged label (re-tag it so the scan
+                        // converges) and forget the committed value: typed
+                        // data loss, never silent corruption.
+                        auth.record_posmap(a, leaf.0);
+                        self.ledger.rollback(a, None);
+                        rolled_back.push(a);
+                        errors.push(RecoveryError::UnrecoverableAddress {
+                            addr: a,
+                            detail: "posmap entry corrupt; no surviving authenticated copy"
+                                .to_string(),
+                        });
+                    }
+                }
+            }
+        }
+
         // Pass 1: find, per address, the newest copy matching the persisted
         // PosMap — that is the copy recovery designates as live.
         let mut best: HashMap<u64, (u64, u64, usize)> = HashMap::new();
@@ -986,15 +1304,28 @@ impl RingOram {
             }
         }
         // Pass 2: promote winners, drop superseded matching duplicates,
-        // revalidate everything.
+        // revalidate everything. Controller-initiated slot mutations are
+        // legitimate writes, so their tags are refreshed.
         for (&bidx, bucket) in &mut self.buckets {
             for (s, slot) in bucket.slots.iter_mut().enumerate() {
                 if let Some(b) = slot {
                     let leaf = self.posmap.persisted_get(b.addr());
                     if b.leaf() == leaf {
                         match best.get(&b.addr().0) {
-                            Some(&(_, wb, ws)) if (wb, ws) == (bidx, s) => b.is_backup = false,
-                            _ => *slot = None,
+                            Some(&(_, wb, ws)) if (wb, ws) == (bidx, s) => {
+                                if b.is_backup {
+                                    b.is_backup = false;
+                                    if let Some(auth) = auth.as_mut() {
+                                        auth.record_slot(bidx, s, Some(&*b));
+                                    }
+                                }
+                            }
+                            _ => {
+                                *slot = None;
+                                if let Some(auth) = auth.as_mut() {
+                                    auth.record_slot(bidx, s, None);
+                                }
+                            }
                         }
                     }
                 }
@@ -1004,9 +1335,114 @@ impl RingOram {
             }
             bucket.count = 0;
         }
-        let report =
+
+        if let Some(auth) = auth.as_mut() {
+            // Device phase 3 — repair-from-redundant-copy: every committed
+            // address the audit can no longer find is re-pointed at its
+            // newest surviving authenticated copy (promoted to primary);
+            // addresses with none are rolled back with a typed error.
+            for (a, detail) in self.audit_failures() {
+                let addr = BlockAddr(a);
+                match self.newest_valid_copy(addr, auth) {
+                    Some((bidx, s, copy)) => {
+                        let mut promoted = copy;
+                        if promoted.is_backup {
+                            promoted.is_backup = false;
+                            if let Some(bucket) = self.buckets.get_mut(&bidx) {
+                                bucket.slots[s] = Some(promoted.clone());
+                            }
+                            auth.record_slot(bidx, s, Some(&promoted));
+                        }
+                        let intact = self.ledger.committed_value(a) == Some(&promoted.payload);
+                        self.posmap.persist(addr, promoted.leaf());
+                        auth.record_posmap(a, promoted.leaf().0);
+                        self.ledger
+                            .rollback(a, Some((promoted.header.seq, promoted.payload.clone())));
+                        if intact {
+                            repairs += 1;
+                        } else {
+                            // The survivor is an older version: detected
+                            // rollback, reported as typed loss.
+                            rolled_back.push(a);
+                            errors.push(RecoveryError::UnrecoverableAddress { addr: a, detail });
+                        }
+                    }
+                    None => {
+                        self.ledger.rollback(a, None);
+                        rolled_back.push(a);
+                        errors.push(RecoveryError::UnrecoverableAddress { addr: a, detail });
+                    }
+                }
+            }
+            // The temporary PosMap did not survive the power failure.
+            auth.clear_temp_seal();
+        }
+        self.auth = auth;
+        if let Some(class) = self.engine.poisoned() {
+            errors.push(RecoveryError::Poisoned { class });
+        }
+        let mut report =
             RecoveryReport::from_check(self.check_recoverability(), self.ledger.committed_len());
+        rolled_back.sort_unstable();
+        rolled_back.dedup();
+        report.repairs = repairs;
+        report.rolled_back = rolled_back;
+        report.incidents = incidents;
+        report.errors = errors;
+        report.poisoned = self.engine.poisoned().is_some();
         self.engine.finish_recovery(report)
+    }
+
+    /// The committed addresses the recoverability audit can no longer
+    /// locate, with the audit's verbatim complaint (sorted by address).
+    fn audit_failures(&self) -> Vec<(u64, String)> {
+        self.ledger.audit_committed_collect(
+            "copy",
+            |a| {
+                let addr = BlockAddr(a);
+                let leaf = self.posmap.persisted_get(addr);
+                let mut best: Option<&Block> = None;
+                for idx in self.path_indices(leaf) {
+                    if let Some(bucket) = self.buckets.get(&idx) {
+                        for b in bucket.slots.iter().flatten() {
+                            if b.addr() == addr
+                                && b.leaf() == leaf
+                                && best.is_none_or(|x| b.header.seq > x.header.seq)
+                            {
+                                best = Some(b);
+                            }
+                        }
+                    }
+                }
+                (leaf, best.map(|b| b.payload.clone()))
+            },
+            |_, _| false,
+        )
+    }
+
+    /// The newest (highest freshness counter) copy of `addr` anywhere on
+    /// media that passes slot authentication, with its location.
+    /// Deterministic: buckets are scanned in sorted order.
+    fn newest_valid_copy(&self, addr: BlockAddr, auth: &AuthTags) -> Option<(u64, usize, Block)> {
+        let mut best: Option<(u64, usize, Block)> = None;
+        let mut indices: Vec<u64> = self.buckets.keys().copied().collect();
+        indices.sort_unstable();
+        for bidx in indices {
+            let bucket = &self.buckets[&bidx];
+            for (s, slot) in bucket.slots.iter().enumerate() {
+                if let Some(b) = slot {
+                    if b.addr() == addr
+                        && auth.verify_slot(bidx, s, Some(b))
+                        && best
+                            .as_ref()
+                            .is_none_or(|(_, _, x)| b.header.seq > x.header.seq)
+                    {
+                        best = Some((bidx, s, b.clone()));
+                    }
+                }
+            }
+        }
+        best
     }
 
     /// The report of the most recent [`RingOram::recover`] call.

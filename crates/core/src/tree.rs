@@ -208,6 +208,14 @@ impl OramTree {
         self.buckets.values().map(Bucket::occupancy).sum()
     }
 
+    /// Indices of all materialized buckets, sorted — for deterministic
+    /// whole-tree scans (tag audits, state digests).
+    pub fn materialized_indices(&self) -> Vec<BucketIndex> {
+        let mut v: Vec<BucketIndex> = self.buckets.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
     /// Searches the path to `leaf` for a non-backup block with address
     /// `addr`, returning a clone.
     pub fn find_on_path(&self, leaf: Leaf, addr: crate::types::BlockAddr) -> Option<Block> {

@@ -227,6 +227,20 @@ pub enum OramError {
     /// The WPQ persistence domain rejected a drainer signal or push and
     /// the controller could not recover by stalling.
     Wpq(psoram_nvm::WpqError),
+    /// The controller latched fail-safe poisoned state: device damage it
+    /// could neither repair from a redundant copy nor retry past. Every
+    /// access fails until the instance is rebuilt.
+    Poisoned {
+        /// The device fault class that forced the fail-safe.
+        class: psoram_nvm::FaultClass,
+    },
+    /// An internal invariant did not hold at runtime. Replaces `panic!`
+    /// aborts on the persist/recovery paths: the access fails, the
+    /// controller survives.
+    Invariant {
+        /// The invariant that was violated.
+        context: &'static str,
+    },
 }
 
 impl std::fmt::Display for OramError {
@@ -255,6 +269,12 @@ impl std::fmt::Display for OramError {
                 write!(f, "integrity violation on path {leaf}")
             }
             OramError::Wpq(e) => write!(f, "WPQ persistence domain: {e}"),
+            OramError::Poisoned { class } => {
+                write!(f, "controller poisoned by unrepairable {class} fault")
+            }
+            OramError::Invariant { context } => {
+                write!(f, "internal invariant violated: {context}")
+            }
         }
     }
 }

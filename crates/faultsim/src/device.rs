@@ -1,0 +1,357 @@
+//! Device-fault campaigns: the crash campaigns re-run on damaged silicon.
+//!
+//! The random campaigns assume an honest medium — every persisted byte
+//! reads back as written. This module drops that assumption: a seeded
+//! device fault plan ([`psoram_nvm::FaultPlan`]) is armed underneath every
+//! design, tearing flushes mid-round, losing and duplicating WPQ
+//! start/end signals, flipping bits in persisted buckets and PosMap
+//! entries, and failing reads. The differential question gains a twist:
+//! a hardened design may now *lose* data — media corruption can defeat
+//! any bounded redundancy — but it must never lose data **silently**.
+//! Every divergence from the shadow oracle has to arrive classified:
+//! repaired from a redundant authenticated copy, rolled back under a
+//! typed [`RecoveryError`](psoram_core::RecoveryError), or refused
+//! outright by the fail-safe poison latch (after which the campaign
+//! rebuilds the controller from the oracle's durable truth, the simulated
+//! analogue of replacing a failed DIMM and restoring from application
+//! state). The unhardened baselines run under the same plan with no
+//! defenses, keeping the differential teeth: a baseline that stops
+//! failing means the injector has lost its bite.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use psoram_core::ring::RingVariant;
+use psoram_core::{CrashPoint, ProtocolVariant};
+use psoram_nvm::{FaultConfig, FaultStats};
+
+use crate::driver::Driver;
+use crate::report::VariantReport;
+use crate::target::DesignVariant;
+
+/// Parameters of a device-fault campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceCampaignConfig {
+    /// Master seed: drives the workload RNGs, the controllers, and the
+    /// fault plans. Two runs with the same seed produce byte-identical
+    /// reports at any job count.
+    pub seed: u64,
+    /// Crash→recover→continue cycles per design (at least one crash
+    /// fires per cycle).
+    pub cycles: u64,
+    /// Upper bound on crash-free accesses between consecutive crashes.
+    pub max_quiet_accesses: u64,
+    /// Distinct logical addresses the workload touches.
+    pub working_set: u64,
+    /// Recoveries between full shadow read-backs (0 → final check only).
+    pub full_check_every: u64,
+    /// Use [`FaultConfig::aggressive`] instead of
+    /// [`FaultConfig::campaign_default`].
+    pub aggressive: bool,
+}
+
+impl Default for DeviceCampaignConfig {
+    fn default() -> Self {
+        DeviceCampaignConfig {
+            seed: 0xDE_C0,
+            cycles: 60,
+            max_quiet_accesses: 6,
+            working_set: 24,
+            full_check_every: 20,
+            aggressive: false,
+        }
+    }
+}
+
+impl DeviceCampaignConfig {
+    /// A reduced configuration for quick smoke runs.
+    pub fn smoke() -> Self {
+        DeviceCampaignConfig {
+            cycles: 12,
+            working_set: 12,
+            ..Self::default()
+        }
+    }
+
+    fn fault_config(&self) -> FaultConfig {
+        if self.aggressive {
+            FaultConfig::aggressive()
+        } else {
+            FaultConfig::campaign_default()
+        }
+    }
+}
+
+/// The designs a device campaign tortures: every Path protocol variant
+/// plus both Ring flavours — hardened and unhardened side by side, so
+/// the report stays differential.
+pub fn device_sweep_set() -> Vec<DesignVariant> {
+    ProtocolVariant::all()
+        .into_iter()
+        .map(DesignVariant::Path)
+        .chain([
+            DesignVariant::Ring(RingVariant::Baseline),
+            DesignVariant::Ring(RingVariant::PsRing),
+        ])
+        .collect()
+}
+
+/// Whether the design carries the integrity layer (authentication tags,
+/// redundant-copy repair, fail-safe poisoning) under device faults.
+fn is_hardened(variant: DesignVariant) -> bool {
+    match variant {
+        DesignVariant::Path(v) => v.uses_wpq(),
+        DesignVariant::Ring(v) => v == RingVariant::PsRing,
+    }
+}
+
+/// Detection/repair evidence from one design's device campaign, set
+/// against the injector's ground truth.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceFaultSummary {
+    /// Whether the design carries the integrity layer.
+    pub hardened: bool,
+    /// Ground truth: faults the plan actually injected, accumulated
+    /// across fail-safe rebuilds.
+    pub injected: FaultStats,
+    /// Device-fault incidents recovery detected and classified.
+    pub incidents: u64,
+    /// Damaged persist units repaired from a redundant authenticated
+    /// copy.
+    pub repairs: u64,
+    /// Addresses rolled back (or forgotten) under a typed error.
+    pub rollbacks: u64,
+    /// Typed [`RecoveryError`](psoram_core::RecoveryError)s raised.
+    pub typed_errors: u64,
+    /// Recoveries that failed their consistency check *with* typed
+    /// errors or poisoning — detected fail-safes, not silent violations.
+    pub detected_failsafes: u64,
+    /// Times the fail-safe poison latch forced a controller rebuild.
+    pub failsafe_rebuilds: u64,
+}
+
+/// Per-design outcome of a device campaign: the ordinary differential
+/// report plus the device-fault evidence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceVariantReport {
+    /// The crash-consistency report (accesses, recoveries, violations).
+    pub report: VariantReport,
+    /// Device-fault injection and detection evidence.
+    pub device: DeviceFaultSummary,
+}
+
+/// A whole device campaign: one report per design, in
+/// [`device_sweep_set`] order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceCampaignReport {
+    /// Always `"device"`.
+    pub mode: String,
+    /// RNG seed, for exact replay.
+    pub seed: u64,
+    /// Whether the aggressive fault mix was used.
+    pub aggressive: bool,
+    /// Per-design outcomes.
+    pub variants: Vec<DeviceVariantReport>,
+}
+
+impl DeviceCampaignReport {
+    /// `true` when every design behaved as claimed: hardened designs saw
+    /// no *silent* violation (repairs, typed rollbacks, and fail-safes
+    /// are all admissible outcomes); unhardened designs are allowed
+    /// anything.
+    pub fn all_match_expectation(&self) -> bool {
+        self.variants.iter().all(|v| v.report.matches_expectation)
+    }
+
+    /// Crashes fired across all designs.
+    pub fn total_crashes(&self) -> u64 {
+        self.variants
+            .iter()
+            .map(|v| v.report.crashes_injected)
+            .sum()
+    }
+
+    /// Ground-truth faults injected across all designs.
+    pub fn total_injected(&self) -> u64 {
+        self.variants
+            .iter()
+            .map(|v| v.device.injected.total_injected())
+            .sum()
+    }
+}
+
+fn accumulate(into: &mut FaultStats, s: FaultStats) {
+    into.torn_flushes += s.torn_flushes;
+    into.signal_losses += s.signal_losses;
+    into.duplicated_signals += s.duplicated_signals;
+    into.bit_flips += s.bit_flips;
+    into.read_faults += s.read_faults;
+    into.stuck_reads += s.stuck_reads;
+    into.fates_drawn += s.fates_drawn;
+}
+
+/// Tears down a poisoned controller and rebuilds it from the oracle's
+/// expected contents, then re-arms a fresh fault plan (derived from the
+/// same master seed, so the run stays deterministic).
+fn rebuild(d: &mut Driver, variant: DesignVariant, cfg: &DeviceCampaignConfig, tweak: u64) {
+    if let Some(stats) = d.target.device_fault_stats() {
+        accumulate(&mut d.device_summary.injected, stats);
+    }
+    d.device_summary.failsafe_rebuilds += 1;
+    let epoch = d.device_summary.failsafe_rebuilds;
+    d.oracle.drop_pending();
+    d.poisoned = false;
+    d.target = variant.build(cfg.seed ^ tweak ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(epoch));
+    for (addr, value) in d.oracle.expected_entries() {
+        if d.do_write(addr, value) {
+            unreachable!("crash fired while re-seeding a rebuilt controller");
+        }
+    }
+    // The plan arms only after the re-seed, so the rebuilt controller
+    // starts from an honest, fully committed shadow.
+    d.target.enable_device_faults(
+        cfg.seed ^ tweak ^ epoch.rotate_left(32) ^ 0xA5A5,
+        cfg.fault_config(),
+    );
+}
+
+/// Runs a device-fault campaign against one design.
+pub fn device_campaign_variant(
+    variant: DesignVariant,
+    cfg: &DeviceCampaignConfig,
+) -> DeviceVariantReport {
+    // Per-variant RNG stream, deterministic in (seed, variant) and
+    // decoupled from the clean campaign's stream by a domain constant.
+    let tweak = variant
+        .label()
+        .bytes()
+        .fold(0u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ tweak ^ 0xD0_0D);
+
+    let mut d = Driver::new(variant, cfg.seed, cfg.full_check_every);
+    d.device = true;
+    d.device_summary.hardened = is_hardened(variant);
+    let working_set = cfg.working_set.min(d.target.capacity_blocks());
+    d.prefill(working_set);
+    // The plan arms *after* prefill: the committed shadow starts honest.
+    d.target
+        .enable_device_faults(cfg.seed ^ tweak, cfg.fault_config());
+    let steps = CrashPoint::step_boundaries();
+
+    for _cycle in 0..cfg.cycles {
+        if d.aborted {
+            break;
+        }
+        if d.poisoned {
+            rebuild(&mut d, variant, cfg, tweak);
+        }
+
+        // Quiet phase: normal traffic between faults (transient read
+        // faults and WPQ-level signal damage land here).
+        for _ in 0..rng.gen_range(0..cfg.max_quiet_accesses + 1) {
+            if d.poisoned {
+                break;
+            }
+            let attempt = d.target.access_attempts();
+            let addr = rng.gen_range(0..working_set);
+            let crashed = if rng.gen_bool(0.6) {
+                let value = d.next_payload();
+                d.do_write(addr, value)
+            } else {
+                d.do_read(addr)
+            };
+            if crashed {
+                d.handle_crash(attempt, None, addr, None);
+            }
+        }
+        if d.poisoned {
+            continue; // rebuilt at the top of the next cycle
+        }
+
+        // Fault phase: mostly power failures at rest — the committed WPQ
+        // backlog is empty, so crash damage lands on the last applied
+        // round's persist units — and sometimes a crash armed inside an
+        // access, exercising damage underneath an in-flight write.
+        if rng.gen_bool(0.7) {
+            d.crash_at_rest();
+        } else {
+            let point = steps[rng.gen_range(0..steps.len())];
+            d.target.inject_crash(point);
+            let mut fired = false;
+            for _ in 0..12 {
+                if d.poisoned {
+                    break;
+                }
+                let attempt = d.target.access_attempts();
+                let addr = rng.gen_range(0..working_set);
+                let crashed = if rng.gen_bool(0.6) {
+                    let value = d.next_payload();
+                    d.do_write(addr, value)
+                } else {
+                    d.do_read(addr)
+                };
+                if crashed {
+                    d.handle_crash(attempt, Some(point), addr, None);
+                    fired = true;
+                    break;
+                }
+            }
+            if !fired {
+                d.target.disarm_crash();
+                if !d.poisoned {
+                    d.crash_at_rest();
+                }
+            }
+        }
+    }
+
+    if let Some(stats) = d.target.device_fault_stats() {
+        accumulate(&mut d.device_summary.injected, stats);
+    }
+    let device = d.device_summary.clone();
+    let report = d.finish();
+    DeviceVariantReport { report, device }
+}
+
+/// Runs the device campaign against every design in [`device_sweep_set`].
+///
+/// Designs run in parallel (see [`crate::par_map`]); each variant's RNG
+/// stream is derived from `(cfg.seed, variant)` alone and results come
+/// back in sweep-set order, so the report is byte-identical at any job
+/// count.
+pub fn device_campaign(cfg: &DeviceCampaignConfig) -> DeviceCampaignReport {
+    let variants = crate::par_map(0, device_sweep_set(), |v| device_campaign_variant(v, cfg));
+    DeviceCampaignReport {
+        mode: "device".into(),
+        seed: cfg.seed,
+        aggressive: cfg.aggressive,
+        variants,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_set_is_differential() {
+        let set = device_sweep_set();
+        assert!(set.iter().copied().any(is_hardened));
+        assert!(set.iter().copied().any(|v| !is_hardened(v)));
+        assert_eq!(set.len(), ProtocolVariant::all().len() + 2);
+    }
+
+    #[test]
+    fn device_report_serde_round_trips() {
+        let cfg = DeviceCampaignConfig {
+            cycles: 2,
+            working_set: 8,
+            ..DeviceCampaignConfig::smoke()
+        };
+        let r = device_campaign_variant(DesignVariant::Path(ProtocolVariant::PsOram), &cfg);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: DeviceVariantReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -2,6 +2,7 @@
 
 use psoram_core::{CrashPoint, OramError};
 
+use crate::device::DeviceFaultSummary;
 use crate::oracle::ShadowOracle;
 use crate::report::{VariantReport, ViolationKind};
 use crate::target::{DesignVariant, FaultTarget};
@@ -33,6 +34,17 @@ pub(crate) struct Driver {
     pub report: VariantReport,
     /// Set when the run hit too many unexpected errors to continue.
     pub aborted: bool,
+    /// Device-fault mode: typed fail-safe refusals (poisoning) become an
+    /// expected outcome rather than unexpected errors, and recovery's
+    /// declared rollbacks resync the shadow instead of standing as
+    /// violations — only *silent* divergence counts.
+    pub device: bool,
+    /// Latched when the controller poisons itself (device mode only).
+    /// The campaign tears the target down and rebuilds it.
+    pub poisoned: bool,
+    /// Detection/repair evidence accumulated across recoveries
+    /// (device mode only).
+    pub device_summary: DeviceFaultSummary,
     /// Recoveries between full shadow read-backs (0 → final check only).
     full_check_every: u64,
     unexpected_errors: u64,
@@ -50,6 +62,9 @@ impl Driver {
             oracle: ShadowOracle::new(payload_bytes, model),
             report: VariantReport::new(variant),
             aborted: false,
+            device: false,
+            poisoned: false,
+            device_summary: DeviceFaultSummary::default(),
             full_check_every,
             unexpected_errors: 0,
             payload_counter: 0,
@@ -92,6 +107,11 @@ impl Driver {
                 false
             }
             Err(OramError::Crashed) => true,
+            Err(OramError::Poisoned { .. }) if self.device => {
+                self.oracle.drop_pending();
+                self.poisoned = true;
+                false
+            }
             Err(e) => {
                 self.oracle.drop_pending();
                 self.record_unexpected(e);
@@ -118,6 +138,10 @@ impl Driver {
                 false
             }
             Err(OramError::Crashed) => true,
+            Err(OramError::Poisoned { .. }) if self.device => {
+                self.poisoned = true;
+                false
+            }
             Err(e) => {
                 self.record_unexpected(e);
                 false
@@ -196,7 +220,7 @@ impl Driver {
     pub fn full_check(&mut self, attempt_index: Option<u64>, point: Option<CrashPoint>) {
         self.report.full_checks += 1;
         for addr in self.oracle.addrs() {
-            if self.aborted {
+            if self.aborted || self.poisoned {
                 return;
             }
             if let Some(v) = self.read_verifying(addr, attempt_index.unwrap_or(0), None) {
@@ -239,6 +263,10 @@ impl Driver {
                     self.oracle.note_crash();
                     self.recover_once(attempt_index, nested);
                 }
+                Err(OramError::Poisoned { .. }) if self.device => {
+                    self.poisoned = true;
+                    return None;
+                }
                 Err(e) => {
                     self.record_unexpected(e);
                     return None;
@@ -247,11 +275,57 @@ impl Driver {
         }
     }
 
+    /// Injects a power failure at rest — no access in flight — then
+    /// recovers and runs the periodic full check. The device campaigns
+    /// prefer this shape: with the committed WPQ backlog empty, crash
+    /// damage lands squarely on the last applied round's persist units,
+    /// which is exactly the state the integrity layer must defend.
+    pub fn crash_at_rest(&mut self) {
+        let attempt = self.target.access_attempts();
+        let clock_before = self.target.clock();
+        self.count_crash(None);
+        self.oracle.note_crash();
+        self.target.crash_now();
+        self.recover_once(attempt, None);
+        self.report
+            .record_crash_cost("AtRest", self.target.clock() - clock_before);
+        if self.full_check_every > 0 && self.report.recoveries.is_multiple_of(self.full_check_every)
+        {
+            self.full_check(Some(attempt), None);
+        }
+    }
+
     fn recover_once(&mut self, attempt_index: u64, point: Option<CrashPoint>) {
         let rec = self.target.recover();
         self.report.recoveries += 1;
+        if self.device {
+            self.device_summary.incidents += rec.incidents.len() as u64;
+            self.device_summary.repairs += rec.repairs;
+            self.device_summary.rollbacks += rec.rolled_back.len() as u64;
+            self.device_summary.typed_errors += rec.errors.len() as u64;
+            if rec.poisoned {
+                self.poisoned = true;
+            }
+        }
         if rec.consistent {
             self.report.recoveries_consistent += 1;
+        } else if self.device && (!rec.errors.is_empty() || rec.poisoned) {
+            // A detected fail-safe: the design lost data but *said so*,
+            // with typed errors or by refusing service. That is the
+            // contract under device faults — only silent divergence
+            // counts against a hardened design.
+            self.device_summary.detected_failsafes += 1;
+            if !rec.poisoned {
+                // The design declared data loss; realign the whole shadow
+                // to its post-recovery truth so only *new*, undeclared
+                // divergence is reported from here on.
+                for addr in self.oracle.addrs() {
+                    if self.poisoned {
+                        break;
+                    }
+                    self.resync_declared(addr);
+                }
+            }
         } else {
             self.report.record_violation(
                 Some(attempt_index),
@@ -260,6 +334,29 @@ impl Driver {
                 rec.violation
                     .unwrap_or_else(|| "recoverability check failed".into()),
             );
+        }
+        // Typed rollbacks moved the durable truth backwards on purpose;
+        // fold them into the shadow so later read-backs check the design
+        // against what recovery *declared*, not what the fault destroyed.
+        if self.device {
+            for addr in rec.rolled_back {
+                if self.poisoned {
+                    break;
+                }
+                self.resync_declared(addr);
+            }
+        }
+    }
+
+    /// Reads `addr` back and resyncs the shadow to the observed value
+    /// without recording a violation — used for addresses a recovery
+    /// rolled back (or re-floored) under a typed error.
+    fn resync_declared(&mut self, addr: u64) {
+        match self.target.read(addr) {
+            Ok(v) => self.oracle.resync(addr, &v),
+            Err(OramError::Poisoned { .. }) => self.poisoned = true,
+            Err(OramError::Crashed) => {}
+            Err(e) => self.record_unexpected(e),
         }
     }
 

@@ -12,6 +12,12 @@
 //!   crash→recover→continue cycles, and *nested* crashes that strike
 //!   while a previous recovery is still being verified. Deterministic
 //!   under a fixed seed.
+//! * **Device-fault campaign** ([`device_campaign`]): the randomized
+//!   campaign re-run on damaged silicon — a seeded device fault plan
+//!   tears flushes, loses/duplicates WPQ signals, flips persisted bits,
+//!   and fails reads underneath every design. Hardened designs must
+//!   repair, roll back with typed errors, or fail safe; never diverge
+//!   silently.
 //! * **Differential oracle** ([`ShadowOracle`]): an independent shadow
 //!   map of logical address → last durably committed value. After every
 //!   recovery it asserts that no committed write is lost and no
@@ -46,6 +52,7 @@
 #![warn(missing_docs)]
 
 mod campaign;
+mod device;
 mod driver;
 mod oracle;
 pub mod par;
@@ -56,6 +63,10 @@ mod target;
 pub use campaign::{
     campaign_variant, campaign_variant_traced, random_campaign, random_campaign_traced,
     CampaignConfig,
+};
+pub use device::{
+    device_campaign, device_campaign_variant, device_sweep_set, DeviceCampaignConfig,
+    DeviceCampaignReport, DeviceFaultSummary, DeviceVariantReport,
 };
 pub use oracle::{CommitModel, PendingWrite, ShadowOracle};
 pub use par::{default_jobs, par_map, resolve_jobs};

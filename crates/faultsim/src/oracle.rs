@@ -220,6 +220,18 @@ impl ShadowOracle {
         self.ambiguous.remove(&addr);
     }
 
+    /// Snapshot of `(address, expected crash-free value)` pairs in
+    /// deterministic order. The device campaigns use this to re-seed a
+    /// replacement controller after a fail-safe poison tear-down — the
+    /// simulated analogue of restoring from application-level state after
+    /// swapping a failed DIMM.
+    pub fn expected_entries(&self) -> Vec<(u64, Vec<u8>)> {
+        self.addrs()
+            .into_iter()
+            .map(|a| (a, self.expected_current(a).clone()))
+            .collect()
+    }
+
     /// Addresses with any tracked value, in deterministic order.
     pub fn addrs(&self) -> Vec<u64> {
         self.committed

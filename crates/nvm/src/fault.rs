@@ -1,0 +1,421 @@
+//! Device-level fault model for the WPQ/NVM backend.
+//!
+//! PS-ORAM's crash-consistency argument leans on two device guarantees
+//! that real NVM parts do not actually give:
+//!
+//! 1. **ADR atomicity** — that the energy reserve drains every committed
+//!    WPQ batch to media in full. In practice persists complete at
+//!    cacheline (64 B) granularity, so an interrupted drain can tear a
+//!    batch mid-way, and a dropped (or doubled) drainer `end` signal can
+//!    lose or replay a whole round.
+//! 2. **Media fidelity** — that a cell returns what was written. PCM and
+//!    STT-RAM exhibit resistance drift and stuck-at faults, so recently
+//!    programmed lines can read back corrupted, and reads can fail
+//!    transiently.
+//!
+//! [`FaultPlan`] is a seeded adversary that decides, at each crash and
+//! each media read, which of these violations occur. It owns its own
+//! SplitMix64 stream so installing it never perturbs controller RNGs:
+//! with all probabilities at zero the instrumented system is
+//! bit-identical to the uninstrumented one.
+
+use serde::{Deserialize, Serialize};
+
+/// Classification of a detected device fault.
+///
+/// This is the `FaultClass` half of the recovery taxonomy: recovery code
+/// classifies damage it *detects* into one of these, pairs it with a
+/// repair-or-fail-safe decision, and reports it (see `RecoveryError` in
+/// `psoram-core`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FaultClass {
+    /// An ADR drain was interrupted mid-batch: a prefix of the round's
+    /// cachelines reached media, the suffix did not.
+    TornFlush,
+    /// A drainer `end` signal was dropped: the whole committed round
+    /// never reached media.
+    SignalLoss,
+    /// A drainer `end` signal was duplicated: the round's writes were
+    /// applied twice (benign for idempotent slot writes, but it must be
+    /// detected, deduplicated, and accounted).
+    DuplicatedSignal,
+    /// Media corruption: bit rot or interrupted cell programming in a
+    /// recently written region.
+    MediaCorruption,
+    /// A media read failed transiently (or the line is stuck).
+    TransientRead,
+}
+
+impl FaultClass {
+    /// Stable lower-case label (used in reports and event args).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultClass::TornFlush => "torn_flush",
+            FaultClass::SignalLoss => "signal_loss",
+            FaultClass::DuplicatedSignal => "duplicated_signal",
+            FaultClass::MediaCorruption => "media_corruption",
+            FaultClass::TransientRead => "transient_read",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-fault-kind injection probabilities.
+///
+/// All values are probabilities in `[0, 1]`. The round-fate draws
+/// (`torn_flush`, `signal_loss`, `duplicate_signal`) are evaluated in
+/// that order against the round whose media programming the crash
+/// interrupted; `bit_flip_per_unit` is drawn once per surviving persist
+/// unit; `transient_read` once per path load, with `stuck_read` the
+/// conditional probability that the failure is persistent rather than
+/// transient (defeating bounded retry).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// P(interrupted drain tears the in-flight round).
+    pub torn_flush: f64,
+    /// P(the in-flight round's end signal was lost entirely).
+    pub signal_loss: f64,
+    /// P(the in-flight round's end signal was duplicated).
+    pub duplicate_signal: f64,
+    /// P(bit flip) per surviving persist unit of the in-flight round.
+    pub bit_flip_per_unit: f64,
+    /// P(read failure) per media path load.
+    pub transient_read: f64,
+    /// P(failure is stuck | read failure): retries will not help.
+    pub stuck_read: f64,
+}
+
+impl FaultConfig {
+    /// No faults: an installed plan with this config is inert.
+    pub fn disabled() -> Self {
+        FaultConfig {
+            torn_flush: 0.0,
+            signal_loss: 0.0,
+            duplicate_signal: 0.0,
+            bit_flip_per_unit: 0.0,
+            transient_read: 0.0,
+            stuck_read: 0.0,
+        }
+    }
+
+    /// The device-fault campaign mix: every class fires often enough for
+    /// a few-hundred-crash campaign to exercise all of them.
+    pub fn campaign_default() -> Self {
+        FaultConfig {
+            torn_flush: 0.25,
+            signal_loss: 0.10,
+            duplicate_signal: 0.10,
+            bit_flip_per_unit: 0.06,
+            transient_read: 0.03,
+            stuck_read: 0.10,
+        }
+    }
+
+    /// An aggressive mix for stress tests: most crashes damage something.
+    pub fn aggressive() -> Self {
+        FaultConfig {
+            torn_flush: 0.45,
+            signal_loss: 0.25,
+            duplicate_signal: 0.15,
+            bit_flip_per_unit: 0.25,
+            transient_read: 0.08,
+            stuck_read: 0.15,
+        }
+    }
+
+    /// `true` when every probability is zero.
+    pub fn is_disabled(&self) -> bool {
+        self.torn_flush == 0.0
+            && self.signal_loss == 0.0
+            && self.duplicate_signal == 0.0
+            && self.bit_flip_per_unit == 0.0
+            && self.transient_read == 0.0
+    }
+}
+
+/// Counters of faults a plan has injected (ground truth, for differential
+/// checks against what recovery *detected*).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Rounds torn mid-drain.
+    pub torn_flushes: u64,
+    /// Rounds lost to a dropped end signal.
+    pub signal_losses: u64,
+    /// Rounds replayed by a duplicated end signal.
+    pub duplicated_signals: u64,
+    /// Individual persist units hit by bit flips.
+    pub bit_flips: u64,
+    /// Read failures injected (transient and stuck).
+    pub read_faults: u64,
+    /// Read failures that were stuck (retry-defeating).
+    pub stuck_reads: u64,
+    /// Crash-round fates drawn (including `Intact`).
+    pub fates_drawn: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected across all classes.
+    pub fn total_injected(&self) -> u64 {
+        self.torn_flushes
+            + self.signal_losses
+            + self.duplicated_signals
+            + self.bit_flips
+            + self.read_faults
+    }
+}
+
+impl psoram_obsv::MetricsSource for FaultStats {
+    fn publish(&self, prefix: &str, reg: &mut psoram_obsv::MetricsRegistry) {
+        use psoram_obsv::MetricsRegistry as R;
+        reg.set_counter(&R::key(prefix, "torn_flushes"), self.torn_flushes);
+        reg.set_counter(&R::key(prefix, "signal_losses"), self.signal_losses);
+        reg.set_counter(
+            &R::key(prefix, "duplicated_signals"),
+            self.duplicated_signals,
+        );
+        reg.set_counter(&R::key(prefix, "bit_flips"), self.bit_flips);
+        reg.set_counter(&R::key(prefix, "read_faults"), self.read_faults);
+        reg.set_counter(&R::key(prefix, "stuck_reads"), self.stuck_reads);
+        reg.set_counter(&R::key(prefix, "fates_drawn"), self.fates_drawn);
+    }
+}
+
+/// The fate a [`FaultPlan`] assigns to the round whose media programming
+/// a crash interrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundFate {
+    /// The drain completed; every unit reached media (bit flips may still
+    /// hit individual units).
+    Intact,
+    /// Only the first `kept` units reached media; the rest read back as
+    /// interrupted-programming garbage.
+    Torn {
+        /// Units (cachelines) that completed before the tear.
+        kept: usize,
+    },
+    /// The end signal was dropped: no unit of the round reached media.
+    Lost,
+    /// The end signal was duplicated: the round applied twice.
+    Duplicated,
+}
+
+/// The outcome a [`FaultPlan`] assigns to one media path load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadFault {
+    /// The read succeeds.
+    None,
+    /// The read fails `attempts` times, then succeeds (bounded retry with
+    /// backoff recovers it).
+    Transient {
+        /// Failed attempts before the read goes through.
+        attempts: u32,
+    },
+    /// The line is stuck: every retry fails; the controller must
+    /// fail-safe.
+    Stuck,
+}
+
+/// A seeded device-fault adversary.
+///
+/// Deterministic: the same seed, config, and call sequence produce the
+/// same fault schedule, which is what keeps device-fault campaigns
+/// byte-identical across job counts. The plan draws from its own
+/// SplitMix64 stream and never touches any controller RNG.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    state: u64,
+    stats: FaultStats,
+}
+
+impl FaultPlan {
+    /// Creates a plan from a seed and a fault mix.
+    pub fn new(seed: u64, cfg: FaultConfig) -> Self {
+        FaultPlan {
+            cfg,
+            // Avoid the all-zeros fixed point without perturbing other seeds.
+            state: seed ^ 0x6A09_E667_F3BC_C909,
+            stats: FaultStats::default(),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            // Still consume a draw so the schedule does not depend on
+            // which probabilities are zero.
+            let _ = self.next_u64();
+            return false;
+        }
+        ((self.next_u64() >> 11) as f64) < p * (1u64 << 53) as f64
+    }
+
+    /// Draws the fate of the in-flight round of `units` persist units.
+    ///
+    /// With `units == 0` the fate is always [`RoundFate::Intact`] (there
+    /// is nothing in flight), but draws are still consumed so the
+    /// downstream schedule is independent of round sizes.
+    pub fn round_fate(&mut self, units: usize) -> RoundFate {
+        self.stats.fates_drawn += 1;
+        let torn = self.chance(self.cfg.torn_flush);
+        let lost = self.chance(self.cfg.signal_loss);
+        let dup = self.chance(self.cfg.duplicate_signal);
+        let kept_draw = self.next_u64();
+        if units == 0 {
+            return RoundFate::Intact;
+        }
+        if lost {
+            self.stats.signal_losses += 1;
+            RoundFate::Lost
+        } else if torn {
+            self.stats.torn_flushes += 1;
+            RoundFate::Torn {
+                kept: (kept_draw % units as u64) as usize,
+            }
+        } else if dup {
+            self.stats.duplicated_signals += 1;
+            RoundFate::Duplicated
+        } else {
+            RoundFate::Intact
+        }
+    }
+
+    /// Draws whether one surviving persist unit takes a bit flip.
+    pub fn unit_corrupted(&mut self) -> bool {
+        let hit = self.chance(self.cfg.bit_flip_per_unit);
+        if hit {
+            self.stats.bit_flips += 1;
+        }
+        hit
+    }
+
+    /// Entropy for choosing which byte/bit of a damaged unit to flip.
+    pub fn entropy(&mut self) -> u64 {
+        self.next_u64()
+    }
+
+    /// Draws the outcome of one media path load.
+    pub fn read_fault(&mut self) -> ReadFault {
+        let fail = self.chance(self.cfg.transient_read);
+        let stuck = self.chance(self.cfg.stuck_read);
+        let extra = self.next_u64();
+        if !fail {
+            return ReadFault::None;
+        }
+        self.stats.read_faults += 1;
+        if stuck {
+            self.stats.stuck_reads += 1;
+            ReadFault::Stuck
+        } else {
+            ReadFault::Transient {
+                attempts: 1 + (extra % 2) as u32,
+            }
+        }
+    }
+
+    /// Counters of everything injected so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// The plan's fault mix.
+    pub fn config(&self) -> FaultConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_seeds_produce_identical_schedules() {
+        let mut a = FaultPlan::new(7, FaultConfig::campaign_default());
+        let mut b = FaultPlan::new(7, FaultConfig::campaign_default());
+        for units in [0usize, 1, 5, 9, 3, 12] {
+            assert_eq!(a.round_fate(units), b.round_fate(units));
+            assert_eq!(a.unit_corrupted(), b.unit_corrupted());
+            assert_eq!(a.read_fault(), b.read_fault());
+            assert_eq!(a.entropy(), b.entropy());
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn disabled_plan_injects_nothing() {
+        let mut p = FaultPlan::new(3, FaultConfig::disabled());
+        for _ in 0..200 {
+            assert_eq!(p.round_fate(8), RoundFate::Intact);
+            assert!(!p.unit_corrupted());
+            assert_eq!(p.read_fault(), ReadFault::None);
+        }
+        assert_eq!(p.stats().total_injected(), 0);
+        assert!(FaultConfig::disabled().is_disabled());
+        assert!(!FaultConfig::campaign_default().is_disabled());
+    }
+
+    #[test]
+    fn torn_keeps_a_strict_prefix() {
+        let mut p = FaultPlan::new(11, FaultConfig::aggressive());
+        let mut saw_torn = false;
+        for _ in 0..500 {
+            if let RoundFate::Torn { kept } = p.round_fate(6) {
+                assert!(kept < 6, "a torn round must drop at least one unit");
+                saw_torn = true;
+            }
+        }
+        assert!(saw_torn, "aggressive mix never tore a round in 500 draws");
+        assert!(p.stats().torn_flushes > 0);
+    }
+
+    #[test]
+    fn empty_rounds_are_always_intact_but_consume_draws() {
+        let mut a = FaultPlan::new(5, FaultConfig::aggressive());
+        let mut b = FaultPlan::new(5, FaultConfig::aggressive());
+        assert_eq!(a.round_fate(0), RoundFate::Intact);
+        // b skips the empty round: streams must now diverge, proving the
+        // empty round consumed entropy (schedule independence).
+        let a_next = a.entropy();
+        let b_next = b.entropy();
+        assert_ne!(a_next, b_next);
+    }
+
+    #[test]
+    fn all_classes_fire_under_campaign_mix() {
+        let mut p = FaultPlan::new(0xCA_50, FaultConfig::campaign_default());
+        for _ in 0..3000 {
+            let _ = p.round_fate(8);
+            let _ = p.unit_corrupted();
+            let _ = p.read_fault();
+        }
+        let s = p.stats();
+        assert!(s.torn_flushes > 0, "no torn flush in 3000 draws");
+        assert!(s.signal_losses > 0, "no signal loss in 3000 draws");
+        assert!(s.duplicated_signals > 0, "no duplicated signal");
+        assert!(s.bit_flips > 0, "no bit flip");
+        assert!(s.read_faults > 0, "no read fault");
+        assert!(s.stuck_reads > 0, "no stuck read");
+        assert_eq!(s.fates_drawn, 3000);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(FaultClass::TornFlush.label(), "torn_flush");
+        assert_eq!(FaultClass::SignalLoss.to_string(), "signal_loss");
+        assert_eq!(FaultClass::DuplicatedSignal.label(), "duplicated_signal");
+        assert_eq!(FaultClass::MediaCorruption.label(), "media_corruption");
+        assert_eq!(FaultClass::TransientRead.label(), "transient_read");
+    }
+}

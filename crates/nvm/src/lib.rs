@@ -36,6 +36,7 @@
 mod bank;
 mod channel;
 mod controller;
+pub mod fault;
 pub mod onchip;
 mod request;
 mod stats;
@@ -44,9 +45,12 @@ pub mod wear;
 pub mod wpq;
 
 pub use controller::{NvmConfig, NvmController};
+pub use fault::{FaultClass, FaultConfig, FaultPlan, FaultStats, ReadFault, RoundFate};
 pub use onchip::OnChipNvmModel;
 pub use request::AccessKind;
 pub use stats::NvmStats;
 pub use timing::{MemTech, TimingParams, CORE_CYCLES_PER_MEM_CYCLE};
 pub use wear::{GapMove, StartGap};
-pub use wpq::{PersistenceDomain, Wpq, WpqEntry, WpqError, WpqStats};
+pub use wpq::{
+    BatchFrame, DamageRecord, PersistenceDomain, Wpq, WpqCrashOutcome, WpqEntry, WpqError, WpqStats,
+};

@@ -179,6 +179,26 @@ fn write_event(out: &mut String, pid: u32, e: &Event) {
             cycle,
             &[("consistent", consistent as u64)],
         ),
+        Event::FaultDetected { kind, units, cycle } => {
+            let name = format!("fault_{}", kind.label());
+            instant(out, pid, TID_CRASH, &name, cycle, &[("units", units)]);
+        }
+        Event::FaultRepaired {
+            repaired,
+            rolled_back,
+            cycle,
+        } => instant(
+            out,
+            pid,
+            TID_CRASH,
+            "fault_repaired",
+            cycle,
+            &[("repaired", repaired), ("rolled_back", rolled_back)],
+        ),
+        Event::Poisoned { kind, cycle } => {
+            let name = format!("poisoned_{}", kind.label());
+            instant(out, pid, TID_CRASH, &name, cycle, &[]);
+        }
     }
 }
 

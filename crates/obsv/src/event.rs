@@ -100,6 +100,44 @@ impl CacheLevel {
     }
 }
 
+/// Device-fault classification carried by the fault/recovery events.
+///
+/// Mirrors `psoram-nvm`'s `FaultClass`; duplicated here because this
+/// crate sits *below* `psoram-nvm` in the dependency graph and must stay
+/// dependency-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DeviceFaultKind {
+    /// An ADR drain tore mid-batch.
+    TornFlush,
+    /// A drainer end signal was dropped (whole round lost).
+    SignalLoss,
+    /// A drainer end signal was duplicated (round replayed).
+    DuplicatedSignal,
+    /// Media bit rot / interrupted cell programming.
+    MediaCorruption,
+    /// A media read failed (transiently or stuck).
+    TransientRead,
+}
+
+impl DeviceFaultKind {
+    /// Stable lowercase label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeviceFaultKind::TornFlush => "torn_flush",
+            DeviceFaultKind::SignalLoss => "signal_loss",
+            DeviceFaultKind::DuplicatedSignal => "duplicated_signal",
+            DeviceFaultKind::MediaCorruption => "media_corruption",
+            DeviceFaultKind::TransientRead => "transient_read",
+        }
+    }
+}
+
+impl fmt::Display for DeviceFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// A single typed observation, stamped with **simulated** cycles.
 ///
 /// Component ownership of the cycle domain:
@@ -222,6 +260,32 @@ pub enum Event {
         /// Core cycle at which recovery completed.
         cycle: u64,
     },
+    /// Recovery (or a guarded read) detected device-level damage.
+    FaultDetected {
+        /// What kind of damage was classified.
+        kind: DeviceFaultKind,
+        /// Persist units (slots / map entries) found damaged.
+        units: u64,
+        /// Core cycle of the detection.
+        cycle: u64,
+    },
+    /// A recovery pass finished its repair stage.
+    FaultRepaired {
+        /// Addresses whose committed value survived via a redundant copy.
+        repaired: u64,
+        /// Addresses rolled back or forgotten (detected, unrepairable).
+        rolled_back: u64,
+        /// Core cycle at which the repair stage completed.
+        cycle: u64,
+    },
+    /// The controller latched fail-safe poisoned state: damage it can
+    /// neither repair nor retry past. Every subsequent access errors.
+    Poisoned {
+        /// The fault class that forced the fail-safe.
+        kind: DeviceFaultKind,
+        /// Core cycle of the poisoning.
+        cycle: u64,
+    },
 }
 
 impl Event {
@@ -239,7 +303,10 @@ impl Event {
             | Event::WpqStall { cycle }
             | Event::CacheAccess { cycle, .. }
             | Event::Crash { cycle }
-            | Event::Recovery { cycle, .. } => cycle,
+            | Event::Recovery { cycle, .. }
+            | Event::FaultDetected { cycle, .. }
+            | Event::FaultRepaired { cycle, .. }
+            | Event::Poisoned { cycle, .. } => cycle,
             Event::Phase { start, .. } => start,
             Event::NvmAccess { arrival, .. } => arrival,
         }

@@ -54,7 +54,7 @@ mod recorder;
 mod tap;
 
 pub use chrome::chrome_trace_json;
-pub use event::{AccessKind, CacheLevel, Event, Phase, QueueKind};
+pub use event::{AccessKind, CacheLevel, DeviceFaultKind, Event, Phase, QueueKind};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSource};
 pub use recorder::{NoopRecorder, Recorder, RingBufferRecorder, DEFAULT_RING_CAPACITY};
 pub use tap::Tap;

@@ -264,6 +264,23 @@ impl MetricsRegistry {
                 Event::Recovery { .. } => {
                     self.add_counter(&Self::key(prefix, "recoveries"), 1);
                 }
+                Event::FaultDetected { kind, units, .. } => {
+                    self.add_counter(
+                        &Self::key(prefix, &format!("fault.detected.{}", kind.label())),
+                        units.max(1),
+                    );
+                }
+                Event::FaultRepaired {
+                    repaired,
+                    rolled_back,
+                    ..
+                } => {
+                    self.add_counter(&Self::key(prefix, "fault.repaired"), repaired);
+                    self.add_counter(&Self::key(prefix, "fault.rolled_back"), rolled_back);
+                }
+                Event::Poisoned { .. } => {
+                    self.add_counter(&Self::key(prefix, "fault.poisoned"), 1);
+                }
                 Event::AccessStart { .. }
                 | Event::AccessEnd { .. }
                 | Event::RoundBegin { .. }

@@ -10,7 +10,7 @@
 //! Usage:
 //!   crash_campaign [--smoke] [--mode exhaustive|random|both]
 //!                  [--seed N] [--out FILE] [--quiet] [--jobs N]
-//!                  [--device-faults] [--aggressive-faults]
+//!                  [--device-faults] [--aggressive-faults] [--replay-faults]
 //!                  [--trace-out FILE] [--metrics-out FILE]
 //!
 //! `--jobs` fans the per-design campaigns out across worker threads; the
@@ -23,6 +23,13 @@
 //! armed underneath every Path and Ring design. Hardened designs must
 //! repair, roll back with typed errors, or fail safe — never diverge
 //! silently — while the unhardened baselines must keep failing.
+//!
+//! `--replay-faults` (implies `--device-faults`) additionally arms the
+//! freshness adversary: stale replays, cross-address splices, and stale
+//! read serves against persisted units. Hardened designs must detect
+//! every injected replay through the authenticated counter tree, while
+//! the unhardened baselines must blindly serve stale data at least once
+//! (detection power).
 
 use psoram_bench::SimHarness;
 use psoram_faultsim::{CampaignReport, DeviceCampaignReport};
@@ -37,6 +44,7 @@ struct Args {
     quiet: bool,
     device_faults: bool,
     aggressive_faults: bool,
+    replay_faults: bool,
 }
 
 fn parse_args() -> Args {
@@ -50,6 +58,7 @@ fn parse_args() -> Args {
         quiet: false,
         device_faults: false,
         aggressive_faults: false,
+        replay_faults: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -58,6 +67,10 @@ fn parse_args() -> Args {
             "--quiet" => args.quiet = true,
             "--device-faults" => args.device_faults = true,
             "--aggressive-faults" => args.aggressive_faults = true,
+            "--replay-faults" => {
+                args.replay_faults = true;
+                args.device_faults = true;
+            }
             "--mode" => args.mode = it.next().unwrap_or_else(|| usage("--mode needs a value")),
             "--seed" => {
                 let v = it.next().unwrap_or_else(|| usage("--seed needs a value"));
@@ -123,6 +136,9 @@ fn usage(err: &str) -> ! {
          \x20                    flushes, signal loss, bit flips, read failures)\n\
          \x20 --aggressive-faults use the aggressive fault mix (implies more\n\
          \x20                    fail-safe rebuilds; requires --device-faults)\n\
+         \x20 --replay-faults    arm the freshness adversary (stale replays,\n\
+         \x20                    cross splices, stale read serves) in the device\n\
+         \x20                    campaign; implies --device-faults\n\
          \x20 --quiet            suppress the human-readable summary"
     );
     std::process::exit(2);
@@ -186,12 +202,17 @@ fn verdict(report: &CampaignReport) -> Result<(), String> {
 
 fn summarize_device(report: &DeviceCampaignReport) {
     eprintln!(
-        "== device-fault campaign (seed {}, {} mix) ==",
+        "== device-fault campaign (seed {}, {} mix{}) ==",
         report.seed,
         if report.aggressive {
             "aggressive"
         } else {
             "default"
+        },
+        if report.replay {
+            " + replay adversary"
+        } else {
+            ""
         }
     );
     for v in &report.variants {
@@ -215,12 +236,29 @@ fn summarize_device(report: &DeviceCampaignReport) {
                 "UNEXPECTED"
             },
         );
+        if report.replay {
+            eprintln!(
+                "  {:<22}   replay: injected {:>3} (stale {:>2}, splice {:>2})  \
+                 detected {:>3}  stale serves {:>3}/{:>3} caught  poisons {:>3}",
+                "",
+                v.device.injected.stale_replays + v.device.injected.cross_splices,
+                v.device.injected.stale_replays,
+                v.device.injected.cross_splices,
+                v.device.replays_detected + v.device.splices_detected,
+                v.device.stale_serves_detected,
+                v.device.stale_serves,
+                v.device.fetch_poisons,
+            );
+        }
     }
 }
 
 /// The device campaign is sound only if the injector actually fired, no
 /// hardened design diverged silently, and the unhardened baselines kept
-/// failing (detection power).
+/// failing (detection power). With the replay adversary armed, every
+/// hardened design must additionally account for every injected stale
+/// replay / cross splice and catch every stale read serve, and at least
+/// one unhardened baseline must blindly serve stale data.
 fn device_verdict(report: &DeviceCampaignReport) -> Result<(), String> {
     for v in &report.variants {
         if v.device.hardened && !v.report.matches_expectation {
@@ -249,6 +287,37 @@ fn device_verdict(report: &DeviceCampaignReport) -> Result<(), String> {
         return Err("no violation detected on any unhardened design under \
                     device faults: the oracle has no detection power"
             .into());
+    }
+    if report.replay {
+        if report.total_replays_injected() == 0 {
+            return Err("the replay adversary injected nothing — the injector is broken".into());
+        }
+        if !report.all_replays_detected() {
+            let v = report
+                .variants
+                .iter()
+                .filter(|v| v.device.hardened)
+                .find(|v| {
+                    let d = &v.device;
+                    d.replays_detected + d.splices_detected
+                        < d.injected.stale_replays + d.injected.cross_splices
+                        || d.stale_serves_detected != d.stale_serves
+                })
+                .map(|v| v.report.label.as_str())
+                .unwrap_or("?");
+            return Err(format!(
+                "{v}: a hardened design let an injected replay/splice or a \
+                 stale read serve go undetected"
+            ));
+        }
+        let baseline_blind = report.variants.iter().any(|v| {
+            !v.device.hardened && v.device.stale_serves > 0 && v.device.stale_serves_detected == 0
+        });
+        if !baseline_blind {
+            return Err("no unhardened design blindly served stale data: the \
+                        replay oracle has no detection power"
+                .into());
+        }
     }
     Ok(())
 }
@@ -295,9 +364,14 @@ fn main() {
         psoram_bench::write_obsv_file(path, &reg.to_json_string());
     }
 
-    let device_report = args
-        .device_faults
-        .then(|| harness.device_campaigns(args.smoke, args.seed, args.aggressive_faults));
+    let device_report = args.device_faults.then(|| {
+        harness.device_campaigns(
+            args.smoke,
+            args.seed,
+            args.aggressive_faults,
+            args.replay_faults,
+        )
+    });
 
     // With --device-faults the output array gains the device report as its
     // final element; without the flag the output is byte-identical to the
@@ -346,7 +420,15 @@ fn main() {
         } else if !args.quiet {
             eprintln!(
                 "PASS (device): hardened designs repaired, rolled back with typed \
-                 errors, or failed safe; unhardened data loss detected"
+                 errors, or failed safe; unhardened data loss detected{}",
+                if dev.replay {
+                    format!(
+                        "; all {} injected replays/splices detected",
+                        dev.total_replays_injected()
+                    )
+                } else {
+                    String::new()
+                }
             );
         }
     }

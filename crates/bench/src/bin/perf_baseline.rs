@@ -1,4 +1,4 @@
-//! Tracked performance baseline (`BENCH_04.json`).
+//! Tracked performance baseline (`BENCH_05.json`).
 //!
 //! Measures the functional speed of the simulator itself — distinct from
 //! the *simulated* cycle counts the figure binaries report (see DESIGN.md
@@ -9,17 +9,22 @@
 //! * CTR keystream throughput through `keystream_into`.
 //! * Single-thread ORAM accesses/sec for Path ORAM and Ring ORAM under
 //!   their PS variants (payload encryption on — the real hot path).
+//! * Freshness-verification overhead: the same Path instance with the
+//!   authenticated counter tree armed (inert fault plan — every fetch
+//!   verifies tag + counter, no damage is ever injected), reported as
+//!   accesses/sec and relative slowdown against the unauthenticated run.
 //! * Randomized crash-campaign wall-clock at `--jobs 1` vs `--jobs N`,
 //!   asserting the two reports are byte-identical.
-//! * Recovery latency over repeated crash→recover cycles, clean vs with
-//!   the device fault plan armed (recovery then authenticates, repairs,
-//!   and rolls back — the integrity tax on the recovery path).
+//! * Recovery latency over repeated crash→recover cycles: clean, with
+//!   the device fault plan armed (authenticate + repair + roll back),
+//!   and with the replay adversary armed on top (stale replays and
+//!   cross splices that the counter tree must detect during recovery).
 //!
 //! Usage:
 //!   perf_baseline [--smoke] [--out FILE] [--jobs N]
 //!
 //! `--smoke` shrinks every measurement for CI; the JSON shape is
-//! unchanged. Default output file is `BENCH_04.json` in the working
+//! unchanged. Default output file is `BENCH_05.json` in the working
 //! directory.
 
 use std::hint::black_box;
@@ -41,7 +46,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         smoke: false,
-        out: "BENCH_04.json".into(),
+        out: "BENCH_05.json".into(),
         jobs: psoram_faultsim::default_jobs(),
     };
     let mut it = std::env::args().skip(1);
@@ -72,7 +77,7 @@ fn usage(err: &str) -> ! {
         "perf_baseline: functional-speed baseline for the simulator\n\n\
          options:\n\
          \x20 --smoke     reduced iteration counts (CI gate)\n\
-         \x20 --out FILE  output JSON path (default BENCH_04.json)\n\
+         \x20 --out FILE  output JSON path (default BENCH_05.json)\n\
          \x20 --jobs N    parallel job count for the campaign comparison\n\
          \x20             (default: all cores)"
     );
@@ -108,12 +113,12 @@ fn time_blocks(blocks: u64, mut f: impl FnMut(&[u8; 16]) -> [u8; 16]) -> f64 {
 /// PS-ORAM Path instance, with `accesses` of uniform write traffic
 /// between crashes.
 ///
-/// With `device` set, the campaign fault mix is armed first, so each
-/// recovery also authenticates every unit it reads back and performs
-/// whatever repairs/rollbacks the injected damage demands — the delta
-/// against the clean run is the integrity tax on the recovery path.
-/// A poisoned instance (unrepairable damage) is rebuilt and the run
-/// continues until `crashes` recoveries have been timed.
+/// With a `mix` given, that fault plan is armed first, so each recovery
+/// also authenticates every unit it reads back and performs whatever
+/// repairs/rollbacks the injected damage demands — the delta against the
+/// clean run is the integrity tax on the recovery path. A poisoned
+/// instance (unrepairable damage) is rebuilt and the run continues until
+/// `crashes` recoveries have been timed.
 struct RecoveryLatency {
     mean_us: f64,
     max_us: f64,
@@ -121,9 +126,10 @@ struct RecoveryLatency {
     rollbacks: u64,
     incidents: u64,
     rebuilds: u64,
+    replays_detected: u64,
 }
 
-fn time_recovery(device: bool, crashes: usize, accesses: usize) -> RecoveryLatency {
+fn time_recovery(mix: Option<FaultConfig>, crashes: usize, accesses: usize) -> RecoveryLatency {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -137,17 +143,7 @@ fn time_recovery(device: bool, crashes: usize, accesses: usize) -> RecoveryLaten
             ProtocolVariant::PsOram,
             17 ^ epoch,
         ));
-        if device {
-            // Crash-drain damage only (torn rounds, lost/duplicated
-            // signals, bit flips): read faults during the traffic phase
-            // would poison and rebuild the instance, shrinking the
-            // committed set and making the clean/device means
-            // incomparable.
-            let mix = FaultConfig {
-                transient_read: 0.0,
-                stuck_read: 0.0,
-                ..FaultConfig::campaign_default()
-            };
+        if let Some(mix) = mix {
             oram.enable_device_faults(0xBE9C ^ epoch, mix);
         }
         oram
@@ -164,6 +160,7 @@ fn time_recovery(device: bool, crashes: usize, accesses: usize) -> RecoveryLaten
         rollbacks: 0,
         incidents: 0,
         rebuilds: 0,
+        replays_detected: 0,
     };
     let mut total_secs = 0.0f64;
     let mut measured = 0usize;
@@ -191,6 +188,7 @@ fn time_recovery(device: bool, crashes: usize, accesses: usize) -> RecoveryLaten
         out.repairs += rec.repairs;
         out.rollbacks += rec.rolled_back.len() as u64;
         out.incidents += rec.incidents.len() as u64;
+        out.replays_detected += rec.replays_detected + rec.splices_detected;
         if rec.poisoned {
             out.rebuilds += 1;
             oram = build(out.rebuilds);
@@ -234,10 +232,22 @@ fn main() {
     path_cfg.data_wpq_capacity = path_cfg.path_slots();
     path_cfg.posmap_wpq_capacity = path_cfg.path_slots();
     let mut path: Box<dyn ProtocolPolicy> =
-        Box::new(PathOram::new(path_cfg, ProtocolVariant::PsOram, 11));
+        Box::new(PathOram::new(path_cfg.clone(), ProtocolVariant::PsOram, 11));
     let t = Instant::now();
     drive_uniform_writes("Path", &mut *path, oram_accesses, 3);
     let path_aps = oram_accesses as f64 / t.elapsed().as_secs_f64().max(1e-9);
+
+    // Same instance shape with the authenticated counter tree armed and an
+    // inert fault plan: every fetch verifies tag + counter against the
+    // trusted tree, but no damage ever lands. The delta against the plain
+    // run is the freshness-verification tax on the access path.
+    eprintln!("[oram: {oram_accesses} accesses, Path with freshness verification armed]");
+    let mut path_auth: Box<dyn ProtocolPolicy> =
+        Box::new(PathOram::new(path_cfg, ProtocolVariant::PsOram, 11));
+    path_auth.enable_device_faults(0xF2E5, FaultConfig::disabled());
+    let t = Instant::now();
+    drive_uniform_writes("Path+auth", &mut *path_auth, oram_accesses, 3);
+    let path_auth_aps = oram_accesses as f64 / t.elapsed().as_secs_f64().max(1e-9);
 
     let mut ring_cfg = RingConfig {
         levels,
@@ -251,9 +261,27 @@ fn main() {
     let ring_aps = oram_accesses as f64 / t.elapsed().as_secs_f64().max(1e-9);
 
     let (rec_crashes, rec_accesses) = if args.smoke { (8, 60) } else { (40, 200) };
-    eprintln!("[recovery: {rec_crashes} crash->recover cycles, clean vs device faults]");
-    let rec_clean = time_recovery(false, rec_crashes, rec_accesses);
-    let rec_device = time_recovery(true, rec_crashes, rec_accesses);
+    eprintln!(
+        "[recovery: {rec_crashes} crash->recover cycles, clean vs device faults vs replay mix]"
+    );
+    // Crash-drain damage only (torn rounds, lost/duplicated signals, bit
+    // flips): read faults during the traffic phase would poison and
+    // rebuild the instance, shrinking the committed set and making the
+    // per-mix means incomparable.
+    let device_mix = FaultConfig {
+        transient_read: 0.0,
+        stuck_read: 0.0,
+        ..FaultConfig::campaign_default()
+    };
+    let replay_mix = FaultConfig {
+        transient_read: 0.0,
+        stuck_read: 0.0,
+        read_replay: 0.0,
+        ..FaultConfig::replay_mix()
+    };
+    let rec_clean = time_recovery(None, rec_crashes, rec_accesses);
+    let rec_device = time_recovery(Some(device_mix), rec_crashes, rec_accesses);
+    let rec_replay = time_recovery(Some(replay_mix), rec_crashes, rec_accesses);
 
     eprintln!(
         "[campaign: random smoke sweep, --jobs 1 vs --jobs {}]",
@@ -298,6 +326,12 @@ fn main() {
             "path_ps_accesses_per_sec": path_aps,
             "ring_ps_accesses_per_sec": ring_aps,
         },
+        "freshness_verification": {
+            "accesses": oram_accesses,
+            "path_ps_plain_accesses_per_sec": path_aps,
+            "path_ps_authenticated_accesses_per_sec": path_auth_aps,
+            "verification_slowdown": path_aps / path_auth_aps.max(1e-9),
+        },
         "recovery_latency": {
             "crashes": rec_crashes,
             "accesses_between_crashes": rec_accesses,
@@ -313,6 +347,16 @@ fn main() {
                 "incidents": rec_device.incidents,
                 "rebuilds": rec_device.rebuilds,
                 "slowdown_vs_clean": rec_device.mean_us / rec_clean.mean_us.max(1e-9),
+            },
+            "replay_mix": {
+                "mean_us": rec_replay.mean_us,
+                "max_us": rec_replay.max_us,
+                "repairs": rec_replay.repairs,
+                "rollbacks": rec_replay.rollbacks,
+                "incidents": rec_replay.incidents,
+                "rebuilds": rec_replay.rebuilds,
+                "replays_detected": rec_replay.replays_detected,
+                "slowdown_vs_clean": rec_replay.mean_us / rec_clean.mean_us.max(1e-9),
             },
         },
         "campaign_wall_clock": {
@@ -344,13 +388,22 @@ fn main() {
         args.jobs
     );
     eprintln!(
-        "recovery: clean {:.0} us -> device-faults {:.0} us mean \
-         ({} repairs, {} rollbacks, {} rebuilds over {} crashes)",
+        "recovery: clean {:.0} us -> device-faults {:.0} us -> replay-mix {:.0} us mean \
+         ({} repairs, {} rollbacks, {} rebuilds over {} crashes; \
+         {} replays/splices detected under the replay mix)",
         rec_clean.mean_us,
         rec_device.mean_us,
+        rec_replay.mean_us,
         rec_device.repairs,
         rec_device.rollbacks,
         rec_device.rebuilds,
-        rec_crashes
+        rec_crashes,
+        rec_replay.replays_detected
+    );
+    eprintln!(
+        "freshness: {:.0} acc/s plain -> {:.0} acc/s authenticated ({:.2}x slowdown)",
+        path_aps,
+        path_auth_aps,
+        path_aps / path_auth_aps.max(1e-9)
     );
 }

@@ -315,12 +315,16 @@ impl SimHarness {
     /// Runs the device-fault campaign: the randomized crash campaign with
     /// a seeded device fault plan (torn flushes, lost/duplicated WPQ
     /// signals, persisted bit flips, read failures) armed underneath every
-    /// Path and Ring design. Deterministic in `seed` at any job count.
+    /// Path and Ring design. With `replay` the plan also arms the
+    /// freshness adversary (stale replays, cross splices, stale read
+    /// serves), which the authenticated counter tree must detect.
+    /// Deterministic in `seed` at any job count.
     pub fn device_campaigns(
         &self,
         smoke: bool,
         seed: Option<u64>,
         aggressive: bool,
+        replay: bool,
     ) -> DeviceCampaignReport {
         let mut cfg = if smoke {
             DeviceCampaignConfig::smoke()
@@ -331,6 +335,7 @@ impl SimHarness {
             cfg.seed = s;
         }
         cfg.aggressive = aggressive;
+        cfg.replay = replay;
         device_campaign(&cfg)
     }
 

@@ -1,22 +1,38 @@
-//! AES-CMAC authentication tags over NVM-resident controller state.
+//! Freshness-protected AES-CMAC authentication over NVM-resident state.
 //!
-//! With a device fault plan installed, recovery can no longer trust what
-//! it reads back from media: torn programming and bit rot return
-//! plausible-looking garbage. [`AuthTags`] maintains per-unit CMAC tags
-//! (RFC 4493, over the dependency-free `psoram-crypto` AES) for the
-//! three NVM-resident structures the tentpole threat model names:
+//! PR-5 gave recovery *integrity*: per-unit CMAC tags (RFC 4493, over the
+//! dependency-free `psoram-crypto` AES) that convict torn programming and
+//! bit rot. This module upgrades the layer to *freshness*. The threat
+//! model sharpens: per-unit tags and version counters now conceptually
+//! live **off-chip next to the data they cover**, so an adversary with
+//! media access can replay a stale-but-authentic `(content, record)` pair
+//! or splice an authentic record across addresses, and every per-unit
+//! check still passes. The only trusted state is the on-chip
+//! [`CounterTree`]: per-unit monotonic version counters aggregated (XOR
+//! of per-unit digests, grouped by ORAM tree level) into a single root
+//! digest that the persist engine stores atomically each round.
 //!
-//! * **tree slots** — one tag per `(bucket, slot)` over the stored
-//!   block's canonical bytes (or a dummy marker for empty slots);
-//! * **persisted PosMap entries** — one tag per address over the
-//!   `(addr, leaf)` pair;
-//! * **the temporary PosMap** — one rolling seal over the sorted entry
-//!   list (WPQ batch frames carry their own tags inside `psoram-nvm`).
+//! Three structures cooperate:
 //!
-//! Tags live on-chip (they model a dedicated SRAM/eDRAM tag store, like
-//! Anubis' shadow metadata region) and are therefore *trusted*: a
-//! mismatch between a tag and the bytes read back from NVM is definitive
-//! evidence of media damage, which recovery then classifies and repairs.
+//! * [`UnitMeta`] — the off-chip stored record: the unit's version
+//!   counter, its source identity `(bucket, slot)` or `(addr, _)`, and a
+//!   CMAC tag binding counter + identity + canonical content bytes. An
+//!   adversary may copy, re-serve, or relocate records wholesale.
+//! * [`CounterTree`] — the on-chip trusted anchor. Each write bumps the
+//!   unit's counter in O(1): the unit's old digest is XORed out of its
+//!   tree-level aggregate and the new one XORed in, so the root is a pure
+//!   function of the final counter map — independent of persist order.
+//! * [`AuthTags`] — the verification front end. [`AuthTags::verdict_slot`]
+//!   classifies what it reads back: `Tampered` (tag mismatch — media
+//!   damage), `Spliced` (authentic record for a *different* address),
+//!   `Stale` (authentic record whose counter lags the trusted one — a
+//!   replay), `Missing` (trusted counter exists but the record is gone —
+//!   rollback to genesis), or `Clean`.
+//!
+//! The temporary PosMap seal is unchanged from PR-5: it models an on-chip
+//! rolling seal and is not replayable in this model.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::collections::HashMap;
 
@@ -24,6 +40,16 @@ use psoram_crypto::{Aes128, Cmac};
 
 use crate::block::Block;
 use crate::tree::BucketIndex;
+use crate::types::Leaf;
+
+/// CMAC domain byte for tree-slot records.
+const DOMAIN_SLOT: u8 = 0x51;
+/// CMAC domain byte for persisted PosMap records.
+const DOMAIN_POSMAP: u8 = 0x9A;
+/// CMAC domain byte for counter-tree per-unit digests.
+const DOMAIN_CTR: u8 = 0xC7;
+/// CMAC domain byte for the counter-tree root.
+const DOMAIN_ROOT: u8 = 0x52;
 
 /// Canonical byte serialization of a tree slot's content.
 ///
@@ -59,79 +85,505 @@ fn temp_bytes(entries: &[(u64, u64)]) -> Vec<u8> {
     out
 }
 
-/// The on-chip tag store: per-unit CMAC tags over NVM-resident state.
+/// Constant-shape 16-byte tag comparison.
+fn tags_equal(a: &[u8; 16], b: &[u8; 16]) -> bool {
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// A stale snapshot the adversary re-serves on the fetch wire: the
+/// unit's coordinates plus the `(content, record)` pair as they stood
+/// before the last overwrite.
+pub(crate) type StaleServe = ((u64, usize), Option<Block>, Option<UnitMeta>);
+
+/// The off-chip stored record accompanying one persisted unit.
+///
+/// Conceptually this lives on NVM next to the content it covers, so an
+/// adversary can snapshot and re-serve it (`Stale`), move it to another
+/// address (`Spliced`), or delete it (`Missing`). The tag binds the
+/// source identity, the version counter, and the canonical content
+/// bytes, so a record is internally consistent even when replayed — only
+/// the trusted [`CounterTree`] can convict it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitMeta {
+    /// The version counter the record was written under.
+    pub ctr: u64,
+    /// The identity the record was written for: `(bucket, slot)` for
+    /// tree slots, `(addr, 0)` for persisted PosMap entries.
+    pub src: (u64, u64),
+    /// CMAC over `(src, ctr, content)` under the unit's domain.
+    pub tag: [u8; 16],
+}
+
+/// The outcome of verifying one stored unit against its record and the
+/// trusted counter tree, ordered worst evidence first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FreshnessVerdict {
+    /// Record present, authentic, at the right address, and fresh.
+    Clean,
+    /// The tag does not cover the bytes read back: media damage.
+    Tampered,
+    /// An authentic record for a *different* address was served here.
+    Spliced,
+    /// An authentic record for this address whose counter lags the
+    /// trusted one: a replay of a stale version.
+    Stale,
+    /// The trusted counter says the unit was written, but no record was
+    /// found: rollback to genesis.
+    Missing,
+}
+
+impl FreshnessVerdict {
+    /// Stable lowercase label for traces and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FreshnessVerdict::Clean => "clean",
+            FreshnessVerdict::Tampered => "tampered",
+            FreshnessVerdict::Spliced => "spliced",
+            FreshnessVerdict::Stale => "stale",
+            FreshnessVerdict::Missing => "missing",
+        }
+    }
+
+    /// The NVM-layer fault class a non-clean verdict convicts, for
+    /// classification and fail-safe poisoning. `Clean` maps to `None`.
+    pub(crate) fn fault_class(&self) -> Option<psoram_nvm::FaultClass> {
+        use psoram_nvm::FaultClass;
+        match self {
+            FreshnessVerdict::Clean => None,
+            FreshnessVerdict::Tampered => Some(FaultClass::MediaCorruption),
+            FreshnessVerdict::Spliced => Some(FaultClass::CrossSplice),
+            FreshnessVerdict::Stale | FreshnessVerdict::Missing => Some(FaultClass::StaleReplay),
+        }
+    }
+}
+
+/// Fetch-path freshness counters kept by a controller.
+///
+/// `stale_serves` is ground truth — incremented whenever the adversary
+/// actually serves a stale unit on the read path, hardened or not.
+/// `stale_serves_detected` counts the serves the freshness check caught.
+/// A hardened design must keep the two equal; an unhardened baseline
+/// consumes the stale bytes silently and the gap convicts it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FreshnessStats {
+    /// Stale units actually served on the fetch path (ground truth).
+    pub stale_serves: u64,
+    /// Stale serves the freshness verification detected and discarded.
+    pub stale_serves_detected: u64,
+    /// Fetch-path verifications that failed hard enough to poison.
+    pub fetch_poisons: u64,
+}
+
+impl FreshnessStats {
+    /// True when every injected stale serve was detected.
+    pub fn all_detected(&self) -> bool {
+        self.stale_serves_detected == self.stale_serves
+    }
+
+    /// Field-wise accumulation (for campaign aggregation).
+    pub fn merge(&mut self, other: &FreshnessStats) {
+        self.stale_serves += other.stale_serves;
+        self.stale_serves_detected += other.stale_serves_detected;
+        self.fetch_poisons += other.fetch_poisons;
+    }
+}
+
+/// The on-chip trusted freshness anchor: per-unit monotonic version
+/// counters aggregated into one root digest.
+///
+/// Every persisted unit (tree slot or PosMap entry) owns a counter that
+/// bumps on each write. Each `(unit, ctr)` pair has a CMAC-derived
+/// 128-bit digest; digests are XOR-folded per ORAM tree level (PosMap
+/// entries fold into their own aggregate), and the root is a CMAC over
+/// `(epoch, level aggregates, posmap aggregate)`. A bump is O(1): XOR
+/// the old digest out, XOR the new digest in. The root is therefore a
+/// pure function of the final counter map — two equivalent persist
+/// schedules that end in the same counters produce bit-identical roots.
+#[derive(Debug, Clone)]
+pub struct CounterTree {
+    cmac: Cmac,
+    slots: HashMap<(u64, usize), u64>,
+    posmap: HashMap<u64, u64>,
+    levels: Vec<u128>,
+    posmap_agg: u128,
+    epoch: u64,
+}
+
+impl CounterTree {
+    /// Creates an empty counter tree keyed with `key`.
+    pub fn new(key: &[u8; 16]) -> Self {
+        CounterTree {
+            cmac: Cmac::new(Aes128::new(key)),
+            slots: HashMap::new(),
+            posmap: HashMap::new(),
+            levels: Vec::new(),
+            posmap_agg: 0,
+            epoch: 0,
+        }
+    }
+
+    /// Tree level of a heap-indexed bucket (root = level 0).
+    fn level_of(bucket: u64) -> usize {
+        (bucket + 1).ilog2() as usize
+    }
+
+    fn slot_digest(&self, bucket: u64, slot: usize, ctr: u64) -> u128 {
+        u128::from_le_bytes(self.cmac.tag_parts(
+            DOMAIN_CTR,
+            &[
+                b"slot",
+                &bucket.to_le_bytes(),
+                &(slot as u64).to_le_bytes(),
+                &ctr.to_le_bytes(),
+            ],
+        ))
+    }
+
+    fn posmap_digest(&self, addr: u64, ctr: u64) -> u128 {
+        u128::from_le_bytes(self.cmac.tag_parts(
+            DOMAIN_CTR,
+            &[b"posmap", &addr.to_le_bytes(), &ctr.to_le_bytes()],
+        ))
+    }
+
+    /// Bumps the counter of tree slot `(bucket, slot)` and returns the
+    /// new value. O(1): only the slot's level aggregate changes.
+    pub fn bump_slot(&mut self, bucket: u64, slot: usize) -> u64 {
+        let level = Self::level_of(bucket);
+        if self.levels.len() <= level {
+            self.levels.resize(level + 1, 0);
+        }
+        let prev = self.slots.get(&(bucket, slot)).copied();
+        if let Some(c) = prev {
+            let out = self.slot_digest(bucket, slot, c);
+            self.levels[level] ^= out;
+        }
+        let next = prev.unwrap_or(0) + 1;
+        let digest = self.slot_digest(bucket, slot, next);
+        self.levels[level] ^= digest;
+        self.slots.insert((bucket, slot), next);
+        next
+    }
+
+    /// Bumps the counter of PosMap address `addr` and returns the new
+    /// value.
+    pub fn bump_posmap(&mut self, addr: u64) -> u64 {
+        let prev = self.posmap.get(&addr).copied();
+        if let Some(c) = prev {
+            let out = self.posmap_digest(addr, c);
+            self.posmap_agg ^= out;
+        }
+        let next = prev.unwrap_or(0) + 1;
+        let digest = self.posmap_digest(addr, next);
+        self.posmap_agg ^= digest;
+        self.posmap.insert(addr, next);
+        next
+    }
+
+    /// The trusted counter of a tree slot, if the slot was ever written.
+    pub fn slot_ctr(&self, bucket: u64, slot: usize) -> Option<u64> {
+        self.slots.get(&(bucket, slot)).copied()
+    }
+
+    /// The trusted counter of a PosMap address, if it was ever persisted.
+    pub fn posmap_ctr(&self, addr: u64) -> Option<u64> {
+        self.posmap.get(&addr).copied()
+    }
+
+    /// All tracked slots in deterministic (sorted) order.
+    pub fn tracked_slots_sorted(&self) -> Vec<(u64, usize)> {
+        let mut v: Vec<(u64, usize)> = self.slots.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// All tracked PosMap addresses in deterministic (sorted) order.
+    pub fn tracked_posmap_sorted(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.posmap.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The current epoch (bumped once per recovery).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advances the epoch, versioning the root across recoveries.
+    pub fn advance_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// The root digest: CMAC over the epoch, every tree-level aggregate,
+    /// and the PosMap aggregate. Depends only on the final counter map
+    /// and the epoch.
+    pub fn root(&self) -> [u8; 16] {
+        let epoch = self.epoch.to_le_bytes();
+        let level_bytes: Vec<[u8; 16]> = self.levels.iter().map(|l| l.to_le_bytes()).collect();
+        let pos = self.posmap_agg.to_le_bytes();
+        let mut parts: Vec<&[u8]> = Vec::with_capacity(2 + level_bytes.len());
+        parts.push(&epoch);
+        for lb in &level_bytes {
+            parts.push(lb);
+        }
+        parts.push(&pos);
+        self.cmac.tag_parts(DOMAIN_ROOT, &parts)
+    }
+}
+
+/// The adversary's snapshot store: for each unit, the `(content, record)`
+/// pair that was current *before* the most recent write.
+///
+/// The replay/splice adversary records authentic prior versions as the
+/// controller overwrites units, then re-serves them at crash time or on
+/// the read path. This is adversary state, not defense state: it is
+/// installed alongside the fault plan on hardened *and* baseline
+/// designs, so both face the same attack.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct UnitHistory {
+    slots: HashMap<(BucketIndex, usize), (Option<Block>, Option<UnitMeta>)>,
+    posmap: HashMap<u64, (Leaf, Option<UnitMeta>)>,
+}
+
+impl UnitHistory {
+    /// Records the pre-write state of a tree slot.
+    pub fn note_slot(
+        &mut self,
+        bucket: BucketIndex,
+        slot: usize,
+        prev_content: Option<Block>,
+        prev_meta: Option<UnitMeta>,
+    ) {
+        self.slots.insert((bucket, slot), (prev_content, prev_meta));
+    }
+
+    /// The recorded prior version of a tree slot, if any.
+    pub fn slot(
+        &self,
+        bucket: BucketIndex,
+        slot: usize,
+    ) -> Option<&(Option<Block>, Option<UnitMeta>)> {
+        self.slots.get(&(bucket, slot))
+    }
+
+    /// Records the pre-write state of a persisted PosMap entry.
+    pub fn note_posmap(&mut self, addr: u64, prev_leaf: Leaf, prev_meta: Option<UnitMeta>) {
+        self.posmap.insert(addr, (prev_leaf, prev_meta));
+    }
+
+    /// The recorded prior version of a persisted PosMap entry, if any.
+    pub fn posmap(&self, addr: u64) -> Option<&(Leaf, Option<UnitMeta>)> {
+        self.posmap.get(&addr)
+    }
+}
+
+/// The verification front end: off-chip per-unit records plus the
+/// on-chip trusted [`CounterTree`].
 #[derive(Debug, Clone)]
 pub(crate) struct AuthTags {
     cmac: Cmac,
-    slots: HashMap<(BucketIndex, usize), [u8; 16]>,
-    posmap: HashMap<u64, [u8; 16]>,
+    ctrs: CounterTree,
+    slots: HashMap<(BucketIndex, usize), UnitMeta>,
+    posmap: HashMap<u64, UnitMeta>,
     temp_seal: Option<[u8; 16]>,
 }
 
 impl AuthTags {
-    /// Creates an empty tag store keyed with `key`.
+    /// Creates an empty store keyed with `key`.
     pub fn new(key: &[u8; 16]) -> Self {
         AuthTags {
             cmac: Cmac::new(Aes128::new(key)),
+            ctrs: CounterTree::new(key),
             slots: HashMap::new(),
             posmap: HashMap::new(),
             temp_seal: None,
         }
     }
 
-    /// Records (or refreshes) the tag of `(bucket, slot)` over `content`.
+    fn slot_tag(&self, src: (u64, u64), ctr: u64, content: Option<&Block>) -> [u8; 16] {
+        self.cmac.tag_parts(
+            DOMAIN_SLOT,
+            &[
+                &src.0.to_le_bytes(),
+                &src.1.to_le_bytes(),
+                &ctr.to_le_bytes(),
+                &slot_bytes(content),
+            ],
+        )
+    }
+
+    fn posmap_tag(&self, src: (u64, u64), ctr: u64, leaf: u64) -> [u8; 16] {
+        self.cmac.tag_parts(
+            DOMAIN_POSMAP,
+            &[
+                &src.0.to_le_bytes(),
+                &src.1.to_le_bytes(),
+                &ctr.to_le_bytes(),
+                &leaf.to_le_bytes(),
+            ],
+        )
+    }
+
+    /// Records (or refreshes) `(bucket, slot)` over `content`: bumps the
+    /// trusted counter and stores a fresh off-chip record.
     pub fn record_slot(&mut self, bucket: BucketIndex, slot: usize, content: Option<&Block>) {
-        let tag = self.cmac.tag(&slot_bytes(content));
-        self.slots.insert((bucket, slot), tag);
+        let ctr = self.ctrs.bump_slot(bucket, slot);
+        let src = (bucket, slot as u64);
+        let tag = self.slot_tag(src, ctr, content);
+        self.slots
+            .insert((bucket, slot), UnitMeta { ctr, src, tag });
     }
 
-    /// Verifies `(bucket, slot)` against `content`. Untagged slots verify
-    /// clean — tags only cover units the controller has written since
-    /// hardening was enabled.
-    pub fn verify_slot(&self, bucket: BucketIndex, slot: usize, content: Option<&Block>) -> bool {
-        match self.slots.get(&(bucket, slot)) {
-            Some(tag) => self.cmac.verify(&slot_bytes(content), tag),
-            None => true,
-        }
+    /// Classifies `(bucket, slot)` against `content`, worst evidence
+    /// first: `Tampered` beats `Spliced` beats `Stale`. Untracked slots
+    /// verify `Clean`; a tracked slot with no record is `Missing`.
+    pub fn verdict_slot(
+        &self,
+        bucket: BucketIndex,
+        slot: usize,
+        content: Option<&Block>,
+    ) -> FreshnessVerdict {
+        self.classify_served_slot(bucket, slot, content, self.slots.get(&(bucket, slot)))
     }
 
-    /// All tagged slots in deterministic (sorted) order.
-    pub fn tagged_slots_sorted(&self) -> Vec<(BucketIndex, usize)> {
-        let mut v: Vec<(BucketIndex, usize)> = self.slots.keys().copied().collect();
-        v.sort_unstable();
-        v
-    }
-
-    /// Records (or refreshes) the tag of the persisted PosMap entry.
-    pub fn record_posmap(&mut self, addr: u64, leaf: u64) {
-        let mut msg = [0u8; 17];
-        msg[0] = 0x9A;
-        msg[1..9].copy_from_slice(&addr.to_le_bytes());
-        msg[9..17].copy_from_slice(&leaf.to_le_bytes());
-        let tag = self.cmac.tag(&msg);
-        self.posmap.insert(addr, tag);
-    }
-
-    /// Verifies the persisted PosMap entry of `addr`. Untagged entries
-    /// verify clean.
-    pub fn verify_posmap(&self, addr: u64, leaf: u64) -> bool {
-        match self.posmap.get(&addr) {
-            Some(tag) => {
-                let mut msg = [0u8; 17];
-                msg[0] = 0x9A;
-                msg[1..9].copy_from_slice(&addr.to_le_bytes());
-                msg[9..17].copy_from_slice(&leaf.to_le_bytes());
-                self.cmac.verify(&msg, tag)
+    /// Classifies an arbitrary served `(content, record)` pair claiming
+    /// to be `(bucket, slot)` — the fetch-path wire check, where the
+    /// record under test is whatever the device *served*, not the
+    /// stored one.
+    pub fn classify_served_slot(
+        &self,
+        bucket: BucketIndex,
+        slot: usize,
+        content: Option<&Block>,
+        rec: Option<&UnitMeta>,
+    ) -> FreshnessVerdict {
+        match rec {
+            None => {
+                if self.ctrs.slot_ctr(bucket, slot).is_some() {
+                    FreshnessVerdict::Missing
+                } else {
+                    FreshnessVerdict::Clean
+                }
             }
-            None => true,
+            Some(m) => {
+                let expected = self.slot_tag(m.src, m.ctr, content);
+                if !tags_equal(&expected, &m.tag) {
+                    FreshnessVerdict::Tampered
+                } else if m.src != (bucket, slot as u64) {
+                    FreshnessVerdict::Spliced
+                } else if Some(m.ctr) != self.ctrs.slot_ctr(bucket, slot) {
+                    FreshnessVerdict::Stale
+                } else {
+                    FreshnessVerdict::Clean
+                }
+            }
         }
     }
 
-    /// All tagged PosMap addresses in deterministic (sorted) order.
+    /// Boolean form of [`AuthTags::verdict_slot`].
+    pub fn verify_slot(&self, bucket: BucketIndex, slot: usize, content: Option<&Block>) -> bool {
+        self.verdict_slot(bucket, slot, content) == FreshnessVerdict::Clean
+    }
+
+    /// All tracked slots in deterministic (sorted) order. Driven by the
+    /// trusted counter tree, so a unit whose record was deleted by the
+    /// adversary is still visited at recovery.
+    pub fn tagged_slots_sorted(&self) -> Vec<(BucketIndex, usize)> {
+        self.ctrs.tracked_slots_sorted()
+    }
+
+    /// Records (or refreshes) the persisted PosMap entry of `addr`.
+    pub fn record_posmap(&mut self, addr: u64, leaf: u64) {
+        let ctr = self.ctrs.bump_posmap(addr);
+        let src = (addr, 0);
+        let tag = self.posmap_tag(src, ctr, leaf);
+        self.posmap.insert(addr, UnitMeta { ctr, src, tag });
+    }
+
+    /// Classifies the persisted PosMap entry of `addr` against `leaf`.
+    pub fn verdict_posmap(&self, addr: u64, leaf: u64) -> FreshnessVerdict {
+        match self.posmap.get(&addr) {
+            None => {
+                if self.ctrs.posmap_ctr(addr).is_some() {
+                    FreshnessVerdict::Missing
+                } else {
+                    FreshnessVerdict::Clean
+                }
+            }
+            Some(m) => {
+                let expected = self.posmap_tag(m.src, m.ctr, leaf);
+                if !tags_equal(&expected, &m.tag) {
+                    FreshnessVerdict::Tampered
+                } else if m.src != (addr, 0) {
+                    FreshnessVerdict::Spliced
+                } else if Some(m.ctr) != self.ctrs.posmap_ctr(addr) {
+                    FreshnessVerdict::Stale
+                } else {
+                    FreshnessVerdict::Clean
+                }
+            }
+        }
+    }
+
+    /// Boolean form of [`AuthTags::verdict_posmap`].
+    #[cfg(test)]
+    pub fn verify_posmap(&self, addr: u64, leaf: u64) -> bool {
+        self.verdict_posmap(addr, leaf) == FreshnessVerdict::Clean
+    }
+
+    /// All tracked PosMap addresses in deterministic (sorted) order.
     pub fn tagged_posmap_sorted(&self) -> Vec<u64> {
-        let mut v: Vec<u64> = self.posmap.keys().copied().collect();
-        v.sort_unstable();
-        v
+        self.ctrs.tracked_posmap_sorted()
+    }
+
+    /// The off-chip record of a tree slot (adversary hook).
+    pub fn slot_record(&self, bucket: BucketIndex, slot: usize) -> Option<UnitMeta> {
+        self.slots.get(&(bucket, slot)).copied()
+    }
+
+    /// Overwrites (or deletes) the off-chip record of a tree slot
+    /// *without* touching the trusted counter (adversary hook).
+    pub fn set_slot_record(&mut self, bucket: BucketIndex, slot: usize, rec: Option<UnitMeta>) {
+        match rec {
+            Some(m) => {
+                self.slots.insert((bucket, slot), m);
+            }
+            None => {
+                self.slots.remove(&(bucket, slot));
+            }
+        }
+    }
+
+    /// The off-chip record of a persisted PosMap entry (adversary hook).
+    pub fn posmap_record(&self, addr: u64) -> Option<UnitMeta> {
+        self.posmap.get(&addr).copied()
+    }
+
+    /// Overwrites (or deletes) the off-chip record of a PosMap entry
+    /// *without* touching the trusted counter (adversary hook).
+    pub fn set_posmap_record(&mut self, addr: u64, rec: Option<UnitMeta>) {
+        match rec {
+            Some(m) => {
+                self.posmap.insert(addr, m);
+            }
+            None => {
+                self.posmap.remove(&addr);
+            }
+        }
+    }
+
+    /// The trusted counter-tree root digest.
+    pub fn root(&self) -> [u8; 16] {
+        self.ctrs.root()
+    }
+
+    /// Advances the counter-tree epoch (once per recovery).
+    pub fn advance_epoch(&mut self) {
+        self.ctrs.advance_epoch();
     }
 
     /// Reseals the temporary PosMap over its sorted entry list.
@@ -175,7 +627,11 @@ mod tests {
 
         let mut evil = b.clone();
         evil.payload[3] ^= 0x40;
-        assert!(!t.verify_slot(9, 2, Some(&evil)), "payload flip undetected");
+        assert_eq!(
+            t.verdict_slot(9, 2, Some(&evil)),
+            FreshnessVerdict::Tampered,
+            "payload flip undetected"
+        );
 
         let mut evil = b.clone();
         evil.header.seq += 1;
@@ -193,9 +649,10 @@ mod tests {
     #[test]
     fn dummy_and_untagged_slots() {
         let mut t = tags();
-        // Untagged: anything verifies.
+        // Untracked: anything verifies.
         assert!(t.verify_slot(1, 0, Some(&blk(1, 1))));
         assert!(t.verify_slot(1, 0, None));
+        assert_eq!(t.verdict_slot(1, 0, None), FreshnessVerdict::Clean);
         // Tagged dummy: a materialized block is damage.
         t.record_slot(1, 0, None);
         assert!(t.verify_slot(1, 0, None));
@@ -210,8 +667,8 @@ mod tests {
         let mut t = tags();
         t.record_posmap(4, 11);
         assert!(t.verify_posmap(4, 11));
-        assert!(!t.verify_posmap(4, 12));
-        assert!(t.verify_posmap(5, 0), "untagged address verifies clean");
+        assert_eq!(t.verdict_posmap(4, 12), FreshnessVerdict::Tampered);
+        assert!(t.verify_posmap(5, 0), "untracked address verifies clean");
         assert_eq!(t.tagged_posmap_sorted(), vec![4]);
     }
 
@@ -234,5 +691,239 @@ mod tests {
         t.record_slot(2, 3, None);
         t.record_slot(2, 0, None);
         assert_eq!(t.tagged_slots_sorted(), vec![(2, 0), (2, 3), (9, 1)]);
+    }
+
+    #[test]
+    fn replayed_slot_record_is_stale_not_clean() {
+        let mut t = tags();
+        let v1 = blk(5, 1);
+        let v2 = blk(5, 2);
+        t.record_slot(3, 0, Some(&v1));
+        let stale = t.slot_record(3, 0);
+        assert!(stale.is_some());
+        t.record_slot(3, 0, Some(&v2));
+        assert!(t.verify_slot(3, 0, Some(&v2)));
+        // Adversary re-serves the authentic v1 (content, record) pair:
+        // the tag verifies, the address matches, but the counter lags.
+        t.set_slot_record(3, 0, stale);
+        assert_eq!(
+            t.verdict_slot(3, 0, Some(&v1)),
+            FreshnessVerdict::Stale,
+            "replayed coherent record must be convicted by the counter"
+        );
+    }
+
+    #[test]
+    fn spliced_records_flag_both_locations() {
+        let mut t = tags();
+        let a = blk(1, 0xAA);
+        let b = blk(2, 0xBB);
+        t.record_slot(7, 0, Some(&a));
+        t.record_slot(8, 1, Some(&b));
+        let ra = t.slot_record(7, 0);
+        let rb = t.slot_record(8, 1);
+        // Swap records (and contents) across the two slots.
+        t.set_slot_record(7, 0, rb);
+        t.set_slot_record(8, 1, ra);
+        assert_eq!(t.verdict_slot(7, 0, Some(&b)), FreshnessVerdict::Spliced);
+        assert_eq!(t.verdict_slot(8, 1, Some(&a)), FreshnessVerdict::Spliced);
+    }
+
+    #[test]
+    fn genesis_rollback_is_missing() {
+        let mut t = tags();
+        t.record_slot(4, 2, Some(&blk(9, 3)));
+        t.set_slot_record(4, 2, None);
+        assert_eq!(
+            t.verdict_slot(4, 2, None),
+            FreshnessVerdict::Missing,
+            "deleted record with a live trusted counter is a rollback"
+        );
+        // But the unit stays visible to recovery sweeps.
+        assert!(t.tagged_slots_sorted().contains(&(4, 2)));
+    }
+
+    #[test]
+    fn posmap_replay_and_splice_are_detected() {
+        let mut t = tags();
+        t.record_posmap(10, 100);
+        let stale = t.posmap_record(10);
+        t.record_posmap(10, 101);
+        t.set_posmap_record(10, stale);
+        assert_eq!(t.verdict_posmap(10, 100), FreshnessVerdict::Stale);
+
+        let mut t = tags();
+        t.record_posmap(1, 11);
+        t.record_posmap(2, 22);
+        let r1 = t.posmap_record(1);
+        let r2 = t.posmap_record(2);
+        t.set_posmap_record(1, r2);
+        t.set_posmap_record(2, r1);
+        assert_eq!(t.verdict_posmap(1, 22), FreshnessVerdict::Spliced);
+        assert_eq!(t.verdict_posmap(2, 11), FreshnessVerdict::Spliced);
+
+        let mut t = tags();
+        t.record_posmap(3, 33);
+        t.set_posmap_record(3, None);
+        assert_eq!(t.verdict_posmap(3, 33), FreshnessVerdict::Missing);
+    }
+
+    #[test]
+    fn root_tracks_every_bump_and_the_epoch() {
+        let mut c = CounterTree::new(&[1u8; 16]);
+        let r0 = c.root();
+        c.bump_slot(0, 0);
+        let r1 = c.root();
+        assert_ne!(r0, r1, "slot bump must change the root");
+        c.bump_posmap(5);
+        let r2 = c.root();
+        assert_ne!(r1, r2, "posmap bump must change the root");
+        c.advance_epoch();
+        assert_ne!(r2, c.root(), "epoch advance must change the root");
+        assert_eq!(c.epoch(), 1);
+        assert_eq!(c.slot_ctr(0, 0), Some(1));
+        assert_eq!(c.posmap_ctr(5), Some(1));
+        assert_eq!(c.slot_ctr(0, 1), None);
+    }
+
+    #[test]
+    fn root_is_order_invariant_for_equivalent_schedules() {
+        let ops = [(0u64, 0usize), (1, 2), (6, 1), (1, 2), (14, 3), (0, 0)];
+        let mut a = CounterTree::new(&[2u8; 16]);
+        for &(b, s) in &ops {
+            a.bump_slot(b, s);
+        }
+        a.bump_posmap(7);
+        a.bump_posmap(9);
+
+        let mut b = CounterTree::new(&[2u8; 16]);
+        b.bump_posmap(9);
+        let mut rev = ops;
+        rev.reverse();
+        for &(bu, s) in &rev {
+            b.bump_slot(bu, s);
+        }
+        b.bump_posmap(7);
+        assert_eq!(a.root(), b.root(), "same final counters, same root");
+
+        // One extra bump anywhere diverges the root.
+        b.bump_slot(6, 1);
+        assert_ne!(a.root(), b.root());
+    }
+
+    #[test]
+    fn unit_history_keeps_the_previous_version() {
+        let mut h = UnitHistory::default();
+        h.note_slot(3, 1, None, None);
+        h.note_slot(3, 1, Some(blk(5, 1)), None);
+        let (content, meta) = h.slot(3, 1).cloned().unwrap_or((None, None));
+        assert_eq!(content.map(|b| b.payload[0]), Some(1));
+        assert!(meta.is_none());
+        assert!(h.slot(9, 9).is_none());
+
+        h.note_posmap(4, Leaf(6), None);
+        assert_eq!(h.posmap(4).map(|(l, _)| *l), Some(Leaf(6)));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One persist schedule: a list of slot bumps plus posmap bumps.
+        fn schedule() -> impl Strategy<Value = (Vec<(u64, usize)>, Vec<u64>)> {
+            (
+                proptest::collection::vec((0u64..31, 0usize..4), 0..48),
+                proptest::collection::vec(0u64..16, 0..24),
+            )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// The root digest depends only on the final counter map:
+            /// applying the same multiset of bumps in a different order
+            /// (here: sorted) yields a bit-identical root.
+            #[test]
+            fn root_is_schedule_order_invariant(ops in schedule()) {
+                let (slots, addrs) = ops;
+                let mut a = CounterTree::new(&[3u8; 16]);
+                for &(b, s) in &slots {
+                    a.bump_slot(b, s);
+                }
+                for &p in &addrs {
+                    a.bump_posmap(p);
+                }
+
+                let mut sorted_slots = slots.clone();
+                sorted_slots.sort_unstable();
+                let mut sorted_addrs = addrs.clone();
+                sorted_addrs.sort_unstable();
+                let mut b = CounterTree::new(&[3u8; 16]);
+                for &p in &sorted_addrs {
+                    b.bump_posmap(p);
+                }
+                for &(bu, s) in &sorted_slots {
+                    b.bump_slot(bu, s);
+                }
+                prop_assert_eq!(a.root(), b.root());
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Replaying any single stale version of a unit is always
+            /// detected: after `n ≥ 2` writes, re-serving the record and
+            /// content from any earlier write never verdicts Clean.
+            #[test]
+            fn any_single_stale_replay_is_detected(
+                bucket in 0u64..31,
+                slot in 0usize..4,
+                writes in 2usize..6,
+                serve in 0usize..5,
+            ) {
+                let serve = serve % (writes - 1); // strictly older version
+                let mut t = AuthTags::new(&[4u8; 16]);
+                let mut snapshots = Vec::new();
+                for i in 0..writes {
+                    let b = Block::new(BlockAddr(1), Leaf(2), vec![i as u8; 4]);
+                    t.record_slot(bucket, slot, Some(&b));
+                    snapshots.push((Some(b), t.slot_record(bucket, slot)));
+                }
+                let (content, meta) = snapshots[serve].clone();
+                t.set_slot_record(bucket, slot, meta);
+                let verdict = t.verdict_slot(bucket, slot, content.as_ref());
+                prop_assert_eq!(
+                    verdict,
+                    FreshnessVerdict::Stale,
+                    "serving write {} of {} must be stale", serve, writes
+                );
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Splicing an authentic record to any *other* unit is always
+            /// detected as Spliced (when content travels with it).
+            #[test]
+            fn any_cross_splice_is_detected(
+                from in (0u64..31, 0usize..4),
+                to in (0u64..31, 0usize..4),
+                payload in 0u8..255,
+            ) {
+                // Vendored proptest has no prop_assume!: skip the
+                // (rare) same-unit draw, which is not a splice.
+                if from != to {
+                    let mut t = AuthTags::new(&[5u8; 16]);
+                    let b = Block::new(BlockAddr(3), Leaf(1), vec![payload; 4]);
+                    t.record_slot(from.0, from.1, Some(&b));
+                    let rec = t.slot_record(from.0, from.1);
+                    t.set_slot_record(to.0, to.1, rec);
+                    let verdict = t.verdict_slot(to.0, to.1, Some(&b));
+                    prop_assert_eq!(verdict, FreshnessVerdict::Spliced);
+                }
+            }
+        }
     }
 }

@@ -13,7 +13,7 @@ use psoram_nvm::{
 };
 use psoram_obsv::{Event, Phase, Tap};
 
-use crate::auth::AuthTags;
+use crate::auth::{AuthTags, FreshnessStats, FreshnessVerdict, UnitHistory};
 use crate::block::Block;
 use crate::bucket::Bucket;
 use crate::crash::{CrashPoint, CrashReport, RecoveryError, RecoveryReport};
@@ -107,6 +107,13 @@ pub struct PathOram {
     /// On-chip CMAC tag store over NVM-resident state. Present only when
     /// device faults are enabled on a hardened (WPQ) design.
     auth: Option<AuthTags>,
+    /// The freshness adversary's snapshot store: the previous version of
+    /// every persist unit, recorded on overwrite. Present in device-fault
+    /// mode on *every* design (it is adversary state, not defense state).
+    history: Option<UnitHistory>,
+    /// Fetch-path freshness counters: stale serves injected on the read
+    /// wire and how many the hardened verifier caught.
+    freshness: FreshnessStats,
     /// Persist units of the most recently applied round — the tree slots
     /// whose media programming an untimely power failure interrupts.
     last_round_slots: Vec<(u64, usize)>,
@@ -196,6 +203,8 @@ impl PathOram {
             iv: 0,
             seq_counter: 0,
             auth: None,
+            history: None,
+            freshness: FreshnessStats::default(),
             last_round_slots: Vec::new(),
             last_round_posmap: Vec::new(),
             scratch: AccessScratch::default(),
@@ -385,6 +394,9 @@ impl PathOram {
     /// differential campaigns keep their detection power.
     pub fn enable_device_faults(&mut self, seed: u64, cfg: FaultConfig) {
         self.engine.install_fault_plan(seed, cfg);
+        // The replay adversary's snapshot store goes on every design —
+        // baselines are replayed too, they just cannot tell.
+        self.history = Some(UnitHistory::default());
         if !self.variant.uses_wpq() {
             return;
         }
@@ -406,12 +418,21 @@ impl PathOram {
         }
         auth.seal_temp(&self.temp.entries_sorted());
         self.engine.seal_frames(&key);
+        // Anchor the counter-tree root in the persistence domain before
+        // the first adversarial round.
+        self.engine.persist_root(auth.root());
         self.auth = Some(auth);
     }
 
     /// Ground-truth injection counters of the installed fault plan, if any.
     pub fn device_fault_stats(&self) -> Option<FaultStats> {
         self.engine.fault_stats()
+    }
+
+    /// Fetch-path freshness counters: stale units the adversary served on
+    /// the read wire, and how many the hardened verifier detected.
+    pub fn freshness_stats(&self) -> FreshnessStats {
+        self.freshness
     }
 
     /// The latched fail-safe class, if the controller is poisoned.
@@ -713,6 +734,14 @@ impl PathOram {
             }
             ProtocolVariant::RcrBaseline => {
                 t = self.recursive_posmap_walk(addr, t)?;
+                if self.history.is_some() {
+                    // Snapshot the entry the persist below overwrites: the
+                    // replay adversary's raw material.
+                    let prev = self.posmap.persisted_get(addr);
+                    if let Some(h) = self.history.as_mut() {
+                        h.note_posmap(addr.0, prev, None);
+                    }
+                }
                 // Written back to untrusted NVM on every access: durable now.
                 self.posmap.persist(addr, new_leaf);
                 self.stats.posmap_entry_writes += 1;
@@ -803,6 +832,34 @@ impl PathOram {
             }
         }
         let path = self.tree.path_indices(leaf);
+        // Freshness adversary on the read wire (device-fault mode): the
+        // device may serve one path slot from an authentic-but-stale
+        // snapshot it recorded before the last overwrite. The draw always
+        // consumes plan entropy (schedule invariance); it only lands when
+        // a path slot actually has recorded history.
+        let mut serve_stale: Option<crate::auth::StaleServe> = None;
+        if let Some(pick) = self.engine.read_replay() {
+            if let Some(history) = self.history.as_ref() {
+                let mut candidates: Vec<(u64, usize)> = Vec::new();
+                for &bucket in &path {
+                    for slot in 0..self.config.bucket_slots {
+                        if history.slot(bucket, slot).is_some() {
+                            candidates.push((bucket, slot));
+                        }
+                    }
+                }
+                if !candidates.is_empty() {
+                    let (bucket, slot) = candidates[(pick % candidates.len() as u64) as usize];
+                    if let Some((content, meta)) = history.slot(bucket, slot) {
+                        serve_stale = Some(((bucket, slot), content.clone(), *meta));
+                    }
+                }
+            }
+            if serve_stale.is_some() {
+                self.engine.confirm_read_replay();
+                self.freshness.stale_serves += 1;
+            }
+        }
         // Merkle verification of the fetched path (when enabled): the
         // digests of the bytes coming off the bus must chain to the
         // persisted root.
@@ -833,14 +890,71 @@ impl PathOram {
         let mut t =
             (to_core(done) + self.crypto_lat.decrypt_overlapped_cycles()).max(frontend_done);
 
-        // Gather fetched blocks with their slot coordinates.
+        // Hardened fetch-path freshness verification: every loaded slot's
+        // (content, record) pair — including whatever the wire served —
+        // must classify Clean against the on-chip counters before its
+        // blocks are admitted. The CMAC checks overlap the decrypt
+        // pipeline, so only *detections* cost extra cycles.
+        if let Some(auth) = &self.auth {
+            let mut wire_verdict = FreshnessVerdict::Clean;
+            for &bucket in &path {
+                let b = self.tree.bucket(bucket);
+                for slot in 0..b.num_slots() {
+                    let served = serve_stale
+                        .as_ref()
+                        .filter(|((sb, ss), _, _)| (*sb, *ss) == (bucket, slot));
+                    let verdict = match served {
+                        Some((_, content, meta)) => {
+                            auth.classify_served_slot(bucket, slot, content.as_ref(), meta.as_ref())
+                        }
+                        None => auth.verdict_slot(bucket, slot, b.slot(slot)),
+                    };
+                    if verdict == FreshnessVerdict::Clean {
+                        continue;
+                    }
+                    if served.is_some() {
+                        wire_verdict = verdict;
+                    } else if let Some(class) = verdict.fault_class() {
+                        // Stored state failing freshness outside a recovery
+                        // pass: nothing on this path can be trusted — fail
+                        // safe rather than serve it.
+                        self.freshness.fetch_poisons += 1;
+                        self.engine.poison(class);
+                        return Err(OramError::Poisoned { class });
+                    }
+                }
+            }
+            if let Some(class) = wire_verdict.fault_class() {
+                // Caught on the wire: charge one re-issue round trip and
+                // read the true copy instead of the replayed one.
+                self.freshness.stale_serves_detected += 1;
+                t += 400;
+                self.obsv.set_now(t);
+                self.obsv.emit(|| Event::FaultDetected {
+                    kind: crate::engine::fault_kind(class),
+                    units: 1,
+                    cycle: t,
+                });
+                serve_stale = None;
+            }
+        }
+
+        // Gather fetched blocks with their slot coordinates. An undetected
+        // stale serve (baselines) replaces the slot's bytes right here —
+        // the controller consumes what the wire delivered.
         let mut live_old: HashMap<(u64, usize), BlockAddr> = HashMap::new();
         let mut fetched = std::mem::take(&mut self.scratch.fetched);
         fetched.clear();
         for &bucket in &path {
             let b = self.tree.bucket(bucket);
             for slot in 0..b.num_slots() {
-                if let Some(block) = b.slot(slot) {
+                let stored = match &serve_stale {
+                    Some(((sb, ss), content, _)) if (*sb, *ss) == (bucket, slot) => {
+                        content.as_ref()
+                    }
+                    _ => b.slot(slot),
+                };
+                if let Some(block) = stored {
                     let mut block = block.clone();
                     self.decrypt_from_tree(&mut block);
                     if block.leaf() == self.posmap.persisted_get(block.addr()) {
@@ -1057,6 +1171,12 @@ impl PathOram {
                 self.encrypt_for_tree(b);
             }
             if device && stored.is_some() {
+                // Snapshot the version this write destroys: the replay
+                // adversary's raw material (no records on direct designs).
+                let prev = self.tree.bucket(w.bucket).slot(w.slot).cloned();
+                if let Some(h) = self.history.as_mut() {
+                    h.note_slot(w.bucket, w.slot, prev, None);
+                }
                 self.last_round_slots.push((w.bucket, w.slot));
             }
             self.tree.write_slot(w.bucket, w.slot, stored);
@@ -1206,6 +1326,16 @@ impl PathOram {
             // commit: they carry no recoverable data and only overwrite
             // copies whose addresses committed in this or earlier batches.
             for w in batch.iter().filter(|w| w.block.is_none()) {
+                if self.history.is_some() {
+                    let prev_content = self.tree.bucket(w.bucket).slot(w.slot).cloned();
+                    let prev_meta = self
+                        .auth
+                        .as_ref()
+                        .and_then(|a| a.slot_record(w.bucket, w.slot));
+                    if let Some(h) = self.history.as_mut() {
+                        h.note_slot(w.bucket, w.slot, prev_content, prev_meta);
+                    }
+                }
                 if let Some(auth) = &mut self.auth {
                     auth.record_slot(w.bucket, w.slot, None);
                 }
@@ -1272,6 +1402,18 @@ impl PathOram {
                 touched_addrs.push(b.addr());
                 self.encrypt_for_tree(b);
             }
+            if self.history.is_some() {
+                // Snapshot the (content, record) pair this round replaces:
+                // the coherent stale unit a replay adversary re-serves.
+                let prev_content = self.tree.bucket(w.bucket).slot(w.slot).cloned();
+                let prev_meta = self
+                    .auth
+                    .as_ref()
+                    .and_then(|a| a.slot_record(w.bucket, w.slot));
+                if let Some(h) = self.history.as_mut() {
+                    h.note_slot(w.bucket, w.slot, prev_content, prev_meta);
+                }
+            }
             if let Some(auth) = &mut self.auth {
                 auth.record_slot(w.bucket, w.slot, stored.as_ref());
             }
@@ -1283,6 +1425,13 @@ impl PathOram {
         }
         for e in posmap {
             let (a, l) = e.value;
+            if self.history.is_some() {
+                let prev_leaf = self.posmap.persisted_get(a);
+                let prev_meta = self.auth.as_ref().and_then(|x| x.posmap_record(a.0));
+                if let Some(h) = self.history.as_mut() {
+                    h.note_posmap(a.0, prev_leaf, prev_meta);
+                }
+            }
             self.posmap.persist(a, l);
             self.temp.remove(a);
             if let Some(auth) = &mut self.auth {
@@ -1299,6 +1448,12 @@ impl PathOram {
             if let Some(auth) = &mut self.auth {
                 auth.seal_temp(&self.temp.entries_sorted());
             }
+        }
+        if let Some(auth) = &self.auth {
+            // The counter-tree root rides the same failure-atomic commit
+            // as the round's data: replaying any unit of an earlier round
+            // now leaves its counter behind the anchored root.
+            self.engine.persist_root(auth.root());
         }
         // Ledger: the recoverable value of each touched address is the
         // written copy that matches the (new) persisted PosMap.
@@ -1412,6 +1567,111 @@ impl PathOram {
             let e = self.engine.device_entropy();
             self.posmap.corrupt_persisted(addr, e);
         }
+        self.apply_freshness_damage(damage);
+    }
+
+    /// Applies the freshness adversary's share of the drawn crash damage:
+    /// replays restore a unit's recorded previous `(content, record)`
+    /// pair wholesale (coherent but stale — only the trusted counter can
+    /// tell), and splices swap two authentic units across addresses.
+    /// Applied after the bit flips, so a replay also overwrites any flip
+    /// that landed on the same unit. A splice is only coherent when both
+    /// ends are distinct units that still carry authentic records — a
+    /// drawn pair that collapses onto one media unit, or whose record
+    /// was already destroyed by bit rot, is a no-op the engine never
+    /// counts (the confirm calls are the ground truth).
+    fn apply_freshness_damage(&mut self, damage: &RoundDamage) {
+        if self.history.is_none() {
+            return;
+        }
+        let restored_slot = if let Some(i) = damage.replayed_data {
+            let (bucket, slot) = self.last_round_slots[i];
+            let prev = self
+                .history
+                .as_ref()
+                .and_then(|h| h.slot(bucket, slot).cloned());
+            if let Some((content, meta)) = prev {
+                self.tree.write_slot(bucket, slot, content);
+                if let Some(auth) = self.auth.as_mut() {
+                    auth.set_slot_record(bucket, slot, meta);
+                }
+                self.engine.confirm_stale_replay();
+                Some((bucket, slot))
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        let restored_addr = if let Some(i) = damage.replayed_posmap {
+            let addr = self.last_round_posmap[i];
+            let prev = self
+                .history
+                .as_ref()
+                .and_then(|h| h.posmap(addr.0).copied());
+            if let Some((leaf, meta)) = prev {
+                self.posmap.overwrite_persisted(addr, leaf);
+                if let Some(auth) = self.auth.as_mut() {
+                    auth.set_posmap_record(addr.0, meta);
+                }
+                self.engine.confirm_stale_replay();
+                Some(addr)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        if let Some((i, j)) = damage.spliced_data {
+            let (b1, s1) = self.last_round_slots[i];
+            let (b2, s2) = self.last_round_slots[j];
+            // A bit-rotted end no longer carries an authentic record —
+            // unless the replay above just overwrote the rot wholesale.
+            let rotted = |c: (u64, usize)| {
+                restored_slot != Some(c)
+                    && damage
+                        .data_units
+                        .iter()
+                        .any(|&k| self.last_round_slots[k] == c)
+            };
+            if (b1, s1) != (b2, s2) && !rotted((b1, s1)) && !rotted((b2, s2)) {
+                let c1 = self.tree.bucket(b1).slot(s1).cloned();
+                let c2 = self.tree.bucket(b2).slot(s2).cloned();
+                self.tree.write_slot(b1, s1, c2);
+                self.tree.write_slot(b2, s2, c1);
+                if let Some(auth) = self.auth.as_mut() {
+                    let r1 = auth.slot_record(b1, s1);
+                    let r2 = auth.slot_record(b2, s2);
+                    auth.set_slot_record(b1, s1, r2);
+                    auth.set_slot_record(b2, s2, r1);
+                }
+                self.engine.confirm_cross_splice();
+            }
+        }
+        if let Some((i, j)) = damage.spliced_posmap {
+            let a1 = self.last_round_posmap[i];
+            let a2 = self.last_round_posmap[j];
+            let rotted = |a: BlockAddr| {
+                restored_addr != Some(a)
+                    && damage
+                        .posmap_units
+                        .iter()
+                        .any(|&k| self.last_round_posmap[k] == a)
+            };
+            if a1 != a2 && !rotted(a1) && !rotted(a2) {
+                let l1 = self.posmap.persisted_get(a1);
+                let l2 = self.posmap.persisted_get(a2);
+                self.posmap.overwrite_persisted(a1, l2);
+                self.posmap.overwrite_persisted(a2, l1);
+                if let Some(auth) = self.auth.as_mut() {
+                    let r1 = auth.posmap_record(a1.0);
+                    let r2 = auth.posmap_record(a2.0);
+                    auth.set_posmap_record(a1.0, r2);
+                    auth.set_posmap_record(a2.0, r1);
+                }
+                self.engine.confirm_cross_splice();
+            }
+        }
     }
 
     /// Recovers the controller after a crash, per the paper's §4.3
@@ -1444,26 +1704,55 @@ impl PathOram {
         let mut errors: Vec<RecoveryError> = Vec::new();
         let mut repairs = 0u64;
         let mut rolled_back: Vec<u64> = Vec::new();
+        let mut replays_detected = 0u64;
+        let mut splices_detected = 0u64;
 
         if let Some(mut auth) = self.auth.take() {
-            // Phase 1 — detect: authenticate every tagged tree slot; a
-            // mismatch is definitive media damage, and the slot is wiped
-            // (any committed value it held is restored in phase 3).
+            // Root sanity: the on-chip counter tree must agree with the
+            // root anchored in the persistence domain. A mismatch means
+            // the trusted anchor itself cannot be believed — fail safe.
+            if self
+                .engine
+                .persisted_root()
+                .is_some_and(|r| r != auth.root())
+            {
+                self.engine.poison(FaultClass::StaleReplay);
+            }
+            // Phase 1 — detect & classify: every tagged tree slot is
+            // classified against the trusted counters, worst evidence
+            // first. A replayed or spliced unit is coherent (its CMAC
+            // verifies) — only the counter comparison convicts it. Every
+            // convicted slot is wiped; any committed value it held is
+            // restored from an authenticated redundant copy in phase 3.
             for (bucket, slot) in auth.tagged_slots_sorted() {
                 let content = self.tree.bucket(bucket).slot(slot).cloned();
-                if !auth.verify_slot(bucket, slot, content.as_ref()) {
-                    self.tree.write_slot(bucket, slot, None);
-                    auth.record_slot(bucket, slot, None);
+                match auth.verdict_slot(bucket, slot, content.as_ref()) {
+                    FreshnessVerdict::Clean => {}
+                    verdict => {
+                        match verdict {
+                            FreshnessVerdict::Stale | FreshnessVerdict::Missing => {
+                                replays_detected += 1;
+                            }
+                            FreshnessVerdict::Spliced => splices_detected += 1,
+                            _ => {}
+                        }
+                        self.tree.write_slot(bucket, slot, None);
+                        auth.record_slot(bucket, slot, None);
+                    }
                 }
             }
-            // Phase 2 — persisted PosMap entries: repair a corrupt leaf
-            // label from the newest authenticated block copy of the
-            // address (the redundant copy names the true leaf).
+            // Phase 2 — persisted PosMap entries: repair a corrupt,
+            // replayed, or spliced leaf label from the newest
+            // authenticated block copy of the address (the redundant copy
+            // names the true leaf, and its counter proves it fresher).
             for a in auth.tagged_posmap_sorted() {
                 let addr = BlockAddr(a);
                 let leaf = self.posmap.persisted_get(addr);
-                if auth.verify_posmap(a, leaf.0) {
-                    continue;
+                match auth.verdict_posmap(a, leaf.0) {
+                    FreshnessVerdict::Clean => continue,
+                    FreshnessVerdict::Stale | FreshnessVerdict::Missing => replays_detected += 1,
+                    FreshnessVerdict::Spliced => splices_detected += 1,
+                    FreshnessVerdict::Tampered => {}
                 }
                 match self.newest_valid_copy(addr, &auth) {
                     Some(copy) => {
@@ -1519,6 +1808,10 @@ impl PathOram {
             }
             // The temporary PosMap did not survive the power failure.
             auth.clear_temp_seal();
+            // Close the freshness epoch: repairs bumped counters, so
+            // re-anchor the persisted root for the rounds that follow.
+            auth.advance_epoch();
+            self.engine.persist_root(auth.root());
             self.auth = Some(auth);
         }
         if let Some(class) = self.engine.poisoned() {
@@ -1532,6 +1825,8 @@ impl PathOram {
         report.rolled_back = rolled_back;
         report.incidents = incidents;
         report.errors = errors;
+        report.replays_detected = replays_detected;
+        report.splices_detected = splices_detected;
         report.poisoned = self.engine.poisoned().is_some();
         self.engine.finish_recovery(report)
     }

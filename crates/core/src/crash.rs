@@ -168,6 +168,12 @@ pub struct RecoveryReport {
     pub errors: Vec<RecoveryError>,
     /// Whether recovery latched the controller into fail-safe state.
     pub poisoned: bool,
+    /// Persist units whose stored freshness record carried a stale (or
+    /// rolled-back-to-genesis) version counter — detected replays.
+    pub replays_detected: u64,
+    /// Persist units whose stored record was authentic for a *different*
+    /// unit — detected cross-address splices.
+    pub splices_detected: u64,
 }
 
 impl Serialize for RecoveryReport {
@@ -194,6 +200,18 @@ impl Serialize for RecoveryReport {
         }
         if self.poisoned {
             fields.push(("poisoned".to_string(), self.poisoned.to_value()));
+        }
+        if self.replays_detected != 0 {
+            fields.push((
+                "replays_detected".to_string(),
+                self.replays_detected.to_value(),
+            ));
+        }
+        if self.splices_detected != 0 {
+            fields.push((
+                "splices_detected".to_string(),
+                self.splices_detected.to_value(),
+            ));
         }
         serde::Value::Object(fields)
     }
@@ -234,6 +252,8 @@ impl Deserialize for RecoveryReport {
             incidents: optional(v, "incidents")?,
             errors: optional(v, "errors")?,
             poisoned: optional(v, "poisoned")?,
+            replays_detected: optional(v, "replays_detected")?,
+            splices_detected: optional(v, "splices_detected")?,
         })
     }
 }
@@ -261,6 +281,11 @@ impl RecoveryReport {
     pub fn saw_device_faults(&self) -> bool {
         !self.incidents.is_empty() || !self.rolled_back.is_empty() || self.poisoned
     }
+
+    /// Total freshness violations (replays + splices) recovery detected.
+    pub fn freshness_violations(&self) -> u64 {
+        self.replays_detected + self.splices_detected
+    }
 }
 
 #[cfg(test)]
@@ -287,6 +312,8 @@ mod tests {
         assert!(!json.contains("incidents"));
         assert!(!json.contains("errors"));
         assert!(!json.contains("poisoned"));
+        assert!(!json.contains("replays_detected"));
+        assert!(!json.contains("splices_detected"));
         let back: RecoveryReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
     }
@@ -304,7 +331,10 @@ mod tests {
             addr: 7,
             detail: "gone".into(),
         }];
+        r.replays_detected = 4;
+        r.splices_detected = 2;
         assert!(r.saw_device_faults());
+        assert_eq!(r.freshness_violations(), 6);
         let json = serde_json::to_string(&r).unwrap();
         let back: RecoveryReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);

@@ -33,6 +33,7 @@ mod policy;
 mod scratch;
 
 pub use ledger::CommitLedger;
+pub(crate) use persist::fault_kind;
 pub use persist::{EngineStats, PersistEngine, RoundDamage};
 pub use policy::{CommitModel, ProtocolPolicy, ProtocolVariant, RingVariant};
 pub(crate) use scratch::AccessScratch;

@@ -21,6 +21,8 @@ pub(crate) fn fault_kind(class: FaultClass) -> DeviceFaultKind {
         FaultClass::DuplicatedSignal => DeviceFaultKind::DuplicatedSignal,
         FaultClass::MediaCorruption => DeviceFaultKind::MediaCorruption,
         FaultClass::TransientRead => DeviceFaultKind::TransientRead,
+        FaultClass::StaleReplay => DeviceFaultKind::StaleReplay,
+        FaultClass::CrossSplice => DeviceFaultKind::CrossSplice,
     }
 }
 
@@ -33,12 +35,25 @@ pub struct RoundDamage {
     pub data_units: Vec<usize>,
     /// Damaged PosMap units (persisted map entries), by last-round index.
     pub posmap_units: Vec<usize>,
+    /// Data unit rolled back to its authentic prior version (replay).
+    pub replayed_data: Option<usize>,
+    /// PosMap unit rolled back to its authentic prior version (replay).
+    pub replayed_posmap: Option<usize>,
+    /// Pair of data units whose records and contents were swapped.
+    pub spliced_data: Option<(usize, usize)>,
+    /// Pair of PosMap units whose records and contents were swapped.
+    pub spliced_posmap: Option<(usize, usize)>,
 }
 
 impl RoundDamage {
-    /// `true` when no unit was damaged.
+    /// `true` when no unit was damaged, replayed, or spliced.
     pub fn is_empty(&self) -> bool {
-        self.data_units.is_empty() && self.posmap_units.is_empty()
+        self.data_units.is_empty()
+            && self.posmap_units.is_empty()
+            && self.replayed_data.is_none()
+            && self.replayed_posmap.is_none()
+            && self.spliced_data.is_none()
+            && self.spliced_posmap.is_none()
     }
 }
 
@@ -107,6 +122,8 @@ pub struct PersistEngine<D, P> {
     poisoned: Option<FaultClass>,
     /// Incidents drawn at the last crash, consumed by the next recovery.
     pending_incidents: Vec<RecoveryIncident>,
+    /// The counter-tree root persisted by the last committed round.
+    persisted_root: Option<[u8; 16]>,
 }
 
 impl<D, P> PersistEngine<D, P> {
@@ -124,6 +141,7 @@ impl<D, P> PersistEngine<D, P> {
             device: None,
             poisoned: None,
             pending_incidents: Vec::new(),
+            persisted_root: None,
         }
     }
 
@@ -479,7 +497,75 @@ impl<D, P> PersistEngine<D, P> {
                 units: flips,
             });
         }
+        // Freshness adversary: replay a stale version of one last-round
+        // unit, and/or splice two units' records across addresses. The
+        // draws always consume entropy (schedule invariance); each domain
+        // draws in a fixed order: data replay, posmap replay, data
+        // splice, posmap splice.
+        damage.replayed_data = plan.replay_fate(data_len);
+        damage.replayed_posmap = plan.replay_fate(posmap_len);
+        damage.spliced_data = plan.splice_fate(data_len);
+        damage.spliced_posmap = plan.splice_fate(posmap_len);
+        // Replay/splice draws are *attempts*: the controller confirms the
+        // ones that actually land on media (via `confirm_stale_replay` /
+        // `confirm_cross_splice`), which is when the ground-truth counter
+        // and the incident record are written.
         damage
+    }
+
+    /// Records that the controller applied a drawn crash-time replay:
+    /// one persist unit now carries an authentic-but-stale snapshot.
+    /// Counts the ground truth and files the incident for recovery.
+    pub fn confirm_stale_replay(&mut self) {
+        if let Some(p) = self.device.as_mut() {
+            p.confirm_stale_replay();
+        }
+        self.pending_incidents.push(RecoveryIncident {
+            class: FaultClass::StaleReplay,
+            units: 1,
+        });
+    }
+
+    /// Records that the controller applied a drawn cross-address splice:
+    /// two persist units swapped their authentic records. Counts the
+    /// ground truth and files the two-unit incident for recovery.
+    pub fn confirm_cross_splice(&mut self) {
+        if let Some(p) = self.device.as_mut() {
+            p.confirm_cross_splice();
+        }
+        self.pending_incidents.push(RecoveryIncident {
+            class: FaultClass::CrossSplice,
+            units: 2,
+        });
+    }
+
+    /// Draws a fetch-path replay attempt from the installed plan: the
+    /// adversary's pick of which loaded unit to serve stale, if any.
+    /// Always `None` with no plan installed, and the draw is consumed
+    /// unconditionally when a plan exists (schedule invariance).
+    pub fn read_replay(&mut self) -> Option<u64> {
+        self.device.as_mut().and_then(FaultPlan::read_replay)
+    }
+
+    /// Confirms a drawn fetch-path replay actually served a stale unit
+    /// (the pick landed on a unit with recorded history), keeping the
+    /// plan's counters exact ground truth.
+    pub fn confirm_read_replay(&mut self) {
+        if let Some(p) = self.device.as_mut() {
+            p.confirm_read_replay();
+        }
+    }
+
+    /// Atomically persists the counter-tree root digest inside the
+    /// current round's commit ceremony. In the model this is a single
+    /// 16-byte failure-atomic register write in the persistence domain.
+    pub fn persist_root(&mut self, root: [u8; 16]) {
+        self.persisted_root = Some(root);
+    }
+
+    /// The most recently persisted counter-tree root, if any.
+    pub fn persisted_root(&self) -> Option<[u8; 16]> {
+        self.persisted_root
     }
 
     /// Takes the incidents drawn since the last recovery (ground truth of
@@ -625,6 +711,66 @@ mod tests {
         assert!(!incidents.is_empty());
         assert!(e.take_incidents().is_empty(), "incidents are consumed");
         assert!(e.fault_stats().unwrap().total_injected() > 0);
+    }
+
+    #[test]
+    fn replay_mix_draws_replays_and_splices_in_range() {
+        let mut e: PersistEngine<u32, u32> = PersistEngine::new(4, 4);
+        e.install_fault_plan(11, FaultConfig::replay_mix());
+        let (mut replays, mut splices) = (0u64, 0u64);
+        for _ in 0..200 {
+            let d = e.draw_crash_damage(6, 3);
+            // Draws are attempts; the controller confirms the applied
+            // ones — modeled here by confirming every draw.
+            if let Some(i) = d.replayed_data {
+                assert!(i < 6);
+                replays += 1;
+                e.confirm_stale_replay();
+            }
+            if let Some(i) = d.replayed_posmap {
+                assert!(i < 3);
+                replays += 1;
+                e.confirm_stale_replay();
+            }
+            if let Some((i, j)) = d.spliced_data {
+                assert!(i < 6 && j < 6 && i != j);
+                splices += 1;
+                e.confirm_cross_splice();
+            }
+            if let Some((i, j)) = d.spliced_posmap {
+                assert!(i < 3 && j < 3 && i != j);
+                splices += 1;
+                e.confirm_cross_splice();
+            }
+        }
+        assert!(replays > 0, "replay mix never replayed a unit");
+        assert!(splices > 0, "replay mix never spliced a pair");
+        let incidents = e.take_incidents();
+        assert!(incidents.iter().any(|i| i.class == FaultClass::StaleReplay));
+        assert!(incidents.iter().any(|i| i.class == FaultClass::CrossSplice));
+        let stats = e.fault_stats().unwrap();
+        assert_eq!(stats.stale_replays, replays);
+        assert_eq!(stats.cross_splices, splices);
+    }
+
+    #[test]
+    fn root_register_holds_the_last_persisted_root() {
+        let mut e: PersistEngine<u32, u32> = PersistEngine::new(4, 4);
+        assert_eq!(e.persisted_root(), None);
+        e.persist_root([1u8; 16]);
+        e.persist_root([2u8; 16]);
+        assert_eq!(e.persisted_root(), Some([2u8; 16]));
+        // The register is in the persistence domain: a crash keeps it.
+        let _ = e.crash();
+        assert_eq!(e.persisted_root(), Some([2u8; 16]));
+    }
+
+    #[test]
+    fn read_replay_is_inert_without_a_plan() {
+        let mut e: PersistEngine<u32, u32> = PersistEngine::new(4, 4);
+        assert_eq!(e.read_replay(), None);
+        e.confirm_read_replay(); // no plan: a no-op
+        assert!(e.fault_stats().is_none());
     }
 
     #[test]

@@ -239,6 +239,12 @@ pub trait ProtocolPolicy {
     fn state_digest(&self) -> u128 {
         0
     }
+    /// Freshness counters (stale serves observed vs detected, fetch-path
+    /// poisons). The default implementation reports zeroes, so policies
+    /// without a device model stay valid.
+    fn freshness_stats(&self) -> crate::auth::FreshnessStats {
+        crate::auth::FreshnessStats::default()
+    }
 }
 
 impl ProtocolPolicy for PathOram {
@@ -324,6 +330,9 @@ impl ProtocolPolicy for PathOram {
     fn state_digest(&self) -> u128 {
         PathOram::state_digest(self)
     }
+    fn freshness_stats(&self) -> crate::auth::FreshnessStats {
+        PathOram::freshness_stats(self)
+    }
 }
 
 impl ProtocolPolicy for RingOram {
@@ -408,5 +417,8 @@ impl ProtocolPolicy for RingOram {
     }
     fn state_digest(&self) -> u128 {
         RingOram::state_digest(self)
+    }
+    fn freshness_stats(&self) -> crate::auth::FreshnessStats {
+        RingOram::freshness_stats(self)
     }
 }

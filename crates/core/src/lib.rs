@@ -40,6 +40,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The in-module freshness proptests expand past the default limit.
+#![recursion_limit = "256"]
 
 mod auth;
 mod block;
@@ -60,6 +62,7 @@ mod stats;
 mod tree;
 mod types;
 
+pub use auth::{CounterTree, FreshnessStats, FreshnessVerdict, UnitMeta};
 pub use block::{Block, BlockHeader};
 pub use bucket::Bucket;
 pub use controller::{AccessOutcome, Op, PathOram, ProtocolVariant};

@@ -151,6 +151,14 @@ impl PosMap {
         self.persisted.insert(addr.0, bad);
         Leaf(bad)
     }
+
+    /// Device-fault hook: overwrites the *persisted* entry of `addr` with
+    /// an arbitrary leaf, bypassing the write counter — the replay
+    /// adversary re-serving a stale-but-well-formed entry behind the
+    /// controller's back.
+    pub fn overwrite_persisted(&mut self, addr: BlockAddr, leaf: Leaf) {
+        self.persisted.insert(addr.0, leaf.0);
+    }
 }
 
 /// PS-ORAM's **temporary PosMap** (`C_tPos`, 96 entries in Table 3).

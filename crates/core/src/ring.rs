@@ -33,7 +33,7 @@ use psoram_nvm::{
 };
 use psoram_obsv::{Event, Phase, Tap};
 
-use crate::auth::AuthTags;
+use crate::auth::{AuthTags, FreshnessStats, FreshnessVerdict, UnitHistory};
 use crate::block::Block;
 use crate::crash::{CrashPoint, RecoveryError, RecoveryReport};
 use crate::engine::{to_core, to_mem, AccessScratch, CommitLedger, PersistEngine, RoundDamage};
@@ -238,6 +238,13 @@ pub struct RingOram {
     /// On-chip CMAC tag store ([`RingOram::enable_device_faults`], PS-Ring
     /// only).
     auth: Option<AuthTags>,
+    /// The freshness adversary's snapshot store: the previous version of
+    /// every persist unit, recorded on overwrite. Present in device-fault
+    /// mode on *every* variant (adversary state, not defense state).
+    history: Option<UnitHistory>,
+    /// Fetch-path freshness counters: stale serves injected on the read
+    /// wire and how many the hardened verifier caught.
+    freshness: FreshnessStats,
     /// `(bucket, slot)` units of the last applied persist round — the
     /// units device-fault damage lands on at a crash.
     last_round_slots: Vec<(u64, usize)>,
@@ -284,6 +291,8 @@ impl RingOram {
             rewrites_this_access: 0,
             touched: Vec::new(),
             auth: None,
+            history: None,
+            freshness: FreshnessStats::default(),
             last_round_slots: Vec::new(),
             last_round_posmap: Vec::new(),
             scratch: AccessScratch::default(),
@@ -358,6 +367,9 @@ impl RingOram {
     /// defenses, preserving the differential campaigns' detection power.
     pub fn enable_device_faults(&mut self, seed: u64, cfg: FaultConfig) {
         self.engine.install_fault_plan(seed, cfg);
+        // The replay adversary's snapshot store goes on every variant —
+        // the Baseline is replayed too, it just cannot tell.
+        self.history = Some(UnitHistory::default());
         if self.variant != RingVariant::PsRing {
             return;
         }
@@ -384,12 +396,21 @@ impl RingOram {
         }
         auth.seal_temp(&self.temp.entries_sorted());
         self.engine.seal_frames(&key);
+        // Anchor the counter-tree root in the persistence domain before
+        // the first adversarial round.
+        self.engine.persist_root(auth.root());
         self.auth = Some(auth);
     }
 
     /// Ground-truth injection counters of the installed fault plan, if any.
     pub fn device_fault_stats(&self) -> Option<FaultStats> {
         self.engine.fault_stats()
+    }
+
+    /// Fetch-path freshness counters: stale units the adversary served on
+    /// the read wire, and how many the hardened verifier detected.
+    pub fn freshness_stats(&self) -> FreshnessStats {
+        self.freshness
     }
 
     /// The latched fail-safe class, if the controller is poisoned.
@@ -584,11 +605,19 @@ impl RingOram {
             }
         }
         let t_before_path = t;
+        // Freshness adversary on the read wire (device-fault mode): the
+        // device may serve one of this access's read slots from an
+        // authentic-but-stale snapshot. The draw always consumes plan
+        // entropy (schedule invariance); it only lands when a read slot
+        // actually has recorded history.
+        let replay_pick = self.engine.read_replay();
         let in_stash = self.stash_primary(addr).is_some();
         let path = self.path_indices(old_leaf);
         let mut read_addrs = std::mem::take(&mut self.scratch.read_addrs);
         read_addrs.clear();
         let mut fetched: Option<Block> = None;
+        let mut fetched_from: Option<(u64, usize)> = None;
+        let mut read_units: Vec<(u64, usize)> = Vec::new();
         for &bidx in &path {
             let slot = {
                 let rng = &mut self.rng;
@@ -616,11 +645,13 @@ impl RingOram {
                 if let Some(block) = &b.slots[slot] {
                     if block.addr() == addr && !block.is_backup {
                         fetched = Some(block.clone());
+                        fetched_from = Some((bidx, slot));
                     }
                 }
                 b.valid[slot] = false;
                 b.count += 1;
             }
+            read_units.push((bidx, slot));
             read_addrs.push(self.slot_nvm_addr(bidx, slot));
         }
         let done = self
@@ -628,6 +659,80 @@ impl RingOram {
             .access_batch(read_addrs.iter().copied(), AccessKind::Read, to_mem(t));
         self.scratch.read_addrs = read_addrs;
         t = to_core(done) + 1;
+        // Resolve the wire-replay draw against what was actually read.
+        let mut serve_stale: Option<crate::auth::StaleServe> = None;
+        if let Some(pick) = replay_pick {
+            if let Some(history) = self.history.as_ref() {
+                let candidates: Vec<(u64, usize)> = read_units
+                    .iter()
+                    .copied()
+                    .filter(|&(b, s)| history.slot(b, s).is_some())
+                    .collect();
+                if !candidates.is_empty() {
+                    let (bidx, slot) = candidates[(pick % candidates.len() as u64) as usize];
+                    if let Some((content, meta)) = history.slot(bidx, slot) {
+                        serve_stale = Some(((bidx, slot), content.clone(), *meta));
+                    }
+                }
+            }
+            if serve_stale.is_some() {
+                self.engine.confirm_read_replay();
+                self.freshness.stale_serves += 1;
+            }
+        }
+        // Hardened wire verification: every read slot's (content, record)
+        // pair — including whatever the wire served — must classify Clean
+        // against the on-chip counters. The CMAC checks overlap the
+        // existing read pipeline; only detections cost extra cycles.
+        if let Some(auth) = &self.auth {
+            let mut wire_verdict = FreshnessVerdict::Clean;
+            for &(bidx, slot) in &read_units {
+                let served = serve_stale
+                    .as_ref()
+                    .filter(|((sb, ss), _, _)| (*sb, *ss) == (bidx, slot));
+                let verdict = match served {
+                    Some((_, content, meta)) => {
+                        auth.classify_served_slot(bidx, slot, content.as_ref(), meta.as_ref())
+                    }
+                    None => {
+                        let stored = self.buckets.get(&bidx).and_then(|b| b.slots[slot].as_ref());
+                        auth.verdict_slot(bidx, slot, stored)
+                    }
+                };
+                if verdict == FreshnessVerdict::Clean {
+                    continue;
+                }
+                if served.is_some() {
+                    wire_verdict = verdict;
+                } else if let Some(class) = verdict.fault_class() {
+                    // Stored state failing freshness outside a recovery
+                    // pass: fail safe rather than serve it.
+                    self.freshness.fetch_poisons += 1;
+                    self.engine.poison(class);
+                    return Err(OramError::Poisoned { class });
+                }
+            }
+            if let Some(class) = wire_verdict.fault_class() {
+                // Caught on the wire: one re-issue round trip, then the
+                // true copy is read instead of the replayed one.
+                self.freshness.stale_serves_detected += 1;
+                t += 400;
+                self.obsv.set_now(t);
+                self.obsv.emit(|| Event::FaultDetected {
+                    kind: crate::engine::fault_kind(class),
+                    units: 1,
+                    cycle: t,
+                });
+                serve_stale = None;
+            }
+        }
+        // An undetected stale serve (Baseline) replaces the fetched bytes:
+        // the controller consumes what the wire delivered.
+        if let Some(((sb, ss), content, _)) = &serve_stale {
+            if fetched_from == Some((*sb, *ss)) {
+                fetched = content.clone().filter(|b| b.addr() == addr && !b.is_backup);
+            }
+        }
         // One combined metadata write per access (valid bits + counts).
         let meta = self.nvm.access_sized(
             self.slot_nvm_addr(path[0], 0),
@@ -1064,6 +1169,13 @@ impl RingOram {
         let mut flushed = false;
         for e in posmap {
             let (a, l) = e.value;
+            if self.history.is_some() {
+                let prev_leaf = self.posmap.persisted_get(a);
+                let prev_meta = self.auth.as_ref().and_then(|x| x.posmap_record(a.0));
+                if let Some(h) = self.history.as_mut() {
+                    h.note_posmap(a.0, prev_leaf, prev_meta);
+                }
+            }
             self.posmap.persist(a, l);
             self.temp.remove(a);
             if let Some(auth) = &mut self.auth {
@@ -1080,6 +1192,11 @@ impl RingOram {
                 auth.seal_temp(&self.temp.entries_sorted());
             }
         }
+        if let Some(auth) = &self.auth {
+            // The counter-tree root rides the same failure-atomic commit
+            // as the round's data.
+            self.engine.persist_root(auth.root());
+        }
         Ok(())
     }
 
@@ -1091,6 +1208,20 @@ impl RingOram {
             if b.leaf() == self.posmap.persisted_get(a) {
                 self.ledger
                     .commit_if_fresh(a.0, b.header.seq, b.payload.clone());
+            }
+        }
+        if self.history.is_some() {
+            // Snapshot every slot this rewrite replaces: the coherent
+            // stale units a replay adversary re-serves.
+            for s in 0..bucket.slots.len() {
+                let prev_content = self
+                    .buckets
+                    .get(&bidx)
+                    .and_then(|old| old.slots.get(s).cloned().flatten());
+                let prev_meta = self.auth.as_ref().and_then(|a| a.slot_record(bidx, s));
+                if let Some(h) = self.history.as_mut() {
+                    h.note_slot(bidx, s, prev_content, prev_meta);
+                }
             }
         }
         if let Some(auth) = &mut self.auth {
@@ -1153,6 +1284,13 @@ impl RingOram {
         }
         let flushes: Vec<(BlockAddr, Leaf)> = posmap.iter().map(|e| e.value).collect();
         for &(a, l) in &flushes {
+            if self.history.is_some() {
+                let prev_leaf = self.posmap.persisted_get(a);
+                let prev_meta = self.auth.as_ref().and_then(|x| x.posmap_record(a.0));
+                if let Some(h) = self.history.as_mut() {
+                    h.note_posmap(a.0, prev_leaf, prev_meta);
+                }
+            }
             self.posmap.persist(a, l);
             if let Some(auth) = &mut self.auth {
                 auth.record_posmap(a.0, l.0);
@@ -1212,6 +1350,117 @@ impl RingOram {
             let e = self.engine.device_entropy();
             self.posmap.corrupt_persisted(addr, e);
         }
+        self.apply_freshness_damage(damage);
+    }
+
+    /// Applies the freshness adversary's share of the drawn crash damage:
+    /// replays restore a unit's recorded previous `(content, record)`
+    /// pair wholesale (coherent but stale — only the trusted counter can
+    /// tell), and splices swap two authentic units across addresses.
+    /// Applied after the bit flips, so a replay also overwrites any flip
+    /// that landed on the same unit. A splice is only coherent when both
+    /// ends are distinct units that still carry authentic records — a
+    /// drawn pair that collapses onto one media unit, or whose record
+    /// was already destroyed by bit rot, is a no-op the engine never
+    /// counts (the confirm calls are the ground truth).
+    fn apply_freshness_damage(&mut self, damage: &RoundDamage) {
+        if self.history.is_none() {
+            return;
+        }
+        let restored_slot = if let Some(i) = damage.replayed_data {
+            let (bidx, slot) = self.last_round_slots[i];
+            let prev = self
+                .history
+                .as_ref()
+                .and_then(|h| h.slot(bidx, slot).cloned());
+            if let Some((content, meta)) = prev {
+                if let Some(bucket) = self.buckets.get_mut(&bidx) {
+                    bucket.slots[slot] = content;
+                }
+                if let Some(auth) = self.auth.as_mut() {
+                    auth.set_slot_record(bidx, slot, meta);
+                }
+                self.engine.confirm_stale_replay();
+                Some((bidx, slot))
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        let restored_addr = if let Some(i) = damage.replayed_posmap {
+            let addr = self.last_round_posmap[i];
+            let prev = self
+                .history
+                .as_ref()
+                .and_then(|h| h.posmap(addr.0).copied());
+            if let Some((leaf, meta)) = prev {
+                self.posmap.overwrite_persisted(addr, leaf);
+                if let Some(auth) = self.auth.as_mut() {
+                    auth.set_posmap_record(addr.0, meta);
+                }
+                self.engine.confirm_stale_replay();
+                Some(addr)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        if let Some((i, j)) = damage.spliced_data {
+            let (b1, s1) = self.last_round_slots[i];
+            let (b2, s2) = self.last_round_slots[j];
+            // A bit-rotted end no longer carries an authentic record —
+            // unless the replay above just overwrote the rot wholesale.
+            let rotted = |c: (u64, usize)| {
+                restored_slot != Some(c)
+                    && damage
+                        .data_units
+                        .iter()
+                        .any(|&k| self.last_round_slots[k] == c)
+            };
+            if (b1, s1) != (b2, s2) && !rotted((b1, s1)) && !rotted((b2, s2)) {
+                let c1 = self.buckets.get(&b1).and_then(|b| b.slots[s1].clone());
+                let c2 = self.buckets.get(&b2).and_then(|b| b.slots[s2].clone());
+                if let Some(bucket) = self.buckets.get_mut(&b1) {
+                    bucket.slots[s1] = c2;
+                }
+                if let Some(bucket) = self.buckets.get_mut(&b2) {
+                    bucket.slots[s2] = c1;
+                }
+                if let Some(auth) = self.auth.as_mut() {
+                    let r1 = auth.slot_record(b1, s1);
+                    let r2 = auth.slot_record(b2, s2);
+                    auth.set_slot_record(b1, s1, r2);
+                    auth.set_slot_record(b2, s2, r1);
+                }
+                self.engine.confirm_cross_splice();
+            }
+        }
+        if let Some((i, j)) = damage.spliced_posmap {
+            let a1 = self.last_round_posmap[i];
+            let a2 = self.last_round_posmap[j];
+            let rotted = |a: BlockAddr| {
+                restored_addr != Some(a)
+                    && damage
+                        .posmap_units
+                        .iter()
+                        .any(|&k| self.last_round_posmap[k] == a)
+            };
+            if a1 != a2 && !rotted(a1) && !rotted(a2) {
+                let l1 = self.posmap.persisted_get(a1);
+                let l2 = self.posmap.persisted_get(a2);
+                self.posmap.overwrite_persisted(a1, l2);
+                self.posmap.overwrite_persisted(a2, l1);
+                if let Some(auth) = self.auth.as_mut() {
+                    let r1 = auth.posmap_record(a1.0);
+                    let r2 = auth.posmap_record(a2.0);
+                    auth.set_posmap_record(a1.0, r2);
+                    auth.set_posmap_record(a2.0, r1);
+                }
+                self.engine.confirm_cross_splice();
+            }
+        }
     }
 
     /// Recovers after a crash: revalidates consumed slots (the paper's
@@ -1241,29 +1490,58 @@ impl RingOram {
         let mut errors: Vec<RecoveryError> = Vec::new();
         let mut repairs = 0u64;
         let mut rolled_back: Vec<u64> = Vec::new();
+        let mut replays_detected = 0u64;
+        let mut splices_detected = 0u64;
         let mut auth = self.auth.take();
 
         if let Some(auth) = auth.as_mut() {
-            // Device phase 1 — detect: authenticate every tagged slot; a
-            // mismatch is definitive media damage and the slot is wiped
-            // (any committed value it held is restored in phase 3).
+            // Root sanity: the on-chip counter tree must agree with the
+            // root anchored in the persistence domain. A mismatch means
+            // the trusted anchor itself cannot be believed — fail safe.
+            if self
+                .engine
+                .persisted_root()
+                .is_some_and(|r| r != auth.root())
+            {
+                self.engine.poison(FaultClass::StaleReplay);
+            }
+            // Device phase 1 — detect & classify: every tagged slot is
+            // classified against the trusted counters, worst evidence
+            // first. A replayed or spliced unit is coherent (its CMAC
+            // verifies) — only the counter comparison convicts it. Every
+            // convicted slot is wiped; any committed value it held is
+            // restored from an authenticated redundant copy in phase 3.
             for (bidx, slot) in auth.tagged_slots_sorted() {
                 let content = self.buckets.get(&bidx).and_then(|b| b.slots[slot].clone());
-                if !auth.verify_slot(bidx, slot, content.as_ref()) {
-                    if let Some(bucket) = self.buckets.get_mut(&bidx) {
-                        bucket.slots[slot] = None;
+                match auth.verdict_slot(bidx, slot, content.as_ref()) {
+                    FreshnessVerdict::Clean => {}
+                    verdict => {
+                        match verdict {
+                            FreshnessVerdict::Stale | FreshnessVerdict::Missing => {
+                                replays_detected += 1;
+                            }
+                            FreshnessVerdict::Spliced => splices_detected += 1,
+                            _ => {}
+                        }
+                        if let Some(bucket) = self.buckets.get_mut(&bidx) {
+                            bucket.slots[slot] = None;
+                        }
+                        auth.record_slot(bidx, slot, None);
                     }
-                    auth.record_slot(bidx, slot, None);
                 }
             }
-            // Device phase 2 — persisted PosMap entries: repair a corrupt
-            // leaf label from the newest authenticated copy of the
-            // address (the redundant copy names the true leaf).
+            // Device phase 2 — persisted PosMap entries: repair a corrupt,
+            // replayed, or spliced leaf label from the newest
+            // authenticated copy of the address (the redundant copy names
+            // the true leaf, and its counter proves it fresher).
             for a in auth.tagged_posmap_sorted() {
                 let addr = BlockAddr(a);
                 let leaf = self.posmap.persisted_get(addr);
-                if auth.verify_posmap(a, leaf.0) {
-                    continue;
+                match auth.verdict_posmap(a, leaf.0) {
+                    FreshnessVerdict::Clean => continue,
+                    FreshnessVerdict::Stale | FreshnessVerdict::Missing => replays_detected += 1,
+                    FreshnessVerdict::Spliced => splices_detected += 1,
+                    FreshnessVerdict::Tampered => {}
                 }
                 match self.newest_valid_copy(addr, auth) {
                     Some((_, _, copy)) => {
@@ -1289,9 +1567,15 @@ impl RingOram {
         }
 
         // Pass 1: find, per address, the newest copy matching the persisted
-        // PosMap — that is the copy recovery designates as live.
+        // PosMap — that is the copy recovery designates as live. Buckets
+        // are scanned in sorted order: the replay adversary can restore
+        // byte-exact stale duplicates whose seq numbers tie, and the
+        // winner of a tie must not depend on hash-map iteration order.
+        let mut sorted_indices: Vec<u64> = self.buckets.keys().copied().collect();
+        sorted_indices.sort_unstable();
         let mut best: HashMap<u64, (u64, u64, usize)> = HashMap::new();
-        for (&bidx, bucket) in &self.buckets {
+        for &bidx in &sorted_indices {
+            let bucket = &self.buckets[&bidx];
             for (s, slot) in bucket.slots.iter().enumerate() {
                 if let Some(b) = slot {
                     if b.leaf() == self.posmap.persisted_get(b.addr()) {
@@ -1305,8 +1589,13 @@ impl RingOram {
         }
         // Pass 2: promote winners, drop superseded matching duplicates,
         // revalidate everything. Controller-initiated slot mutations are
-        // legitimate writes, so their tags are refreshed.
-        for (&bidx, bucket) in &mut self.buckets {
+        // legitimate writes, so their tags are refreshed. (Per-slot
+        // outcomes depend only on `best`, but the scan stays sorted so
+        // any future side effects inherit determinism.)
+        for &bidx in &sorted_indices {
+            let Some(bucket) = self.buckets.get_mut(&bidx) else {
+                continue;
+            };
             for (s, slot) in bucket.slots.iter_mut().enumerate() {
                 if let Some(b) = slot {
                     let leaf = self.posmap.persisted_get(b.addr());
@@ -1376,6 +1665,10 @@ impl RingOram {
             }
             // The temporary PosMap did not survive the power failure.
             auth.clear_temp_seal();
+            // Close the freshness epoch: repairs bumped counters, so
+            // re-anchor the persisted root for the rounds that follow.
+            auth.advance_epoch();
+            self.engine.persist_root(auth.root());
         }
         self.auth = auth;
         if let Some(class) = self.engine.poisoned() {
@@ -1389,6 +1682,8 @@ impl RingOram {
         report.rolled_back = rolled_back;
         report.incidents = incidents;
         report.errors = errors;
+        report.replays_detected = replays_detected;
+        report.splices_detected = splices_detected;
         report.poisoned = self.engine.poisoned().is_some();
         self.engine.finish_recovery(report)
     }

@@ -82,6 +82,25 @@ impl Cmac {
         self.aes.encrypt_block(&x)
     }
 
+    /// Computes the tag of a multi-part message under a one-byte domain.
+    ///
+    /// Each part is prefixed with its little-endian length before MACing,
+    /// so differently split inputs can never collide: `("ab", "c")` and
+    /// `("a", "bc")` authenticate different byte streams. The freshness
+    /// layer uses this to fold unit identities and monotonic version
+    /// counters into the CMAC input without framing ambiguity, and the
+    /// domain byte keeps slot, PosMap, and counter-tree tags in disjoint
+    /// message spaces under one key.
+    pub fn tag_parts(&self, domain: u8, parts: &[&[u8]]) -> [u8; 16] {
+        let mut msg = Vec::with_capacity(1 + parts.iter().map(|p| 8 + p.len()).sum::<usize>());
+        msg.push(domain);
+        for p in parts {
+            msg.extend_from_slice(&(p.len() as u64).to_le_bytes());
+            msg.extend_from_slice(p);
+        }
+        self.tag(&msg)
+    }
+
     /// Constant-shape verification of a tag.
     pub fn verify(&self, msg: &[u8], tag: &[u8; 16]) -> bool {
         let computed = self.tag(msg);
@@ -162,5 +181,24 @@ mod tests {
         let mac = Cmac::new(Aes128::new(&[7u8; 16]));
         assert_ne!(mac.tag(b"a"), mac.tag(b"b"));
         assert_ne!(mac.tag(b""), mac.tag(b"\0"));
+    }
+
+    #[test]
+    fn tag_parts_is_split_and_domain_separated() {
+        let mac = Cmac::new(Aes128::new(&[9u8; 16]));
+        // Splitting the same bytes differently must change the tag.
+        assert_ne!(
+            mac.tag_parts(1, &[b"ab", b"c"]),
+            mac.tag_parts(1, &[b"a", b"bc"])
+        );
+        // Same parts under different domains must change the tag.
+        assert_ne!(mac.tag_parts(1, &[b"abc"]), mac.tag_parts(2, &[b"abc"]));
+        // Deterministic.
+        assert_eq!(
+            mac.tag_parts(3, &[b"x", b"", b"y"]),
+            mac.tag_parts(3, &[b"x", b"", b"y"])
+        );
+        // Part count matters even when the concatenation is identical.
+        assert_ne!(mac.tag_parts(3, &[b"xy"]), mac.tag_parts(3, &[b"x", b"y"]));
     }
 }

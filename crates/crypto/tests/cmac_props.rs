@@ -34,11 +34,11 @@ fn oracle_cmac(key: &[u8; 16], msg: &[u8]) -> [u8; 16] {
     let k1 = dbl(aes.encrypt_block(&[0u8; 16]));
     let k2 = dbl(k1);
 
-    let complete = !msg.is_empty() && msg.len() % 16 == 0;
+    let complete = !msg.is_empty() && msg.len().is_multiple_of(16);
     let mut m = msg.to_vec();
     if !complete {
         m.push(0x80);
-        while m.len() % 16 != 0 {
+        while !m.len().is_multiple_of(16) {
             m.push(0);
         }
     }

@@ -49,6 +49,11 @@ pub struct DeviceCampaignConfig {
     /// Use [`FaultConfig::aggressive`] instead of
     /// [`FaultConfig::campaign_default`].
     pub aggressive: bool,
+    /// Arm the replay/splice adversary on top of the base mix: crashed
+    /// rounds may have persist units rolled back to authentic stale
+    /// versions or spliced across addresses, and fetches may be served
+    /// stale snapshots on the wire.
+    pub replay: bool,
 }
 
 impl Default for DeviceCampaignConfig {
@@ -60,6 +65,7 @@ impl Default for DeviceCampaignConfig {
             working_set: 24,
             full_check_every: 20,
             aggressive: false,
+            replay: false,
         }
     }
 }
@@ -75,10 +81,15 @@ impl DeviceCampaignConfig {
     }
 
     fn fault_config(&self) -> FaultConfig {
-        if self.aggressive {
+        let base = if self.aggressive {
             FaultConfig::aggressive()
         } else {
             FaultConfig::campaign_default()
+        };
+        if self.replay {
+            base.with_replay()
+        } else {
+            base
         }
     }
 }
@@ -129,6 +140,17 @@ pub struct DeviceFaultSummary {
     pub detected_failsafes: u64,
     /// Times the fail-safe poison latch forced a controller rebuild.
     pub failsafe_rebuilds: u64,
+    /// Persist units recovery convicted of carrying a stale (replayed or
+    /// rolled-back-to-genesis) version counter.
+    pub replays_detected: u64,
+    /// Persist units recovery convicted of a cross-address splice.
+    pub splices_detected: u64,
+    /// Stale snapshots the adversary actually served on the fetch wire.
+    pub stale_serves: u64,
+    /// Wire serves the hardened fetch path caught before consumption.
+    pub stale_serves_detected: u64,
+    /// Fetch-path verifications that latched the fail-safe poison.
+    pub fetch_poisons: u64,
 }
 
 /// Per-design outcome of a device campaign: the ordinary differential
@@ -151,6 +173,8 @@ pub struct DeviceCampaignReport {
     pub seed: u64,
     /// Whether the aggressive fault mix was used.
     pub aggressive: bool,
+    /// Whether the replay/splice adversary was armed.
+    pub replay: bool,
     /// Per-design outcomes.
     pub variants: Vec<DeviceVariantReport>,
 }
@@ -179,6 +203,31 @@ impl DeviceCampaignReport {
             .map(|v| v.device.injected.total_injected())
             .sum()
     }
+
+    /// Ground-truth replay-adversary events injected across all designs
+    /// (crash replays + cross splices + wire serves).
+    pub fn total_replays_injected(&self) -> u64 {
+        self.variants
+            .iter()
+            .map(|v| v.device.injected.total_replays())
+            .sum()
+    }
+
+    /// The freshness contract: every hardened design detected **all** of
+    /// the adversary's work. Crash-time damage is counted per convicted
+    /// unit (a splice pair yields two convictions, and overlapping
+    /// replay+splice damage on one unit reclassifies rather than
+    /// double-counts), so the crash-side criterion is
+    /// `detected >= injected events`; on the wire every served stale
+    /// snapshot must be caught before consumption, exactly.
+    pub fn all_replays_detected(&self) -> bool {
+        self.variants.iter().filter(|v| v.device.hardened).all(|v| {
+            let d = &v.device;
+            d.replays_detected + d.splices_detected
+                >= d.injected.stale_replays + d.injected.cross_splices
+                && d.stale_serves_detected == d.stale_serves
+        })
+    }
 }
 
 fn accumulate(into: &mut FaultStats, s: FaultStats) {
@@ -188,7 +237,20 @@ fn accumulate(into: &mut FaultStats, s: FaultStats) {
     into.bit_flips += s.bit_flips;
     into.read_faults += s.read_faults;
     into.stuck_reads += s.stuck_reads;
+    into.stale_replays += s.stale_replays;
+    into.cross_splices += s.cross_splices;
+    into.read_replays += s.read_replays;
     into.fates_drawn += s.fates_drawn;
+}
+
+/// Folds a torn-down controller's freshness counters into the summary
+/// (the counters live on the controller, so they must be harvested
+/// before a rebuild discards it).
+fn harvest_freshness(summary: &mut DeviceFaultSummary, target: &dyn crate::target::FaultTarget) {
+    let fs = target.freshness_stats();
+    summary.stale_serves += fs.stale_serves;
+    summary.stale_serves_detected += fs.stale_serves_detected;
+    summary.fetch_poisons += fs.fetch_poisons;
 }
 
 /// Tears down a poisoned controller and rebuilds it from the oracle's
@@ -198,6 +260,7 @@ fn rebuild(d: &mut Driver, variant: DesignVariant, cfg: &DeviceCampaignConfig, t
     if let Some(stats) = d.target.device_fault_stats() {
         accumulate(&mut d.device_summary.injected, stats);
     }
+    harvest_freshness(&mut d.device_summary, d.target.as_ref());
     d.device_summary.failsafe_rebuilds += 1;
     let epoch = d.device_summary.failsafe_rebuilds;
     d.oracle.drop_pending();
@@ -309,6 +372,7 @@ pub fn device_campaign_variant(
     if let Some(stats) = d.target.device_fault_stats() {
         accumulate(&mut d.device_summary.injected, stats);
     }
+    harvest_freshness(&mut d.device_summary, d.target.as_ref());
     let device = d.device_summary.clone();
     let report = d.finish();
     DeviceVariantReport { report, device }
@@ -326,6 +390,7 @@ pub fn device_campaign(cfg: &DeviceCampaignConfig) -> DeviceCampaignReport {
         mode: "device".into(),
         seed: cfg.seed,
         aggressive: cfg.aggressive,
+        replay: cfg.replay,
         variants,
     }
 }

@@ -303,6 +303,8 @@ impl Driver {
             self.device_summary.repairs += rec.repairs;
             self.device_summary.rollbacks += rec.rolled_back.len() as u64;
             self.device_summary.typed_errors += rec.errors.len() as u64;
+            self.device_summary.replays_detected += rec.replays_detected;
+            self.device_summary.splices_detected += rec.splices_detected;
             if rec.poisoned {
                 self.poisoned = true;
             }

@@ -18,6 +18,16 @@
 //! SplitMix64 stream so installing it never perturbs controller RNGs:
 //! with all probabilities at zero the instrumented system is
 //! bit-identical to the uninstrumented one.
+//!
+//! On top of the device violations, the plan models an *active* memory
+//! adversary against freshness: re-serving a stale-but-authentic snapshot
+//! of a persist unit ([`FaultClass::StaleReplay`]), or swapping two
+//! authentic units across addresses ([`FaultClass::CrossSplice`]). Both
+//! defeat pure content authentication — the replayed bytes carry a valid
+//! tag — and are only caught by the counter-tree freshness layer in
+//! `psoram-core`.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use serde::{Deserialize, Serialize};
 
@@ -44,6 +54,13 @@ pub enum FaultClass {
     MediaCorruption,
     /// A media read failed transiently (or the line is stuck).
     TransientRead,
+    /// A stale-but-authentic snapshot of a persist unit was re-served in
+    /// place of the freshest version (replay; includes rollback to the
+    /// never-written genesis state).
+    StaleReplay,
+    /// An authentic unit (content plus its stored freshness record) was
+    /// moved from one address onto another.
+    CrossSplice,
 }
 
 impl FaultClass {
@@ -55,6 +72,8 @@ impl FaultClass {
             FaultClass::DuplicatedSignal => "duplicated_signal",
             FaultClass::MediaCorruption => "media_corruption",
             FaultClass::TransientRead => "transient_read",
+            FaultClass::StaleReplay => "stale_replay",
+            FaultClass::CrossSplice => "cross_splice",
         }
     }
 }
@@ -88,6 +107,15 @@ pub struct FaultConfig {
     pub transient_read: f64,
     /// P(failure is stuck | read failure): retries will not help.
     pub stuck_read: f64,
+    /// P(the crash re-serves one stale-but-authentic persist unit of the
+    /// in-flight round) — the replay adversary.
+    pub stale_replay: f64,
+    /// P(the crash swaps two authentic persist units across addresses) —
+    /// the splice adversary.
+    pub cross_splice: f64,
+    /// P(one path load transiently re-serves a stale snapshot of a unit)
+    /// — the read-time replay adversary.
+    pub read_replay: f64,
 }
 
 impl FaultConfig {
@@ -100,11 +128,15 @@ impl FaultConfig {
             bit_flip_per_unit: 0.0,
             transient_read: 0.0,
             stuck_read: 0.0,
+            stale_replay: 0.0,
+            cross_splice: 0.0,
+            read_replay: 0.0,
         }
     }
 
     /// The device-fault campaign mix: every class fires often enough for
-    /// a few-hundred-crash campaign to exercise all of them.
+    /// a few-hundred-crash campaign to exercise all of them. The replay
+    /// adversary stays off — see [`FaultConfig::replay_mix`].
     pub fn campaign_default() -> Self {
         FaultConfig {
             torn_flush: 0.25,
@@ -113,6 +145,7 @@ impl FaultConfig {
             bit_flip_per_unit: 0.06,
             transient_read: 0.03,
             stuck_read: 0.10,
+            ..Self::disabled()
         }
     }
 
@@ -125,7 +158,22 @@ impl FaultConfig {
             bit_flip_per_unit: 0.25,
             transient_read: 0.08,
             stuck_read: 0.15,
+            ..Self::disabled()
         }
+    }
+
+    /// Arms the replay/splice adversary on top of an existing mix.
+    pub fn with_replay(mut self) -> Self {
+        self.stale_replay = 0.30;
+        self.cross_splice = 0.18;
+        self.read_replay = 0.05;
+        self
+    }
+
+    /// The replay campaign mix: the default device mix plus the
+    /// replay/splice adversary.
+    pub fn replay_mix() -> Self {
+        Self::campaign_default().with_replay()
     }
 
     /// `true` when every probability is zero.
@@ -135,12 +183,23 @@ impl FaultConfig {
             && self.duplicate_signal == 0.0
             && self.bit_flip_per_unit == 0.0
             && self.transient_read == 0.0
+            && self.stale_replay == 0.0
+            && self.cross_splice == 0.0
+            && self.read_replay == 0.0
     }
 }
 
 /// Counters of faults a plan has injected (ground truth, for differential
 /// checks against what recovery *detected*).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The replay-adversary counters (`stale_replays`, `cross_splices`,
+/// `read_replays`) are skipped during serialization while at their
+/// defaults, so device-campaign artifacts produced before the replay
+/// adversary existed deserialize unchanged and a replay-free run
+/// serializes exactly as it did before the fields existed. That
+/// skip-at-default contract is why `Serialize`/`Deserialize` are
+/// hand-written rather than derived.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultStats {
     /// Rounds torn mid-drain.
     pub torn_flushes: u64,
@@ -156,6 +215,12 @@ pub struct FaultStats {
     pub stuck_reads: u64,
     /// Crash-round fates drawn (including `Intact`).
     pub fates_drawn: u64,
+    /// Persist units re-served stale at a crash (replay adversary).
+    pub stale_replays: u64,
+    /// Unit pairs swapped across addresses at a crash (splice adversary).
+    pub cross_splices: u64,
+    /// Path loads that transiently re-served a stale unit snapshot.
+    pub read_replays: u64,
 }
 
 impl FaultStats {
@@ -166,6 +231,93 @@ impl FaultStats {
             + self.duplicated_signals
             + self.bit_flips
             + self.read_faults
+            + self.total_replays()
+    }
+
+    /// Freshness attacks injected (crash replays, splices, read replays).
+    pub fn total_replays(&self) -> u64 {
+        self.stale_replays + self.cross_splices + self.read_replays
+    }
+}
+
+impl Serialize for FaultStats {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("torn_flushes".to_string(), self.torn_flushes.to_value()),
+            ("signal_losses".to_string(), self.signal_losses.to_value()),
+            (
+                "duplicated_signals".to_string(),
+                self.duplicated_signals.to_value(),
+            ),
+            ("bit_flips".to_string(), self.bit_flips.to_value()),
+            ("read_faults".to_string(), self.read_faults.to_value()),
+            ("stuck_reads".to_string(), self.stuck_reads.to_value()),
+            ("fates_drawn".to_string(), self.fates_drawn.to_value()),
+        ];
+        if self.stale_replays != 0 {
+            fields.push(("stale_replays".to_string(), self.stale_replays.to_value()));
+        }
+        if self.cross_splices != 0 {
+            fields.push(("cross_splices".to_string(), self.cross_splices.to_value()));
+        }
+        if self.read_replays != 0 {
+            fields.push(("read_replays".to_string(), self.read_replays.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for FaultStats {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| serde::DeError::custom("expected object for FaultStats"))?;
+        fn optional(v: &serde::Value, key: &str) -> Result<u64, serde::DeError> {
+            match v.get(key) {
+                Some(inner) => u64::from_value(inner),
+                None => Ok(0),
+            }
+        }
+        Ok(FaultStats {
+            torn_flushes: Deserialize::from_value(serde::object_field(
+                fields,
+                "torn_flushes",
+                "FaultStats",
+            )?)?,
+            signal_losses: Deserialize::from_value(serde::object_field(
+                fields,
+                "signal_losses",
+                "FaultStats",
+            )?)?,
+            duplicated_signals: Deserialize::from_value(serde::object_field(
+                fields,
+                "duplicated_signals",
+                "FaultStats",
+            )?)?,
+            bit_flips: Deserialize::from_value(serde::object_field(
+                fields,
+                "bit_flips",
+                "FaultStats",
+            )?)?,
+            read_faults: Deserialize::from_value(serde::object_field(
+                fields,
+                "read_faults",
+                "FaultStats",
+            )?)?,
+            stuck_reads: Deserialize::from_value(serde::object_field(
+                fields,
+                "stuck_reads",
+                "FaultStats",
+            )?)?,
+            fates_drawn: Deserialize::from_value(serde::object_field(
+                fields,
+                "fates_drawn",
+                "FaultStats",
+            )?)?,
+            stale_replays: optional(v, "stale_replays")?,
+            cross_splices: optional(v, "cross_splices")?,
+            read_replays: optional(v, "read_replays")?,
+        })
     }
 }
 
@@ -182,6 +334,9 @@ impl psoram_obsv::MetricsSource for FaultStats {
         reg.set_counter(&R::key(prefix, "read_faults"), self.read_faults);
         reg.set_counter(&R::key(prefix, "stuck_reads"), self.stuck_reads);
         reg.set_counter(&R::key(prefix, "fates_drawn"), self.fates_drawn);
+        reg.set_counter(&R::key(prefix, "stale_replays"), self.stale_replays);
+        reg.set_counter(&R::key(prefix, "cross_splices"), self.cross_splices);
+        reg.set_counter(&R::key(prefix, "read_replays"), self.read_replays);
     }
 }
 
@@ -306,6 +461,95 @@ impl FaultPlan {
         self.next_u64()
     }
 
+    /// Draws whether the crash re-serves one stale unit of the in-flight
+    /// round, and which (an index into the round's persist units).
+    ///
+    /// With the replay adversary disabled (probability zero) no entropy
+    /// is consumed at all, so a replay-free mix keeps the exact fault
+    /// schedule of a plan that never knew about replays. With it armed,
+    /// draws are always consumed — even when `units == 0` and nothing
+    /// can be replayed — so the downstream schedule is independent of
+    /// round sizes. A replayed unit of the last applied round always has
+    /// an authentic prior snapshot (the round overwrote it), so a `Some`
+    /// here is always applied — the counter is ground truth for the
+    /// differential detection check.
+    pub fn replay_fate(&mut self, units: usize) -> Option<usize> {
+        if self.cfg.stale_replay <= 0.0 {
+            return None;
+        }
+        let hit = self.chance(self.cfg.stale_replay);
+        let pick = self.next_u64();
+        if units == 0 || !hit {
+            return None;
+        }
+        Some((pick % units as u64) as usize)
+    }
+
+    /// Counts one *applied* crash-time replay. The controller confirms
+    /// after restoring the unit's stale snapshot, so the ground-truth
+    /// counter only covers attacks that actually landed on media (a
+    /// drawn replay with no recorded history, for instance, never
+    /// happened).
+    pub fn confirm_stale_replay(&mut self) {
+        self.stats.stale_replays += 1;
+    }
+
+    /// Draws whether the crash swaps two authentic units of the in-flight
+    /// round across addresses, and which pair (distinct indices).
+    ///
+    /// Entropy rules mirror [`FaultPlan::replay_fate`]: zero probability
+    /// consumes nothing; an armed mix always draws, even when `units < 2`
+    /// and no pair exists.
+    pub fn splice_fate(&mut self, units: usize) -> Option<(usize, usize)> {
+        if self.cfg.cross_splice <= 0.0 {
+            return None;
+        }
+        let hit = self.chance(self.cfg.cross_splice);
+        let first = self.next_u64();
+        let second = self.next_u64();
+        if units < 2 || !hit {
+            return None;
+        }
+        let i = (first % units as u64) as usize;
+        let mut j = (second % (units as u64 - 1)) as usize;
+        if j >= i {
+            j += 1;
+        }
+        Some((i, j))
+    }
+
+    /// Counts one *applied* cross-address splice (see
+    /// [`FaultPlan::confirm_stale_replay`] for the confirm discipline).
+    /// A drawn pair whose indices land on the same media unit, or whose
+    /// units were already destroyed by bit rot, is a no-op the
+    /// controller never confirms.
+    pub fn confirm_cross_splice(&mut self) {
+        self.stats.cross_splices += 1;
+    }
+
+    /// Draws whether one media path load transiently re-serves a stale
+    /// snapshot, returning entropy for choosing which path unit.
+    ///
+    /// Entropy rules mirror [`FaultPlan::replay_fate`]: zero probability
+    /// consumes nothing. Whether the pick lands on a unit that *has* a
+    /// stale snapshot is the controller's to decide; it reports an
+    /// applied serve back via [`FaultPlan::confirm_read_replay`] so the
+    /// ground-truth counter only counts attacks that actually reached
+    /// the fetch path.
+    pub fn read_replay(&mut self) -> Option<u64> {
+        if self.cfg.read_replay <= 0.0 {
+            return None;
+        }
+        let hit = self.chance(self.cfg.read_replay);
+        let pick = self.next_u64();
+        hit.then_some(pick)
+    }
+
+    /// Counts one applied read-time replay (see [`FaultPlan::read_replay`]).
+    pub fn confirm_read_replay(&mut self) {
+        self.stats.read_replays += 1;
+    }
+
     /// Draws the outcome of one media path load.
     pub fn read_fault(&mut self) -> ReadFault {
         let fail = self.chance(self.cfg.transient_read);
@@ -342,12 +586,15 @@ mod tests {
 
     #[test]
     fn identical_seeds_produce_identical_schedules() {
-        let mut a = FaultPlan::new(7, FaultConfig::campaign_default());
-        let mut b = FaultPlan::new(7, FaultConfig::campaign_default());
+        let mut a = FaultPlan::new(7, FaultConfig::replay_mix());
+        let mut b = FaultPlan::new(7, FaultConfig::replay_mix());
         for units in [0usize, 1, 5, 9, 3, 12] {
             assert_eq!(a.round_fate(units), b.round_fate(units));
             assert_eq!(a.unit_corrupted(), b.unit_corrupted());
             assert_eq!(a.read_fault(), b.read_fault());
+            assert_eq!(a.replay_fate(units), b.replay_fate(units));
+            assert_eq!(a.splice_fate(units), b.splice_fate(units));
+            assert_eq!(a.read_replay(), b.read_replay());
             assert_eq!(a.entropy(), b.entropy());
         }
         assert_eq!(a.stats(), b.stats());
@@ -360,10 +607,112 @@ mod tests {
             assert_eq!(p.round_fate(8), RoundFate::Intact);
             assert!(!p.unit_corrupted());
             assert_eq!(p.read_fault(), ReadFault::None);
+            assert_eq!(p.replay_fate(8), None);
+            assert_eq!(p.splice_fate(8), None);
+            assert_eq!(p.read_replay(), None);
         }
         assert_eq!(p.stats().total_injected(), 0);
         assert!(FaultConfig::disabled().is_disabled());
         assert!(!FaultConfig::campaign_default().is_disabled());
+        assert!(!FaultConfig::replay_mix().is_disabled());
+    }
+
+    #[test]
+    fn replay_draws_are_schedule_invariant() {
+        // Within an armed mix the replay draws must consume entropy even
+        // when nothing can be replayed (empty round, singleton round for
+        // a splice), so the downstream schedule does not depend on round
+        // sizes.
+        let mut a = FaultPlan::new(5, FaultConfig::replay_mix());
+        let mut b = FaultPlan::new(5, FaultConfig::replay_mix());
+        assert_eq!(a.replay_fate(0), None);
+        assert_eq!(a.splice_fate(1), None);
+        let _ = b.replay_fate(9);
+        let _ = b.splice_fate(9);
+        assert_eq!(a.entropy(), b.entropy(), "draw counts diverged");
+
+        // With the adversary off (probability zero) the draws burn *no*
+        // entropy: a replay-free mix keeps the exact schedule of a plan
+        // that never drew replay fates at all.
+        let mut c = FaultPlan::new(6, FaultConfig::campaign_default());
+        let mut d = FaultPlan::new(6, FaultConfig::campaign_default());
+        let _ = c.replay_fate(4);
+        let _ = c.splice_fate(4);
+        let _ = c.read_replay();
+        assert_eq!(c.entropy(), d.entropy(), "disabled draws consumed entropy");
+    }
+
+    #[test]
+    fn splice_picks_a_distinct_pair() {
+        let mut p = FaultPlan::new(
+            17,
+            FaultConfig {
+                cross_splice: 1.0,
+                ..FaultConfig::disabled()
+            },
+        );
+        for units in [2usize, 3, 5, 8, 13] {
+            for _ in 0..64 {
+                let (i, j) = p.splice_fate(units).expect("p=1 must splice");
+                assert_ne!(i, j);
+                assert!(i < units && j < units);
+            }
+        }
+    }
+
+    #[test]
+    fn replay_classes_fire_under_replay_mix() {
+        let mut p = FaultPlan::new(0xF2E5, FaultConfig::replay_mix());
+        let mut applied_reads = 0;
+        for _ in 0..2000 {
+            if p.replay_fate(8).is_some() {
+                p.confirm_stale_replay();
+            }
+            if p.splice_fate(8).is_some() {
+                p.confirm_cross_splice();
+            }
+            if p.read_replay().is_some() {
+                p.confirm_read_replay();
+                applied_reads += 1;
+            }
+        }
+        let s = p.stats();
+        assert!(s.stale_replays > 0, "no stale replay in 2000 draws");
+        assert!(s.cross_splices > 0, "no cross splice in 2000 draws");
+        assert_eq!(s.read_replays, applied_reads);
+        assert_eq!(
+            s.total_replays(),
+            s.stale_replays + s.cross_splices + s.read_replays
+        );
+        assert!(s.total_injected() >= s.total_replays());
+    }
+
+    #[test]
+    fn fault_stats_serde_skips_replay_fields_at_default() {
+        // Golden-compatibility contract: a replay-free stats record
+        // serializes exactly as it did before the adversary existed.
+        let s = FaultStats {
+            torn_flushes: 3,
+            fates_drawn: 10,
+            ..FaultStats::default()
+        };
+        let json = serde_json::to_string(&s).expect("serialize");
+        assert!(!json.contains("stale_replays"));
+        assert!(!json.contains("cross_splices"));
+        assert!(!json.contains("read_replays"));
+        let back: FaultStats = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, s);
+
+        let armed = FaultStats {
+            stale_replays: 2,
+            cross_splices: 1,
+            read_replays: 4,
+            ..s
+        };
+        let json = serde_json::to_string(&armed).expect("serialize");
+        assert!(json.contains("stale_replays"));
+        let back: FaultStats = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, armed);
     }
 
     #[test]
@@ -417,5 +766,7 @@ mod tests {
         assert_eq!(FaultClass::DuplicatedSignal.label(), "duplicated_signal");
         assert_eq!(FaultClass::MediaCorruption.label(), "media_corruption");
         assert_eq!(FaultClass::TransientRead.label(), "transient_read");
+        assert_eq!(FaultClass::StaleReplay.label(), "stale_replay");
+        assert_eq!(FaultClass::CrossSplice.to_string(), "cross_splice");
     }
 }

@@ -18,35 +18,47 @@ enum Op {
     Unit,
     Read,
     Entropy,
+    Replay(usize),
+    Splice(usize),
+    ReadReplay,
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
-    (0u8..4, 0usize..24).prop_map(|(kind, units)| match kind {
+    (0u8..7, 0usize..24).prop_map(|(kind, units)| match kind {
         0 => Op::Fate(units),
         1 => Op::Unit,
         2 => Op::Read,
+        3 => Op::Replay(units),
+        4 => Op::Splice(units),
+        5 => Op::ReadReplay,
         _ => Op::Entropy,
     })
 }
 
-/// A probability mix drawn from the full unit cube (not just the three
+/// A probability mix drawn from the full unit cube (not just the
 /// presets), so schedule invariance is tested against arbitrary configs.
 fn config_strategy() -> impl Strategy<Value = FaultConfig> {
     (
-        0.0f64..1.0,
-        0.0f64..1.0,
-        0.0f64..1.0,
-        0.0f64..1.0,
-        0.0f64..1.0,
-        0.0f64..1.0,
+        (
+            0.0f64..1.0,
+            0.0f64..1.0,
+            0.0f64..1.0,
+            0.0f64..1.0,
+            0.0f64..1.0,
+            0.0f64..1.0,
+        ),
+        (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0),
     )
-        .prop_map(|(t, l, d, b, r, s)| FaultConfig {
+        .prop_map(|((t, l, d, b, r, s), (sr, cs, rr))| FaultConfig {
             torn_flush: t,
             signal_loss: l,
             duplicate_signal: d,
             bit_flip_per_unit: b,
             transient_read: r,
             stuck_read: s,
+            stale_replay: sr,
+            cross_splice: cs,
+            read_replay: rr,
         })
 }
 
@@ -105,6 +117,9 @@ proptest! {
                 Op::Fate(units) => prop_assert_eq!(p.round_fate(units), RoundFate::Intact),
                 Op::Unit => prop_assert!(!p.unit_corrupted()),
                 Op::Read => prop_assert_eq!(p.read_fault(), ReadFault::None),
+                Op::Replay(units) => prop_assert_eq!(p.replay_fate(units), None),
+                Op::Splice(units) => prop_assert_eq!(p.splice_fate(units), None),
+                Op::ReadReplay => prop_assert_eq!(p.read_replay(), None),
                 Op::Entropy => {
                     let _ = p.entropy();
                 }
@@ -142,6 +157,18 @@ proptest! {
                     let _ = a.read_fault();
                     let _ = b.read_fault();
                 }
+                Op::Replay(units) => {
+                    let _ = a.replay_fate(units);
+                    let _ = b.replay_fate(units);
+                }
+                Op::Splice(units) => {
+                    let _ = a.splice_fate(units);
+                    let _ = b.splice_fate(units);
+                }
+                Op::ReadReplay => {
+                    let _ = a.read_replay();
+                    let _ = b.read_replay();
+                }
                 Op::Entropy => {
                     let _ = a.entropy();
                     let _ = b.entropy();
@@ -168,10 +195,34 @@ proptest! {
                 Op::Fate(units) => prop_assert_eq!(a.round_fate(units), b.round_fate(units)),
                 Op::Unit => prop_assert_eq!(a.unit_corrupted(), b.unit_corrupted()),
                 Op::Read => prop_assert_eq!(a.read_fault(), b.read_fault()),
+                Op::Replay(units) => prop_assert_eq!(a.replay_fate(units), b.replay_fate(units)),
+                Op::Splice(units) => prop_assert_eq!(a.splice_fate(units), b.splice_fate(units)),
+                Op::ReadReplay => prop_assert_eq!(a.read_replay(), b.read_replay()),
                 Op::Entropy => prop_assert_eq!(a.entropy(), b.entropy()),
             }
         }
         prop_assert_eq!(a.stats(), b.stats());
+    }
+
+    /// Replay picks always index into the round (and a splice pair is
+    /// always distinct), for every seed and mix — the controllers index
+    /// `last_round` unit lists with these picks unchecked.
+    #[test]
+    fn replay_picks_are_in_range(
+        seed in any::<u64>(),
+        cfg in config_strategy(),
+        sizes in prop::collection::vec(0usize..32, 1..64),
+    ) {
+        let mut p = FaultPlan::new(seed, cfg);
+        for units in sizes {
+            if let Some(i) = p.replay_fate(units) {
+                prop_assert!(i < units);
+            }
+            if let Some((i, j)) = p.splice_fate(units) {
+                prop_assert!(i < units && j < units);
+                prop_assert!(i != j);
+            }
+        }
     }
 
     /// Transient read faults always retry out within the bounded-retry

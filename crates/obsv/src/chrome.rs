@@ -163,11 +163,7 @@ fn write_event(out: &mut String, pid: u32, e: &Event) {
             write,
             cycle,
         } => {
-            let name = format!(
-                "{}_{}",
-                level.label(),
-                if write { "write" } else { "read" }
-            );
+            let name = format!("{}_{}", level.label(), if write { "write" } else { "read" });
             instant(out, pid, TID_CACHE, &name, cycle, &[]);
         }
         Event::Crash { cycle } => instant(out, pid, TID_CRASH, "crash", cycle, &[]),

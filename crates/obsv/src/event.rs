@@ -117,6 +117,10 @@ pub enum DeviceFaultKind {
     MediaCorruption,
     /// A media read failed (transiently or stuck).
     TransientRead,
+    /// A stale-but-authentic unit was re-served (freshness replay).
+    StaleReplay,
+    /// An authentic unit was relocated across addresses (splice).
+    CrossSplice,
 }
 
 impl DeviceFaultKind {
@@ -128,6 +132,8 @@ impl DeviceFaultKind {
             DeviceFaultKind::DuplicatedSignal => "duplicated_signal",
             DeviceFaultKind::MediaCorruption => "media_corruption",
             DeviceFaultKind::TransientRead => "transient_read",
+            DeviceFaultKind::StaleReplay => "stale_replay",
+            DeviceFaultKind::CrossSplice => "cross_splice",
         }
     }
 }

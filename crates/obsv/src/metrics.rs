@@ -253,10 +253,7 @@ impl MetricsRegistry {
                     posmap_units,
                     ..
                 } => {
-                    self.observe(
-                        &Self::key(prefix, "round.units"),
-                        data_units + posmap_units,
-                    );
+                    self.observe(&Self::key(prefix, "round.units"), data_units + posmap_units);
                 }
                 Event::Crash { .. } => {
                     self.add_counter(&Self::key(prefix, "crashes"), 1);

@@ -48,19 +48,23 @@ struct Args {
 }
 
 fn parse_args() -> Args {
+    // The shared pass (psoram_bench::CommonCli) consumes --jobs,
+    // --trace-out, and --metrics-out; this parser only owns the
+    // campaign-specific flags left in `rest`.
+    let common = psoram_bench::CommonCli::parse();
     let mut args = Args {
         smoke: false,
         mode: "both".into(),
         seed: None,
         out: None,
-        trace_out: None,
-        metrics_out: None,
+        trace_out: common.trace_out,
+        metrics_out: common.metrics_out,
         quiet: false,
         device_faults: false,
         aggressive_faults: false,
         replay_faults: false,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = common.rest.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => args.smoke = true,
@@ -80,28 +84,6 @@ fn parse_args() -> Args {
                 );
             }
             "--out" => args.out = Some(it.next().unwrap_or_else(|| usage("--out needs a value"))),
-            "--trace-out" => {
-                args.trace_out = Some(
-                    it.next()
-                        .unwrap_or_else(|| usage("--trace-out needs a value")),
-                );
-            }
-            "--metrics-out" => {
-                args.metrics_out = Some(
-                    it.next()
-                        .unwrap_or_else(|| usage("--metrics-out needs a value")),
-                );
-            }
-            "--jobs" => {
-                let v = it.next().unwrap_or_else(|| usage("--jobs needs a value"));
-                let n: usize = v
-                    .parse()
-                    .unwrap_or_else(|_| usage("--jobs must be a positive integer"));
-                if n == 0 {
-                    usage("--jobs must be a positive integer");
-                }
-                std::env::set_var(psoram_faultsim::par::JOBS_ENV, v);
-            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument `{other}`")),
         }

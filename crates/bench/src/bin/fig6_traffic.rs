@@ -6,8 +6,7 @@ use psoram_core::ProtocolVariant;
 use psoram_trace::SpecWorkload;
 
 fn main() {
-    psoram_bench::init_jobs_from_cli();
-    let obsv = psoram_bench::obsv_cli_from_args();
+    let obsv = psoram_bench::CommonCli::parse();
     let harness = SimHarness::new(1);
     harness.banner("Figure 6: NVM read/write traffic");
 

@@ -10,8 +10,7 @@ use psoram_core::ring::{RingConfig, RingOram, RingVariant};
 use psoram_core::{OramConfig, PathOram, ProtocolPolicy, ProtocolVariant};
 
 fn main() {
-    psoram_bench::init_jobs_from_cli();
-    let obsv = psoram_bench::obsv_cli_from_args();
+    let obsv = psoram_bench::CommonCli::parse();
     psoram_bench::print_config_banner("Ring ORAM vs Path ORAM (extension)");
     let accesses: usize = std::env::var("PSORAM_RECORDS")
         .ok()

@@ -1,0 +1,281 @@
+//! Tracked service-throughput benchmark (`BENCH_06.json`).
+//!
+//! Drives the sharded request-queue/worker front-end (`psoram-service`)
+//! and reports end-to-end latency percentiles and aggregate throughput
+//! in **simulated** time — every number in the JSON derives from core
+//! cycles and seeds, so the file is byte-identical across runs, worker
+//! counts, and machines. Wall-clock goes to stderr only (opt back in
+//! with `--wallclock`, which adds a machine-varying section).
+//!
+//! Two points are always measured:
+//!
+//! * **baseline** — one shard: a single controller absorbing the whole
+//!   open-loop arrival stream. At the default rate the controller
+//!   saturates, so throughput is service-limited and queues grow.
+//! * **sharded** — N shards (default 4): the same stream routed across
+//!   independent persistence domains; aggregate throughput must beat
+//!   the single-controller point (`speedup` in the report).
+//!
+//! Usage:
+//!
+//! ```text
+//! service_bench [--smoke] [--out FILE] [--jobs N]
+//!               [--shards N] [--clients N] [--rate REQ_PER_SEC]
+//!               [--requests N] [--batch N] [--levels N] [--seed N]
+//!               [--lane controller|full-system]
+//!               [--crash-shard K[:AFTER]] [--wallclock]
+//!               [--trace-out FILE] [--metrics-out FILE]
+//! ```
+//!
+//! `--crash-shard K[:AFTER]` strikes shard K after AFTER completed
+//! requests (default 1/4 of its expected share): the struck lane runs
+//! the hardened recovery path plus a modeled reboot penalty while the
+//! sibling lanes are — provably, see `crash_isolation.rs` — untouched.
+
+use std::time::Instant;
+
+use psoram_service::{run_service, LaneKind, ServiceConfig, ServiceOutcome, ShardCrashPlan};
+
+struct Args {
+    out: String,
+    smoke: bool,
+    wallclock: bool,
+    jobs: usize,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    cfg: ServiceConfig,
+}
+
+fn parse_args() -> Args {
+    let common = psoram_bench::CommonCli::parse();
+    let mut args = Args {
+        out: "BENCH_06.json".into(),
+        smoke: false,
+        wallclock: false,
+        jobs: common.jobs,
+        trace_out: common.trace_out,
+        metrics_out: common.metrics_out,
+        cfg: ServiceConfig::bench(),
+    };
+    let mut crash: Option<(u32, Option<u64>)> = None;
+    let mut it = common.rest.into_iter();
+    let num = |it: &mut dyn Iterator<Item = String>, flag: &str| -> u64 {
+        it.next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| usage(&format!("{flag} needs a non-negative integer")))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => {
+                args.smoke = true;
+                let keep = args.cfg.crash;
+                args.cfg = ServiceConfig::smoke();
+                args.cfg.crash = keep;
+            }
+            "--wallclock" => args.wallclock = true,
+            "--out" => args.out = it.next().unwrap_or_else(|| usage("--out needs a value")),
+            "--shards" => args.cfg.shards = num(&mut it, "--shards") as u32,
+            "--clients" => args.cfg.clients = num(&mut it, "--clients") as u32,
+            "--rate" => args.cfg.arrival_rate = num(&mut it, "--rate"),
+            "--requests" => args.cfg.requests = num(&mut it, "--requests"),
+            "--batch" => args.cfg.batch_size = num(&mut it, "--batch") as usize,
+            "--levels" => args.cfg.levels = num(&mut it, "--levels") as u32,
+            "--seed" => args.cfg.seed = num(&mut it, "--seed"),
+            "--lane" => {
+                args.cfg.lane = match it.next().as_deref() {
+                    Some("controller") => LaneKind::Controller,
+                    Some("full-system") => LaneKind::FullSystem,
+                    _ => usage("--lane must be controller or full-system"),
+                }
+            }
+            "--crash-shard" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("--crash-shard needs K or K:AFTER"));
+                let (k, after) = match v.split_once(':') {
+                    Some((k, n)) => (k.parse().ok(), n.parse().ok().map(Some)),
+                    None => (v.parse().ok(), Some(None)),
+                };
+                match (k, after) {
+                    (Some(k), Some(after)) => crash = Some((k, after)),
+                    _ => usage("--crash-shard must be K or K:AFTER (integers)"),
+                }
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    if args.cfg.shards == 0 || args.cfg.requests == 0 {
+        usage("--shards and --requests must be positive");
+    }
+    if let Some((shard, after)) = crash {
+        if shard >= args.cfg.shards {
+            usage("--crash-shard index must be below --shards");
+        }
+        // Default strike point: a quarter of the shard's expected share.
+        let after = after.unwrap_or((args.cfg.requests / args.cfg.shards as u64 / 4).max(1));
+        args.cfg.crash = Some(ShardCrashPlan {
+            shard,
+            after_requests: after,
+        });
+    }
+    args
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "service_bench: sharded multi-tenant ORAM front-end benchmark\n\n\
+         options:\n\
+         \x20 --smoke              reduced size for CI (4 shards, L=10)\n\
+         \x20 --out FILE           output JSON path (default BENCH_06.json)\n\
+         \x20 --shards N           persistence domains (default 4)\n\
+         \x20 --clients N          simulated open-loop clients\n\
+         \x20 --rate N             aggregate arrival rate, requests/sec\n\
+         \x20 --requests N         total requests\n\
+         \x20 --batch N            max requests per dispatched batch\n\
+         \x20 --levels N           ORAM tree levels per shard\n\
+         \x20 --seed N             schedule/shard seed\n\
+         \x20 --lane KIND          controller (default) or full-system\n\
+         \x20 --crash-shard K[:A]  crash shard K after A completions\n\
+         \x20 --wallclock          add machine-varying wall-clock JSON\n\
+         \x20 --jobs N             worker threads (report is identical\n\
+         \x20                      at any count)\n\
+         \x20 --trace-out FILE     chrome://tracing timeline of the\n\
+         \x20                      sharded run\n\
+         \x20 --metrics-out FILE   metrics snapshot of the sharded run"
+    );
+    std::process::exit(2);
+}
+
+fn timed(cfg: &ServiceConfig, jobs: usize) -> (ServiceOutcome, f64) {
+    let t = Instant::now();
+    let out = run_service(cfg, jobs);
+    (out, t.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = &args.cfg;
+    psoram_bench::print_config_banner("service front-end (BENCH_06)");
+    eprintln!(
+        "[service: {} requests, {} shards x L={}, {} clients @ {} req/s, batch {}, lane {}]",
+        cfg.requests,
+        cfg.shards,
+        cfg.levels,
+        cfg.clients,
+        cfg.arrival_rate,
+        cfg.batch_size,
+        cfg.lane.label(),
+    );
+
+    // Point 1: single-controller baseline — same stream, one shard, no
+    // crash plan (the plan targets a shard index of the sharded run).
+    let mut base_cfg = cfg.clone();
+    base_cfg.shards = 1;
+    base_cfg.crash = None;
+    let (base, base_secs) = timed(&base_cfg, args.jobs);
+
+    // Point 2: the sharded front-end, traced when an observability sink
+    // was requested (tracing provably does not perturb the report — see
+    // `determinism.rs`).
+    let mut sharded_cfg = cfg.clone();
+    sharded_cfg.trace = args.trace_out.is_some() || args.metrics_out.is_some();
+    let (sharded, sharded_secs) = timed(&sharded_cfg, args.jobs);
+
+    // Worker-count identity self-check, like perf_baseline's campaign
+    // comparison: the report must be byte-identical at 1 worker.
+    let mut check_cfg = sharded_cfg.clone();
+    check_cfg.trace = false;
+    let serial = run_service(&check_cfg, 1);
+    assert_eq!(
+        serde_json::to_string(&serial.report).expect("serialize"),
+        serde_json::to_string(&sharded.report).expect("serialize"),
+        "service report differs between --jobs 1 and --jobs {}: \
+         the deterministic scheduler is broken",
+        args.jobs
+    );
+
+    if let Some(path) = &args.trace_out {
+        let label = format!("service/{}x{}", cfg.shards, cfg.lane.label());
+        let json = psoram_obsv::chrome_trace_json(&[(label, sharded.events.clone())]);
+        psoram_bench::write_obsv_file(path, &json);
+    }
+    if let Some(path) = &args.metrics_out {
+        let mut reg = psoram_obsv::MetricsRegistry::new();
+        reg.ingest_events("service", &sharded.events);
+        psoram_bench::write_obsv_file(path, &reg.to_json_string());
+    }
+
+    let speedup = sharded.report.aggregate.accesses_per_sec
+        / base.report.aggregate.accesses_per_sec.max(1e-9);
+    // The wall-clock section is opt-in because it varies by machine —
+    // the default report must stay byte-identical everywhere.
+    let report = if args.wallclock {
+        serde_json::json!({
+            "bench": "service_bench",
+            "smoke": args.smoke,
+            "baseline_single_shard": serde_json::to_value(&base.report),
+            "sharded": serde_json::to_value(&sharded.report),
+            "speedup": speedup,
+            "wallclock": {
+                "baseline_secs": base_secs,
+                "sharded_secs": sharded_secs,
+            },
+        })
+    } else {
+        serde_json::json!({
+            "bench": "service_bench",
+            "smoke": args.smoke,
+            "baseline_single_shard": serde_json::to_value(&base.report),
+            "sharded": serde_json::to_value(&sharded.report),
+            "speedup": speedup,
+        })
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write --out {}: {e}", args.out);
+        std::process::exit(2);
+    });
+    println!("[saved {}]", args.out);
+
+    let b = &base.report;
+    let s = &sharded.report;
+    println!(
+        "baseline  1 shard : p50 {:>9} cyc  p99 {:>9} cyc  {:>10.0} acc/s",
+        b.latency_cycles.p50, b.latency_cycles.p99, b.aggregate.accesses_per_sec
+    );
+    println!(
+        "sharded  {:>2} shards: p50 {:>9} cyc  p99 {:>9} cyc  {:>10.0} acc/s  ({speedup:.2}x)",
+        s.shards, s.latency_cycles.p50, s.latency_cycles.p99, s.aggregate.accesses_per_sec
+    );
+    for lane in &s.lanes {
+        println!(
+            "  shard {}: {:>6} reqs {:>5} batches  wait~{:>8} cyc  {:>10.0} acc/s  crashes {}  verify {}",
+            lane.shard,
+            lane.requests,
+            lane.batches,
+            lane.queue_wait_mean_cycles,
+            lane.throughput_accesses_per_sec,
+            lane.crashes,
+            if lane.verify_ok { "ok" } else { "FAIL" },
+        );
+    }
+    eprintln!("[wall-clock: baseline {base_secs:.2}s, sharded {sharded_secs:.2}s]");
+
+    if s.lanes.iter().any(|l| !l.verify_ok) {
+        eprintln!("FAIL: a shard failed its end-of-run contents check");
+        std::process::exit(1);
+    }
+    if speedup <= 1.0 {
+        eprintln!(
+            "WARN: sharded aggregate did not beat the single-controller \
+             baseline (speedup {speedup:.2}x) — rate {} req/s may not \
+             saturate one controller at L={}",
+            cfg.arrival_rate, cfg.levels
+        );
+    }
+}

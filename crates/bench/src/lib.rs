@@ -33,78 +33,91 @@ use psoram_trace::SpecWorkload;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Applies a `--jobs N` command-line flag by exporting `PSORAM_JOBS`, then
-/// returns the resolved worker count (honouring an already-set env var, and
-/// defaulting to all cores).
-///
-/// The figure binaries accept `--jobs` uniformly through this helper; other
-/// arguments are left for the binary's own parser. `--jobs 1` restores the
-/// legacy serial behavior. The output of every binary is byte-identical at
-/// any job count — parallelism only changes wall-clock (see DESIGN.md).
-///
-/// # Panics
-///
-/// Exits the process (status 2) on a malformed `--jobs` value.
-pub fn init_jobs_from_cli() -> usize {
-    let mut it = std::env::args().skip(1);
-    while let Some(a) = it.next() {
-        let value = if a == "--jobs" {
-            it.next()
-        } else if let Some(v) = a.strip_prefix("--jobs=") {
-            Some(v.to_string())
-        } else {
-            continue;
-        };
-        match value.and_then(|v| v.parse::<usize>().ok()) {
-            Some(n) if n >= 1 => std::env::set_var(psoram_faultsim::par::JOBS_ENV, n.to_string()),
-            _ => {
-                eprintln!("error: --jobs needs a positive integer");
-                std::process::exit(2);
-            }
-        }
-    }
-    psoram_faultsim::resolve_jobs(0)
-}
-
-/// Observability output paths shared by the experiment binaries:
-/// `--trace-out FILE` (chrome://tracing JSON timeline) and
+/// The CLI surface shared by every experiment binary: `--jobs N`
+/// (exported as `PSORAM_JOBS` for the deterministic worker pool),
+/// `--trace-out FILE` (chrome://tracing JSON timeline), and
 /// `--metrics-out FILE` (flat counters/gauges/histograms snapshot).
+///
+/// One pass over argv consumes the shared flags and leaves everything
+/// else in [`CommonCli::rest`] for the binary's own parser — so no
+/// binary duplicates the jobs/observability parsing, and new shared
+/// flags land everywhere at once. `--jobs 1` restores the legacy serial
+/// behavior; the output of every binary is byte-identical at any job
+/// count — parallelism only changes wall-clock (see DESIGN.md).
 #[derive(Debug, Clone, Default)]
-pub struct ObsvCli {
+pub struct CommonCli {
+    /// Resolved worker count (after applying `--jobs` / `PSORAM_JOBS`).
+    pub jobs: usize,
     /// Destination for the chrome://tracing JSON, if requested.
     pub trace_out: Option<String>,
     /// Destination for the metrics snapshot JSON, if requested.
     pub metrics_out: Option<String>,
+    /// Arguments the shared pass did not consume, in order.
+    pub rest: Vec<String>,
 }
 
-/// Scans argv for `--trace-out`/`--metrics-out` (tolerating all other
-/// arguments, like [`init_jobs_from_cli`]) and returns the paths.
-///
-/// # Panics
-///
-/// Exits the process (status 2) when a flag is given without a value.
-pub fn obsv_cli_from_args() -> ObsvCli {
-    let mut cli = ObsvCli::default();
-    let mut it = std::env::args().skip(1);
-    while let Some(a) = it.next() {
-        for (flag, slot) in [
-            ("--trace-out", &mut cli.trace_out),
-            ("--metrics-out", &mut cli.metrics_out),
-        ] {
-            if a == flag {
-                match it.next() {
-                    Some(v) => *slot = Some(v),
-                    None => {
-                        eprintln!("error: {flag} needs a file path");
+impl CommonCli {
+    /// Parses the process argv (skipping the binary name).
+    ///
+    /// # Panics
+    ///
+    /// Exits the process (status 2) on a malformed shared flag.
+    pub fn parse() -> CommonCli {
+        Self::from_args(std::env::args().skip(1).collect())
+    }
+
+    /// Parses an explicit argument vector (testable entry point).
+    ///
+    /// # Panics
+    ///
+    /// Exits the process (status 2) on a malformed shared flag.
+    pub fn from_args(args: Vec<String>) -> CommonCli {
+        let mut cli = CommonCli::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            let jobs_value = if a == "--jobs" {
+                Some(it.next())
+            } else {
+                a.strip_prefix("--jobs=").map(|v| Some(v.to_string()))
+            };
+            if let Some(value) = jobs_value {
+                match value.and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => {
+                        std::env::set_var(psoram_faultsim::par::JOBS_ENV, n.to_string())
+                    }
+                    _ => {
+                        eprintln!("error: --jobs needs a positive integer");
                         std::process::exit(2);
                     }
                 }
-            } else if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
-                *slot = Some(v.to_string());
+                continue;
+            }
+            let mut consumed = false;
+            for (flag, slot) in [
+                ("--trace-out", &mut cli.trace_out),
+                ("--metrics-out", &mut cli.metrics_out),
+            ] {
+                if a == flag {
+                    match it.next() {
+                        Some(v) => *slot = Some(v),
+                        None => {
+                            eprintln!("error: {flag} needs a file path");
+                            std::process::exit(2);
+                        }
+                    }
+                    consumed = true;
+                } else if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+                    *slot = Some(v.to_string());
+                    consumed = true;
+                }
+            }
+            if !consumed {
+                cli.rest.push(a);
             }
         }
+        cli.jobs = psoram_faultsim::resolve_jobs(0);
+        cli
     }
-    cli
 }
 
 /// Writes an observability artifact (chrome trace or metrics snapshot),
@@ -578,6 +591,27 @@ mod tests {
         assert!(s.contains("gmean"));
         assert_eq!(t.get("w1", "b"), Some(2.0));
         assert_eq!(t.get("w1", "c"), None);
+    }
+
+    #[test]
+    fn common_cli_splits_shared_flags_from_rest() {
+        let cli = CommonCli::from_args(
+            [
+                "--smoke",
+                "--trace-out",
+                "t.json",
+                "--metrics-out=m.json",
+                "--out",
+                "r.json",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        );
+        assert_eq!(cli.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(cli.metrics_out.as_deref(), Some("m.json"));
+        assert_eq!(cli.rest, vec!["--smoke", "--out", "r.json"]);
+        assert!(cli.jobs >= 1);
     }
 
     #[test]

@@ -57,6 +57,7 @@ mod posmap;
 mod recursive;
 pub mod ring;
 pub mod security;
+mod shard;
 mod stash;
 mod stats;
 mod tree;
@@ -73,6 +74,7 @@ pub use integrity::{IntegrityTree, IntegrityViolation};
 pub use posmap::{PosMap, TempPosMap};
 pub use recursive::{RecLevel, RecursivePosMap, ENTRIES_PER_BLOCK};
 pub use security::{AccessRecorder, ObservedAccess};
+pub use shard::{ShardController, ShardRange, ShardStep};
 pub use stash::Stash;
 pub use stats::OramStats;
 pub use tree::{BucketIndex, OramTree};

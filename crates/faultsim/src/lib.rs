@@ -18,6 +18,12 @@
 //!   and fails reads underneath every design. Hardened designs must
 //!   repair, roll back with typed errors, or fail safe; never diverge
 //!   silently.
+//! * **Fleet campaigns** ([`fleet_campaign`]): N independent instances
+//!   of a design run side by side from per-instance seeds; a power
+//!   fault can strike exactly one instance mid-load, and the
+//!   per-instance reports prove recovery stays local — the sharded
+//!   service's failure model (per-shard recovery, no global
+//!   stop-the-world).
 //! * **Differential oracle** ([`ShadowOracle`]): an independent shadow
 //!   map of logical address → last durably committed value. After every
 //!   recovery it asserts that no committed write is lost and no
@@ -54,6 +60,7 @@
 mod campaign;
 mod device;
 mod driver;
+mod fleet;
 mod oracle;
 pub mod par;
 mod report;
@@ -68,6 +75,7 @@ pub use device::{
     device_campaign, device_campaign_variant, device_sweep_set, DeviceCampaignConfig,
     DeviceCampaignReport, DeviceFaultSummary, DeviceVariantReport,
 };
+pub use fleet::{fleet_campaign, FleetConfig, FleetLaneReport};
 pub use oracle::{CommitModel, PendingWrite, ShadowOracle};
 pub use par::{default_jobs, par_map, resolve_jobs};
 pub use report::{

@@ -1,0 +1,80 @@
+//! Per-instance crash isolation: a power fault on one fleet instance
+//! must not perturb any sibling, and the targeted instance must recover
+//! through the ordinary hardened `recover()` path.
+
+use psoram_core::ProtocolVariant;
+use psoram_faultsim::{fleet_campaign, DesignVariant, FleetConfig};
+
+fn base() -> FleetConfig {
+    FleetConfig {
+        design: DesignVariant::Path(ProtocolVariant::PsOram),
+        instances: 4,
+        accesses_per_instance: 200,
+        seed: 0x5EAF00D,
+        crash_instance: None,
+        crash_after: 80,
+        jobs: 0,
+    }
+}
+
+#[test]
+fn crashing_one_instance_leaves_siblings_byte_identical() {
+    let clean = fleet_campaign(&base());
+    let crashed = fleet_campaign(&FleetConfig {
+        crash_instance: Some(2),
+        ..base()
+    });
+    assert_eq!(clean.len(), 4);
+
+    for i in [0usize, 1, 3] {
+        let a = serde_json::to_string(&clean[i]).unwrap();
+        let b = serde_json::to_string(&crashed[i]).unwrap();
+        assert_eq!(a, b, "instance {i} must be untouched by instance 2's crash");
+    }
+
+    let target = &crashed[2];
+    assert_eq!(target.crashes, 1, "the scheduled power fault must fire");
+    assert_eq!(
+        target.recoveries_consistent, 1,
+        "PS-ORAM must recover consistently via the hardened recover() path"
+    );
+    assert!(target.verify_ok, "no committed write may be lost");
+    assert_eq!(
+        target.accesses,
+        base().accesses_per_instance,
+        "the instance keeps serving after local recovery"
+    );
+}
+
+#[test]
+fn ring_fleet_recovers_locally_too() {
+    let cfg = FleetConfig {
+        design: DesignVariant::Ring(psoram_core::ring::RingVariant::PsRing),
+        instances: 3,
+        accesses_per_instance: 150,
+        crash_instance: Some(0),
+        crash_after: 60,
+        ..base()
+    };
+    let lanes = fleet_campaign(&cfg);
+    assert_eq!(lanes[0].crashes, 1);
+    assert_eq!(lanes[0].recoveries_consistent, 1);
+    assert!(lanes.iter().all(|l| l.verify_ok));
+}
+
+#[test]
+fn fleet_is_deterministic_across_worker_counts_with_crash() {
+    let cfg = FleetConfig {
+        crash_instance: Some(1),
+        ..base()
+    };
+    let serial = fleet_campaign(&FleetConfig {
+        jobs: 1,
+        ..cfg.clone()
+    });
+    let parallel = fleet_campaign(&FleetConfig { jobs: 4, ..cfg });
+    assert_eq!(
+        serde_json::to_string(&serial).unwrap(),
+        serde_json::to_string(&parallel).unwrap()
+    );
+}

@@ -14,6 +14,7 @@
 //! | 3 | WPQ (occupancy counter + push/reject/drain/stall markers) |
 //! | 4 | cache hierarchy |
 //! | 5 | crash / recovery markers |
+//! | 6 | service front-end (enqueue/dequeue/batch/complete) |
 //! | 16+ch | NVM channel `ch` bank activity |
 //!
 //! Timestamps (`ts`) are **simulated cycles**, not microseconds; the
@@ -32,6 +33,7 @@ const TID_ROUNDS: u32 = 2;
 const TID_WPQ: u32 = 3;
 const TID_CACHE: u32 = 4;
 const TID_CRASH: u32 = 5;
+const TID_SERVICE: u32 = 6;
 const TID_NVM_BASE: u32 = 16;
 
 /// Renders `tracks` as a complete chrome://tracing JSON document.
@@ -195,6 +197,61 @@ fn write_event(out: &mut String, pid: u32, e: &Event) {
             let name = format!("poisoned_{}", kind.label());
             instant(out, pid, TID_CRASH, &name, cycle, &[]);
         }
+        Event::ServiceEnqueue {
+            request,
+            shard,
+            cycle,
+        } => instant(
+            out,
+            pid,
+            TID_SERVICE,
+            "svc_enqueue",
+            cycle,
+            &[("request", request), ("shard", shard as u64)],
+        ),
+        Event::ServiceDequeue {
+            request,
+            shard,
+            wait_cycles,
+            cycle,
+        } => {
+            // Render the queue wait as a duration ending at dispatch so
+            // the viewer shows queueing time vs. service time per shard.
+            complete(
+                out,
+                pid,
+                TID_SERVICE,
+                "svc_wait",
+                cycle.saturating_sub(wait_cycles),
+                wait_cycles,
+                &[("request", request), ("shard", shard as u64)],
+            );
+        }
+        Event::ServiceBatch { shard, size, cycle } => instant(
+            out,
+            pid,
+            TID_SERVICE,
+            "svc_batch",
+            cycle,
+            &[("shard", shard as u64), ("size", size)],
+        ),
+        Event::ServiceComplete {
+            request,
+            shard,
+            latency_cycles,
+            cycle,
+        } => instant(
+            out,
+            pid,
+            TID_SERVICE,
+            "svc_complete",
+            cycle,
+            &[
+                ("request", request),
+                ("shard", shard as u64),
+                ("latency", latency_cycles),
+            ],
+        ),
     }
 }
 
@@ -313,6 +370,31 @@ mod tests {
         assert!(doc.contains("\"name\":\"nvm_write\""));
         assert!(doc.contains(&format!("\"tid\":{}", TID_NVM_BASE + 2)));
         assert!(doc.contains("\"args\":{\"bank\":5}"));
+    }
+
+    #[test]
+    fn service_lane_renders_wait_and_completion() {
+        let doc = chrome_trace_json(&[(
+            "t".to_string(),
+            vec![
+                Event::ServiceDequeue {
+                    request: 3,
+                    shard: 1,
+                    wait_cycles: 20,
+                    cycle: 50,
+                },
+                Event::ServiceComplete {
+                    request: 3,
+                    shard: 1,
+                    latency_cycles: 70,
+                    cycle: 100,
+                },
+            ],
+        )]);
+        assert!(doc.contains("\"name\":\"svc_wait\",\"ph\":\"X\",\"ts\":30,\"dur\":20"));
+        assert!(doc.contains(&format!("\"tid\":{TID_SERVICE}")));
+        assert!(doc.contains("\"name\":\"svc_complete\""));
+        assert!(doc.contains("\"latency\":70"));
     }
 
     #[test]

@@ -292,6 +292,50 @@ pub enum Event {
         /// Core cycle of the poisoning.
         cycle: u64,
     },
+    /// A client request arrived in a shard's service queue (service
+    /// front-end lane; see `psoram-service`).
+    ServiceEnqueue {
+        /// Global request id.
+        request: u64,
+        /// Shard the router mapped the request to.
+        shard: u32,
+        /// Core cycle of the arrival (open-loop schedule time).
+        cycle: u64,
+    },
+    /// A queued request was handed to its shard worker; `wait_cycles` is
+    /// the time spent queued (dispatch − arrival).
+    ServiceDequeue {
+        /// Global request id.
+        request: u64,
+        /// Shard that dequeued the request.
+        shard: u32,
+        /// Cycles the request waited in the queue before dispatch.
+        wait_cycles: u64,
+        /// Core cycle of the dispatch.
+        cycle: u64,
+    },
+    /// A shard worker dispatched one batch of queued requests
+    /// back-to-back.
+    ServiceBatch {
+        /// Shard that formed the batch.
+        shard: u32,
+        /// Requests in the batch.
+        size: u64,
+        /// Core cycle of the batch dispatch.
+        cycle: u64,
+    },
+    /// A request completed end-to-end; `latency_cycles` is completion −
+    /// arrival (queueing plus service time).
+    ServiceComplete {
+        /// Global request id.
+        request: u64,
+        /// Shard that served the request.
+        shard: u32,
+        /// End-to-end latency in core cycles.
+        latency_cycles: u64,
+        /// Core cycle of the completion.
+        cycle: u64,
+    },
 }
 
 impl Event {
@@ -312,7 +356,11 @@ impl Event {
             | Event::Recovery { cycle, .. }
             | Event::FaultDetected { cycle, .. }
             | Event::FaultRepaired { cycle, .. }
-            | Event::Poisoned { cycle, .. } => cycle,
+            | Event::Poisoned { cycle, .. }
+            | Event::ServiceEnqueue { cycle, .. }
+            | Event::ServiceDequeue { cycle, .. }
+            | Event::ServiceBatch { cycle, .. }
+            | Event::ServiceComplete { cycle, .. } => cycle,
             Event::Phase { start, .. } => start,
             Event::NvmAccess { arrival, .. } => arrival,
         }

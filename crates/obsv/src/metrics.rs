@@ -216,8 +216,10 @@ impl MetricsRegistry {
     /// * `nvm.latency` — per-access bank latency in memory cycles
     /// * `phase.<name>` — per-phase duration in core cycles
     /// * `round.units` — persist units per committed round
-    /// * counters for pushes, rejects, stalls, drains, crashes, and
-    ///   recoveries
+    /// * `service.queue_wait` / `service.latency` / `service.batch_size`
+    ///   — service front-end queueing, end-to-end latency, and batching
+    /// * counters for pushes, rejects, stalls, drains, crashes,
+    ///   recoveries, and service enqueues/batches/completions
     pub fn ingest_events(&mut self, prefix: &str, events: &[Event]) {
         for e in events {
             match *e {
@@ -277,6 +279,20 @@ impl MetricsRegistry {
                 }
                 Event::Poisoned { .. } => {
                     self.add_counter(&Self::key(prefix, "fault.poisoned"), 1);
+                }
+                Event::ServiceEnqueue { .. } => {
+                    self.add_counter(&Self::key(prefix, "service.enqueued"), 1);
+                }
+                Event::ServiceDequeue { wait_cycles, .. } => {
+                    self.observe(&Self::key(prefix, "service.queue_wait"), wait_cycles);
+                }
+                Event::ServiceBatch { size, .. } => {
+                    self.add_counter(&Self::key(prefix, "service.batches"), 1);
+                    self.observe(&Self::key(prefix, "service.batch_size"), size);
+                }
+                Event::ServiceComplete { latency_cycles, .. } => {
+                    self.add_counter(&Self::key(prefix, "service.completed"), 1);
+                    self.observe(&Self::key(prefix, "service.latency"), latency_cycles);
                 }
                 Event::AccessStart { .. }
                 | Event::AccessEnd { .. }
@@ -420,6 +436,42 @@ mod tests {
         assert_eq!(reg.counter("t.wpq.rejects"), Some(1));
         assert_eq!(reg.counter("t.wpq.stalls"), Some(1));
         assert_eq!(reg.histogram("t.wpq.occupancy").unwrap().max(), 2);
+    }
+
+    #[test]
+    fn ingest_derives_service_lane_metrics() {
+        let mut reg = MetricsRegistry::new();
+        let events = vec![
+            Event::ServiceEnqueue {
+                request: 0,
+                shard: 1,
+                cycle: 5,
+            },
+            Event::ServiceBatch {
+                shard: 1,
+                size: 2,
+                cycle: 9,
+            },
+            Event::ServiceDequeue {
+                request: 0,
+                shard: 1,
+                wait_cycles: 4,
+                cycle: 9,
+            },
+            Event::ServiceComplete {
+                request: 0,
+                shard: 1,
+                latency_cycles: 40,
+                cycle: 45,
+            },
+        ];
+        reg.ingest_events("svc", &events);
+        assert_eq!(reg.counter("svc.service.enqueued"), Some(1));
+        assert_eq!(reg.counter("svc.service.batches"), Some(1));
+        assert_eq!(reg.counter("svc.service.completed"), Some(1));
+        assert_eq!(reg.histogram("svc.service.queue_wait").unwrap().max(), 4);
+        assert_eq!(reg.histogram("svc.service.latency").unwrap().sum(), 40);
+        assert_eq!(reg.histogram("svc.service.batch_size").unwrap().max(), 2);
     }
 
     #[test]

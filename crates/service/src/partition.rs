@@ -1,0 +1,128 @@
+//! The router's address→shard map: a partition of the logical address
+//! space into contiguous per-shard ranges.
+
+use psoram_core::ShardRange;
+
+/// A partition of `[0, capacity)` into `shards` contiguous ranges.
+///
+/// Ranges differ in size by at most one address (the first
+/// `capacity % shards` shards take the extra), cover the whole space,
+/// and never overlap — every address routes to exactly one shard. The
+/// proptests in `tests/partition_props.rs` pin those three properties.
+///
+/// # Examples
+///
+/// ```
+/// use psoram_service::AddressPartition;
+///
+/// let p = AddressPartition::new(10, 3);
+/// assert_eq!(p.range_of(0).len(), 4); // 10 = 4 + 3 + 3
+/// assert_eq!(p.shard_of(3), 0);
+/// assert_eq!(p.shard_of(4), 1);
+/// assert_eq!(p.shard_of(9), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressPartition {
+    capacity: u64,
+    shards: u32,
+}
+
+impl AddressPartition {
+    /// Partitions `[0, capacity)` across `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero or exceeds `capacity` (a shard must
+    /// own at least one address).
+    pub fn new(capacity: u64, shards: u32) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        assert!(
+            capacity >= shards as u64,
+            "capacity {capacity} cannot feed {shards} shards"
+        );
+        AddressPartition { capacity, shards }
+    }
+
+    /// Total addresses partitioned.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The global address range shard `shard` owns.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard >= self.shards()`.
+    pub fn range_of(&self, shard: u32) -> ShardRange {
+        assert!(shard < self.shards, "shard {shard} out of range");
+        let base = self.capacity / self.shards as u64;
+        let rem = self.capacity % self.shards as u64;
+        let s = shard as u64;
+        let lo = s * base + s.min(rem);
+        let hi = lo + base + u64::from(s < rem);
+        ShardRange { lo, hi }
+    }
+
+    /// The shard owning global address `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `addr >= self.capacity()`.
+    pub fn shard_of(&self, addr: u64) -> u32 {
+        assert!(
+            addr < self.capacity,
+            "address {addr} outside capacity {}",
+            self.capacity
+        );
+        let base = self.capacity / self.shards as u64;
+        let rem = self.capacity % self.shards as u64;
+        let boundary = rem * (base + 1);
+        let shard = if addr < boundary {
+            addr / (base + 1)
+        } else {
+            rem + (addr - boundary) / base
+        };
+        shard as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split_is_equal_ranges() {
+        let p = AddressPartition::new(100, 4);
+        for s in 0..4 {
+            assert_eq!(p.range_of(s).len(), 25);
+        }
+        assert_eq!(p.range_of(3).hi, 100);
+    }
+
+    #[test]
+    fn remainder_goes_to_leading_shards() {
+        let p = AddressPartition::new(11, 4);
+        let lens: Vec<u64> = (0..4).map(|s| p.range_of(s).len()).collect();
+        assert_eq!(lens, vec![3, 3, 3, 2]);
+    }
+
+    #[test]
+    fn shard_of_agrees_with_range_of() {
+        let p = AddressPartition::new(37, 5);
+        for addr in 0..37 {
+            let s = p.shard_of(addr);
+            assert!(p.range_of(s).contains(addr), "addr {addr} shard {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot feed")]
+    fn rejects_more_shards_than_addresses() {
+        AddressPartition::new(3, 4);
+    }
+}

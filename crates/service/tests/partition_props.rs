@@ -1,0 +1,63 @@
+//! Property tests: the router's address→shard map is a true partition.
+//!
+//! Three properties over randomized (capacity, shards) pairs:
+//! 1. **Cover** — the per-shard ranges tile `[0, capacity)` exactly, in
+//!    order, with no gaps or overlaps.
+//! 2. **Agree** — `shard_of(addr)` lands in `range_of(shard_of(addr))`
+//!    for every address (so routing and range construction can never
+//!    disagree about ownership).
+//! 3. **Balance** — range sizes differ by at most one address.
+
+use proptest::prelude::*;
+
+use psoram_service::AddressPartition;
+
+proptest! {
+    #[test]
+    fn ranges_tile_the_address_space(
+        shards in 1u32..64,
+        extra in 0u64..4096,
+    ) {
+        let capacity = shards as u64 + extra;
+        let p = AddressPartition::new(capacity, shards);
+        let mut next = 0u64;
+        for s in 0..shards {
+            let r = p.range_of(s);
+            prop_assert_eq!(r.lo, next, "gap or overlap before shard {}", s);
+            prop_assert!(!r.is_empty(), "shard {} owns no addresses", s);
+            next = r.hi;
+        }
+        prop_assert_eq!(next, capacity, "ranges must end exactly at capacity");
+    }
+
+    #[test]
+    fn shard_of_agrees_with_range_of(
+        shards in 1u32..32,
+        extra in 0u64..1024,
+    ) {
+        let capacity = shards as u64 + extra;
+        let p = AddressPartition::new(capacity, shards);
+        for addr in 0..capacity {
+            let s = p.shard_of(addr);
+            prop_assert!(s < shards);
+            prop_assert!(
+                p.range_of(s).contains(addr),
+                "addr {} routed to shard {} which does not own it", addr, s
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_are_balanced(
+        shards in 1u32..64,
+        extra in 0u64..4096,
+    ) {
+        let capacity = shards as u64 + extra;
+        let p = AddressPartition::new(capacity, shards);
+        let lens: Vec<u64> = (0..shards).map(|s| p.range_of(s).len()).collect();
+        let min = *lens.iter().min().unwrap();
+        let max = *lens.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "unbalanced partition: {:?}", lens);
+        prop_assert_eq!(lens.iter().sum::<u64>(), capacity);
+    }
+}

@@ -100,6 +100,19 @@ impl SystemConfig {
         cfg.use_oram = false;
         cfg
     }
+
+    /// Derives the configuration for shard `shard` of a partitioned
+    /// service: identical geometry (every shard gets its own full
+    /// cache/NVM hierarchy and its own persistence domain) with a
+    /// shard-unique controller seed, so N sharded systems built from one
+    /// base config are independent but individually deterministic.
+    pub fn for_shard(&self, shard: u32) -> Self {
+        let mut cfg = self.clone();
+        cfg.seed = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard as u64 + 1));
+        cfg
+    }
 }
 
 #[cfg(test)]
@@ -125,5 +138,16 @@ mod tests {
     #[test]
     fn non_oram_reference_disables_oram() {
         assert!(!SystemConfig::non_oram_reference(4).use_oram);
+    }
+
+    #[test]
+    fn for_shard_derives_unique_seeds_same_geometry() {
+        let base = SystemConfig::quick_test(ProtocolVariant::PsOram, 1);
+        let a = base.for_shard(0);
+        let b = base.for_shard(1);
+        assert_ne!(a.seed, b.seed, "shards must not share RNG streams");
+        assert_ne!(a.seed, base.seed);
+        assert_eq!(a.oram, b.oram, "shard geometry must match the base");
+        assert_eq!(a.seed, base.for_shard(0).seed, "derivation is stable");
     }
 }

@@ -17,7 +17,9 @@ use crate::auth::{AuthTags, FreshnessStats, FreshnessVerdict, UnitHistory};
 use crate::block::Block;
 use crate::bucket::Bucket;
 use crate::crash::{CrashPoint, CrashReport, RecoveryError, RecoveryReport};
-use crate::engine::{to_core, to_mem, AccessScratch, CommitLedger, PersistEngine, RoundDamage};
+use crate::engine::{
+    to_core, to_mem, AccessScratch, CommitLedger, PersistEngine, RoundDamage, WearReadOutcome,
+};
 use crate::eviction::{order_for_small_wpq, plan_eviction, SlotWrite};
 use crate::integrity::{bucket_digest, IntegrityTree};
 use crate::posmap::{PosMap, TempPosMap};
@@ -429,6 +431,31 @@ impl PathOram {
         self.engine.fault_stats()
     }
 
+    /// Arms the endurance adversary over the tree's NVM line region:
+    /// per-line write accounting (seeded cell budgets around
+    /// `cfg.mean_endurance`) plus the chosen wear-leveling scheme. Gap
+    /// moves and retirements stage against the durable mapping and only
+    /// become durable in the persist engine's commit round, so a crash
+    /// mid-gap-move or mid-retirement rolls back to one consistent
+    /// mapping. Wear-induced faults additionally require an installed
+    /// device fault plan with a wear arm ([`FaultConfig::wear_only`] or
+    /// [`FaultConfig::wear_mix`]); without one this is accounting only.
+    pub fn enable_wear(&mut self, seed: u64, cfg: psoram_nvm::WearConfig) {
+        let bytes = self.tree.base_addr() + self.tree.region_bytes();
+        let lines = bytes.div_ceil(psoram_nvm::WEAR_LINE_BYTES).max(1);
+        self.engine.enable_wear(seed, lines, cfg);
+    }
+
+    /// Wear/leveling counters of the armed endurance adversary, if any.
+    pub fn wear_stats(&self) -> Option<psoram_nvm::WearStats> {
+        self.engine.wear_stats()
+    }
+
+    /// The endurance adversary's engine (mapping, per-line writes), if armed.
+    pub fn wear_engine(&self) -> Option<&psoram_nvm::WearEngine> {
+        self.engine.wear_engine()
+    }
+
     /// Fetch-path freshness counters: stale units the adversary served on
     /// the read wire, and how many the hardened verifier detected.
     pub fn freshness_stats(&self) -> FreshnessStats {
@@ -472,6 +499,11 @@ impl PathOram {
         for (a, v) in committed {
             bytes.extend_from_slice(&a.to_le_bytes());
             bytes.extend_from_slice(v);
+        }
+        // Wear mode folds the durable line mapping in; with wear off the
+        // digest is byte-for-byte what pre-endurance builds computed.
+        if let Some(d) = self.engine.wear_digest() {
+            bytes.extend_from_slice(&d.to_le_bytes());
         }
         u128::from_le_bytes(Hash128::new().digest(&bytes))
     }
@@ -889,6 +921,49 @@ impl PathOram {
         self.scratch.read_addrs = read_addrs;
         let mut t =
             (to_core(done) + self.crypto_lat.decrypt_overlapped_cycles()).max(frontend_done);
+
+        // Endurance adversary (wear mode): the hottest line on the fetched
+        // path may fail with probability scaling in its consumed write
+        // budget. Drift failures retry like transient media glitches; a
+        // stuck conviction retires the line onto a spare and repairs it
+        // from the redundant copy, or — spare pool dry — latches the
+        // fail-safe poisoned state rather than serve stuck bits.
+        match self.engine.wear_read_fault(&self.scratch.read_addrs) {
+            WearReadOutcome::None => {}
+            WearReadOutcome::Transient { attempts } => {
+                for k in 0..attempts {
+                    t += 400 << k;
+                }
+                self.obsv.set_now(t);
+                self.obsv.emit(|| Event::FaultDetected {
+                    kind: psoram_obsv::DeviceFaultKind::WearOut,
+                    units: u64::from(attempts),
+                    cycle: t,
+                });
+            }
+            WearReadOutcome::Retired { line, spare } => {
+                // Repair-from-redundant-copy onto the spare: one read and
+                // one write round trip on top of the detection.
+                t += 800;
+                self.obsv.set_now(t);
+                self.obsv.emit(|| Event::FaultDetected {
+                    kind: psoram_obsv::DeviceFaultKind::WearOut,
+                    units: 1,
+                    cycle: t,
+                });
+                self.obsv.emit(|| Event::LineRetired {
+                    line,
+                    spare,
+                    cycle: t,
+                });
+            }
+            WearReadOutcome::Exhausted { .. } => {
+                self.engine.poison(FaultClass::WearOut);
+                return Err(OramError::Poisoned {
+                    class: FaultClass::WearOut,
+                });
+            }
+        }
 
         // Hardened fetch-path freshness verification: every loaded slot's
         // (content, record) pair — including whatever the wire served —

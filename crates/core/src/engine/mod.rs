@@ -34,7 +34,7 @@ mod scratch;
 
 pub use ledger::CommitLedger;
 pub(crate) use persist::fault_kind;
-pub use persist::{EngineStats, PersistEngine, RoundDamage};
+pub use persist::{EngineStats, PersistEngine, RoundDamage, WearReadOutcome};
 pub use policy::{CommitModel, ProtocolPolicy, ProtocolVariant, RingVariant};
 pub(crate) use scratch::AccessScratch;
 

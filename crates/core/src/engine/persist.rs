@@ -3,8 +3,8 @@
 use std::collections::VecDeque;
 
 use psoram_nvm::{
-    FaultClass, FaultConfig, FaultPlan, FaultStats, PersistenceDomain, ReadFault, RoundFate,
-    WpqEntry, WpqError, WpqStats,
+    Conviction, FaultClass, FaultConfig, FaultPlan, FaultStats, PersistenceDomain, ReadFault,
+    RoundFate, WearConfig, WearEngine, WearStats, WpqEntry, WpqError, WpqStats,
 };
 use psoram_obsv::{DeviceFaultKind, Event, Tap};
 use serde::{Deserialize, Serialize};
@@ -23,7 +23,38 @@ pub(crate) fn fault_kind(class: FaultClass) -> DeviceFaultKind {
         FaultClass::TransientRead => DeviceFaultKind::TransientRead,
         FaultClass::StaleReplay => DeviceFaultKind::StaleReplay,
         FaultClass::CrossSplice => DeviceFaultKind::CrossSplice,
+        FaultClass::WearOut => DeviceFaultKind::WearOut,
     }
+}
+
+/// Outcome of the wear-coupled draw over one media path load, after the
+/// retirement layer has had its say.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WearReadOutcome {
+    /// No wear fault on this load.
+    None,
+    /// Transient drift failure: the load succeeds after `attempts`
+    /// retries with backoff.
+    Transient {
+        /// Failed attempts before the read goes through.
+        attempts: u32,
+    },
+    /// The hottest line was convicted and retired onto a spare; its
+    /// content was repaired from the redundant copy. The remap is staged
+    /// and becomes durable at the next commit round.
+    Retired {
+        /// The convicted physical line.
+        line: u64,
+        /// The spare now serving its address.
+        spare: u64,
+    },
+    /// The hottest line is stuck past its budget and no spare capacity
+    /// is left (or the scheme has no retirement layer): the controller
+    /// must fail safe.
+    Exhausted {
+        /// The dead physical line.
+        line: u64,
+    },
 }
 
 /// What a crash's device faults destroyed in the round whose media
@@ -117,6 +148,9 @@ pub struct PersistEngine<D, P> {
     tap: Tap,
     /// Seeded device-fault adversary, when the backend is made injectable.
     device: Option<FaultPlan>,
+    /// Endurance bookkeeping under the persistence domain, when the
+    /// device is made to wear.
+    wear: Option<WearEngine>,
     /// Fail-safe latch: damage that could neither be repaired nor retried
     /// past. Latched until the instance is rebuilt.
     poisoned: Option<FaultClass>,
@@ -139,6 +173,7 @@ impl<D, P> PersistEngine<D, P> {
             stats: EngineStats::default(),
             tap: Tap::detached(),
             device: None,
+            wear: None,
             poisoned: None,
             pending_incidents: Vec::new(),
             persisted_root: None,
@@ -300,6 +335,12 @@ impl<D, P> PersistEngine<D, P> {
             self.domain.posmap_wpq().open_len() as u64,
         );
         self.domain.commit_round()?;
+        // The wear-leveling mapping (staged gap moves / retirements)
+        // rides the same atomic commit point as the round itself: one
+        // failure-atomic register update in the persistence domain.
+        if let Some(w) = self.wear.as_mut() {
+            w.commit();
+        }
         self.tap.emit(|| Event::RoundCommit {
             cycle: self.tap.now(),
             data_units,
@@ -309,8 +350,16 @@ impl<D, P> PersistEngine<D, P> {
     }
 
     /// Drains every committed entry from both queues, in commit order.
+    /// With wear enabled, each drained data unit programs its media line
+    /// through the current (staged) leveling mapping.
     pub fn drain(&mut self) -> (Vec<WpqEntry<D>>, Vec<WpqEntry<P>>) {
-        self.domain.drain()
+        let (d, p) = self.domain.drain();
+        if let Some(w) = self.wear.as_mut() {
+            for e in &d {
+                w.record_write(e.addr);
+            }
+        }
+        (d, p)
     }
 
     /// `true` when the data WPQ has no room for another unit.
@@ -355,7 +404,18 @@ impl<D, P> PersistEngine<D, P> {
         self.tap.emit(|| Event::Crash {
             cycle: self.tap.now(),
         });
-        self.domain.crash()
+        let (d, p) = self.domain.crash();
+        if let Some(w) = self.wear.as_mut() {
+            // A staged gap move or retirement that missed its commit
+            // round never happened: recovery sees one consistent mapping.
+            w.revert();
+            // The ADR flush still programs the committed rounds' cells —
+            // wear is device truth and is never rolled back.
+            for e in &d {
+                w.record_crash_write(e.addr);
+            }
+        }
+        (d, p)
     }
 
     /// Completes a recovery: clears the crashed state, counts the
@@ -556,6 +616,69 @@ impl<D, P> PersistEngine<D, P> {
         }
     }
 
+    // ── endurance adversary (wear) ──────────────────────────────────────
+
+    /// Enables the endurance model over a device of `lines` media lines:
+    /// per-line write counts, seeded cell budgets, and the configured
+    /// leveling/retirement scheme, all under the persistence domain.
+    /// Without an installed fault plan the wear engine only *accounts*
+    /// (lifetime campaigns); with one, hot lines progressively fault.
+    pub fn enable_wear(&mut self, seed: u64, lines: u64, cfg: WearConfig) {
+        self.wear = Some(WearEngine::new(seed, lines, cfg));
+    }
+
+    /// `true` when the wear engine is enabled.
+    pub fn wear_mode(&self) -> bool {
+        self.wear.is_some()
+    }
+
+    /// The wear engine's accumulated counters, if enabled.
+    pub fn wear_stats(&self) -> Option<WearStats> {
+        self.wear.as_ref().map(WearEngine::stats)
+    }
+
+    /// The wear engine itself (metrics publication, campaign queries).
+    pub fn wear_engine(&self) -> Option<&WearEngine> {
+        self.wear.as_ref()
+    }
+
+    /// Digest of the durable leveling/retirement mapping, if wear is
+    /// enabled — `None` otherwise, so wear-free state digests are
+    /// byte-identical to pre-endurance builds.
+    pub fn wear_digest(&self) -> Option<u64> {
+        self.wear.as_ref().map(WearEngine::mapping_digest)
+    }
+
+    /// Draws the wear-coupled outcome of one media path load over the
+    /// `addrs` the load touches. Inert (no entropy) unless both the wear
+    /// engine and a fault plan are installed; the plan's own gate then
+    /// keeps a wear-free fault mix schedule-identical to before.
+    ///
+    /// A stuck draw convicts the hottest line: under the Remap scheme
+    /// with spares left it is retired (staged; durable at the next
+    /// commit round) and the content repaired from the redundant copy;
+    /// otherwise the device is exhausted and the caller must fail safe.
+    pub fn wear_read_fault(&mut self, addrs: &[u64]) -> WearReadOutcome {
+        let (Some(wear), Some(plan)) = (self.wear.as_mut(), self.device.as_mut()) else {
+            return WearReadOutcome::None;
+        };
+        let (line, frac) = wear.hottest(addrs);
+        match plan.wear_fault(frac) {
+            ReadFault::None => WearReadOutcome::None,
+            ReadFault::Transient { attempts } => WearReadOutcome::Transient { attempts },
+            ReadFault::Stuck => match wear.convict(line) {
+                Conviction::Retired { spare } => {
+                    self.pending_incidents.push(RecoveryIncident {
+                        class: FaultClass::WearOut,
+                        units: 1,
+                    });
+                    WearReadOutcome::Retired { line, spare }
+                }
+                Conviction::Exhausted => WearReadOutcome::Exhausted { line },
+            },
+        }
+    }
+
     /// Atomically persists the counter-tree root digest inside the
     /// current round's commit ceremony. In the model this is a single
     /// 16-byte failure-atomic register write in the persistence domain.
@@ -751,6 +874,91 @@ mod tests {
         let stats = e.fault_stats().unwrap();
         assert_eq!(stats.stale_replays, replays);
         assert_eq!(stats.cross_splices, splices);
+    }
+
+    #[test]
+    fn wear_is_inert_until_enabled_and_without_a_plan() {
+        let mut e: PersistEngine<u32, u32> = PersistEngine::new(4, 4);
+        assert!(!e.wear_mode());
+        assert_eq!(e.wear_digest(), None);
+        assert_eq!(e.wear_read_fault(&[0, 64]), WearReadOutcome::None);
+        e.enable_wear(
+            3,
+            64,
+            psoram_nvm::WearConfig::stress(psoram_nvm::WearScheme::Remap),
+        );
+        // Wear engine alone (no fault plan): accounting only, no faults.
+        assert_eq!(e.wear_read_fault(&[0, 64]), WearReadOutcome::None);
+        assert!(e.wear_digest().is_some());
+    }
+
+    #[test]
+    fn drained_writes_wear_lines_and_commit_rounds_seal_the_mapping() {
+        let mut e: PersistEngine<u32, u32> = PersistEngine::new(8, 8);
+        let mut cfg = psoram_nvm::WearConfig::paper_default(psoram_nvm::WearScheme::StartGap);
+        cfg.gap_interval = 1; // every write stages a gap move
+        e.enable_wear(7, 16, cfg);
+        let d0 = e.wear_digest().unwrap();
+
+        e.begin_round().unwrap();
+        e.push_data(entry(0)).unwrap();
+        e.push_data(entry(64)).unwrap();
+        e.commit_round().unwrap();
+        let _ = e.drain();
+        let stats = e.wear_stats().unwrap();
+        assert_eq!(stats.gap_moves, 2);
+        assert!(stats.writes_recorded >= 4, "2 drains + 2 gap copies");
+        // The gap moves staged during the drain are not durable yet...
+        assert_eq!(e.wear_digest().unwrap(), d0);
+        // ...until the next round commits.
+        e.begin_round().unwrap();
+        e.push_data(entry(128)).unwrap();
+        e.commit_round().unwrap();
+        assert_ne!(e.wear_digest().unwrap(), d0, "commit seals the mapping");
+        let _ = e.drain();
+    }
+
+    #[test]
+    fn crash_reverts_staged_mapping_but_keeps_wear_truth() {
+        let mut e: PersistEngine<u32, u32> = PersistEngine::new(8, 8);
+        let mut cfg = psoram_nvm::WearConfig::paper_default(psoram_nvm::WearScheme::StartGap);
+        cfg.gap_interval = 1;
+        e.enable_wear(7, 16, cfg);
+        let d0 = e.wear_digest().unwrap();
+        e.begin_round().unwrap();
+        e.push_data(entry(0)).unwrap();
+        e.commit_round().unwrap();
+        let _ = e.drain(); // stages one gap move
+        let writes_before = e.wear_stats().unwrap().writes_recorded;
+        let _ = e.crash();
+        assert_eq!(e.wear_digest().unwrap(), d0, "crash rolls the mapping back");
+        let s = e.wear_stats().unwrap();
+        assert_eq!(s.map_reverts, 1);
+        assert_eq!(s.writes_recorded, writes_before, "wear truth never reverts");
+    }
+
+    #[test]
+    fn wear_read_fault_convicts_and_retires_under_remap() {
+        let mut e: PersistEngine<u32, u32> = PersistEngine::new(4, 4);
+        e.install_fault_plan(5, FaultConfig::wear_only());
+        let mut cfg = psoram_nvm::WearConfig::stress(psoram_nvm::WearScheme::Remap);
+        cfg.preage_writes = 2000; // every line far past its budget
+        e.enable_wear(5, 16, cfg);
+        let mut retired = 0;
+        let mut transients = 0;
+        for _ in 0..400 {
+            match e.wear_read_fault(&[0]) {
+                WearReadOutcome::Retired { .. } => retired += 1,
+                WearReadOutcome::Transient { .. } => transients += 1,
+                WearReadOutcome::Exhausted { .. } => break,
+                WearReadOutcome::None => {}
+            }
+        }
+        assert!(retired > 0, "past-budget line must retire");
+        assert!(transients > 0, "drift failures must also fire");
+        assert_eq!(e.wear_stats().unwrap().retirements, retired);
+        let incidents = e.take_incidents();
+        assert!(incidents.iter().any(|i| i.class == FaultClass::WearOut));
     }
 
     #[test]

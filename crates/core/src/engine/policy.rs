@@ -245,6 +245,31 @@ pub trait ProtocolPolicy {
     fn freshness_stats(&self) -> crate::auth::FreshnessStats {
         crate::auth::FreshnessStats::default()
     }
+    /// Arms the endurance adversary: per-line wear accounting plus the
+    /// chosen wear-leveling scheme, with mapping changes committed in the
+    /// persistence domain's commit round. The default implementation
+    /// ignores the request, so policies without a device model stay valid.
+    fn enable_wear(&mut self, seed: u64, cfg: psoram_nvm::WearConfig) {
+        let _ = (seed, cfg);
+    }
+    /// Wear/leveling counters of the armed endurance adversary, if any.
+    /// `None` when wear is not enabled (or supported).
+    fn wear_stats(&self) -> Option<psoram_nvm::WearStats> {
+        None
+    }
+    /// Physical-line wear profile of the armed endurance adversary:
+    /// `(max_line_writes, lines_touched)`. The lifetime campaigns divide
+    /// the hottest line's write count by access count to project
+    /// years-to-failure per leveling scheme. `None` when wear is not
+    /// enabled (or supported).
+    fn wear_line_profile(&self) -> Option<(u64, u64)> {
+        None
+    }
+    /// Spare lines the retirement layer still holds. `None` when wear is
+    /// not enabled (or supported).
+    fn wear_spares_left(&self) -> Option<u64> {
+        None
+    }
 }
 
 impl ProtocolPolicy for PathOram {
@@ -261,9 +286,25 @@ impl ProtocolPolicy for PathOram {
         self.variant().is_crash_consistent()
     }
     fn commit_model(&self) -> CommitModel {
-        // Path ORAM evicts (and the PS designs persist) within every
-        // access: a completed write is durable.
-        CommitModel::OnCompletion
+        match self.variant() {
+            // Stash and PosMap live in on-chip NVM: a completed access is
+            // durable before it returns.
+            ProtocolVariant::FullNvm | ProtocolVariant::FullNvmStt => CommitModel::OnCompletion,
+            // Persists the stash's dirty blocks to the reserved NVM
+            // region every access, so completed writes never depend on
+            // winning a slot in the eviction plan.
+            ProtocolVariant::RcrPsOram => CommitModel::OnCompletion,
+            // The WPQ makes each *eviction round* atomic, but a written
+            // block that loses the greedy placement race (root bucket
+            // full) stays in the volatile stash as an eviction leftover
+            // until a later access evicts it — a crash in that window
+            // rolls the address back to its previous completed write.
+            ProtocolVariant::NaivePsOram | ProtocolVariant::PsOram => CommitModel::Deferred,
+            // Baselines are judged by the strict model on purpose: they
+            // claim nothing, and the oracle's violations on them are the
+            // harness's differential teeth.
+            ProtocolVariant::Baseline | ProtocolVariant::RcrBaseline => CommitModel::OnCompletion,
+        }
     }
     fn write(&mut self, addr: u64, data: Vec<u8>) -> Result<(), OramError> {
         PathOram::write(self, BlockAddr(addr), data)
@@ -317,9 +358,28 @@ impl ProtocolPolicy for PathOram {
         let (data, posmap) = self.wpq_stats();
         data.publish(&R::key(prefix, "wpq.data"), reg);
         posmap.publish(&R::key(prefix, "wpq.posmap"), reg);
+        if let Some(w) = self.wear_engine() {
+            w.publish(&R::key(prefix, "wear"), reg);
+            self.nvm()
+                .wear_report(8)
+                .publish(&R::key(prefix, "nvm.wear"), reg);
+        }
     }
     fn enable_device_faults(&mut self, seed: u64, cfg: psoram_nvm::FaultConfig) {
         PathOram::enable_device_faults(self, seed, cfg);
+    }
+    fn enable_wear(&mut self, seed: u64, cfg: psoram_nvm::WearConfig) {
+        PathOram::enable_wear(self, seed, cfg);
+    }
+    fn wear_stats(&self) -> Option<psoram_nvm::WearStats> {
+        PathOram::wear_stats(self)
+    }
+    fn wear_line_profile(&self) -> Option<(u64, u64)> {
+        self.wear_engine()
+            .map(|w| (w.max_line_writes(), w.lines_touched()))
+    }
+    fn wear_spares_left(&self) -> Option<u64> {
+        self.wear_engine().map(|w| w.spares_left())
     }
     fn device_fault_stats(&self) -> Option<psoram_nvm::FaultStats> {
         PathOram::device_fault_stats(self)
@@ -405,9 +465,28 @@ impl ProtocolPolicy for RingOram {
         let (data, posmap) = self.wpq_stats();
         data.publish(&R::key(prefix, "wpq.data"), reg);
         posmap.publish(&R::key(prefix, "wpq.posmap"), reg);
+        if let Some(w) = self.wear_engine() {
+            w.publish(&R::key(prefix, "wear"), reg);
+            self.nvm()
+                .wear_report(8)
+                .publish(&R::key(prefix, "nvm.wear"), reg);
+        }
     }
     fn enable_device_faults(&mut self, seed: u64, cfg: psoram_nvm::FaultConfig) {
         RingOram::enable_device_faults(self, seed, cfg);
+    }
+    fn enable_wear(&mut self, seed: u64, cfg: psoram_nvm::WearConfig) {
+        RingOram::enable_wear(self, seed, cfg);
+    }
+    fn wear_stats(&self) -> Option<psoram_nvm::WearStats> {
+        RingOram::wear_stats(self)
+    }
+    fn wear_line_profile(&self) -> Option<(u64, u64)> {
+        self.wear_engine()
+            .map(|w| (w.max_line_writes(), w.lines_touched()))
+    }
+    fn wear_spares_left(&self) -> Option<u64> {
+        self.wear_engine().map(|w| w.spares_left())
     }
     fn device_fault_stats(&self) -> Option<psoram_nvm::FaultStats> {
         RingOram::device_fault_stats(self)

@@ -36,7 +36,9 @@ use psoram_obsv::{Event, Phase, Tap};
 use crate::auth::{AuthTags, FreshnessStats, FreshnessVerdict, UnitHistory};
 use crate::block::Block;
 use crate::crash::{CrashPoint, RecoveryError, RecoveryReport};
-use crate::engine::{to_core, to_mem, AccessScratch, CommitLedger, PersistEngine, RoundDamage};
+use crate::engine::{
+    to_core, to_mem, AccessScratch, CommitLedger, PersistEngine, RoundDamage, WearReadOutcome,
+};
 use crate::posmap::{PosMap, TempPosMap};
 use crate::types::{BlockAddr, Leaf, OramError};
 
@@ -352,6 +354,11 @@ impl RingOram {
         *self.nvm.stats()
     }
 
+    /// The underlying NVM controller (timing state, wear map, ...).
+    pub fn nvm(&self) -> &psoram_nvm::NvmController {
+        &self.nvm
+    }
+
     /// Current stash occupancy.
     pub fn stash_len(&self) -> usize {
         self.stash.len()
@@ -407,6 +414,30 @@ impl RingOram {
         self.engine.fault_stats()
     }
 
+    /// Arms the endurance adversary over the ring's NVM line region.
+    ///
+    /// Mirrors [`crate::PathOram::enable_wear`]: per-line write
+    /// accounting with seeded cell budgets plus the chosen wear-leveling
+    /// scheme, whose mapping changes stage against the durable state and
+    /// commit only in the persist engine's commit round.
+    pub fn enable_wear(&mut self, seed: u64, cfg: psoram_nvm::WearConfig) {
+        let bytes = self.config.num_buckets()
+            * self.config.bucket_physical_slots() as u64
+            * self.config.block_bytes as u64;
+        let lines = bytes.div_ceil(psoram_nvm::WEAR_LINE_BYTES).max(1);
+        self.engine.enable_wear(seed, lines, cfg);
+    }
+
+    /// Wear/leveling counters of the armed endurance adversary, if any.
+    pub fn wear_stats(&self) -> Option<psoram_nvm::WearStats> {
+        self.engine.wear_stats()
+    }
+
+    /// The endurance adversary's engine (mapping, per-line writes), if armed.
+    pub fn wear_engine(&self) -> Option<&psoram_nvm::WearEngine> {
+        self.engine.wear_engine()
+    }
+
     /// Fetch-path freshness counters: stale units the adversary served on
     /// the read wire, and how many the hardened verifier detected.
     pub fn freshness_stats(&self) -> FreshnessStats {
@@ -456,6 +487,11 @@ impl RingOram {
         for (a, v) in committed {
             bytes.extend_from_slice(&a.to_le_bytes());
             bytes.extend_from_slice(v);
+        }
+        // Wear mode folds the durable line mapping in; with wear off the
+        // digest is byte-for-byte what pre-endurance builds computed.
+        if let Some(d) = self.engine.wear_digest() {
+            bytes.extend_from_slice(&d.to_le_bytes());
         }
         u128::from_le_bytes(Hash128::new().digest(&bytes))
     }
@@ -659,6 +695,44 @@ impl RingOram {
             .access_batch(read_addrs.iter().copied(), AccessKind::Read, to_mem(t));
         self.scratch.read_addrs = read_addrs;
         t = to_core(done) + 1;
+        // Endurance adversary (wear mode): mirrors the Path controller —
+        // drift failures on the hottest read line retry with backoff, a
+        // stuck conviction retires onto a spare (repaired from the
+        // redundant copy), and a dry spare pool latches fail-safe poison.
+        match self.engine.wear_read_fault(&self.scratch.read_addrs) {
+            WearReadOutcome::None => {}
+            WearReadOutcome::Transient { attempts } => {
+                for k in 0..attempts {
+                    t += 400 << k;
+                }
+                self.obsv.set_now(t);
+                self.obsv.emit(|| Event::FaultDetected {
+                    kind: psoram_obsv::DeviceFaultKind::WearOut,
+                    units: u64::from(attempts),
+                    cycle: t,
+                });
+            }
+            WearReadOutcome::Retired { line, spare } => {
+                t += 800;
+                self.obsv.set_now(t);
+                self.obsv.emit(|| Event::FaultDetected {
+                    kind: psoram_obsv::DeviceFaultKind::WearOut,
+                    units: 1,
+                    cycle: t,
+                });
+                self.obsv.emit(|| Event::LineRetired {
+                    line,
+                    spare,
+                    cycle: t,
+                });
+            }
+            WearReadOutcome::Exhausted { .. } => {
+                self.engine.poison(FaultClass::WearOut);
+                return Err(OramError::Poisoned {
+                    class: FaultClass::WearOut,
+                });
+            }
+        }
         // Resolve the wire-replay draw against what was actually read.
         let mut serve_stale: Option<crate::auth::StaleServe> = None;
         if let Some(pick) = replay_pick {

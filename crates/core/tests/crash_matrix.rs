@@ -374,6 +374,196 @@ fn wpq_stall_counters_survive_recovery() {
     assert_eq!(s.recoveries, 1);
 }
 
+// ── endurance adversary: crash-consistent wear leveling ────────────────
+
+/// A wear config that stages a gap move on every drained write, so any
+/// mid-eviction crash lands mid-gap-move.
+fn eager_start_gap() -> psoram_nvm::WearConfig {
+    let mut cfg = psoram_nvm::WearConfig::stress(psoram_nvm::WearScheme::StartGap);
+    cfg.gap_interval = 1;
+    cfg
+}
+
+#[test]
+fn wear_armed_designs_recover_at_every_crash_point() {
+    // Crash-mid-gap-move, parameterized over every consistent design and
+    // every crash point: after recovery the line mapping must be the one
+    // the last commit round made durable (or the freshly committed one),
+    // never a half-applied move — and contents must verify.
+    for d in Design::consistent() {
+        let mut points = d.step_points();
+        points.extend([1usize, 2].map(CrashPoint::DuringEviction));
+        for point in points {
+            let mut oram = d.build(17);
+            oram.enable_wear(17, eager_start_gap());
+            let tag = format!("{}/{point}/wear", oram.label());
+            for i in 0..25u64 {
+                oram.write(i, payload(i)).unwrap();
+            }
+            oram.inject_crash(point);
+            for i in 0..6u64 {
+                if oram.read(i).is_err() {
+                    break;
+                }
+            }
+            if !oram.is_crashed() {
+                continue;
+            }
+            assert!(oram.recover().consistent, "{tag}: recovery failed");
+            oram.verify_contents(true)
+                .unwrap_or_else(|e| panic!("{tag}: inconsistent: {e}"));
+            let stats = oram.wear_stats().expect("wear is armed");
+            assert!(stats.gap_moves > 0, "{tag}: eager gap config never moved");
+            assert!(
+                stats.map_commits > 0 || stats.map_reverts > 0,
+                "{tag}: crash round neither committed nor reverted the mapping"
+            );
+            // Post-recovery accesses run on the recovered mapping.
+            for i in 0..6u64 {
+                oram.read(i)
+                    .unwrap_or_else(|e| panic!("{tag}: post-recovery read: {e:?}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn crash_mid_gap_move_rolls_the_path_mapping_back() {
+    let mut fired_somewhere = false;
+    for k in [0usize, 1, 2] {
+        let mut oram = PathOram::new(OramConfig::small_test(), ProtocolVariant::PsOram, 23);
+        oram.enable_wear(23, eager_start_gap());
+        for i in 0..20u64 {
+            oram.write(BlockAddr(i), payload(i)).unwrap();
+        }
+        let durable = oram.wear_engine().unwrap().mapping_digest();
+        // Crash mid-drain: the gap moves staged by this round's drained
+        // units must revert to the digest above, not half-apply.
+        oram.inject_crash(CrashPoint::DuringEviction(k));
+        for i in 0..8u64 {
+            if oram.read(BlockAddr(i)).is_err() {
+                break;
+            }
+        }
+        if !oram.is_crashed() {
+            continue;
+        }
+        fired_somewhere = true;
+        assert!(oram.recover().consistent);
+        let w = oram.wear_engine().unwrap();
+        assert_eq!(
+            w.mapping_digest(),
+            durable,
+            "k={k}: recovered mapping must equal the last durable mapping"
+        );
+        assert!(
+            w.mapping_is_injective(),
+            "no address may resolve to two lines"
+        );
+        assert!(oram.wear_stats().unwrap().map_reverts >= 1);
+        oram.verify_contents(true).unwrap();
+    }
+    assert!(fired_somewhere, "no mid-eviction crash ever fired");
+}
+
+#[test]
+fn crash_mid_retirement_keeps_one_consistent_mapping() {
+    // Remap scheme with every line pre-aged past its budget and the wear
+    // arm at full strength: reads convict and stage retirements. A crash
+    // before the next commit round must roll them back; one after must
+    // keep them — either way exactly one consistent mapping survives.
+    for seed in [5u64, 11, 29] {
+        let mut cfg = psoram_nvm::WearConfig::stress(psoram_nvm::WearScheme::Remap);
+        cfg.preage_writes = 4000;
+        let mut oram = PathOram::new(OramConfig::small_test(), ProtocolVariant::PsOram, seed);
+        oram.enable_device_faults(seed, psoram_nvm::FaultConfig::wear_only());
+        oram.enable_wear(seed, cfg);
+        for i in 0..10u64 {
+            oram.write(BlockAddr(i), payload(i)).unwrap();
+        }
+        let mut retired = 0;
+        for i in 0..400u64 {
+            match oram.read(BlockAddr(i % 10)) {
+                Ok(_) => {}
+                Err(OramError::Poisoned { .. }) => break,
+                Err(e) => panic!("seed {seed}: unexpected error {e:?}"),
+            }
+            retired = oram.wear_stats().unwrap().retirements;
+            if retired >= 2 {
+                break;
+            }
+        }
+        assert!(retired >= 1, "seed {seed}: pre-aged lines never retired");
+        oram.crash_now();
+        assert!(oram.recover().consistent, "seed {seed}: recovery failed");
+        let w = oram.wear_engine().unwrap();
+        assert!(
+            w.mapping_is_injective(),
+            "seed {seed}: retirement chain broke injectivity"
+        );
+        oram.verify_contents(true)
+            .unwrap_or_else(|e| panic!("seed {seed}: inconsistent: {e}"));
+        let s = oram.wear_stats().unwrap();
+        assert!(
+            s.map_commits > 0 || s.map_reverts > 0,
+            "seed {seed}: retirement neither committed nor reverted"
+        );
+    }
+}
+
+#[test]
+fn crash_mid_retirement_keeps_one_consistent_ring_mapping() {
+    let mut cfg = psoram_nvm::WearConfig::stress(psoram_nvm::WearScheme::Remap);
+    cfg.preage_writes = 4000;
+    let mut oram = RingOram::new(RingConfig::small_test(), RingVariant::PsRing, 37);
+    oram.enable_device_faults(37, psoram_nvm::FaultConfig::wear_only());
+    oram.enable_wear(37, cfg);
+    for i in 0..10u64 {
+        oram.write(BlockAddr(i), payload(i)).unwrap();
+    }
+    let mut retired = 0;
+    for i in 0..400u64 {
+        match oram.read(BlockAddr(i % 10)) {
+            Ok(_) => {}
+            Err(OramError::Poisoned { .. }) => break,
+            Err(e) => panic!("unexpected error {e:?}"),
+        }
+        retired = oram.wear_stats().unwrap().retirements;
+        if retired >= 2 {
+            break;
+        }
+    }
+    assert!(retired >= 1, "pre-aged ring lines never retired");
+    oram.crash_now();
+    assert!(oram.recover().consistent);
+    let w = oram.wear_engine().unwrap();
+    assert!(
+        w.mapping_is_injective(),
+        "no address may resolve to two lines"
+    );
+    oram.verify_contents(true).unwrap();
+}
+
+#[test]
+fn wear_disabled_designs_match_pre_endurance_state_digests() {
+    // The wear machinery must be invisible until armed: a controller that
+    // never calls enable_wear computes the same state digest as one whose
+    // wear-disabled twin runs the identical access pattern.
+    for d in Design::consistent() {
+        let mut a = d.build(41);
+        let mut b = d.build(41);
+        for i in 0..15u64 {
+            a.write(i, payload(i)).unwrap();
+            b.write(i, payload(i)).unwrap();
+        }
+        assert_eq!(a.state_digest(), b.state_digest(), "{}", a.label());
+        assert!(
+            a.wear_stats().is_none(),
+            "wear must stay un-armed by default"
+        );
+    }
+}
+
 #[test]
 fn ring_at_wpq_floor_never_stalls() {
     // A Ring WPQ sized exactly to the validate() floor always fits a whole

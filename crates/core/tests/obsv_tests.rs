@@ -291,3 +291,50 @@ fn ingested_metrics_agree_with_event_stream() {
         "ingest_events must count every Crash"
     );
 }
+
+#[test]
+fn wear_map_publishes_per_bank_and_hot_line_gauges() {
+    for (label, mut oram) in designs() {
+        // Without wear armed: no wear keys at all, so pre-endurance
+        // metrics snapshots are byte-identical to what they always were.
+        drive(&mut *oram);
+        let mut clean = MetricsRegistry::new();
+        oram.publish_metrics(label, &mut clean);
+        let clean_json = clean.to_json_string();
+        assert!(
+            !clean_json.contains(".wear."),
+            "{label}: wear keys leaked into a wear-free snapshot"
+        );
+
+        let (wlabel, mut worn) = designs()
+            .into_iter()
+            .find(|(l, _)| *l == label)
+            .expect("same design set");
+        worn.enable_wear(
+            7,
+            psoram_nvm::WearConfig::paper_default(psoram_nvm::WearScheme::Remap),
+        );
+        drive(&mut *worn);
+        let mut reg = MetricsRegistry::new();
+        worn.publish_metrics(wlabel, &mut reg);
+        let key = |s: &str| MetricsRegistry::key(wlabel, s);
+        assert!(
+            reg.counter(&key("wear.writes_recorded")).unwrap_or(0) > 0,
+            "{wlabel}: the wear engine recorded no media writes"
+        );
+        // The NVM wear map: per-bank lifetime writes plus the hot-N
+        // per-line gauges, hottest first.
+        assert!(
+            reg.gauge(&key("nvm.wear.lines_touched")).unwrap_or(0.0) > 0.0,
+            "{wlabel}: no per-line wear was tracked"
+        );
+        assert!(
+            reg.gauge(&key("nvm.wear.hot.0.writes")).unwrap_or(0.0) > 0.0,
+            "{wlabel}: the hottest-line gauge is missing"
+        );
+        assert!(
+            reg.gauge(&key("nvm.wear.bank.c0.b0")).is_some(),
+            "{wlabel}: the per-bank wear map is missing"
+        );
+    }
+}

@@ -151,6 +151,193 @@ pub fn fleet_campaign(cfg: &FleetConfig) -> Vec<FleetLaneReport> {
     par_map(cfg.jobs, instances, |i| run_instance(cfg, i))
 }
 
+// ── wear-aware fleet: one near-EOL shard among healthy siblings ────────
+
+/// Configuration of a wear-aware fleet run: the base fleet plus one
+/// instance whose NVM is deep into its write-endurance budget.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WearFleetConfig {
+    /// The base fleet (design, instances, accesses, seed, jobs).
+    pub fleet: FleetConfig,
+    /// The instance running on worn silicon.
+    pub wear_instance: u32,
+    /// Wear-leveling scheme on the worn instance.
+    pub scheme: psoram_nvm::WearScheme,
+    /// Writes pre-aged onto every line of the worn instance (pushes it
+    /// toward end-of-life from the first access).
+    pub preage_writes: u64,
+}
+
+impl WearFleetConfig {
+    /// A small deterministic wear fleet for tests and CI smoke.
+    pub fn smoke() -> Self {
+        WearFleetConfig {
+            fleet: FleetConfig::smoke(),
+            wear_instance: 1,
+            scheme: psoram_nvm::WearScheme::Remap,
+            preage_writes: 280,
+        }
+    }
+}
+
+/// Degradation evidence from the worn instance: wear faults absorbed,
+/// lines retired, and the latency tail they cost.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WearShardEvidence {
+    /// The worn instance's index.
+    pub instance: u32,
+    /// Ground truth: wear faults the plan injected.
+    pub wear_faults_injected: u64,
+    /// Lines retired onto spares.
+    pub retirements: u64,
+    /// Repairs from the redundant copy onto fresh spares.
+    pub repairs: u64,
+    /// Start-Gap rotations performed.
+    pub gap_moves: u64,
+    /// Spare lines still available at the end of the run.
+    pub spares_left: u64,
+    /// Whether the instance ended in the fail-safe poison latch.
+    pub poisoned: bool,
+    /// Accesses the instance completed before the run (or the latch)
+    /// ended it.
+    pub completed_accesses: u64,
+    /// Median per-access service cycles on the worn instance.
+    pub p50_cycles: u64,
+    /// 99th-percentile per-access service cycles (retirement repairs
+    /// and retry backoffs land here).
+    pub p99_cycles: u64,
+}
+
+/// A wear-aware fleet run: the per-instance lane reports (the worn
+/// instance included) plus the worn instance's degradation evidence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WearFleetReport {
+    /// Per-instance reports, fleet order.
+    pub lanes: Vec<FleetLaneReport>,
+    /// The worn instance's evidence.
+    pub wear: WearShardEvidence,
+}
+
+/// Sorted-slice percentile (nearest-rank, matching the service layer).
+fn pct(sorted: &[u64], p: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() as u64 * p).div_ceil(100).max(1) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Runs the worn instance: same traffic derivation as [`run_instance`],
+/// but on pre-aged silicon with the wear fault arm live. Poisoning ends
+/// the run early (a detected fail-safe, not a failure of the harness).
+fn run_wear_instance(cfg: &WearFleetConfig, instance: u32) -> (FleetLaneReport, WearShardEvidence) {
+    let fleet = &cfg.fleet;
+    let seed = instance_seed(fleet.seed, instance);
+    let mut target = fleet.design.build(seed);
+    let mut wcfg = psoram_nvm::WearConfig::stress(cfg.scheme);
+    wcfg.preage_writes = cfg.preage_writes;
+    target.enable_device_faults(seed ^ 0x0EA4, psoram_nvm::FaultConfig::wear_only());
+    target.enable_wear(seed ^ 0x0EA5, wcfg);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7EA7);
+    let cap = target.capacity_blocks();
+    let payload = target.payload_bytes();
+
+    let mut written: Vec<u64> = Vec::new();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut completed = 0u64;
+    let mut poisoned = false;
+    while completed < fleet.accesses_per_instance {
+        let addr = rng.gen_range(0..cap);
+        let write = written.is_empty() || rng.gen_range(0..10u32) < 7;
+        let before = target.clock();
+        let res = if write {
+            let tag = (completed & 0xFF) as u8;
+            target.write(addr, vec![tag; payload]).map(|_| ())
+        } else {
+            let idx = rng.gen_range(0..written.len());
+            target.read(written[idx]).map(|_| ())
+        };
+        match res {
+            Ok(()) => {
+                latencies.push(target.clock().saturating_sub(before));
+                if write {
+                    written.push(addr);
+                }
+                completed += 1;
+            }
+            Err(psoram_core::OramError::Poisoned { .. }) => {
+                poisoned = true;
+                break;
+            }
+            Err(e) => panic!("wear instance {instance}: access failed: {e}"),
+        }
+    }
+    latencies.sort_unstable();
+    let verify_ok = poisoned || target.verify_contents(false).is_ok();
+    let wear = target.wear_stats().unwrap_or_default();
+    let injected = target.device_fault_stats().unwrap_or_default();
+    let spares_left = target.wear_spares_left().unwrap_or(0);
+    let lane = FleetLaneReport {
+        instance,
+        design: target.label(),
+        accesses: completed,
+        crashes: 0,
+        recoveries_consistent: 0,
+        clock: target.clock(),
+        verify_ok,
+        state_digest: format!("{:032x}", target.state_digest()),
+    };
+    let evidence = WearShardEvidence {
+        instance,
+        wear_faults_injected: injected.wear_faults,
+        retirements: wear.retirements,
+        repairs: wear.repairs,
+        gap_moves: wear.gap_moves,
+        spares_left,
+        poisoned,
+        completed_accesses: completed,
+        p50_cycles: pct(&latencies, 50),
+        p99_cycles: pct(&latencies, 99),
+    };
+    (lane, evidence)
+}
+
+/// Runs the wear-aware fleet: the `wear_instance` runs on pre-aged
+/// silicon with wear faults live, every sibling runs the ordinary
+/// [`run_instance`] path — so sibling lane reports are byte-identical
+/// to a wear-free [`fleet_campaign`] of the same [`FleetConfig`].
+///
+/// # Panics
+///
+/// Panics if `wear_instance` is outside the fleet.
+pub fn wear_fleet_campaign(cfg: &WearFleetConfig) -> WearFleetReport {
+    assert!(
+        cfg.wear_instance < cfg.fleet.instances,
+        "wear instance outside the fleet"
+    );
+    let instances: Vec<u32> = (0..cfg.fleet.instances).collect();
+    let outcomes = par_map(cfg.fleet.jobs, instances, |i| {
+        if i == cfg.wear_instance {
+            let (lane, ev) = run_wear_instance(cfg, i);
+            (lane, Some(ev))
+        } else {
+            (run_instance(&cfg.fleet, i), None)
+        }
+    });
+    let mut lanes = Vec::with_capacity(outcomes.len());
+    let mut wear = None;
+    for (lane, ev) in outcomes {
+        lanes.push(lane);
+        if let Some(e) = ev {
+            wear = Some(e);
+        }
+    }
+    WearFleetReport {
+        lanes,
+        wear: wear.expect("the wear instance always reports"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,6 +350,41 @@ mod tests {
             ..cfg.clone()
         });
         let parallel = fleet_campaign(&FleetConfig { jobs: 4, ..cfg });
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn wear_fleet_keeps_healthy_siblings_byte_identical() {
+        let cfg = WearFleetConfig::smoke();
+        let plain = fleet_campaign(&cfg.fleet);
+        let worn = wear_fleet_campaign(&cfg);
+        assert_eq!(worn.lanes.len(), plain.len());
+        for (lane, clean) in worn.lanes.iter().zip(&plain) {
+            if lane.instance != cfg.wear_instance {
+                assert_eq!(
+                    lane, clean,
+                    "healthy sibling {} diverged from the wear-free fleet",
+                    lane.instance
+                );
+            }
+        }
+        let w = &worn.wear;
+        assert_eq!(w.instance, cfg.wear_instance);
+        assert!(w.wear_faults_injected > 0, "near-EOL shard saw no faults");
+        assert!(w.completed_accesses > 0);
+        assert!(w.p50_cycles <= w.p99_cycles);
+        if !w.poisoned {
+            assert!(worn.lanes[cfg.wear_instance as usize].verify_ok);
+        }
+    }
+
+    #[test]
+    fn wear_fleet_is_worker_count_invariant() {
+        let mut cfg = WearFleetConfig::smoke();
+        cfg.fleet.jobs = 1;
+        let serial = wear_fleet_campaign(&cfg);
+        cfg.fleet.jobs = 4;
+        let parallel = wear_fleet_campaign(&cfg);
         assert_eq!(serial, parallel);
     }
 

@@ -61,6 +61,7 @@ mod campaign;
 mod device;
 mod driver;
 mod fleet;
+mod lifetime;
 mod oracle;
 pub mod par;
 mod report;
@@ -75,7 +76,14 @@ pub use device::{
     device_campaign, device_campaign_variant, device_sweep_set, DeviceCampaignConfig,
     DeviceCampaignReport, DeviceFaultSummary, DeviceVariantReport,
 };
-pub use fleet::{fleet_campaign, FleetConfig, FleetLaneReport};
+pub use fleet::{
+    fleet_campaign, wear_fleet_campaign, FleetConfig, FleetLaneReport, WearFleetConfig,
+    WearFleetReport, WearShardEvidence,
+};
+pub use lifetime::{
+    lifetime_campaign, wear_campaign, wear_sweep_set, LifetimeCampaignConfig,
+    LifetimeCampaignReport, LifetimeRow, WearCampaignConfig, WearCampaignReport, WearRunReport,
+};
 pub use oracle::{CommitModel, PendingWrite, ShadowOracle};
 pub use par::{default_jobs, par_map, resolve_jobs};
 pub use report::{

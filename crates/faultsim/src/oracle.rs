@@ -6,14 +6,20 @@
 //!
 //! Designs differ in *when* a write becomes durable ([`CommitModel`]):
 //!
-//! * [`CommitModel::OnCompletion`] — Path ORAM persists the evicted path
-//!   before the access returns, so a completed write is durably
-//!   committed. After a crash the address must read back as exactly its
-//!   last completed write (or, for the one write in flight, either its
-//!   old or its new value — the access is atomic).
-//! * [`CommitModel::Deferred`] — Ring ORAM writes sit in the volatile
-//!   stash until the next evict-path (every `A` accesses), so a crash may
-//!   legitimately roll an address back to an *earlier completed write*.
+//! * [`CommitModel::OnCompletion`] — a completed write is durably
+//!   committed before the access returns: designs with a durable stash
+//!   (FullNvm/FullNvmStt), RCR's per-access dirty-stash snapshot, and —
+//!   deliberately, as the harness's differential teeth — the
+//!   non-persistent baselines. After a crash the address must read back
+//!   as exactly its last completed write (or, for the one write in
+//!   flight, either its old or its new value — the access is atomic).
+//! * [`CommitModel::Deferred`] — a completed write may still sit in
+//!   volatile state: Ring ORAM's stash holds writes until the next
+//!   evict-path (every `A` accesses), and the WPQ-based Path designs
+//!   (PS-ORAM, naive PS-ORAM) can leave a written block in the stash as
+//!   an eviction leftover when it loses the greedy placement race. A
+//!   crash may then legitimately roll an address back to an *earlier
+//!   completed write*.
 //!   The oracle then accepts any value from the address's completed-write
 //!   history since the last *proven-durable* floor — but never a value
 //!   outside that history (torn/corrupted) and never one older than the

@@ -1,0 +1,43 @@
+//! Byte-identity of the endurance campaigns across worker counts.
+//!
+//! Same contract `par_determinism.rs` enforces for the crash campaigns:
+//! the worker count is a pure throughput knob. Every endurance artifact
+//! — the wear-torture report, the lifetime projection matrix, and the
+//! wear-aware fleet report — must serialize byte-identically at
+//! `jobs = 1` and any `jobs > 1`, because the CI smoke job diffs the
+//! two and the bench commits the result as `BENCH_07.json`.
+
+use psoram_faultsim::{
+    lifetime_campaign, wear_campaign, wear_fleet_campaign, LifetimeCampaignConfig,
+    WearCampaignConfig, WearFleetConfig,
+};
+
+#[test]
+fn wear_campaign_identical_across_job_counts() {
+    let mut cfg = WearCampaignConfig::smoke();
+    cfg.jobs = 1;
+    let serial = serde_json::to_string_pretty(&wear_campaign(&cfg)).unwrap();
+    cfg.jobs = 2;
+    let parallel = serde_json::to_string_pretty(&wear_campaign(&cfg)).unwrap();
+    assert_eq!(serial, parallel, "wear campaign diverged at jobs=2");
+}
+
+#[test]
+fn lifetime_projection_identical_across_job_counts() {
+    let mut cfg = LifetimeCampaignConfig::smoke();
+    cfg.jobs = 1;
+    let serial = serde_json::to_string_pretty(&lifetime_campaign(&cfg)).unwrap();
+    cfg.jobs = 2;
+    let parallel = serde_json::to_string_pretty(&lifetime_campaign(&cfg)).unwrap();
+    assert_eq!(serial, parallel, "lifetime projection diverged at jobs=2");
+}
+
+#[test]
+fn wear_fleet_identical_across_job_counts() {
+    let mut cfg = WearFleetConfig::smoke();
+    cfg.fleet.jobs = 1;
+    let serial = serde_json::to_string_pretty(&wear_fleet_campaign(&cfg)).unwrap();
+    cfg.fleet.jobs = 2;
+    let parallel = serde_json::to_string_pretty(&wear_fleet_campaign(&cfg)).unwrap();
+    assert_eq!(serial, parallel, "wear fleet diverged at jobs=2");
+}

@@ -113,6 +113,9 @@ pub struct NvmController {
     stats: NvmStats,
     /// Buffered (acknowledged but not yet drained) writes: `(addr, bytes)`.
     write_buffer: std::collections::VecDeque<(u64, usize)>,
+    /// Per-line (block-granularity) lifetime write counts. Queries sort,
+    /// so the map stays deterministic despite the hash layout.
+    line_writes: std::collections::HashMap<u64, u64>,
     /// Writes drained from the buffer (observability).
     drained_writes: u64,
     /// Observability tap (bank-level `NvmAccess` events, memory cycles).
@@ -137,6 +140,7 @@ impl NvmController {
             channels,
             stats: NvmStats::default(),
             write_buffer: std::collections::VecDeque::new(),
+            line_writes: std::collections::HashMap::new(),
             drained_writes: 0,
             tap: Tap::detached(),
         }
@@ -176,6 +180,12 @@ impl NvmController {
     /// PosMap entries occupy the bus for fewer cycles; cell-programming
     /// time is unchanged).
     pub fn access_sized(&mut self, addr: u64, kind: AccessKind, arrival: u64, bytes: usize) -> u64 {
+        if kind.is_write() {
+            // Line-granularity wear accounting: one cell-programming pulse
+            // per accepted write, whether it drains now or via the buffer.
+            let line = addr / self.config.block_bytes as u64;
+            *self.line_writes.entry(line).or_insert(0) += 1;
+        }
         // Read-priority write buffering: acknowledged writes park in the
         // buffer; they drain to the banks when the buffer crosses its high
         // watermark, out of the way of latency-critical reads.
@@ -292,6 +302,34 @@ impl NvmController {
         self.channels.iter().map(Channel::bank_writes).collect()
     }
 
+    /// The `n` most-written lines as `(line, writes)`, hottest first
+    /// (ties break toward the lowest line). Deterministic: the backing
+    /// map is sorted on every query.
+    pub fn hottest_lines(&self, n: usize) -> Vec<(u64, u64)> {
+        let mut all: Vec<(u64, u64)> = self.line_writes.iter().map(|(&l, &w)| (l, w)).collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(n);
+        all
+    }
+
+    /// Distinct lines written at least once.
+    pub fn lines_touched(&self) -> u64 {
+        self.line_writes.len() as u64
+    }
+
+    /// Snapshot of the controller's wear skew: per-bank counts plus the
+    /// `hot_n` hottest lines, publishable into a metrics registry.
+    pub fn wear_report(&self, hot_n: usize) -> NvmWearReport {
+        let hottest_lines = self.hottest_lines(hot_n);
+        let max_line_writes = hottest_lines.first().map_or(0, |&(_, w)| w);
+        NvmWearReport {
+            bank_writes: self.wear_map(),
+            hottest_lines,
+            lines_touched: self.lines_touched(),
+            max_line_writes,
+        }
+    }
+
     /// Total data-bus busy cycles summed over channels.
     pub fn total_bus_busy_cycles(&self) -> u64 {
         self.channels.iter().map(Channel::busy_cycles).sum()
@@ -304,6 +342,42 @@ impl NvmController {
             .map(Channel::last_activity)
             .max()
             .unwrap_or(0)
+    }
+}
+
+/// A deterministic snapshot of NVM wear skew: per-bank lifetime write
+/// counts plus the hottest lines, publishable through the metrics
+/// registry so `--metrics-out` snapshots show where the wear sits (the
+/// raw [`NvmController::wear_map`] used to be reachable only from code).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NvmWearReport {
+    /// Per-channel, per-bank lifetime write counts.
+    pub bank_writes: Vec<Vec<u64>>,
+    /// The hottest lines as `(line, writes)`, hottest first.
+    pub hottest_lines: Vec<(u64, u64)>,
+    /// Distinct lines written at least once.
+    pub lines_touched: u64,
+    /// Lifetime writes of the hottest line.
+    pub max_line_writes: u64,
+}
+
+impl psoram_obsv::MetricsSource for NvmWearReport {
+    fn publish(&self, prefix: &str, reg: &mut psoram_obsv::MetricsRegistry) {
+        use psoram_obsv::MetricsRegistry as R;
+        for (c, banks) in self.bank_writes.iter().enumerate() {
+            for (b, &writes) in banks.iter().enumerate() {
+                reg.set_gauge(&R::key(prefix, &format!("bank.c{c}.b{b}")), writes as f64);
+            }
+        }
+        for (i, &(line, writes)) in self.hottest_lines.iter().enumerate() {
+            reg.set_gauge(&R::key(prefix, &format!("hot.{i}.line")), line as f64);
+            reg.set_gauge(&R::key(prefix, &format!("hot.{i}.writes")), writes as f64);
+        }
+        reg.set_gauge(&R::key(prefix, "lines_touched"), self.lines_touched as f64);
+        reg.set_gauge(
+            &R::key(prefix, "max_line_writes"),
+            self.max_line_writes as f64,
+        );
     }
 }
 
@@ -372,6 +446,37 @@ mod tests {
         assert!(wear.iter().all(|ch| ch.len() == cfg.banks_per_channel));
         let total: u64 = wear.iter().flatten().sum();
         assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn line_wear_tracks_hot_lines_deterministically() {
+        let mut mem = NvmController::new(NvmConfig::paper_pcm(2));
+        for _ in 0..5 {
+            mem.access(0x40, AccessKind::Write, 0);
+        }
+        mem.access(0x80, AccessKind::Write, 0);
+        mem.access(0x00, AccessKind::Read, 0); // reads do not wear cells
+        assert_eq!(mem.hottest_lines(2), vec![(1, 5), (2, 1)]);
+        assert_eq!(mem.lines_touched(), 2);
+        let report = mem.wear_report(1);
+        assert_eq!(report.max_line_writes, 5);
+        assert_eq!(report.hottest_lines, vec![(1, 5)]);
+        assert_eq!(report.bank_writes.len(), 2);
+        let mut reg = psoram_obsv::MetricsRegistry::new();
+        reg.publish("nvm.wear", &report);
+        assert_eq!(reg.gauge("nvm.wear.hot.0.writes"), Some(5.0));
+        assert_eq!(reg.gauge("nvm.wear.lines_touched"), Some(2.0));
+    }
+
+    #[test]
+    fn buffered_writes_wear_lines_at_acceptance() {
+        let mut cfg = NvmConfig::paper_pcm(1);
+        cfg.write_buffer_entries = 16;
+        let mut mem = NvmController::new(cfg);
+        for _ in 0..3 {
+            mem.access(0, AccessKind::Write, 0);
+        }
+        assert_eq!(mem.hottest_lines(1), vec![(0, 3)]);
     }
 
     #[test]

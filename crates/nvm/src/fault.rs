@@ -61,6 +61,10 @@ pub enum FaultClass {
     /// An authentic unit (content plus its stored freshness record) was
     /// moved from one address onto another.
     CrossSplice,
+    /// A media line exhausted its cell budget: wear-correlated stuck-at
+    /// failure that no retry (and, without spare capacity, no repair)
+    /// can recover.
+    WearOut,
 }
 
 impl FaultClass {
@@ -74,6 +78,7 @@ impl FaultClass {
             FaultClass::TransientRead => "transient_read",
             FaultClass::StaleReplay => "stale_replay",
             FaultClass::CrossSplice => "cross_splice",
+            FaultClass::WearOut => "wear_out",
         }
     }
 }
@@ -116,6 +121,15 @@ pub struct FaultConfig {
     /// P(one path load transiently re-serves a stale snapshot of a unit)
     /// — the read-time replay adversary.
     pub read_replay: f64,
+    /// Scale of the wear-coupled media arm: the per-path-load fault
+    /// probability is `wear_media_fault * frac²`, where `frac` is the
+    /// hottest loaded line's wear fraction (clamped to 1) — so faults
+    /// concentrate progressively on hot lines instead of landing
+    /// uniformly.
+    pub wear_media_fault: f64,
+    /// P(the wear fault is a stuck-at conviction | the line is past its
+    /// budget): retirement (or fail-safe) instead of a transient retry.
+    pub wear_stuck: f64,
 }
 
 impl FaultConfig {
@@ -131,6 +145,8 @@ impl FaultConfig {
             stale_replay: 0.0,
             cross_splice: 0.0,
             read_replay: 0.0,
+            wear_media_fault: 0.0,
+            wear_stuck: 0.0,
         }
     }
 
@@ -176,6 +192,28 @@ impl FaultConfig {
         Self::campaign_default().with_replay()
     }
 
+    /// Arms the wear-coupled media arm on top of an existing mix. At
+    /// full scale a budget-exhausted line faults on (almost) every load;
+    /// half of those convictions are stuck-at.
+    pub fn with_wear(mut self) -> Self {
+        self.wear_media_fault = 0.9;
+        self.wear_stuck = 0.5;
+        self
+    }
+
+    /// The endurance campaign mix: *only* the wear arm, so every injected
+    /// fault in a lifetime campaign is wear-correlated and the crash-side
+    /// schedule stays identical to an uninstrumented run.
+    pub fn wear_only() -> Self {
+        Self::disabled().with_wear()
+    }
+
+    /// The full wear campaign mix: the default device mix plus the
+    /// wear-coupled arm.
+    pub fn wear_mix() -> Self {
+        Self::campaign_default().with_wear()
+    }
+
     /// `true` when every probability is zero.
     pub fn is_disabled(&self) -> bool {
         self.torn_flush == 0.0
@@ -186,6 +224,7 @@ impl FaultConfig {
             && self.stale_replay == 0.0
             && self.cross_splice == 0.0
             && self.read_replay == 0.0
+            && self.wear_media_fault == 0.0
     }
 }
 
@@ -221,6 +260,10 @@ pub struct FaultStats {
     pub cross_splices: u64,
     /// Path loads that transiently re-served a stale unit snapshot.
     pub read_replays: u64,
+    /// Wear-correlated media faults injected (transient and stuck).
+    pub wear_faults: u64,
+    /// Wear faults that were stuck-at convictions (past-budget lines).
+    pub wear_stuck_faults: u64,
 }
 
 impl FaultStats {
@@ -232,6 +275,7 @@ impl FaultStats {
             + self.bit_flips
             + self.read_faults
             + self.total_replays()
+            + self.wear_faults
     }
 
     /// Freshness attacks injected (crash replays, splices, read replays).
@@ -262,6 +306,18 @@ impl Serialize for FaultStats {
         }
         if self.read_replays != 0 {
             fields.push(("read_replays".to_string(), self.read_replays.to_value()));
+        }
+        // Like the replay counters, the wear counters are skipped at
+        // their defaults so pre-endurance artifacts round-trip unchanged
+        // and a wear-free run serializes exactly as before.
+        if self.wear_faults != 0 {
+            fields.push(("wear_faults".to_string(), self.wear_faults.to_value()));
+        }
+        if self.wear_stuck_faults != 0 {
+            fields.push((
+                "wear_stuck_faults".to_string(),
+                self.wear_stuck_faults.to_value(),
+            ));
         }
         serde::Value::Object(fields)
     }
@@ -317,6 +373,8 @@ impl Deserialize for FaultStats {
             stale_replays: optional(v, "stale_replays")?,
             cross_splices: optional(v, "cross_splices")?,
             read_replays: optional(v, "read_replays")?,
+            wear_faults: optional(v, "wear_faults")?,
+            wear_stuck_faults: optional(v, "wear_stuck_faults")?,
         })
     }
 }
@@ -337,6 +395,8 @@ impl psoram_obsv::MetricsSource for FaultStats {
         reg.set_counter(&R::key(prefix, "stale_replays"), self.stale_replays);
         reg.set_counter(&R::key(prefix, "cross_splices"), self.cross_splices);
         reg.set_counter(&R::key(prefix, "read_replays"), self.read_replays);
+        reg.set_counter(&R::key(prefix, "wear_faults"), self.wear_faults);
+        reg.set_counter(&R::key(prefix, "wear_stuck_faults"), self.wear_stuck_faults);
     }
 }
 
@@ -569,6 +629,46 @@ impl FaultPlan {
         }
     }
 
+    /// Draws the wear-coupled outcome of one media path load, given the
+    /// wear fraction of the hottest line the load touches (lifetime
+    /// writes / seeded cell budget; 1.0 = budget exhausted).
+    ///
+    /// The fault probability is `wear_media_fault * frac²` (clamping
+    /// `frac` to 1), so cold lines are effectively immune and faults
+    /// concentrate progressively on hot lines. A fault on a past-budget
+    /// line (`frac >= 1`) escalates to [`ReadFault::Stuck`] with
+    /// probability `wear_stuck` — a conviction the controller must retire
+    /// or fail safe on; everything else is a transient drift failure that
+    /// bounded retry recovers.
+    ///
+    /// Entropy rules mirror [`FaultPlan::replay_fate`]: with the arm
+    /// disabled (`wear_media_fault <= 0`) *no* entropy is consumed, so a
+    /// wear-free mix keeps the exact fault schedule of a plan that never
+    /// knew about wear — goldens pass un-re-blessed. Armed, the draw
+    /// always consumes its three units, whatever the wear values, so the
+    /// schedule is independent of how worn the device happens to be.
+    pub fn wear_fault(&mut self, wear_fraction: f64) -> ReadFault {
+        if self.cfg.wear_media_fault <= 0.0 {
+            return ReadFault::None;
+        }
+        let frac = wear_fraction.clamp(0.0, 1.0);
+        let fail = self.chance(self.cfg.wear_media_fault * frac * frac);
+        let stuck = self.chance(self.cfg.wear_stuck);
+        let extra = self.next_u64();
+        if !fail {
+            return ReadFault::None;
+        }
+        self.stats.wear_faults += 1;
+        if stuck && wear_fraction >= 1.0 {
+            self.stats.wear_stuck_faults += 1;
+            ReadFault::Stuck
+        } else {
+            ReadFault::Transient {
+                attempts: 1 + (extra % 2) as u32,
+            }
+        }
+    }
+
     /// Counters of everything injected so far.
     pub fn stats(&self) -> FaultStats {
         self.stats
@@ -610,6 +710,7 @@ mod tests {
             assert_eq!(p.replay_fate(8), None);
             assert_eq!(p.splice_fate(8), None);
             assert_eq!(p.read_replay(), None);
+            assert_eq!(p.wear_fault(1.0), ReadFault::None);
         }
         assert_eq!(p.stats().total_injected(), 0);
         assert!(FaultConfig::disabled().is_disabled());
@@ -716,6 +817,86 @@ mod tests {
     }
 
     #[test]
+    fn wear_draws_are_schedule_invariant() {
+        // Armed: the wear draw consumes its fixed entropy whatever the
+        // wear fraction, so the downstream schedule is independent of how
+        // worn the device is.
+        let mut a = FaultPlan::new(5, FaultConfig::wear_mix());
+        let mut b = FaultPlan::new(5, FaultConfig::wear_mix());
+        let _ = a.wear_fault(0.0);
+        let _ = b.wear_fault(1.5);
+        assert_eq!(a.entropy(), b.entropy(), "draw counts diverged");
+
+        // Disabled: no entropy at all — a wear-free mix keeps the exact
+        // schedule of a plan that never drew wear fates (golden compat).
+        let mut c = FaultPlan::new(6, FaultConfig::campaign_default());
+        let mut d = FaultPlan::new(6, FaultConfig::campaign_default());
+        let _ = c.wear_fault(1.0);
+        let _ = c.wear_fault(0.3);
+        assert_eq!(c.entropy(), d.entropy(), "disabled draws consumed entropy");
+    }
+
+    #[test]
+    fn wear_faults_concentrate_on_hot_lines() {
+        let mut p = FaultPlan::new(0xEA2, FaultConfig::wear_only());
+        let mut cold = 0u64;
+        let mut hot = 0u64;
+        let mut stuck = 0u64;
+        for _ in 0..2000 {
+            if p.wear_fault(0.05) != ReadFault::None {
+                cold += 1;
+            }
+            match p.wear_fault(1.0) {
+                ReadFault::None => {}
+                ReadFault::Transient { attempts } => {
+                    assert!((1..=2).contains(&attempts));
+                    hot += 1;
+                }
+                ReadFault::Stuck => {
+                    hot += 1;
+                    stuck += 1;
+                }
+            }
+        }
+        assert!(hot > 100 * cold.max(1), "hot {hot} vs cold {cold}");
+        assert!(stuck > 0, "past-budget lines must convict eventually");
+        let s = p.stats();
+        assert_eq!(s.wear_faults, hot + cold);
+        assert_eq!(s.wear_stuck_faults, stuck);
+        assert!(s.total_injected() >= s.wear_faults);
+        // A below-budget line never sticks, however worn.
+        let mut q = FaultPlan::new(1, FaultConfig::wear_only());
+        for _ in 0..500 {
+            assert_ne!(q.wear_fault(0.99), ReadFault::Stuck);
+        }
+        assert!(!FaultConfig::wear_only().is_disabled());
+    }
+
+    #[test]
+    fn fault_stats_serde_skips_wear_fields_at_default() {
+        let s = FaultStats {
+            read_faults: 2,
+            fates_drawn: 4,
+            ..FaultStats::default()
+        };
+        let json = serde_json::to_string(&s).expect("serialize");
+        assert!(!json.contains("wear_faults"));
+        assert!(!json.contains("wear_stuck_faults"));
+        let back: FaultStats = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, s);
+
+        let armed = FaultStats {
+            wear_faults: 7,
+            wear_stuck_faults: 3,
+            ..s
+        };
+        let json = serde_json::to_string(&armed).expect("serialize");
+        assert!(json.contains("wear_faults"));
+        let back: FaultStats = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, armed);
+    }
+
+    #[test]
     fn torn_keeps_a_strict_prefix() {
         let mut p = FaultPlan::new(11, FaultConfig::aggressive());
         let mut saw_torn = false;
@@ -768,5 +949,6 @@ mod tests {
         assert_eq!(FaultClass::TransientRead.label(), "transient_read");
         assert_eq!(FaultClass::StaleReplay.label(), "stale_replay");
         assert_eq!(FaultClass::CrossSplice.to_string(), "cross_splice");
+        assert_eq!(FaultClass::WearOut.label(), "wear_out");
     }
 }

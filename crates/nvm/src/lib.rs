@@ -44,13 +44,16 @@ mod timing;
 pub mod wear;
 pub mod wpq;
 
-pub use controller::{NvmConfig, NvmController};
+pub use controller::{NvmConfig, NvmController, NvmWearReport};
 pub use fault::{FaultClass, FaultConfig, FaultPlan, FaultStats, ReadFault, RoundFate};
 pub use onchip::OnChipNvmModel;
 pub use request::AccessKind;
 pub use stats::NvmStats;
 pub use timing::{MemTech, TimingParams, CORE_CYCLES_PER_MEM_CYCLE};
-pub use wear::{GapMove, StartGap};
+pub use wear::{
+    Conviction, EnduranceModel, GapMove, RemapTable, StartGap, WearConfig, WearEngine, WearScheme,
+    WearStats, SPARE_LINE_BASE, WEAR_LINE_BYTES,
+};
 pub use wpq::{
     BatchFrame, DamageRecord, PersistenceDomain, Wpq, WpqCrashOutcome, WpqEntry, WpqError, WpqStats,
 };

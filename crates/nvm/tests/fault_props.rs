@@ -48,8 +48,9 @@ fn config_strategy() -> impl Strategy<Value = FaultConfig> {
             0.0f64..1.0,
         ),
         (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0),
+        (0.0f64..1.0, 0.0f64..1.0),
     )
-        .prop_map(|((t, l, d, b, r, s), (sr, cs, rr))| FaultConfig {
+        .prop_map(|((t, l, d, b, r, s), (sr, cs, rr), (wm, ws))| FaultConfig {
             torn_flush: t,
             signal_loss: l,
             duplicate_signal: d,
@@ -59,6 +60,8 @@ fn config_strategy() -> impl Strategy<Value = FaultConfig> {
             stale_replay: sr,
             cross_splice: cs,
             read_replay: rr,
+            wear_media_fault: wm,
+            wear_stuck: ws,
         })
 }
 

@@ -1,0 +1,117 @@
+//! Property tests: the Start-Gap address rotation against algebraic
+//! oracles. The unit tests in `wear.rs` pin individual rotations at
+//! fixed geometries; these push the mapping contract across the whole
+//! (lines, interval, writes) space: `map` is a bijection at *every*
+//! gap position, the gap line itself is never the image of any logical
+//! line, full rotations compose back to a pure `start`-shift, and the
+//! wear engine's staged/durable split never breaks injectivity.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use psoram_nvm::{StartGap, WearConfig, WearEngine, WearScheme};
+
+/// Advances `sg` by `writes` record_write calls.
+fn advance(sg: &mut StartGap, writes: u64) {
+    for _ in 0..writes {
+        sg.record_write();
+    }
+}
+
+proptest! {
+    /// At every reachable gap position, `map` sends `lines` logical
+    /// lines onto `lines` distinct physical lines in `0..lines+1`,
+    /// and the gap line is exactly the one left out.
+    #[test]
+    fn start_gap_map_is_a_bijection_at_every_gap_position(
+        lines in 1u64..48,
+        interval in 1u64..8,
+        writes in 0u64..256,
+    ) {
+        let mut sg = StartGap::new(lines, interval);
+        advance(&mut sg, writes);
+        let images: HashSet<u64> = (0..lines).map(|l| sg.map(l)).collect();
+        prop_assert_eq!(images.len() as u64, lines, "map must be injective");
+        prop_assert!(images.iter().all(|&p| p <= lines), "images stay in the region");
+        prop_assert!(!images.contains(&sg.gap()), "the gap line is the unused one");
+    }
+
+    /// One full rotation (lines+1 gap moves) parks the gap back at the
+    /// region end and advances `start` by exactly one: the composed
+    /// mapping is the identity-position mapping shifted by `rotations`.
+    #[test]
+    fn start_gap_full_rotations_compose_to_start_shifts(
+        lines in 1u64..32,
+        interval in 1u64..6,
+        rotations in 1u64..5,
+    ) {
+        let mut sg = StartGap::new(lines, interval);
+        // A full rotation needs (lines+1) gap moves, each after
+        // `interval` writes.
+        advance(&mut sg, rotations * (lines + 1) * interval);
+        prop_assert_eq!(sg.gap(), lines, "gap parks at the region end after full rotations");
+        prop_assert_eq!(sg.start(), rotations % lines, "start advances once per rotation");
+        let mut reference = StartGap::new(lines, interval);
+        advance(&mut reference, rotations * (lines + 1) * interval);
+        for l in 0..lines {
+            prop_assert_eq!(sg.map(l), reference.map(l), "rotation is deterministic");
+            // With the gap parked past every mapped line, the composed
+            // mapping is the pure shift (l + rotations) mod lines.
+            prop_assert_eq!(sg.map(l), (l + rotations % lines) % lines, "pure shift form");
+        }
+    }
+
+    /// Every `interval` writes produces exactly one gap move, and each
+    /// move copies one logical line: the line whose physical slot the
+    /// gap is about to occupy. All other logical lines keep their
+    /// physical address across that single move.
+    #[test]
+    fn start_gap_moves_relocate_exactly_one_line(
+        lines in 2u64..40,
+        interval in 1u64..8,
+        warmup in 0u64..128,
+    ) {
+        let mut sg = StartGap::new(lines, interval);
+        advance(&mut sg, warmup);
+        let before: Vec<u64> = (0..lines).map(|l| sg.map(l)).collect();
+        // Drive to the next gap move exactly.
+        let mut moved = None;
+        for _ in 0..interval {
+            moved = sg.record_write();
+            if moved.is_some() {
+                break;
+            }
+        }
+        let mv = moved.expect("interval writes force a gap move");
+        let after: Vec<u64> = (0..lines).map(|l| sg.map(l)).collect();
+        let changed: Vec<u64> = (0..lines).filter(|&l| before[l as usize] != after[l as usize]).collect();
+        prop_assert_eq!(changed.len(), 1, "exactly one logical line relocates");
+        let l = changed[0];
+        prop_assert_eq!(before[l as usize], mv.from_line);
+        prop_assert_eq!(after[l as usize], mv.to_line);
+    }
+
+    /// The wear engine keeps its durable and staged mappings injective
+    /// under arbitrary write/commit/revert interleavings, for every
+    /// leveling scheme.
+    #[test]
+    fn wear_engine_mapping_stays_injective(
+        scheme_ix in 0usize..3,
+        seed in any::<u64>(),
+        ops in proptest::collection::vec((0u8..4, 0u64..24), 1..64),
+    ) {
+        let scheme = WearScheme::all()[scheme_ix];
+        let mut cfg = WearConfig::stress(scheme);
+        cfg.gap_interval = 2;
+        let mut w = WearEngine::new(seed, 24, cfg);
+        for (kind, line) in ops {
+            match kind {
+                0 | 1 => w.record_write(line * 64),
+                2 => w.commit(),
+                _ => w.revert(),
+            }
+            prop_assert!(w.mapping_is_injective(), "no address may resolve to two lines");
+        }
+    }
+}

@@ -193,6 +193,14 @@ fn write_event(out: &mut String, pid: u32, e: &Event) {
             cycle,
             &[("repaired", repaired), ("rolled_back", rolled_back)],
         ),
+        Event::LineRetired { line, spare, cycle } => instant(
+            out,
+            pid,
+            TID_CRASH,
+            "line_retired",
+            cycle,
+            &[("line", line), ("spare", spare)],
+        ),
         Event::Poisoned { kind, cycle } => {
             let name = format!("poisoned_{}", kind.label());
             instant(out, pid, TID_CRASH, &name, cycle, &[]);

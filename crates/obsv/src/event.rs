@@ -121,6 +121,8 @@ pub enum DeviceFaultKind {
     StaleReplay,
     /// An authentic unit was relocated across addresses (splice).
     CrossSplice,
+    /// A media line exhausted its cell budget (wear-out stuck-at).
+    WearOut,
 }
 
 impl DeviceFaultKind {
@@ -134,6 +136,7 @@ impl DeviceFaultKind {
             DeviceFaultKind::TransientRead => "transient_read",
             DeviceFaultKind::StaleReplay => "stale_replay",
             DeviceFaultKind::CrossSplice => "cross_splice",
+            DeviceFaultKind::WearOut => "wear_out",
         }
     }
 }
@@ -284,6 +287,17 @@ pub enum Event {
         /// Core cycle at which the repair stage completed.
         cycle: u64,
     },
+    /// A worn-out media line was retired onto a spare and its content
+    /// repaired from the redundant copy (crash-consistent: the remap
+    /// becomes durable at the next commit round).
+    LineRetired {
+        /// The convicted physical line.
+        line: u64,
+        /// The spare line now serving its address.
+        spare: u64,
+        /// Core cycle of the retirement.
+        cycle: u64,
+    },
     /// The controller latched fail-safe poisoned state: damage it can
     /// neither repair nor retry past. Every subsequent access errors.
     Poisoned {
@@ -356,6 +370,7 @@ impl Event {
             | Event::Recovery { cycle, .. }
             | Event::FaultDetected { cycle, .. }
             | Event::FaultRepaired { cycle, .. }
+            | Event::LineRetired { cycle, .. }
             | Event::Poisoned { cycle, .. }
             | Event::ServiceEnqueue { cycle, .. }
             | Event::ServiceDequeue { cycle, .. }

@@ -277,6 +277,9 @@ impl MetricsRegistry {
                     self.add_counter(&Self::key(prefix, "fault.repaired"), repaired);
                     self.add_counter(&Self::key(prefix, "fault.rolled_back"), rolled_back);
                 }
+                Event::LineRetired { .. } => {
+                    self.add_counter(&Self::key(prefix, "wear.retired"), 1);
+                }
                 Event::Poisoned { .. } => {
                     self.add_counter(&Self::key(prefix, "fault.poisoned"), 1);
                 }

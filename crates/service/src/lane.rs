@@ -11,7 +11,8 @@
 use std::sync::Arc;
 
 use psoram_core::{
-    Op, OramConfig, OramError, PathOram, ProtocolVariant, ShardController, ShardRange,
+    Op, OramConfig, OramError, PathOram, ProtocolPolicy, ProtocolVariant, ShardController,
+    ShardRange,
 };
 use psoram_obsv::Recorder;
 use psoram_system::{System, SystemConfig};
@@ -162,6 +163,53 @@ impl ShardServer {
                 let cycles = oram.clock().saturating_sub(before);
                 (report.consistent, cycles)
             }
+        }
+    }
+
+    /// Arms the endurance adversary on this shard only: a wear-only
+    /// device fault plan (wear-correlated media faults, every crash-fate
+    /// probability zero) plus the wear engine itself, both seeded from
+    /// `seed` with the same sub-stream discipline as the faultsim wear
+    /// fleet. Sibling shards stay byte-identical to a wear-free run.
+    pub fn arm_wear(&mut self, seed: u64, cfg: psoram_nvm::WearConfig) {
+        match self {
+            ShardServer::Controller(shard) => {
+                let p = shard.policy_mut();
+                p.enable_device_faults(seed ^ 0x0EA4, psoram_nvm::FaultConfig::wear_only());
+                p.enable_wear(seed ^ 0x0EA5, cfg);
+            }
+            ShardServer::System { sys, .. } => {
+                let oram = sys
+                    .oram_mut()
+                    .expect("full-system lane always carries an ORAM backend");
+                oram.enable_device_faults(seed ^ 0x0EA4, psoram_nvm::FaultConfig::wear_only());
+                oram.enable_wear(seed ^ 0x0EA5, cfg);
+            }
+        }
+    }
+
+    /// Wear/leveling counters of the armed endurance adversary, `None`
+    /// when [`ShardServer::arm_wear`] was never called on this shard.
+    pub fn wear_stats(&self) -> Option<psoram_nvm::WearStats> {
+        match self {
+            ShardServer::Controller(shard) => shard.policy().wear_stats(),
+            ShardServer::System { sys, .. } => sys.oram().and_then(|o| o.wear_stats()),
+        }
+    }
+
+    /// Ground-truth injection counters of the device fault plan, if any.
+    pub fn device_fault_stats(&self) -> Option<psoram_nvm::FaultStats> {
+        match self {
+            ShardServer::Controller(shard) => shard.policy().device_fault_stats(),
+            ShardServer::System { sys, .. } => sys.oram().and_then(|o| o.device_fault_stats()),
+        }
+    }
+
+    /// Spare lines the retirement layer still holds.
+    pub fn wear_spares_left(&self) -> Option<u64> {
+        match self {
+            ShardServer::Controller(shard) => shard.policy().wear_spares_left(),
+            ShardServer::System { sys, .. } => sys.oram().and_then(|o| o.wear_spares_left()),
         }
     }
 

@@ -28,6 +28,12 @@
 //! * A [`ShardCrashPlan`] can strike one shard mid-load; recovery runs
 //!   through the ordinary hardened `recover()` path on that shard alone
 //!   while the siblings keep serving.
+//! * A [`WearShardPlan`] runs one shard as a near-end-of-life device:
+//!   pre-aged lines, wear-correlated media faults, crash-consistent line
+//!   retirement onto spares. The degraded shard must keep serving —
+//!   retirements and repairs surface in its [`WearLaneEvidence`] and
+//!   latency numbers — while every sibling stays byte-identical to a
+//!   wear-free run.
 //!
 //! # Examples
 //!
@@ -52,9 +58,11 @@ mod scheduler;
 
 pub use lane::{LaneKind, ShardServer};
 pub use partition::AddressPartition;
-pub use report::{percentile, AggregateReport, LatencySummary, ServiceReport, ShardLaneReport};
+pub use report::{
+    percentile, AggregateReport, LatencySummary, ServiceReport, ShardLaneReport, WearLaneEvidence,
+};
 pub use request::{open_loop_schedule, AccessRequest, Completion, CORE_HZ};
 pub use scheduler::{
-    run_service, ServiceConfig, ServiceOutcome, ShardCrashPlan, BATCH_DISPATCH_CYCLES,
-    RECOVERY_REBOOT_CYCLES,
+    run_service, ServiceConfig, ServiceOutcome, ShardCrashPlan, WearShardPlan,
+    BATCH_DISPATCH_CYCLES, RECOVERY_REBOOT_CYCLES,
 };

@@ -71,8 +71,33 @@ impl LatencySummary {
     }
 }
 
+/// Endurance-adversary evidence for a shard that ran with wear armed
+/// (see `ServiceConfig::wear`). Absent — and absent from the serialized
+/// report — on every wear-free lane, so wear-free runs stay
+/// byte-identical to reports produced before wear support existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct WearLaneEvidence {
+    /// Wear-correlated media faults the device plan injected.
+    pub wear_faults: u64,
+    /// The subset that were stuck-at (cell budget exhausted) faults.
+    pub wear_stuck_faults: u64,
+    /// Start-Gap moves performed by the leveling layer.
+    pub gap_moves: u64,
+    /// Lines convicted and retired onto spares.
+    pub retirements: u64,
+    /// Repair copies written while retiring (content restored from the
+    /// redundant copy onto the spare).
+    pub repairs: u64,
+    /// Spare lines the retirement layer still held at end of run.
+    pub spares_left: u64,
+}
+
 /// One shard worker's lane summary.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+///
+/// `Serialize` is hand-written so the `wear` evidence is skipped when
+/// absent: a wear-free run serializes exactly as it did before the
+/// endurance adversary existed.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShardLaneReport {
     /// Shard index.
     pub shard: u32,
@@ -99,6 +124,47 @@ pub struct ShardLaneReport {
     pub verify_ok: bool,
     /// The shard controller's final state digest (hex).
     pub state_digest: String,
+    /// Endurance evidence, present only on the shard that ran with the
+    /// wear adversary armed.
+    pub wear: Option<WearLaneEvidence>,
+}
+
+impl Serialize for ShardLaneReport {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("shard".to_string(), self.shard.to_value()),
+            ("requests".to_string(), self.requests.to_value()),
+            ("batches".to_string(), self.batches.to_value()),
+            (
+                "queue_wait_mean_cycles".to_string(),
+                self.queue_wait_mean_cycles.to_value(),
+            ),
+            ("busy_cycles".to_string(), self.busy_cycles.to_value()),
+            (
+                "makespan_cycles".to_string(),
+                self.makespan_cycles.to_value(),
+            ),
+            (
+                "throughput_accesses_per_sec".to_string(),
+                self.throughput_accesses_per_sec.to_value(),
+            ),
+            ("crashes".to_string(), self.crashes.to_value()),
+            (
+                "recoveries_consistent".to_string(),
+                self.recoveries_consistent.to_value(),
+            ),
+            (
+                "recovery_cycles".to_string(),
+                self.recovery_cycles.to_value(),
+            ),
+            ("verify_ok".to_string(), self.verify_ok.to_value()),
+            ("state_digest".to_string(), self.state_digest.to_value()),
+        ];
+        if let Some(w) = &self.wear {
+            fields.push(("wear".to_string(), w.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
 }
 
 /// Service-wide totals.

@@ -21,11 +21,14 @@ use std::sync::Arc;
 
 use psoram_core::{Op, ProtocolVariant};
 use psoram_faultsim::par_map;
+use psoram_nvm::{WearConfig, WearScheme};
 use psoram_obsv::{Event, Recorder, RingBufferRecorder};
 
 use crate::lane::{LaneKind, ShardServer};
 use crate::partition::AddressPartition;
-use crate::report::{AggregateReport, LatencySummary, ServiceReport, ShardLaneReport};
+use crate::report::{
+    AggregateReport, LatencySummary, ServiceReport, ShardLaneReport, WearLaneEvidence,
+};
 use crate::request::{open_loop_schedule, AccessRequest, Completion, CORE_HZ};
 
 /// Fixed dispatch overhead charged once per batch (queue pop, address
@@ -47,6 +50,53 @@ pub struct ShardCrashPlan {
     pub shard: u32,
     /// Completed-request count on that shard that triggers the crash.
     pub after_requests: u64,
+}
+
+/// Endurance plan for one shard: run it as a near-end-of-life device —
+/// pre-aged lines, tiny cell budgets, wear-correlated media faults —
+/// while every sibling serves from healthy silicon.
+///
+/// The degraded shard must *stay up*: transient faults retry, convicted
+/// lines retire onto spares and repair from the redundant copy, and the
+/// cost of all of that shows up in the lane's latency numbers and (with
+/// `trace`) as `LineRetired`/`FaultDetected` events. The spare pool is
+/// sized generously (`wear_config` uses 64 spares) because a service
+/// shard, unlike a faultsim campaign target, is never allowed to poison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WearShardPlan {
+    /// The shard that serves from worn silicon.
+    pub shard: u32,
+    /// The leveling/retirement design point. [`WearScheme::Remap`] is
+    /// the scheme that can actually retire convicted lines; `StartGap`
+    /// and `None` survive only as long as no line exhausts its budget.
+    pub scheme: WearScheme,
+    /// Uniform pre-aging: writes every line already carries at boot
+    /// (models years of prior service without simulating them).
+    pub preage_writes: u64,
+}
+
+impl WearShardPlan {
+    /// A near-EOL smoke plan: Remap scheme, lines pre-aged to ~75% of
+    /// the stress budget so retirements fire within a few hundred
+    /// requests.
+    pub fn near_eol(shard: u32) -> Self {
+        WearShardPlan {
+            shard,
+            scheme: WearScheme::Remap,
+            preage_writes: 384,
+        }
+    }
+
+    /// The wear engine configuration this plan arms: the campaign
+    /// stress point (tiny budgets so wear is observable in a short run)
+    /// with a service-sized spare pool.
+    pub fn wear_config(&self) -> WearConfig {
+        WearConfig {
+            spare_lines: 64,
+            preage_writes: self.preage_writes,
+            ..WearConfig::stress(self.scheme)
+        }
+    }
 }
 
 /// Full configuration for one service run.
@@ -72,6 +122,8 @@ pub struct ServiceConfig {
     pub lane: LaneKind,
     /// Optional mid-load crash on one shard.
     pub crash: Option<ShardCrashPlan>,
+    /// Optional endurance adversary on one shard.
+    pub wear: Option<WearShardPlan>,
     /// Record service-lane and persist-domain events.
     pub trace: bool,
 }
@@ -92,6 +144,7 @@ impl ServiceConfig {
             seed: 0x5EED,
             lane: LaneKind::Controller,
             crash: None,
+            wear: None,
             trace: false,
         }
     }
@@ -112,6 +165,7 @@ impl ServiceConfig {
             seed: 0x5EED,
             lane: LaneKind::Controller,
             crash: None,
+            wear: None,
             trace: false,
         }
     }
@@ -178,6 +232,13 @@ fn run_lane(cfg: &ServiceConfig, shard: u32, queue: Vec<AccessRequest>) -> LaneO
         cfg.shard_seed(shard),
         shard,
     );
+    let wear_armed = match cfg.wear {
+        Some(plan) if plan.shard == shard => {
+            server.arm_wear(cfg.shard_seed(shard), plan.wear_config());
+            true
+        }
+        _ => false,
+    };
     let recorder = if cfg.trace {
         let rec = Arc::new(RingBufferRecorder::new(psoram_obsv::DEFAULT_RING_CAPACITY));
         server.attach_recorder(rec.clone());
@@ -298,6 +359,20 @@ fn run_lane(cfg: &ServiceConfig, shard: u32, queue: Vec<AccessRequest>) -> LaneO
         i = end;
     }
     let verify_ok = server.verify(crashes > 0);
+    let wear = if wear_armed {
+        let stats = server.wear_stats().unwrap_or_default();
+        let faults = server.device_fault_stats().unwrap_or_default();
+        Some(WearLaneEvidence {
+            wear_faults: faults.wear_faults,
+            wear_stuck_faults: faults.wear_stuck_faults,
+            gap_moves: stats.gap_moves,
+            retirements: stats.retirements,
+            repairs: stats.repairs,
+            spares_left: server.wear_spares_left().unwrap_or(0),
+        })
+    } else {
+        None
+    };
     let requests = completions.len() as u64;
     let report = ShardLaneReport {
         shard,
@@ -320,6 +395,7 @@ fn run_lane(cfg: &ServiceConfig, shard: u32, queue: Vec<AccessRequest>) -> LaneO
         recovery_cycles,
         verify_ok,
         state_digest: format!("{:032x}", server.state_digest()),
+        wear,
     };
     LaneOutcome {
         completions,
@@ -459,6 +535,60 @@ mod tests {
             }
             assert!(lane.verify_ok);
         }
+    }
+
+    #[test]
+    fn wear_shard_degrades_gracefully_while_siblings_stay_identical() {
+        let mut base = ServiceConfig::smoke();
+        base.requests = 1200;
+        let clean = run_service(&base, 2);
+        let mut worn = base.clone();
+        worn.wear = Some(WearShardPlan::near_eol(1));
+        let out = run_service(&worn, 2);
+        assert_eq!(out.report.aggregate.requests, 1200);
+        for lane in &out.report.lanes {
+            assert!(lane.verify_ok, "shard {} failed verify", lane.shard);
+            let clean_lane = &clean.report.lanes[lane.shard as usize];
+            if lane.shard == 1 {
+                let w = lane.wear.expect("wear shard must carry evidence");
+                assert!(w.wear_faults > 0, "near-EOL shard saw no media faults");
+                assert!(w.retirements > 0, "no line retired: {w:?}");
+                assert!(w.repairs >= w.retirements, "retire without repair: {w:?}");
+                assert!(w.spares_left < 64, "retirement consumed no spare");
+                assert!(
+                    lane.busy_cycles > clean_lane.busy_cycles,
+                    "fault retries and repairs must show up in lane time"
+                );
+            } else {
+                assert!(lane.wear.is_none());
+                assert_eq!(
+                    lane, clean_lane,
+                    "sibling shard {} must be byte-identical to the wear-free run",
+                    lane.shard
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wear_trace_surfaces_line_retirements() {
+        let mut cfg = ServiceConfig::smoke();
+        cfg.requests = 1200;
+        cfg.trace = true;
+        cfg.wear = Some(WearShardPlan::near_eol(0));
+        let out = run_service(&cfg, 1);
+        assert!(
+            out.events
+                .iter()
+                .any(|e| matches!(e, Event::LineRetired { .. })),
+            "retirements must be visible in the event stream"
+        );
+        assert!(
+            out.events
+                .iter()
+                .any(|e| matches!(e, Event::FaultDetected { .. })),
+            "detected wear faults must be visible in the event stream"
+        );
     }
 
     #[test]
